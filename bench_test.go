@@ -1,0 +1,223 @@
+// Benchmarks regenerating the paper's evaluation. One benchmark family per
+// table/figure, plus the design-choice ablations from DESIGN.md §3.
+//
+//	go test -bench=. -benchmem
+//
+// Shape expectations (see EXPERIMENTS.md for measured numbers):
+//   - Figure1: execution time decreases with cluster size at saturating
+//     rates and converges to the arrival window below saturation.
+//   - Table1: measured redundancy/distance match the paper's trace stats.
+//   - Figure5: batched throughput is roughly an order of magnitude above
+//     unbatched and scales with node count.
+//   - Figure6: each of 4 nodes stores ~25% of hash entries.
+package shhc
+
+import (
+	"fmt"
+	"testing"
+
+	"shhc/internal/bench"
+	"shhc/internal/trace"
+)
+
+// BenchmarkFigure1 runs the Figure 1 simulator at the paper's operating
+// points: 100k requests, rates 10k..100k, nodes 1..16. Each iteration is
+// one full sweep cell.
+func BenchmarkFigure1(b *testing.B) {
+	for _, nodes := range []int{1, 2, 4, 8, 16} {
+		for _, rate := range []float64{20000, 100000} {
+			b.Run(fmt.Sprintf("nodes=%d/rate=%.0f", nodes, rate), func(b *testing.B) {
+				var lastExec int64
+				for i := 0; i < b.N; i++ {
+					points, err := bench.RunFigure1(bench.Figure1Config{
+						Requests:   100000,
+						Rates:      []float64{rate},
+						NodeCounts: []int{nodes},
+						Seed:       int64(i),
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					lastExec = points[0].Result.ExecutionTime.Microseconds()
+				}
+				b.ReportMetric(float64(lastExec), "sim_exec_us")
+			})
+		}
+	}
+}
+
+// BenchmarkTable1 generates and re-measures each Table I workload at 1/64
+// scale. The reported metrics are the workload statistics themselves.
+func BenchmarkTable1(b *testing.B) {
+	for _, spec := range trace.PaperWorkloads() {
+		spec := spec.Scaled(64)
+		b.Run(spec.Name, func(b *testing.B) {
+			var st trace.Stats
+			for i := 0; i < b.N; i++ {
+				g := trace.NewGenerator(spec)
+				an := trace.NewAnalyzer(spec.Name)
+				for {
+					fp, ok := g.Next()
+					if !ok {
+						break
+					}
+					an.Observe(fp)
+				}
+				st = an.Stats()
+			}
+			b.ReportMetric(st.PctRedundant*100, "pct_redundant")
+			b.ReportMetric(st.MeanDistance, "mean_distance")
+			b.ReportMetric(float64(st.Fingerprints)/b.Elapsed().Seconds()*float64(b.N), "fp/s")
+		})
+	}
+}
+
+// BenchmarkFigure5 measures cluster throughput per (nodes, batch) cell over
+// real loopback TCP with two concurrent clients, each iteration against a
+// cold cluster (as in the paper).
+func BenchmarkFigure5(b *testing.B) {
+	for _, nodes := range []int{1, 2, 3, 4} {
+		for _, batch := range []int{1, 128, 2048} {
+			b.Run(fmt.Sprintf("nodes=%d/batch=%d", nodes, batch), func(b *testing.B) {
+				fingerprints := 30000
+				if batch == 1 {
+					fingerprints = 6000 // per-RPC mode is ~30x slower
+				}
+				var throughput float64
+				for i := 0; i < b.N; i++ {
+					points, err := bench.RunFigure5(bench.Figure5Config{
+						NodeCounts:   []int{nodes},
+						BatchSizes:   []int{batch},
+						Fingerprints: fingerprints,
+						Scale:        64,
+						UseTCP:       true,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					throughput = points[0].Throughput
+				}
+				b.ReportMetric(throughput, "chunks/s")
+			})
+		}
+	}
+}
+
+// BenchmarkFigure6 inserts the mixed workloads into a 4-node cluster and
+// reports the worst node's deviation from the ideal 25% share.
+func BenchmarkFigure6(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		points, err := bench.RunFigure6(bench.Figure6Config{Nodes: 4, Scale: 128})
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, p := range points {
+			dev := p.Share - 0.25
+			if dev < 0 {
+				dev = -dev
+			}
+			if dev > worst {
+				worst = dev
+			}
+		}
+	}
+	b.ReportMetric(worst*100, "worst_dev_pct")
+}
+
+// BenchmarkAblationBatchSweep sweeps batch sizes on a 4-node TCP cluster
+// (the latency/throughput tradeoff of paper §V).
+func BenchmarkAblationBatchSweep(b *testing.B) {
+	for _, batch := range []int{1, 32, 512} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			fingerprints := 20000
+			if batch == 1 {
+				fingerprints = 4000
+			}
+			var throughput float64
+			for i := 0; i < b.N; i++ {
+				points, err := bench.RunBatchSweep(4, fingerprints, 128, []int{batch})
+				if err != nil {
+					b.Fatal(err)
+				}
+				throughput = points[0].Throughput
+			}
+			b.ReportMetric(throughput, "chunks/s")
+		})
+	}
+}
+
+// BenchmarkAblationCacheSize sweeps the RAM LRU size on the Mail Server
+// workload (85% redundant: the cache's best case).
+func BenchmarkAblationCacheSize(b *testing.B) {
+	for _, size := range []int{1 << 8, 1 << 12, 1 << 16} {
+		b.Run(fmt.Sprintf("cache=%d", size), func(b *testing.B) {
+			var hitRate float64
+			for i := 0; i < b.N; i++ {
+				points, err := bench.RunCacheSweep(128, []int{size})
+				if err != nil {
+					b.Fatal(err)
+				}
+				hitRate = points[0].HitRate
+			}
+			b.ReportMetric(hitRate*100, "hit_pct")
+		})
+	}
+}
+
+// BenchmarkAblationBloom compares SSD reads with the Bloom filter on and
+// off on the Web Server workload (82% unique: the filter's best case).
+func BenchmarkAblationBloom(b *testing.B) {
+	for _, enabled := range []bool{true, false} {
+		b.Run(fmt.Sprintf("bloom=%v", enabled), func(b *testing.B) {
+			var reads int64
+			for i := 0; i < b.N; i++ {
+				points, err := bench.RunBloomAblation(128)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, p := range points {
+					if p.Bloom == enabled {
+						reads = p.SSDReads
+					}
+				}
+			}
+			b.ReportMetric(float64(reads), "ssd_reads")
+		})
+	}
+}
+
+// BenchmarkAblationBackends compares index designs (SHHC hybrid,
+// ChunkStash-like, HDD index, RAM-only) by modeled device time on the Home
+// Dir workload.
+func BenchmarkAblationBackends(b *testing.B) {
+	var results []bench.BackendPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		results, err = bench.RunBackendComparison(128)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range results {
+		b.ReportMetric(float64(p.DeviceBusy.Milliseconds()), p.Kind.String()+"_busy_ms")
+	}
+}
+
+// BenchmarkAblationVNodes measures ring balance vs virtual-node count.
+func BenchmarkAblationVNodes(b *testing.B) {
+	for _, vn := range []int{1, 16, 128} {
+		b.Run(fmt.Sprintf("vnodes=%d", vn), func(b *testing.B) {
+			var spread float64
+			for i := 0; i < b.N; i++ {
+				points, err := bench.RunVNodeSweep(100000, []int{vn})
+				if err != nil {
+					b.Fatal(err)
+				}
+				spread = points[0].EntrySpread
+			}
+			b.ReportMetric(spread, "entries_max_over_min")
+		})
+	}
+}

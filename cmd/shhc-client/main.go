@@ -1,0 +1,81 @@
+// Command shhc-client is the backup client: it chunks a file, asks the
+// front-end which chunks are new, uploads only those, and can restore a
+// stream from a saved manifest.
+//
+// Examples:
+//
+//	shhc-client -front http://127.0.0.1:8080 -backup photos.tar -manifest photos.manifest
+//	shhc-client -front http://127.0.0.1:8080 -restore photos.manifest -out photos.tar
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"shhc/internal/backup"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "shhc-client:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		front     = flag.String("front", "http://127.0.0.1:8080", "front-end base URL")
+		backupArg = flag.String("backup", "", "file to back up")
+		manifest  = flag.String("manifest", "", "manifest path (written on backup, read on restore)")
+		restore   = flag.String("restore", "", "manifest to restore from")
+		out       = flag.String("out", "", "output path for restore")
+		chunkSize = flag.Int("chunk", 4096, "fixed chunk size in bytes (0 = content-defined)")
+		batch     = flag.Int("batch", 2048, "fingerprints per plan request")
+	)
+	flag.Parse()
+
+	client, err := backup.New(backup.Config{FrontURL: *front, ChunkSize: *chunkSize, PlanBatch: *batch})
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case *backupArg != "":
+		report, err := client.BackupFile(*backupArg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report)
+		if *manifest != "" {
+			if err := backup.SaveManifest(report.Manifest, *manifest); err != nil {
+				return err
+			}
+			fmt.Printf("manifest saved to %s\n", *manifest)
+		}
+		return nil
+
+	case *restore != "":
+		if *out == "" {
+			return fmt.Errorf("-restore requires -out")
+		}
+		m, err := backup.LoadManifest(*restore)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", *out, err)
+		}
+		if err := client.Restore(m, f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("restored %d chunks (%d bytes) to %s\n", len(m.Chunks), m.Bytes, *out)
+		return nil
+	}
+	return fmt.Errorf("nothing to do: pass -backup FILE or -restore MANIFEST")
+}

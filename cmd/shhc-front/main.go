@@ -1,0 +1,92 @@
+// Command shhc-front runs the web front-end tier: the HTTP service backup
+// clients talk to. It routes fingerprint batches to hash nodes (remote
+// shhc-node processes, or an embedded local cluster for single-machine
+// use) and forwards new chunks to the (simulated) cloud store.
+//
+// Examples:
+//
+//	shhc-front -addr :8080 -nodes node-00=127.0.0.1:7001,node-01=127.0.0.1:7002
+//	shhc-front -addr :8080 -local 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"shhc"
+	"shhc/internal/cloudsim"
+	"shhc/internal/webfront"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "shhc-front:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		nodes    = flag.String("nodes", "", "comma-separated id=host:port remote hash nodes")
+		local    = flag.Int("local", 0, "run an embedded local cluster of this many nodes instead")
+		replicas = flag.Int("replicas", 1, "replicas per fingerprint (fault tolerance)")
+	)
+	flag.Parse()
+
+	cluster, err := buildCluster(*nodes, *local, *replicas)
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	chunks := cloudsim.New(cloudsim.Config{})
+	defer chunks.Close()
+
+	front, err := webfront.New(webfront.Config{Index: cluster, Chunks: chunks, Logger: log.Default()})
+	if err != nil {
+		return err
+	}
+	bound, err := front.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("front-end serving on http://%s (cluster size %d, replicas %d)", bound, cluster.Size(), *replicas)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+	return front.Close()
+}
+
+func buildCluster(nodes string, local, replicas int) (*shhc.Cluster, error) {
+	if nodes != "" && local > 0 {
+		return nil, fmt.Errorf("use either -nodes or -local, not both")
+	}
+	if nodes == "" && local <= 0 {
+		local = 4
+	}
+	if local > 0 {
+		return shhc.NewLocalCluster(shhc.ClusterOptions{Nodes: local, Replicas: replicas})
+	}
+
+	var backends []shhc.Backend
+	for _, entry := range strings.Split(nodes, ",") {
+		id, hostport, ok := strings.Cut(strings.TrimSpace(entry), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -nodes entry %q (want id=host:port)", entry)
+		}
+		client, err := shhc.DialNode(shhc.NodeID(id), hostport)
+		if err != nil {
+			return nil, fmt.Errorf("dial %s: %w", entry, err)
+		}
+		backends = append(backends, client)
+	}
+	return shhc.NewCluster(replicas, backends...)
+}

@@ -1,0 +1,65 @@
+// Command shhc-lb runs the HTTP load balancer tier from the paper's
+// Figure 2 (the HAProxy box): a round-robin, health-checked reverse proxy
+// over web front-ends.
+//
+// Example:
+//
+//	shhc-lb -addr :8000 -backends http://10.0.0.2:8080,http://10.0.0.3:8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"shhc/internal/lb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "shhc-lb:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8000", "listen address")
+		backends = flag.String("backends", "", "comma-separated front-end base URLs")
+		interval = flag.Duration("health-interval", time.Second, "health probe period")
+	)
+	flag.Parse()
+	if *backends == "" {
+		return fmt.Errorf("-backends is required")
+	}
+
+	var urls []string
+	for _, u := range strings.Split(*backends, ",") {
+		urls = append(urls, strings.TrimSpace(u))
+	}
+	balancer, err := lb.New(lb.Config{Backends: urls, HealthInterval: *interval})
+	if err != nil {
+		return err
+	}
+	defer balancer.Close()
+
+	bound, err := balancer.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("load balancer on http://%s over %d backends", bound, len(urls))
+	if !balancer.WaitHealthy(5 * time.Second) {
+		log.Printf("warning: no backend healthy yet")
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+	return nil
+}

@@ -1,0 +1,112 @@
+// Command shhc-node runs one hybrid hash node and serves it over SHHC's
+// TCP protocol. A cluster is a set of these plus a front-end (shhc-front)
+// routing to them.
+//
+// Example:
+//
+//	shhc-node -id node-00 -addr 127.0.0.1:7001 -dir /data/shhc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"shhc/internal/core"
+	"shhc/internal/device"
+	"shhc/internal/hashdb"
+	"shhc/internal/ring"
+	"shhc/internal/rpc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "shhc-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		id       = flag.String("id", "node-00", "node identity on the hash ring")
+		addr     = flag.String("addr", "127.0.0.1:7001", "listen address")
+		dir      = flag.String("dir", "", "directory for the on-disk hash table (empty = in-memory)")
+		cache    = flag.Int("cache", 1<<16, "LRU cache capacity in entries")
+		expected = flag.Int("expected", 1<<20, "expected fingerprints (sizes Bloom filter and buckets)")
+		model    = flag.String("device", "ssd", "modeled index device: ssd|hdd|ram|null")
+		sleep    = flag.Bool("sleep-device", false, "realize modeled device latency with real sleeps")
+		noBloom  = flag.Bool("no-bloom", false, "disable the Bloom filter")
+		wb       = flag.Bool("write-back", false, "delay SSD inserts until cache destage")
+	)
+	flag.Parse()
+
+	m, err := device.ModelByName(*model)
+	if err != nil {
+		return err
+	}
+	mode := device.Account
+	if *sleep {
+		mode = device.Sleep
+	}
+	dev := device.New(m, mode)
+
+	var store hashdb.Store
+	if *dir != "" {
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			return fmt.Errorf("create dir: %w", err)
+		}
+		path := filepath.Join(*dir, *id+".shdb")
+		if _, statErr := os.Stat(path); statErr == nil {
+			db, err := hashdb.Open(path, dev)
+			if err != nil {
+				return err
+			}
+			store = db
+			log.Printf("opened existing hash table %s (%d entries)", path, db.Len())
+		} else {
+			db, err := hashdb.Create(path, hashdb.Options{ExpectedItems: *expected, Device: dev})
+			if err != nil {
+				return err
+			}
+			store = db
+			log.Printf("created hash table %s", path)
+		}
+	} else {
+		store = hashdb.NewMemStore(dev)
+		log.Printf("using in-memory hash table (device model %s)", m.Name)
+	}
+
+	node, err := core.NewNode(core.NodeConfig{
+		ID:            ring.NodeID(*id),
+		Store:         store,
+		CacheSize:     *cache,
+		DisableBloom:  *noBloom,
+		BloomExpected: *expected,
+		WriteBack:     *wb,
+	})
+	if err != nil {
+		store.Close()
+		return err
+	}
+
+	srv := rpc.NewServer(node, rpc.ServerConfig{Logger: log.Default()})
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		node.Close()
+		return err
+	}
+	log.Printf("node %s serving on %s", *id, bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+	if err := srv.Close(); err != nil {
+		log.Printf("server close: %v", err)
+	}
+	return node.Close()
+}

@@ -1,0 +1,80 @@
+// Command shhc-sim runs the Figure 1 discrete-event simulation: execution
+// time for a burst of fingerprint lookups across cluster sizes and offered
+// rates.
+//
+// Example:
+//
+//	shhc-sim -requests 100000 -nodes 1,2,4,8,16 -rates 10000,20000,40000,60000,80000,100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"shhc/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "shhc-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		requests = flag.Int("requests", 100000, "lookups per run (paper: 100000)")
+		nodes    = flag.String("nodes", "1,2,4,8,16", "comma-separated cluster sizes")
+		rates    = flag.String("rates", "10000,20000,40000,60000,80000,100000", "comma-separated offered rates (req/s)")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	nodeCounts, err := parseInts(*nodes)
+	if err != nil {
+		return fmt.Errorf("-nodes: %w", err)
+	}
+	rateList, err := parseFloats(*rates)
+	if err != nil {
+		return fmt.Errorf("-rates: %w", err)
+	}
+
+	points, err := bench.RunFigure1(bench.Figure1Config{
+		Requests:   *requests,
+		NodeCounts: nodeCounts,
+		Rates:      rateList,
+		Seed:       *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatFigure1(points))
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

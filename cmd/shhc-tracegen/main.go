@@ -1,0 +1,90 @@
+// Command shhc-tracegen generates the paper's Table I fingerprint
+// workloads (or custom ones) as .shtr trace files, printing the measured
+// statistics for comparison with the paper.
+//
+// Examples:
+//
+//	shhc-tracegen -out traces/ -scale 16
+//	shhc-tracegen -out traces/ -workload "Mail Server" -scale 64
+//	shhc-tracegen -out traces/ -custom -count 1000000 -redundant 0.5 -distance 20000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"shhc/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "shhc-tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out       = flag.String("out", "traces", "output directory")
+		workload  = flag.String("workload", "", "generate only this Table I workload (default: all four)")
+		scale     = flag.Int("scale", 16, "divide workload length and distance by this factor")
+		custom    = flag.Bool("custom", false, "generate a custom workload instead")
+		count     = flag.Int("count", 1000000, "custom: fingerprint count")
+		redundant = flag.Float64("redundant", 0.3, "custom: duplicate fraction [0,1)")
+		distance  = flag.Int("distance", 10000, "custom: mean reuse distance")
+		chunkSize = flag.Int("chunksize", trace.ChunkSize4K, "custom: chunk size in bytes")
+		seed      = flag.Int64("seed", 1, "custom: generator seed")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return fmt.Errorf("create %s: %w", *out, err)
+	}
+
+	var specs []trace.Spec
+	switch {
+	case *custom:
+		specs = []trace.Spec{{
+			Name:         "custom",
+			Fingerprints: *count,
+			PctRedundant: *redundant,
+			Distance:     *distance,
+			ChunkSize:    *chunkSize,
+			Seed:         *seed,
+		}}
+	case *workload != "":
+		for _, spec := range trace.PaperWorkloads() {
+			if strings.EqualFold(spec.Name, *workload) {
+				specs = []trace.Spec{spec.Scaled(*scale)}
+			}
+		}
+		if len(specs) == 0 {
+			return fmt.Errorf("unknown workload %q (want one of: Web Server, Home Dir, Mail Server, Time machine)", *workload)
+		}
+	default:
+		for _, spec := range trace.PaperWorkloads() {
+			specs = append(specs, spec.Scaled(*scale))
+		}
+	}
+
+	for _, spec := range specs {
+		name := strings.ToLower(strings.ReplaceAll(spec.Name, " ", "-"))
+		name = strings.Map(func(r rune) rune {
+			switch r {
+			case '(', ')', '/':
+				return -1
+			}
+			return r
+		}, name)
+		path := filepath.Join(*out, name+".shtr")
+		stats, err := trace.WriteSpec(path, spec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s -> %s\n  %s\n", spec.Name, path, stats)
+	}
+	return nil
+}

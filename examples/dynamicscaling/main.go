@@ -1,0 +1,123 @@
+// Dynamicscaling: grow and shrink a live SHHC cluster (the paper's
+// "dynamic resource scaling" future-work item). A fourth node joins a
+// loaded 3-node cluster and Rebalance migrates its share of fingerprints
+// over; later a node is drained and decommissioned with no loss of
+// duplicate detection.
+//
+//	go run ./examples/dynamicscaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"shhc"
+	"shhc/internal/hashdb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func newNode(id string) (shhc.Backend, error) {
+	return shhc.NewNodeForScaling(shhc.NodeConfig{
+		ID:            shhc.NodeID(id),
+		Store:         hashdb.NewMemStore(nil),
+		CacheSize:     1 << 12,
+		BloomExpected: 1 << 17,
+	})
+}
+
+func run() error {
+	backends := make([]shhc.Backend, 3)
+	for i := range backends {
+		b, err := newNode(fmt.Sprintf("node-%02d", i))
+		if err != nil {
+			return err
+		}
+		backends[i] = b
+	}
+	cluster, err := shhc.NewCluster(1, backends...)
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	// Load 60k fingerprints.
+	const n = 60000
+	for i := 0; i < n; i++ {
+		fp := shhc.FingerprintOf([]byte(fmt.Sprintf("chunk-%d", i)))
+		if _, err := cluster.LookupOrInsert(fp, shhc.Value(i+1)); err != nil {
+			return err
+		}
+	}
+	printDistribution(cluster, "before scaling")
+
+	// Scale up with the two-phase join: entries are copied to the new
+	// node BEFORE routing flips, so duplicate detection never blinks.
+	// (AddNode + Rebalance is the coarse alternative: moved ranges are
+	// re-uploaded once until migration completes.)
+	extra, err := newNode("node-03")
+	if err != nil {
+		return err
+	}
+	stats, err := cluster.JoinNode(extra)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\njoin of node-03: moved %d entries (scanned %d)\n", stats.Moved, stats.Scanned)
+	printDistribution(cluster, "after scale-up")
+
+	// Verify dedup survived the migration.
+	if err := verifyAllDuplicate(cluster, n); err != nil {
+		return err
+	}
+	fmt.Printf("all %d fingerprints still detected as duplicates after scale-up\n", n)
+
+	// Scale down: drain node-01 gracefully.
+	drain, err := cluster.DrainNode("node-01")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ndrained node-01: migrated %d entries to survivors\n", drain.Moved)
+	printDistribution(cluster, "after scale-down")
+
+	if err := verifyAllDuplicate(cluster, n); err != nil {
+		return err
+	}
+	fmt.Printf("all %d fingerprints still detected as duplicates after decommission\n", n)
+	return nil
+}
+
+func verifyAllDuplicate(cluster *shhc.Cluster, n int) error {
+	for i := 0; i < n; i++ {
+		fp := shhc.FingerprintOf([]byte(fmt.Sprintf("chunk-%d", i)))
+		res, err := cluster.LookupOrInsert(fp, 0)
+		if err != nil {
+			return err
+		}
+		if !res.Exists {
+			return fmt.Errorf("fingerprint %d lost during scaling", i)
+		}
+	}
+	return nil
+}
+
+func printDistribution(cluster *shhc.Cluster, label string) {
+	stats, err := cluster.Stats()
+	if err != nil {
+		log.Printf("stats: %v", err)
+		return
+	}
+	total := 0
+	for _, st := range stats {
+		total += st.StoreEntries
+	}
+	fmt.Printf("\nentry distribution %s (%d total):\n", label, total)
+	for _, st := range stats {
+		fmt.Printf("  %-8s %7d entries (%.1f%%)\n", st.ID, st.StoreEntries,
+			float64(st.StoreEntries)/float64(total)*100)
+	}
+}

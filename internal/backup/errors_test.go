@@ -1,0 +1,122 @@
+package backup
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"shhc/internal/fingerprint"
+	"shhc/internal/webfront"
+)
+
+// misbehavingFront is a fake front-end whose behavior each test controls.
+type misbehavingFront struct {
+	planFn  func(w http.ResponseWriter, req webfront.PlanRequest)
+	chunkFn func(w http.ResponseWriter, hexFP string)
+}
+
+func (m *misbehavingFront) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/plan", func(w http.ResponseWriter, r *http.Request) {
+		var req webfront.PlanRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		if m.planFn != nil {
+			m.planFn(w, req)
+			return
+		}
+		json.NewEncoder(w).Encode(webfront.PlanResponse{Missing: []int{}})
+	})
+	mux.HandleFunc("/v1/upload", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusCreated)
+	})
+	mux.HandleFunc("/v1/chunk/", func(w http.ResponseWriter, r *http.Request) {
+		if m.chunkFn != nil {
+			m.chunkFn(w, r.URL.Path[len("/v1/chunk/"):])
+			return
+		}
+		http.NotFound(w, r)
+	})
+	return mux
+}
+
+func newMisbehavingClient(t *testing.T, m *misbehavingFront) *Client {
+	t.Helper()
+	ts := httptest.NewServer(m.handler())
+	t.Cleanup(ts.Close)
+	c, err := New(Config{FrontURL: ts.URL, ChunkSize: 1024, PlanBatch: 8})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func TestBackupRejectsOutOfRangePlanIndices(t *testing.T) {
+	m := &misbehavingFront{
+		planFn: func(w http.ResponseWriter, req webfront.PlanRequest) {
+			json.NewEncoder(w).Encode(webfront.PlanResponse{Missing: []int{999}})
+		},
+	}
+	c := newMisbehavingClient(t, m)
+	if _, err := c.Backup("x", bytes.NewReader(make([]byte, 4096))); err == nil {
+		t.Fatal("out-of-range plan index accepted")
+	}
+}
+
+func TestBackupSurfacesPlanHTTPError(t *testing.T) {
+	m := &misbehavingFront{
+		planFn: func(w http.ResponseWriter, _ webfront.PlanRequest) {
+			http.Error(w, "cluster on fire", http.StatusBadGateway)
+		},
+	}
+	c := newMisbehavingClient(t, m)
+	if _, err := c.Backup("x", bytes.NewReader(make([]byte, 4096))); err == nil {
+		t.Fatal("plan HTTP error not surfaced")
+	}
+}
+
+func TestRestoreDetectsCorruptChunk(t *testing.T) {
+	// The server returns bytes that do not hash to the manifest's
+	// fingerprint: Restore must fail rather than write corrupt data.
+	m := &misbehavingFront{
+		chunkFn: func(w http.ResponseWriter, _ string) {
+			w.Write([]byte("definitely not the original chunk"))
+		},
+	}
+	c := newMisbehavingClient(t, m)
+	manifest := Manifest{
+		Name:   "corrupt",
+		Chunks: []string{fingerprint.FromData([]byte("original")).String()},
+	}
+	var out bytes.Buffer
+	if err := c.Restore(manifest, &out); err == nil {
+		t.Fatal("corrupt chunk accepted during restore")
+	}
+}
+
+func TestRestoreSurfacesMissingChunk(t *testing.T) {
+	c := newMisbehavingClient(t, &misbehavingFront{}) // chunk handler 404s
+	manifest := Manifest{
+		Name:   "missing",
+		Chunks: []string{fingerprint.FromData([]byte("gone")).String()},
+	}
+	var out bytes.Buffer
+	if err := c.Restore(manifest, &out); err == nil {
+		t.Fatal("missing chunk not surfaced")
+	}
+}
+
+func TestRestoreRejectsBadManifestEntry(t *testing.T) {
+	c := newMisbehavingClient(t, &misbehavingFront{})
+	var out bytes.Buffer
+	if err := c.Restore(Manifest{Chunks: []string{"zz"}}, &out); err == nil {
+		t.Fatal("malformed manifest entry accepted")
+	}
+}
+
+func TestLoadManifestErrors(t *testing.T) {
+	if _, err := LoadManifest("/nonexistent/manifest.json"); err == nil {
+		t.Fatal("missing manifest file accepted")
+	}
+}

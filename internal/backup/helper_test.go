@@ -1,0 +1,7 @@
+package backup
+
+import "os"
+
+func osWriteFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,121 @@
+package baseline
+
+import (
+	"sync"
+
+	"shhc/internal/fingerprint"
+)
+
+// ExtremeBinning implements the file-level two-tier dedup index of Bhagwat
+// et al. (Extreme Binning, MASCOTS'09), the fourth related-work system the
+// paper discusses: for workloads of individual files with no inter-file
+// locality, keep only one *representative chunk ID* per file in RAM
+// (the minimum fingerprint, by Broder's theorem a good file-similarity
+// proxy), binning each file's full fingerprint list on disk. An incoming
+// file is deduplicated only against the single bin its representative
+// selects — one disk access per file, tiny RAM, but duplicates across
+// dissimilar files are missed (the paper: "a miss in RAM leads to a seek
+// on the disk").
+type ExtremeBinning struct {
+	mu sync.Mutex
+
+	// primary is the RAM tier: representative chunk ID -> bin.
+	primary map[fingerprint.Fingerprint]int
+	// bins is the disk tier: each bin holds full fingerprint sets of the
+	// files filed under one representative.
+	bins []map[fingerprint.Fingerprint]struct{}
+
+	binLoads  uint64
+	dedupHits uint64
+	stored    uint64
+}
+
+// NewExtremeBinning creates an empty two-tier index.
+func NewExtremeBinning() *ExtremeBinning {
+	return &ExtremeBinning{primary: make(map[fingerprint.Fingerprint]int)}
+}
+
+// representative returns the file's minimum fingerprint.
+func representative(fps []fingerprint.Fingerprint) fingerprint.Fingerprint {
+	min := fps[0]
+	for _, fp := range fps[1:] {
+		if fp.Compare(min) < 0 {
+			min = fp
+		}
+	}
+	return min
+}
+
+// FileResult reports one file's dedup outcome.
+type FileResult struct {
+	// Dup[i] is true when chunk i was found in the selected bin.
+	Dup []bool
+	// BinHit reports whether the representative matched an existing bin.
+	BinHit bool
+}
+
+// DedupFile deduplicates one file's chunk fingerprints against the bin its
+// representative chunk selects, then files the fingerprints there.
+func (e *ExtremeBinning) DedupFile(fps []fingerprint.Fingerprint) FileResult {
+	if len(fps) == 0 {
+		return FileResult{}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	rep := representative(fps)
+	res := FileResult{Dup: make([]bool, len(fps))}
+
+	binID, hit := e.primary[rep]
+	if hit {
+		res.BinHit = true
+		e.binLoads++ // one disk access to load the bin
+	} else {
+		binID = len(e.bins)
+		e.bins = append(e.bins, make(map[fingerprint.Fingerprint]struct{}))
+		e.primary[rep] = binID
+	}
+	bin := e.bins[binID]
+
+	seen := make(map[fingerprint.Fingerprint]struct{}, len(fps))
+	for i, fp := range fps {
+		if _, dup := bin[fp]; dup {
+			res.Dup[i] = true
+			e.dedupHits++
+			continue
+		}
+		if _, intra := seen[fp]; intra {
+			res.Dup[i] = true
+			e.dedupHits++
+			continue
+		}
+		seen[fp] = struct{}{}
+		e.stored++
+	}
+	for fp := range seen {
+		bin[fp] = struct{}{}
+	}
+	return res
+}
+
+// BinningStats describe index shape and effectiveness.
+type BinningStats struct {
+	Bins         int
+	PrimaryRAMB  int // RAM tier footprint (one entry per bin)
+	DedupHits    uint64
+	StoredChunks uint64
+	BinLoads     uint64
+}
+
+// Stats returns a snapshot of the index.
+func (e *ExtremeBinning) Stats() BinningStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return BinningStats{
+		Bins:         len(e.bins),
+		PrimaryRAMB:  len(e.primary) * (fingerprint.Size + 8),
+		DedupHits:    e.dedupHits,
+		StoredChunks: e.stored,
+		BinLoads:     e.binLoads,
+	}
+}

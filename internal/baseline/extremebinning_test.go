@@ -1,0 +1,130 @@
+package baseline
+
+import (
+	"testing"
+
+	"shhc/internal/fingerprint"
+)
+
+func fileOf(start, n uint64) []fingerprint.Fingerprint {
+	fps := make([]fingerprint.Fingerprint, n)
+	for i := range fps {
+		fps[i] = fingerprint.FromUint64(start + uint64(i))
+	}
+	return fps
+}
+
+func TestExtremeBinningIdenticalFile(t *testing.T) {
+	e := NewExtremeBinning()
+	file := fileOf(0, 200)
+
+	first := e.DedupFile(file)
+	if first.BinHit {
+		t.Fatal("first file hit a bin")
+	}
+	for i, d := range first.Dup {
+		if d {
+			t.Fatalf("fresh chunk %d reported duplicate", i)
+		}
+	}
+
+	second := e.DedupFile(file)
+	if !second.BinHit {
+		t.Fatal("identical file missed its bin (same representative)")
+	}
+	for i, d := range second.Dup {
+		if !d {
+			t.Fatalf("repeated chunk %d not deduplicated", i)
+		}
+	}
+}
+
+func TestExtremeBinningSimilarFile(t *testing.T) {
+	// A file sharing most chunks (including the minimum fingerprint)
+	// lands in the same bin and dedups the shared part.
+	e := NewExtremeBinning()
+	base := fileOf(0, 100)
+	e.DedupFile(base)
+
+	similar := append(fileOf(0, 90), fileOf(5000, 10)...) // keeps the min chunk
+	res := e.DedupFile(similar)
+	if !res.BinHit {
+		t.Fatal("similar file missed its bin")
+	}
+	dups := 0
+	for _, d := range res.Dup {
+		if d {
+			dups++
+		}
+	}
+	if dups != 90 {
+		t.Fatalf("deduplicated %d chunks, want 90", dups)
+	}
+}
+
+func TestExtremeBinningDissimilarFilesMiss(t *testing.T) {
+	// The design's known weakness (quoted by the SHHC paper): duplicates
+	// across files with different representatives are missed.
+	e := NewExtremeBinning()
+	e.DedupFile(fileOf(100, 50))
+
+	// Shares chunks 120..149 but has a smaller minimum (10), so it bins
+	// separately and finds nothing.
+	overlapping := append(fileOf(10, 5), fileOf(120, 30)...)
+	res := e.DedupFile(overlapping)
+	if res.BinHit {
+		t.Fatal("dissimilar file unexpectedly hit a bin")
+	}
+	for i, d := range res.Dup {
+		if d {
+			t.Fatalf("chunk %d deduplicated across bins; binning is leaking", i)
+		}
+	}
+	// An exact index would have found the 30 shared chunks; Extreme
+	// Binning stored them again. That is the gap SHHC closes.
+	if st := e.Stats(); st.StoredChunks != 50+35 {
+		t.Fatalf("stored chunks = %d, want 85 (30 re-stored)", st.StoredChunks)
+	}
+}
+
+func TestExtremeBinningIntraFileDedup(t *testing.T) {
+	e := NewExtremeBinning()
+	file := append(fileOf(0, 50), fileOf(0, 50)...)
+	res := e.DedupFile(file)
+	dups := 0
+	for _, d := range res.Dup {
+		if d {
+			dups++
+		}
+	}
+	if dups != 50 {
+		t.Fatalf("intra-file duplicates = %d, want 50", dups)
+	}
+}
+
+func TestExtremeBinningEmptyFile(t *testing.T) {
+	e := NewExtremeBinning()
+	res := e.DedupFile(nil)
+	if len(res.Dup) != 0 || res.BinHit {
+		t.Fatalf("empty file result = %+v", res)
+	}
+}
+
+func TestExtremeBinningRAMStaysSmall(t *testing.T) {
+	e := NewExtremeBinning()
+	const files, chunksPer = 200, 100
+	for f := uint64(0); f < files; f++ {
+		e.DedupFile(fileOf(f*10000, chunksPer))
+	}
+	st := e.Stats()
+	if st.Bins != files {
+		t.Fatalf("bins = %d, want %d (all files dissimilar)", st.Bins, files)
+	}
+	fullIndex := files * chunksPer * (fingerprint.Size + 8)
+	if st.PrimaryRAMB*10 > fullIndex {
+		t.Fatalf("primary RAM %d not << full index %d", st.PrimaryRAMB, fullIndex)
+	}
+	if st.BinLoads != 0 {
+		t.Fatalf("BinLoads = %d for all-new files, want 0", st.BinLoads)
+	}
+}

@@ -1,0 +1,173 @@
+package baseline
+
+import (
+	"sort"
+	"sync"
+
+	"shhc/internal/fingerprint"
+	"shhc/internal/hashdb"
+)
+
+// SparseIndex implements a Sparse-Indexing-style deduplicator (Lillibridge
+// et al., FAST'09), the second related-work system the paper discusses:
+// instead of indexing every fingerprint, it samples "hooks" (fingerprints
+// whose low bits are zero), keeps only hooks in RAM, and deduplicates an
+// incoming *segment* against the few stored segments ("champions") that
+// share the most hooks with it. The full fingerprint lists of champions
+// are loaded from disk per segment.
+//
+// The design trades a little deduplication (it misses duplicates that land
+// in unsampled, unchampioned segments) for a tiny RAM index — the paper's
+// point of contrast: SHHC keeps exact answers by distributing the full
+// index instead of approximating it on one machine.
+type SparseIndex struct {
+	mu sync.Mutex
+
+	// sampleShift selects hooks: fp.Prefix64() with sampleShift low zero
+	// bits. 2^sampleShift fingerprints per hook on average.
+	sampleShift uint
+	// maxChampions bounds how many candidate segments are consulted.
+	maxChampions int
+
+	// hookToSegments is the sparse RAM index: hook -> segment IDs.
+	hookToSegments map[uint64][]int
+	// segments holds each stored segment's full fingerprint set ("on
+	// disk" in the original system; the per-segment load is charged
+	// below through segmentLoads).
+	segments []map[fingerprint.Fingerprint]hashdb.Value
+
+	segmentLoads uint64 // champion manifests fetched (disk I/Os saved vs full index)
+	dedupHits    uint64
+	misses       uint64 // duplicates stored again because sampling missed them
+}
+
+// SparseConfig tunes the sampler.
+type SparseConfig struct {
+	// SampleShift is log2 of the sampling rate (default 6: 1 in 64).
+	SampleShift uint
+	// MaxChampions is the number of candidate segments consulted per
+	// incoming segment (default 4, mirroring the original paper).
+	MaxChampions int
+}
+
+// NewSparseIndex creates an empty sparse deduplicator.
+func NewSparseIndex(cfg SparseConfig) *SparseIndex {
+	if cfg.SampleShift == 0 {
+		cfg.SampleShift = 6
+	}
+	if cfg.MaxChampions <= 0 {
+		cfg.MaxChampions = 4
+	}
+	return &SparseIndex{
+		sampleShift:    cfg.SampleShift,
+		maxChampions:   cfg.MaxChampions,
+		hookToSegments: make(map[uint64][]int),
+	}
+}
+
+func (s *SparseIndex) isHook(fp fingerprint.Fingerprint) (uint64, bool) {
+	h := fp.Prefix64()
+	return h, h&((1<<s.sampleShift)-1) == 0
+}
+
+// SegmentResult reports one segment's dedup outcome.
+type SegmentResult struct {
+	// Dup[i] is true when segment fingerprint i was found in a champion.
+	Dup []bool
+	// Champions is how many stored segments were consulted.
+	Champions int
+}
+
+// DedupSegment deduplicates one segment (an ordered run of fingerprints,
+// typically ~1000 chunks) against the champions sharing its hooks, then
+// stores the segment. Returns per-fingerprint duplicate verdicts.
+func (s *SparseIndex) DedupSegment(fps []fingerprint.Fingerprint) SegmentResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Vote for champions by shared hooks.
+	votes := make(map[int]int)
+	for _, fp := range fps {
+		if hook, ok := s.isHook(fp); ok {
+			for _, seg := range s.hookToSegments[hook] {
+				votes[seg]++
+			}
+		}
+	}
+	type cand struct{ seg, votes int }
+	cands := make([]cand, 0, len(votes))
+	for seg, v := range votes {
+		cands = append(cands, cand{seg, v})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].votes != cands[j].votes {
+			return cands[i].votes > cands[j].votes
+		}
+		return cands[i].seg > cands[j].seg // prefer recent segments on ties
+	})
+	if len(cands) > s.maxChampions {
+		cands = cands[:s.maxChampions]
+	}
+
+	// "Load" each champion's manifest and dedup against the union.
+	known := make(map[fingerprint.Fingerprint]struct{})
+	for _, c := range cands {
+		s.segmentLoads++
+		for fp := range s.segments[c.seg] {
+			known[fp] = struct{}{}
+		}
+	}
+	res := SegmentResult{Dup: make([]bool, len(fps)), Champions: len(cands)}
+	seg := make(map[fingerprint.Fingerprint]hashdb.Value, len(fps))
+	for i, fp := range fps {
+		if _, dup := known[fp]; dup {
+			res.Dup[i] = true
+			s.dedupHits++
+		} else if _, intra := seg[fp]; intra {
+			res.Dup[i] = true
+			s.dedupHits++
+		} else {
+			s.misses++ // counts fresh + sampling-missed duplicates
+		}
+		seg[fp] = hashdb.Value(i)
+	}
+
+	// Store the segment and index its hooks.
+	id := len(s.segments)
+	s.segments = append(s.segments, seg)
+	for fp := range seg {
+		if hook, ok := s.isHook(fp); ok {
+			s.hookToSegments[hook] = append(s.hookToSegments[hook], id)
+		}
+	}
+	return res
+}
+
+// SparseStats describe index size and dedup effectiveness.
+type SparseStats struct {
+	Segments     int
+	Hooks        int
+	DedupHits    uint64
+	StoredChunks uint64 // chunks written because no champion matched
+	SegmentLoads uint64
+	// RAMBytes approximates the sparse index footprint (hooks only).
+	RAMBytes int
+}
+
+// Stats returns a snapshot of the index.
+func (s *SparseIndex) Stats() SparseStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries := 0
+	for _, segs := range s.hookToSegments {
+		entries += len(segs)
+	}
+	return SparseStats{
+		Segments:     len(s.segments),
+		Hooks:        len(s.hookToSegments),
+		DedupHits:    s.dedupHits,
+		StoredChunks: s.misses,
+		SegmentLoads: s.segmentLoads,
+		RAMBytes:     len(s.hookToSegments)*8 + entries*8,
+	}
+}

@@ -1,0 +1,157 @@
+package baseline
+
+import (
+	"testing"
+
+	"shhc/internal/fingerprint"
+	"shhc/internal/trace"
+)
+
+func segmentOf(start, n uint64) []fingerprint.Fingerprint {
+	fps := make([]fingerprint.Fingerprint, n)
+	for i := range fps {
+		fps[i] = fingerprint.FromUint64(start + uint64(i))
+	}
+	return fps
+}
+
+func TestSparseIndexExactRepeatSegment(t *testing.T) {
+	s := NewSparseIndex(SparseConfig{SampleShift: 4})
+	seg := segmentOf(0, 1000)
+
+	first := s.DedupSegment(seg)
+	for i, dup := range first.Dup {
+		if dup {
+			t.Fatalf("fresh segment chunk %d reported duplicate", i)
+		}
+	}
+
+	// An identical segment shares all hooks, so its champion is the
+	// original and every chunk deduplicates.
+	second := s.DedupSegment(seg)
+	if second.Champions == 0 {
+		t.Fatal("repeat segment found no champions")
+	}
+	for i, dup := range second.Dup {
+		if !dup {
+			t.Fatalf("repeated chunk %d not deduplicated", i)
+		}
+	}
+}
+
+func TestSparseIndexPartialOverlap(t *testing.T) {
+	s := NewSparseIndex(SparseConfig{SampleShift: 4})
+	s.DedupSegment(segmentOf(0, 1000))
+
+	// 50% overlap with the stored segment.
+	mixed := append(segmentOf(500, 500), segmentOf(100000, 500)...)
+	res := s.DedupSegment(mixed)
+	dups := 0
+	for _, d := range res.Dup {
+		if d {
+			dups++
+		}
+	}
+	if dups < 400 || dups > 600 {
+		t.Fatalf("deduplicated %d of 500 overlapping chunks", dups)
+	}
+}
+
+func TestSparseIndexIntraSegmentDedup(t *testing.T) {
+	s := NewSparseIndex(SparseConfig{})
+	seg := append(segmentOf(0, 100), segmentOf(0, 100)...) // each fp twice
+	res := s.DedupSegment(seg)
+	dups := 0
+	for _, d := range res.Dup {
+		if d {
+			dups++
+		}
+	}
+	if dups != 100 {
+		t.Fatalf("intra-segment duplicates detected = %d, want 100", dups)
+	}
+}
+
+func TestSparseIndexChampionBound(t *testing.T) {
+	s := NewSparseIndex(SparseConfig{SampleShift: 2, MaxChampions: 2})
+	seg := segmentOf(0, 500)
+	// Store the same content several times under different segment IDs.
+	for i := 0; i < 5; i++ {
+		s.DedupSegment(seg)
+	}
+	res := s.DedupSegment(seg)
+	if res.Champions > 2 {
+		t.Fatalf("consulted %d champions, cap is 2", res.Champions)
+	}
+}
+
+func TestSparseIndexRAMFootprintSmall(t *testing.T) {
+	// The design premise: the RAM index is a small fraction of a full
+	// index. With 1-in-64 sampling, hooks ~ n/64.
+	s := NewSparseIndex(SparseConfig{SampleShift: 6})
+	const n = 64000
+	for start := uint64(0); start < n; start += 1000 {
+		s.DedupSegment(segmentOf(start, 1000))
+	}
+	st := s.Stats()
+	if st.Hooks > n/32 {
+		t.Fatalf("hooks = %d, want about n/64 = %d", st.Hooks, n/64)
+	}
+	fullIndexBytes := n * (fingerprint.Size + 8)
+	if st.RAMBytes*4 > fullIndexBytes {
+		t.Fatalf("sparse RAM %d not << full index %d", st.RAMBytes, fullIndexBytes)
+	}
+}
+
+func TestSparseIndexMissesSomeDuplicatesVsExactSHHC(t *testing.T) {
+	// The comparison the paper implies: sparse indexing trades dedup
+	// completeness for RAM; SHHC's exact distributed index catches every
+	// duplicate. Feed both the Home Dir workload and compare.
+	spec := trace.HomeDir.Scaled(512)
+	g := trace.NewGenerator(spec)
+
+	sparse := NewSparseIndex(SparseConfig{SampleShift: 6, MaxChampions: 2})
+	exactSeen := make(map[fingerprint.Fingerprint]bool)
+	exactDups, sparseDups, total := 0, 0, 0
+
+	const segSize = 512
+	seg := make([]fingerprint.Fingerprint, 0, segSize)
+	flush := func() {
+		if len(seg) == 0 {
+			return
+		}
+		res := sparse.DedupSegment(seg)
+		for _, d := range res.Dup {
+			if d {
+				sparseDups++
+			}
+		}
+		seg = seg[:0]
+	}
+	for {
+		fp, ok := g.Next()
+		if !ok {
+			break
+		}
+		total++
+		if exactSeen[fp] {
+			exactDups++
+		}
+		exactSeen[fp] = true
+		seg = append(seg, fp)
+		if len(seg) == segSize {
+			flush()
+		}
+	}
+	flush()
+
+	if sparseDups > exactDups {
+		t.Fatalf("sparse dedup (%d) cannot exceed exact dedup (%d)", sparseDups, exactDups)
+	}
+	// It should still find a good share of duplicates via locality.
+	if float64(sparseDups) < 0.3*float64(exactDups) {
+		t.Fatalf("sparse found only %d of %d duplicates; champion selection broken", sparseDups, exactDups)
+	}
+	t.Logf("total=%d exact dups=%d sparse dups=%d (%.1f%% of exact)",
+		total, exactDups, sparseDups, float64(sparseDups)/float64(exactDups)*100)
+}

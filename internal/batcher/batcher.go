@@ -1,0 +1,176 @@
+// Package batcher aggregates single fingerprint queries into batches.
+//
+// The paper's web front-end "aggregates fingerprints from clients and sends
+// them as a batch to hybrid nodes" (§III.A), and the evaluation (§IV.B)
+// shows batch mode is worth an order of magnitude of throughput at the cost
+// of queueing latency — the tradeoff this package's MaxBatch/MaxDelay knobs
+// expose (batch sizes 1/128/2048 in Figure 5).
+package batcher
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"shhc/internal/core"
+	"shhc/internal/fingerprint"
+)
+
+// Func executes one aggregated batch, returning results in input order.
+// A core.Cluster's BatchLookupOrInsert is the usual implementation.
+type Func func(pairs []core.Pair) ([]core.LookupResult, error)
+
+// Config tunes the aggregation window.
+type Config struct {
+	// MaxBatch flushes when this many queries are pending. Default 128.
+	MaxBatch int
+	// MaxDelay flushes a non-empty partial batch after this long,
+	// bounding the latency a query can spend queued. Default 2ms.
+	MaxDelay time.Duration
+}
+
+func (c *Config) fill() {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 128
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+}
+
+// ErrClosed is returned for queries submitted after Close.
+var ErrClosed = errors.New("batcher: closed")
+
+type waiter struct {
+	pair core.Pair
+	ch   chan outcome
+}
+
+type outcome struct {
+	res core.LookupResult
+	err error
+}
+
+// Batcher coalesces concurrent LookupOrInsert calls into batches.
+// It is safe for concurrent use.
+type Batcher struct {
+	do  Func
+	cfg Config
+
+	mu      sync.Mutex
+	pending []waiter
+	timer   *time.Timer
+	closed  bool
+	flushWG sync.WaitGroup
+
+	batches uint64
+	queries uint64
+}
+
+// New creates a batcher around the given batch executor.
+func New(do Func, cfg Config) *Batcher {
+	cfg.fill()
+	return &Batcher{do: do, cfg: cfg}
+}
+
+// LookupOrInsert enqueues one query and blocks until its batch completes.
+func (b *Batcher) LookupOrInsert(fp fingerprint.Fingerprint, val core.Value) (core.LookupResult, error) {
+	w := waiter{pair: core.Pair{FP: fp, Val: val}, ch: make(chan outcome, 1)}
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return core.LookupResult{}, ErrClosed
+	}
+	b.pending = append(b.pending, w)
+	b.queries++
+	if len(b.pending) >= b.cfg.MaxBatch {
+		b.flushLocked()
+	} else if b.timer == nil {
+		b.timer = time.AfterFunc(b.cfg.MaxDelay, b.flushTimer)
+	}
+	b.mu.Unlock()
+
+	out := <-w.ch
+	return out.res, out.err
+}
+
+func (b *Batcher) flushTimer() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.flushLocked()
+}
+
+// flushLocked dispatches the pending batch. Caller holds b.mu.
+func (b *Batcher) flushLocked() {
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	if len(b.pending) == 0 {
+		return
+	}
+	batch := b.pending
+	b.pending = nil
+	b.batches++
+
+	b.flushWG.Add(1)
+	go func() {
+		defer b.flushWG.Done()
+		pairs := make([]core.Pair, len(batch))
+		for i, w := range batch {
+			pairs[i] = w.pair
+		}
+		results, err := b.do(pairs)
+		if err == nil && len(results) != len(batch) {
+			err = errors.New("batcher: executor returned wrong result count")
+		}
+		for i, w := range batch {
+			if err != nil {
+				w.ch <- outcome{err: err}
+			} else {
+				w.ch <- outcome{res: results[i]}
+			}
+		}
+	}()
+}
+
+// Stats reports aggregation effectiveness.
+type Stats struct {
+	Queries uint64
+	Batches uint64
+}
+
+// MeanBatchSize is queries per dispatched batch.
+func (s Stats) MeanBatchSize() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.Queries) / float64(s.Batches)
+}
+
+// Stats returns a snapshot of the counters.
+func (b *Batcher) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return Stats{Queries: b.queries, Batches: b.batches}
+}
+
+// Close flushes any partial batch, waits for in-flight batches, and
+// rejects further queries.
+func (b *Batcher) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	b.closed = true
+	b.flushLocked()
+	b.mu.Unlock()
+
+	b.flushWG.Wait()
+	return nil
+}

@@ -1,0 +1,192 @@
+package batcher
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"shhc/internal/core"
+	"shhc/internal/fingerprint"
+)
+
+func fp(i uint64) fingerprint.Fingerprint { return fingerprint.FromUint64(i) }
+
+// echoExec answers every pair with Exists=false and Value=pair value,
+// recording batch sizes.
+type echoExec struct {
+	mu     sync.Mutex
+	sizes  []int
+	delay  time.Duration
+	failOn func([]core.Pair) error
+}
+
+func (e *echoExec) do(pairs []core.Pair) ([]core.LookupResult, error) {
+	e.mu.Lock()
+	e.sizes = append(e.sizes, len(pairs))
+	e.mu.Unlock()
+	if e.delay > 0 {
+		time.Sleep(e.delay)
+	}
+	if e.failOn != nil {
+		if err := e.failOn(pairs); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]core.LookupResult, len(pairs))
+	for i, p := range pairs {
+		out[i] = core.LookupResult{Exists: false, Value: p.Val, Source: core.SourceNew}
+	}
+	return out, nil
+}
+
+func (e *echoExec) batchSizes() []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]int(nil), e.sizes...)
+}
+
+func TestFlushOnMaxBatch(t *testing.T) {
+	exec := &echoExec{}
+	b := New(exec.do, Config{MaxBatch: 4, MaxDelay: time.Hour})
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := b.LookupOrInsert(fp(uint64(i)), core.Value(i))
+			if err != nil {
+				t.Errorf("LookupOrInsert: %v", err)
+				return
+			}
+			if r.Value != core.Value(i) {
+				t.Errorf("result value = %d, want %d", r.Value, i)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	sizes := exec.batchSizes()
+	if len(sizes) != 1 || sizes[0] != 4 {
+		t.Fatalf("batch sizes = %v, want [4]", sizes)
+	}
+}
+
+func TestFlushOnDelay(t *testing.T) {
+	exec := &echoExec{}
+	b := New(exec.do, Config{MaxBatch: 1000, MaxDelay: 5 * time.Millisecond})
+	defer b.Close()
+
+	start := time.Now()
+	if _, err := b.LookupOrInsert(fp(1), 1); err != nil {
+		t.Fatalf("LookupOrInsert: %v", err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 4*time.Millisecond {
+		t.Fatalf("flushed after %v, before the delay window", elapsed)
+	}
+	sizes := exec.batchSizes()
+	if len(sizes) != 1 || sizes[0] != 1 {
+		t.Fatalf("batch sizes = %v, want [1]", sizes)
+	}
+}
+
+func TestResultsRouteToCorrectWaiters(t *testing.T) {
+	exec := &echoExec{}
+	b := New(exec.do, Config{MaxBatch: 64, MaxDelay: time.Millisecond})
+	defer b.Close()
+
+	const n = 512
+	var wg sync.WaitGroup
+	var wrong atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := b.LookupOrInsert(fp(uint64(i)), core.Value(i))
+			if err != nil || r.Value != core.Value(i) {
+				wrong.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if wrong.Load() != 0 {
+		t.Fatalf("%d waiters got wrong results", wrong.Load())
+	}
+	st := b.Stats()
+	if st.Queries != n {
+		t.Fatalf("Queries = %d, want %d", st.Queries, n)
+	}
+	if st.MeanBatchSize() < 2 {
+		t.Fatalf("MeanBatchSize = %v; aggregation did not happen", st.MeanBatchSize())
+	}
+}
+
+func TestExecutorErrorPropagates(t *testing.T) {
+	wantErr := errors.New("node down")
+	exec := &echoExec{failOn: func([]core.Pair) error { return wantErr }}
+	b := New(exec.do, Config{MaxBatch: 2, MaxDelay: time.Millisecond})
+	defer b.Close()
+
+	if _, err := b.LookupOrInsert(fp(1), 1); !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+}
+
+func TestWrongResultCountIsError(t *testing.T) {
+	bad := func(pairs []core.Pair) ([]core.LookupResult, error) {
+		return make([]core.LookupResult, len(pairs)+1), nil
+	}
+	b := New(bad, Config{MaxBatch: 1, MaxDelay: time.Millisecond})
+	defer b.Close()
+	if _, err := b.LookupOrInsert(fp(1), 1); err == nil {
+		t.Fatal("mismatched result count not reported")
+	}
+}
+
+func TestCloseFlushesPartialBatch(t *testing.T) {
+	exec := &echoExec{}
+	b := New(exec.do, Config{MaxBatch: 1000, MaxDelay: time.Hour})
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.LookupOrInsert(fp(1), 1)
+		done <- err
+	}()
+	// Wait until the query is enqueued.
+	for {
+		if b.Stats().Queries == 1 {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("query stranded by Close: %v", err)
+	}
+	if err := b.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("double Close = %v, want ErrClosed", err)
+	}
+	if _, err := b.LookupOrInsert(fp(2), 2); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-Close query = %v, want ErrClosed", err)
+	}
+}
+
+func TestDelayBoundsLatency(t *testing.T) {
+	// A lone query must not wait for MaxBatch companions.
+	exec := &echoExec{}
+	b := New(exec.do, Config{MaxBatch: 1 << 20, MaxDelay: 3 * time.Millisecond})
+	defer b.Close()
+	start := time.Now()
+	if _, err := b.LookupOrInsert(fp(1), 1); err != nil {
+		t.Fatalf("LookupOrInsert: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("lone query took %v; delay flush broken", elapsed)
+	}
+}

@@ -1,0 +1,387 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"shhc/internal/sim"
+	"shhc/internal/trace"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 1 — simulator: execution time for 100k lookups vs offered rate,
+// cluster sizes 1/2/4/8/16.
+// ---------------------------------------------------------------------------
+
+// Figure1Config parameterizes the Figure 1 sweep.
+type Figure1Config struct {
+	// Requests per run; the paper uses 100,000.
+	Requests int
+	// Rates are the offered loads in requests/second (paper x-axis:
+	// 10k..100k).
+	Rates []float64
+	// NodeCounts are the cluster sizes (paper: 1, 2, 4, 8, 16).
+	NodeCounts []int
+	// Seed fixes the simulation streams.
+	Seed int64
+}
+
+func (c *Figure1Config) fill() {
+	if c.Requests <= 0 {
+		c.Requests = 100000
+	}
+	if len(c.Rates) == 0 {
+		c.Rates = []float64{10000, 20000, 40000, 60000, 80000, 100000}
+	}
+	if len(c.NodeCounts) == 0 {
+		c.NodeCounts = []int{1, 2, 4, 8, 16}
+	}
+}
+
+// RunFigure1 executes the simulator sweep.
+func RunFigure1(cfg Figure1Config) ([]sim.SweepPoint, error) {
+	cfg.fill()
+	base := sim.Config{
+		Requests:      cfg.Requests,
+		CacheHitRatio: 0.3,
+		Seed:          cfg.Seed,
+	}
+	return sim.Sweep(base, cfg.NodeCounts, cfg.Rates)
+}
+
+// FormatFigure1 renders the sweep as the paper's curves: one row per rate,
+// one column per cluster size, cells in microseconds of execution time.
+func FormatFigure1(points []sim.SweepPoint) string {
+	nodesSet := map[int]bool{}
+	ratesSet := map[float64]bool{}
+	cell := map[[2]int]time.Duration{}
+	var nodes []int
+	var rates []float64
+	for _, p := range points {
+		if !nodesSet[p.Nodes] {
+			nodesSet[p.Nodes] = true
+			nodes = append(nodes, p.Nodes)
+		}
+		if !ratesSet[p.RatePerSec] {
+			ratesSet[p.RatePerSec] = true
+			rates = append(rates, p.RatePerSec)
+		}
+		cell[[2]int{p.Nodes, int(p.RatePerSec)}] = p.Result.ExecutionTime
+	}
+
+	t := &table{header: []string{"rate(req/s)"}}
+	for _, n := range nodes {
+		t.header = append(t.header, fmt.Sprintf("%d nodes (us)", n))
+	}
+	for _, r := range rates {
+		row := []string{fmt.Sprintf("%.0f", r)}
+		for _, n := range nodes {
+			row = append(row, fmt.Sprintf("%d", cell[[2]int{n, int(r)}].Microseconds()))
+		}
+		t.addRow(row...)
+	}
+	return "Figure 1: execution time for fingerprint lookups (simulator)\n" + t.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table I — workload characteristics.
+// ---------------------------------------------------------------------------
+
+// Table1Config parameterizes workload regeneration.
+type Table1Config struct {
+	// Scale divides each paper workload's length and distance (default
+	// 16; 1 reproduces full paper scale but needs several GB of RAM for
+	// the analyzer's last-seen map on the Mail Server workload).
+	Scale int
+}
+
+// Table1Row pairs the paper's reported statistics with our measured ones.
+type Table1Row struct {
+	Spec     trace.Spec
+	Measured trace.Stats
+}
+
+// RunTable1 generates each Table I workload at the configured scale and
+// re-measures its statistics.
+func RunTable1(cfg Table1Config) ([]Table1Row, error) {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 16
+	}
+	rows := make([]Table1Row, 0, 4)
+	for _, spec := range trace.PaperWorkloads() {
+		scaled := spec.Scaled(cfg.Scale)
+		g := trace.NewGenerator(scaled)
+		an := trace.NewAnalyzer(scaled.Name)
+		for {
+			fp, ok := g.Next()
+			if !ok {
+				break
+			}
+			an.Observe(fp)
+		}
+		rows = append(rows, Table1Row{Spec: spec, Measured: an.Stats()})
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders paper-vs-measured workload statistics.
+func FormatTable1(rows []Table1Row, scale int) string {
+	t := &table{header: []string{
+		"workload", "fingerprints", "paper %red", "meas %red", "paper dist", "meas dist",
+	}}
+	for _, r := range rows {
+		t.addRow(
+			r.Measured.Name,
+			fmt.Sprintf("%d", r.Measured.Fingerprints),
+			fmt.Sprintf("%.0f%%", r.Spec.PctRedundant*100),
+			fmt.Sprintf("%.1f%%", r.Measured.PctRedundant*100),
+			fmt.Sprintf("%d", r.Spec.Distance/scaleOr1(scale)),
+			fmt.Sprintf("%.0f", r.Measured.MeanDistance),
+		)
+	}
+	return fmt.Sprintf("Table I: workload characteristics (scale 1/%d; paper distance shown scaled)\n", scaleOr1(scale)) + t.String()
+}
+
+func scaleOr1(scale int) int {
+	if scale <= 0 {
+		return 16
+	}
+	return scale
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5 — cluster throughput vs servers for batch sizes 1/128/2048.
+// ---------------------------------------------------------------------------
+
+// Figure5Config parameterizes the throughput experiment.
+type Figure5Config struct {
+	// NodeCounts are cluster sizes (paper: 1..4).
+	NodeCounts []int
+	// BatchSizes are queries per request (paper: 1, 128, 2048).
+	BatchSizes []int
+	// Fingerprints per configuration (cold cluster each time).
+	Fingerprints int
+	// Clients is the number of concurrent injectors (paper: 2).
+	Clients int
+	// Scale shrinks the mixed paper workloads feeding the run.
+	Scale int
+	// UseTCP routes through real loopback connections (paper topology);
+	// false measures the in-process router only.
+	UseTCP bool
+	// ConnsPerNode is the client connection pool per node for TCP runs.
+	ConnsPerNode int
+}
+
+func (c *Figure5Config) fill() {
+	if len(c.NodeCounts) == 0 {
+		c.NodeCounts = []int{1, 2, 3, 4}
+	}
+	if len(c.BatchSizes) == 0 {
+		c.BatchSizes = []int{1, 128, 2048}
+	}
+	if c.Fingerprints <= 0 {
+		c.Fingerprints = 100000
+	}
+	if c.Clients <= 0 {
+		c.Clients = 2
+	}
+	if c.Scale <= 0 {
+		c.Scale = 64
+	}
+	if c.ConnsPerNode <= 0 {
+		c.ConnsPerNode = 4
+	}
+}
+
+// Figure5Point is one bar of the paper's Figure 5.
+type Figure5Point struct {
+	Nodes      int
+	BatchSize  int
+	Elapsed    time.Duration
+	Throughput float64 // chunks (fingerprints) per second
+}
+
+// RunFigure5 measures cluster throughput for every (nodes, batch) cell.
+// Each cell runs against a cold cluster, as in the paper ("we used cold
+// machines that did not contain any previous data").
+func RunFigure5(cfg Figure5Config) ([]Figure5Point, error) {
+	cfg.fill()
+	fps := drainInterleave(mixedWorkload(cfg.Scale, 2048), cfg.Fingerprints)
+	expected := len(fps) + 1
+
+	var points []Figure5Point
+	for _, nodes := range cfg.NodeCounts {
+		for _, batch := range cfg.BatchSizes {
+			var (
+				elapsed time.Duration
+				err     error
+			)
+			if cfg.UseTCP {
+				var tc *tcpCluster
+				tc, err = buildTCPCluster(nodes, 1<<14, expected, cfg.ConnsPerNode)
+				if err != nil {
+					return nil, err
+				}
+				elapsed, err = runClients(tc.cluster, fps, cfg.Clients, batch)
+				tc.Close()
+			} else {
+				local, berr := buildLocalCluster(nodes, 1<<14, expected)
+				if berr != nil {
+					return nil, berr
+				}
+				elapsed, err = runClients(local, fps, cfg.Clients, batch)
+				local.Close()
+			}
+			if err != nil {
+				return nil, fmt.Errorf("bench: figure5 nodes=%d batch=%d: %w", nodes, batch, err)
+			}
+			points = append(points, Figure5Point{
+				Nodes:      nodes,
+				BatchSize:  batch,
+				Elapsed:    elapsed,
+				Throughput: float64(len(fps)) / elapsed.Seconds(),
+			})
+		}
+	}
+	return points, nil
+}
+
+// FormatFigure5 renders throughput rows per cluster size and batch size.
+func FormatFigure5(points []Figure5Point) string {
+	t := &table{header: []string{"nodes", "batch", "throughput(chunks/s)", "elapsed"}}
+	for _, p := range points {
+		t.addRow(
+			fmt.Sprintf("%d", p.Nodes),
+			fmt.Sprintf("%d", p.BatchSize),
+			fmt.Sprintf("%.0f", p.Throughput),
+			p.Elapsed.Round(time.Millisecond).String(),
+		)
+	}
+	return "Figure 5: SHHC throughput (mixed workloads, cold clusters)\n" + t.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5 cross-check in the queueing model: the same (nodes, batch) grid
+// through the discrete-event simulator, validating that the measured TCP
+// throughput shape follows from batching amortizing per-request overhead.
+// ---------------------------------------------------------------------------
+
+// RunFigure5Sim evaluates the Figure 5 grid analytically-by-simulation.
+func RunFigure5Sim(nodeCounts, batchSizes []int, queries int) ([]Figure5Point, error) {
+	if len(nodeCounts) == 0 {
+		nodeCounts = []int{1, 2, 3, 4}
+	}
+	if len(batchSizes) == 0 {
+		batchSizes = []int{1, 128, 2048}
+	}
+	if queries <= 0 {
+		queries = 100000
+	}
+	var points []Figure5Point
+	for _, nodes := range nodeCounts {
+		for _, batch := range batchSizes {
+			res, err := sim.Run(sim.Config{
+				Nodes:         nodes,
+				Requests:      queries,
+				RatePerSec:    1e8, // saturating: measure capacity
+				CacheHitRatio: 0.3,
+				Overhead:      100 * time.Microsecond, // network round trip dominates
+				HitTime:       2 * time.Microsecond,
+				MissTime:      20 * time.Microsecond,
+				BatchSize:     batch,
+				Seed:          int64(nodes*10000 + batch),
+			})
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, Figure5Point{
+				Nodes:      nodes,
+				BatchSize:  batch,
+				Elapsed:    res.ExecutionTime,
+				Throughput: res.ThroughputPerSec,
+			})
+		}
+	}
+	return points, nil
+}
+
+// FormatFigure5Sim renders the simulated grid.
+func FormatFigure5Sim(points []Figure5Point) string {
+	t := &table{header: []string{"nodes", "batch", "throughput(chunks/s)", "exec time"}}
+	for _, p := range points {
+		t.addRow(
+			fmt.Sprintf("%d", p.Nodes),
+			fmt.Sprintf("%d", p.BatchSize),
+			fmt.Sprintf("%.0f", p.Throughput),
+			p.Elapsed.Round(time.Millisecond).String(),
+		)
+	}
+	return "Figure 5 (simulated cross-check): saturated cluster capacity\n" + t.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6 — hash value storage distribution at N=4.
+// ---------------------------------------------------------------------------
+
+// Figure6Config parameterizes the load-balance measurement.
+type Figure6Config struct {
+	// Nodes is the cluster size (paper: 4).
+	Nodes int
+	// Scale shrinks the mixed workloads inserted.
+	Scale int
+	// Fingerprints caps the inserted stream (0 = whole scaled stream).
+	Fingerprints int
+}
+
+// Figure6Point is one node's share of stored hash entries.
+type Figure6Point struct {
+	Node    string
+	Entries int
+	Share   float64
+}
+
+// RunFigure6 inserts the mixed workloads and reports per-node entry shares.
+func RunFigure6(cfg Figure6Config) ([]Figure6Point, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 4
+	}
+	if cfg.Scale <= 0 {
+		cfg.Scale = 64
+	}
+	fps := drainInterleave(mixedWorkload(cfg.Scale, 2048), cfg.Fingerprints)
+	cluster, err := buildLocalCluster(cfg.Nodes, 1<<14, len(fps)+1)
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+
+	if _, err := runClients(cluster, fps, 2, 2048); err != nil {
+		return nil, err
+	}
+	stats, err := cluster.Stats()
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, st := range stats {
+		total += st.StoreEntries
+	}
+	points := make([]Figure6Point, 0, len(stats))
+	for _, st := range stats {
+		share := 0.0
+		if total > 0 {
+			share = float64(st.StoreEntries) / float64(total)
+		}
+		points = append(points, Figure6Point{Node: string(st.ID), Entries: st.StoreEntries, Share: share})
+	}
+	return points, nil
+}
+
+// FormatFigure6 renders per-node entry shares.
+func FormatFigure6(points []Figure6Point) string {
+	t := &table{header: []string{"node", "hash entries", "share"}}
+	for _, p := range points {
+		t.addRow(p.Node, fmt.Sprintf("%d", p.Entries), fmt.Sprintf("%.1f%%", p.Share*100))
+	}
+	return "Figure 6: hash value storage distribution\n" + t.String()
+}

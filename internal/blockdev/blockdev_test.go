@@ -1,0 +1,280 @@
+package blockdev
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"shhc/internal/core"
+	"shhc/internal/hashdb"
+)
+
+func newIndex(t *testing.T) Index {
+	t.Helper()
+	node, err := core.NewNode(core.NodeConfig{
+		ID:            "blockdev-test",
+		Store:         hashdb.NewMemStore(nil),
+		CacheSize:     1 << 12,
+		BloomExpected: 1 << 16,
+	})
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	t.Cleanup(func() { node.Close() })
+	return node
+}
+
+func newDevice(t *testing.T, blocks int, pool *BlockPool, index Index) *Device {
+	t.Helper()
+	if pool == nil {
+		pool = NewBlockPool()
+	}
+	if index == nil {
+		index = newIndex(t)
+	}
+	d, err := New(Config{BlockSize: 512, Blocks: blocks, Index: index, Pool: pool})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return d
+}
+
+func block(seed byte, size int) []byte {
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = seed
+	}
+	return b
+}
+
+func TestConfigValidation(t *testing.T) {
+	index := newIndex(t)
+	pool := NewBlockPool()
+	if _, err := New(Config{Blocks: 0, Index: index, Pool: pool}); err == nil {
+		t.Fatal("zero blocks accepted")
+	}
+	if _, err := New(Config{Blocks: 4, Pool: pool}); err == nil {
+		t.Fatal("missing index accepted")
+	}
+	if _, err := New(Config{Blocks: 4, Index: index}); err == nil {
+		t.Fatal("missing pool accepted")
+	}
+}
+
+func TestWriteReadBlock(t *testing.T) {
+	d := newDevice(t, 8, nil, nil)
+	data := block(0xAB, 512)
+	if err := d.WriteBlock(3, data); err != nil {
+		t.Fatalf("WriteBlock: %v", err)
+	}
+	got, err := d.ReadBlock(3)
+	if err != nil {
+		t.Fatalf("ReadBlock: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read back differs")
+	}
+}
+
+func TestUnwrittenReadsZeros(t *testing.T) {
+	d := newDevice(t, 4, nil, nil)
+	got, err := d.ReadBlock(0)
+	if err != nil {
+		t.Fatalf("ReadBlock: %v", err)
+	}
+	if !bytes.Equal(got, make([]byte, 512)) {
+		t.Fatal("unwritten block not zeroed")
+	}
+}
+
+func TestBoundsChecks(t *testing.T) {
+	d := newDevice(t, 4, nil, nil)
+	if err := d.WriteBlock(4, block(1, 512)); err == nil {
+		t.Fatal("out-of-range write accepted")
+	}
+	if err := d.WriteBlock(0, block(1, 100)); err == nil {
+		t.Fatal("short write accepted")
+	}
+	if _, err := d.ReadBlock(-1); err == nil {
+		t.Fatal("negative read accepted")
+	}
+	if err := d.Trim(99); err == nil {
+		t.Fatal("out-of-range trim accepted")
+	}
+}
+
+func TestIntraVolumeDedup(t *testing.T) {
+	pool := NewBlockPool()
+	d := newDevice(t, 100, pool, nil)
+	data := block(0x11, 512)
+	for lba := 0; lba < 100; lba++ {
+		if err := d.WriteBlock(lba, data); err != nil {
+			t.Fatalf("WriteBlock(%d): %v", lba, err)
+		}
+	}
+	if st := pool.Stats(); st.Blocks != 1 || st.Bytes != 512 {
+		t.Fatalf("pool = %+v, want exactly 1 physical block", st)
+	}
+	st := d.Stats()
+	if st.LogicalWrites != 100 || st.MappedBlocks != 100 {
+		t.Fatalf("device stats = %+v", st)
+	}
+	if st.DedupHits != 99 {
+		t.Fatalf("DedupHits = %d, want 99", st.DedupHits)
+	}
+}
+
+func TestCrossVolumeDedup(t *testing.T) {
+	pool := NewBlockPool()
+	index := newIndex(t)
+	d1 := newDevice(t, 10, pool, index)
+	d2 := newDevice(t, 10, pool, index)
+
+	data := block(0x22, 512)
+	d1.WriteBlock(0, data)
+	d2.WriteBlock(5, data)
+
+	if st := pool.Stats(); st.Blocks != 1 {
+		t.Fatalf("pool blocks = %d, want 1 (cross-volume dedup)", st.Blocks)
+	}
+	got, _ := d2.ReadBlock(5)
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-volume read differs")
+	}
+}
+
+func TestOverwriteReleasesOldBlock(t *testing.T) {
+	pool := NewBlockPool()
+	d := newDevice(t, 4, pool, nil)
+	d.WriteBlock(0, block(1, 512))
+	d.WriteBlock(0, block(2, 512)) // overwrite: block(1) now unreferenced
+	if st := pool.Stats(); st.Blocks != 1 {
+		t.Fatalf("pool blocks = %d, want 1 after overwrite freed the old block", st.Blocks)
+	}
+	got, _ := d.ReadBlock(0)
+	if got[0] != 2 {
+		t.Fatal("overwrite did not take effect")
+	}
+}
+
+func TestRewriteSameContentKeepsSingleRef(t *testing.T) {
+	pool := NewBlockPool()
+	d := newDevice(t, 4, pool, nil)
+	data := block(7, 512)
+	d.WriteBlock(1, data)
+	d.WriteBlock(1, data) // idempotent rewrite
+	if st := pool.Stats(); st.Blocks != 1 {
+		t.Fatalf("pool blocks = %d, want 1", st.Blocks)
+	}
+	// A single trim must fully free it (refcount must not have leaked).
+	d.Trim(1)
+	if st := pool.Stats(); st.Blocks != 0 {
+		t.Fatalf("pool blocks = %d after trim, want 0", st.Blocks)
+	}
+}
+
+func TestTrimFreesAndZeroes(t *testing.T) {
+	pool := NewBlockPool()
+	d := newDevice(t, 4, pool, nil)
+	d.WriteBlock(2, block(9, 512))
+	if err := d.Trim(2); err != nil {
+		t.Fatalf("Trim: %v", err)
+	}
+	if st := pool.Stats(); st.Blocks != 0 {
+		t.Fatalf("pool blocks = %d, want 0", st.Blocks)
+	}
+	got, _ := d.ReadBlock(2)
+	if !bytes.Equal(got, make([]byte, 512)) {
+		t.Fatal("trimmed block not zeroed")
+	}
+	// Trimming an unwritten block is a no-op.
+	if err := d.Trim(3); err != nil {
+		t.Fatalf("Trim(unwritten): %v", err)
+	}
+}
+
+func TestSharedBlockSurvivesOneTrim(t *testing.T) {
+	pool := NewBlockPool()
+	d := newDevice(t, 4, pool, nil)
+	data := block(5, 512)
+	d.WriteBlock(0, data)
+	d.WriteBlock(1, data)
+	d.Trim(0)
+	got, err := d.ReadBlock(1)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("shared block lost after one trim: %v", err)
+	}
+}
+
+func TestWriteAtReadAtRMW(t *testing.T) {
+	d := newDevice(t, 16, nil, nil)
+	payload := []byte("hello, unaligned world spanning blocks!")
+	off := int64(500) // straddles blocks 0 and 1
+	n, err := d.WriteAt(payload, off)
+	if err != nil || n != len(payload) {
+		t.Fatalf("WriteAt = (%d, %v)", n, err)
+	}
+	got := make([]byte, len(payload))
+	if _, err := d.ReadAt(got, off); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("ReadAt = %q, want %q", got, payload)
+	}
+	// Bytes around the payload must be untouched zeros.
+	pre := make([]byte, 10)
+	d.ReadAt(pre, off-10)
+	if !bytes.Equal(pre, make([]byte, 10)) {
+		t.Fatal("RMW corrupted bytes before the write")
+	}
+}
+
+func TestWriteAtBounds(t *testing.T) {
+	d := newDevice(t, 2, nil, nil)
+	if _, err := d.WriteAt(make([]byte, 10), d.Size()-5); err == nil {
+		t.Fatal("write past end accepted")
+	}
+	if _, err := d.ReadAt(make([]byte, 10), -1); err == nil {
+		t.Fatal("negative read accepted")
+	}
+}
+
+// Property: the device behaves like a flat buffer under random aligned
+// block writes and trims, while physical blocks never exceed unique
+// content count.
+func TestQuickDeviceVsShadow(t *testing.T) {
+	pool := NewBlockPool()
+	d := newDevice(t, 32, pool, nil)
+	shadow := make([]byte, d.Size())
+	rng := rand.New(rand.NewSource(1))
+
+	f := func(lbaSeed uint8, contentSeed uint8, trim bool) bool {
+		lba := int(lbaSeed) % 32
+		if trim {
+			if err := d.Trim(lba); err != nil {
+				return false
+			}
+			copy(shadow[lba*512:(lba+1)*512], make([]byte, 512))
+		} else {
+			// Small content alphabet to force dedup.
+			data := block(contentSeed%8, 512)
+			if err := d.WriteBlock(lba, data); err != nil {
+				return false
+			}
+			copy(shadow[lba*512:(lba+1)*512], data)
+		}
+		checkLBA := rng.Intn(32)
+		got, err := d.ReadBlock(checkLBA)
+		if err != nil {
+			return false
+		}
+		if !bytes.Equal(got, shadow[checkLBA*512:(checkLBA+1)*512]) {
+			return false
+		}
+		return pool.Stats().Blocks <= 8 // at most 8 distinct contents
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,40 @@
+package bloom
+
+import (
+	"testing"
+
+	"shhc/internal/fingerprint"
+)
+
+func BenchmarkAdd(b *testing.B) {
+	f := New(1<<22, 0.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Add(fingerprint.FromUint64(uint64(i)))
+	}
+}
+
+func BenchmarkMayContainHit(b *testing.B) {
+	f := New(1<<20, 0.01)
+	const n = 1 << 18
+	for i := uint64(0); i < n; i++ {
+		f.Add(fingerprint.FromUint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !f.MayContain(fingerprint.FromUint64(uint64(i % n))) {
+			b.Fatal("false negative")
+		}
+	}
+}
+
+func BenchmarkMayContainMiss(b *testing.B) {
+	f := New(1<<20, 0.01)
+	for i := uint64(0); i < 1<<18; i++ {
+		f.Add(fingerprint.FromUint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.MayContain(fingerprint.FromUint64(uint64(1<<40 + i)))
+	}
+}

@@ -1,0 +1,165 @@
+// Package bloom implements the Bloom filter each SHHC hash node keeps in
+// RAM to represent the set of fingerprints stored in its on-SSD hash table
+// (paper §III.B: "a bloom filter is used to represent the hash values in
+// the database").
+//
+// The filter never reports a stored fingerprint as absent (no false
+// negatives); with the sizing used by the node it reports an absent
+// fingerprint as possibly-present with probability ~FalsePositiveRate.
+// A negative answer lets the node skip the SSD probe entirely for new data,
+// which is the common case in low-redundancy backup workloads.
+package bloom
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"shhc/internal/fingerprint"
+)
+
+// Filter is a standard Bloom filter over fingerprints using double hashing:
+// the SHA-1 digest already contains two independent 64-bit values, so the
+// i-th probe position is h1 + i*h2 (Kirsch–Mitzenmatcher construction).
+//
+// Filter is not safe for concurrent use; the owning node serializes access.
+type Filter struct {
+	bits  []uint64
+	nbits uint64
+	k     int
+	n     uint64 // elements added
+}
+
+// New creates a filter sized for expectedItems with the given target false
+// positive rate. It panics on non-positive expectedItems or out-of-range
+// fpRate, because both indicate a programming error in the caller.
+func New(expectedItems int, fpRate float64) *Filter {
+	if expectedItems <= 0 {
+		panic("bloom: expectedItems must be positive")
+	}
+	if fpRate <= 0 || fpRate >= 1 {
+		panic("bloom: fpRate must be in (0, 1)")
+	}
+	nbits := optimalBits(expectedItems, fpRate)
+	k := optimalHashes(nbits, uint64(expectedItems))
+	return &Filter{
+		bits:  make([]uint64, (nbits+63)/64),
+		nbits: nbits,
+		k:     k,
+	}
+}
+
+// optimalBits returns m = -n*ln(p)/(ln 2)^2, rounded up to a multiple of 64.
+func optimalBits(n int, p float64) uint64 {
+	m := math.Ceil(-float64(n) * math.Log(p) / (math.Ln2 * math.Ln2))
+	bits := uint64(m)
+	if bits < 64 {
+		bits = 64
+	}
+	return (bits + 63) / 64 * 64
+}
+
+// optimalHashes returns k = m/n * ln 2, at least 1.
+func optimalHashes(m, n uint64) int {
+	k := int(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	return k
+}
+
+// Add inserts the fingerprint into the filter.
+func (f *Filter) Add(fp fingerprint.Fingerprint) {
+	h1, h2 := fp.Prefix64(), fp.Bucket64()|1
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.nbits
+		f.bits[pos/64] |= 1 << (pos % 64)
+	}
+	f.n++
+}
+
+// MayContain reports whether the fingerprint may have been added. A false
+// result is definitive: the fingerprint was never added.
+func (f *Filter) MayContain(fp fingerprint.Fingerprint) bool {
+	h1, h2 := fp.Prefix64(), fp.Bucket64()|1
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.nbits
+		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of Add calls.
+func (f *Filter) Len() int { return int(f.n) }
+
+// Bits returns the size of the bit array.
+func (f *Filter) Bits() uint64 { return f.nbits }
+
+// Hashes returns the number of hash probes per operation.
+func (f *Filter) Hashes() int { return f.k }
+
+// EstimatedFPRate returns the expected false positive probability given the
+// current fill: (1 - e^(-k*n/m))^k.
+func (f *Filter) EstimatedFPRate() float64 {
+	if f.n == 0 {
+		return 0
+	}
+	exp := -float64(f.k) * float64(f.n) / float64(f.nbits)
+	return math.Pow(1-math.Exp(exp), float64(f.k))
+}
+
+// marshal header: magic(4) version(1) k(1) pad(2) nbits(8) n(8)
+const (
+	marshalMagic   = "SBF1"
+	marshalHdrSize = 4 + 1 + 1 + 2 + 8 + 8
+)
+
+// MarshalBinary serializes the filter (node checkpointing).
+func (f *Filter) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, marshalHdrSize+len(f.bits)*8)
+	copy(buf[0:4], marshalMagic)
+	buf[4] = 1
+	buf[5] = byte(f.k)
+	binary.BigEndian.PutUint64(buf[8:16], f.nbits)
+	binary.BigEndian.PutUint64(buf[16:24], f.n)
+	for i, w := range f.bits {
+		binary.BigEndian.PutUint64(buf[marshalHdrSize+i*8:], w)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary restores a filter serialized by MarshalBinary.
+func (f *Filter) UnmarshalBinary(data []byte) error {
+	if len(data) < marshalHdrSize {
+		return errors.New("bloom: unmarshal: truncated header")
+	}
+	if string(data[0:4]) != marshalMagic {
+		return fmt.Errorf("bloom: unmarshal: bad magic %q", data[0:4])
+	}
+	if data[4] != 1 {
+		return fmt.Errorf("bloom: unmarshal: unsupported version %d", data[4])
+	}
+	k := int(data[5])
+	nbits := binary.BigEndian.Uint64(data[8:16])
+	n := binary.BigEndian.Uint64(data[16:24])
+	words := int((nbits + 63) / 64)
+	if len(data) != marshalHdrSize+words*8 {
+		return fmt.Errorf("bloom: unmarshal: want %d bytes, got %d", marshalHdrSize+words*8, len(data))
+	}
+	bits := make([]uint64, words)
+	for i := range bits {
+		bits[i] = binary.BigEndian.Uint64(data[marshalHdrSize+i*8:])
+	}
+	f.bits, f.nbits, f.k, f.n = bits, nbits, k, n
+	return nil
+}
+
+// SizeBytes returns the in-memory size of the bit array, for capacity
+// planning (the paper keeps <bloom, filepath> entries in node RAM).
+func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }

@@ -1,0 +1,164 @@
+package bloom
+
+import (
+	"testing"
+	"testing/quick"
+
+	"shhc/internal/fingerprint"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(10000, 0.01)
+	for i := uint64(0); i < 10000; i++ {
+		f.Add(fingerprint.FromUint64(i))
+	}
+	for i := uint64(0); i < 10000; i++ {
+		if !f.MayContain(fingerprint.FromUint64(i)) {
+			t.Fatalf("false negative for element %d", i)
+		}
+	}
+}
+
+func TestFalsePositiveRateNearTarget(t *testing.T) {
+	const n = 50000
+	const target = 0.01
+	f := New(n, target)
+	for i := uint64(0); i < n; i++ {
+		f.Add(fingerprint.FromUint64(i))
+	}
+	fps := 0
+	const probes = 50000
+	for i := uint64(n); i < n+probes; i++ {
+		if f.MayContain(fingerprint.FromUint64(i)) {
+			fps++
+		}
+	}
+	rate := float64(fps) / probes
+	if rate > target*3 {
+		t.Fatalf("observed FP rate %.4f, want <= %.4f", rate, target*3)
+	}
+}
+
+func TestEstimatedFPRate(t *testing.T) {
+	f := New(1000, 0.01)
+	if got := f.EstimatedFPRate(); got != 0 {
+		t.Fatalf("empty filter FP estimate = %v, want 0", got)
+	}
+	for i := uint64(0); i < 1000; i++ {
+		f.Add(fingerprint.FromUint64(i))
+	}
+	est := f.EstimatedFPRate()
+	if est <= 0 || est > 0.05 {
+		t.Fatalf("estimated FP rate at design fill = %v, want (0, 0.05]", est)
+	}
+}
+
+func TestSizingMonotonicity(t *testing.T) {
+	small := New(1000, 0.01)
+	big := New(100000, 0.01)
+	if small.Bits() >= big.Bits() {
+		t.Fatalf("filter for more items must use more bits: %d vs %d", small.Bits(), big.Bits())
+	}
+	loose := New(1000, 0.1)
+	tight := New(1000, 0.001)
+	if loose.Bits() >= tight.Bits() {
+		t.Fatalf("tighter FP target must use more bits: %d vs %d", loose.Bits(), tight.Bits())
+	}
+}
+
+func TestPanicsOnBadArgs(t *testing.T) {
+	tests := []struct {
+		name  string
+		items int
+		rate  float64
+	}{
+		{name: "zero items", items: 0, rate: 0.01},
+		{name: "negative items", items: -5, rate: 0.01},
+		{name: "zero rate", items: 10, rate: 0},
+		{name: "rate one", items: 10, rate: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("New did not panic")
+				}
+			}()
+			New(tt.items, tt.rate)
+		})
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := New(5000, 0.02)
+	for i := uint64(0); i < 3000; i++ {
+		f.Add(fingerprint.FromUint64(i))
+	}
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var g Filter
+	if err := g.UnmarshalBinary(data); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if g.Len() != f.Len() || g.Bits() != f.Bits() || g.Hashes() != f.Hashes() {
+		t.Fatalf("restored filter shape differs: %d/%d/%d vs %d/%d/%d",
+			g.Len(), g.Bits(), g.Hashes(), f.Len(), f.Bits(), f.Hashes())
+	}
+	for i := uint64(0); i < 3000; i++ {
+		if !g.MayContain(fingerprint.FromUint64(i)) {
+			t.Fatalf("restored filter lost element %d", i)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	f := New(100, 0.01)
+	good, _ := f.MarshalBinary()
+
+	tests := []struct {
+		name string
+		give []byte
+	}{
+		{name: "truncated", give: good[:10]},
+		{name: "bad magic", give: append([]byte("XXXX"), good[4:]...)},
+		{name: "bad version", give: func() []byte {
+			b := append([]byte(nil), good...)
+			b[4] = 9
+			return b
+		}()},
+		{name: "length mismatch", give: good[:len(good)-8]},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var g Filter
+			if err := g.UnmarshalBinary(tt.give); err == nil {
+				t.Fatal("unmarshal succeeded, want error")
+			}
+		})
+	}
+}
+
+// Property: anything added is always reported present, under arbitrary
+// interleavings of adds.
+func TestQuickNoFalseNegatives(t *testing.T) {
+	f := func(seeds []uint64) bool {
+		if len(seeds) == 0 {
+			return true
+		}
+		fl := New(len(seeds), 0.05)
+		for _, s := range seeds {
+			fl.Add(fingerprint.FromUint64(s))
+		}
+		for _, s := range seeds {
+			if !fl.MayContain(fingerprint.FromUint64(s)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,217 @@
+// Package container packs chunks into fixed-capacity containers, the
+// storage layout of DDFS-lineage dedup systems the paper builds on: chunks
+// are appended to an open container; when full it is sealed and shipped to
+// cloud storage as one object. The index's Value locator then encodes
+// (container ID, slot), so a duplicate's data is addressable without any
+// per-chunk object overhead, and restore reads amortize over container
+// fetches — the paper's "stores a reference to the existing data".
+package container
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"shhc/internal/fingerprint"
+)
+
+// Locator addresses a chunk inside a container: containerID<<16 | slot.
+type Locator uint64
+
+// MakeLocator packs a container ID and slot into a Locator.
+func MakeLocator(containerID uint64, slot uint16) Locator {
+	return Locator(containerID<<16 | uint64(slot))
+}
+
+// Container returns the container ID.
+func (l Locator) Container() uint64 { return uint64(l) >> 16 }
+
+// Slot returns the chunk's position within its container.
+func (l Locator) Slot() uint16 { return uint16(l) }
+
+// Sink receives sealed containers (cloud storage in SHHC).
+type Sink interface {
+	// StoreContainer persists one sealed container under its ID.
+	StoreContainer(id uint64, data []byte, index []Entry) error
+}
+
+// Entry describes one chunk inside a sealed container.
+type Entry struct {
+	FP     fingerprint.Fingerprint
+	Offset uint32
+	Length uint32
+}
+
+// Config tunes the packer.
+type Config struct {
+	// Capacity is the target container payload size. Default 4 MiB.
+	Capacity int
+	// MaxChunks bounds chunks per container (slot is 16-bit).
+	// Default 4096.
+	MaxChunks int
+	// Sink receives sealed containers. Required.
+	Sink Sink
+}
+
+// Packer accumulates chunks into the open container and seals full ones.
+// Safe for concurrent use.
+type Packer struct {
+	mu  sync.Mutex
+	cfg Config
+
+	nextID uint64
+	buf    []byte
+	index  []Entry
+
+	sealed   uint64
+	chunksIn uint64
+	bytesIn  uint64
+}
+
+// NewPacker creates a packer.
+func NewPacker(cfg Config) (*Packer, error) {
+	if cfg.Sink == nil {
+		return nil, errors.New("container: Config.Sink is required")
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 4 << 20
+	}
+	if cfg.MaxChunks <= 0 || cfg.MaxChunks > 65536 {
+		cfg.MaxChunks = 4096
+	}
+	return &Packer{cfg: cfg, buf: make([]byte, 0, cfg.Capacity)}, nil
+}
+
+// Add appends one chunk, returning the locator it will be addressable by.
+// The container seals automatically when capacity or chunk count is hit.
+func (p *Packer) Add(fp fingerprint.Fingerprint, data []byte) (Locator, error) {
+	if len(data) == 0 {
+		return 0, errors.New("container: empty chunk")
+	}
+	if len(data) > p.cfg.Capacity {
+		return 0, fmt.Errorf("container: chunk of %d bytes exceeds capacity %d", len(data), p.cfg.Capacity)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	// Seal first if this chunk would overflow.
+	if len(p.buf)+len(data) > p.cfg.Capacity || len(p.index) >= p.cfg.MaxChunks {
+		if err := p.sealLocked(); err != nil {
+			return 0, err
+		}
+	}
+	slot := uint16(len(p.index))
+	loc := MakeLocator(p.nextID, slot)
+	p.index = append(p.index, Entry{
+		FP:     fp,
+		Offset: uint32(len(p.buf)),
+		Length: uint32(len(data)),
+	})
+	p.buf = append(p.buf, data...)
+	p.chunksIn++
+	p.bytesIn += uint64(len(data))
+	return loc, nil
+}
+
+// sealLocked ships the open container to the sink and starts a new one.
+func (p *Packer) sealLocked() error {
+	if len(p.index) == 0 {
+		return nil
+	}
+	data := make([]byte, len(p.buf))
+	copy(data, p.buf)
+	index := make([]Entry, len(p.index))
+	copy(index, p.index)
+	if err := p.cfg.Sink.StoreContainer(p.nextID, data, index); err != nil {
+		return fmt.Errorf("container: seal %d: %w", p.nextID, err)
+	}
+	p.sealed++
+	p.nextID++
+	p.buf = p.buf[:0]
+	p.index = p.index[:0]
+	return nil
+}
+
+// Flush seals the open container, if any.
+func (p *Packer) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sealLocked()
+}
+
+// Stats describe packer progress.
+type Stats struct {
+	Sealed   uint64
+	ChunksIn uint64
+	BytesIn  uint64
+	// OpenChunks / OpenBytes describe the unsealed container.
+	OpenChunks int
+	OpenBytes  int
+}
+
+// Stats returns a snapshot of the packer.
+func (p *Packer) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{
+		Sealed:     p.sealed,
+		ChunksIn:   p.chunksIn,
+		BytesIn:    p.bytesIn,
+		OpenChunks: len(p.index),
+		OpenBytes:  len(p.buf),
+	}
+}
+
+// MemSink is an in-memory Sink with chunk retrieval, for tests and the
+// simulated cloud store.
+type MemSink struct {
+	mu         sync.Mutex
+	containers map[uint64][]byte
+	indexes    map[uint64][]Entry
+}
+
+// NewMemSink creates an empty in-memory sink.
+func NewMemSink() *MemSink {
+	return &MemSink{containers: make(map[uint64][]byte), indexes: make(map[uint64][]Entry)}
+}
+
+// StoreContainer implements Sink.
+func (s *MemSink) StoreContainer(id uint64, data []byte, index []Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.containers[id]; dup {
+		return fmt.Errorf("container: duplicate container id %d", id)
+	}
+	s.containers[id] = data
+	s.indexes[id] = index
+	return nil
+}
+
+// ReadChunk fetches one chunk by locator, verifying its fingerprint.
+func (s *MemSink) ReadChunk(loc Locator) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx, ok := s.indexes[loc.Container()]
+	if !ok {
+		return nil, fmt.Errorf("container: container %d not found", loc.Container())
+	}
+	slot := int(loc.Slot())
+	if slot >= len(idx) {
+		return nil, fmt.Errorf("container: slot %d out of range in container %d", slot, loc.Container())
+	}
+	e := idx[slot]
+	data := s.containers[loc.Container()][e.Offset : e.Offset+e.Length]
+	out := make([]byte, len(data))
+	copy(out, data)
+	if fingerprint.FromData(out) != e.FP {
+		return nil, fmt.Errorf("container: chunk at %d/%d fails fingerprint check", loc.Container(), slot)
+	}
+	return out, nil
+}
+
+// Containers returns how many containers are stored.
+func (s *MemSink) Containers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.containers)
+}

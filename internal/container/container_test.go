@@ -1,0 +1,215 @@
+package container
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"shhc/internal/fingerprint"
+)
+
+func chunkBytes(i, size int) []byte {
+	b := make([]byte, size)
+	for j := range b {
+		b[j] = byte(i + j)
+	}
+	return b
+}
+
+func newPacker(t *testing.T, capacity, maxChunks int) (*Packer, *MemSink) {
+	t.Helper()
+	sink := NewMemSink()
+	p, err := NewPacker(Config{Capacity: capacity, MaxChunks: maxChunks, Sink: sink})
+	if err != nil {
+		t.Fatalf("NewPacker: %v", err)
+	}
+	return p, sink
+}
+
+func TestLocatorPacking(t *testing.T) {
+	loc := MakeLocator(123456, 789)
+	if loc.Container() != 123456 || loc.Slot() != 789 {
+		t.Fatalf("locator round trip = (%d, %d)", loc.Container(), loc.Slot())
+	}
+}
+
+func TestAddReadRoundTrip(t *testing.T) {
+	p, sink := newPacker(t, 1<<20, 0)
+	type stored struct {
+		loc  Locator
+		data []byte
+	}
+	var all []stored
+	for i := 0; i < 100; i++ {
+		data := chunkBytes(i, 1000)
+		loc, err := p.Add(fingerprint.FromData(data), data)
+		if err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+		all = append(all, stored{loc, data})
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	for i, s := range all {
+		got, err := sink.ReadChunk(s.loc)
+		if err != nil {
+			t.Fatalf("ReadChunk(%d): %v", i, err)
+		}
+		if !bytes.Equal(got, s.data) {
+			t.Fatalf("chunk %d differs after container round trip", i)
+		}
+	}
+}
+
+func TestSealsOnCapacity(t *testing.T) {
+	p, sink := newPacker(t, 4096, 0)
+	for i := 0; i < 10; i++ {
+		data := chunkBytes(i, 1000)
+		if _, err := p.Add(fingerprint.FromData(data), data); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	// 4 chunks of 1000B fit per 4096B container: after 10 adds, two
+	// containers sealed, two chunks open.
+	st := p.Stats()
+	if st.Sealed != 2 {
+		t.Fatalf("Sealed = %d, want 2", st.Sealed)
+	}
+	if st.OpenChunks != 2 {
+		t.Fatalf("OpenChunks = %d, want 2", st.OpenChunks)
+	}
+	if sink.Containers() != 2 {
+		t.Fatalf("sink holds %d containers, want 2", sink.Containers())
+	}
+}
+
+func TestSealsOnMaxChunks(t *testing.T) {
+	p, _ := newPacker(t, 1<<20, 4)
+	for i := 0; i < 9; i++ {
+		data := chunkBytes(i, 10)
+		if _, err := p.Add(fingerprint.FromData(data), data); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	if st := p.Stats(); st.Sealed != 2 || st.OpenChunks != 1 {
+		t.Fatalf("stats = %+v, want 2 sealed + 1 open", st)
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	p, _ := newPacker(t, 1024, 0)
+	if _, err := p.Add(fingerprint.Fingerprint{}, nil); err == nil {
+		t.Fatal("empty chunk accepted")
+	}
+	if _, err := p.Add(fingerprint.Fingerprint{}, make([]byte, 2048)); err == nil {
+		t.Fatal("oversized chunk accepted")
+	}
+	if _, err := NewPacker(Config{}); err == nil {
+		t.Fatal("packer without sink accepted")
+	}
+}
+
+func TestFlushEmptyIsNoop(t *testing.T) {
+	p, sink := newPacker(t, 1024, 0)
+	if err := p.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if sink.Containers() != 0 {
+		t.Fatal("empty flush created a container")
+	}
+}
+
+func TestReadChunkErrors(t *testing.T) {
+	p, sink := newPacker(t, 1<<20, 0)
+	data := chunkBytes(1, 100)
+	loc, _ := p.Add(fingerprint.FromData(data), data)
+	p.Flush()
+
+	if _, err := sink.ReadChunk(MakeLocator(999, 0)); err == nil {
+		t.Fatal("read of missing container succeeded")
+	}
+	if _, err := sink.ReadChunk(MakeLocator(loc.Container(), 99)); err == nil {
+		t.Fatal("read of out-of-range slot succeeded")
+	}
+}
+
+func TestCorruptContainerDetected(t *testing.T) {
+	p, sink := newPacker(t, 1<<20, 0)
+	data := chunkBytes(7, 100)
+	loc, _ := p.Add(fingerprint.FromData(data), data)
+	p.Flush()
+
+	// Corrupt the stored container in place.
+	sink.mu.Lock()
+	sink.containers[loc.Container()][10] ^= 0xFF
+	sink.mu.Unlock()
+
+	if _, err := sink.ReadChunk(loc); err == nil {
+		t.Fatal("corrupt chunk passed fingerprint verification")
+	}
+}
+
+func TestDuplicateContainerIDRejected(t *testing.T) {
+	sink := NewMemSink()
+	if err := sink.StoreContainer(1, []byte("a"), nil); err != nil {
+		t.Fatalf("StoreContainer: %v", err)
+	}
+	if err := sink.StoreContainer(1, []byte("b"), nil); err == nil {
+		t.Fatal("duplicate container ID accepted")
+	}
+}
+
+// Property: any sequence of chunk sizes round-trips through pack/seal/read.
+func TestQuickPackReadRoundTrip(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		sink := NewMemSink()
+		p, err := NewPacker(Config{Capacity: 512, MaxChunks: 8, Sink: sink})
+		if err != nil {
+			return false
+		}
+		type stored struct {
+			loc  Locator
+			data []byte
+		}
+		var all []stored
+		for i, s := range sizes {
+			size := int(s)%200 + 1
+			data := chunkBytes(i, size)
+			loc, err := p.Add(fingerprint.FromData(data), data)
+			if err != nil {
+				return false
+			}
+			all = append(all, stored{loc, data})
+		}
+		if err := p.Flush(); err != nil {
+			return false
+		}
+		for _, s := range all {
+			got, err := sink.ReadChunk(s.loc)
+			if err != nil || !bytes.Equal(got, s.data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocatorsUniqueAcrossSeals(t *testing.T) {
+	p, _ := newPacker(t, 256, 4)
+	seen := map[Locator]bool{}
+	for i := 0; i < 100; i++ {
+		data := chunkBytes(i, 50)
+		loc, err := p.Add(fingerprint.FromData(data), data)
+		if err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+		if seen[loc] {
+			t.Fatalf("locator %v (%d/%d) reused", loc, loc.Container(), loc.Slot())
+		}
+		seen[loc] = true
+	}
+}

@@ -1,0 +1,105 @@
+package container
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"shhc/internal/core"
+	"shhc/internal/fingerprint"
+	"shhc/internal/hashdb"
+)
+
+// TestContainerBackedDedupStore wires the packer to an SHHC node the way a
+// production deployment would: new chunks get packed into containers and
+// their locators stored in the fingerprint index; duplicates return the
+// original locator, which addresses the original bytes.
+func TestContainerBackedDedupStore(t *testing.T) {
+	node, err := core.NewNode(core.NodeConfig{
+		ID:            "container-int",
+		Store:         hashdb.NewMemStore(nil),
+		CacheSize:     256,
+		BloomExpected: 1 << 14,
+	})
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	defer node.Close()
+
+	sink := NewMemSink()
+	packer, err := NewPacker(Config{Capacity: 8192, MaxChunks: 16, Sink: sink})
+	if err != nil {
+		t.Fatalf("NewPacker: %v", err)
+	}
+
+	// store runs the dedup write path: pack only chunks the index has
+	// not seen, and record their locators.
+	store := func(data []byte) (Locator, bool, error) {
+		fpr := fingerprint.FromData(data)
+		// Reserve a locator by packing ONLY if the index says new. Probe
+		// first with a read-only lookup so no bogus locator is stored.
+		r, err := node.Lookup(fpr)
+		if err != nil {
+			return 0, false, err
+		}
+		if r.Exists {
+			return Locator(r.Value), true, nil
+		}
+		loc, err := packer.Add(fpr, data)
+		if err != nil {
+			return 0, false, err
+		}
+		if err := node.Insert(fpr, core.Value(loc)); err != nil {
+			return 0, false, err
+		}
+		return loc, false, nil
+	}
+
+	// Write 40 unique chunks, each twice.
+	type rec struct {
+		data []byte
+		loc  Locator
+	}
+	var recs []rec
+	for i := 0; i < 40; i++ {
+		data := []byte(fmt.Sprintf("container chunk payload %04d padded to some length", i))
+		loc, dup, err := store(data)
+		if err != nil {
+			t.Fatalf("store(%d): %v", i, err)
+		}
+		if dup {
+			t.Fatalf("fresh chunk %d reported duplicate", i)
+		}
+		recs = append(recs, rec{data, loc})
+
+		loc2, dup2, err := store(data)
+		if err != nil {
+			t.Fatalf("re-store(%d): %v", i, err)
+		}
+		if !dup2 {
+			t.Fatalf("duplicate chunk %d not detected", i)
+		}
+		if loc2 != loc {
+			t.Fatalf("duplicate chunk %d locator %v != original %v", i, loc2, loc)
+		}
+	}
+	if err := packer.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	// Every locator stored in the index addresses the original bytes.
+	for i, r := range recs {
+		got, err := sink.ReadChunk(r.loc)
+		if err != nil {
+			t.Fatalf("ReadChunk(%d): %v", i, err)
+		}
+		if !bytes.Equal(got, r.data) {
+			t.Fatalf("chunk %d bytes differ through index+container path", i)
+		}
+	}
+	// Dedup really packed each chunk once: container count matches
+	// unique payload volume, not write volume.
+	if st := packer.Stats(); st.ChunksIn != 40 {
+		t.Fatalf("packed %d chunks, want 40 (duplicates must not be packed)", st.ChunksIn)
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"shhc/internal/hashdb"
+	"shhc/internal/ring"
+)
+
+func benchNode(b *testing.B, cacheSize int, disableBloom bool) *Node {
+	b.Helper()
+	n, err := NewNode(NodeConfig{
+		ID:            "bench",
+		Store:         hashdb.NewMemStore(nil),
+		CacheSize:     cacheSize,
+		DisableBloom:  disableBloom,
+		BloomExpected: 1 << 21,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { n.Close() })
+	return n
+}
+
+func BenchmarkNodeInsertUnique(b *testing.B) {
+	n := benchNode(b, 1<<16, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.LookupOrInsert(fp(uint64(i)), Value(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNodeLookupCacheHit(b *testing.B) {
+	n := benchNode(b, 1<<16, false)
+	const working = 1 << 10 // fits in cache
+	for i := 0; i < working; i++ {
+		n.LookupOrInsert(fp(uint64(i)), Value(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.LookupOrInsert(fp(uint64(i%working)), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNodeLookupStoreHit(b *testing.B) {
+	n := benchNode(b, 16, false) // tiny cache: force store path
+	const working = 1 << 16
+	for i := 0; i < working; i++ {
+		n.LookupOrInsert(fp(uint64(i)), Value(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.LookupOrInsert(fp(uint64(i%working)), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNodeBatch(b *testing.B) {
+	for _, size := range []int{128, 2048} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			n := benchNode(b, 1<<16, false)
+			pairs := make([]Pair, size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range pairs {
+					pairs[j] = Pair{FP: fp(uint64(i*size + j)), Val: Value(j)}
+				}
+				if _, err := n.BatchLookupOrInsert(pairs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(size), "pairs/op")
+		})
+	}
+}
+
+func BenchmarkClusterRoutingOverhead(b *testing.B) {
+	backends := make([]Backend, 4)
+	for i := range backends {
+		n, err := NewNode(NodeConfig{
+			ID:            ring.NodeID(fmt.Sprintf("n%d", i)),
+			Store:         hashdb.NewMemStore(nil),
+			CacheSize:     1 << 12,
+			BloomExpected: 1 << 20,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		backends[i] = n
+	}
+	c, err := NewCluster(ClusterConfig{}, backends...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.LookupOrInsert(fp(uint64(i)), Value(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

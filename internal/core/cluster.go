@@ -1,0 +1,564 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"shhc/internal/fingerprint"
+	"shhc/internal/ring"
+)
+
+// Backend is one hash node as seen by the cluster router: either a local
+// *Node or an RPC client talking to a remote node. Implementations must be
+// safe for concurrent use.
+type Backend interface {
+	// ID returns the node's ring identity.
+	ID() ring.NodeID
+	// Lookup answers whether the fingerprint is stored, without inserting.
+	Lookup(fp fingerprint.Fingerprint) (LookupResult, error)
+	// LookupOrInsert runs the Figure 4 flow.
+	LookupOrInsert(fp fingerprint.Fingerprint, val Value) (LookupResult, error)
+	// BatchLookupOrInsert runs the flow for each pair, in order.
+	BatchLookupOrInsert(pairs []Pair) ([]LookupResult, error)
+	// Insert unconditionally records fp -> val.
+	Insert(fp fingerprint.Fingerprint, val Value) error
+	// Stats snapshots the node's counters.
+	Stats() (NodeStats, error)
+	// Close releases the backend.
+	Close() error
+}
+
+var _ Backend = (*Node)(nil)
+
+// ClusterConfig configures the cluster router.
+type ClusterConfig struct {
+	// VirtualNodes per backend on the ring; 0 selects the default.
+	VirtualNodes int
+	// Replicas is the number of nodes each fingerprint is written to.
+	// 1 (default) reproduces the paper; >1 enables the fault-tolerance
+	// extension: reads fail over to successor replicas.
+	Replicas int
+}
+
+// Cluster routes fingerprint operations across hash nodes. It is the
+// client-side view of SHHC: the web front-end holds one Cluster and sends
+// each fingerprint (or batch) to the node owning its hash range.
+type Cluster struct {
+	mu       sync.RWMutex
+	ring     *ring.Ring
+	vnodes   int
+	backends map[ring.NodeID]Backend
+	replicas int
+}
+
+// NewCluster creates a cluster over the given backends.
+func NewCluster(cfg ClusterConfig, backends ...Backend) (*Cluster, error) {
+	if len(backends) == 0 {
+		return nil, errors.New("core: cluster needs at least one backend")
+	}
+	replicas := cfg.Replicas
+	if replicas <= 0 {
+		replicas = 1
+	}
+	c := &Cluster{
+		ring:     ring.New(cfg.VirtualNodes),
+		vnodes:   cfg.VirtualNodes,
+		backends: make(map[ring.NodeID]Backend, len(backends)),
+		replicas: replicas,
+	}
+	for _, b := range backends {
+		if err := c.addLocked(b); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func (c *Cluster) addLocked(b Backend) error {
+	id := b.ID()
+	if _, dup := c.backends[id]; dup {
+		return fmt.Errorf("core: duplicate backend %q", id)
+	}
+	if err := c.ring.Add(id); err != nil {
+		return err
+	}
+	c.backends[id] = b
+	return nil
+}
+
+// AddNode joins a new backend to the ring (dynamic scaling extension).
+// Existing entries are not migrated; fingerprints that move ranges will be
+// re-inserted on their next lookup, which is safe for a dedup index
+// (a moved entry only costs one redundant chunk upload).
+func (c *Cluster) AddNode(b Backend) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.addLocked(b)
+}
+
+// RemoveNode detaches a backend from the ring without closing it.
+func (c *Cluster) RemoveNode(id ring.NodeID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.backends[id]; !ok {
+		return fmt.Errorf("core: unknown backend %q", id)
+	}
+	if err := c.ring.Remove(id); err != nil {
+		return err
+	}
+	delete(c.backends, id)
+	return nil
+}
+
+// Size returns the number of member nodes.
+func (c *Cluster) Size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.backends)
+}
+
+// NodeIDs returns the member node IDs, sorted for stable output.
+func (c *Cluster) NodeIDs() []ring.NodeID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ids := make([]ring.NodeID, 0, len(c.backends))
+	for id := range c.backends {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Owner returns the node responsible for a fingerprint.
+func (c *Cluster) Owner(fp fingerprint.Fingerprint) (ring.NodeID, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ring.Lookup(fp)
+}
+
+// replicasFor returns the backends holding fp, owner first.
+func (c *Cluster) replicasFor(fp fingerprint.Fingerprint) ([]Backend, error) {
+	ids, err := c.ring.LookupN(fp, c.replicas)
+	if err != nil {
+		return nil, err
+	}
+	backends := make([]Backend, 0, len(ids))
+	for _, id := range ids {
+		b, ok := c.backends[id]
+		if !ok {
+			return nil, fmt.Errorf("core: ring references unknown backend %q", id)
+		}
+		backends = append(backends, b)
+	}
+	return backends, nil
+}
+
+// Lookup queries the owner node, failing over to successor replicas when
+// the owner errors (only useful with Replicas > 1).
+func (c *Cluster) Lookup(fp fingerprint.Fingerprint) (LookupResult, error) {
+	c.mu.RLock()
+	targets, err := c.replicasFor(fp)
+	c.mu.RUnlock()
+	if err != nil {
+		return LookupResult{}, err
+	}
+	var lastErr error
+	for _, b := range targets {
+		r, err := b.Lookup(fp)
+		if err == nil {
+			return r, nil
+		}
+		lastErr = err
+	}
+	return LookupResult{}, fmt.Errorf("core: lookup %s: all replicas failed: %w", fp.Short(), lastErr)
+}
+
+// LookupOrInsert runs the Figure 4 flow on the owner and mirrors inserts to
+// the remaining replicas. The owner's answer wins; replica mirroring is
+// best-effort (a failed mirror costs one redundant upload after failover,
+// never a lost chunk).
+func (c *Cluster) LookupOrInsert(fp fingerprint.Fingerprint, val Value) (LookupResult, error) {
+	c.mu.RLock()
+	targets, err := c.replicasFor(fp)
+	c.mu.RUnlock()
+	if err != nil {
+		return LookupResult{}, err
+	}
+	var (
+		res     LookupResult
+		resErr  error
+		decided bool
+	)
+	for i, b := range targets {
+		if !decided {
+			res, resErr = b.LookupOrInsert(fp, val)
+			if resErr != nil {
+				continue // fail over to the next replica for the decision
+			}
+			decided = true
+			if res.Exists {
+				break // duplicate: nothing to mirror
+			}
+			continue
+		}
+		// Mirror the insert to the remaining replicas.
+		_ = i
+		_ = b.Insert(fp, val)
+	}
+	if !decided {
+		return LookupResult{}, fmt.Errorf("core: lookup-or-insert %s: all replicas failed: %w", fp.Short(), resErr)
+	}
+	return res, nil
+}
+
+// BatchLookupOrInsert routes each pair to its owner node, issues one batch
+// per node in parallel, and reassembles results in input order. This is the
+// batching path the web front-end uses (paper §IV: batch sizes 1/128/2048).
+func (c *Cluster) BatchLookupOrInsert(pairs []Pair) ([]LookupResult, error) {
+	if len(pairs) == 0 {
+		return nil, nil
+	}
+	c.mu.RLock()
+	type routed struct {
+		backend Backend
+		pairs   []Pair
+		indices []int
+		// mirrors[k] holds the successor replicas for pairs[k]; replica
+		// sets differ per fingerprint even within one owner's group.
+		mirrors [][]Backend
+	}
+	groups := make(map[ring.NodeID]*routed)
+	for i, p := range pairs {
+		targets, err := c.replicasFor(p.FP)
+		if err != nil {
+			c.mu.RUnlock()
+			return nil, err
+		}
+		owner := targets[0]
+		g, ok := groups[owner.ID()]
+		if !ok {
+			g = &routed{backend: owner}
+			groups[owner.ID()] = g
+		}
+		g.pairs = append(g.pairs, p)
+		g.indices = append(g.indices, i)
+		g.mirrors = append(g.mirrors, targets[1:])
+	}
+	c.mu.RUnlock()
+
+	results := make([]LookupResult, len(pairs))
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for _, g := range groups {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rs, err := g.backend.BatchLookupOrInsert(g.pairs)
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			for k, r := range rs {
+				results[g.indices[k]] = r
+				if !r.Exists {
+					for _, m := range g.mirrors[k] {
+						_ = m.Insert(g.pairs[k].FP, g.pairs[k].Val)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, fmt.Errorf("core: batch: %w", firstErr)
+	}
+	return results, nil
+}
+
+// Migrator is implemented by backends whose entries can be enumerated and
+// removed locally — in-process *Node implements it; RPC clients do not
+// (migration of remote nodes runs on the node's own machine).
+type Migrator interface {
+	Entries(fn func(fp fingerprint.Fingerprint, val Value) bool) error
+	Remove(fp fingerprint.Fingerprint) (bool, error)
+}
+
+// RebalanceStats summarizes a migration pass.
+type RebalanceStats struct {
+	// Scanned is the number of entries examined. An entry relocated early
+	// in the pass is examined again when its new home is scanned, so
+	// Scanned can exceed the cluster's entry count.
+	Scanned int
+	// Moved is the number of entries relocated to a new owner.
+	Moved int
+	// Skipped counts backends that do not support migration.
+	Skipped int
+}
+
+// Rebalance moves every entry to its current owner node. Call it after
+// AddNode to spread existing fingerprints onto the new member (the paper's
+// "dynamic resource scaling" future work). Lookups remain correct during
+// the pass: an entry is inserted at its new owner before it is removed
+// from the old one.
+func (c *Cluster) Rebalance() (RebalanceStats, error) {
+	c.mu.RLock()
+	backends := make([]Backend, 0, len(c.backends))
+	for _, b := range c.backends {
+		backends = append(backends, b)
+	}
+	c.mu.RUnlock()
+
+	var stats RebalanceStats
+	for _, b := range backends {
+		m, ok := b.(Migrator)
+		if !ok {
+			stats.Skipped++
+			continue
+		}
+		moved, scanned, err := c.migrateFrom(b.ID(), m, false)
+		if err != nil {
+			return stats, err
+		}
+		stats.Moved += moved
+		stats.Scanned += scanned
+	}
+	return stats, nil
+}
+
+// JoinNode adds a backend with minimal duplicate-detection disruption: it
+// first copies the entries the new node will own onto it (computed against
+// a shadow ring), then flips routing, then cleans relocated entries off
+// their old owners. Unlike AddNode+Rebalance, fingerprints already stored
+// are continuously detected as duplicates throughout the join (only
+// entries inserted during the copy window can be re-uploaded once).
+func (c *Cluster) JoinNode(b Backend) (RebalanceStats, error) {
+	newID := b.ID()
+
+	// Build the shadow ring: current members plus the joiner.
+	c.mu.RLock()
+	if _, dup := c.backends[newID]; dup {
+		c.mu.RUnlock()
+		return RebalanceStats{}, fmt.Errorf("core: duplicate backend %q", newID)
+	}
+	shadow := ring.New(c.vnodes)
+	for id := range c.backends {
+		if err := shadow.Add(id); err != nil {
+			c.mu.RUnlock()
+			return RebalanceStats{}, err
+		}
+	}
+	members := make([]Backend, 0, len(c.backends))
+	for _, m := range c.backends {
+		members = append(members, m)
+	}
+	c.mu.RUnlock()
+	if err := shadow.Add(newID); err != nil {
+		return RebalanceStats{}, err
+	}
+
+	// Phase 1: copy soon-to-move entries to the joiner while routing is
+	// untouched (lookups still find them on their current owners).
+	var stats RebalanceStats
+	for _, m := range members {
+		mig, ok := m.(Migrator)
+		if !ok {
+			stats.Skipped++
+			continue
+		}
+		type entry struct {
+			fp  fingerprint.Fingerprint
+			val Value
+		}
+		var moving []entry
+		var lookupErr error
+		err := mig.Entries(func(fp fingerprint.Fingerprint, val Value) bool {
+			stats.Scanned++
+			owner, lerr := shadow.Lookup(fp)
+			if lerr != nil {
+				lookupErr = lerr
+				return false
+			}
+			if owner == newID {
+				moving = append(moving, entry{fp, val})
+			}
+			return true
+		})
+		if err == nil {
+			err = lookupErr
+		}
+		if err != nil {
+			return stats, fmt.Errorf("core: join copy from %s: %w", m.ID(), err)
+		}
+		for _, e := range moving {
+			if err := b.Insert(e.fp, e.val); err != nil {
+				return stats, fmt.Errorf("core: join copy %s: %w", e.fp.Short(), err)
+			}
+			stats.Moved++
+		}
+	}
+
+	// Phase 2: flip routing.
+	c.mu.Lock()
+	err := c.addLocked(b)
+	c.mu.Unlock()
+	if err != nil {
+		return stats, err
+	}
+
+	// Phase 3: remove relocated entries from their old owners (and pick
+	// up anything inserted during the copy window).
+	for _, m := range members {
+		mig, ok := m.(Migrator)
+		if !ok {
+			continue
+		}
+		moved, scanned, err := c.migrateFrom(m.ID(), mig, false)
+		if err != nil {
+			return stats, err
+		}
+		stats.Scanned += scanned
+		_ = moved // already counted in phase 1 for pre-copied entries
+	}
+	return stats, nil
+}
+
+// DrainNode migrates every entry off the named node and detaches it from
+// the cluster (graceful decommission). The backend itself is not closed;
+// its owner closes it after the drain.
+func (c *Cluster) DrainNode(id ring.NodeID) (RebalanceStats, error) {
+	c.mu.Lock()
+	b, ok := c.backends[id]
+	if !ok {
+		c.mu.Unlock()
+		return RebalanceStats{}, fmt.Errorf("core: unknown backend %q", id)
+	}
+	m, isMigrator := b.(Migrator)
+	if !isMigrator {
+		c.mu.Unlock()
+		return RebalanceStats{}, fmt.Errorf("core: backend %q does not support migration", id)
+	}
+	if len(c.backends) == 1 {
+		c.mu.Unlock()
+		return RebalanceStats{}, errors.New("core: cannot drain the last node")
+	}
+	// Take the node out of the ring first so migrated entries route to
+	// the surviving members; keep the backend reachable for the copy.
+	if err := c.ring.Remove(id); err != nil {
+		c.mu.Unlock()
+		return RebalanceStats{}, err
+	}
+	c.mu.Unlock()
+
+	moved, scanned, err := c.migrateFrom(id, m, true)
+	stats := RebalanceStats{Moved: moved, Scanned: scanned}
+	if err != nil {
+		return stats, err
+	}
+	c.mu.Lock()
+	delete(c.backends, id)
+	c.mu.Unlock()
+	return stats, nil
+}
+
+// migrateFrom moves entries off one backend. When all is true every entry
+// moves (drain); otherwise only entries whose owner is no longer source.
+func (c *Cluster) migrateFrom(source ring.NodeID, m Migrator, all bool) (moved, scanned int, err error) {
+	// Collect first: inserting into peers while ranging the same store
+	// would mutate it mid-iteration.
+	type entry struct {
+		fp  fingerprint.Fingerprint
+		val Value
+	}
+	var toMove []entry
+	rangeErr := m.Entries(func(fp fingerprint.Fingerprint, val Value) bool {
+		scanned++
+		if all {
+			toMove = append(toMove, entry{fp, val})
+			return true
+		}
+		c.mu.RLock()
+		owner, lerr := c.ring.Lookup(fp)
+		c.mu.RUnlock()
+		if lerr != nil {
+			err = lerr
+			return false
+		}
+		if owner != source {
+			toMove = append(toMove, entry{fp, val})
+		}
+		return true
+	})
+	if err == nil {
+		err = rangeErr
+	}
+	if err != nil {
+		return moved, scanned, fmt.Errorf("core: migrate from %s: %w", source, err)
+	}
+
+	for _, e := range toMove {
+		c.mu.RLock()
+		targets, terr := c.replicasFor(e.fp)
+		c.mu.RUnlock()
+		if terr != nil {
+			return moved, scanned, terr
+		}
+		for _, t := range targets {
+			if t.ID() == source {
+				continue
+			}
+			if ierr := t.Insert(e.fp, e.val); ierr != nil {
+				return moved, scanned, fmt.Errorf("core: migrate %s to %s: %w", e.fp.Short(), t.ID(), ierr)
+			}
+		}
+		if _, rerr := m.Remove(e.fp); rerr != nil {
+			return moved, scanned, fmt.Errorf("core: migrate %s off %s: %w", e.fp.Short(), source, rerr)
+		}
+		moved++
+	}
+	return moved, scanned, nil
+}
+
+// Stats gathers per-node statistics, sorted by node ID.
+func (c *Cluster) Stats() ([]NodeStats, error) {
+	c.mu.RLock()
+	backends := make([]Backend, 0, len(c.backends))
+	for _, b := range c.backends {
+		backends = append(backends, b)
+	}
+	c.mu.RUnlock()
+
+	stats := make([]NodeStats, 0, len(backends))
+	for _, b := range backends {
+		st, err := b.Stats()
+		if err != nil {
+			return nil, fmt.Errorf("core: stats from %s: %w", b.ID(), err)
+		}
+		stats = append(stats, st)
+	}
+	sort.Slice(stats, func(i, j int) bool { return stats[i].ID < stats[j].ID })
+	return stats, nil
+}
+
+// Close closes every backend, returning the first error.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var first error
+	for _, b := range c.backends {
+		if err := b.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	c.backends = map[ring.NodeID]Backend{}
+	return first
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"shhc/internal/hashdb"
+)
+
+func TestJoinNodeBasic(t *testing.T) {
+	nodes := make([]*Node, 2)
+	backends := make([]Backend, 2)
+	for i := range nodes {
+		nodes[i] = newNamedNode(t, fmt.Sprintf("node-%d", i))
+		backends[i] = nodes[i]
+	}
+	c, err := NewCluster(ClusterConfig{}, backends...)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer c.Close()
+
+	const n = 2000
+	for i := uint64(0); i < n; i++ {
+		c.LookupOrInsert(fp(i), Value(i))
+	}
+
+	joiner := newNamedNode(t, "node-join")
+	stats, err := c.JoinNode(joiner)
+	if err != nil {
+		t.Fatalf("JoinNode: %v", err)
+	}
+	if c.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", c.Size())
+	}
+	if stats.Moved == 0 {
+		t.Fatal("JoinNode moved nothing")
+	}
+	// The joiner owns and holds its share.
+	jst, _ := joiner.Stats()
+	if jst.StoreEntries == 0 {
+		t.Fatal("joiner holds no entries")
+	}
+	// Relocated entries were cleaned off old owners: total entries == n.
+	all, _ := c.Stats()
+	total := 0
+	for _, st := range all {
+		total += st.StoreEntries
+	}
+	if total != n {
+		t.Fatalf("total entries after join = %d, want %d (no duplicates left behind)", total, n)
+	}
+	// Dedup intact.
+	for i := uint64(0); i < n; i++ {
+		r, err := c.LookupOrInsert(fp(i), 999)
+		if err != nil || !r.Exists {
+			t.Fatalf("fingerprint %d lost by join (%v)", i, err)
+		}
+	}
+}
+
+func TestJoinNodeDuplicateRejected(t *testing.T) {
+	c := newTestCluster(t, 2, ClusterConfig{})
+	dup, err := NewNode(NodeConfig{ID: "node-0", Store: hashdb.NewMemStore(nil), CacheSize: 8})
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	defer dup.Close()
+	if _, err := c.JoinNode(dup); err == nil {
+		t.Fatal("JoinNode accepted duplicate ID")
+	}
+}
+
+func TestJoinNodePreservesValues(t *testing.T) {
+	nodes := make([]*Node, 2)
+	backends := make([]Backend, 2)
+	for i := range nodes {
+		nodes[i] = newNamedNode(t, fmt.Sprintf("node-%d", i))
+		backends[i] = nodes[i]
+	}
+	c, err := NewCluster(ClusterConfig{}, backends...)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer c.Close()
+	for i := uint64(0); i < 500; i++ {
+		c.LookupOrInsert(fp(i), Value(i*3))
+	}
+	joiner := newNamedNode(t, "node-join")
+	if _, err := c.JoinNode(joiner); err != nil {
+		t.Fatalf("JoinNode: %v", err)
+	}
+	for i := uint64(0); i < 500; i++ {
+		r, err := c.Lookup(fp(i))
+		if err != nil || !r.Exists {
+			t.Fatalf("fingerprint %d missing (%v)", i, err)
+		}
+		if r.Value != Value(i*3) {
+			t.Fatalf("fingerprint %d value = %d after join, want %d", i, r.Value, i*3)
+		}
+	}
+}

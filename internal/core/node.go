@@ -1,0 +1,472 @@
+// Package core implements SHHC itself: the hybrid (RAM+SSD) hash node and
+// the cluster that distributes the fingerprint index across nodes.
+//
+// A Node realizes the paper's Figure 4 lookup flow:
+//
+//  1. Try the in-RAM LRU cache; a hit answers immediately and promotes the
+//     entry to most-recently-used.
+//  2. On a read miss, consult the in-RAM Bloom filter; a negative answer
+//     proves the fingerprint is new, so the node inserts it (SSD hash
+//     table) without any SSD read.
+//  3. Otherwise probe the SSD hash table. Present: load the entry into the
+//     LRU and answer "duplicate". Absent: insert the new entry and answer
+//     "new — send the data".
+//
+// A Cluster (cluster.go) routes fingerprints to nodes with consistent
+// hashing and fans batches out in parallel.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"shhc/internal/bloom"
+	"shhc/internal/fingerprint"
+	"shhc/internal/hashdb"
+	"shhc/internal/lru"
+	"shhc/internal/ring"
+)
+
+// Value is the chunk locator stored per fingerprint.
+type Value = hashdb.Value
+
+// Source identifies which tier of the hybrid node answered a lookup.
+type Source int
+
+const (
+	// SourceCache means the RAM LRU answered (fast path).
+	SourceCache Source = iota + 1
+	// SourceBloom means the Bloom filter proved the fingerprint new
+	// without touching the SSD.
+	SourceBloom
+	// SourceStore means the SSD hash table answered.
+	SourceStore
+	// SourceNew means the fingerprint was not found anywhere and a new
+	// entry was created.
+	SourceNew
+)
+
+func (s Source) String() string {
+	switch s {
+	case SourceCache:
+		return "cache"
+	case SourceBloom:
+		return "bloom"
+	case SourceStore:
+		return "store"
+	case SourceNew:
+		return "new"
+	}
+	return fmt.Sprintf("source(%d)", int(s))
+}
+
+// LookupResult is a node's answer to one fingerprint query.
+type LookupResult struct {
+	// Exists reports whether the chunk is already stored in the cloud;
+	// the client must upload the chunk when Exists is false.
+	Exists bool
+	// Value is the stored locator when Exists is true.
+	Value Value
+	// Source is the tier that produced the answer.
+	Source Source
+}
+
+// Pair couples a fingerprint with the locator to assign if it is new.
+type Pair struct {
+	FP  fingerprint.Fingerprint
+	Val Value
+}
+
+// NodeConfig configures a hybrid hash node.
+type NodeConfig struct {
+	// ID names the node in the ring.
+	ID ring.NodeID
+	// Store is the persistent hash table (SSD in the paper). Required.
+	Store hashdb.Store
+	// CacheSize is the LRU capacity in entries; 0 disables the cache.
+	CacheSize int
+	// DisableBloom turns the Bloom filter off (ablation).
+	DisableBloom bool
+	// BloomExpected sizes the filter; default 1<<20 entries.
+	BloomExpected int
+	// BloomFPRate is the filter's target false-positive rate; default 1%.
+	BloomFPRate float64
+	// WriteBack delays SSD inserts until cache eviction (destage),
+	// trading durability for insert latency — the paper's Figure 4
+	// "LRU full? → Destage" arm and dedupv1's delayed-write idea.
+	WriteBack bool
+}
+
+// NodeStats snapshots a node's counters.
+type NodeStats struct {
+	ID           ring.NodeID
+	Lookups      uint64
+	Inserts      uint64
+	CacheHits    uint64
+	BloomShort   uint64 // lookups short-circuited by a Bloom negative
+	StoreHits    uint64
+	StoreMisses  uint64
+	BloomFalse   uint64 // Bloom said maybe, store said no
+	StoreEntries int
+	Cache        lru.Stats
+}
+
+// Node is a hybrid RAM+SSD hash node. All methods are safe for concurrent
+// use; operations on a single node are serialized, matching a single
+// index device per machine.
+type Node struct {
+	id    ring.NodeID
+	mu    sync.Mutex
+	store hashdb.Store
+	cache *lru.Cache // nil when disabled
+	bloom *bloom.Filter
+	wb    bool
+
+	lookups    uint64
+	inserts    uint64
+	cacheHits  uint64
+	bloomShort uint64
+	storeHits  uint64
+	storeMiss  uint64
+	bloomFalse uint64
+
+	destageErr error // first write-back destage failure, surfaced on Close
+	closed     bool
+}
+
+// Ranger is implemented by stores that can enumerate their entries;
+// NewNode uses it to rebuild the Bloom filter when a node restarts on an
+// existing hash table. Both *hashdb.DB and *hashdb.MemStore implement it.
+type Ranger interface {
+	Range(fn func(fp fingerprint.Fingerprint, v hashdb.Value) bool) error
+}
+
+// NewNode creates a hybrid hash node. If the store already holds entries
+// (a node restarting on its persistent hash table), the Bloom filter is
+// rebuilt from the store so duplicate detection survives restarts.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("core: NodeConfig.Store is required")
+	}
+	if cfg.ID == "" {
+		return nil, errors.New("core: NodeConfig.ID is required")
+	}
+	n := &Node{id: cfg.ID, store: cfg.Store, wb: cfg.WriteBack}
+	if !cfg.DisableBloom {
+		expected := cfg.BloomExpected
+		if expected <= 0 {
+			expected = 1 << 20
+		}
+		if existing := cfg.Store.Len(); existing > expected {
+			// Keep the false-positive rate honest for the data already
+			// present.
+			expected = existing * 2
+		}
+		rate := cfg.BloomFPRate
+		if rate <= 0 || rate >= 1 {
+			rate = 0.01
+		}
+		n.bloom = bloom.New(expected, rate)
+		if cfg.Store.Len() > 0 {
+			r, ok := cfg.Store.(Ranger)
+			if !ok {
+				return nil, fmt.Errorf("core: node %s: store holds %d entries but cannot enumerate them to rebuild the Bloom filter; disable the filter or use a Ranger store", cfg.ID, cfg.Store.Len())
+			}
+			if err := r.Range(func(fp fingerprint.Fingerprint, _ hashdb.Value) bool {
+				n.bloom.Add(fp)
+				return true
+			}); err != nil {
+				return nil, fmt.Errorf("core: node %s: rebuild bloom: %w", cfg.ID, err)
+			}
+		}
+	}
+	if cfg.CacheSize > 0 {
+		n.cache = lru.New(cfg.CacheSize, n.onEvict)
+	} else if cfg.WriteBack {
+		return nil, errors.New("core: WriteBack requires a cache")
+	}
+	return n, nil
+}
+
+// onEvict destages dirty entries to the persistent store (Figure 4's
+// "Destage" box). It runs under the node mutex via cache mutations.
+func (n *Node) onEvict(fp fingerprint.Fingerprint, val lru.Value, dirty bool) {
+	if !dirty {
+		return
+	}
+	if _, err := n.store.Put(fp, Value(val)); err != nil && n.destageErr == nil {
+		n.destageErr = fmt.Errorf("core: node %s: destage %s: %w", n.id, fp.Short(), err)
+	}
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() ring.NodeID { return n.id }
+
+// Lookup answers whether the fingerprint is stored, without inserting.
+func (n *Node) Lookup(fp fingerprint.Fingerprint) (LookupResult, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return LookupResult{}, errors.New("core: node is closed")
+	}
+	n.lookups++
+
+	if n.cache != nil {
+		if v, ok := n.cache.Get(fp); ok {
+			n.cacheHits++
+			return LookupResult{Exists: true, Value: Value(v), Source: SourceCache}, nil
+		}
+	}
+	if n.bloom != nil && !n.bloom.MayContain(fp) {
+		n.bloomShort++
+		return LookupResult{Exists: false, Source: SourceBloom}, nil
+	}
+	v, ok, err := n.store.Get(fp)
+	if err != nil {
+		return LookupResult{}, fmt.Errorf("core: node %s: lookup: %w", n.id, err)
+	}
+	if !ok {
+		n.storeMiss++
+		if n.bloom != nil {
+			n.bloomFalse++
+		}
+		return LookupResult{Exists: false, Source: SourceNew}, nil
+	}
+	n.storeHits++
+	if n.cache != nil {
+		n.cache.Put(fp, lru.Value(v))
+	}
+	return LookupResult{Exists: true, Value: v, Source: SourceStore}, nil
+}
+
+// LookupOrInsert runs the full Figure 4 flow: answer whether the
+// fingerprint exists, inserting it with val when it does not.
+func (n *Node) LookupOrInsert(fp fingerprint.Fingerprint, val Value) (LookupResult, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.lookupOrInsertLocked(fp, val)
+}
+
+func (n *Node) lookupOrInsertLocked(fp fingerprint.Fingerprint, val Value) (LookupResult, error) {
+	if n.closed {
+		return LookupResult{}, errors.New("core: node is closed")
+	}
+	n.lookups++
+
+	// 1. RAM cache.
+	if n.cache != nil {
+		if v, ok := n.cache.Get(fp); ok {
+			n.cacheHits++
+			return LookupResult{Exists: true, Value: Value(v), Source: SourceCache}, nil
+		}
+	}
+
+	// 2. Bloom filter: a negative proves the fingerprint is new.
+	if n.bloom != nil && !n.bloom.MayContain(fp) {
+		n.bloomShort++
+		if err := n.insertLocked(fp, val); err != nil {
+			return LookupResult{}, err
+		}
+		return LookupResult{Exists: false, Source: SourceBloom}, nil
+	}
+
+	// 3. SSD hash table.
+	v, ok, err := n.store.Get(fp)
+	if err != nil {
+		return LookupResult{}, fmt.Errorf("core: node %s: lookup: %w", n.id, err)
+	}
+	if ok {
+		n.storeHits++
+		if n.cache != nil {
+			n.cache.Put(fp, lru.Value(v))
+		}
+		return LookupResult{Exists: true, Value: v, Source: SourceStore}, nil
+	}
+	n.storeMiss++
+	if n.bloom != nil {
+		n.bloomFalse++
+	}
+	if err := n.insertLocked(fp, val); err != nil {
+		return LookupResult{}, err
+	}
+	return LookupResult{Exists: false, Source: SourceNew}, nil
+}
+
+// insertLocked records a new fingerprint in bloom, cache and store
+// according to the write policy. Caller holds n.mu.
+func (n *Node) insertLocked(fp fingerprint.Fingerprint, val Value) error {
+	n.inserts++
+	if n.bloom != nil {
+		n.bloom.Add(fp)
+	}
+	if n.wb {
+		// Write-back: park dirty in the cache; destage on eviction.
+		n.cache.PutDirty(fp, lru.Value(val))
+		if n.destageErr != nil {
+			err := n.destageErr
+			n.destageErr = nil
+			return err
+		}
+		return nil
+	}
+	if _, err := n.store.Put(fp, val); err != nil {
+		return fmt.Errorf("core: node %s: insert %s: %w", n.id, fp.Short(), err)
+	}
+	if n.cache != nil {
+		n.cache.Put(fp, lru.Value(val))
+	}
+	return nil
+}
+
+// Insert unconditionally records fp -> val (used when uploads complete
+// out-of-band from lookups).
+func (n *Node) Insert(fp fingerprint.Fingerprint, val Value) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return errors.New("core: node is closed")
+	}
+	return n.insertLocked(fp, val)
+}
+
+// BatchLookupOrInsert processes pairs in order through the Figure 4 flow,
+// holding the node for the whole batch — this is what preserves the
+// spatial locality benefit of batched queries (paper §IV.B).
+func (n *Node) BatchLookupOrInsert(pairs []Pair) ([]LookupResult, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	results := make([]LookupResult, len(pairs))
+	for i, p := range pairs {
+		r, err := n.lookupOrInsertLocked(p.FP, p.Val)
+		if err != nil {
+			return nil, fmt.Errorf("core: batch item %d: %w", i, err)
+		}
+		results[i] = r
+	}
+	return results, nil
+}
+
+// Flush destages every dirty cache entry to the store and syncs it.
+func (n *Node) Flush() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return errors.New("core: node is closed")
+	}
+	if err := n.flushLocked(); err != nil {
+		return err
+	}
+	return n.store.Sync()
+}
+
+func (n *Node) flushLocked() error {
+	if n.cache == nil || !n.wb {
+		return nil
+	}
+	for _, fp := range n.cache.Keys() {
+		v, ok := n.cache.Peek(fp)
+		if !ok {
+			continue
+		}
+		if _, err := n.store.Put(fp, Value(v)); err != nil {
+			return fmt.Errorf("core: node %s: flush %s: %w", n.id, fp.Short(), err)
+		}
+		n.cache.MarkClean(fp)
+	}
+	return nil
+}
+
+// Entries enumerates the node's stored fingerprints (flushing write-back
+// state first so the enumeration is complete). Used by cluster rebalancing.
+func (n *Node) Entries(fn func(fp fingerprint.Fingerprint, val Value) bool) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return errors.New("core: node is closed")
+	}
+	if err := n.flushLocked(); err != nil {
+		return err
+	}
+	r, ok := n.store.(Ranger)
+	if !ok {
+		return fmt.Errorf("core: node %s: store cannot enumerate entries", n.id)
+	}
+	return r.Range(func(fp fingerprint.Fingerprint, v hashdb.Value) bool {
+		return fn(fp, Value(v))
+	})
+}
+
+// Deleter is implemented by stores that can remove entries (both hashdb
+// stores implement it; the ChunkStash log does not).
+type Deleter interface {
+	Delete(fp fingerprint.Fingerprint) (bool, error)
+}
+
+// Remove deletes a fingerprint from the node's cache and store. The Bloom
+// filter cannot forget, so it stays conservatively stale: a later lookup
+// of the removed fingerprint may pay one extra SSD probe, never a wrong
+// answer. Used by cluster rebalancing.
+func (n *Node) Remove(fp fingerprint.Fingerprint) (bool, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return false, errors.New("core: node is closed")
+	}
+	d, ok := n.store.(Deleter)
+	if !ok {
+		return false, fmt.Errorf("core: node %s: store cannot delete entries", n.id)
+	}
+	if n.cache != nil {
+		n.cache.Remove(fp)
+	}
+	removed, err := d.Delete(fp)
+	if err != nil {
+		return false, fmt.Errorf("core: node %s: remove %s: %w", n.id, fp.Short(), err)
+	}
+	return removed, nil
+}
+
+// Stats snapshots the node's counters.
+func (n *Node) Stats() (NodeStats, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := NodeStats{
+		ID:           n.id,
+		Lookups:      n.lookups,
+		Inserts:      n.inserts,
+		CacheHits:    n.cacheHits,
+		BloomShort:   n.bloomShort,
+		StoreHits:    n.storeHits,
+		StoreMisses:  n.storeMiss,
+		BloomFalse:   n.bloomFalse,
+		StoreEntries: n.store.Len(),
+	}
+	if n.cache != nil {
+		st.Cache = n.cache.Stats()
+	}
+	if n.wb {
+		// Dirty cache entries are part of the logical index even though
+		// they have not been destaged yet.
+		st.StoreEntries = int(n.inserts)
+	}
+	return st, nil
+}
+
+// Close flushes dirty state and closes the store.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return errors.New("core: node is closed")
+	}
+	n.closed = true
+	err := n.flushLocked()
+	if cerr := n.store.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil && n.destageErr != nil {
+		err = n.destageErr
+	}
+	return err
+}

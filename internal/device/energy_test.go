@@ -1,0 +1,55 @@
+package device
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEnergyComputation(t *testing.T) {
+	e := EnergyModel{ReadJ: 2, WriteJ: 3, PerByteJ: 0.5}
+	s := Stats{Reads: 10, Writes: 4, ReadBytes: 8, WriteBytes: 2}
+	want := 10.0*2 + 4*3 + 10*0.5
+	if got := e.Energy(s); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Energy = %v, want %v", got, want)
+	}
+}
+
+func TestEnergyByName(t *testing.T) {
+	for _, name := range []string{"ssd", "hdd", "ram", "null", ""} {
+		if _, err := EnergyByName(name); err != nil {
+			t.Fatalf("EnergyByName(%q): %v", name, err)
+		}
+	}
+	if _, err := EnergyByName("abacus"); err == nil {
+		t.Fatal("unknown energy model accepted")
+	}
+}
+
+func TestEnergyOrdering(t *testing.T) {
+	// The future-work claim worth checking: per random read,
+	// HDD >> SSD >> RAM.
+	if !(HDDEnergy.ReadJ > 100*SSDEnergy.ReadJ) {
+		t.Fatal("HDD read energy must dwarf SSD")
+	}
+	if !(SSDEnergy.ReadJ > 100*RAMEnergy.ReadJ) {
+		t.Fatal("SSD read energy must dwarf RAM")
+	}
+}
+
+func TestEnergyForDevice(t *testing.T) {
+	d := New(SSD, Account)
+	d.Read(4096)
+	d.Write(4096)
+	got := EnergyFor(d)
+	want := SSDEnergy.ReadJ + SSDEnergy.WriteJ + 8192*SSDEnergy.PerByteJ
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("EnergyFor = %v, want %v", got, want)
+	}
+
+	// Unknown model names charge zero rather than erroring.
+	weird := New(Model{Name: "weird"}, Account)
+	weird.Read(10)
+	if EnergyFor(weird) != 0 {
+		t.Fatal("unknown model should charge no energy")
+	}
+}

@@ -1,0 +1,94 @@
+// Package fingerprint defines the chunk fingerprint type used throughout
+// SHHC and helpers to derive, parse, and route fingerprints.
+//
+// SHHC identifies every data chunk by its SHA-1 digest, following the paper
+// ("calculates a fingerprint for each chunk using a cryptographic hash
+// function (e.g. SHA-1)"). A fingerprint is an opaque 20-byte value; the
+// cluster routes on a 64-bit prefix of it.
+package fingerprint
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// Size is the length of a fingerprint in bytes (SHA-1 digest size).
+const Size = sha1.Size
+
+// Fingerprint is the SHA-1 digest of a chunk's content.
+type Fingerprint [Size]byte
+
+// Zero is the all-zero fingerprint. It is never produced by hashing real
+// data (probabilistically) and is used as a sentinel for "empty slot" in
+// on-disk structures.
+var Zero Fingerprint
+
+// FromData computes the fingerprint of a chunk's content.
+func FromData(data []byte) Fingerprint {
+	return Fingerprint(sha1.Sum(data))
+}
+
+// FromUint64 derives a deterministic synthetic fingerprint from a counter.
+// Workload generators use it to mint unique fingerprints cheaply while
+// preserving the uniform distribution real SHA-1 values have.
+func FromUint64(v uint64) Fingerprint {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], v)
+	return Fingerprint(sha1.Sum(buf[:]))
+}
+
+// Parse decodes a 40-character hex string into a fingerprint.
+func Parse(s string) (Fingerprint, error) {
+	var fp Fingerprint
+	if len(s) != hex.EncodedLen(Size) {
+		return fp, fmt.Errorf("fingerprint: parse %q: want %d hex chars, got %d",
+			s, hex.EncodedLen(Size), len(s))
+	}
+	if _, err := hex.Decode(fp[:], []byte(s)); err != nil {
+		return fp, fmt.Errorf("fingerprint: parse %q: %w", s, err)
+	}
+	return fp, nil
+}
+
+// String returns the lowercase hex encoding of the fingerprint.
+func (fp Fingerprint) String() string {
+	return hex.EncodeToString(fp[:])
+}
+
+// Short returns the first 8 hex characters, for logs.
+func (fp Fingerprint) Short() string {
+	return hex.EncodeToString(fp[:4])
+}
+
+// IsZero reports whether the fingerprint is the zero sentinel.
+func (fp Fingerprint) IsZero() bool {
+	return fp == Zero
+}
+
+// Prefix64 returns the first 8 bytes as a big-endian uint64. The ring
+// partitioner and the on-disk hash table both key off this prefix; SHA-1
+// output is uniform, so the prefix is uniform too.
+func (fp Fingerprint) Prefix64() uint64 {
+	return binary.BigEndian.Uint64(fp[:8])
+}
+
+// Bucket64 returns a second independent 64-bit value (bytes 8..16), used
+// for double hashing in the Bloom filter and cuckoo index.
+func (fp Fingerprint) Bucket64() uint64 {
+	return binary.BigEndian.Uint64(fp[8:16])
+}
+
+// Compare orders fingerprints lexicographically, returning -1, 0 or +1.
+func (fp Fingerprint) Compare(other Fingerprint) int {
+	for i := 0; i < Size; i++ {
+		switch {
+		case fp[i] < other[i]:
+			return -1
+		case fp[i] > other[i]:
+			return 1
+		}
+	}
+	return 0
+}

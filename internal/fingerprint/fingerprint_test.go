@@ -1,0 +1,132 @@
+package fingerprint
+
+import (
+	"crypto/sha1"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromDataMatchesSHA1(t *testing.T) {
+	data := []byte("shhc test chunk")
+	want := sha1.Sum(data)
+	if got := FromData(data); got != Fingerprint(want) {
+		t.Fatalf("FromData = %v, want %v", got, want)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	fp := FromData([]byte("round trip"))
+	parsed, err := Parse(fp.String())
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if parsed != fp {
+		t.Fatalf("Parse(String()) = %v, want %v", parsed, fp)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		give string
+	}{
+		{name: "empty", give: ""},
+		{name: "short", give: "abcd"},
+		{name: "long", give: strings.Repeat("a", 42)},
+		{name: "nonhex", give: strings.Repeat("z", 40)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Parse(tt.give); err == nil {
+				t.Fatalf("Parse(%q) succeeded, want error", tt.give)
+			}
+		})
+	}
+}
+
+func TestZeroSentinel(t *testing.T) {
+	if !Zero.IsZero() {
+		t.Fatal("Zero.IsZero() = false")
+	}
+	if FromData(nil).IsZero() {
+		t.Fatal("FromData(nil) should not be the zero sentinel")
+	}
+}
+
+func TestShort(t *testing.T) {
+	fp := FromData([]byte("x"))
+	if got, want := fp.Short(), fp.String()[:8]; got != want {
+		t.Fatalf("Short() = %q, want %q", got, want)
+	}
+}
+
+func TestPrefix64Distinct(t *testing.T) {
+	a := FromData([]byte("a"))
+	b := FromData([]byte("b"))
+	if a.Prefix64() == b.Prefix64() {
+		t.Fatal("distinct data produced identical prefixes (astronomically unlikely)")
+	}
+	if a.Prefix64() == a.Bucket64() {
+		t.Fatal("Prefix64 and Bucket64 must draw from different digest bytes")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	var lo, hi Fingerprint
+	hi[0] = 1
+	if lo.Compare(hi) != -1 {
+		t.Fatal("lo.Compare(hi) != -1")
+	}
+	if hi.Compare(lo) != 1 {
+		t.Fatal("hi.Compare(lo) != 1")
+	}
+	if lo.Compare(lo) != 0 {
+		t.Fatal("lo.Compare(lo) != 0")
+	}
+}
+
+func TestCompareTieBreakLaterBytes(t *testing.T) {
+	var a, b Fingerprint
+	a[Size-1] = 1
+	b[Size-1] = 2
+	if a.Compare(b) != -1 || b.Compare(a) != 1 {
+		t.Fatal("Compare must order on the last byte when prefixes tie")
+	}
+}
+
+func TestFromUint64Deterministic(t *testing.T) {
+	if FromUint64(42) != FromUint64(42) {
+		t.Fatal("FromUint64 not deterministic")
+	}
+	if FromUint64(42) == FromUint64(43) {
+		t.Fatal("FromUint64 collided for adjacent counters")
+	}
+}
+
+// Property: String/Parse round-trips for arbitrary fingerprints.
+func TestQuickParseRoundTrip(t *testing.T) {
+	f := func(raw [Size]byte) bool {
+		fp := Fingerprint(raw)
+		parsed, err := Parse(fp.String())
+		return err == nil && parsed == fp
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Compare is antisymmetric and consistent with equality.
+func TestQuickCompareAntisymmetric(t *testing.T) {
+	f := func(a, b [Size]byte) bool {
+		x, y := Fingerprint(a), Fingerprint(b)
+		c := x.Compare(y)
+		if x == y {
+			return c == 0
+		}
+		return c == -y.Compare(x) && c != 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+package hashdb
+
+import (
+	"path/filepath"
+	"testing"
+
+	"shhc/internal/device"
+)
+
+func benchDB(b *testing.B, expected int) *DB {
+	b.Helper()
+	// Null device: measure the store's own CPU+filesystem cost.
+	db, err := Create(filepath.Join(b.TempDir(), "bench.shdb"), Options{
+		ExpectedItems: expected,
+		Device:        device.New(device.Null, device.Account),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	return db
+}
+
+func BenchmarkDBPut(b *testing.B) {
+	db := benchDB(b, 1<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Put(fp(uint64(i)), Value(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDBGetHit(b *testing.B) {
+	db := benchDB(b, 1<<18)
+	const n = 1 << 16
+	for i := 0; i < n; i++ {
+		db.Put(fp(uint64(i)), Value(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := db.Get(fp(uint64(i % n))); err != nil || !ok {
+			b.Fatal(ok, err)
+		}
+	}
+}
+
+func BenchmarkDBGetMiss(b *testing.B) {
+	db := benchDB(b, 1<<18)
+	for i := 0; i < 1<<14; i++ {
+		db.Put(fp(uint64(i)), Value(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := db.Get(fp(uint64(1<<32 + i))); err != nil || ok {
+			b.Fatal(ok, err)
+		}
+	}
+}
+
+func BenchmarkMemStorePut(b *testing.B) {
+	s := NewMemStore(device.New(device.Null, device.Account))
+	defer s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Put(fp(uint64(i)), Value(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

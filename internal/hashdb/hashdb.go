@@ -1,0 +1,576 @@
+// Package hashdb implements the persistent fingerprint hash table each SHHC
+// node keeps on its SSD.
+//
+// The paper stores this table in Berkeley DB ("The hash table is stored on
+// the SSD as a Berkeley DB"); hashdb is a from-scratch equivalent tuned to
+// the same access pattern: point lookups and inserts of fixed-size
+// <fingerprint, locator> records, dominated by one random 4 KB page read
+// per probe. The file is a classic static-bucket hash table:
+//
+//	page 0:                 header (magic, geometry, entry count, clean flag)
+//	pages 1..buckets:       bucket pages, addressed by fingerprint prefix
+//	pages buckets+1..:      overflow pages chained from full buckets
+//
+// Every physical page read/write is charged to a device.Device so the
+// store's latency follows the configured hardware model (SSD in the paper's
+// deployment, HDD for the disk-index baseline).
+package hashdb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"shhc/internal/device"
+	"shhc/internal/fingerprint"
+)
+
+// Value is the 8-byte locator stored per fingerprint (e.g. the container or
+// object ID holding the chunk in cloud storage).
+type Value uint64
+
+const (
+	// PageSize is the I/O unit; matches common flash page/sector sizing.
+	PageSize = 4096
+
+	magic   = "SHDB"
+	version = 2
+
+	// page layout: crc32 uint32 | count uint16 | next uint64 | entries...
+	// The CRC covers everything after itself and detects torn writes and
+	// media corruption on read.
+	pageCRCSize = 4
+	pageHdrSize = pageCRCSize + 2 + 8
+	entrySize   = fingerprint.Size + 8
+	// SlotsPerPage is the number of entries a bucket/overflow page holds.
+	SlotsPerPage = (PageSize - pageHdrSize) / entrySize
+
+	// file header layout (in page 0):
+	// magic(4) version(4) pageSize(4) buckets(8) entries(8) pages(8) clean(1)
+	fileHdrSize = 4 + 4 + 4 + 8 + 8 + 8 + 1
+)
+
+// ErrClosed is returned by operations on a closed database.
+var ErrClosed = errors.New("hashdb: database is closed")
+
+// CorruptionError reports a structural inconsistency found in the file.
+type CorruptionError struct {
+	Path   string
+	Detail string
+}
+
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("hashdb: %s: corrupt database: %s", e.Path, e.Detail)
+}
+
+// Options configures database creation.
+type Options struct {
+	// ExpectedItems sizes the bucket region for ~50% initial fill so most
+	// lookups cost a single page read. Defaults to 1<<20.
+	ExpectedItems int
+	// Buckets overrides the computed bucket count directly (testing and
+	// sizing experiments). If zero it is derived from ExpectedItems.
+	Buckets uint64
+	// Device charges modeled latency per page I/O. Defaults to a
+	// non-sleeping SSD accountant.
+	Device *device.Device
+}
+
+func (o *Options) fill() {
+	if o.ExpectedItems <= 0 {
+		o.ExpectedItems = 1 << 20
+	}
+	if o.Buckets == 0 {
+		// Target half-full bucket pages at the expected load.
+		perBucket := SlotsPerPage / 2
+		o.Buckets = uint64((o.ExpectedItems + perBucket - 1) / perBucket)
+		if o.Buckets == 0 {
+			o.Buckets = 1
+		}
+	}
+	if o.Device == nil {
+		o.Device = device.New(device.SSD, device.Account)
+	}
+}
+
+// DB is an on-disk hash table from fingerprint to Value.
+// All methods are safe for concurrent use.
+type DB struct {
+	mu      sync.RWMutex
+	f       *os.File
+	path    string
+	dev     *device.Device
+	buckets uint64
+	entries uint64
+	pages   uint64 // total pages including header
+	dirty   bool   // header on disk says unclean
+	closed  bool
+
+	// chain statistics, maintained on writes for diagnostics
+	overflowPages uint64
+}
+
+// Create creates a new database file at path, failing if it exists.
+func Create(path string, opts Options) (*DB, error) {
+	opts.fill()
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("hashdb: create %s: %w", path, err)
+	}
+	db := &DB{
+		f:       f,
+		path:    path,
+		dev:     opts.Device,
+		buckets: opts.Buckets,
+		pages:   1 + opts.Buckets,
+	}
+	// Zero-fill header + bucket region so bucket pages read back as empty.
+	if err := f.Truncate(int64(db.pages) * PageSize); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("hashdb: create %s: %w", path, err)
+	}
+	if err := db.writeHeader(true); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return db, nil
+}
+
+// Open opens an existing database. If the file was not closed cleanly, Open
+// recovers by rescanning the pages to recompute the entry count.
+func Open(path string, dev *device.Device) (*DB, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("hashdb: open %s: %w", path, err)
+	}
+	if dev == nil {
+		dev = device.New(device.SSD, device.Account)
+	}
+	db := &DB{f: f, path: path, dev: dev}
+	if err := db.readHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if db.dirty {
+		if err := db.recover(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+func (db *DB) writeHeader(clean bool) error {
+	var buf [fileHdrSize]byte
+	copy(buf[0:4], magic)
+	binary.BigEndian.PutUint32(buf[4:8], version)
+	binary.BigEndian.PutUint32(buf[8:12], PageSize)
+	binary.BigEndian.PutUint64(buf[12:20], db.buckets)
+	binary.BigEndian.PutUint64(buf[20:28], db.entries)
+	binary.BigEndian.PutUint64(buf[28:36], db.pages)
+	if clean {
+		buf[36] = 1
+	}
+	db.dev.Write(len(buf))
+	if _, err := db.f.WriteAt(buf[:], 0); err != nil {
+		return fmt.Errorf("hashdb: %s: write header: %w", db.path, err)
+	}
+	db.dirty = !clean
+	return nil
+}
+
+func (db *DB) readHeader() error {
+	var buf [fileHdrSize]byte
+	db.dev.Read(len(buf))
+	if _, err := db.f.ReadAt(buf[:], 0); err != nil {
+		return fmt.Errorf("hashdb: %s: read header: %w", db.path, err)
+	}
+	if string(buf[0:4]) != magic {
+		return &CorruptionError{Path: db.path, Detail: "bad magic"}
+	}
+	if v := binary.BigEndian.Uint32(buf[4:8]); v != version {
+		return &CorruptionError{Path: db.path, Detail: fmt.Sprintf("unsupported version %d", v)}
+	}
+	if ps := binary.BigEndian.Uint32(buf[8:12]); ps != PageSize {
+		return &CorruptionError{Path: db.path, Detail: fmt.Sprintf("page size %d, want %d", ps, PageSize)}
+	}
+	db.buckets = binary.BigEndian.Uint64(buf[12:20])
+	db.entries = binary.BigEndian.Uint64(buf[20:28])
+	db.pages = binary.BigEndian.Uint64(buf[28:36])
+	db.dirty = buf[36] == 0
+	if db.buckets == 0 || db.pages < 1+db.buckets {
+		return &CorruptionError{Path: db.path, Detail: "inconsistent geometry"}
+	}
+	return nil
+}
+
+// recover rescans every page after an unclean shutdown, recomputing the
+// entry count, page count, and overflow statistics from the file itself.
+func (db *DB) recover() error {
+	fi, err := db.f.Stat()
+	if err != nil {
+		return fmt.Errorf("hashdb: %s: recover: %w", db.path, err)
+	}
+	db.pages = uint64(fi.Size()) / PageSize
+	if db.pages < 1+db.buckets {
+		return &CorruptionError{Path: db.path, Detail: "file truncated below bucket region"}
+	}
+	var entries, overflow uint64
+	page := make([]byte, PageSize)
+	for p := uint64(1); p < db.pages; p++ {
+		if err := db.readPage(p, page); err != nil {
+			return err
+		}
+		count := pageCount(page)
+		if count > SlotsPerPage {
+			return &CorruptionError{Path: db.path, Detail: fmt.Sprintf("page %d count %d exceeds capacity", p, count)}
+		}
+		entries += uint64(count)
+		if p > db.buckets {
+			overflow++
+		}
+	}
+	db.entries = entries
+	db.overflowPages = overflow
+	return db.writeHeader(true)
+}
+
+func (db *DB) readPage(p uint64, buf []byte) error {
+	db.dev.Read(PageSize)
+	if _, err := db.f.ReadAt(buf, int64(p)*PageSize); err != nil {
+		return fmt.Errorf("hashdb: %s: read page %d: %w", db.path, p, err)
+	}
+	stored := binary.BigEndian.Uint32(buf[0:pageCRCSize])
+	if stored == 0 && isZeroPage(buf[pageCRCSize:]) {
+		// Never-written bucket page from the initial truncate: valid and
+		// empty by construction.
+		return nil
+	}
+	if got := crc32.ChecksumIEEE(buf[pageCRCSize:]); got != stored {
+		return &CorruptionError{
+			Path:   db.path,
+			Detail: fmt.Sprintf("page %d checksum mismatch (stored %08x, computed %08x)", p, stored, got),
+		}
+	}
+	return nil
+}
+
+func isZeroPage(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (db *DB) writePage(p uint64, buf []byte) error {
+	binary.BigEndian.PutUint32(buf[0:pageCRCSize], crc32.ChecksumIEEE(buf[pageCRCSize:]))
+	db.dev.Write(PageSize)
+	if _, err := db.f.WriteAt(buf, int64(p)*PageSize); err != nil {
+		return fmt.Errorf("hashdb: %s: write page %d: %w", db.path, p, err)
+	}
+	return nil
+}
+
+// markDirty lazily flips the on-disk clean flag before the first mutation
+// after open/sync, so a crash is detectable.
+func (db *DB) markDirty() error {
+	if db.dirty {
+		return nil
+	}
+	return db.writeHeader(false)
+}
+
+func (db *DB) bucketPage(fp fingerprint.Fingerprint) uint64 {
+	return 1 + fp.Prefix64()%db.buckets
+}
+
+func pageCount(page []byte) int {
+	return int(binary.BigEndian.Uint16(page[pageCRCSize : pageCRCSize+2]))
+}
+func pageNext(page []byte) uint64 {
+	return binary.BigEndian.Uint64(page[pageCRCSize+2 : pageCRCSize+10])
+}
+func setPageCount(page []byte, n int) {
+	binary.BigEndian.PutUint16(page[pageCRCSize:pageCRCSize+2], uint16(n))
+}
+func setPageNext(page []byte, p uint64) {
+	binary.BigEndian.PutUint64(page[pageCRCSize+2:pageCRCSize+10], p)
+}
+
+func entryAt(page []byte, i int) (fingerprint.Fingerprint, Value) {
+	off := pageHdrSize + i*entrySize
+	var fp fingerprint.Fingerprint
+	copy(fp[:], page[off:off+fingerprint.Size])
+	return fp, Value(binary.BigEndian.Uint64(page[off+fingerprint.Size : off+entrySize]))
+}
+
+func setEntryAt(page []byte, i int, fp fingerprint.Fingerprint, v Value) {
+	off := pageHdrSize + i*entrySize
+	copy(page[off:], fp[:])
+	binary.BigEndian.PutUint64(page[off+fingerprint.Size:off+entrySize], uint64(v))
+}
+
+// Get returns the value stored for fp.
+func (db *DB) Get(fp fingerprint.Fingerprint) (Value, bool, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return 0, false, ErrClosed
+	}
+	page := make([]byte, PageSize)
+	for p := db.bucketPage(fp); p != 0; {
+		if err := db.readPage(p, page); err != nil {
+			return 0, false, err
+		}
+		n := pageCount(page)
+		for i := 0; i < n; i++ {
+			efp, v := entryAt(page, i)
+			if efp == fp {
+				return v, true, nil
+			}
+		}
+		p = pageNext(page)
+	}
+	return 0, false, nil
+}
+
+// Has reports whether fp is stored, at the same I/O cost as Get.
+func (db *DB) Has(fp fingerprint.Fingerprint) (bool, error) {
+	_, ok, err := db.Get(fp)
+	return ok, err
+}
+
+// Put stores fp -> v, overwriting any previous value. It reports whether a
+// new entry was created (false means an existing entry was updated).
+func (db *DB) Put(fp fingerprint.Fingerprint, v Value) (bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return false, ErrClosed
+	}
+	if err := db.markDirty(); err != nil {
+		return false, err
+	}
+
+	page := make([]byte, PageSize)
+	var (
+		freePage  uint64 // first page in chain with a free slot
+		freePg    []byte
+		lastPage  uint64 // tail of the chain, for linking a new overflow
+		lastPg    []byte
+		chainHops int
+	)
+	for p := db.bucketPage(fp); p != 0; {
+		if err := db.readPage(p, page); err != nil {
+			return false, err
+		}
+		n := pageCount(page)
+		for i := 0; i < n; i++ {
+			efp, _ := entryAt(page, i)
+			if efp == fp {
+				setEntryAt(page, i, fp, v)
+				return false, db.writePage(p, page)
+			}
+		}
+		if n < SlotsPerPage && freePg == nil {
+			freePage = p
+			freePg = append([]byte(nil), page...)
+		}
+		lastPage = p
+		lastPg = append(lastPg[:0], page...)
+		chainHops++
+		p = pageNext(page)
+	}
+
+	if freePg != nil {
+		n := pageCount(freePg)
+		setEntryAt(freePg, n, fp, v)
+		setPageCount(freePg, n+1)
+		if err := db.writePage(freePage, freePg); err != nil {
+			return false, err
+		}
+		db.entries++
+		return true, nil
+	}
+
+	// Whole chain full: allocate an overflow page at EOF and link it.
+	newPage := db.pages
+	fresh := make([]byte, PageSize)
+	setEntryAt(fresh, 0, fp, v)
+	setPageCount(fresh, 1)
+	if err := db.writePage(newPage, fresh); err != nil {
+		return false, err
+	}
+	setPageNext(lastPg, newPage)
+	if err := db.writePage(lastPage, lastPg); err != nil {
+		return false, err
+	}
+	db.pages++
+	db.overflowPages++
+	db.entries++
+	_ = chainHops
+	return true, nil
+}
+
+// Delete removes fp, reporting whether it was present. The slot is filled
+// by the page's last entry so pages stay dense.
+func (db *DB) Delete(fp fingerprint.Fingerprint) (bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return false, ErrClosed
+	}
+	page := make([]byte, PageSize)
+	for p := db.bucketPage(fp); p != 0; {
+		if err := db.readPage(p, page); err != nil {
+			return false, err
+		}
+		n := pageCount(page)
+		for i := 0; i < n; i++ {
+			efp, _ := entryAt(page, i)
+			if efp != fp {
+				continue
+			}
+			if err := db.markDirty(); err != nil {
+				return false, err
+			}
+			if i != n-1 {
+				lfp, lv := entryAt(page, n-1)
+				setEntryAt(page, i, lfp, lv)
+			}
+			setPageCount(page, n-1)
+			if err := db.writePage(p, page); err != nil {
+				return false, err
+			}
+			db.entries--
+			return true, nil
+		}
+		p = pageNext(page)
+	}
+	return false, nil
+}
+
+// Len returns the number of stored entries.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return int(db.entries)
+}
+
+// Range calls fn for every entry until fn returns false or an error occurs.
+// The iteration order is physical (bucket page order), not key order.
+func (db *DB) Range(fn func(fp fingerprint.Fingerprint, v Value) bool) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return ErrClosed
+	}
+	page := make([]byte, PageSize)
+	for p := uint64(1); p < db.pages; p++ {
+		if err := db.readPage(p, page); err != nil {
+			return err
+		}
+		n := pageCount(page)
+		for i := 0; i < n; i++ {
+			fp, v := entryAt(page, i)
+			if !fn(fp, v) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// Sync flushes the header (marking the file clean) and fsyncs.
+func (db *DB) Sync() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if err := db.writeHeader(true); err != nil {
+		return err
+	}
+	if err := db.f.Sync(); err != nil {
+		return fmt.Errorf("hashdb: %s: sync: %w", db.path, err)
+	}
+	return nil
+}
+
+// Close syncs and closes the database.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	err := db.writeHeader(true)
+	if serr := db.f.Sync(); err == nil && serr != nil {
+		err = fmt.Errorf("hashdb: %s: sync: %w", db.path, serr)
+	}
+	if cerr := db.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("hashdb: %s: close: %w", db.path, cerr)
+	}
+	db.closed = true
+	return err
+}
+
+// CloseWithoutSync abandons the file without marking it clean, simulating a
+// crash. The next Open runs recovery. Intended for failure-injection tests.
+func (db *DB) CloseWithoutSync() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	db.closed = true
+	if err := db.f.Close(); err != nil {
+		return fmt.Errorf("hashdb: %s: close: %w", db.path, err)
+	}
+	return nil
+}
+
+// Stats describes the physical shape of the database.
+type Stats struct {
+	Entries       uint64
+	Buckets       uint64
+	Pages         uint64
+	OverflowPages uint64
+	// LoadFactor is entries / total bucket-region slots.
+	LoadFactor float64
+	Device     device.Stats
+}
+
+// Stats returns a snapshot of the database's shape and device usage.
+func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	lf := 0.0
+	if db.buckets > 0 {
+		lf = float64(db.entries) / float64(db.buckets*SlotsPerPage)
+	}
+	return Stats{
+		Entries:       db.entries,
+		Buckets:       db.buckets,
+		Pages:         db.pages,
+		OverflowPages: db.overflowPages,
+		LoadFactor:    lf,
+		Device:        db.dev.Stats(),
+	}
+}
+
+// Device returns the device the store charges its I/O to.
+func (db *DB) Device() *device.Device { return db.dev }
+
+// Path returns the file path of the database.
+func (db *DB) Path() string { return db.path }
+
+var _ io.Closer = (*DB)(nil)

@@ -1,0 +1,140 @@
+package hashdb
+
+import (
+	"sync"
+
+	"shhc/internal/device"
+	"shhc/internal/fingerprint"
+)
+
+// Store is the persistent-index contract the hybrid hash node builds on.
+// *DB (SSD/HDD page store) and *MemStore (pure RAM) both implement it, as
+// does the ChunkStash-style baseline index.
+type Store interface {
+	// Get returns the value stored for fp.
+	Get(fp fingerprint.Fingerprint) (Value, bool, error)
+	// Has reports whether fp is stored.
+	Has(fp fingerprint.Fingerprint) (bool, error)
+	// Put stores fp -> v, reporting whether a new entry was created.
+	Put(fp fingerprint.Fingerprint, v Value) (bool, error)
+	// Len returns the number of stored entries.
+	Len() int
+	// Sync makes all previous writes durable.
+	Sync() error
+	// Close releases resources; the store is unusable afterwards.
+	Close() error
+}
+
+var (
+	_ Store = (*DB)(nil)
+	_ Store = (*MemStore)(nil)
+)
+
+// MemStore is an in-RAM Store. It charges each probe to a device model
+// (RAM by default) so simulations can compare tiers honestly, and it backs
+// tests that do not want filesystem traffic.
+type MemStore struct {
+	mu     sync.RWMutex
+	m      map[fingerprint.Fingerprint]Value
+	dev    *device.Device
+	closed bool
+}
+
+// NewMemStore creates an empty in-memory store. dev may be nil, in which
+// case a non-sleeping RAM accountant is used.
+func NewMemStore(dev *device.Device) *MemStore {
+	if dev == nil {
+		dev = device.New(device.RAM, device.Account)
+	}
+	return &MemStore{m: make(map[fingerprint.Fingerprint]Value), dev: dev}
+}
+
+// Get returns the value stored for fp.
+func (s *MemStore) Get(fp fingerprint.Fingerprint) (Value, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return 0, false, ErrClosed
+	}
+	s.dev.Read(entrySize)
+	v, ok := s.m[fp]
+	return v, ok, nil
+}
+
+// Has reports whether fp is stored.
+func (s *MemStore) Has(fp fingerprint.Fingerprint) (bool, error) {
+	_, ok, err := s.Get(fp)
+	return ok, err
+}
+
+// Put stores fp -> v, reporting whether a new entry was created.
+func (s *MemStore) Put(fp fingerprint.Fingerprint, v Value) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false, ErrClosed
+	}
+	s.dev.Write(entrySize)
+	_, existed := s.m[fp]
+	s.m[fp] = v
+	return !existed, nil
+}
+
+// Delete removes fp, reporting whether it was present.
+func (s *MemStore) Delete(fp fingerprint.Fingerprint) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false, ErrClosed
+	}
+	_, existed := s.m[fp]
+	delete(s.m, fp)
+	return existed, nil
+}
+
+// Len returns the number of stored entries.
+func (s *MemStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// Range calls fn for every entry until fn returns false.
+func (s *MemStore) Range(fn func(fp fingerprint.Fingerprint, v Value) bool) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	for fp, v := range s.m {
+		if !fn(fp, v) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Sync is a no-op for the in-memory store.
+func (s *MemStore) Sync() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Close releases the store.
+func (s *MemStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.closed = true
+	s.m = nil
+	return nil
+}
+
+// Device returns the device the store charges its probes to.
+func (s *MemStore) Device() *device.Device { return s.dev }

@@ -1,0 +1,40 @@
+package lru
+
+import (
+	"testing"
+
+	"shhc/internal/fingerprint"
+)
+
+func BenchmarkPutEvicting(b *testing.B) {
+	c := New(1<<14, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Put(fingerprint.FromUint64(uint64(i)), Value(i))
+	}
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	const working = 1 << 12
+	c := New(working, nil)
+	for i := 0; i < working; i++ {
+		c.Put(fingerprint.FromUint64(uint64(i)), Value(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(fingerprint.FromUint64(uint64(i % working))); !ok {
+			b.Fatal("unexpected miss")
+		}
+	}
+}
+
+func BenchmarkGetMiss(b *testing.B) {
+	c := New(1<<10, nil)
+	for i := 0; i < 1<<10; i++ {
+		c.Put(fingerprint.FromUint64(uint64(i)), Value(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Get(fingerprint.FromUint64(uint64(1<<40 + i)))
+	}
+}

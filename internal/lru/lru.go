@@ -1,0 +1,222 @@
+// Package lru implements the least-recently-used fingerprint cache each
+// SHHC hash node keeps in RAM (paper Figure 4: "Node N maintains a least
+// recently used (LRU) cache list in RAM. If the LRU is full, it discards
+// the least recently used fingerprints").
+//
+// RAM "serves as the cache for SSDs to absorb requests for frequent queries
+// and hide the latency of SSD accesses" (paper §III.B). On a hit the entry
+// moves to the MRU end; on insertion into a full cache the LRU entry is
+// destaged (evicted) — optionally notifying the owner, which the hybrid
+// node uses to flush dirty entries to the SSD hash table.
+package lru
+
+import (
+	"shhc/internal/fingerprint"
+)
+
+// Value is the metadata cached per fingerprint: where the chunk lives.
+// SHHC stores a location token; 8 bytes matches the paper's <fingerprint,
+// locator> entries and keeps cache accounting simple.
+type Value uint64
+
+type entry struct {
+	fp         fingerprint.Fingerprint
+	val        Value
+	dirty      bool
+	prev, next *entry
+}
+
+// EvictFunc observes a destaged entry. dirty reports whether the entry was
+// inserted (or updated) through PutDirty and never flushed.
+type EvictFunc func(fp fingerprint.Fingerprint, val Value, dirty bool)
+
+// Cache is a fixed-capacity LRU map from fingerprint to Value.
+// It is not safe for concurrent use; the owning node serializes access.
+type Cache struct {
+	capacity int
+	items    map[fingerprint.Fingerprint]*entry
+	// head is most recently used, tail is least recently used.
+	head, tail *entry
+	onEvict    EvictFunc
+
+	hits, misses, evictions uint64
+}
+
+// New creates a cache holding at most capacity entries. onEvict may be nil.
+// It panics if capacity is not positive: a node without cache RAM is
+// configured by disabling the cache, not by a zero capacity.
+func New(capacity int, onEvict EvictFunc) *Cache {
+	if capacity <= 0 {
+		panic("lru: capacity must be positive")
+	}
+	return &Cache{
+		capacity: capacity,
+		items:    make(map[fingerprint.Fingerprint]*entry, capacity),
+		onEvict:  onEvict,
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int { return len(c.items) }
+
+// Capacity returns the maximum number of entries.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Get looks up a fingerprint, promoting it to most-recently-used on a hit.
+func (c *Cache) Get(fp fingerprint.Fingerprint) (Value, bool) {
+	e, ok := c.items[fp]
+	if !ok {
+		c.misses++
+		return 0, false
+	}
+	c.hits++
+	c.moveToFront(e)
+	return e.val, true
+}
+
+// Peek looks up a fingerprint without updating recency or statistics.
+func (c *Cache) Peek(fp fingerprint.Fingerprint) (Value, bool) {
+	e, ok := c.items[fp]
+	if !ok {
+		return 0, false
+	}
+	return e.val, true
+}
+
+// Put inserts or updates a clean entry (one already persisted on SSD),
+// promoting it to most-recently-used. It reports whether an older entry was
+// evicted to make room.
+func (c *Cache) Put(fp fingerprint.Fingerprint, val Value) bool {
+	return c.put(fp, val, false)
+}
+
+// PutDirty inserts or updates an entry that has not been persisted yet.
+// The eviction callback sees dirty=true unless MarkClean is called first.
+func (c *Cache) PutDirty(fp fingerprint.Fingerprint, val Value) bool {
+	return c.put(fp, val, true)
+}
+
+func (c *Cache) put(fp fingerprint.Fingerprint, val Value, dirty bool) bool {
+	if e, ok := c.items[fp]; ok {
+		e.val = val
+		e.dirty = e.dirty || dirty
+		c.moveToFront(e)
+		return false
+	}
+	evicted := false
+	if len(c.items) >= c.capacity {
+		c.evictTail()
+		evicted = true
+	}
+	e := &entry{fp: fp, val: val, dirty: dirty}
+	c.items[fp] = e
+	c.pushFront(e)
+	return evicted
+}
+
+// MarkClean clears the dirty flag after the owner has flushed the entry.
+func (c *Cache) MarkClean(fp fingerprint.Fingerprint) {
+	if e, ok := c.items[fp]; ok {
+		e.dirty = false
+	}
+}
+
+// Remove deletes an entry without invoking the eviction callback.
+// It reports whether the entry existed.
+func (c *Cache) Remove(fp fingerprint.Fingerprint) bool {
+	e, ok := c.items[fp]
+	if !ok {
+		return false
+	}
+	c.unlink(e)
+	delete(c.items, fp)
+	return true
+}
+
+// Oldest returns the least-recently-used fingerprint, if any.
+func (c *Cache) Oldest() (fingerprint.Fingerprint, bool) {
+	if c.tail == nil {
+		return fingerprint.Zero, false
+	}
+	return c.tail.fp, true
+}
+
+// Keys returns fingerprints from most- to least-recently-used. It allocates
+// a fresh slice; mutation by the caller cannot corrupt the cache.
+func (c *Cache) Keys() []fingerprint.Fingerprint {
+	keys := make([]fingerprint.Fingerprint, 0, len(c.items))
+	for e := c.head; e != nil; e = e.next {
+		keys = append(keys, e.fp)
+	}
+	return keys
+}
+
+// Stats reports cache effectiveness counters.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Len       int
+	Capacity  int
+}
+
+// HitRate returns hits / (hits + misses), or 0 for an unused cache.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Len: len(c.items), Capacity: c.capacity}
+}
+
+func (c *Cache) evictTail() {
+	e := c.tail
+	if e == nil {
+		return
+	}
+	c.unlink(e)
+	delete(c.items, e.fp)
+	c.evictions++
+	if c.onEvict != nil {
+		c.onEvict(e.fp, e.val, e.dirty)
+	}
+}
+
+func (c *Cache) pushFront(e *entry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Cache) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache) moveToFront(e *entry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}

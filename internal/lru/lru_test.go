@@ -1,0 +1,206 @@
+package lru
+
+import (
+	"testing"
+	"testing/quick"
+
+	"shhc/internal/fingerprint"
+)
+
+func fp(i uint64) fingerprint.Fingerprint { return fingerprint.FromUint64(i) }
+
+func TestGetPut(t *testing.T) {
+	c := New(4, nil)
+	c.Put(fp(1), 100)
+	if v, ok := c.Get(fp(1)); !ok || v != 100 {
+		t.Fatalf("Get = (%v, %v), want (100, true)", v, ok)
+	}
+	if _, ok := c.Get(fp(2)); ok {
+		t.Fatal("Get of absent key succeeded")
+	}
+}
+
+func TestEvictionOrder(t *testing.T) {
+	var evicted []fingerprint.Fingerprint
+	c := New(3, func(f fingerprint.Fingerprint, _ Value, _ bool) {
+		evicted = append(evicted, f)
+	})
+	c.Put(fp(1), 1)
+	c.Put(fp(2), 2)
+	c.Put(fp(3), 3)
+	c.Get(fp(1)) // promote 1; LRU order now 2,3,1
+	c.Put(fp(4), 4)
+	c.Put(fp(5), 5)
+
+	want := []fingerprint.Fingerprint{fp(2), fp(3)}
+	if len(evicted) != len(want) {
+		t.Fatalf("evicted %d entries, want %d", len(evicted), len(want))
+	}
+	for i := range want {
+		if evicted[i] != want[i] {
+			t.Fatalf("eviction[%d] = %s, want %s", i, evicted[i].Short(), want[i].Short())
+		}
+	}
+	if _, ok := c.Peek(fp(1)); !ok {
+		t.Fatal("promoted entry 1 was evicted")
+	}
+}
+
+func TestUpdateExistingDoesNotEvict(t *testing.T) {
+	c := New(2, nil)
+	c.Put(fp(1), 1)
+	c.Put(fp(2), 2)
+	if evicted := c.Put(fp(1), 10); evicted {
+		t.Fatal("updating existing key reported eviction")
+	}
+	if v, _ := c.Get(fp(1)); v != 10 {
+		t.Fatalf("updated value = %v, want 10", v)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestDirtyTracking(t *testing.T) {
+	var gotDirty []bool
+	c := New(1, func(_ fingerprint.Fingerprint, _ Value, dirty bool) {
+		gotDirty = append(gotDirty, dirty)
+	})
+	c.PutDirty(fp(1), 1)
+	c.Put(fp(2), 2) // evicts dirty 1
+	c.PutDirty(fp(3), 3)
+	c.MarkClean(fp(3))
+	c.Put(fp(4), 4) // evicts fp(3), which MarkClean made clean
+
+	// Evictions: fp(1) dirty, fp(2) clean, fp(3) cleaned via MarkClean.
+	want := []bool{true, false, false}
+	if len(gotDirty) != len(want) {
+		t.Fatalf("dirty flags = %v, want %v", gotDirty, want)
+	}
+	for i := range want {
+		if gotDirty[i] != want[i] {
+			t.Fatalf("dirty flags = %v, want %v", gotDirty, want)
+		}
+	}
+}
+
+func TestDirtyStickyAcrossCleanUpdate(t *testing.T) {
+	var dirtyAtEvict bool
+	c := New(1, func(_ fingerprint.Fingerprint, _ Value, dirty bool) { dirtyAtEvict = dirty })
+	c.PutDirty(fp(1), 1)
+	c.Put(fp(1), 2) // clean update must not clear dirtiness
+	c.Put(fp(9), 9) // evict
+	if !dirtyAtEvict {
+		t.Fatal("dirty flag was lost on clean update of a dirty entry")
+	}
+}
+
+func TestPeekDoesNotPromote(t *testing.T) {
+	c := New(2, nil)
+	c.Put(fp(1), 1)
+	c.Put(fp(2), 2)
+	c.Peek(fp(1)) // must NOT promote
+	c.Put(fp(3), 3)
+	if _, ok := c.Peek(fp(1)); ok {
+		t.Fatal("Peek promoted entry 1")
+	}
+	if _, ok := c.Peek(fp(2)); !ok {
+		t.Fatal("entry 2 should have survived")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	evictions := 0
+	c := New(2, func(fingerprint.Fingerprint, Value, bool) { evictions++ })
+	c.Put(fp(1), 1)
+	if !c.Remove(fp(1)) {
+		t.Fatal("Remove of present key = false")
+	}
+	if c.Remove(fp(1)) {
+		t.Fatal("Remove of absent key = true")
+	}
+	if evictions != 0 {
+		t.Fatal("Remove must not fire the eviction callback")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", c.Len())
+	}
+}
+
+func TestOldestAndKeys(t *testing.T) {
+	c := New(3, nil)
+	if _, ok := c.Oldest(); ok {
+		t.Fatal("Oldest on empty cache = true")
+	}
+	c.Put(fp(1), 1)
+	c.Put(fp(2), 2)
+	c.Put(fp(3), 3)
+	c.Get(fp(1))
+	if oldest, _ := c.Oldest(); oldest != fp(2) {
+		t.Fatalf("Oldest = %s, want %s", oldest.Short(), fp(2).Short())
+	}
+	keys := c.Keys()
+	want := []fingerprint.Fingerprint{fp(1), fp(3), fp(2)}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Keys[%d] = %s, want %s", i, keys[i].Short(), want[i].Short())
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New(2, nil)
+	c.Put(fp(1), 1)
+	c.Get(fp(1))
+	c.Get(fp(2))
+	c.Put(fp(2), 2)
+	c.Put(fp(3), 3)
+
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 eviction", s)
+	}
+	if got := s.HitRate(); got != 0.5 {
+		t.Fatalf("HitRate = %v, want 0.5", got)
+	}
+	var empty Stats
+	if empty.HitRate() != 0 {
+		t.Fatal("empty HitRate must be 0")
+	}
+}
+
+func TestPanicOnZeroCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0, nil)
+}
+
+// Property: the cache never exceeds capacity, and a Get immediately after
+// Put returns the value, for arbitrary operation sequences.
+func TestQuickCapacityAndCoherence(t *testing.T) {
+	f := func(ops []uint16, capSeed uint8) bool {
+		capacity := int(capSeed%32) + 1
+		c := New(capacity, nil)
+		for _, op := range ops {
+			key := fp(uint64(op % 64))
+			if op%3 == 0 {
+				c.Get(key)
+			} else {
+				c.Put(key, Value(op))
+				if v, ok := c.Peek(key); !ok || v != Value(op) {
+					return false
+				}
+			}
+			if c.Len() > capacity {
+				return false
+			}
+		}
+		return len(c.Keys()) == c.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

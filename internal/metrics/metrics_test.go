@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(time.Microsecond, 40)
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Summarize()
+	if s.Count != 100 {
+		t.Fatalf("Count = %d, want 100", s.Count)
+	}
+	if s.Min != time.Microsecond {
+		t.Fatalf("Min = %v, want 1us", s.Min)
+	}
+	if s.Max != 100*time.Microsecond {
+		t.Fatalf("Max = %v, want 100us", s.Max)
+	}
+	wantMean := 50500 * time.Nanosecond
+	if s.Mean != wantMean {
+		t.Fatalf("Mean = %v, want %v", s.Mean, wantMean)
+	}
+	if s.P50 < 32*time.Microsecond || s.P50 > 100*time.Microsecond {
+		t.Fatalf("P50 = %v, out of plausible bucket range", s.P50)
+	}
+	if s.P99 < s.P50 {
+		t.Fatalf("P99 (%v) < P50 (%v)", s.P99, s.P50)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(time.Microsecond, 10)
+	s := h.Summarize()
+	if s.Count != 0 || s.Mean != 0 || s.P99 != 0 {
+		t.Fatalf("empty summary = %+v, want zeros", s)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram(time.Microsecond, 10)
+	h.Observe(-time.Second)
+	s := h.Summarize()
+	if s.Min != 0 || s.Count != 1 {
+		t.Fatalf("negative observation handled badly: %+v", s)
+	}
+}
+
+func TestHistogramOverflowClampsToLastBucket(t *testing.T) {
+	h := NewHistogram(time.Microsecond, 4) // buckets up to 8us
+	h.Observe(time.Hour)
+	s := h.Summarize()
+	if s.Max != time.Hour {
+		t.Fatalf("Max = %v, want 1h", s.Max)
+	}
+	// Percentile clamps to observed max rather than bucket bound.
+	if s.P99 != time.Hour {
+		t.Fatalf("P99 = %v, want clamp to max", s.P99)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(time.Microsecond, 40)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Summarize().Count; got != 8000 {
+		t.Fatalf("Count = %d, want 8000", got)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Fatalf("Value = %d, want 10", c.Value())
+	}
+}
+
+func TestMeterRate(t *testing.T) {
+	m := NewMeter()
+	base := time.Now()
+	m.now = func() time.Time { return base.Add(2 * time.Second) }
+	m.start = base
+	m.Mark(100)
+	if got := m.Rate(); got != 50 {
+		t.Fatalf("Rate = %v, want 50", got)
+	}
+	if m.Count() != 100 {
+		t.Fatalf("Count = %d, want 100", m.Count())
+	}
+	m.Reset()
+	if m.Count() != 0 {
+		t.Fatal("Reset did not zero the count")
+	}
+}
+
+func TestPercentileExact(t *testing.T) {
+	samples := []time.Duration{5, 1, 4, 2, 3}
+	tests := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{q: 0, want: 1},
+		{q: 0.2, want: 1},
+		{q: 0.5, want: 3},
+		{q: 0.8, want: 4},
+		{q: 1.0, want: 5},
+	}
+	for _, tt := range tests {
+		if got := Percentile(samples, tt.q); got != tt.want {
+			t.Fatalf("Percentile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Fatalf("Percentile(nil) = %v, want 0", got)
+	}
+}

@@ -1,0 +1,210 @@
+// Package ring partitions the fingerprint space across SHHC hash nodes.
+//
+// The paper's cluster is "like the Chord system ... made up of a set of
+// connected hash nodes, which hold a range of hash values", but runs in a
+// "reasonably structured and relatively static environment" — so routing is
+// a local table lookup (the per-node "Node Routing" box in Figure 3), not a
+// multi-hop overlay. This package provides that table: a consistent hash
+// ring with virtual nodes, giving the near-uniform placement the paper
+// measures in Figure 6 (~25% of entries per node at N=4), plus cheap
+// membership changes for the dynamic-scaling extension.
+package ring
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"shhc/internal/fingerprint"
+)
+
+// DefaultVirtualNodes is the number of ring points per physical node.
+// 128 keeps the max/min partition spread under ~1.3x for small clusters.
+const DefaultVirtualNodes = 128
+
+// NodeID identifies a physical hash node in the cluster.
+type NodeID string
+
+type point struct {
+	hash uint64
+	node NodeID
+}
+
+// Ring is a consistent-hash router over the 64-bit fingerprint prefix
+// space. It is safe for concurrent use; lookups take a read lock only.
+type Ring struct {
+	mu     sync.RWMutex
+	vnodes int
+	points []point // sorted by hash
+	nodes  map[NodeID]struct{}
+}
+
+// New creates a ring with the given number of virtual nodes per physical
+// node. vnodes <= 0 selects DefaultVirtualNodes.
+func New(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	return &Ring{vnodes: vnodes, nodes: make(map[NodeID]struct{})}
+}
+
+// pointHash derives a ring position for a (node, replica) pair. SHA-1 keeps
+// placement aligned with the fingerprint distribution itself.
+func pointHash(id NodeID, replica int) uint64 {
+	sum := sha1.Sum([]byte(string(id) + "#" + strconv.Itoa(replica)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Add inserts a node's virtual points. Adding an existing node is an error:
+// membership is managed by the cluster, and a duplicate add indicates a
+// bookkeeping bug.
+func (r *Ring) Add(id NodeID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[id]; ok {
+		return fmt.Errorf("ring: node %q already present", id)
+	}
+	r.nodes[id] = struct{}{}
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, point{hash: pointHash(id, i), node: id})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return nil
+}
+
+// Remove deletes a node's virtual points (node decommission / failure).
+func (r *Ring) Remove(id NodeID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[id]; !ok {
+		return fmt.Errorf("ring: node %q not present", id)
+	}
+	delete(r.nodes, id)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != id {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+	return nil
+}
+
+// Lookup returns the node owning the fingerprint: the first ring point at
+// or clockwise from the fingerprint's prefix hash.
+func (r *Ring) Lookup(fp fingerprint.Fingerprint) (NodeID, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return "", fmt.Errorf("ring: empty ring")
+	}
+	return r.successor(fp.Prefix64(), 0), nil
+}
+
+// LookupN returns the n distinct nodes responsible for the fingerprint:
+// the owner followed by its distinct successors. Used for replication.
+// If the ring has fewer than n nodes, all nodes are returned.
+func (r *Ring) LookupN(fp fingerprint.Fingerprint, n int) ([]NodeID, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil, fmt.Errorf("ring: empty ring")
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	result := make([]NodeID, 0, n)
+	seen := make(map[NodeID]struct{}, n)
+	h := fp.Prefix64()
+	idx := r.searchIdx(h)
+	for i := 0; len(result) < n && i < len(r.points); i++ {
+		p := r.points[(idx+i)%len(r.points)]
+		if _, dup := seen[p.node]; dup {
+			continue
+		}
+		seen[p.node] = struct{}{}
+		result = append(result, p.node)
+	}
+	return result, nil
+}
+
+// successor returns the node at the (skip+1)-th distinct position clockwise
+// from hash h. Callers hold at least a read lock.
+func (r *Ring) successor(h uint64, skip int) NodeID {
+	idx := r.searchIdx(h)
+	return r.points[(idx+skip)%len(r.points)].node
+}
+
+func (r *Ring) searchIdx(h uint64) int {
+	idx := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if idx == len(r.points) {
+		idx = 0
+	}
+	return idx
+}
+
+// Nodes returns the current members in unspecified order.
+func (r *Ring) Nodes() []NodeID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]NodeID, 0, len(r.nodes))
+	for id := range r.nodes {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Len returns the number of physical nodes.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}
+
+// Balance describes how evenly the key space is divided.
+type Balance struct {
+	// Share maps each node to its fraction of the 64-bit key space.
+	Share map[NodeID]float64
+	// MaxOverMin is max share / min share; 1.0 is perfect balance.
+	MaxOverMin float64
+}
+
+// Balance computes the key-space share owned by each node.
+func (r *Ring) Balance() Balance {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	share := make(map[NodeID]float64, len(r.nodes))
+	if len(r.points) == 0 {
+		return Balance{Share: share}
+	}
+	total := float64(1 << 63 * 2) // 2^64 as float
+	// A key routes to the first point at or clockwise after it, so the
+	// arc *preceding* a point belongs to that point's node.
+	for i, p := range r.points {
+		var width uint64
+		if i > 0 {
+			width = p.hash - r.points[i-1].hash
+		} else {
+			// wraparound arc from the last point to the first
+			width = p.hash - r.points[len(r.points)-1].hash
+		}
+		share[p.node] += float64(width) / total
+	}
+	b := Balance{Share: share, MaxOverMin: 1}
+	minShare, maxShare := 2.0, 0.0
+	for _, s := range share {
+		if s < minShare {
+			minShare = s
+		}
+		if s > maxShare {
+			maxShare = s
+		}
+	}
+	if minShare > 0 {
+		b.MaxOverMin = maxShare / minShare
+	}
+	return b
+}

@@ -1,0 +1,227 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"shhc/internal/fingerprint"
+)
+
+func newRing(t *testing.T, n int) *Ring {
+	t.Helper()
+	r := New(DefaultVirtualNodes)
+	for i := 0; i < n; i++ {
+		if err := r.Add(NodeID(fmt.Sprintf("node-%d", i))); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	return r
+}
+
+func TestEmptyRingErrors(t *testing.T) {
+	r := New(0)
+	if _, err := r.Lookup(fingerprint.FromUint64(1)); err == nil {
+		t.Fatal("Lookup on empty ring succeeded")
+	}
+	if _, err := r.LookupN(fingerprint.FromUint64(1), 2); err == nil {
+		t.Fatal("LookupN on empty ring succeeded")
+	}
+}
+
+func TestAddRemoveMembership(t *testing.T) {
+	r := newRing(t, 3)
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	if err := r.Add("node-0"); err == nil {
+		t.Fatal("duplicate Add succeeded")
+	}
+	if err := r.Remove("node-1"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if err := r.Remove("node-1"); err == nil {
+		t.Fatal("double Remove succeeded")
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len after remove = %d, want 2", r.Len())
+	}
+	for _, id := range r.Nodes() {
+		if id == "node-1" {
+			t.Fatal("removed node still reported by Nodes()")
+		}
+	}
+}
+
+func TestLookupDeterministic(t *testing.T) {
+	r := newRing(t, 4)
+	fp := fingerprint.FromUint64(12345)
+	first, err := r.Lookup(fp)
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	for i := 0; i < 100; i++ {
+		got, _ := r.Lookup(fp)
+		if got != first {
+			t.Fatalf("Lookup not deterministic: %s vs %s", got, first)
+		}
+	}
+}
+
+func TestLookupDistribution(t *testing.T) {
+	// Figure 6 reproduction in miniature: ~25% per node at N=4.
+	r := newRing(t, 4)
+	counts := map[NodeID]int{}
+	const n = 40000
+	for i := 0; i < n; i++ {
+		id, err := r.Lookup(fingerprint.FromUint64(uint64(i)))
+		if err != nil {
+			t.Fatalf("Lookup: %v", err)
+		}
+		counts[id]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("keys landed on %d nodes, want 4", len(counts))
+	}
+	for id, c := range counts {
+		share := float64(c) / n
+		if share < 0.15 || share > 0.35 {
+			t.Fatalf("node %s got %.1f%% of keys, want 25%% +/- 10", id, share*100)
+		}
+	}
+}
+
+func TestLookupNReplicas(t *testing.T) {
+	r := newRing(t, 5)
+	fp := fingerprint.FromUint64(777)
+	replicas, err := r.LookupN(fp, 3)
+	if err != nil {
+		t.Fatalf("LookupN: %v", err)
+	}
+	if len(replicas) != 3 {
+		t.Fatalf("got %d replicas, want 3", len(replicas))
+	}
+	seen := map[NodeID]bool{}
+	for _, id := range replicas {
+		if seen[id] {
+			t.Fatalf("duplicate replica %s", id)
+		}
+		seen[id] = true
+	}
+	owner, _ := r.Lookup(fp)
+	if replicas[0] != owner {
+		t.Fatalf("first replica %s is not the owner %s", replicas[0], owner)
+	}
+}
+
+func TestLookupNMoreThanNodes(t *testing.T) {
+	r := newRing(t, 2)
+	replicas, err := r.LookupN(fingerprint.FromUint64(1), 5)
+	if err != nil {
+		t.Fatalf("LookupN: %v", err)
+	}
+	if len(replicas) != 2 {
+		t.Fatalf("got %d replicas, want all 2 nodes", len(replicas))
+	}
+}
+
+func TestRemovalOnlyMovesKeysFromRemovedNode(t *testing.T) {
+	// Consistent hashing's key property: removing a node relocates only
+	// the keys it owned.
+	r := newRing(t, 4)
+	const n = 5000
+	before := make([]NodeID, n)
+	for i := 0; i < n; i++ {
+		before[i], _ = r.Lookup(fingerprint.FromUint64(uint64(i)))
+	}
+	if err := r.Remove("node-2"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		after, _ := r.Lookup(fingerprint.FromUint64(uint64(i)))
+		if before[i] != "node-2" && after != before[i] {
+			t.Fatalf("key %d moved from surviving node %s to %s", i, before[i], after)
+		}
+		if after == "node-2" {
+			t.Fatalf("key %d still routed to removed node", i)
+		}
+	}
+}
+
+func TestBalanceShares(t *testing.T) {
+	r := newRing(t, 4)
+	b := r.Balance()
+	total := 0.0
+	for _, s := range b.Share {
+		total += s
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("shares sum to %v, want 1.0", total)
+	}
+	if b.MaxOverMin > 2.0 {
+		t.Fatalf("MaxOverMin = %v, want <= 2.0 with %d vnodes", b.MaxOverMin, DefaultVirtualNodes)
+	}
+}
+
+func TestBalancePredictsRouting(t *testing.T) {
+	// Balance() must reflect where keys actually route, including with
+	// few virtual nodes where arcs are uneven. Compare the keyspace
+	// share against an empirical routing histogram.
+	r := New(4) // deliberately coarse
+	for i := 0; i < 4; i++ {
+		r.Add(NodeID(fmt.Sprintf("n%d", i)))
+	}
+	const n = 200000
+	counts := map[NodeID]float64{}
+	for i := 0; i < n; i++ {
+		id, err := r.Lookup(fingerprint.FromUint64(uint64(i)))
+		if err != nil {
+			t.Fatalf("Lookup: %v", err)
+		}
+		counts[id]++
+	}
+	shares := r.Balance().Share
+	for id, c := range counts {
+		empirical := c / n
+		predicted := shares[id]
+		if diff := empirical - predicted; diff > 0.02 || diff < -0.02 {
+			t.Fatalf("node %s: empirical share %.3f vs Balance prediction %.3f", id, empirical, predicted)
+		}
+	}
+}
+
+func TestMoreVNodesImproveBalance(t *testing.T) {
+	coarse := New(4)
+	fine := New(512)
+	for i := 0; i < 4; i++ {
+		id := NodeID(fmt.Sprintf("n%d", i))
+		coarse.Add(id)
+		fine.Add(id)
+	}
+	if fine.Balance().MaxOverMin > coarse.Balance().MaxOverMin {
+		t.Fatalf("more vnodes worsened balance: fine=%v coarse=%v",
+			fine.Balance().MaxOverMin, coarse.Balance().MaxOverMin)
+	}
+}
+
+// Property: Lookup always returns a member node, and LookupN(k)[0] equals
+// Lookup, for arbitrary fingerprints.
+func TestQuickLookupConsistency(t *testing.T) {
+	r := newRing(t, 3)
+	members := map[NodeID]bool{}
+	for _, id := range r.Nodes() {
+		members[id] = true
+	}
+	f := func(seed uint64) bool {
+		fp := fingerprint.FromUint64(seed)
+		owner, err := r.Lookup(fp)
+		if err != nil || !members[owner] {
+			return false
+		}
+		replicas, err := r.LookupN(fp, 2)
+		return err == nil && replicas[0] == owner
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

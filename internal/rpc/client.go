@@ -1,0 +1,351 @@
+package rpc
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"shhc/internal/core"
+	"shhc/internal/fingerprint"
+	"shhc/internal/ring"
+	"shhc/internal/wire"
+)
+
+func ringNodeID(s string) ring.NodeID { return ring.NodeID(s) }
+
+// ErrClientClosed is returned by operations on a closed client.
+var ErrClientClosed = errors.New("rpc: client is closed")
+
+// ServerError is a failure reported by the remote node (as opposed to a
+// transport failure).
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return "rpc: server: " + e.Msg }
+
+// ClientConfig configures a Client.
+type ClientConfig struct {
+	// Conns is the connection pool size; requests round-robin across it.
+	// Default 2 (one per direction of the paper's two client machines).
+	Conns int
+	// DialTimeout bounds connection establishment. Default 5s.
+	DialTimeout time.Duration
+	// Timeout bounds each request round-trip. Default 30s.
+	Timeout time.Duration
+}
+
+func (c *ClientConfig) fill() {
+	if c.Conns <= 0 {
+		c.Conns = 2
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+}
+
+// Client is a connection-pooled, pipelining client for one hash node.
+// It implements core.Backend so a core.Cluster can route to remote nodes
+// exactly as it routes to in-process ones.
+type Client struct {
+	id   ring.NodeID
+	addr string
+	cfg  ClientConfig
+
+	mu     sync.Mutex
+	conns  []*clientConn
+	next   uint64
+	closed bool
+}
+
+var _ core.Backend = (*Client)(nil)
+
+// Dial connects to a hash node server.
+func Dial(id ring.NodeID, addr string, cfg ClientConfig) (*Client, error) {
+	cfg.fill()
+	c := &Client{id: id, addr: addr, cfg: cfg, conns: make([]*clientConn, cfg.Conns)}
+	// Establish the first connection eagerly so configuration errors
+	// surface at startup; the rest dial lazily.
+	cc, err := c.dialConn()
+	if err != nil {
+		return nil, err
+	}
+	c.conns[0] = cc
+	return c, nil
+}
+
+// ID returns the remote node's ring identity.
+func (c *Client) ID() ring.NodeID { return c.id }
+
+// Addr returns the remote address.
+func (c *Client) Addr() string { return c.addr }
+
+func (c *Client) dialConn() (*clientConn, error) {
+	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial %s: %w", c.addr, err)
+	}
+	if tcp, ok := conn.(*net.TCPConn); ok {
+		_ = tcp.SetNoDelay(true)
+	}
+	cc := &clientConn{
+		conn:    conn,
+		bw:      bufio.NewWriterSize(conn, 64<<10),
+		pending: make(map[uint64]chan wire.Frame),
+	}
+	go cc.readLoop()
+	return cc, nil
+}
+
+// pick returns a live pooled connection, redialing dead slots lazily.
+func (c *Client) pick() (*clientConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClientClosed
+	}
+	idx := int(c.next % uint64(len(c.conns)))
+	c.next++
+	cc := c.conns[idx]
+	if cc == nil || cc.isDead() {
+		fresh, err := c.dialConn()
+		if err != nil {
+			return nil, err
+		}
+		if cc != nil {
+			cc.shutdown(errors.New("rpc: connection replaced"))
+		}
+		c.conns[idx] = fresh
+		cc = fresh
+	}
+	return cc, nil
+}
+
+// call performs one round-trip.
+func (c *Client) call(reqType wire.Type, payload []byte) (wire.Frame, error) {
+	cc, err := c.pick()
+	if err != nil {
+		return wire.Frame{}, err
+	}
+	resp, err := cc.roundTrip(reqType, payload, c.cfg.Timeout)
+	if err != nil {
+		return wire.Frame{}, err
+	}
+	if resp.Type == wire.TypeError {
+		msg, derr := wire.DecodeError(resp.Payload)
+		if derr != nil {
+			msg = "undecodable server error"
+		}
+		return wire.Frame{}, &ServerError{Msg: msg}
+	}
+	return resp, nil
+}
+
+// Ping checks liveness of the remote node.
+func (c *Client) Ping() error {
+	resp, err := c.call(wire.TypePing, nil)
+	if err != nil {
+		return err
+	}
+	if resp.Type != wire.TypePong {
+		return fmt.Errorf("rpc: ping got %v", resp.Type)
+	}
+	return nil
+}
+
+// Lookup asks the remote node whether fp exists, without inserting.
+func (c *Client) Lookup(fp fingerprint.Fingerprint) (core.LookupResult, error) {
+	resp, err := c.call(wire.TypeLookup, wire.EncodeFP(fp))
+	if err != nil {
+		return core.LookupResult{}, err
+	}
+	r, err := wire.DecodeResult(resp.Payload)
+	if err != nil {
+		return core.LookupResult{}, err
+	}
+	return fromWireResult(r), nil
+}
+
+// LookupOrInsert runs the Figure 4 flow on the remote node.
+func (c *Client) LookupOrInsert(fp fingerprint.Fingerprint, val core.Value) (core.LookupResult, error) {
+	resp, err := c.call(wire.TypeLookupOrInsert, wire.EncodePair(wire.PairPayload{FP: fp, Val: uint64(val)}))
+	if err != nil {
+		return core.LookupResult{}, err
+	}
+	r, err := wire.DecodeResult(resp.Payload)
+	if err != nil {
+		return core.LookupResult{}, err
+	}
+	return fromWireResult(r), nil
+}
+
+// Insert unconditionally records fp -> val on the remote node.
+func (c *Client) Insert(fp fingerprint.Fingerprint, val core.Value) error {
+	_, err := c.call(wire.TypeInsert, wire.EncodePair(wire.PairPayload{FP: fp, Val: uint64(val)}))
+	return err
+}
+
+// BatchLookupOrInsert sends one batch frame and decodes the ordered
+// results — the unit of the paper's batch-mode experiments.
+func (c *Client) BatchLookupOrInsert(pairs []core.Pair) ([]core.LookupResult, error) {
+	wirePairs := make([]wire.PairPayload, len(pairs))
+	for i, p := range pairs {
+		wirePairs[i] = wire.PairPayload{FP: p.FP, Val: uint64(p.Val)}
+	}
+	resp, err := c.call(wire.TypeBatch, wire.EncodeBatch(wirePairs))
+	if err != nil {
+		return nil, err
+	}
+	rs, err := wire.DecodeBatchResult(resp.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(rs) != len(pairs) {
+		return nil, fmt.Errorf("rpc: batch answered %d results for %d pairs", len(rs), len(pairs))
+	}
+	out := make([]core.LookupResult, len(rs))
+	for i, r := range rs {
+		out[i] = fromWireResult(r)
+	}
+	return out, nil
+}
+
+// Stats fetches the remote node's counters.
+func (c *Client) Stats() (core.NodeStats, error) {
+	resp, err := c.call(wire.TypeStats, nil)
+	if err != nil {
+		return core.NodeStats{}, err
+	}
+	s, err := wire.DecodeStats(resp.Payload)
+	if err != nil {
+		return core.NodeStats{}, err
+	}
+	return fromWireStats(s), nil
+}
+
+// Close tears down all pooled connections.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClientClosed
+	}
+	c.closed = true
+	for _, cc := range c.conns {
+		if cc != nil {
+			cc.shutdown(ErrClientClosed)
+		}
+	}
+	return nil
+}
+
+// clientConn is one pipelined connection with an id-keyed pending table.
+type clientConn struct {
+	conn net.Conn
+
+	writeMu sync.Mutex
+	bw      *bufio.Writer
+
+	mu      sync.Mutex
+	pending map[uint64]chan wire.Frame
+	nextID  uint64
+	dead    bool
+	deadErr error
+
+	closeOnce sync.Once
+}
+
+func (cc *clientConn) isDead() bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.dead
+}
+
+// shutdown marks the connection dead and fails every pending call.
+func (cc *clientConn) shutdown(err error) {
+	cc.mu.Lock()
+	if cc.dead {
+		cc.mu.Unlock()
+		return
+	}
+	cc.dead = true
+	cc.deadErr = err
+	waiters := cc.pending
+	cc.pending = map[uint64]chan wire.Frame{}
+	cc.mu.Unlock()
+
+	cc.closeOnce.Do(func() { cc.conn.Close() })
+	for _, ch := range waiters {
+		close(ch)
+	}
+}
+
+func (cc *clientConn) readLoop() {
+	br := bufio.NewReaderSize(cc.conn, 64<<10)
+	for {
+		frame, err := wire.ReadFrame(br)
+		if err != nil {
+			cc.shutdown(fmt.Errorf("rpc: connection lost: %w", err))
+			return
+		}
+		cc.mu.Lock()
+		ch, ok := cc.pending[frame.ID]
+		if ok {
+			delete(cc.pending, frame.ID)
+		}
+		cc.mu.Unlock()
+		if ok {
+			ch <- frame
+		}
+	}
+}
+
+func (cc *clientConn) roundTrip(reqType wire.Type, payload []byte, timeout time.Duration) (wire.Frame, error) {
+	cc.mu.Lock()
+	if cc.dead {
+		err := cc.deadErr
+		cc.mu.Unlock()
+		return wire.Frame{}, err
+	}
+	id := atomic.AddUint64(&cc.nextID, 1)
+	ch := make(chan wire.Frame, 1)
+	cc.pending[id] = ch
+	cc.mu.Unlock()
+
+	cc.writeMu.Lock()
+	err := wire.WriteFrame(cc.bw, wire.Frame{Type: reqType, ID: id, Payload: payload})
+	if err == nil {
+		err = cc.bw.Flush()
+	}
+	cc.writeMu.Unlock()
+	if err != nil {
+		cc.shutdown(fmt.Errorf("rpc: send: %w", err))
+		return wire.Frame{}, err
+	}
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case frame, ok := <-ch:
+		if !ok {
+			cc.mu.Lock()
+			err := cc.deadErr
+			cc.mu.Unlock()
+			if err == nil {
+				err = errors.New("rpc: connection closed")
+			}
+			return wire.Frame{}, err
+		}
+		return frame, nil
+	case <-timer.C:
+		cc.mu.Lock()
+		delete(cc.pending, id)
+		cc.mu.Unlock()
+		return wire.Frame{}, fmt.Errorf("rpc: %v: request timed out after %v", reqType, timeout)
+	}
+}

@@ -1,0 +1,330 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"shhc/internal/core"
+	"shhc/internal/fingerprint"
+	"shhc/internal/hashdb"
+	"shhc/internal/ring"
+)
+
+func fp(i uint64) fingerprint.Fingerprint { return fingerprint.FromUint64(i) }
+
+// startNode spins up a node + server and returns a connected client.
+func startNode(t *testing.T, id ring.NodeID) (*core.Node, *Client) {
+	t.Helper()
+	node, err := core.NewNode(core.NodeConfig{
+		ID:            id,
+		Store:         hashdb.NewMemStore(nil),
+		CacheSize:     256,
+		BloomExpected: 100000,
+	})
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	srv := NewServer(node, ServerConfig{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	client, err := Dial(id, addr.String(), ClientConfig{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() {
+		client.Close()
+		srv.Close()
+		node.Close()
+	})
+	return node, client
+}
+
+func TestPing(t *testing.T) {
+	_, client := startNode(t, "n1")
+	if err := client.Ping(); err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+}
+
+func TestRemoteLookupOrInsert(t *testing.T) {
+	_, client := startNode(t, "n1")
+
+	r, err := client.LookupOrInsert(fp(1), 11)
+	if err != nil {
+		t.Fatalf("LookupOrInsert: %v", err)
+	}
+	if r.Exists {
+		t.Fatal("fresh fingerprint reported existing")
+	}
+
+	r, err = client.LookupOrInsert(fp(1), 0)
+	if err != nil {
+		t.Fatalf("LookupOrInsert: %v", err)
+	}
+	if !r.Exists || r.Value != 11 {
+		t.Fatalf("duplicate = %+v, want exists value 11", r)
+	}
+	if r.Source != core.SourceCache {
+		t.Fatalf("source = %v, want cache", r.Source)
+	}
+}
+
+func TestRemoteReadOnlyLookupAndInsert(t *testing.T) {
+	_, client := startNode(t, "n1")
+	r, err := client.Lookup(fp(5))
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if r.Exists {
+		t.Fatal("absent fingerprint reported existing")
+	}
+	if err := client.Insert(fp(5), 50); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	r, _ = client.Lookup(fp(5))
+	if !r.Exists || r.Value != 50 {
+		t.Fatalf("after Insert: %+v, want exists 50", r)
+	}
+}
+
+func TestRemoteBatch(t *testing.T) {
+	_, client := startNode(t, "n1")
+	pairs := make([]core.Pair, 300)
+	for i := range pairs {
+		pairs[i] = core.Pair{FP: fp(uint64(i % 100)), Val: core.Value(i % 100)}
+	}
+	rs, err := client.BatchLookupOrInsert(pairs)
+	if err != nil {
+		t.Fatalf("BatchLookupOrInsert: %v", err)
+	}
+	if len(rs) != len(pairs) {
+		t.Fatalf("got %d results, want %d", len(rs), len(pairs))
+	}
+	for i, r := range rs {
+		wantExists := i >= 100
+		if r.Exists != wantExists {
+			t.Fatalf("result[%d].Exists = %v, want %v", i, r.Exists, wantExists)
+		}
+	}
+}
+
+func TestRemoteStats(t *testing.T) {
+	_, client := startNode(t, "stats-node")
+	client.LookupOrInsert(fp(1), 1)
+	client.LookupOrInsert(fp(1), 1)
+
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.ID != "stats-node" {
+		t.Fatalf("ID = %q, want stats-node", st.ID)
+	}
+	if st.Lookups != 2 || st.Inserts != 1 || st.StoreEntries != 1 {
+		t.Fatalf("stats = %+v, want 2 lookups / 1 insert / 1 entry", st)
+	}
+	if st.CacheHits != 1 {
+		t.Fatalf("CacheHits = %d, want 1", st.CacheHits)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, client := startNode(t, "n1")
+	const goroutines, each = 16, 200
+
+	var wg sync.WaitGroup
+	news := make([]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r, err := client.LookupOrInsert(fp(uint64(i)), core.Value(i))
+				if err != nil {
+					t.Errorf("LookupOrInsert: %v", err)
+					return
+				}
+				if !r.Exists {
+					news[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range news {
+		total += n
+	}
+	if total != each {
+		t.Fatalf("total new fingerprints = %d, want %d (each unique seen once)", total, each)
+	}
+}
+
+func TestClusterOverRPC(t *testing.T) {
+	// Full distributed assembly: a core.Cluster routing to 3 remote nodes
+	// over real TCP connections.
+	backends := make([]core.Backend, 3)
+	for i := range backends {
+		_, client := startNode(t, ring.NodeID(fmt.Sprintf("remote-%d", i)))
+		backends[i] = client
+	}
+	cluster, err := core.NewCluster(core.ClusterConfig{}, backends...)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	// Cluster.Close would close the clients; they are cleaned up by
+	// startNode, so detach instead of double-closing.
+
+	const n = 1000
+	pairs := make([]core.Pair, n)
+	for i := range pairs {
+		pairs[i] = core.Pair{FP: fp(uint64(i)), Val: core.Value(i)}
+	}
+	rs, err := cluster.BatchLookupOrInsert(pairs)
+	if err != nil {
+		t.Fatalf("BatchLookupOrInsert: %v", err)
+	}
+	for i, r := range rs {
+		if r.Exists {
+			t.Fatalf("fresh fingerprint %d reported existing", i)
+		}
+	}
+	rs, err = cluster.BatchLookupOrInsert(pairs)
+	if err != nil {
+		t.Fatalf("second batch: %v", err)
+	}
+	for i, r := range rs {
+		if !r.Exists || r.Value != core.Value(i) {
+			t.Fatalf("duplicate %d = %+v", i, r)
+		}
+	}
+
+	// Entries spread across all nodes.
+	stats, err := cluster.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	for _, st := range stats {
+		if st.StoreEntries == 0 {
+			t.Fatalf("node %s holds no entries; routing is degenerate", st.ID)
+		}
+	}
+}
+
+func TestServerSurvivesGarbageConnection(t *testing.T) {
+	node, err := core.NewNode(core.NodeConfig{ID: "g", Store: hashdb.NewMemStore(nil), CacheSize: 8})
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	defer node.Close()
+	srv := NewServer(node, ServerConfig{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer srv.Close()
+
+	// Throw garbage at the server.
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	conn.Write([]byte("GET / HTTP/1.1\r\n\r\nnot the shhc protocol at all"))
+	conn.Close()
+
+	// Server must still answer a well-formed client.
+	client, err := Dial("g", addr.String(), ClientConfig{})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer client.Close()
+	if err := client.Ping(); err != nil {
+		t.Fatalf("Ping after garbage: %v", err)
+	}
+}
+
+func TestClientReconnectsAfterServerRestart(t *testing.T) {
+	node, err := core.NewNode(core.NodeConfig{ID: "r", Store: hashdb.NewMemStore(nil), CacheSize: 8})
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	defer node.Close()
+
+	srv := NewServer(node, ServerConfig{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	client, err := Dial("r", addr.String(), ClientConfig{Conns: 1, Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer client.Close()
+	if err := client.Ping(); err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+
+	// Restart the server on the same port.
+	srv.Close()
+	srv2 := NewServer(node, ServerConfig{})
+	if _, err := srv2.Listen(addr.String()); err != nil {
+		t.Fatalf("relisten: %v", err)
+	}
+	defer srv2.Close()
+
+	// First call may fail as the dead conn is detected; the pool must
+	// redial transparently within a few attempts.
+	var pingErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		if pingErr = client.Ping(); pingErr == nil {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if pingErr != nil {
+		t.Fatalf("client did not recover after server restart: %v", pingErr)
+	}
+}
+
+func TestClientClosedErrors(t *testing.T) {
+	_, client := startNode(t, "n1")
+	client.Close()
+	if _, err := client.Lookup(fp(1)); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("Lookup after close = %v, want ErrClientClosed", err)
+	}
+	if err := client.Close(); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("double Close = %v, want ErrClientClosed", err)
+	}
+}
+
+func TestServerErrorPropagation(t *testing.T) {
+	// A closed node makes the server return TypeError frames.
+	node, err := core.NewNode(core.NodeConfig{ID: "dead", Store: hashdb.NewMemStore(nil), CacheSize: 8})
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	srv := NewServer(node, ServerConfig{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer srv.Close()
+	client, err := Dial("dead", addr.String(), ClientConfig{})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer client.Close()
+
+	node.Close()
+	_, err = client.LookupOrInsert(fp(1), 1)
+	var serverErr *ServerError
+	if !errors.As(err, &serverErr) {
+		t.Fatalf("err = %v, want *ServerError", err)
+	}
+}

@@ -1,0 +1,294 @@
+// Package rpc provides SHHC's cluster networking: a TCP server exposing a
+// hash node, and a client implementing core.Backend over the wire protocol.
+//
+// Connections are pipelined — a client may have many requests in flight and
+// responses return as they complete, tagged with the request id. This is
+// what lets two client machines saturate a 4-node cluster in the paper's
+// Figure 5 experiment.
+package rpc
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"shhc/internal/core"
+	"shhc/internal/wire"
+)
+
+// Server exposes a core.Backend (usually a *core.Node) over TCP.
+type Server struct {
+	backend core.Backend
+	logger  *log.Logger
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ServerConfig configures a Server.
+type ServerConfig struct {
+	// Logger receives connection-level errors; nil discards them.
+	Logger *log.Logger
+}
+
+// NewServer creates a server for the given backend.
+func NewServer(backend core.Backend, cfg ServerConfig) *Server {
+	logger := cfg.Logger
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	return &Server{
+		backend: backend,
+		logger:  logger,
+		conns:   make(map[net.Conn]struct{}),
+	}
+}
+
+// Listen binds addr (e.g. "127.0.0.1:0") and starts serving in the
+// background. It returns the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, errors.New("rpc: server is closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if tcp, ok := conn.(*net.TCPConn); ok {
+			// Lookup responses are tiny; batching at the Nagle level only
+			// adds latency the paper's batch mode already amortizes.
+			_ = tcp.SetNoDelay(true)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// maxInflightPerConn bounds per-connection request goroutines so a client
+// cannot exhaust server memory by pipelining unboundedly.
+const maxInflightPerConn = 256
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	var (
+		br      = bufio.NewReaderSize(conn, 64<<10)
+		bw      = bufio.NewWriterSize(conn, 64<<10)
+		writeMu sync.Mutex
+		reqWG   sync.WaitGroup
+		sem     = make(chan struct{}, maxInflightPerConn)
+	)
+	defer reqWG.Wait()
+
+	respond := func(f wire.Frame) {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		if err := wire.WriteFrame(bw, f); err != nil {
+			s.logger.Printf("rpc: write to %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			s.logger.Printf("rpc: flush to %s: %v", conn.RemoteAddr(), err)
+		}
+	}
+
+	for {
+		frame, err := wire.ReadFrame(br)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logger.Printf("rpc: read from %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		sem <- struct{}{}
+		reqWG.Add(1)
+		go func(f wire.Frame) {
+			defer reqWG.Done()
+			defer func() { <-sem }()
+			respond(s.handle(f))
+		}(frame)
+	}
+}
+
+// handle executes one request frame and builds the response frame.
+func (s *Server) handle(f wire.Frame) wire.Frame {
+	fail := func(err error) wire.Frame {
+		return wire.Frame{Type: wire.TypeError, ID: f.ID, Payload: wire.EncodeError(err.Error())}
+	}
+	switch f.Type {
+	case wire.TypePing:
+		return wire.Frame{Type: wire.TypePong, ID: f.ID}
+
+	case wire.TypeLookup:
+		fp, err := wire.DecodeFP(f.Payload)
+		if err != nil {
+			return fail(err)
+		}
+		r, err := s.backend.Lookup(fp)
+		if err != nil {
+			return fail(err)
+		}
+		return wire.Frame{Type: wire.TypeResult, ID: f.ID, Payload: wire.EncodeResult(toWireResult(r))}
+
+	case wire.TypeLookupOrInsert:
+		p, err := wire.DecodePair(f.Payload)
+		if err != nil {
+			return fail(err)
+		}
+		r, err := s.backend.LookupOrInsert(p.FP, core.Value(p.Val))
+		if err != nil {
+			return fail(err)
+		}
+		return wire.Frame{Type: wire.TypeResult, ID: f.ID, Payload: wire.EncodeResult(toWireResult(r))}
+
+	case wire.TypeInsert:
+		p, err := wire.DecodePair(f.Payload)
+		if err != nil {
+			return fail(err)
+		}
+		if err := s.backend.Insert(p.FP, core.Value(p.Val)); err != nil {
+			return fail(err)
+		}
+		return wire.Frame{Type: wire.TypeResult, ID: f.ID, Payload: wire.EncodeResult(wire.ResultPayload{})}
+
+	case wire.TypeBatch:
+		wirePairs, err := wire.DecodeBatch(f.Payload)
+		if err != nil {
+			return fail(err)
+		}
+		pairs := make([]core.Pair, len(wirePairs))
+		for i, p := range wirePairs {
+			pairs[i] = core.Pair{FP: p.FP, Val: core.Value(p.Val)}
+		}
+		rs, err := s.backend.BatchLookupOrInsert(pairs)
+		if err != nil {
+			return fail(err)
+		}
+		out := make([]wire.ResultPayload, len(rs))
+		for i, r := range rs {
+			out[i] = toWireResult(r)
+		}
+		return wire.Frame{Type: wire.TypeBatchResult, ID: f.ID, Payload: wire.EncodeBatchResult(out)}
+
+	case wire.TypeStats:
+		st, err := s.backend.Stats()
+		if err != nil {
+			return fail(err)
+		}
+		return wire.Frame{Type: wire.TypeStatsResult, ID: f.ID, Payload: wire.EncodeStats(toWireStats(st))}
+	}
+	return fail(fmt.Errorf("rpc: unsupported request type %v", f.Type))
+}
+
+func toWireResult(r core.LookupResult) wire.ResultPayload {
+	return wire.ResultPayload{Exists: r.Exists, Source: uint8(r.Source), Val: uint64(r.Value)}
+}
+
+func fromWireResult(r wire.ResultPayload) core.LookupResult {
+	return core.LookupResult{Exists: r.Exists, Source: core.Source(r.Source), Value: core.Value(r.Val)}
+}
+
+func toWireStats(st core.NodeStats) wire.StatsPayload {
+	return wire.StatsPayload{
+		ID:           string(st.ID),
+		Lookups:      st.Lookups,
+		Inserts:      st.Inserts,
+		CacheHits:    st.CacheHits,
+		BloomShort:   st.BloomShort,
+		StoreHits:    st.StoreHits,
+		StoreMisses:  st.StoreMisses,
+		BloomFalse:   st.BloomFalse,
+		StoreEntries: uint64(st.StoreEntries),
+		CacheHitsLRU: st.Cache.Hits,
+		CacheMisses:  st.Cache.Misses,
+		CacheEvicts:  st.Cache.Evictions,
+		CacheLen:     uint64(st.Cache.Len),
+		CacheCap:     uint64(st.Cache.Capacity),
+	}
+}
+
+func fromWireStats(s wire.StatsPayload) core.NodeStats {
+	st := core.NodeStats{
+		ID:           ringNodeID(s.ID),
+		Lookups:      s.Lookups,
+		Inserts:      s.Inserts,
+		CacheHits:    s.CacheHits,
+		BloomShort:   s.BloomShort,
+		StoreHits:    s.StoreHits,
+		StoreMisses:  s.StoreMisses,
+		BloomFalse:   s.BloomFalse,
+		StoreEntries: int(s.StoreEntries),
+	}
+	st.Cache.Hits = s.CacheHitsLRU
+	st.Cache.Misses = s.CacheMisses
+	st.Cache.Evictions = s.CacheEvicts
+	st.Cache.Len = int(s.CacheLen)
+	st.Cache.Capacity = int(s.CacheCap)
+	return st
+}
+
+// Close stops accepting, closes all connections, and waits for handlers.
+// The wrapped backend is NOT closed; its owner closes it.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("rpc: server already closed")
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}

@@ -1,0 +1,267 @@
+// Package sim is the discrete-event simulator behind the paper's Figure 1
+// motivation experiment ("we developed a simulator and used it to compare
+// the throughput of a single hash server to that of a clustered approach").
+//
+// The model: K fingerprint queries arrive open-loop at a configured rate
+// and hash uniformly onto N hash-server queues (one per cluster node). Each
+// server answers a query from RAM with the configured cache-hit ratio and
+// from its index device (SSD) otherwise, serving FIFO. The reported metric
+// is the paper's: total execution time until the last of the K queries
+// completes, for a given (rate, N) point. Below saturation the arrival
+// window K/rate dominates; past a node's service capacity the queue grows
+// and execution time approaches K * E[service] / N — which is exactly the
+// decreasing-in-N family of curves in Figure 1.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"shhc/internal/metrics"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Nodes is the cluster size (Figure 1 sweeps 1, 2, 4, 8, 16).
+	Nodes int
+	// Requests is the number of queries to inject (paper: 100,000).
+	Requests int
+	// RatePerSec is the open-loop arrival rate over the whole cluster.
+	RatePerSec float64
+	// CacheHitRatio is the fraction of queries answered from RAM.
+	// Default 0.3 (cold-ish store, matching the cold nodes of §IV).
+	CacheHitRatio float64
+	// HitTime is the service time of a RAM hit. Default 2µs.
+	HitTime time.Duration
+	// MissTime is the service time of an SSD-backed lookup. Default 60µs
+	// (one flash random read) plus per-request CPU overhead.
+	MissTime time.Duration
+	// Overhead is per-request CPU/network processing added to every
+	// query. Default 10µs.
+	Overhead time.Duration
+	// Deterministic uses fixed service times instead of exponential.
+	Deterministic bool
+	// BatchSize groups queries per request (paper batch mode): a batch
+	// pays Overhead once plus the per-query hit/miss service of each
+	// member, so larger batches amortize the fixed cost. Default 1.
+	BatchSize int
+	// Seed drives arrival jitter, routing, and service sampling.
+	Seed int64
+}
+
+func (c *Config) fill() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("sim: Nodes must be positive, got %d", c.Nodes)
+	}
+	if c.Requests <= 0 {
+		return fmt.Errorf("sim: Requests must be positive, got %d", c.Requests)
+	}
+	if c.RatePerSec <= 0 {
+		return fmt.Errorf("sim: RatePerSec must be positive, got %v", c.RatePerSec)
+	}
+	if c.CacheHitRatio < 0 || c.CacheHitRatio > 1 {
+		return fmt.Errorf("sim: CacheHitRatio must be in [0,1], got %v", c.CacheHitRatio)
+	}
+	if c.CacheHitRatio == 0 {
+		c.CacheHitRatio = 0.3
+	}
+	if c.HitTime <= 0 {
+		c.HitTime = 2 * time.Microsecond
+	}
+	if c.MissTime <= 0 {
+		c.MissTime = 60 * time.Microsecond
+	}
+	if c.Overhead <= 0 {
+		c.Overhead = 10 * time.Microsecond
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 1
+	}
+	return nil
+}
+
+// Result summarizes one run.
+type Result struct {
+	Config Config
+	// ExecutionTime is the Figure 1 metric: time from first arrival to
+	// last completion.
+	ExecutionTime time.Duration
+	// MeanLatency and P99Latency are per-query response times
+	// (queueing + service).
+	MeanLatency time.Duration
+	P99Latency  time.Duration
+	// ThroughputPerSec is Requests / ExecutionTime.
+	ThroughputPerSec float64
+	// Utilization is mean busy-fraction across nodes.
+	Utilization float64
+}
+
+// event is either an arrival or a departure in the event heap.
+type event struct {
+	at   time.Duration
+	kind eventKind
+	node int
+}
+
+type eventKind int
+
+const (
+	evArrival eventKind = iota + 1
+	evDeparture
+)
+
+type eventHeap []event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Run executes the simulation to completion.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.fill(); err != nil {
+		return Result{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x464947_31)) // "FIG1"
+
+	// One arrival event is one request: a single query, or a batch of
+	// BatchSize queries arriving together at a proportionally lower
+	// request rate (the offered query rate stays RatePerSec).
+	totalRequests := (cfg.Requests + cfg.BatchSize - 1) / cfg.BatchSize
+	interArrival := time.Duration(float64(time.Second) * float64(cfg.BatchSize) / cfg.RatePerSec)
+
+	type nodeState struct {
+		queue     []time.Duration // arrival times of queued queries
+		busy      bool
+		busySince time.Duration
+		busyTotal time.Duration
+	}
+	nodes := make([]nodeState, cfg.Nodes)
+
+	sample := func(mean time.Duration) time.Duration {
+		if cfg.Deterministic {
+			return mean
+		}
+		return time.Duration(rng.ExpFloat64() * float64(mean))
+	}
+	// serviceTime returns the cost of one request: the fixed overhead
+	// paid once plus per-query device time for each batched query.
+	serviceTime := func() time.Duration {
+		st := cfg.Overhead
+		for q := 0; q < cfg.BatchSize; q++ {
+			if rng.Float64() < cfg.CacheHitRatio {
+				st += sample(cfg.HitTime)
+			} else {
+				st += sample(cfg.MissTime)
+			}
+		}
+		return st
+	}
+
+	var (
+		h         eventHeap
+		now       time.Duration
+		arrivals  int
+		completed int
+		latHist   = metrics.NewHistogram(time.Microsecond, 48)
+		lastDone  time.Duration
+	)
+	heap.Push(&h, event{at: 0, kind: evArrival, node: rng.Intn(cfg.Nodes)})
+	arrivals = 1
+
+	startService := func(n int, arrivedAt time.Duration) {
+		st := serviceTime()
+		nodes[n].busy = true
+		nodes[n].busySince = now
+		done := now + st
+		heap.Push(&h, event{at: done, kind: evDeparture, node: n})
+		latHist.Observe(done - arrivedAt)
+	}
+
+	for completed < totalRequests && len(h) > 0 {
+		e := heap.Pop(&h).(event)
+		now = e.at
+		switch e.kind {
+		case evArrival:
+			n := &nodes[e.node]
+			if n.busy {
+				n.queue = append(n.queue, now)
+			} else {
+				startService(e.node, now)
+			}
+			if arrivals < totalRequests {
+				next := now + jitter(rng, interArrival)
+				heap.Push(&h, event{at: next, kind: evArrival, node: rng.Intn(cfg.Nodes)})
+				arrivals++
+			}
+		case evDeparture:
+			n := &nodes[e.node]
+			n.busy = false
+			n.busyTotal += now - n.busySince
+			completed++
+			lastDone = now
+			if len(n.queue) > 0 {
+				arrivedAt := n.queue[0]
+				n.queue = n.queue[1:]
+				startService(e.node, arrivedAt)
+			}
+		}
+	}
+
+	sum := latHist.Summarize()
+	res := Result{
+		Config:        cfg,
+		ExecutionTime: lastDone,
+		MeanLatency:   sum.Mean,
+		P99Latency:    sum.P99,
+	}
+	if lastDone > 0 {
+		res.ThroughputPerSec = float64(cfg.Requests) / lastDone.Seconds()
+		var busy time.Duration
+		for i := range nodes {
+			busy += nodes[i].busyTotal
+		}
+		res.Utilization = float64(busy) / (float64(lastDone) * float64(cfg.Nodes))
+	}
+	return res, nil
+}
+
+// jitter draws an exponential inter-arrival time with the given mean
+// (Poisson arrivals), the standard open-loop injection model.
+func jitter(rng *rand.Rand, mean time.Duration) time.Duration {
+	return time.Duration(rng.ExpFloat64() * float64(mean))
+}
+
+// SweepPoint is one (rate, nodes) cell of the Figure 1 surface.
+type SweepPoint struct {
+	Nodes      int
+	RatePerSec float64
+	Result     Result
+}
+
+// Sweep runs the full Figure 1 grid: every rate for every cluster size.
+func Sweep(base Config, nodeCounts []int, rates []float64) ([]SweepPoint, error) {
+	points := make([]SweepPoint, 0, len(nodeCounts)*len(rates))
+	for _, n := range nodeCounts {
+		for _, r := range rates {
+			cfg := base
+			cfg.Nodes = n
+			cfg.RatePerSec = r
+			res, err := Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, SweepPoint{Nodes: n, RatePerSec: r, Result: res})
+		}
+	}
+	return points, nil
+}

@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func baseConfig() Config {
+	return Config{
+		Nodes:         1,
+		Requests:      20000,
+		RatePerSec:    50000,
+		CacheHitRatio: 0.3,
+		Seed:          42,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{name: "zero nodes", mutate: func(c *Config) { c.Nodes = 0 }},
+		{name: "zero requests", mutate: func(c *Config) { c.Requests = 0 }},
+		{name: "zero rate", mutate: func(c *Config) { c.RatePerSec = 0 }},
+		{name: "bad hit ratio", mutate: func(c *Config) { c.CacheHitRatio = 1.5 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := baseConfig()
+			tt.mutate(&cfg)
+			if _, err := Run(cfg); err == nil {
+				t.Fatal("Run accepted invalid config")
+			}
+		})
+	}
+}
+
+func TestAllRequestsComplete(t *testing.T) {
+	cfg := baseConfig()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.ExecutionTime <= 0 {
+		t.Fatal("ExecutionTime = 0")
+	}
+	if res.ThroughputPerSec <= 0 {
+		t.Fatal("ThroughputPerSec = 0")
+	}
+	if res.Utilization <= 0 || res.Utilization > 1.0001 {
+		t.Fatalf("Utilization = %v, out of (0,1]", res.Utilization)
+	}
+}
+
+func TestDeterministicSeeds(t *testing.T) {
+	cfg := baseConfig()
+	a, _ := Run(cfg)
+	b, _ := Run(cfg)
+	if a.ExecutionTime != b.ExecutionTime {
+		t.Fatalf("same seed, different results: %v vs %v", a.ExecutionTime, b.ExecutionTime)
+	}
+	cfg.Seed = 43
+	c, _ := Run(cfg)
+	if a.ExecutionTime == c.ExecutionTime {
+		t.Fatal("different seeds produced identical execution times (suspicious)")
+	}
+}
+
+func TestMoreNodesFasterAtSaturation(t *testing.T) {
+	// Figure 1's central claim: at a rate that saturates every cluster
+	// size, execution time strictly decreases as nodes are added. (At
+	// rates below a configuration's capacity the curves converge to the
+	// arrival window K/rate, which Figure 1 also shows.)
+	prev := time.Duration(1<<62 - 1)
+	for _, nodes := range []int{1, 2, 4, 8, 16} {
+		cfg := baseConfig()
+		cfg.Nodes = nodes
+		cfg.RatePerSec = 1e6 // above even 16-node capacity (~300k/s)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("Run(%d nodes): %v", nodes, err)
+		}
+		if res.ExecutionTime >= prev {
+			t.Fatalf("%d nodes took %v, not faster than previous %v", nodes, res.ExecutionTime, prev)
+		}
+		prev = res.ExecutionTime
+	}
+}
+
+func TestArrivalBoundAtLowRate(t *testing.T) {
+	// Below saturation, execution time is dominated by the arrival
+	// window K/rate regardless of cluster size.
+	cfg := baseConfig()
+	cfg.Nodes = 16
+	cfg.RatePerSec = 10000
+	cfg.Requests = 10000 // 1 second of arrivals
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := time.Second
+	if res.ExecutionTime < want*8/10 || res.ExecutionTime > want*13/10 {
+		t.Fatalf("ExecutionTime = %v, want about %v (arrival-bound)", res.ExecutionTime, want)
+	}
+}
+
+func TestSaturatedServerIsServiceBound(t *testing.T) {
+	// One node, deterministic service, rate far above capacity:
+	// makespan approaches Requests * serviceTime.
+	cfg := Config{
+		Nodes:         1,
+		Requests:      10000,
+		RatePerSec:    1e7,
+		CacheHitRatio: 0.5,
+		HitTime:       10 * time.Microsecond,
+		MissTime:      10 * time.Microsecond,
+		Overhead:      10 * time.Microsecond,
+		Deterministic: true,
+		Seed:          1,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := 10000 * 20 * time.Microsecond // service = overhead + 10us
+	if res.ExecutionTime < want*95/100 || res.ExecutionTime > want*105/100 {
+		t.Fatalf("ExecutionTime = %v, want about %v (service-bound)", res.ExecutionTime, want)
+	}
+	if res.Utilization < 0.95 {
+		t.Fatalf("Utilization = %v, want ~1 at saturation", res.Utilization)
+	}
+}
+
+func TestHigherHitRatioFaster(t *testing.T) {
+	cold := baseConfig()
+	cold.RatePerSec = 200000 // saturating
+	cold.CacheHitRatio = 0.05
+	warm := cold
+	warm.CacheHitRatio = 0.95
+
+	rc, err := Run(cold)
+	if err != nil {
+		t.Fatalf("Run(cold): %v", err)
+	}
+	rw, err := Run(warm)
+	if err != nil {
+		t.Fatalf("Run(warm): %v", err)
+	}
+	if rw.ExecutionTime >= rc.ExecutionTime {
+		t.Fatalf("warm cache (%v) not faster than cold (%v)", rw.ExecutionTime, rc.ExecutionTime)
+	}
+}
+
+func TestBatchingRaisesSaturatedThroughput(t *testing.T) {
+	// Figure 5's mechanism in the queueing model: at a saturating query
+	// rate, batching amortizes per-request overhead, so the same node
+	// count completes the burst faster. Make overhead dominate (as the
+	// network does in the paper) to see the batch effect clearly.
+	base := Config{
+		Nodes:         2,
+		Requests:      50000,
+		RatePerSec:    1e7, // saturating: makespan is service-bound
+		CacheHitRatio: 0.3,
+		HitTime:       2 * time.Microsecond,
+		MissTime:      20 * time.Microsecond,
+		Overhead:      100 * time.Microsecond, // per-request, amortized by batching
+		Seed:          9,
+	}
+	single := base
+	single.BatchSize = 1
+	batched := base
+	batched.BatchSize = 128
+
+	rs, err := Run(single)
+	if err != nil {
+		t.Fatalf("Run(single): %v", err)
+	}
+	rb, err := Run(batched)
+	if err != nil {
+		t.Fatalf("Run(batched): %v", err)
+	}
+	if rb.ThroughputPerSec < 4*rs.ThroughputPerSec {
+		t.Fatalf("batched throughput %.0f not >> single %.0f", rb.ThroughputPerSec, rs.ThroughputPerSec)
+	}
+}
+
+func TestBatchSizeLargerThanRequests(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Requests = 10
+	cfg.BatchSize = 2048 // one partial batch
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.ExecutionTime <= 0 {
+		t.Fatal("no work simulated")
+	}
+}
+
+func TestLatencyPercentilesOrdered(t *testing.T) {
+	cfg := baseConfig()
+	cfg.RatePerSec = 30000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.P99Latency < res.MeanLatency {
+		t.Fatalf("P99 (%v) < mean (%v)", res.P99Latency, res.MeanLatency)
+	}
+}
+
+func TestSweepGrid(t *testing.T) {
+	base := baseConfig()
+	base.Requests = 5000
+	points, err := Sweep(base, []int{1, 2, 4}, []float64{20000, 60000})
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("got %d points, want 6", len(points))
+	}
+	for _, p := range points {
+		if p.Result.ExecutionTime <= 0 {
+			t.Fatalf("point %+v has zero execution time", p)
+		}
+	}
+}

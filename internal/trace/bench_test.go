@@ -1,0 +1,35 @@
+package trace
+
+import (
+	"testing"
+)
+
+func BenchmarkGeneratorLowRedundancy(b *testing.B) {
+	g := NewGenerator(Spec{Name: "b", Fingerprints: 1 << 30, PctRedundant: 0.18, Distance: 10781, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := g.Next(); !ok {
+			b.Fatal("generator exhausted")
+		}
+	}
+}
+
+func BenchmarkGeneratorHighRedundancy(b *testing.B) {
+	g := NewGenerator(Spec{Name: "b", Fingerprints: 1 << 30, PctRedundant: 0.85, Distance: 246253, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := g.Next(); !ok {
+			b.Fatal("generator exhausted")
+		}
+	}
+}
+
+func BenchmarkAnalyzer(b *testing.B) {
+	g := NewGenerator(Spec{Name: "b", Fingerprints: 1 << 30, PctRedundant: 0.5, Distance: 10000, Seed: 1})
+	an := NewAnalyzer("b")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fp, _ := g.Next()
+		an.Observe(fp)
+	}
+}

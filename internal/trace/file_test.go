@@ -1,0 +1,8 @@
+package trace
+
+import "os"
+
+// osWriteFile is shared test plumbing for writing raw files.
+func osWriteFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,108 @@
+package webfront
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"shhc/internal/fingerprint"
+)
+
+func TestListenAndClose(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	resp, err := http.Get("http://" + addr.String() + "/v1/stats")
+	if err != nil {
+		t.Fatalf("GET via listener: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := http.Get("http://" + addr.String() + "/v1/stats"); err == nil {
+		t.Fatal("server still serving after Close")
+	}
+}
+
+func TestListenBadAddress(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	if _, err := srv.Listen("256.256.256.256:99999"); err == nil {
+		t.Fatal("Listen accepted invalid address")
+	}
+}
+
+func TestPlanRejectsBadJSON(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/v1/plan", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestPlanRejectsOversizedPlan(t *testing.T) {
+	backends := newTestServerWithLimits(t, 4, 0)
+	fps := make([]string, 5)
+	for i := range fps {
+		fps[i] = fingerprint.FromUint64(uint64(i)).String()
+	}
+	body, _ := json.Marshal(PlanRequest{Fingerprints: fps})
+	resp, err := http.Post(backends+"/v1/plan", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestUploadRejectsOversizedChunk(t *testing.T) {
+	url := newTestServerWithLimits(t, 1<<20, 1024)
+	data := make([]byte, 2048)
+	req, _ := http.NewRequest(http.MethodPost, url+"/v1/upload", bytes.NewReader(data))
+	req.Header.Set(FingerprintHeader, fingerprint.FromData(data).String())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestUploadRejectsMissingHeader(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/v1/upload", "application/octet-stream", bytes.NewReader([]byte("x")))
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestChunkRejectsBadFingerprint(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/chunk/nothex")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}

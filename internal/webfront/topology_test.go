@@ -1,0 +1,77 @@
+package webfront
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"shhc/internal/cloudsim"
+	"shhc/internal/core"
+	"shhc/internal/hashdb"
+)
+
+// TestCrossRequestAggregation verifies that small plan requests from many
+// clients are pooled into shared batches.
+func TestCrossRequestAggregation(t *testing.T) {
+	node, err := core.NewNode(core.NodeConfig{
+		ID:            "agg",
+		Store:         hashdb.NewMemStore(nil),
+		CacheSize:     1 << 10,
+		BloomExpected: 1 << 14,
+	})
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	cluster, err := core.NewCluster(core.ClusterConfig{}, node)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer cluster.Close()
+	chunks := cloudsim.New(cloudsim.Config{})
+	defer chunks.Close()
+
+	front, err := New(Config{
+		Index:          cluster,
+		Chunks:         chunks,
+		AggregateBelow: 64,
+		AggregateDelay: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(front.Handler())
+	defer ts.Close()
+	defer front.Close()
+
+	// 32 concurrent single-fingerprint plans (chatty mobile clients).
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fp := fmt.Sprintf("%040x", i+1)
+			postPlan(t, ts.URL, []string{fp})
+		}(i)
+	}
+	wg.Wait()
+
+	agg := front.AggregationStats()
+	if agg.Queries != 32 {
+		t.Fatalf("aggregator saw %d queries, want 32", agg.Queries)
+	}
+	if agg.MeanBatchSize() < 2 {
+		t.Fatalf("mean pooled batch size %.1f; cross-request aggregation not happening", agg.MeanBatchSize())
+	}
+
+	// Large plans must bypass the aggregator.
+	fps := make([]string, 128)
+	for i := range fps {
+		fps[i] = fmt.Sprintf("%040x", 1000+i)
+	}
+	postPlan(t, ts.URL, fps)
+	if got := front.AggregationStats().Queries; got != 32 {
+		t.Fatalf("large plan went through the aggregator (queries=%d)", got)
+	}
+}

@@ -1,0 +1,358 @@
+// Package webfront implements the paper's Web Front-end Cluster tier: the
+// HTTP service that backup clients talk to.
+//
+// Per §III.A, the front-end "responds to requests from the clients and
+// generates an upload plan for each back-up request by querying hash nodes
+// in the hash cluster for the existence of requested data blocks", forwards
+// new chunks to cloud storage, and "aggregates fingerprints from clients
+// and sends them as a batch to hybrid nodes" to exploit chunk locality.
+//
+// Endpoints (JSON unless noted):
+//
+//	POST /v1/plan   {"fingerprints": ["<hex>", ...]}
+//	                -> {"missing": [i, ...]}  indices the client must upload
+//	POST /v1/upload raw chunk body, X-SHHC-Fingerprint header
+//	GET  /v1/chunk/<hex>  raw chunk body (restore path)
+//	GET  /v1/stats  cluster and storage statistics
+package webfront
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"shhc/internal/batcher"
+	"shhc/internal/core"
+	"shhc/internal/fingerprint"
+)
+
+// Index is the hash-cluster view the front-end needs (a *core.Cluster).
+type Index interface {
+	BatchLookupOrInsert(pairs []core.Pair) ([]core.LookupResult, error)
+	Stats() ([]core.NodeStats, error)
+}
+
+// ChunkStore is the cloud-storage view the front-end needs
+// (a *cloudsim.Store, or a real object store in production).
+type ChunkStore interface {
+	Put(fp fingerprint.Fingerprint, data []byte) (bool, error)
+	Get(fp fingerprint.Fingerprint) ([]byte, bool, error)
+}
+
+// Config configures the front-end server.
+type Config struct {
+	// Index is the hash cluster. Required.
+	Index Index
+	// Chunks is the backing chunk store. Required.
+	Chunks ChunkStore
+	// MaxChunkSize bounds uploads. Default 1 MiB.
+	MaxChunkSize int
+	// MaxPlanSize bounds fingerprints per plan request. Default 1<<20.
+	MaxPlanSize int
+	// AggregateBelow enables cross-request aggregation: plan requests
+	// with fewer fingerprints than this are pooled with other clients'
+	// queries into shared batches (the paper's front-end "aggregates
+	// fingerprints from clients and sends them as a batch to hybrid
+	// nodes"). 0 disables pooling; larger plans always go out directly
+	// since they already amortize the round trip.
+	AggregateBelow int
+	// AggregateDelay bounds how long a pooled query waits. Default 2ms.
+	AggregateDelay time.Duration
+	// Logger receives request errors; nil discards.
+	Logger *log.Logger
+}
+
+// Server is the web front-end.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	httpSrv *http.Server
+	ln      net.Listener
+
+	// agg pools small plan requests across clients (nil when disabled).
+	agg *batcher.Batcher
+
+	// locator is the next chunk locator to assign; the paper stores a
+	// <fingerprint, location> entry per chunk.
+	locator atomic.Uint64
+
+	plans   atomic.Int64
+	lookups atomic.Int64
+	uploads atomic.Int64
+}
+
+// New creates a front-end server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Index == nil {
+		return nil, errors.New("webfront: Config.Index is required")
+	}
+	if cfg.Chunks == nil {
+		return nil, errors.New("webfront: Config.Chunks is required")
+	}
+	if cfg.MaxChunkSize <= 0 {
+		cfg.MaxChunkSize = 1 << 20
+	}
+	if cfg.MaxPlanSize <= 0 {
+		cfg.MaxPlanSize = 1 << 20
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = log.New(io.Discard, "", 0)
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	if cfg.AggregateBelow > 0 {
+		s.agg = batcher.New(cfg.Index.BatchLookupOrInsert, batcher.Config{
+			MaxBatch: cfg.AggregateBelow,
+			MaxDelay: cfg.AggregateDelay,
+		})
+	}
+	s.mux.HandleFunc("/v1/plan", s.handlePlan)
+	s.mux.HandleFunc("/v1/upload", s.handleUpload)
+	s.mux.HandleFunc("/v1/chunk/", s.handleChunk)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	return s, nil
+}
+
+// AggregationStats reports cross-request pooling effectiveness (zero
+// values when pooling is disabled).
+func (s *Server) AggregationStats() batcher.Stats {
+	if s.agg == nil {
+		return batcher.Stats{}
+	}
+	return s.agg.Stats()
+}
+
+// Handler returns the HTTP handler (for tests via httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Listen binds addr and serves in the background, returning the address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("webfront: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.httpSrv = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() {
+		if err := s.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.cfg.Logger.Printf("webfront: serve: %v", err)
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// Close stops the HTTP server and drains the aggregator.
+func (s *Server) Close() error {
+	var err error
+	if s.httpSrv != nil {
+		err = s.httpSrv.Close()
+	}
+	if s.agg != nil {
+		if aerr := s.agg.Close(); err == nil {
+			err = aerr
+		}
+	}
+	return err
+}
+
+// PlanRequest is the client's fingerprint manifest for one backup batch.
+type PlanRequest struct {
+	Fingerprints []string `json:"fingerprints"`
+}
+
+// PlanResponse lists which manifest entries must be uploaded.
+type PlanResponse struct {
+	// Missing holds indices into the request's Fingerprints array for
+	// chunks not yet in cloud storage.
+	Missing []int `json:"missing"`
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req PlanRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 256<<20)).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Fingerprints) > s.cfg.MaxPlanSize {
+		http.Error(w, "too many fingerprints", http.StatusRequestEntityTooLarge)
+		return
+	}
+	pairs := make([]core.Pair, len(req.Fingerprints))
+	for i, hexFP := range req.Fingerprints {
+		fp, err := fingerprint.Parse(hexFP)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("fingerprint %d: %v", i, err), http.StatusBadRequest)
+			return
+		}
+		pairs[i] = core.Pair{FP: fp, Val: core.Value(s.locator.Add(1))}
+	}
+
+	// One batched query to the hash cluster — the aggregation the paper's
+	// front-end performs to preserve chunk locality. Small plans from
+	// chatty clients are pooled with other requests first.
+	results, err := s.executePlan(pairs)
+	if err != nil {
+		s.cfg.Logger.Printf("webfront: plan: %v", err)
+		http.Error(w, "hash cluster error: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	resp := PlanResponse{Missing: []int{}}
+	for i, res := range results {
+		if !res.Exists {
+			resp.Missing = append(resp.Missing, i)
+		}
+	}
+	s.plans.Add(1)
+	s.lookups.Add(int64(len(pairs)))
+	writeJSON(w, resp)
+}
+
+// executePlan runs the batch against the cluster, pooling small plans
+// through the shared aggregator when enabled.
+func (s *Server) executePlan(pairs []core.Pair) ([]core.LookupResult, error) {
+	if s.agg == nil || len(pairs) >= s.cfg.AggregateBelow {
+		return s.cfg.Index.BatchLookupOrInsert(pairs)
+	}
+	results := make([]core.LookupResult, len(pairs))
+	for i, p := range pairs {
+		r, err := s.agg.LookupOrInsert(p.FP, p.Val)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = r
+	}
+	return results, nil
+}
+
+// FingerprintHeader carries the chunk fingerprint on upload requests.
+const FingerprintHeader = "X-SHHC-Fingerprint"
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	fp, err := fingerprint.Parse(r.Header.Get(FingerprintHeader))
+	if err != nil {
+		http.Error(w, "bad "+FingerprintHeader+": "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, int64(s.cfg.MaxChunkSize)+1))
+	if err != nil {
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(data) > s.cfg.MaxChunkSize {
+		http.Error(w, "chunk too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	// Integrity: the chunk must hash to its claimed fingerprint, or the
+	// store would silently corrupt every future duplicate of it.
+	if fingerprint.FromData(data) != fp {
+		http.Error(w, "fingerprint does not match chunk content", http.StatusUnprocessableEntity)
+		return
+	}
+	if _, err := s.cfg.Chunks.Put(fp, data); err != nil {
+		s.cfg.Logger.Printf("webfront: upload %s: %v", fp.Short(), err)
+		http.Error(w, "store error: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	s.uploads.Add(1)
+	w.WriteHeader(http.StatusCreated)
+}
+
+func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	hexFP := strings.TrimPrefix(r.URL.Path, "/v1/chunk/")
+	fp, err := fingerprint.Parse(hexFP)
+	if err != nil {
+		http.Error(w, "bad fingerprint: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	data, ok, err := s.cfg.Chunks.Get(fp)
+	if err != nil {
+		http.Error(w, "store error: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	if !ok {
+		http.Error(w, "chunk not found", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data)
+}
+
+// StatsResponse reports front-end and cluster counters.
+type StatsResponse struct {
+	Plans   int64           `json:"plans"`
+	Lookups int64           `json:"lookups"`
+	Uploads int64           `json:"uploads"`
+	Nodes   []NodeStatsJSON `json:"nodes"`
+}
+
+// NodeStatsJSON is the JSON shape of one node's statistics.
+type NodeStatsJSON struct {
+	ID           string `json:"id"`
+	Lookups      uint64 `json:"lookups"`
+	Inserts      uint64 `json:"inserts"`
+	CacheHits    uint64 `json:"cacheHits"`
+	BloomShort   uint64 `json:"bloomShortCircuits"`
+	StoreHits    uint64 `json:"storeHits"`
+	StoreMisses  uint64 `json:"storeMisses"`
+	StoreEntries int    `json:"storeEntries"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	nodeStats, err := s.cfg.Index.Stats()
+	if err != nil {
+		http.Error(w, "hash cluster error: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	resp := StatsResponse{
+		Plans:   s.plans.Load(),
+		Lookups: s.lookups.Load(),
+		Uploads: s.uploads.Load(),
+		Nodes:   make([]NodeStatsJSON, len(nodeStats)),
+	}
+	for i, st := range nodeStats {
+		resp.Nodes[i] = NodeStatsJSON{
+			ID:           string(st.ID),
+			Lookups:      st.Lookups,
+			Inserts:      st.Inserts,
+			CacheHits:    st.CacheHits,
+			BloomShort:   st.BloomShort,
+			StoreHits:    st.StoreHits,
+			StoreMisses:  st.StoreMisses,
+			StoreEntries: st.StoreEntries,
+		}
+	}
+	writeJSON(w, resp)
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already written; nothing recoverable remains.
+		return
+	}
+}

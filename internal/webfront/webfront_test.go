@@ -1,0 +1,247 @@
+package webfront
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"shhc/internal/cloudsim"
+	"shhc/internal/core"
+	"shhc/internal/fingerprint"
+	"shhc/internal/hashdb"
+	"shhc/internal/ring"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server, *cloudsim.Store) {
+	t.Helper()
+	backends := make([]core.Backend, 2)
+	for i := range backends {
+		node, err := core.NewNode(core.NodeConfig{
+			ID:            ring.NodeID(fmt.Sprintf("n%d", i)),
+			Store:         hashdb.NewMemStore(nil),
+			CacheSize:     128,
+			BloomExpected: 10000,
+		})
+		if err != nil {
+			t.Fatalf("NewNode: %v", err)
+		}
+		backends[i] = node
+	}
+	cluster, err := core.NewCluster(core.ClusterConfig{}, backends...)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	chunks := cloudsim.New(cloudsim.Config{})
+	srv, err := New(Config{Index: cluster, Chunks: chunks})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		cluster.Close()
+		chunks.Close()
+	})
+	return srv, ts, chunks
+}
+
+// newTestServerWithLimits builds a front-end with explicit plan/chunk
+// limits and returns its base URL.
+func newTestServerWithLimits(t *testing.T, maxPlan, maxChunk int) string {
+	t.Helper()
+	node, err := core.NewNode(core.NodeConfig{
+		ID:            "lim",
+		Store:         hashdb.NewMemStore(nil),
+		CacheSize:     64,
+		BloomExpected: 1024,
+	})
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	cluster, err := core.NewCluster(core.ClusterConfig{}, node)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	chunks := cloudsim.New(cloudsim.Config{})
+	cfg := Config{Index: cluster, Chunks: chunks}
+	if maxPlan > 0 {
+		cfg.MaxPlanSize = maxPlan
+	} else {
+		cfg.MaxPlanSize = 2
+	}
+	if maxChunk > 0 {
+		cfg.MaxChunkSize = maxChunk
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		cluster.Close()
+		chunks.Close()
+	})
+	return ts.URL
+}
+
+func postPlan(t *testing.T, url string, fps []string) PlanResponse {
+	t.Helper()
+	body, _ := json.Marshal(PlanRequest{Fingerprints: fps})
+	resp, err := http.Post(url+"/v1/plan", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/plan: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan status = %d", resp.StatusCode)
+	}
+	var plan PlanResponse
+	if err := json.NewDecoder(resp.Body).Decode(&plan); err != nil {
+		t.Fatalf("decode plan: %v", err)
+	}
+	return plan
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New without Index accepted")
+	}
+}
+
+func TestPlanMarksNewThenDuplicate(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+
+	data := []byte("hello chunk")
+	fp := fingerprint.FromData(data).String()
+
+	plan := postPlan(t, ts.URL, []string{fp})
+	if len(plan.Missing) != 1 || plan.Missing[0] != 0 {
+		t.Fatalf("first plan missing = %v, want [0]", plan.Missing)
+	}
+	plan = postPlan(t, ts.URL, []string{fp})
+	if len(plan.Missing) != 0 {
+		t.Fatalf("second plan missing = %v, want []", plan.Missing)
+	}
+}
+
+func TestPlanRejectsBadFingerprints(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	body, _ := json.Marshal(PlanRequest{Fingerprints: []string{"not-hex"}})
+	resp, err := http.Post(ts.URL+"/v1/plan", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestUploadAndFetchChunk(t *testing.T) {
+	_, ts, chunks := newTestServer(t)
+	data := []byte("stored chunk bytes")
+	fp := fingerprint.FromData(data)
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/upload", bytes.NewReader(data))
+	req.Header.Set(FingerprintHeader, fp.String())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload status = %d, want 201", resp.StatusCode)
+	}
+	if ok, _ := chunks.Has(fp); !ok {
+		t.Fatal("chunk not in store after upload")
+	}
+
+	get, err := http.Get(ts.URL + "/v1/chunk/" + fp.String())
+	if err != nil {
+		t.Fatalf("GET chunk: %v", err)
+	}
+	defer get.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(get.Body)
+	if !bytes.Equal(buf.Bytes(), data) {
+		t.Fatal("fetched chunk differs from upload")
+	}
+}
+
+func TestUploadRejectsCorruptChunk(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	data := []byte("real content")
+	wrongFP := fingerprint.FromData([]byte("other content"))
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/upload", bytes.NewReader(data))
+	req.Header.Set(FingerprintHeader, wrongFP.String())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422", resp.StatusCode)
+	}
+}
+
+func TestChunkNotFound(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/chunk/" + fingerprint.FromUint64(404).String())
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	postPlan(t, ts.URL, []string{fingerprint.FromUint64(1).String(), fingerprint.FromUint64(2).String()})
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatalf("GET stats: %v", err)
+	}
+	defer resp.Body.Close()
+	var stats StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	if stats.Plans != 1 || stats.Lookups != 2 {
+		t.Fatalf("stats = %+v, want 1 plan / 2 lookups", stats)
+	}
+	if len(stats.Nodes) != 2 {
+		t.Fatalf("got %d nodes, want 2", len(stats.Nodes))
+	}
+}
+
+func TestMethodEnforcement(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	tests := []struct {
+		method, path string
+	}{
+		{method: http.MethodGet, path: "/v1/plan"},
+		{method: http.MethodGet, path: "/v1/upload"},
+		{method: http.MethodPost, path: "/v1/chunk/" + strings.Repeat("0", 40)},
+		{method: http.MethodPost, path: "/v1/stats"},
+	}
+	for _, tt := range tests {
+		req, _ := http.NewRequest(tt.method, ts.URL+tt.path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", tt.method, tt.path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("%s %s status = %d, want 405", tt.method, tt.path, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,388 @@
+// Package wire defines SHHC's binary protocol between the web front-end
+// (or any client) and the hash nodes.
+//
+// Frames are length-prefixed so a connection can carry pipelined,
+// out-of-order responses, which the batching design of the paper relies on:
+//
+//	uint32  payload length (excluding this prefix, including type+id)
+//	uint8   message type
+//	uint64  request id (echoed in the response)
+//	...     type-specific payload
+//
+// All integers are big-endian. Fingerprints travel as raw 20-byte values.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"shhc/internal/fingerprint"
+)
+
+// Type identifies a frame's payload.
+type Type uint8
+
+// Request and response frame types.
+const (
+	// TypeLookup asks whether a fingerprint exists (no insert).
+	TypeLookup Type = iota + 1
+	// TypeLookupOrInsert runs the Figure 4 flow for one fingerprint.
+	TypeLookupOrInsert
+	// TypeBatch runs the flow for a batch of fingerprints.
+	TypeBatch
+	// TypeInsert unconditionally records a fingerprint.
+	TypeInsert
+	// TypeStats requests node statistics.
+	TypeStats
+	// TypePing checks liveness.
+	TypePing
+
+	// TypeResult answers TypeLookup / TypeLookupOrInsert / TypeInsert.
+	TypeResult
+	// TypeBatchResult answers TypeBatch.
+	TypeBatchResult
+	// TypeStatsResult answers TypeStats.
+	TypeStatsResult
+	// TypePong answers TypePing.
+	TypePong
+	// TypeError reports a server-side failure for the echoed request id.
+	TypeError
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeLookup:
+		return "lookup"
+	case TypeLookupOrInsert:
+		return "lookup-or-insert"
+	case TypeBatch:
+		return "batch"
+	case TypeInsert:
+		return "insert"
+	case TypeStats:
+		return "stats"
+	case TypePing:
+		return "ping"
+	case TypeResult:
+		return "result"
+	case TypeBatchResult:
+		return "batch-result"
+	case TypeStatsResult:
+		return "stats-result"
+	case TypePong:
+		return "pong"
+	case TypeError:
+		return "error"
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+const (
+	headerSize = 1 + 8 // type + request id (length prefix not included)
+
+	// MaxFrameSize bounds a frame to keep a misbehaving peer from forcing
+	// huge allocations. 64 MiB admits batches of >2M fingerprints.
+	MaxFrameSize = 64 << 20
+
+	// pairSize is fingerprint + value on the wire.
+	pairSize = fingerprint.Size + 8
+	// resultSize is one lookup result on the wire: flags + source + value.
+	resultSize = 1 + 1 + 8
+)
+
+// Frame errors.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+	ErrShortPayload  = errors.New("wire: payload shorter than its header claims")
+)
+
+// Frame is a decoded message envelope.
+type Frame struct {
+	Type    Type
+	ID      uint64
+	Payload []byte
+}
+
+// WriteFrame encodes and writes one frame.
+func WriteFrame(w io.Writer, f Frame) error {
+	n := headerSize + len(f.Payload)
+	if n > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	hdr := make([]byte, 4+headerSize)
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(n))
+	hdr[4] = byte(f.Type)
+	binary.BigEndian.PutUint64(hdr[5:13], f.ID)
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("wire: write frame header: %w", err)
+	}
+	if len(f.Payload) > 0 {
+		if _, err := w.Write(f.Payload); err != nil {
+			return fmt.Errorf("wire: write frame payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads and decodes one frame.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, fmt.Errorf("wire: read frame length: %w", err)
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > MaxFrameSize {
+		return Frame{}, ErrFrameTooLarge
+	}
+	if n < headerSize {
+		return Frame{}, ErrShortPayload
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Frame{}, fmt.Errorf("wire: read frame body: %w", err)
+	}
+	return Frame{
+		Type:    Type(body[0]),
+		ID:      binary.BigEndian.Uint64(body[1:9]),
+		Payload: body[9:],
+	}, nil
+}
+
+// PairPayload holds one fingerprint plus the value to assign on insert.
+type PairPayload struct {
+	FP  fingerprint.Fingerprint
+	Val uint64
+}
+
+// EncodePair encodes a single fingerprint+value payload.
+func EncodePair(p PairPayload) []byte {
+	buf := make([]byte, pairSize)
+	copy(buf, p.FP[:])
+	binary.BigEndian.PutUint64(buf[fingerprint.Size:], p.Val)
+	return buf
+}
+
+// DecodePair decodes a single fingerprint+value payload.
+func DecodePair(b []byte) (PairPayload, error) {
+	if len(b) != pairSize {
+		return PairPayload{}, fmt.Errorf("wire: pair payload: want %d bytes, got %d: %w", pairSize, len(b), ErrShortPayload)
+	}
+	var p PairPayload
+	copy(p.FP[:], b[:fingerprint.Size])
+	p.Val = binary.BigEndian.Uint64(b[fingerprint.Size:])
+	return p, nil
+}
+
+// EncodeFP encodes a bare fingerprint payload (TypeLookup).
+func EncodeFP(fp fingerprint.Fingerprint) []byte {
+	buf := make([]byte, fingerprint.Size)
+	copy(buf, fp[:])
+	return buf
+}
+
+// DecodeFP decodes a bare fingerprint payload.
+func DecodeFP(b []byte) (fingerprint.Fingerprint, error) {
+	var fp fingerprint.Fingerprint
+	if len(b) != fingerprint.Size {
+		return fp, fmt.Errorf("wire: fingerprint payload: want %d bytes, got %d: %w", fingerprint.Size, len(b), ErrShortPayload)
+	}
+	copy(fp[:], b)
+	return fp, nil
+}
+
+// EncodeBatch encodes a batch of pairs (TypeBatch).
+func EncodeBatch(pairs []PairPayload) []byte {
+	buf := make([]byte, 4+len(pairs)*pairSize)
+	binary.BigEndian.PutUint32(buf[0:4], uint32(len(pairs)))
+	off := 4
+	for _, p := range pairs {
+		copy(buf[off:], p.FP[:])
+		binary.BigEndian.PutUint64(buf[off+fingerprint.Size:], p.Val)
+		off += pairSize
+	}
+	return buf
+}
+
+// DecodeBatch decodes a batch of pairs.
+func DecodeBatch(b []byte) ([]PairPayload, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("wire: batch payload: missing count: %w", ErrShortPayload)
+	}
+	count := binary.BigEndian.Uint32(b[0:4])
+	want := 4 + int(count)*pairSize
+	if len(b) != want {
+		return nil, fmt.Errorf("wire: batch payload: want %d bytes for %d pairs, got %d: %w", want, count, len(b), ErrShortPayload)
+	}
+	pairs := make([]PairPayload, count)
+	off := 4
+	for i := range pairs {
+		copy(pairs[i].FP[:], b[off:off+fingerprint.Size])
+		pairs[i].Val = binary.BigEndian.Uint64(b[off+fingerprint.Size:])
+		off += pairSize
+	}
+	return pairs, nil
+}
+
+// ResultPayload is one lookup answer on the wire.
+type ResultPayload struct {
+	Exists bool
+	Source uint8
+	Val    uint64
+}
+
+func encodeResultInto(buf []byte, r ResultPayload) {
+	if r.Exists {
+		buf[0] = 1
+	} else {
+		buf[0] = 0
+	}
+	buf[1] = r.Source
+	binary.BigEndian.PutUint64(buf[2:10], r.Val)
+}
+
+func decodeResultFrom(buf []byte) ResultPayload {
+	return ResultPayload{
+		Exists: buf[0] == 1,
+		Source: buf[1],
+		Val:    binary.BigEndian.Uint64(buf[2:10]),
+	}
+}
+
+// EncodeResult encodes a single lookup answer (TypeResult).
+func EncodeResult(r ResultPayload) []byte {
+	buf := make([]byte, resultSize)
+	encodeResultInto(buf, r)
+	return buf
+}
+
+// DecodeResult decodes a single lookup answer.
+func DecodeResult(b []byte) (ResultPayload, error) {
+	if len(b) != resultSize {
+		return ResultPayload{}, fmt.Errorf("wire: result payload: want %d bytes, got %d: %w", resultSize, len(b), ErrShortPayload)
+	}
+	return decodeResultFrom(b), nil
+}
+
+// EncodeBatchResult encodes a batch of answers (TypeBatchResult).
+func EncodeBatchResult(rs []ResultPayload) []byte {
+	buf := make([]byte, 4+len(rs)*resultSize)
+	binary.BigEndian.PutUint32(buf[0:4], uint32(len(rs)))
+	off := 4
+	for _, r := range rs {
+		encodeResultInto(buf[off:off+resultSize], r)
+		off += resultSize
+	}
+	return buf
+}
+
+// DecodeBatchResult decodes a batch of answers.
+func DecodeBatchResult(b []byte) ([]ResultPayload, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("wire: batch result: missing count: %w", ErrShortPayload)
+	}
+	count := binary.BigEndian.Uint32(b[0:4])
+	want := 4 + int(count)*resultSize
+	if len(b) != want {
+		return nil, fmt.Errorf("wire: batch result: want %d bytes for %d results, got %d: %w", want, count, len(b), ErrShortPayload)
+	}
+	rs := make([]ResultPayload, count)
+	off := 4
+	for i := range rs {
+		rs[i] = decodeResultFrom(b[off : off+resultSize])
+		off += resultSize
+	}
+	return rs, nil
+}
+
+// EncodeError encodes a server error message (TypeError).
+func EncodeError(msg string) []byte {
+	if len(msg) > 65535 {
+		msg = msg[:65535]
+	}
+	buf := make([]byte, 2+len(msg))
+	binary.BigEndian.PutUint16(buf[0:2], uint16(len(msg)))
+	copy(buf[2:], msg)
+	return buf
+}
+
+// DecodeError decodes a server error message.
+func DecodeError(b []byte) (string, error) {
+	if len(b) < 2 {
+		return "", fmt.Errorf("wire: error payload: missing length: %w", ErrShortPayload)
+	}
+	n := binary.BigEndian.Uint16(b[0:2])
+	if len(b) != 2+int(n) {
+		return "", fmt.Errorf("wire: error payload: want %d bytes, got %d: %w", 2+n, len(b), ErrShortPayload)
+	}
+	return string(b[2:]), nil
+}
+
+// StatsPayload mirrors core.NodeStats for transport without importing core
+// (core depends on nothing above it; wire stays at the bottom layer).
+type StatsPayload struct {
+	ID           string
+	Lookups      uint64
+	Inserts      uint64
+	CacheHits    uint64
+	BloomShort   uint64
+	StoreHits    uint64
+	StoreMisses  uint64
+	BloomFalse   uint64
+	StoreEntries uint64
+	CacheHitsLRU uint64
+	CacheMisses  uint64
+	CacheEvicts  uint64
+	CacheLen     uint64
+	CacheCap     uint64
+}
+
+// EncodeStats encodes node statistics (TypeStatsResult).
+func EncodeStats(s StatsPayload) []byte {
+	id := []byte(s.ID)
+	if len(id) > 65535 {
+		id = id[:65535]
+	}
+	buf := make([]byte, 2+len(id)+13*8)
+	binary.BigEndian.PutUint16(buf[0:2], uint16(len(id)))
+	copy(buf[2:], id)
+	off := 2 + len(id)
+	for _, v := range []uint64{
+		s.Lookups, s.Inserts, s.CacheHits, s.BloomShort, s.StoreHits,
+		s.StoreMisses, s.BloomFalse, s.StoreEntries, s.CacheHitsLRU,
+		s.CacheMisses, s.CacheEvicts, s.CacheLen, s.CacheCap,
+	} {
+		binary.BigEndian.PutUint64(buf[off:], v)
+		off += 8
+	}
+	return buf
+}
+
+// DecodeStats decodes node statistics.
+func DecodeStats(b []byte) (StatsPayload, error) {
+	var s StatsPayload
+	if len(b) < 2 {
+		return s, fmt.Errorf("wire: stats payload: missing id length: %w", ErrShortPayload)
+	}
+	idLen := int(binary.BigEndian.Uint16(b[0:2]))
+	want := 2 + idLen + 13*8
+	if len(b) != want {
+		return s, fmt.Errorf("wire: stats payload: want %d bytes, got %d: %w", want, len(b), ErrShortPayload)
+	}
+	s.ID = string(b[2 : 2+idLen])
+	off := 2 + idLen
+	fields := []*uint64{
+		&s.Lookups, &s.Inserts, &s.CacheHits, &s.BloomShort, &s.StoreHits,
+		&s.StoreMisses, &s.BloomFalse, &s.StoreEntries, &s.CacheHitsLRU,
+		&s.CacheMisses, &s.CacheEvicts, &s.CacheLen, &s.CacheCap,
+	}
+	for _, f := range fields {
+		*f = binary.BigEndian.Uint64(b[off:])
+		off += 8
+	}
+	return s, nil
+}

@@ -1,0 +1,269 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"shhc/internal/fingerprint"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Frame{Type: TypeBatch, ID: 42, Payload: []byte("hello")}
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	out, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if out.Type != in.Type || out.ID != in.ID || !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Type: TypePing, ID: 7}); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	f, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if f.Type != TypePing || f.ID != 7 || len(f.Payload) != 0 {
+		t.Fatalf("frame = %+v", f)
+	}
+}
+
+func TestFramePipelining(t *testing.T) {
+	var buf bytes.Buffer
+	for i := uint64(0); i < 10; i++ {
+		WriteFrame(&buf, Frame{Type: TypeLookup, ID: i, Payload: EncodeFP(fingerprint.FromUint64(i))})
+	}
+	for i := uint64(0); i < 10; i++ {
+		f, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame %d: %v", i, err)
+		}
+		if f.ID != i {
+			t.Fatalf("frame %d has ID %d", i, f.ID)
+		}
+	}
+	if _, err := ReadFrame(&buf); !errors.Is(err, io.EOF) {
+		t.Fatalf("after drain: %v, want EOF", err)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	if err := WriteFrame(io.Discard, Frame{Payload: make([]byte, MaxFrameSize)}); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("WriteFrame oversized = %v, want ErrFrameTooLarge", err)
+	}
+	// A length prefix claiming an oversized frame is rejected on read.
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrameSize+1)
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("ReadFrame oversized = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestFrameShortHeader(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 3) // below headerSize
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); !errors.Is(err, ErrShortPayload) {
+		t.Fatalf("ReadFrame short = %v, want ErrShortPayload", err)
+	}
+}
+
+func TestFrameTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, Frame{Type: TypeLookup, ID: 1, Payload: []byte("abcdef")})
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadFrame(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("ReadFrame of truncated body succeeded")
+	}
+}
+
+func TestPairRoundTrip(t *testing.T) {
+	in := PairPayload{FP: fingerprint.FromUint64(5), Val: 12345}
+	out, err := DecodePair(EncodePair(in))
+	if err != nil {
+		t.Fatalf("DecodePair: %v", err)
+	}
+	if out != in {
+		t.Fatalf("pair mismatch: %+v vs %+v", out, in)
+	}
+	if _, err := DecodePair([]byte("short")); err == nil {
+		t.Fatal("DecodePair(short) succeeded")
+	}
+}
+
+func TestFPRoundTrip(t *testing.T) {
+	fp := fingerprint.FromUint64(9)
+	out, err := DecodeFP(EncodeFP(fp))
+	if err != nil || out != fp {
+		t.Fatalf("fp round trip = (%v, %v)", out, err)
+	}
+	if _, err := DecodeFP(nil); err == nil {
+		t.Fatal("DecodeFP(nil) succeeded")
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	pairs := make([]PairPayload, 100)
+	for i := range pairs {
+		pairs[i] = PairPayload{FP: fingerprint.FromUint64(uint64(i)), Val: uint64(i * 3)}
+	}
+	out, err := DecodeBatch(EncodeBatch(pairs))
+	if err != nil {
+		t.Fatalf("DecodeBatch: %v", err)
+	}
+	if len(out) != len(pairs) {
+		t.Fatalf("len = %d, want %d", len(out), len(pairs))
+	}
+	for i := range pairs {
+		if out[i] != pairs[i] {
+			t.Fatalf("pair %d mismatch", i)
+		}
+	}
+}
+
+func TestBatchEmptyAndErrors(t *testing.T) {
+	out, err := DecodeBatch(EncodeBatch(nil))
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty batch = (%v, %v)", out, err)
+	}
+	if _, err := DecodeBatch([]byte{1}); err == nil {
+		t.Fatal("DecodeBatch(truncated count) succeeded")
+	}
+	bad := EncodeBatch([]PairPayload{{FP: fingerprint.FromUint64(1)}})
+	if _, err := DecodeBatch(bad[:len(bad)-2]); err == nil {
+		t.Fatal("DecodeBatch(truncated pairs) succeeded")
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	tests := []ResultPayload{
+		{Exists: true, Source: 1, Val: 77},
+		{Exists: false, Source: 4, Val: 0},
+	}
+	for _, in := range tests {
+		out, err := DecodeResult(EncodeResult(in))
+		if err != nil || out != in {
+			t.Fatalf("result round trip: %+v vs %+v (%v)", out, in, err)
+		}
+	}
+	if _, err := DecodeResult([]byte{1}); err == nil {
+		t.Fatal("DecodeResult(short) succeeded")
+	}
+}
+
+func TestBatchResultRoundTrip(t *testing.T) {
+	rs := []ResultPayload{
+		{Exists: true, Source: 1, Val: 1},
+		{Exists: false, Source: 2, Val: 2},
+		{Exists: true, Source: 3, Val: 3},
+	}
+	out, err := DecodeBatchResult(EncodeBatchResult(rs))
+	if err != nil {
+		t.Fatalf("DecodeBatchResult: %v", err)
+	}
+	for i := range rs {
+		if out[i] != rs[i] {
+			t.Fatalf("result %d mismatch", i)
+		}
+	}
+	if _, err := DecodeBatchResult([]byte{0, 0}); err == nil {
+		t.Fatal("DecodeBatchResult(short) succeeded")
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	msg, err := DecodeError(EncodeError("boom"))
+	if err != nil || msg != "boom" {
+		t.Fatalf("error round trip = (%q, %v)", msg, err)
+	}
+	if _, err := DecodeError([]byte{9}); err == nil {
+		t.Fatal("DecodeError(short) succeeded")
+	}
+	long := make([]byte, 70000)
+	for i := range long {
+		long[i] = 'x'
+	}
+	msg, err = DecodeError(EncodeError(string(long)))
+	if err != nil || len(msg) != 65535 {
+		t.Fatalf("oversized error message handled badly: len=%d err=%v", len(msg), err)
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	in := StatsPayload{
+		ID: "node-3", Lookups: 1, Inserts: 2, CacheHits: 3, BloomShort: 4,
+		StoreHits: 5, StoreMisses: 6, BloomFalse: 7, StoreEntries: 8,
+		CacheHitsLRU: 9, CacheMisses: 10, CacheEvicts: 11, CacheLen: 12, CacheCap: 13,
+	}
+	out, err := DecodeStats(EncodeStats(in))
+	if err != nil {
+		t.Fatalf("DecodeStats: %v", err)
+	}
+	if out != in {
+		t.Fatalf("stats mismatch:\n got %+v\nwant %+v", out, in)
+	}
+	if _, err := DecodeStats([]byte{0}); err == nil {
+		t.Fatal("DecodeStats(short) succeeded")
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	for ty := TypeLookup; ty <= TypeError; ty++ {
+		if s := ty.String(); s == "" || s[0] == 't' && s != "type(0)" && len(s) > 20 {
+			t.Fatalf("Type(%d).String() = %q", ty, s)
+		}
+	}
+	if Type(200).String() != "type(200)" {
+		t.Fatalf("unknown type string = %q", Type(200).String())
+	}
+}
+
+// Property: batch encode/decode round-trips arbitrary pair sets.
+func TestQuickBatchRoundTrip(t *testing.T) {
+	f := func(seeds []uint64) bool {
+		pairs := make([]PairPayload, len(seeds))
+		for i, s := range seeds {
+			pairs[i] = PairPayload{FP: fingerprint.FromUint64(s), Val: s * 31}
+		}
+		out, err := DecodeBatch(EncodeBatch(pairs))
+		if err != nil || len(out) != len(pairs) {
+			return false
+		}
+		for i := range pairs {
+			if out[i] != pairs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: frames round-trip arbitrary payloads through a stream.
+func TestQuickFrameRoundTrip(t *testing.T) {
+	f := func(ty uint8, id uint64, payload []byte) bool {
+		var buf bytes.Buffer
+		in := Frame{Type: Type(ty), ID: id, Payload: payload}
+		if err := WriteFrame(&buf, in); err != nil {
+			return len(payload) > MaxFrameSize-headerSize
+		}
+		out, err := ReadFrame(&buf)
+		return err == nil && out.Type == in.Type && out.ID == in.ID && bytes.Equal(out.Payload, in.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

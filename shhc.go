@@ -1,0 +1,289 @@
+// Package shhc is a Go implementation of SHHC, the Scalable Hybrid Hash
+// Cluster for cloud backup services (Xu, Hu, Mkandawire, Jiang — ICDCS
+// Workshops 2011): a distributed, low-latency fingerprint store and lookup
+// service for inline data deduplication.
+//
+// The package is a facade over the implementation packages:
+//
+//   - a hybrid hash Node combines an in-RAM LRU cache and Bloom filter
+//     with an on-SSD hash table (Figure 4 lookup flow);
+//   - a Cluster partitions the fingerprint space across nodes with
+//     consistent hashing and fans batched lookups out in parallel;
+//   - nodes can be in-process (NewLocalCluster) or remote over SHHC's
+//     TCP protocol (StartNodeServer / DialNode);
+//   - the web front-end tier (NewFrontend), backup client (NewBackupClient)
+//     and simulated cloud store (NewCloudStore) complete the paper's
+//     four-tier architecture for end-to-end use.
+//
+// Quick start:
+//
+//	cluster, _ := shhc.NewLocalCluster(shhc.ClusterOptions{Nodes: 4})
+//	defer cluster.Close()
+//	res, _ := cluster.LookupOrInsert(shhc.FingerprintOf(chunk), 1)
+//	if !res.Exists {
+//		// first sight of this chunk: upload it
+//	}
+package shhc
+
+import (
+	"fmt"
+	"net"
+
+	"shhc/internal/backup"
+	"shhc/internal/batcher"
+	"shhc/internal/cloudsim"
+	"shhc/internal/core"
+	"shhc/internal/device"
+	"shhc/internal/fingerprint"
+	"shhc/internal/hashdb"
+	"shhc/internal/ring"
+	"shhc/internal/rpc"
+	"shhc/internal/trace"
+	"shhc/internal/webfront"
+)
+
+// Re-exported core types. These aliases are the public names; the internal
+// packages are implementation detail.
+type (
+	// Fingerprint is a chunk's SHA-1 digest.
+	Fingerprint = fingerprint.Fingerprint
+	// Value is the locator stored per fingerprint.
+	Value = core.Value
+	// Pair couples a fingerprint with the locator to assign if new.
+	Pair = core.Pair
+	// LookupResult is a node's answer to one fingerprint query.
+	LookupResult = core.LookupResult
+	// Node is a hybrid RAM+SSD hash node.
+	Node = core.Node
+	// NodeConfig configures a Node.
+	NodeConfig = core.NodeConfig
+	// NodeStats snapshots a node's counters.
+	NodeStats = core.NodeStats
+	// Cluster routes fingerprint operations across hash nodes.
+	Cluster = core.Cluster
+	// Backend is a hash node as seen by the cluster (local or remote).
+	Backend = core.Backend
+	// NodeID identifies a node on the hash ring.
+	NodeID = ring.NodeID
+	// Batcher aggregates single lookups into batches (front-end behavior).
+	Batcher = batcher.Batcher
+	// BackupClient is the client-tier chunker/uploader.
+	BackupClient = backup.Client
+	// BackupReport summarizes one backup run.
+	BackupReport = backup.Report
+	// Manifest records the chunks of one backup for restore.
+	Manifest = backup.Manifest
+	// CloudStore is the simulated cloud storage backend.
+	CloudStore = cloudsim.Store
+	// Frontend is the web front-end HTTP server.
+	Frontend = webfront.Server
+	// WorkloadSpec parameterizes a synthetic fingerprint workload.
+	WorkloadSpec = trace.Spec
+	// WorkloadStats are Table I statistics recomputed from a stream.
+	WorkloadStats = trace.Stats
+)
+
+// Lookup answer sources (which tier of the hybrid node answered).
+const (
+	SourceCache = core.SourceCache
+	SourceBloom = core.SourceBloom
+	SourceStore = core.SourceStore
+	SourceNew   = core.SourceNew
+)
+
+// FingerprintOf computes a chunk's fingerprint.
+func FingerprintOf(data []byte) Fingerprint { return fingerprint.FromData(data) }
+
+// ParseFingerprint decodes a 40-char hex fingerprint.
+func ParseFingerprint(s string) (Fingerprint, error) { return fingerprint.Parse(s) }
+
+// ClusterOptions configures NewLocalCluster.
+type ClusterOptions struct {
+	// Nodes is the cluster size. Default 4 (the paper's largest
+	// evaluated configuration).
+	Nodes int
+	// Dir, when set, stores each node's hash table in a file under Dir;
+	// empty keeps tables in memory (still charged with SSD latency).
+	Dir string
+	// DeviceModel is the modeled index device per node: "ssd" (default),
+	// "hdd", "ram", or "null".
+	DeviceModel string
+	// SleepDevices makes modeled device latency real (time.Sleep) so
+	// live benchmarks behave as if the hardware were attached; otherwise
+	// latency is only accounted.
+	SleepDevices bool
+	// CacheSize is the per-node LRU capacity. Default 1<<16 entries.
+	CacheSize int
+	// ExpectedItems sizes per-node Bloom filters and bucket regions.
+	// Default 1<<20.
+	ExpectedItems int
+	// DisableBloom turns Bloom filters off (ablation).
+	DisableBloom bool
+	// WriteBack delays SSD inserts until LRU destage (ablation).
+	WriteBack bool
+	// Replicas > 1 enables the fault-tolerance extension.
+	Replicas int
+	// VirtualNodes per node on the hash ring; 0 selects the default.
+	VirtualNodes int
+}
+
+func (o *ClusterOptions) fill() {
+	if o.Nodes <= 0 {
+		o.Nodes = 4
+	}
+	if o.CacheSize <= 0 {
+		o.CacheSize = 1 << 16
+	}
+	if o.ExpectedItems <= 0 {
+		o.ExpectedItems = 1 << 20
+	}
+	if o.DeviceModel == "" {
+		o.DeviceModel = "ssd"
+	}
+}
+
+// NewLocalCluster builds an in-process SHHC cluster: n hybrid nodes behind
+// a consistent-hash router. It is the library entry point for
+// single-machine use and for experiments.
+func NewLocalCluster(opts ClusterOptions) (*Cluster, error) {
+	opts.fill()
+	model, err := device.ModelByName(opts.DeviceModel)
+	if err != nil {
+		return nil, err
+	}
+	mode := device.Account
+	if opts.SleepDevices {
+		mode = device.Sleep
+	}
+
+	backends := make([]core.Backend, 0, opts.Nodes)
+	for i := 0; i < opts.Nodes; i++ {
+		id := ring.NodeID(fmt.Sprintf("node-%02d", i))
+		var store hashdb.Store
+		dev := device.New(model, mode)
+		if opts.Dir != "" {
+			db, err := hashdb.Create(
+				fmt.Sprintf("%s/%s.shdb", opts.Dir, id),
+				hashdb.Options{ExpectedItems: opts.ExpectedItems, Device: dev},
+			)
+			if err != nil {
+				closeAll(backends)
+				return nil, err
+			}
+			store = db
+		} else {
+			store = hashdb.NewMemStore(dev)
+		}
+		node, err := core.NewNode(core.NodeConfig{
+			ID:            id,
+			Store:         store,
+			CacheSize:     opts.CacheSize,
+			DisableBloom:  opts.DisableBloom,
+			BloomExpected: opts.ExpectedItems,
+			WriteBack:     opts.WriteBack,
+		})
+		if err != nil {
+			store.Close()
+			closeAll(backends)
+			return nil, err
+		}
+		backends = append(backends, node)
+	}
+	cluster, err := core.NewCluster(core.ClusterConfig{
+		VirtualNodes: opts.VirtualNodes,
+		Replicas:     opts.Replicas,
+	}, backends...)
+	if err != nil {
+		closeAll(backends)
+		return nil, err
+	}
+	return cluster, nil
+}
+
+func closeAll(backends []core.Backend) {
+	for _, b := range backends {
+		b.Close()
+	}
+}
+
+// NewCluster assembles a cluster from explicit backends (e.g. DialNode
+// clients for a distributed deployment).
+func NewCluster(replicas int, backends ...Backend) (*Cluster, error) {
+	return core.NewCluster(core.ClusterConfig{Replicas: replicas}, backends...)
+}
+
+// NewNodeForScaling creates a standalone hybrid node to pass to
+// Cluster.AddNode (dynamic scaling); unlike StartNodeServer it stays
+// in-process so Rebalance can migrate its entries directly.
+func NewNodeForScaling(cfg NodeConfig) (Backend, error) {
+	return core.NewNode(cfg)
+}
+
+// NodeServer is a hash node exposed over TCP.
+type NodeServer struct {
+	Node *Node
+	Addr net.Addr
+	srv  *rpc.Server
+}
+
+// Close stops serving and closes the node.
+func (s *NodeServer) Close() error {
+	err := s.srv.Close()
+	if cerr := s.Node.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// StartNodeServer creates a hybrid node and serves it on addr
+// (e.g. "127.0.0.1:0").
+func StartNodeServer(addr string, cfg NodeConfig) (*NodeServer, error) {
+	node, err := core.NewNode(cfg)
+	if err != nil {
+		return nil, err
+	}
+	srv := rpc.NewServer(node, rpc.ServerConfig{})
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		node.Close()
+		return nil, err
+	}
+	return &NodeServer{Node: node, Addr: bound, srv: srv}, nil
+}
+
+// DialNode connects to a remote hash node; the result is a Backend usable
+// in NewCluster.
+func DialNode(id NodeID, addr string) (Backend, error) {
+	return rpc.Dial(id, addr, rpc.ClientConfig{})
+}
+
+// NewBatcher wraps a cluster with front-end-style query aggregation.
+// maxBatch and maxDelayMillis bound the batch window (paper batch sizes:
+// 1, 128, 2048).
+func NewBatcher(cluster *Cluster, maxBatch int, maxDelayMillis int) *Batcher {
+	return batcher.New(cluster.BatchLookupOrInsert, batcher.Config{
+		MaxBatch: maxBatch,
+		MaxDelay: millis(maxDelayMillis),
+	})
+}
+
+// NewCloudStore creates a simulated cloud storage backend.
+func NewCloudStore() *CloudStore { return cloudsim.New(cloudsim.Config{}) }
+
+// NewFrontend creates the web front-end over a cluster and chunk store.
+func NewFrontend(cluster *Cluster, chunks *CloudStore) (*Frontend, error) {
+	return webfront.New(webfront.Config{Index: cluster, Chunks: chunks})
+}
+
+// NewBackupClient creates a backup client against a front-end URL.
+// chunkSize > 0 selects fixed-size chunking; 0 selects content-defined.
+func NewBackupClient(frontURL string, chunkSize int) (*BackupClient, error) {
+	return backup.New(backup.Config{FrontURL: frontURL, ChunkSize: chunkSize})
+}
+
+// PaperWorkloads returns the four Table I workload specs.
+func PaperWorkloads() []WorkloadSpec { return trace.PaperWorkloads() }
+
+// NewWorkload creates a generator for a workload spec. Use spec.Scaled(k)
+// to shrink paper-scale workloads.
+func NewWorkload(spec WorkloadSpec) *trace.Generator { return trace.NewGenerator(spec) }

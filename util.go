@@ -1,0 +1,12 @@
+package shhc
+
+import "time"
+
+// millis converts an integer millisecond count to a Duration, clamping
+// non-positive values to zero (which selects the batcher's default).
+func millis(ms int) time.Duration {
+	if ms <= 0 {
+		return 0
+	}
+	return time.Duration(ms) * time.Millisecond
+}
