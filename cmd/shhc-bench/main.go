@@ -157,6 +157,13 @@ func run() error {
 			return err
 		}
 		fmt.Fprint(out, bench.FormatVNodeSweep(vnodePoints))
+
+		section("Ablation: hot-path lock stripes")
+		stripePoints, err := bench.RunStripeSweep(0, 0, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, bench.FormatStripeSweep(stripePoints))
 	}
 
 	if file != nil {

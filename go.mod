@@ -1,0 +1,3 @@
+module shhc
+
+go 1.24

@@ -14,6 +14,7 @@ import (
 
 	"shhc/internal/core"
 	"shhc/internal/fingerprint"
+	"shhc/internal/pow2"
 )
 
 // Func executes one aggregated batch, returning results in input order.
@@ -23,10 +24,19 @@ type Func func(pairs []core.Pair) ([]core.LookupResult, error)
 // Config tunes the aggregation window.
 type Config struct {
 	// MaxBatch flushes when this many queries are pending. Default 128.
+	// With Stripes > 1 the limit applies per stripe.
 	MaxBatch int
 	// MaxDelay flushes a non-empty partial batch after this long,
 	// bounding the latency a query can spend queued. Default 2ms.
 	MaxDelay time.Duration
+	// Stripes splits the aggregation queue into independent stripes
+	// (rounded down to a power of two), each with its own lock, pending
+	// batch, and flush timer. A fingerprint always joins the same stripe,
+	// so stripe batches arrive pre-partitioned for the striped node's
+	// batch fan-out. Raise it when tens of client goroutines contend on
+	// one front-end batcher. Default 1 (a single shared queue — maximal
+	// aggregation, exactly the paper's behavior).
+	Stripes int
 }
 
 func (c *Config) fill() {
@@ -36,6 +46,7 @@ func (c *Config) fill() {
 	if c.MaxDelay <= 0 {
 		c.MaxDelay = 2 * time.Millisecond
 	}
+	c.Stripes = pow2.Floor(c.Stripes)
 }
 
 // ErrClosed is returned for queries submitted after Close.
@@ -51,71 +62,89 @@ type outcome struct {
 	err error
 }
 
-// Batcher coalesces concurrent LookupOrInsert calls into batches.
-// It is safe for concurrent use.
-type Batcher struct {
-	do  Func
-	cfg Config
-
+// batcherStripe is one independent aggregation queue.
+type batcherStripe struct {
 	mu      sync.Mutex
 	pending []waiter
 	timer   *time.Timer
 	closed  bool
-	flushWG sync.WaitGroup
 
 	batches uint64
 	queries uint64
 }
 
+// Batcher coalesces concurrent LookupOrInsert calls into batches.
+// It is safe for concurrent use.
+type Batcher struct {
+	do      Func
+	cfg     Config
+	stripes []batcherStripe
+	mask    uint64
+	flushWG sync.WaitGroup
+}
+
 // New creates a batcher around the given batch executor.
 func New(do Func, cfg Config) *Batcher {
 	cfg.fill()
-	return &Batcher{do: do, cfg: cfg}
+	return &Batcher{
+		do:      do,
+		cfg:     cfg,
+		stripes: make([]batcherStripe, cfg.Stripes),
+		mask:    uint64(cfg.Stripes - 1),
+	}
+}
+
+// Stripes returns the number of aggregation stripes.
+func (b *Batcher) Stripes() int { return len(b.stripes) }
+
+func (b *Batcher) stripe(fp fingerprint.Fingerprint) *batcherStripe {
+	return &b.stripes[fp.Bucket64()&b.mask]
 }
 
 // LookupOrInsert enqueues one query and blocks until its batch completes.
 func (b *Batcher) LookupOrInsert(fp fingerprint.Fingerprint, val core.Value) (core.LookupResult, error) {
 	w := waiter{pair: core.Pair{FP: fp, Val: val}, ch: make(chan outcome, 1)}
+	s := b.stripe(fp)
 
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
 		return core.LookupResult{}, ErrClosed
 	}
-	b.pending = append(b.pending, w)
-	b.queries++
-	if len(b.pending) >= b.cfg.MaxBatch {
-		b.flushLocked()
-	} else if b.timer == nil {
-		b.timer = time.AfterFunc(b.cfg.MaxDelay, b.flushTimer)
+	s.pending = append(s.pending, w)
+	s.queries++
+	if len(s.pending) >= b.cfg.MaxBatch {
+		b.flushLocked(s)
+	} else if s.timer == nil {
+		s.timer = time.AfterFunc(b.cfg.MaxDelay, func() { b.flushTimer(s) })
 	}
-	b.mu.Unlock()
+	s.mu.Unlock()
 
 	out := <-w.ch
 	return out.res, out.err
 }
 
-func (b *Batcher) flushTimer() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.closed {
+func (b *Batcher) flushTimer(s *batcherStripe) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
 		return
 	}
-	b.flushLocked()
+	b.flushLocked(s)
 }
 
-// flushLocked dispatches the pending batch. Caller holds b.mu.
-func (b *Batcher) flushLocked() {
-	if b.timer != nil {
-		b.timer.Stop()
-		b.timer = nil
+// flushLocked dispatches the stripe's pending batch. Caller holds s.mu.
+func (b *Batcher) flushLocked(s *batcherStripe) {
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
 	}
-	if len(b.pending) == 0 {
+	if len(s.pending) == 0 {
 		return
 	}
-	batch := b.pending
-	b.pending = nil
-	b.batches++
+	batch := s.pending
+	s.pending = nil
+	s.batches++
 
 	b.flushWG.Add(1)
 	go func() {
@@ -152,25 +181,36 @@ func (s Stats) MeanBatchSize() float64 {
 	return float64(s.Queries) / float64(s.Batches)
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters summed over stripes.
 func (b *Batcher) Stats() Stats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return Stats{Queries: b.queries, Batches: b.batches}
+	var st Stats
+	for i := range b.stripes {
+		s := &b.stripes[i]
+		s.mu.Lock()
+		st.Queries += s.queries
+		st.Batches += s.batches
+		s.mu.Unlock()
+	}
+	return st
 }
 
-// Close flushes any partial batch, waits for in-flight batches, and
+// Close flushes any partial batches, waits for in-flight batches, and
 // rejects further queries.
 func (b *Batcher) Close() error {
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
+	alreadyClosed := true
+	for i := range b.stripes {
+		s := &b.stripes[i]
+		s.mu.Lock()
+		if !s.closed {
+			alreadyClosed = false
+			s.closed = true
+			b.flushLocked(s)
+		}
+		s.mu.Unlock()
+	}
+	if alreadyClosed {
 		return ErrClosed
 	}
-	b.closed = true
-	b.flushLocked()
-	b.mu.Unlock()
-
 	b.flushWG.Wait()
 	return nil
 }

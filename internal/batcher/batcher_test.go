@@ -190,3 +190,71 @@ func TestDelayBoundsLatency(t *testing.T) {
 		t.Fatalf("lone query took %v; delay flush broken", elapsed)
 	}
 }
+
+func TestStripedBatcherRoutesAndAggregates(t *testing.T) {
+	exec := &echoExec{}
+	b := New(exec.do, Config{MaxBatch: 8, MaxDelay: 5 * time.Millisecond, Stripes: 4})
+	defer b.Close()
+	if b.Stripes() != 4 {
+		t.Fatalf("Stripes() = %d, want 4", b.Stripes())
+	}
+
+	const queries = 256
+	var wg sync.WaitGroup
+	var wrong atomic.Uint64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < queries/8; i++ {
+				key := uint64(g*(queries/8) + i)
+				res, err := b.LookupOrInsert(fp(key), core.Value(key))
+				if err != nil {
+					t.Errorf("LookupOrInsert: %v", err)
+					return
+				}
+				if res.Value != core.Value(key) {
+					wrong.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if w := wrong.Load(); w > 0 {
+		t.Fatalf("%d queries answered with another query's result", w)
+	}
+	st := b.Stats()
+	if st.Queries != queries {
+		t.Fatalf("Queries = %d, want %d", st.Queries, queries)
+	}
+	if st.Batches == 0 || st.Batches > queries {
+		t.Fatalf("Batches = %d, want within (0, %d]", st.Batches, queries)
+	}
+}
+
+func TestStripedBatcherCloseRejectsAndDrains(t *testing.T) {
+	exec := &echoExec{delay: time.Millisecond}
+	b := New(exec.do, Config{MaxBatch: 100, MaxDelay: time.Hour, Stripes: 4})
+
+	var wg sync.WaitGroup
+	for i := uint64(0); i < 16; i++ {
+		wg.Add(1)
+		go func(i uint64) {
+			defer wg.Done()
+			// Either outcome is valid depending on Close timing; what must
+			// hold is that no call hangs and post-Close calls error.
+			_, _ = b.LookupOrInsert(fp(i), 0)
+		}(i)
+	}
+	time.Sleep(2 * time.Millisecond)
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	wg.Wait()
+	if _, err := b.LookupOrInsert(fp(99), 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-Close error = %v, want ErrClosed", err)
+	}
+	if err := b.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("second Close = %v, want ErrClosed", err)
+	}
+}

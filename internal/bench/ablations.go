@@ -2,6 +2,8 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"shhc/internal/baseline"
@@ -462,4 +464,110 @@ func FormatVNodeSweep(points []VNodePoint) string {
 		)
 	}
 	return "Ablation: virtual nodes vs load balance (N=4)\n" + t.String()
+}
+
+// ---------------------------------------------------------------------------
+// Ablation: hot-path lock stripes (how lookup throughput scales with the
+// node's stripe count under concurrent clients).
+// ---------------------------------------------------------------------------
+
+// StripePoint is one stripe count's concurrent-lookup throughput.
+type StripePoint struct {
+	Stripes    int
+	Clients    int
+	Throughput float64 // lookups per second
+	Elapsed    time.Duration
+}
+
+// RunStripeSweep hammers a single node from `clients` goroutines with a
+// cache-resident working set, once per stripe count. With one stripe every
+// lookup serializes behind one lock (the seed design); with more, lookups
+// of different fingerprints proceed in parallel. On a single-core machine
+// the sweep is flat — the stripes remove lock contention, not CPU work —
+// so read it on the hardware you care about.
+func RunStripeSweep(clients, lookups int, stripeCounts []int) ([]StripePoint, error) {
+	if clients <= 0 {
+		clients = 2 * runtime.GOMAXPROCS(0)
+	}
+	if lookups <= 0 {
+		lookups = 200000
+	}
+	if len(stripeCounts) == 0 {
+		stripeCounts = []int{1, 4, 16, 64}
+	}
+	const working = 1 << 14
+
+	var points []StripePoint
+	for _, stripes := range stripeCounts {
+		node, err := core.NewNode(core.NodeConfig{
+			ID:            "stripe-sweep",
+			Store:         hashdb.NewMemStore(nil),
+			CacheSize:     working,
+			BloomExpected: working * 2,
+			Stripes:       stripes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i := uint64(0); i < working; i++ {
+			if _, err := node.LookupOrInsert(fingerprint.FromUint64(i), core.Value(i)); err != nil {
+				node.Close()
+				return nil, err
+			}
+		}
+
+		perClient := lookups / clients
+		var (
+			wg       sync.WaitGroup
+			mu       sync.Mutex
+			firstErr error
+		)
+		start := time.Now()
+		for g := 0; g < clients; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				i := uint64(g) * (working / uint64(clients))
+				for k := 0; k < perClient; k++ {
+					if _, err := node.LookupOrInsert(fingerprint.FromUint64(i%working), 0); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					i += 7
+				}
+			}(g)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		node.Close()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		total := perClient * clients
+		points = append(points, StripePoint{
+			Stripes:    stripes,
+			Clients:    clients,
+			Throughput: float64(total) / elapsed.Seconds(),
+			Elapsed:    elapsed,
+		})
+	}
+	return points, nil
+}
+
+// FormatStripeSweep renders the sweep.
+func FormatStripeSweep(points []StripePoint) string {
+	t := &table{header: []string{"stripes", "clients", "throughput(lookups/s)", "elapsed"}}
+	for _, p := range points {
+		t.addRow(
+			fmt.Sprintf("%d", p.Stripes),
+			fmt.Sprintf("%d", p.Clients),
+			fmt.Sprintf("%.0f", p.Throughput),
+			p.Elapsed.Round(time.Millisecond).String(),
+		)
+	}
+	return "Ablation: hot-path lock stripes (single node, cache-resident set)\n" + t.String()
 }

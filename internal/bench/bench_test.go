@@ -276,3 +276,19 @@ func TestRunVNodeSweep(t *testing.T) {
 	}
 	_ = FormatVNodeSweep(points)
 }
+
+func TestRunStripeSweep(t *testing.T) {
+	points, err := RunStripeSweep(4, 20000, []int{1, 8})
+	if err != nil {
+		t.Fatalf("RunStripeSweep: %v", err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want 2", len(points))
+	}
+	for _, p := range points {
+		if p.Throughput <= 0 {
+			t.Fatalf("stripes=%d throughput = %f, want > 0", p.Stripes, p.Throughput)
+		}
+	}
+	_ = FormatStripeSweep(points)
+}

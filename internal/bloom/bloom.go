@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"shhc/internal/fingerprint"
 )
@@ -23,12 +24,21 @@ import (
 // the SHA-1 digest already contains two independent 64-bit values, so the
 // i-th probe position is h1 + i*h2 (Kirsch–Mitzenmatcher construction).
 //
-// Filter is not safe for concurrent use; the owning node serializes access.
+// Add and MayContain are safe for concurrent use: every bit-array word is
+// read and written atomically, and bits are only ever set, never cleared.
+// A MayContain racing an Add of a *different* fingerprint may observe a
+// partially published Add, which can only delay a positive answer — it can
+// never turn an added fingerprint into a false negative, because the bits
+// of any fingerprint whose Add has completed are all visible. Callers that
+// need "Add then MayContain" ordering for the *same* fingerprint must
+// serialize those two calls themselves (the hybrid node's per-stripe lock
+// does exactly that). UnmarshalBinary is not safe to race with any other
+// method: it swaps the bit array wholesale.
 type Filter struct {
 	bits  []uint64
 	nbits uint64
 	k     int
-	n     uint64 // elements added
+	n     atomic.Uint64 // elements added
 }
 
 // New creates a filter sized for expectedItems with the given target false
@@ -77,9 +87,12 @@ func (f *Filter) Add(fp fingerprint.Fingerprint) {
 	h1, h2 := fp.Prefix64(), fp.Bucket64()|1
 	for i := 0; i < f.k; i++ {
 		pos := (h1 + uint64(i)*h2) % f.nbits
-		f.bits[pos/64] |= 1 << (pos % 64)
+		word, mask := &f.bits[pos/64], uint64(1)<<(pos%64)
+		if atomic.LoadUint64(word)&mask == 0 {
+			atomic.OrUint64(word, mask)
+		}
 	}
-	f.n++
+	f.n.Add(1)
 }
 
 // MayContain reports whether the fingerprint may have been added. A false
@@ -88,7 +101,7 @@ func (f *Filter) MayContain(fp fingerprint.Fingerprint) bool {
 	h1, h2 := fp.Prefix64(), fp.Bucket64()|1
 	for i := 0; i < f.k; i++ {
 		pos := (h1 + uint64(i)*h2) % f.nbits
-		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+		if atomic.LoadUint64(&f.bits[pos/64])&(1<<(pos%64)) == 0 {
 			return false
 		}
 	}
@@ -96,7 +109,7 @@ func (f *Filter) MayContain(fp fingerprint.Fingerprint) bool {
 }
 
 // Len returns the number of Add calls.
-func (f *Filter) Len() int { return int(f.n) }
+func (f *Filter) Len() int { return int(f.n.Load()) }
 
 // Bits returns the size of the bit array.
 func (f *Filter) Bits() uint64 { return f.nbits }
@@ -107,10 +120,11 @@ func (f *Filter) Hashes() int { return f.k }
 // EstimatedFPRate returns the expected false positive probability given the
 // current fill: (1 - e^(-k*n/m))^k.
 func (f *Filter) EstimatedFPRate() float64 {
-	if f.n == 0 {
+	n := f.n.Load()
+	if n == 0 {
 		return 0
 	}
-	exp := -float64(f.k) * float64(f.n) / float64(f.nbits)
+	exp := -float64(f.k) * float64(n) / float64(f.nbits)
 	return math.Pow(1-math.Exp(exp), float64(f.k))
 }
 
@@ -120,16 +134,19 @@ const (
 	marshalHdrSize = 4 + 1 + 1 + 2 + 8 + 8
 )
 
-// MarshalBinary serializes the filter (node checkpointing).
+// MarshalBinary serializes the filter (node checkpointing). It loads each
+// word atomically, so it may run concurrently with Add; an Add racing the
+// snapshot is either wholly or partially included, which on restore can only
+// cost an extra SSD probe, never a false negative for completed Adds.
 func (f *Filter) MarshalBinary() ([]byte, error) {
 	buf := make([]byte, marshalHdrSize+len(f.bits)*8)
 	copy(buf[0:4], marshalMagic)
 	buf[4] = 1
 	buf[5] = byte(f.k)
 	binary.BigEndian.PutUint64(buf[8:16], f.nbits)
-	binary.BigEndian.PutUint64(buf[16:24], f.n)
-	for i, w := range f.bits {
-		binary.BigEndian.PutUint64(buf[marshalHdrSize+i*8:], w)
+	binary.BigEndian.PutUint64(buf[16:24], f.n.Load())
+	for i := range f.bits {
+		binary.BigEndian.PutUint64(buf[marshalHdrSize+i*8:], atomic.LoadUint64(&f.bits[i]))
 	}
 	return buf, nil
 }
@@ -156,7 +173,8 @@ func (f *Filter) UnmarshalBinary(data []byte) error {
 	for i := range bits {
 		bits[i] = binary.BigEndian.Uint64(data[marshalHdrSize+i*8:])
 	}
-	f.bits, f.nbits, f.k, f.n = bits, nbits, k, n
+	f.bits, f.nbits, f.k = bits, nbits, k
+	f.n.Store(n)
 	return nil
 }
 

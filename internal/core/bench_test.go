@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"shhc/internal/hashdb"
@@ -79,6 +80,73 @@ func BenchmarkNodeBatch(b *testing.B) {
 			b.ReportMetric(float64(size), "pairs/op")
 		})
 	}
+}
+
+// BenchmarkNodeLookupParallel measures lookup throughput under concurrent
+// load, before (stripes=1, the seed's single-lock node) and after (striped)
+// the hot-path sharding. Run with -cpu 1,8 to see the scaling:
+//
+//	go test -bench BenchmarkNodeLookupParallel -cpu 1,8 ./internal/core
+func BenchmarkNodeLookupParallel(b *testing.B) {
+	for _, cfg := range []struct {
+		name    string
+		stripes int
+	}{
+		{"striped", 0},   // after: GOMAXPROCS-based stripe count
+		{"stripes=1", 1}, // before: fully serialized node
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			n, err := NewNode(NodeConfig{
+				ID:            "parallel",
+				Store:         hashdb.NewMemStore(nil),
+				CacheSize:     1 << 16,
+				BloomExpected: 1 << 17,
+				Stripes:       cfg.stripes,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { n.Close() })
+			const working = 1 << 15 // fits in cache: measures the RAM tier
+			for i := uint64(0); i < working; i++ {
+				if _, err := n.LookupOrInsert(fp(i), Value(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var offset atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := offset.Add(working / 8)
+				for pb.Next() {
+					if _, err := n.LookupOrInsert(fp(i%working), 0); err != nil {
+						b.Fatal(err)
+					}
+					i += 7
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkNodeBatchParallel measures one big batch partitioned across
+// stripes (the LookupBatch/BatchLookupOrInsert fan-out path).
+func BenchmarkNodeBatchParallel(b *testing.B) {
+	n := benchNode(b, 1<<16, false)
+	const size = 2048
+	pairs := make([]Pair, size)
+	for j := range pairs {
+		pairs[j] = Pair{FP: fp(uint64(j)), Val: Value(j)}
+	}
+	if _, err := n.BatchLookupOrInsert(pairs); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.BatchLookupOrInsert(pairs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(size), "pairs/op")
 }
 
 func BenchmarkClusterRoutingOverhead(b *testing.B) {

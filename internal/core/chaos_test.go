@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"shhc/internal/hashdb"
@@ -69,7 +70,12 @@ func TestConcurrentLookupsDuringRebalance(t *testing.T) {
 					return
 				default:
 				}
-				r, err := c.LookupOrInsert(fp(i%n), 0)
+				// Propose a value no seeded entry stores (seeds use
+				// Value(0..n-1)): if a lookup races a migration, the
+				// reconciliation path tells "migrated duplicate" from
+				// "own racing insert" by value, and a colliding value
+				// would be (safely, but test-visibly) reported as new.
+				r, err := c.LookupOrInsert(fp(i%n), Value(n))
 				if err != nil {
 					mu.Lock()
 					errCount++
@@ -109,6 +115,99 @@ func TestConcurrentLookupsDuringRebalance(t *testing.T) {
 		if !r.Exists {
 			t.Fatalf("fingerprint %d lost", i)
 		}
+	}
+}
+
+// TestFreshInsertsNeverReportedDuplicateDuringMigration guards the other
+// direction of the rebalance race: while JoinNode/DrainNode migrations (and
+// their membership-generation bumps) run continuously, a fingerprint seen
+// for the very first time must always be reported as new — reporting it as
+// a duplicate would drop the chunk from the upload plan and lose data. A
+// reconciliation that re-reads its own insert (instead of checking whether
+// the fingerprint's owner actually moved) fails this test.
+func TestFreshInsertsNeverReportedDuplicateDuringMigration(t *testing.T) {
+	c := newTestCluster(t, 3, ClusterConfig{})
+	for i := uint64(0); i < 2000; i++ {
+		if _, err := c.LookupOrInsert(fp(i), Value(i)); err != nil {
+			t.Fatalf("seed insert: %v", err)
+		}
+	}
+
+	stop := make(chan struct{})
+	churnDone := make(chan error, 1)
+	go func() {
+		// Continuous migration traffic: join a scratch node (pre-copy +
+		// routing flip + cleanup), then drain it back out. Drained nodes
+		// stay open until the workers finish: a worker that resolved
+		// routing just before the drain may still probe one, which must
+		// answer, not error.
+		var drained []*Node
+		defer func() {
+			for _, n := range drained {
+				n.Close()
+			}
+		}()
+		for round := 0; ; round++ {
+			select {
+			case <-stop:
+				churnDone <- nil
+				return
+			default:
+			}
+			scratch, err := NewNode(NodeConfig{
+				ID:            ring.NodeID(fmt.Sprintf("churn-%d", round)),
+				Store:         hashdb.NewMemStore(nil),
+				CacheSize:     256,
+				BloomExpected: 1 << 16,
+			})
+			if err != nil {
+				churnDone <- err
+				return
+			}
+			if _, err := c.JoinNode(scratch); err != nil {
+				churnDone <- err
+				return
+			}
+			if _, err := c.DrainNode(scratch.ID()); err != nil {
+				churnDone <- err
+				return
+			}
+			drained = append(drained, scratch)
+		}
+	}()
+
+	// Fresh fingerprints, never inserted before, each with a unique value.
+	var next atomic.Uint64
+	next.Store(1 << 20)
+	var wg sync.WaitGroup
+	var spuriousDups atomic.Uint64
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 2000; k++ {
+				i := next.Add(1)
+				r, err := c.LookupOrInsert(fp(i), Value(i))
+				if err != nil {
+					t.Errorf("LookupOrInsert: %v", err)
+					return
+				}
+				if r.Exists {
+					spuriousDups.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	if err := <-churnDone; err != nil {
+		t.Fatalf("membership churn: %v", err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	if d := spuriousDups.Load(); d > 0 {
+		t.Fatalf("%d fresh fingerprints reported as duplicates during migration (chunks would never be uploaded)", d)
 	}
 }
 

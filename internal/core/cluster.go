@@ -51,6 +51,12 @@ type Cluster struct {
 	vnodes   int
 	backends map[ring.NodeID]Backend
 	replicas int
+	// gen counts ring membership changes. Batches capture it with their
+	// routing decision as a cheap filter: only when it moved can any
+	// miss need reconciliation (see ownerMoved/reconcileMiss), closing
+	// the window where an entry migrates away between routing and
+	// execution.
+	gen uint64
 }
 
 // NewCluster creates a cluster over the given backends.
@@ -85,6 +91,7 @@ func (c *Cluster) addLocked(b Backend) error {
 		return err
 	}
 	c.backends[id] = b
+	c.gen++
 	return nil
 }
 
@@ -109,6 +116,7 @@ func (c *Cluster) RemoveNode(id ring.NodeID) error {
 		return err
 	}
 	delete(c.backends, id)
+	c.gen++
 	return nil
 }
 
@@ -155,43 +163,145 @@ func (c *Cluster) replicasFor(fp fingerprint.Fingerprint) ([]Backend, error) {
 	return backends, nil
 }
 
-// Lookup queries the owner node, failing over to successor replicas when
-// the owner errors (only useful with Replicas > 1).
-func (c *Cluster) Lookup(fp fingerprint.Fingerprint) (LookupResult, error) {
+// routeRetries bounds how many times a miss is replayed after the queried
+// fingerprint's owner changed mid-flight. Two ownership changes landing
+// inside one lookup's flight time is already vanishingly rare; three
+// retries is effectively "until stable".
+const routeRetries = 3
+
+// routingFor snapshots the replica set for fp under the ring lock.
+func (c *Cluster) routingFor(fp fingerprint.Fingerprint) ([]Backend, error) {
 	c.mu.RLock()
-	targets, err := c.replicasFor(fp)
-	c.mu.RUnlock()
-	if err != nil {
-		return LookupResult{}, err
+	defer c.mu.RUnlock()
+	return c.replicasFor(fp)
+}
+
+// routingChanged reports whether membership changed since gen.
+func (c *Cluster) routingChanged(gen uint64) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.gen != gen
+}
+
+// ownerMoved reports whether fp's owner is now a different node than the
+// one the caller just queried. This — not a bare generation bump — is the
+// retry condition for a miss: if the owner is unchanged, a miss (or the
+// caller's own fresh insert) on that owner is the authoritative answer,
+// and replaying would read back the caller's own insert as a spurious
+// "duplicate". Only when ownership actually moved can the current owner
+// know something the queried node did not (a migrated entry).
+func (c *Cluster) ownerMoved(fp fingerprint.Fingerprint, queried ring.NodeID) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	owner, err := c.ring.Lookup(fp)
+	return err == nil && owner != queried
+}
+
+// Lookup queries the owner node, failing over to successor replicas when
+// the owner errors (only useful with Replicas > 1). A miss that raced an
+// ownership change (the entry may have just migrated to a new owner) is
+// retried against the current ring.
+func (c *Cluster) Lookup(fp fingerprint.Fingerprint) (LookupResult, error) {
+	var (
+		res LookupResult
+		err error
+	)
+	for attempt := 0; attempt < routeRetries; attempt++ {
+		var owner ring.NodeID
+		res, owner, err = c.lookupOnce(fp)
+		if err != nil || res.Exists || !c.ownerMoved(fp, owner) {
+			return res, err
+		}
 	}
+	return res, err
+}
+
+func (c *Cluster) lookupOnce(fp fingerprint.Fingerprint) (LookupResult, ring.NodeID, error) {
+	targets, err := c.routingFor(fp)
+	if err != nil {
+		return LookupResult{}, "", err
+	}
+	owner := targets[0].ID()
 	var lastErr error
 	for _, b := range targets {
 		r, err := b.Lookup(fp)
 		if err == nil {
-			return r, nil
+			return r, owner, nil
 		}
 		lastErr = err
 	}
-	return LookupResult{}, fmt.Errorf("core: lookup %s: all replicas failed: %w", fp.Short(), lastErr)
+	return LookupResult{}, owner, fmt.Errorf("core: lookup %s: all replicas failed: %w", fp.Short(), lastErr)
 }
 
 // LookupOrInsert runs the Figure 4 flow on the owner and mirrors inserts to
 // the remaining replicas. The owner's answer wins; replica mirroring is
 // best-effort (a failed mirror costs one redundant upload after failover,
-// never a lost chunk).
+// never a lost chunk). A miss whose owner changed mid-flight is reconciled
+// against the current owner (see reconcileMiss): a fingerprint that had
+// already migrated is reported as a duplicate instead of "new", while a
+// genuinely new fingerprint keeps its "new" answer so the client still
+// uploads the chunk. A miss whose owner did NOT change is final: probing
+// again would find this call's own insert and misreport a new chunk as a
+// duplicate the client then never uploads.
 func (c *Cluster) LookupOrInsert(fp fingerprint.Fingerprint, val Value) (LookupResult, error) {
-	c.mu.RLock()
-	targets, err := c.replicasFor(fp)
-	c.mu.RUnlock()
-	if err != nil {
-		return LookupResult{}, err
+	res, owner, err := c.lookupOrInsertOnce(fp, val)
+	if err != nil || res.Exists || !c.ownerMoved(fp, owner) {
+		return res, err
 	}
+	return c.reconcileMiss(fp, val, res), nil
+}
+
+// reconcileMiss re-examines a LookupOrInsert miss whose owner moved while
+// the call was in flight. The insert already happened on the old owner, so
+// only a read-only probe of the current owner is safe; the probe's result
+// is interpreted with a bias toward "new", because the failure modes are
+// asymmetric — a wrong "new" costs one redundant upload, a wrong
+// "duplicate" drops the chunk from the upload plan and loses data:
+//
+//   - found with a different value: a pre-existing entry migrated here —
+//     report the duplicate.
+//   - found with our own value: indistinguishable between our own insert
+//     migrated over and an old entry that stored the same locator; "new"
+//     is consistent either way (the upload lands on the same locator).
+//   - still missing: keep "new" and heal placement by inserting on the
+//     current owner, so future lookups find the entry where routing looks.
+func (c *Cluster) reconcileMiss(fp fingerprint.Fingerprint, val Value, miss LookupResult) LookupResult {
+	for attempt := 0; attempt < routeRetries; attempt++ {
+		targets, err := c.routingFor(fp)
+		if err != nil {
+			return miss
+		}
+		owner := targets[0]
+		r, err := owner.Lookup(fp)
+		if err != nil {
+			return miss
+		}
+		if r.Exists {
+			if r.Value != val {
+				return r
+			}
+			return miss
+		}
+		if !c.ownerMoved(fp, owner.ID()) {
+			_ = owner.Insert(fp, val)
+			return miss
+		}
+	}
+	return miss
+}
+
+func (c *Cluster) lookupOrInsertOnce(fp fingerprint.Fingerprint, val Value) (LookupResult, ring.NodeID, error) {
+	targets, err := c.routingFor(fp)
+	if err != nil {
+		return LookupResult{}, "", err
+	}
+	owner := targets[0].ID()
 	var (
 		res     LookupResult
 		resErr  error
 		decided bool
 	)
-	for i, b := range targets {
+	for _, b := range targets {
 		if !decided {
 			res, resErr = b.LookupOrInsert(fp, val)
 			if resErr != nil {
@@ -204,13 +314,12 @@ func (c *Cluster) LookupOrInsert(fp fingerprint.Fingerprint, val Value) (LookupR
 			continue
 		}
 		// Mirror the insert to the remaining replicas.
-		_ = i
 		_ = b.Insert(fp, val)
 	}
 	if !decided {
-		return LookupResult{}, fmt.Errorf("core: lookup-or-insert %s: all replicas failed: %w", fp.Short(), resErr)
+		return LookupResult{}, owner, fmt.Errorf("core: lookup-or-insert %s: all replicas failed: %w", fp.Short(), resErr)
 	}
-	return res, nil
+	return res, owner, nil
 }
 
 // BatchLookupOrInsert routes each pair to its owner node, issues one batch
@@ -230,6 +339,8 @@ func (c *Cluster) BatchLookupOrInsert(pairs []Pair) ([]LookupResult, error) {
 		mirrors [][]Backend
 	}
 	groups := make(map[ring.NodeID]*routed)
+	gen := c.gen
+	owners := make([]ring.NodeID, len(pairs))
 	for i, p := range pairs {
 		targets, err := c.replicasFor(p.FP)
 		if err != nil {
@@ -237,6 +348,7 @@ func (c *Cluster) BatchLookupOrInsert(pairs []Pair) ([]LookupResult, error) {
 			return nil, err
 		}
 		owner := targets[0]
+		owners[i] = owner.ID()
 		g, ok := groups[owner.ID()]
 		if !ok {
 			g = &routed{backend: owner}
@@ -281,6 +393,18 @@ func (c *Cluster) BatchLookupOrInsert(pairs []Pair) ([]LookupResult, error) {
 	wg.Wait()
 	if firstErr != nil {
 		return nil, fmt.Errorf("core: batch: %w", firstErr)
+	}
+	// Reconcile only the misses whose owner moved mid-batch (see
+	// reconcileMiss): a miss whose owner is unchanged is final, and
+	// probing again would read back this batch's own insert as a spurious
+	// duplicate, dropping the chunk from the upload plan.
+	if c.routingChanged(gen) {
+		for i, r := range results {
+			if r.Exists || !c.ownerMoved(pairs[i].FP, owners[i]) {
+				continue
+			}
+			results[i] = c.reconcileMiss(pairs[i].FP, pairs[i].Val, r)
+		}
 	}
 	return results, nil
 }
@@ -457,6 +581,7 @@ func (c *Cluster) DrainNode(id ring.NodeID) (RebalanceStats, error) {
 		c.mu.Unlock()
 		return RebalanceStats{}, err
 	}
+	c.gen++
 	c.mu.Unlock()
 
 	moved, scanned, err := c.migrateFrom(id, m, true)

@@ -19,12 +19,14 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"shhc/internal/bloom"
 	"shhc/internal/fingerprint"
 	"shhc/internal/hashdb"
 	"shhc/internal/lru"
+	"shhc/internal/pow2"
 	"shhc/internal/ring"
 )
 
@@ -82,7 +84,8 @@ type Pair struct {
 type NodeConfig struct {
 	// ID names the node in the ring.
 	ID ring.NodeID
-	// Store is the persistent hash table (SSD in the paper). Required.
+	// Store is the persistent hash table (SSD in the paper). Required;
+	// must be safe for concurrent use (both hashdb stores are).
 	Store hashdb.Store
 	// CacheSize is the LRU capacity in entries; 0 disables the cache.
 	CacheSize int
@@ -96,6 +99,13 @@ type NodeConfig struct {
 	// trading durability for insert latency — the paper's Figure 4
 	// "LRU full? → Destage" arm and dedupv1's delayed-write idea.
 	WriteBack bool
+	// Stripes is the number of hot-path lock stripes (rounded down to a
+	// power of two). Operations on fingerprints in different stripes run
+	// concurrently; operations on one fingerprint always serialize, which
+	// is what keeps the Figure 4 cache→bloom→SSD ordering exact per
+	// fingerprint. 0 selects a GOMAXPROCS-based default; 1 recovers the
+	// original fully-serialized node.
+	Stripes int
 }
 
 // NodeStats snapshots a node's counters.
@@ -112,16 +122,30 @@ type NodeStats struct {
 	Cache        lru.Stats
 }
 
-// Node is a hybrid RAM+SSD hash node. All methods are safe for concurrent
-// use; operations on a single node are serialized, matching a single
-// index device per machine.
-type Node struct {
-	id    ring.NodeID
-	mu    sync.Mutex
-	store hashdb.Store
-	cache *lru.Cache // nil when disabled
-	bloom *bloom.Filter
-	wb    bool
+// minCachePerStripe is the smallest LRU capacity worth splitting into an
+// extra stripe. Below it the cache stays a single exact-LRU stripe, which
+// keeps eviction order deterministic for the small caches tests use.
+const minCachePerStripe = 1024
+
+// defaultStripeCount sizes the stripe space to comfortably exceed the
+// number of threads that can contend, so two concurrent lookups rarely
+// share a lock.
+func defaultStripeCount() int {
+	n := 4 * runtime.GOMAXPROCS(0)
+	// Round up to a power of two, clamped to [1, 256].
+	p := 1
+	for p < n && p < 256 {
+		p <<= 1
+	}
+	return p
+}
+
+// nodeStripe is one slice of a node's fingerprint space: a lock plus the
+// counters it guards. A fingerprint always maps to the same stripe, so the
+// whole Figure 4 flow for one fingerprint runs under one lock while flows
+// for other fingerprints proceed in parallel.
+type nodeStripe struct {
+	mu sync.Mutex
 
 	lookups    uint64
 	inserts    uint64
@@ -130,9 +154,30 @@ type Node struct {
 	storeHits  uint64
 	storeMiss  uint64
 	bloomFalse uint64
+}
 
-	destageErr error // first write-back destage failure, surfaced on Close
-	closed     bool
+// Node is a hybrid RAM+SSD hash node. All methods are safe for concurrent
+// use. The fingerprint space is split over power-of-two lock stripes:
+// per-fingerprint operations serialize (preserving the paper's Figure 4
+// tier ordering exactly as a single-lock node would), while lookups of
+// different fingerprints scale with cores.
+type Node struct {
+	id      ring.NodeID
+	store   hashdb.Store
+	cache   *lru.Striped // nil when disabled
+	bloom   *bloom.Filter
+	wb      bool
+	stripes []nodeStripe
+	mask    uint64
+
+	// destageMu guards destageErr, the first write-back destage failure,
+	// surfaced on the next insert or on Close.
+	destageMu  sync.Mutex
+	destageErr error
+
+	// closed is written with every stripe locked and read under any
+	// single stripe lock.
+	closed bool
 }
 
 // Ranger is implemented by stores that can enumerate their entries;
@@ -152,7 +197,18 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.ID == "" {
 		return nil, errors.New("core: NodeConfig.ID is required")
 	}
-	n := &Node{id: cfg.ID, store: cfg.Store, wb: cfg.WriteBack}
+	nstripes := cfg.Stripes
+	if nstripes <= 0 {
+		nstripes = defaultStripeCount()
+	}
+	nstripes = pow2.Floor(nstripes)
+	n := &Node{
+		id:      cfg.ID,
+		store:   cfg.Store,
+		wb:      cfg.WriteBack,
+		stripes: make([]nodeStripe, nstripes),
+		mask:    uint64(nstripes - 1),
+	}
 	if !cfg.DisableBloom {
 		expected := cfg.BloomExpected
 		if expected <= 0 {
@@ -182,7 +238,14 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		}
 	}
 	if cfg.CacheSize > 0 {
-		n.cache = lru.New(cfg.CacheSize, n.onEvict)
+		cacheStripes := cfg.CacheSize / minCachePerStripe
+		if cacheStripes > nstripes {
+			cacheStripes = nstripes
+		}
+		if cacheStripes < 1 {
+			cacheStripes = 1
+		}
+		n.cache = lru.NewStriped(cacheStripes, cfg.CacheSize, n.onEvict)
 	} else if cfg.WriteBack {
 		return nil, errors.New("core: WriteBack requires a cache")
 	}
@@ -190,36 +253,77 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 }
 
 // onEvict destages dirty entries to the persistent store (Figure 4's
-// "Destage" box). It runs under the node mutex via cache mutations.
+// "Destage" box). The striped cache invokes it with the evicted entry's
+// cache-stripe lock held, so the destage is atomic with the eviction: a
+// concurrent lookup of the evicted fingerprint blocks on that stripe until
+// the entry is safely in the store.
 func (n *Node) onEvict(fp fingerprint.Fingerprint, val lru.Value, dirty bool) {
 	if !dirty {
 		return
 	}
-	if _, err := n.store.Put(fp, Value(val)); err != nil && n.destageErr == nil {
-		n.destageErr = fmt.Errorf("core: node %s: destage %s: %w", n.id, fp.Short(), err)
+	if _, err := n.store.Put(fp, Value(val)); err != nil {
+		n.destageMu.Lock()
+		if n.destageErr == nil {
+			n.destageErr = fmt.Errorf("core: node %s: destage %s: %w", n.id, fp.Short(), err)
+		}
+		n.destageMu.Unlock()
 	}
+}
+
+// takeDestageErr returns and clears the pending destage failure, if any.
+func (n *Node) takeDestageErr() error {
+	n.destageMu.Lock()
+	defer n.destageMu.Unlock()
+	err := n.destageErr
+	n.destageErr = nil
+	return err
 }
 
 // ID returns the node's identity.
 func (n *Node) ID() ring.NodeID { return n.id }
 
+// Stripes returns the number of hot-path lock stripes.
+func (n *Node) Stripes() int { return len(n.stripes) }
+
+func (n *Node) stripeIndex(fp fingerprint.Fingerprint) int {
+	// Bucket64 (bytes 8..16 of the digest) is independent of the ring
+	// prefix (bytes 0..8), so the slice of the key space this node owns
+	// still spreads uniformly over its stripes.
+	return int(fp.Bucket64() & n.mask)
+}
+
+// lockAll acquires every stripe lock in index order; single-stripe
+// operations take exactly one, so the orderings can never deadlock.
+func (n *Node) lockAll() {
+	for i := range n.stripes {
+		n.stripes[i].mu.Lock()
+	}
+}
+
+func (n *Node) unlockAll() {
+	for i := len(n.stripes) - 1; i >= 0; i-- {
+		n.stripes[i].mu.Unlock()
+	}
+}
+
 // Lookup answers whether the fingerprint is stored, without inserting.
 func (n *Node) Lookup(fp fingerprint.Fingerprint) (LookupResult, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	s := &n.stripes[n.stripeIndex(fp)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if n.closed {
 		return LookupResult{}, errors.New("core: node is closed")
 	}
-	n.lookups++
+	s.lookups++
 
 	if n.cache != nil {
 		if v, ok := n.cache.Get(fp); ok {
-			n.cacheHits++
+			s.cacheHits++
 			return LookupResult{Exists: true, Value: Value(v), Source: SourceCache}, nil
 		}
 	}
 	if n.bloom != nil && !n.bloom.MayContain(fp) {
-		n.bloomShort++
+		s.bloomShort++
 		return LookupResult{Exists: false, Source: SourceBloom}, nil
 	}
 	v, ok, err := n.store.Get(fp)
@@ -227,13 +331,13 @@ func (n *Node) Lookup(fp fingerprint.Fingerprint) (LookupResult, error) {
 		return LookupResult{}, fmt.Errorf("core: node %s: lookup: %w", n.id, err)
 	}
 	if !ok {
-		n.storeMiss++
+		s.storeMiss++
 		if n.bloom != nil {
-			n.bloomFalse++
+			s.bloomFalse++
 		}
 		return LookupResult{Exists: false, Source: SourceNew}, nil
 	}
-	n.storeHits++
+	s.storeHits++
 	if n.cache != nil {
 		n.cache.Put(fp, lru.Value(v))
 	}
@@ -243,29 +347,32 @@ func (n *Node) Lookup(fp fingerprint.Fingerprint) (LookupResult, error) {
 // LookupOrInsert runs the full Figure 4 flow: answer whether the
 // fingerprint exists, inserting it with val when it does not.
 func (n *Node) LookupOrInsert(fp fingerprint.Fingerprint, val Value) (LookupResult, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.lookupOrInsertLocked(fp, val)
+	s := &n.stripes[n.stripeIndex(fp)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return n.lookupOrInsertLocked(s, fp, val)
 }
 
-func (n *Node) lookupOrInsertLocked(fp fingerprint.Fingerprint, val Value) (LookupResult, error) {
+// lookupOrInsertLocked runs the Figure 4 flow. Caller holds s.mu, and s is
+// the stripe owning fp.
+func (n *Node) lookupOrInsertLocked(s *nodeStripe, fp fingerprint.Fingerprint, val Value) (LookupResult, error) {
 	if n.closed {
 		return LookupResult{}, errors.New("core: node is closed")
 	}
-	n.lookups++
+	s.lookups++
 
 	// 1. RAM cache.
 	if n.cache != nil {
 		if v, ok := n.cache.Get(fp); ok {
-			n.cacheHits++
+			s.cacheHits++
 			return LookupResult{Exists: true, Value: Value(v), Source: SourceCache}, nil
 		}
 	}
 
 	// 2. Bloom filter: a negative proves the fingerprint is new.
 	if n.bloom != nil && !n.bloom.MayContain(fp) {
-		n.bloomShort++
-		if err := n.insertLocked(fp, val); err != nil {
+		s.bloomShort++
+		if err := n.insertLocked(s, fp, val); err != nil {
 			return LookupResult{}, err
 		}
 		return LookupResult{Exists: false, Source: SourceBloom}, nil
@@ -277,38 +384,33 @@ func (n *Node) lookupOrInsertLocked(fp fingerprint.Fingerprint, val Value) (Look
 		return LookupResult{}, fmt.Errorf("core: node %s: lookup: %w", n.id, err)
 	}
 	if ok {
-		n.storeHits++
+		s.storeHits++
 		if n.cache != nil {
 			n.cache.Put(fp, lru.Value(v))
 		}
 		return LookupResult{Exists: true, Value: v, Source: SourceStore}, nil
 	}
-	n.storeMiss++
+	s.storeMiss++
 	if n.bloom != nil {
-		n.bloomFalse++
+		s.bloomFalse++
 	}
-	if err := n.insertLocked(fp, val); err != nil {
+	if err := n.insertLocked(s, fp, val); err != nil {
 		return LookupResult{}, err
 	}
 	return LookupResult{Exists: false, Source: SourceNew}, nil
 }
 
 // insertLocked records a new fingerprint in bloom, cache and store
-// according to the write policy. Caller holds n.mu.
-func (n *Node) insertLocked(fp fingerprint.Fingerprint, val Value) error {
-	n.inserts++
+// according to the write policy. Caller holds the stripe lock owning fp.
+func (n *Node) insertLocked(s *nodeStripe, fp fingerprint.Fingerprint, val Value) error {
+	s.inserts++
 	if n.bloom != nil {
 		n.bloom.Add(fp)
 	}
 	if n.wb {
 		// Write-back: park dirty in the cache; destage on eviction.
 		n.cache.PutDirty(fp, lru.Value(val))
-		if n.destageErr != nil {
-			err := n.destageErr
-			n.destageErr = nil
-			return err
-		}
-		return nil
+		return n.takeDestageErr()
 	}
 	if _, err := n.store.Put(fp, val); err != nil {
 		return fmt.Errorf("core: node %s: insert %s: %w", n.id, fp.Short(), err)
@@ -322,35 +424,148 @@ func (n *Node) insertLocked(fp fingerprint.Fingerprint, val Value) error {
 // Insert unconditionally records fp -> val (used when uploads complete
 // out-of-band from lookups).
 func (n *Node) Insert(fp fingerprint.Fingerprint, val Value) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	s := &n.stripes[n.stripeIndex(fp)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if n.closed {
 		return errors.New("core: node is closed")
 	}
-	return n.insertLocked(fp, val)
+	return n.insertLocked(s, fp, val)
 }
 
-// BatchLookupOrInsert processes pairs in order through the Figure 4 flow,
-// holding the node for the whole batch — this is what preserves the
-// spatial locality benefit of batched queries (paper §IV.B).
+// BatchLookupOrInsert processes pairs through the Figure 4 flow. The batch
+// is partitioned by stripe and the stripes run concurrently, each holding
+// its lock for its whole share — this keeps the spatial-locality benefit of
+// batched queries (paper §IV.B) per stripe while letting a batch use every
+// core. Results are returned in input order, and a fingerprint appearing
+// twice in one batch is processed in input order (both occurrences map to
+// the same stripe), so the second sees the first as a duplicate.
 func (n *Node) BatchLookupOrInsert(pairs []Pair) ([]LookupResult, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	results := make([]LookupResult, len(pairs))
-	for i, p := range pairs {
-		r, err := n.lookupOrInsertLocked(p.FP, p.Val)
-		if err != nil {
-			return nil, fmt.Errorf("core: batch item %d: %w", i, err)
+	return n.batch(len(pairs), func(i int) fingerprint.Fingerprint { return pairs[i].FP },
+		func(s *nodeStripe, i int) (LookupResult, error) {
+			return n.lookupOrInsertLocked(s, pairs[i].FP, pairs[i].Val)
+		})
+}
+
+// LookupBatch answers a batch of read-only lookups, partitioned by stripe
+// and processed concurrently like BatchLookupOrInsert, without inserting
+// missing fingerprints.
+func (n *Node) LookupBatch(fps []fingerprint.Fingerprint) ([]LookupResult, error) {
+	return n.batch(len(fps), func(i int) fingerprint.Fingerprint { return fps[i] },
+		func(s *nodeStripe, i int) (LookupResult, error) {
+			return n.lookupLocked(s, fps[i])
+		})
+}
+
+// lookupLocked is the read-only Figure 4 flow. Caller holds s.mu, and s is
+// the stripe owning fp.
+func (n *Node) lookupLocked(s *nodeStripe, fp fingerprint.Fingerprint) (LookupResult, error) {
+	if n.closed {
+		return LookupResult{}, errors.New("core: node is closed")
+	}
+	s.lookups++
+	if n.cache != nil {
+		if v, ok := n.cache.Get(fp); ok {
+			s.cacheHits++
+			return LookupResult{Exists: true, Value: Value(v), Source: SourceCache}, nil
 		}
-		results[i] = r
+	}
+	if n.bloom != nil && !n.bloom.MayContain(fp) {
+		s.bloomShort++
+		return LookupResult{Exists: false, Source: SourceBloom}, nil
+	}
+	v, ok, err := n.store.Get(fp)
+	if err != nil {
+		return LookupResult{}, fmt.Errorf("core: node %s: lookup: %w", n.id, err)
+	}
+	if !ok {
+		s.storeMiss++
+		if n.bloom != nil {
+			s.bloomFalse++
+		}
+		return LookupResult{Exists: false, Source: SourceNew}, nil
+	}
+	s.storeHits++
+	if n.cache != nil {
+		n.cache.Put(fp, lru.Value(v))
+	}
+	return LookupResult{Exists: true, Value: v, Source: SourceStore}, nil
+}
+
+// batch partitions item indices by stripe and runs each stripe's share
+// under its lock, concurrently across stripes, reassembling results in
+// input order.
+func (n *Node) batch(count int, fpOf func(int) fingerprint.Fingerprint,
+	run func(s *nodeStripe, i int) (LookupResult, error)) ([]LookupResult, error) {
+	if count == 0 {
+		return nil, nil
+	}
+	results := make([]LookupResult, count)
+
+	runGroup := func(si int, idxs []int) error {
+		s := &n.stripes[si]
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for _, i := range idxs {
+			r, err := run(s, i)
+			if err != nil {
+				return fmt.Errorf("core: batch item %d: %w", i, err)
+			}
+			results[i] = r
+		}
+		return nil
+	}
+
+	if count == 1 {
+		if err := runGroup(n.stripeIndex(fpOf(0)), []int{0}); err != nil {
+			return nil, err
+		}
+		return results, nil
+	}
+
+	groups := make(map[int][]int, len(n.stripes))
+	for i := 0; i < count; i++ {
+		si := n.stripeIndex(fpOf(i))
+		groups[si] = append(groups[si], i)
+	}
+	if len(groups) == 1 {
+		for si, idxs := range groups {
+			if err := runGroup(si, idxs); err != nil {
+				return nil, err
+			}
+		}
+		return results, nil
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for si, idxs := range groups {
+		wg.Add(1)
+		go func(si int, idxs []int) {
+			defer wg.Done()
+			if err := runGroup(si, idxs); err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+			}
+		}(si, idxs)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return results, nil
 }
 
 // Flush destages every dirty cache entry to the store and syncs it.
 func (n *Node) Flush() error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.lockAll()
+	defer n.unlockAll()
 	if n.closed {
 		return errors.New("core: node is closed")
 	}
@@ -360,6 +575,7 @@ func (n *Node) Flush() error {
 	return n.store.Sync()
 }
 
+// flushLocked destages dirty cache entries. Caller holds every stripe lock.
 func (n *Node) flushLocked() error {
 	if n.cache == nil || !n.wb {
 		return nil
@@ -380,8 +596,8 @@ func (n *Node) flushLocked() error {
 // Entries enumerates the node's stored fingerprints (flushing write-back
 // state first so the enumeration is complete). Used by cluster rebalancing.
 func (n *Node) Entries(fn func(fp fingerprint.Fingerprint, val Value) bool) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.lockAll()
+	defer n.unlockAll()
 	if n.closed {
 		return errors.New("core: node is closed")
 	}
@@ -408,8 +624,9 @@ type Deleter interface {
 // of the removed fingerprint may pay one extra SSD probe, never a wrong
 // answer. Used by cluster rebalancing.
 func (n *Node) Remove(fp fingerprint.Fingerprint) (bool, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	s := &n.stripes[n.stripeIndex(fp)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if n.closed {
 		return false, errors.New("core: node is closed")
 	}
@@ -427,20 +644,25 @@ func (n *Node) Remove(fp fingerprint.Fingerprint) (bool, error) {
 	return removed, nil
 }
 
-// Stats snapshots the node's counters.
+// Stats snapshots the node's counters. Every stripe is locked for the
+// snapshot, so the aggregate is exactly consistent: the per-source counters
+// always sum to Lookups.
 func (n *Node) Stats() (NodeStats, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.lockAll()
+	defer n.unlockAll()
 	st := NodeStats{
 		ID:           n.id,
-		Lookups:      n.lookups,
-		Inserts:      n.inserts,
-		CacheHits:    n.cacheHits,
-		BloomShort:   n.bloomShort,
-		StoreHits:    n.storeHits,
-		StoreMisses:  n.storeMiss,
-		BloomFalse:   n.bloomFalse,
 		StoreEntries: n.store.Len(),
+	}
+	for i := range n.stripes {
+		s := &n.stripes[i]
+		st.Lookups += s.lookups
+		st.Inserts += s.inserts
+		st.CacheHits += s.cacheHits
+		st.BloomShort += s.bloomShort
+		st.StoreHits += s.storeHits
+		st.StoreMisses += s.storeMiss
+		st.BloomFalse += s.bloomFalse
 	}
 	if n.cache != nil {
 		st.Cache = n.cache.Stats()
@@ -448,15 +670,15 @@ func (n *Node) Stats() (NodeStats, error) {
 	if n.wb {
 		// Dirty cache entries are part of the logical index even though
 		// they have not been destaged yet.
-		st.StoreEntries = int(n.inserts)
+		st.StoreEntries = int(st.Inserts)
 	}
 	return st, nil
 }
 
 // Close flushes dirty state and closes the store.
 func (n *Node) Close() error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.lockAll()
+	defer n.unlockAll()
 	if n.closed {
 		return errors.New("core: node is closed")
 	}
@@ -465,8 +687,8 @@ func (n *Node) Close() error {
 	if cerr := n.store.Close(); err == nil {
 		err = cerr
 	}
-	if err == nil && n.destageErr != nil {
-		err = n.destageErr
+	if err == nil {
+		err = n.takeDestageErr()
 	}
 	return err
 }

@@ -24,9 +24,11 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"shhc/internal/device"
 	"shhc/internal/fingerprint"
+	"shhc/internal/pow2"
 )
 
 // Value is the 8-byte locator stored per fingerprint (e.g. the container or
@@ -75,6 +77,10 @@ type Options struct {
 	// Buckets overrides the computed bucket count directly (testing and
 	// sizing experiments). If zero it is derived from ExpectedItems.
 	Buckets uint64
+	// Stripes is the number of bucket-region lock stripes (rounded to a
+	// power of two). A stripe is a runtime construct, not persisted in the
+	// file. 0 selects the default; 1 recovers a single global lock.
+	Stripes int
 	// Device charges modeled latency per page I/O. Defaults to a
 	// non-sleeping SSD accountant.
 	Device *device.Device
@@ -97,21 +103,58 @@ func (o *Options) fill() {
 	}
 }
 
-// DB is an on-disk hash table from fingerprint to Value.
-// All methods are safe for concurrent use.
-type DB struct {
-	mu      sync.RWMutex
-	f       *os.File
-	path    string
-	dev     *device.Device
-	buckets uint64
-	entries uint64
-	pages   uint64 // total pages including header
-	dirty   bool   // header on disk says unclean
-	closed  bool
+// defaultStripes is the default lock-stripe count (power of two). 64 is
+// enough to keep stripe collisions rare at any realistic GOMAXPROCS while
+// the all-stripe operations (Sync, Range, Close) stay cheap.
+const defaultStripes = 64
 
-	// chain statistics, maintained on writes for diagnostics
-	overflowPages uint64
+// dbStripe guards a slice of the bucket space: bucket b belongs to stripe
+// b & (len(stripes)-1). Overflow pages are reached only through their
+// bucket's chain, so a chain — bucket page plus its overflow pages — is
+// covered entirely by one stripe lock.
+type dbStripe struct {
+	mu sync.RWMutex
+	_  [40]byte // keep neighboring stripe locks off one cache line
+}
+
+// DB is an on-disk hash table from fingerprint to Value.
+//
+// All methods are safe for concurrent use. The bucket space is split over
+// power-of-two lock stripes so probes of different buckets proceed in
+// parallel; page allocation (file growth) and header writes serialize on a
+// separate allocation mutex, which lookups never touch.
+type DB struct {
+	f          *os.File
+	path       string
+	dev        *device.Device
+	buckets    uint64
+	stripes    []dbStripe
+	stripeMask uint64
+
+	// allocMu serializes page allocation (growing the file) and header
+	// state transitions. Lock order: stripe lock, then allocMu; allocMu
+	// never acquires stripe locks.
+	allocMu sync.Mutex
+
+	entries       atomic.Uint64
+	pages         atomic.Uint64 // total pages including header
+	overflowPages atomic.Uint64 // chain statistics, for diagnostics
+	dirty         atomic.Bool   // header on disk says unclean
+	// closed is written with every stripe write-locked and read under any
+	// stripe lock, so each operation observes it coherently.
+	closed bool
+}
+
+func newStripes(n int) []dbStripe {
+	if n <= 0 {
+		n = defaultStripes
+	}
+	return make([]dbStripe, pow2.Floor(n))
+}
+
+// stripeFor returns the lock stripe owning fp's bucket chain.
+func (db *DB) stripeFor(fp fingerprint.Fingerprint) *dbStripe {
+	return &db.stripes[(fp.Prefix64()%db.buckets)&db.stripeMask]
 }
 
 // Create creates a new database file at path, failing if it exists.
@@ -126,10 +169,12 @@ func Create(path string, opts Options) (*DB, error) {
 		path:    path,
 		dev:     opts.Device,
 		buckets: opts.Buckets,
-		pages:   1 + opts.Buckets,
+		stripes: newStripes(opts.Stripes),
 	}
+	db.stripeMask = uint64(len(db.stripes) - 1)
+	db.pages.Store(1 + opts.Buckets)
 	// Zero-fill header + bucket region so bucket pages read back as empty.
-	if err := f.Truncate(int64(db.pages) * PageSize); err != nil {
+	if err := f.Truncate(int64(db.pages.Load()) * PageSize); err != nil {
 		f.Close()
 		os.Remove(path)
 		return nil, fmt.Errorf("hashdb: create %s: %w", path, err)
@@ -152,12 +197,13 @@ func Open(path string, dev *device.Device) (*DB, error) {
 	if dev == nil {
 		dev = device.New(device.SSD, device.Account)
 	}
-	db := &DB{f: f, path: path, dev: dev}
+	db := &DB{f: f, path: path, dev: dev, stripes: newStripes(0)}
+	db.stripeMask = uint64(len(db.stripes) - 1)
 	if err := db.readHeader(); err != nil {
 		f.Close()
 		return nil, err
 	}
-	if db.dirty {
+	if db.dirty.Load() {
 		if err := db.recover(); err != nil {
 			f.Close()
 			return nil, err
@@ -166,14 +212,17 @@ func Open(path string, dev *device.Device) (*DB, error) {
 	return db, nil
 }
 
+// writeHeader persists the file header. Callers must hold allocMu or have
+// otherwise quiesced mutators (Create/recover run single-threaded; Sync and
+// Close hold every stripe write lock).
 func (db *DB) writeHeader(clean bool) error {
 	var buf [fileHdrSize]byte
 	copy(buf[0:4], magic)
 	binary.BigEndian.PutUint32(buf[4:8], version)
 	binary.BigEndian.PutUint32(buf[8:12], PageSize)
 	binary.BigEndian.PutUint64(buf[12:20], db.buckets)
-	binary.BigEndian.PutUint64(buf[20:28], db.entries)
-	binary.BigEndian.PutUint64(buf[28:36], db.pages)
+	binary.BigEndian.PutUint64(buf[20:28], db.entries.Load())
+	binary.BigEndian.PutUint64(buf[28:36], db.pages.Load())
 	if clean {
 		buf[36] = 1
 	}
@@ -181,7 +230,7 @@ func (db *DB) writeHeader(clean bool) error {
 	if _, err := db.f.WriteAt(buf[:], 0); err != nil {
 		return fmt.Errorf("hashdb: %s: write header: %w", db.path, err)
 	}
-	db.dirty = !clean
+	db.dirty.Store(!clean)
 	return nil
 }
 
@@ -201,10 +250,10 @@ func (db *DB) readHeader() error {
 		return &CorruptionError{Path: db.path, Detail: fmt.Sprintf("page size %d, want %d", ps, PageSize)}
 	}
 	db.buckets = binary.BigEndian.Uint64(buf[12:20])
-	db.entries = binary.BigEndian.Uint64(buf[20:28])
-	db.pages = binary.BigEndian.Uint64(buf[28:36])
-	db.dirty = buf[36] == 0
-	if db.buckets == 0 || db.pages < 1+db.buckets {
+	db.entries.Store(binary.BigEndian.Uint64(buf[20:28]))
+	db.pages.Store(binary.BigEndian.Uint64(buf[28:36]))
+	db.dirty.Store(buf[36] == 0)
+	if db.buckets == 0 || db.pages.Load() < 1+db.buckets {
 		return &CorruptionError{Path: db.path, Detail: "inconsistent geometry"}
 	}
 	return nil
@@ -217,13 +266,13 @@ func (db *DB) recover() error {
 	if err != nil {
 		return fmt.Errorf("hashdb: %s: recover: %w", db.path, err)
 	}
-	db.pages = uint64(fi.Size()) / PageSize
-	if db.pages < 1+db.buckets {
+	db.pages.Store(uint64(fi.Size()) / PageSize)
+	if db.pages.Load() < 1+db.buckets {
 		return &CorruptionError{Path: db.path, Detail: "file truncated below bucket region"}
 	}
 	var entries, overflow uint64
 	page := make([]byte, PageSize)
-	for p := uint64(1); p < db.pages; p++ {
+	for p := uint64(1); p < db.pages.Load(); p++ {
 		if err := db.readPage(p, page); err != nil {
 			return err
 		}
@@ -236,8 +285,8 @@ func (db *DB) recover() error {
 			overflow++
 		}
 	}
-	db.entries = entries
-	db.overflowPages = overflow
+	db.entries.Store(entries)
+	db.overflowPages.Store(overflow)
 	return db.writeHeader(true)
 }
 
@@ -280,13 +329,26 @@ func (db *DB) writePage(p uint64, buf []byte) error {
 }
 
 // markDirty lazily flips the on-disk clean flag before the first mutation
-// after open/sync, so a crash is detectable.
+// after open/sync, so a crash is detectable. Concurrent mutators race to
+// the fast path; the loser of the allocMu handoff sees dirty already set.
 func (db *DB) markDirty() error {
-	if db.dirty {
+	if db.dirty.Load() {
+		return nil
+	}
+	db.allocMu.Lock()
+	defer db.allocMu.Unlock()
+	if db.dirty.Load() {
 		return nil
 	}
 	return db.writeHeader(false)
 }
+
+// pagePool recycles 4 KB page buffers across probes; the hot path would
+// otherwise allocate one per lookup.
+var pagePool = sync.Pool{New: func() any { return make([]byte, PageSize) }}
+
+func getPage() []byte  { return pagePool.Get().([]byte) }
+func putPage(b []byte) { pagePool.Put(b) } //nolint:staticcheck // fixed-size slice
 
 func (db *DB) bucketPage(fp fingerprint.Fingerprint) uint64 {
 	return 1 + fp.Prefix64()%db.buckets
@@ -320,12 +382,14 @@ func setEntryAt(page []byte, i int, fp fingerprint.Fingerprint, v Value) {
 
 // Get returns the value stored for fp.
 func (db *DB) Get(fp fingerprint.Fingerprint) (Value, bool, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	st := db.stripeFor(fp)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	if db.closed {
 		return 0, false, ErrClosed
 	}
-	page := make([]byte, PageSize)
+	page := getPage()
+	defer putPage(page)
 	for p := db.bucketPage(fp); p != 0; {
 		if err := db.readPage(p, page); err != nil {
 			return 0, false, err
@@ -351,8 +415,9 @@ func (db *DB) Has(fp fingerprint.Fingerprint) (bool, error) {
 // Put stores fp -> v, overwriting any previous value. It reports whether a
 // new entry was created (false means an existing entry was updated).
 func (db *DB) Put(fp fingerprint.Fingerprint, v Value) (bool, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	st := db.stripeFor(fp)
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if db.closed {
 		return false, ErrClosed
 	}
@@ -360,7 +425,8 @@ func (db *DB) Put(fp fingerprint.Fingerprint, v Value) (bool, error) {
 		return false, err
 	}
 
-	page := make([]byte, PageSize)
+	page := getPage()
+	defer putPage(page)
 	var (
 		freePage  uint64 // first page in chain with a free slot
 		freePg    []byte
@@ -397,12 +463,17 @@ func (db *DB) Put(fp fingerprint.Fingerprint, v Value) (bool, error) {
 		if err := db.writePage(freePage, freePg); err != nil {
 			return false, err
 		}
-		db.entries++
+		db.entries.Add(1)
 		return true, nil
 	}
 
-	// Whole chain full: allocate an overflow page at EOF and link it.
-	newPage := db.pages
+	// Whole chain full: allocate an overflow page at EOF and link it. The
+	// allocation (claiming a page number) serializes on allocMu; the page
+	// writes land at distinct offsets and stay under this stripe's lock.
+	db.allocMu.Lock()
+	newPage := db.pages.Load()
+	db.pages.Add(1)
+	db.allocMu.Unlock()
 	fresh := make([]byte, PageSize)
 	setEntryAt(fresh, 0, fp, v)
 	setPageCount(fresh, 1)
@@ -413,9 +484,8 @@ func (db *DB) Put(fp fingerprint.Fingerprint, v Value) (bool, error) {
 	if err := db.writePage(lastPage, lastPg); err != nil {
 		return false, err
 	}
-	db.pages++
-	db.overflowPages++
-	db.entries++
+	db.overflowPages.Add(1)
+	db.entries.Add(1)
 	_ = chainHops
 	return true, nil
 }
@@ -423,12 +493,14 @@ func (db *DB) Put(fp fingerprint.Fingerprint, v Value) (bool, error) {
 // Delete removes fp, reporting whether it was present. The slot is filled
 // by the page's last entry so pages stay dense.
 func (db *DB) Delete(fp fingerprint.Fingerprint) (bool, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	st := db.stripeFor(fp)
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if db.closed {
 		return false, ErrClosed
 	}
-	page := make([]byte, PageSize)
+	page := getPage()
+	defer putPage(page)
 	for p := db.bucketPage(fp); p != 0; {
 		if err := db.readPage(p, page); err != nil {
 			return false, err
@@ -450,7 +522,7 @@ func (db *DB) Delete(fp fingerprint.Fingerprint) (bool, error) {
 			if err := db.writePage(p, page); err != nil {
 				return false, err
 			}
-			db.entries--
+			db.entries.Add(^uint64(0))
 			return true, nil
 		}
 		p = pageNext(page)
@@ -460,21 +532,43 @@ func (db *DB) Delete(fp fingerprint.Fingerprint) (bool, error) {
 
 // Len returns the number of stored entries.
 func (db *DB) Len() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return int(db.entries)
+	return int(db.entries.Load())
+}
+
+// lockAll write-locks every stripe, quiescing all mutators and probes.
+// Stripes are always taken in index order so lockAll never deadlocks with
+// single-stripe operations.
+func (db *DB) lockAll() {
+	for i := range db.stripes {
+		db.stripes[i].mu.Lock()
+	}
+}
+
+func (db *DB) unlockAll() {
+	for i := len(db.stripes) - 1; i >= 0; i-- {
+		db.stripes[i].mu.Unlock()
+	}
 }
 
 // Range calls fn for every entry until fn returns false or an error occurs.
-// The iteration order is physical (bucket page order), not key order.
+// The iteration order is physical (bucket page order), not key order. The
+// walk holds every stripe lock, so it observes a point-in-time snapshot;
+// fn must not call back into the database.
 func (db *DB) Range(fn func(fp fingerprint.Fingerprint, v Value) bool) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	for i := range db.stripes {
+		db.stripes[i].mu.RLock()
+	}
+	defer func() {
+		for i := len(db.stripes) - 1; i >= 0; i-- {
+			db.stripes[i].mu.RUnlock()
+		}
+	}()
 	if db.closed {
 		return ErrClosed
 	}
-	page := make([]byte, PageSize)
-	for p := uint64(1); p < db.pages; p++ {
+	page := getPage()
+	defer putPage(page)
+	for p := uint64(1); p < db.pages.Load(); p++ {
 		if err := db.readPage(p, page); err != nil {
 			return err
 		}
@@ -489,10 +583,11 @@ func (db *DB) Range(fn func(fp fingerprint.Fingerprint, v Value) bool) error {
 	return nil
 }
 
-// Sync flushes the header (marking the file clean) and fsyncs.
+// Sync flushes the header (marking the file clean) and fsyncs. It quiesces
+// every stripe, so no mutation can race the clean flag.
 func (db *DB) Sync() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.lockAll()
+	defer db.unlockAll()
 	if db.closed {
 		return ErrClosed
 	}
@@ -507,8 +602,8 @@ func (db *DB) Sync() error {
 
 // Close syncs and closes the database.
 func (db *DB) Close() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.lockAll()
+	defer db.unlockAll()
 	if db.closed {
 		return ErrClosed
 	}
@@ -526,8 +621,8 @@ func (db *DB) Close() error {
 // CloseWithoutSync abandons the file without marking it clean, simulating a
 // crash. The next Open runs recovery. Intended for failure-injection tests.
 func (db *DB) CloseWithoutSync() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.lockAll()
+	defer db.unlockAll()
 	if db.closed {
 		return ErrClosed
 	}
@@ -542,6 +637,7 @@ func (db *DB) CloseWithoutSync() error {
 type Stats struct {
 	Entries       uint64
 	Buckets       uint64
+	Stripes       int
 	Pages         uint64
 	OverflowPages uint64
 	// LoadFactor is entries / total bucket-region slots.
@@ -549,19 +645,21 @@ type Stats struct {
 	Device     device.Stats
 }
 
-// Stats returns a snapshot of the database's shape and device usage.
+// Stats returns a snapshot of the database's shape and device usage. The
+// counters are read atomically without quiescing writers, so concurrent
+// mutations may make the snapshot loosely consistent.
 func (db *DB) Stats() Stats {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	entries := db.entries.Load()
 	lf := 0.0
 	if db.buckets > 0 {
-		lf = float64(db.entries) / float64(db.buckets*SlotsPerPage)
+		lf = float64(entries) / float64(db.buckets*SlotsPerPage)
 	}
 	return Stats{
-		Entries:       db.entries,
+		Entries:       entries,
 		Buckets:       db.buckets,
-		Pages:         db.pages,
-		OverflowPages: db.overflowPages,
+		Stripes:       len(db.stripes),
+		Pages:         db.pages.Load(),
+		OverflowPages: db.overflowPages.Load(),
 		LoadFactor:    lf,
 		Device:        db.dev.Stats(),
 	}

@@ -9,7 +9,9 @@ import (
 
 // Store is the persistent-index contract the hybrid hash node builds on.
 // *DB (SSD/HDD page store) and *MemStore (pure RAM) both implement it, as
-// does the ChunkStash-style baseline index.
+// does the ChunkStash-style baseline index. Implementations must be safe
+// for concurrent use: the striped hybrid node issues overlapping probes
+// from every stripe.
 type Store interface {
 	// Get returns the value stored for fp.
 	Get(fp fingerprint.Fingerprint) (Value, bool, error)
@@ -30,14 +32,29 @@ var (
 	_ Store = (*MemStore)(nil)
 )
 
+// memShards is the MemStore shard count (power of two). 64 shards keep
+// shard-lock collision probability low through at least ~32 hardware
+// threads while costing only 64 small map headers per store.
+const memShards = 64
+
 // MemStore is an in-RAM Store. It charges each probe to a device model
 // (RAM by default) so simulations can compare tiers honestly, and it backs
 // tests that do not want filesystem traffic.
+//
+// The key space is split over power-of-two map shards, each guarded by its
+// own RWMutex, so concurrent probes from different node stripes proceed in
+// parallel instead of serializing behind one lock.
 type MemStore struct {
-	mu     sync.RWMutex
-	m      map[fingerprint.Fingerprint]Value
+	shards [memShards]memShard
 	dev    *device.Device
+	// closed is written under every shard lock and read under any one,
+	// so each operation observes it coherently with the shard it locks.
 	closed bool
+}
+
+type memShard struct {
+	mu sync.RWMutex
+	m  map[fingerprint.Fingerprint]Value
 }
 
 // NewMemStore creates an empty in-memory store. dev may be nil, in which
@@ -46,18 +63,27 @@ func NewMemStore(dev *device.Device) *MemStore {
 	if dev == nil {
 		dev = device.New(device.RAM, device.Account)
 	}
-	return &MemStore{m: make(map[fingerprint.Fingerprint]Value), dev: dev}
+	s := &MemStore{dev: dev}
+	for i := range s.shards {
+		s.shards[i].m = make(map[fingerprint.Fingerprint]Value)
+	}
+	return s
+}
+
+func (s *MemStore) shard(fp fingerprint.Fingerprint) *memShard {
+	return &s.shards[fp.Bucket64()&(memShards-1)]
 }
 
 // Get returns the value stored for fp.
 func (s *MemStore) Get(fp fingerprint.Fingerprint) (Value, bool, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	sh := s.shard(fp)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
 	if s.closed {
 		return 0, false, ErrClosed
 	}
 	s.dev.Read(entrySize)
-	v, ok := s.m[fp]
+	v, ok := sh.m[fp]
 	return v, ok, nil
 }
 
@@ -69,55 +95,70 @@ func (s *MemStore) Has(fp fingerprint.Fingerprint) (bool, error) {
 
 // Put stores fp -> v, reporting whether a new entry was created.
 func (s *MemStore) Put(fp fingerprint.Fingerprint, v Value) (bool, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sh := s.shard(fp)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	if s.closed {
 		return false, ErrClosed
 	}
 	s.dev.Write(entrySize)
-	_, existed := s.m[fp]
-	s.m[fp] = v
+	_, existed := sh.m[fp]
+	sh.m[fp] = v
 	return !existed, nil
 }
 
 // Delete removes fp, reporting whether it was present.
 func (s *MemStore) Delete(fp fingerprint.Fingerprint) (bool, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sh := s.shard(fp)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	if s.closed {
 		return false, ErrClosed
 	}
-	_, existed := s.m[fp]
-	delete(s.m, fp)
+	_, existed := sh.m[fp]
+	delete(sh.m, fp)
 	return existed, nil
 }
 
-// Len returns the number of stored entries.
+// Len returns the number of stored entries. Shards are counted one at a
+// time, so the total is loosely consistent under concurrent writes.
 func (s *MemStore) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.m)
+	n := 0
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		n += len(s.shards[i].m)
+		s.shards[i].mu.RUnlock()
+	}
+	return n
 }
 
-// Range calls fn for every entry until fn returns false.
+// Range calls fn for every entry until fn returns false. Each shard is
+// visited under its own read lock; entries written to an already-visited
+// shard during the walk are not observed.
 func (s *MemStore) Range(fn func(fp fingerprint.Fingerprint, v Value) bool) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closed {
-		return ErrClosed
-	}
-	for fp, v := range s.m {
-		if !fn(fp, v) {
-			return nil
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		if s.closed {
+			sh.mu.RUnlock()
+			return ErrClosed
 		}
+		for fp, v := range sh.m {
+			if !fn(fp, v) {
+				sh.mu.RUnlock()
+				return nil
+			}
+		}
+		sh.mu.RUnlock()
 	}
 	return nil
 }
 
 // Sync is a no-op for the in-memory store.
 func (s *MemStore) Sync() error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	sh := &s.shards[0]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
 	if s.closed {
 		return ErrClosed
 	}
@@ -126,13 +167,17 @@ func (s *MemStore) Sync() error {
 
 // Close releases the store.
 func (s *MemStore) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		defer s.shards[i].mu.Unlock()
+	}
 	if s.closed {
 		return ErrClosed
 	}
 	s.closed = true
-	s.m = nil
+	for i := range s.shards {
+		s.shards[i].m = nil
+	}
 	return nil
 }
 

@@ -1,0 +1,174 @@
+package lru
+
+import (
+	"sync"
+
+	"shhc/internal/fingerprint"
+	"shhc/internal/pow2"
+)
+
+// Striped is a fingerprint cache split into power-of-two stripes, each an
+// independent Cache guarded by its own mutex. A fingerprint always maps to
+// the same stripe (by a hash independent of the ring and bucket hashes), so
+// per-fingerprint recency is exact while eviction is only stripe-local:
+// inserting into a full stripe evicts that stripe's LRU entry even if
+// another stripe holds a globally older one. With the uniform fingerprints
+// SHA-1 produces, stripes fill evenly and the approximation costs a few
+// percent of hit rate at most — in exchange, Get/Put throughput scales with
+// cores instead of serializing behind one lock.
+//
+// All methods are safe for concurrent use. The eviction callback runs with
+// the evicting stripe's lock held, so a destage (store write) is atomic
+// with the eviction as seen by any other operation on that fingerprint.
+type Striped struct {
+	stripes []cacheStripe
+	mask    uint64
+}
+
+type cacheStripe struct {
+	mu sync.Mutex
+	c  *Cache
+	// Pad stripes apart so neighboring locks do not share a cache line.
+	_ [48]byte
+}
+
+// NewStriped creates a striped cache with total capacity split across at
+// most the requested number of stripes. stripes is rounded down to a power
+// of two and clamped so every stripe holds at least one entry; 1 stripe
+// degenerates to a plain (exact-LRU) cache behind a lock. onEvict may be
+// nil; it observes destaged entries exactly like Cache's callback.
+func NewStriped(stripes, capacity int, onEvict EvictFunc) *Striped {
+	if capacity <= 0 {
+		panic("lru: capacity must be positive")
+	}
+	if stripes > capacity {
+		stripes = capacity
+	}
+	stripes = pow2.Floor(stripes)
+	s := &Striped{
+		stripes: make([]cacheStripe, stripes),
+		mask:    uint64(stripes - 1),
+	}
+	base, extra := capacity/stripes, capacity%stripes
+	for i := range s.stripes {
+		c := base
+		if i < extra {
+			c++
+		}
+		s.stripes[i].c = New(c, onEvict)
+	}
+	return s
+}
+
+// Stripes returns the number of stripes.
+func (s *Striped) Stripes() int { return len(s.stripes) }
+
+// StripeFor returns the index of the stripe owning fp.
+func (s *Striped) StripeFor(fp fingerprint.Fingerprint) int {
+	// Bucket64 (bytes 8..16) is independent of the ring prefix (bytes 0..8),
+	// so one node's share of the key space still spreads over all stripes.
+	return int(fp.Bucket64() & s.mask)
+}
+
+func (s *Striped) stripe(fp fingerprint.Fingerprint) *cacheStripe {
+	return &s.stripes[fp.Bucket64()&s.mask]
+}
+
+// Get looks up a fingerprint, promoting it within its stripe on a hit.
+func (s *Striped) Get(fp fingerprint.Fingerprint) (Value, bool) {
+	st := s.stripe(fp)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.c.Get(fp)
+}
+
+// Peek looks up a fingerprint without updating recency or statistics.
+func (s *Striped) Peek(fp fingerprint.Fingerprint) (Value, bool) {
+	st := s.stripe(fp)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.c.Peek(fp)
+}
+
+// Put inserts or updates a clean entry, reporting whether the stripe
+// evicted an older entry to make room.
+func (s *Striped) Put(fp fingerprint.Fingerprint, val Value) bool {
+	st := s.stripe(fp)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.c.Put(fp, val)
+}
+
+// PutDirty inserts or updates a not-yet-persisted entry.
+func (s *Striped) PutDirty(fp fingerprint.Fingerprint, val Value) bool {
+	st := s.stripe(fp)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.c.PutDirty(fp, val)
+}
+
+// MarkClean clears the dirty flag after the owner has flushed the entry.
+func (s *Striped) MarkClean(fp fingerprint.Fingerprint) {
+	st := s.stripe(fp)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.c.MarkClean(fp)
+}
+
+// Remove deletes an entry without invoking the eviction callback.
+func (s *Striped) Remove(fp fingerprint.Fingerprint) bool {
+	st := s.stripe(fp)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.c.Remove(fp)
+}
+
+// Len returns the total number of cached entries across stripes.
+func (s *Striped) Len() int {
+	n := 0
+	for i := range s.stripes {
+		s.stripes[i].mu.Lock()
+		n += s.stripes[i].c.Len()
+		s.stripes[i].mu.Unlock()
+	}
+	return n
+}
+
+// Capacity returns the total capacity across stripes.
+func (s *Striped) Capacity() int {
+	n := 0
+	for i := range s.stripes {
+		n += s.stripes[i].c.Capacity()
+	}
+	return n
+}
+
+// Keys returns every cached fingerprint, stripe by stripe and most- to
+// least-recently-used within each stripe.
+func (s *Striped) Keys() []fingerprint.Fingerprint {
+	var keys []fingerprint.Fingerprint
+	for i := range s.stripes {
+		s.stripes[i].mu.Lock()
+		keys = append(keys, s.stripes[i].c.Keys()...)
+		s.stripes[i].mu.Unlock()
+	}
+	return keys
+}
+
+// Stats sums the per-stripe counters. Each stripe is snapshotted under its
+// own lock; concurrent mutators may land between stripes, so the aggregate
+// is only loosely consistent (exact when the caller has quiesced writers).
+func (s *Striped) Stats() Stats {
+	var total Stats
+	for i := range s.stripes {
+		s.stripes[i].mu.Lock()
+		st := s.stripes[i].c.Stats()
+		s.stripes[i].mu.Unlock()
+		total.Hits += st.Hits
+		total.Misses += st.Misses
+		total.Evictions += st.Evictions
+		total.Len += st.Len
+		total.Capacity += st.Capacity
+	}
+	return total
+}

@@ -1,0 +1,120 @@
+package lru
+
+import (
+	"sync"
+	"testing"
+
+	"shhc/internal/fingerprint"
+)
+
+func TestStripedSingleStripeIsExactLRU(t *testing.T) {
+	s := NewStriped(1, 2, nil)
+	if s.Stripes() != 1 {
+		t.Fatalf("Stripes() = %d, want 1", s.Stripes())
+	}
+	s.Put(fp(1), 1)
+	s.Put(fp(2), 2)
+	s.Put(fp(3), 3) // evicts fp(1)
+	if _, ok := s.Get(fp(1)); ok {
+		t.Fatal("fp(1) survived eviction in a capacity-2 single-stripe cache")
+	}
+	if v, ok := s.Get(fp(3)); !ok || v != 3 {
+		t.Fatalf("Get(fp(3)) = (%v,%v), want (3,true)", v, ok)
+	}
+}
+
+func TestStripedClampsStripesToCapacity(t *testing.T) {
+	s := NewStriped(16, 3, nil)
+	if s.Stripes() > 3 {
+		t.Fatalf("Stripes() = %d, want <= capacity 3", s.Stripes())
+	}
+	if s.Stripes()&(s.Stripes()-1) != 0 {
+		t.Fatalf("Stripes() = %d, want a power of two", s.Stripes())
+	}
+	if s.Capacity() != 3 {
+		t.Fatalf("Capacity() = %d, want 3", s.Capacity())
+	}
+}
+
+func TestStripedFingerprintAlwaysSameStripe(t *testing.T) {
+	s := NewStriped(8, 64, nil)
+	for i := uint64(0); i < 100; i++ {
+		a, b := s.StripeFor(fp(i)), s.StripeFor(fp(i))
+		if a != b {
+			t.Fatalf("StripeFor(fp(%d)) unstable: %d then %d", i, a, b)
+		}
+		if a < 0 || a >= s.Stripes() {
+			t.Fatalf("StripeFor(fp(%d)) = %d out of range", i, a)
+		}
+	}
+}
+
+func TestStripedDirtyEvictionCallback(t *testing.T) {
+	var mu sync.Mutex
+	destaged := map[fingerprint.Fingerprint]Value{}
+	s := NewStriped(4, 4, func(f fingerprint.Fingerprint, v Value, dirty bool) {
+		if dirty {
+			mu.Lock()
+			destaged[f] = v
+			mu.Unlock()
+		}
+	})
+	// Overfill: every stripe holds 1 entry, so each stripe's second insert
+	// destages its first.
+	const n = 32
+	for i := uint64(0); i < n; i++ {
+		s.PutDirty(fp(i), Value(i))
+	}
+	if s.Len() != s.Capacity() {
+		t.Fatalf("Len() = %d, want full capacity %d", s.Len(), s.Capacity())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(destaged)+s.Len() != n {
+		t.Fatalf("destaged %d + cached %d != inserted %d", len(destaged), s.Len(), n)
+	}
+	for f, v := range destaged {
+		if Value(fpIndex(t, f)) != v {
+			t.Fatalf("destaged %s with value %d", f.Short(), v)
+		}
+	}
+}
+
+// fpIndex recovers i from fp(i) by brute force (test-sized spaces only).
+func fpIndex(t *testing.T, f fingerprint.Fingerprint) uint64 {
+	t.Helper()
+	for i := uint64(0); i < 1000; i++ {
+		if fp(i) == f {
+			return i
+		}
+	}
+	t.Fatalf("unknown fingerprint %s", f.Short())
+	return 0
+}
+
+func TestStripedConcurrentCoherence(t *testing.T) {
+	s := NewStriped(8, 256, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := uint64(0); i < 2000; i++ {
+				f := fp(i % 512)
+				if v, ok := s.Get(f); ok && v != Value(i%512) {
+					t.Errorf("Get(%s) = %d, want %d", f.Short(), v, i%512)
+					return
+				}
+				s.Put(f, Value(i%512))
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Len > st.Capacity {
+		t.Fatalf("Len %d exceeds capacity %d", st.Len, st.Capacity)
+	}
+	if st.Hits+st.Misses != 8*2000 {
+		t.Fatalf("hits %d + misses %d != %d gets", st.Hits, st.Misses, 8*2000)
+	}
+}

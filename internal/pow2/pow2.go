@@ -1,0 +1,17 @@
+// Package pow2 holds the one-line power-of-two arithmetic the striped
+// structures (node stripes, LRU stripes, hashdb lock stripes, batcher
+// queues) all share, so their stripe-count normalization cannot drift
+// apart.
+package pow2
+
+// Floor rounds n down to the nearest power of two, with a floor of 1.
+// Striped structures use it so stripe selection is a bit mask.
+func Floor(n int) int {
+	if n < 1 {
+		return 1
+	}
+	for n&(n-1) != 0 {
+		n &= n - 1
+	}
+	return n
+}

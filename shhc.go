@@ -121,6 +121,10 @@ type ClusterOptions struct {
 	DisableBloom bool
 	// WriteBack delays SSD inserts until LRU destage (ablation).
 	WriteBack bool
+	// Stripes is the per-node hot-path lock stripe count; 0 selects a
+	// GOMAXPROCS-based default, 1 fully serializes each node (the
+	// original single-lock behavior).
+	Stripes int
 	// Replicas > 1 enables the fault-tolerance extension.
 	Replicas int
 	// VirtualNodes per node on the hash ring; 0 selects the default.
@@ -181,6 +185,7 @@ func NewLocalCluster(opts ClusterOptions) (*Cluster, error) {
 			DisableBloom:  opts.DisableBloom,
 			BloomExpected: opts.ExpectedItems,
 			WriteBack:     opts.WriteBack,
+			Stripes:       opts.Stripes,
 		})
 		if err != nil {
 			store.Close()
