@@ -29,7 +29,7 @@ func main() {
 
 func run() error {
 	var (
-		runSel = flag.String("run", "all", "experiments: all|fig1|table1|fig5|fig6|ablations (comma-separated)")
+		runSel = flag.String("run", "all", "experiments: all|fig1|table1|fig5|fig6|ablations|async (comma-separated)")
 		scale  = flag.Int("scale", 64, "workload scale divisor for cluster experiments")
 		t1     = flag.Int("table1-scale", 16, "workload scale divisor for Table I stats")
 		fps    = flag.Int("fps", 100000, "fingerprints per Figure 5 cell")
@@ -164,6 +164,17 @@ func run() error {
 			return err
 		}
 		fmt.Fprint(out, bench.FormatStripeSweep(stripePoints))
+	}
+
+	if want("ablations") || want("async") {
+		section("Ablation: locked I/O vs asynchronous pipeline")
+		start := time.Now()
+		asyncPoints, err := bench.RunAsyncAblation(0, 0, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, bench.FormatAsyncAblation(asyncPoints))
+		fmt.Fprintf(out, "(%v)\n", time.Since(start).Round(time.Millisecond))
 	}
 
 	if file != nil {

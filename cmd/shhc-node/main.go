@@ -41,6 +41,7 @@ func run() error {
 		sleep    = flag.Bool("sleep-device", false, "realize modeled device latency with real sleeps")
 		noBloom  = flag.Bool("no-bloom", false, "disable the Bloom filter")
 		wb       = flag.Bool("write-back", false, "delay SSD inserts until cache destage")
+		lockedIO = flag.Bool("locked-io", false, "probe the SSD under the stripe lock (pre-pipeline baseline, for ablations)")
 	)
 	flag.Parse()
 
@@ -87,6 +88,7 @@ func run() error {
 		DisableBloom:  *noBloom,
 		BloomExpected: *expected,
 		WriteBack:     *wb,
+		LockedIO:      *lockedIO,
 	})
 	if err != nil {
 		store.Close()

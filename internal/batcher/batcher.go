@@ -67,7 +67,12 @@ type batcherStripe struct {
 	mu      sync.Mutex
 	pending []waiter
 	timer   *time.Timer
-	closed  bool
+	// timerGen invalidates stale timer callbacks: a timer that fired
+	// after its batch was already flushed (by MaxBatch or Close) must not
+	// flush the next, younger partial batch before its MaxDelay elapsed.
+	// Incremented by every flush; armed timers capture the value.
+	timerGen uint64
+	closed   bool
 
 	batches uint64
 	queries uint64
@@ -116,7 +121,8 @@ func (b *Batcher) LookupOrInsert(fp fingerprint.Fingerprint, val core.Value) (co
 	if len(s.pending) >= b.cfg.MaxBatch {
 		b.flushLocked(s)
 	} else if s.timer == nil {
-		s.timer = time.AfterFunc(b.cfg.MaxDelay, func() { b.flushTimer(s) })
+		gen := s.timerGen
+		s.timer = time.AfterFunc(b.cfg.MaxDelay, func() { b.flushTimer(s, gen) })
 	}
 	s.mu.Unlock()
 
@@ -124,10 +130,14 @@ func (b *Batcher) LookupOrInsert(fp fingerprint.Fingerprint, val core.Value) (co
 	return out.res, out.err
 }
 
-func (b *Batcher) flushTimer(s *batcherStripe) {
+// flushTimer is the MaxDelay expiry path. gen guards against a callback
+// that lost the race with a MaxBatch flush or Close: by the time it runs,
+// its batch is gone and the pending queue (if any) belongs to a younger
+// timer.
+func (b *Batcher) flushTimer(s *batcherStripe, gen uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed || s.timerGen != gen {
 		return
 	}
 	b.flushLocked(s)
@@ -135,6 +145,7 @@ func (b *Batcher) flushTimer(s *batcherStripe) {
 
 // flushLocked dispatches the stripe's pending batch. Caller holds s.mu.
 func (b *Batcher) flushLocked(s *batcherStripe) {
+	s.timerGen++
 	if s.timer != nil {
 		s.timer.Stop()
 		s.timer = nil

@@ -258,3 +258,186 @@ func TestStripedBatcherCloseRejectsAndDrains(t *testing.T) {
 		t.Fatalf("second Close = %v, want ErrClosed", err)
 	}
 }
+
+// TestCloseNeverDropsQueries hammers LookupOrInsert from many goroutines
+// while Close runs in the middle: every query must either be flushed
+// through the executor (and get its result) or be rejected with ErrClosed.
+// A query that hangs or vanishes fails the test; executed vs. answered
+// accounting must agree exactly.
+func TestCloseNeverDropsQueries(t *testing.T) {
+	var executed atomic.Int64
+	b := New(func(pairs []core.Pair) ([]core.LookupResult, error) {
+		executed.Add(int64(len(pairs)))
+		out := make([]core.LookupResult, len(pairs))
+		for i := range out {
+			out[i] = core.LookupResult{Exists: true, Value: pairs[i].Val}
+		}
+		return out, nil
+	}, Config{MaxBatch: 8, MaxDelay: 100 * time.Microsecond, Stripes: 4})
+
+	const goroutines = 8
+	var (
+		wg       sync.WaitGroup
+		answered atomic.Int64
+		rejected atomic.Int64
+	)
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; ; i++ {
+				key := uint64(g*1_000_000 + i)
+				res, err := b.LookupOrInsert(fingerprint.FromUint64(key), core.Value(key))
+				if errors.Is(err, ErrClosed) {
+					rejected.Add(1)
+					return
+				}
+				if err != nil {
+					t.Errorf("goroutine %d query %d: %v", g, i, err)
+					return
+				}
+				if res.Value != core.Value(key) {
+					t.Errorf("goroutine %d query %d: value %d, want %d (crossed results)", g, i, res.Value, key)
+					return
+				}
+				answered.Add(1)
+			}
+		}(g)
+	}
+	close(start)
+	time.Sleep(5 * time.Millisecond) // let the enqueue/flush machinery heat up
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	if got, want := executed.Load(), answered.Load(); got != want {
+		t.Fatalf("executor processed %d queries, callers got %d answers: %d dropped or duplicated", got, want, want-got)
+	}
+	if rejected.Load() != goroutines {
+		t.Fatalf("%d goroutines saw ErrClosed, want all %d", rejected.Load(), goroutines)
+	}
+	if answered.Load() == 0 {
+		t.Fatal("no query was answered before Close; the race window was never exercised")
+	}
+}
+
+// TestEnqueueRacingCloseIsFlushedOrRejected pins the exact window the
+// audit was about: a pair enqueued just as Close runs. Repeat the race
+// many times; in every round the single in-flight query must resolve.
+func TestEnqueueRacingCloseIsFlushedOrRejected(t *testing.T) {
+	for round := 0; round < 200; round++ {
+		var executed atomic.Int64
+		b := New(func(pairs []core.Pair) ([]core.LookupResult, error) {
+			executed.Add(int64(len(pairs)))
+			return make([]core.LookupResult, len(pairs)), nil
+		}, Config{MaxBatch: 64, MaxDelay: time.Hour}) // only Close can flush
+
+		type outcome struct {
+			err error
+		}
+		res := make(chan outcome, 1)
+		go func() {
+			_, err := b.LookupOrInsert(fingerprint.FromUint64(uint64(round)), 1)
+			res <- outcome{err: err}
+		}()
+		b.Close()
+
+		select {
+		case out := <-res:
+			if out.err == nil && executed.Load() != 1 {
+				t.Fatalf("round %d: query answered but executor saw %d queries", round, executed.Load())
+			}
+			if out.err != nil && !errors.Is(out.err, ErrClosed) {
+				t.Fatalf("round %d: unexpected error %v", round, out.err)
+			}
+			if out.err != nil && executed.Load() != 0 {
+				t.Fatalf("round %d: query rejected with ErrClosed but executor still saw it", round)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("round %d: query neither flushed nor rejected (hung)", round)
+		}
+	}
+}
+
+// TestStaleTimerDoesNotFlushYoungerBatch simulates a MaxDelay timer that
+// fired for a batch already flushed by MaxBatch: when its callback finally
+// runs, a younger partial batch is pending, and the stale callback must
+// leave it alone (its own MaxDelay has not elapsed).
+func TestStaleTimerDoesNotFlushYoungerBatch(t *testing.T) {
+	var flushes atomic.Int64
+	b := New(func(pairs []core.Pair) ([]core.LookupResult, error) {
+		flushes.Add(1)
+		return make([]core.LookupResult, len(pairs)), nil
+	}, Config{MaxBatch: 2, MaxDelay: time.Hour})
+	s := &b.stripes[0]
+
+	done := make(chan struct{})
+	go func() { // first pair arms the gen-0 timer
+		b.LookupOrInsert(fingerprint.FromUint64(1), 1)
+		done <- struct{}{}
+	}()
+	waitFor(t, func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return len(s.pending) == 1
+	})
+	staleGen := func() uint64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.timerGen
+	}()
+	go func() { // second pair reaches MaxBatch: flushes, invalidating gen 0
+		b.LookupOrInsert(fingerprint.FromUint64(2), 2)
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+	if flushes.Load() != 1 {
+		t.Fatalf("MaxBatch flush count = %d, want 1", flushes.Load())
+	}
+
+	// Third pair: a younger partial batch with an hour of delay budget.
+	go func() {
+		b.LookupOrInsert(fingerprint.FromUint64(3), 3)
+		done <- struct{}{}
+	}()
+	waitFor(t, func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return len(s.pending) == 1
+	})
+
+	// The stale gen-0 callback finally runs: it must not flush.
+	b.flushTimer(s, staleGen)
+	s.mu.Lock()
+	pending := len(s.pending)
+	s.mu.Unlock()
+	if pending != 1 || flushes.Load() != 1 {
+		t.Fatalf("stale timer flushed the younger batch (pending=%d, flushes=%d)", pending, flushes.Load())
+	}
+
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	<-done
+	if flushes.Load() != 2 {
+		t.Fatalf("final flush count = %d, want 2 (MaxBatch + Close)", flushes.Load())
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

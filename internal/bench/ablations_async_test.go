@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"testing"
+
+	"shhc/internal/device"
+)
+
+// TestAsyncAblationSSDBeatsLockedIO is the acceptance gate for the
+// two-phase pipeline: with modeled SSD latency (Sleep mode) and stripes=4,
+// batch lookup throughput through the asynchronous pipeline must be
+// strictly better than the locked-I/O baseline, because the baseline's
+// device concurrency is capped at 4 while the pipeline coalesces probes
+// into page reads and overlaps them to the device's modeled depth. The
+// expected gap is several-fold; asserting strict improvement keeps the
+// test robust on slow CI machines.
+func TestAsyncAblationSSDBeatsLockedIO(t *testing.T) {
+	points, err := RunAsyncAblation(1024, 256, []device.Model{device.SSD})
+	if err != nil {
+		t.Fatalf("RunAsyncAblation: %v", err)
+	}
+	var locked, async *AsyncPoint
+	for i := range points {
+		switch points[i].Mode {
+		case "locked":
+			locked = &points[i]
+		case "async":
+			async = &points[i]
+		}
+	}
+	if locked == nil || async == nil {
+		t.Fatalf("ablation returned %+v, want both modes", points)
+	}
+	if async.Throughput <= locked.Throughput {
+		t.Fatalf("async throughput %.0f lookups/s is not better than locked %.0f lookups/s",
+			async.Throughput, locked.Throughput)
+	}
+	if async.DeviceReads >= locked.DeviceReads {
+		t.Fatalf("async charged %d device reads vs locked %d; coalescing should read fewer pages than fingerprints",
+			async.DeviceReads, locked.DeviceReads)
+	}
+	t.Logf("locked: %.0f lookups/s (%d reads, %v); async: %.0f lookups/s (%d reads, %v); speedup %.1fx",
+		locked.Throughput, locked.DeviceReads, locked.Elapsed,
+		async.Throughput, async.DeviceReads, async.Elapsed,
+		async.Throughput/locked.Throughput)
+}

@@ -21,14 +21,19 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"shhc/internal/bloom"
 	"shhc/internal/fingerprint"
 	"shhc/internal/hashdb"
 	"shhc/internal/lru"
+	"shhc/internal/metrics"
 	"shhc/internal/pow2"
 	"shhc/internal/ring"
 )
+
+// errNodeClosed is returned by every operation on a closed node.
+var errNodeClosed = errors.New("core: node is closed")
 
 // Value is the chunk locator stored per fingerprint.
 type Value = hashdb.Value
@@ -106,20 +111,50 @@ type NodeConfig struct {
 	// fingerprint. 0 selects a GOMAXPROCS-based default; 1 recovers the
 	// original fully-serialized node.
 	Stripes int
+	// LockedIO holds the stripe lock across SSD probes and inserts (the
+	// pre-pipeline behavior): one Bloom false positive or genuine
+	// duplicate then stalls every other fingerprint on its stripe for a
+	// full device round-trip. Kept as the ablation baseline for the
+	// asynchronous two-phase pipeline, which is the default.
+	LockedIO bool
+}
+
+// PhaseTimings are per-tier latency digests of the lookup pipeline: how
+// long the RAM LRU probes, Bloom filter probes, and SSD phases took. The
+// SSD phase is one probe plus the insert its miss called for (for batches:
+// one coalesced read/write wave), timed outside the stripe lock.
+type PhaseTimings struct {
+	Cache metrics.Summary
+	Bloom metrics.Summary
+	SSD   metrics.Summary
+}
+
+// newPhaseHistogram sizes one per-stripe phase histogram. Cache and Bloom
+// probes resolve in tens of nanoseconds, SSD phases in tens of
+// microseconds to milliseconds; a 100ns base with 40 doubling buckets
+// digests both ends.
+func newPhaseHistogram() *metrics.Histogram {
+	return metrics.NewHistogram(100*time.Nanosecond, 40)
 }
 
 // NodeStats snapshots a node's counters.
 type NodeStats struct {
-	ID           ring.NodeID
-	Lookups      uint64
-	Inserts      uint64
-	CacheHits    uint64
-	BloomShort   uint64 // lookups short-circuited by a Bloom negative
-	StoreHits    uint64
-	StoreMisses  uint64
-	BloomFalse   uint64 // Bloom said maybe, store said no
+	ID          ring.NodeID
+	Lookups     uint64
+	Inserts     uint64
+	CacheHits   uint64
+	BloomShort  uint64 // lookups short-circuited by a Bloom negative
+	StoreHits   uint64
+	StoreMisses uint64
+	BloomFalse  uint64 // Bloom said maybe, store said no
+	// Coalesced counts lookups answered by joining another lookup's
+	// in-flight SSD phase instead of issuing their own probe (they still
+	// count once under StoreHits or StoreMisses).
+	Coalesced    uint64
 	StoreEntries int
 	Cache        lru.Stats
+	// Phases digests per-tier latency (see PhaseTimings).
+	Phases PhaseTimings
 }
 
 // minCachePerStripe is the smallest LRU capacity worth splitting into an
@@ -147,6 +182,17 @@ func defaultStripeCount() int {
 type nodeStripe struct {
 	mu sync.Mutex
 
+	// inflight holds the stripe's fingerprints whose SSD phase is running
+	// outside the lock (see pipeline.go). Guarded by mu.
+	inflight map[fingerprint.Fingerprint]*flight
+
+	// Per-stripe phase histograms, like the counters: observations touch
+	// only stripe-local memory (no cross-core contention on the hot
+	// path); Stats() merges them into one digest.
+	histCache *metrics.Histogram
+	histBloom *metrics.Histogram
+	histSSD   *metrics.Histogram
+
 	lookups    uint64
 	inserts    uint64
 	cacheHits  uint64
@@ -154,6 +200,7 @@ type nodeStripe struct {
 	storeHits  uint64
 	storeMiss  uint64
 	bloomFalse uint64
+	coalesced  uint64
 }
 
 // Node is a hybrid RAM+SSD hash node. All methods are safe for concurrent
@@ -162,13 +209,18 @@ type nodeStripe struct {
 // tier ordering exactly as a single-lock node would), while lookups of
 // different fingerprints scale with cores.
 type Node struct {
-	id      ring.NodeID
-	store   hashdb.Store
-	cache   *lru.Striped // nil when disabled
-	bloom   *bloom.Filter
-	wb      bool
-	stripes []nodeStripe
-	mask    uint64
+	id       ring.NodeID
+	store    hashdb.Store
+	cache    *lru.Striped // nil when disabled
+	bloom    *bloom.Filter
+	wb       bool
+	lockedIO bool
+	stripes  []nodeStripe
+	mask     uint64
+
+	// flights tracks SSD phases running outside the stripe locks; Close
+	// waits for them before flushing and closing the store.
+	flights sync.WaitGroup
 
 	// destageMu guards destageErr, the first write-back destage failure,
 	// surfaced on the next insert or on Close.
@@ -203,11 +255,18 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	}
 	nstripes = pow2.Floor(nstripes)
 	n := &Node{
-		id:      cfg.ID,
-		store:   cfg.Store,
-		wb:      cfg.WriteBack,
-		stripes: make([]nodeStripe, nstripes),
-		mask:    uint64(nstripes - 1),
+		id:       cfg.ID,
+		store:    cfg.Store,
+		wb:       cfg.WriteBack,
+		lockedIO: cfg.LockedIO,
+		stripes:  make([]nodeStripe, nstripes),
+		mask:     uint64(nstripes - 1),
+	}
+	for i := range n.stripes {
+		n.stripes[i].inflight = make(map[fingerprint.Fingerprint]*flight)
+		n.stripes[i].histCache = newPhaseHistogram()
+		n.stripes[i].histBloom = newPhaseHistogram()
+		n.stripes[i].histSSD = newPhaseHistogram()
 	}
 	if !cfg.DisableBloom {
 		expected := cfg.BloomExpected
@@ -306,84 +365,77 @@ func (n *Node) unlockAll() {
 	}
 }
 
-// Lookup answers whether the fingerprint is stored, without inserting.
+// Lookup answers whether the fingerprint is stored, without inserting. By
+// default the SSD probe runs outside the stripe lock (see pipeline.go);
+// with LockedIO the whole walk holds the lock.
 func (n *Node) Lookup(fp fingerprint.Fingerprint) (LookupResult, error) {
+	if !n.lockedIO {
+		return n.lookupAsync(fp, 0, false)
+	}
 	s := &n.stripes[n.stripeIndex(fp)]
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if n.closed {
-		return LookupResult{}, errors.New("core: node is closed")
-	}
-	s.lookups++
-
-	if n.cache != nil {
-		if v, ok := n.cache.Get(fp); ok {
-			s.cacheHits++
-			return LookupResult{Exists: true, Value: Value(v), Source: SourceCache}, nil
-		}
-	}
-	if n.bloom != nil && !n.bloom.MayContain(fp) {
-		s.bloomShort++
-		return LookupResult{Exists: false, Source: SourceBloom}, nil
-	}
-	v, ok, err := n.store.Get(fp)
-	if err != nil {
-		return LookupResult{}, fmt.Errorf("core: node %s: lookup: %w", n.id, err)
-	}
-	if !ok {
-		s.storeMiss++
-		if n.bloom != nil {
-			s.bloomFalse++
-		}
-		return LookupResult{Exists: false, Source: SourceNew}, nil
-	}
-	s.storeHits++
-	if n.cache != nil {
-		n.cache.Put(fp, lru.Value(v))
-	}
-	return LookupResult{Exists: true, Value: v, Source: SourceStore}, nil
+	return n.lookupLocked(s, fp)
 }
 
 // LookupOrInsert runs the full Figure 4 flow: answer whether the
-// fingerprint exists, inserting it with val when it does not.
+// fingerprint exists, inserting it with val when it does not. By default
+// the SSD phase runs outside the stripe lock, serialized per fingerprint
+// by the in-flight table (see pipeline.go); with LockedIO the whole flow
+// holds the lock.
 func (n *Node) LookupOrInsert(fp fingerprint.Fingerprint, val Value) (LookupResult, error) {
+	if !n.lockedIO {
+		return n.lookupAsync(fp, val, true)
+	}
 	s := &n.stripes[n.stripeIndex(fp)]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return n.lookupOrInsertLocked(s, fp, val)
 }
 
-// lookupOrInsertLocked runs the Figure 4 flow. Caller holds s.mu, and s is
-// the stripe owning fp.
+// lookupOrInsertLocked runs the Figure 4 flow with the SSD tier probed
+// under the stripe lock (the LockedIO baseline). Caller holds s.mu, and s
+// is the stripe owning fp.
 func (n *Node) lookupOrInsertLocked(s *nodeStripe, fp fingerprint.Fingerprint, val Value) (LookupResult, error) {
 	if n.closed {
-		return LookupResult{}, errors.New("core: node is closed")
+		return LookupResult{}, errNodeClosed
 	}
 	s.lookups++
 
 	// 1. RAM cache.
 	if n.cache != nil {
-		if v, ok := n.cache.Get(fp); ok {
+		t0 := time.Now()
+		v, ok := n.cache.Get(fp)
+		s.histCache.Observe(time.Since(t0))
+		if ok {
 			s.cacheHits++
 			return LookupResult{Exists: true, Value: Value(v), Source: SourceCache}, nil
 		}
 	}
 
 	// 2. Bloom filter: a negative proves the fingerprint is new.
-	if n.bloom != nil && !n.bloom.MayContain(fp) {
-		s.bloomShort++
-		if err := n.insertLocked(s, fp, val); err != nil {
-			return LookupResult{}, err
+	if n.bloom != nil {
+		t0 := time.Now()
+		neg := !n.bloom.MayContain(fp)
+		s.histBloom.Observe(time.Since(t0))
+		if neg {
+			s.bloomShort++
+			if err := n.insertLocked(s, fp, val); err != nil {
+				return LookupResult{}, err
+			}
+			return LookupResult{Exists: false, Source: SourceBloom}, nil
 		}
-		return LookupResult{Exists: false, Source: SourceBloom}, nil
 	}
 
 	// 3. SSD hash table.
+	t0 := time.Now()
 	v, ok, err := n.store.Get(fp)
 	if err != nil {
+		s.histSSD.Observe(time.Since(t0))
 		return LookupResult{}, fmt.Errorf("core: node %s: lookup: %w", n.id, err)
 	}
 	if ok {
+		s.histSSD.Observe(time.Since(t0))
 		s.storeHits++
 		if n.cache != nil {
 			n.cache.Put(fp, lru.Value(v))
@@ -394,7 +446,9 @@ func (n *Node) lookupOrInsertLocked(s *nodeStripe, fp fingerprint.Fingerprint, v
 	if n.bloom != nil {
 		s.bloomFalse++
 	}
-	if err := n.insertLocked(s, fp, val); err != nil {
+	err = n.insertLocked(s, fp, val)
+	s.histSSD.Observe(time.Since(t0))
+	if err != nil {
 		return LookupResult{}, err
 	}
 	return LookupResult{Exists: false, Source: SourceNew}, nil
@@ -422,59 +476,104 @@ func (n *Node) insertLocked(s *nodeStripe, fp fingerprint.Fingerprint, val Value
 }
 
 // Insert unconditionally records fp -> val (used when uploads complete
-// out-of-band from lookups).
+// out-of-band from lookups, and by cluster mirroring and migration). It
+// first waits out any in-flight SSD phase for fp, so it can never race a
+// pipelined lookup's insert; the store write itself runs under the stripe
+// lock — Insert is a cold path and keeping it fully serialized makes the
+// migration callers trivially correct.
 func (n *Node) Insert(fp fingerprint.Fingerprint, val Value) error {
 	s := &n.stripes[n.stripeIndex(fp)]
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if n.closed {
-		return errors.New("core: node is closed")
+	for {
+		s.mu.Lock()
+		if n.closed {
+			s.mu.Unlock()
+			return errNodeClosed
+		}
+		f, inflight := s.inflight[fp]
+		if !inflight {
+			err := n.insertLocked(s, fp, val)
+			s.mu.Unlock()
+			return err
+		}
+		s.mu.Unlock()
+		<-f.done
 	}
-	return n.insertLocked(s, fp, val)
 }
 
-// BatchLookupOrInsert processes pairs through the Figure 4 flow. The batch
-// is partitioned by stripe and the stripes run concurrently, each holding
-// its lock for its whole share — this keeps the spatial-locality benefit of
-// batched queries (paper §IV.B) per stripe while letting a batch use every
-// core. Results are returned in input order, and a fingerprint appearing
-// twice in one batch is processed in input order (both occurrences map to
-// the same stripe), so the second sees the first as a duplicate.
+// BatchLookupOrInsert processes pairs through the Figure 4 flow. The
+// default pipeline makes one RAM pass per stripe under its lock, then
+// resolves every fingerprint that reached the SSD tier in a single
+// coalesced SSD phase with no stripe locks held: the store reads each
+// distinct bucket page once and overlaps page reads and inserts up to the
+// device's modeled parallelism, so batch throughput under SSD latency is
+// bounded by the device, not by the stripe count. With LockedIO the batch
+// is instead partitioned by stripe and each stripe's share runs
+// sequentially under its lock (the pre-pipeline behavior).
+//
+// Results are returned in input order, and a fingerprint appearing twice
+// in one batch resolves in input order, so the second occurrence sees the
+// first as a duplicate.
 func (n *Node) BatchLookupOrInsert(pairs []Pair) ([]LookupResult, error) {
-	return n.batch(len(pairs), func(i int) fingerprint.Fingerprint { return pairs[i].FP },
+	if len(pairs) == 0 {
+		return nil, nil
+	}
+	if !n.lockedIO {
+		return n.batchAsync(len(pairs),
+			func(i int) fingerprint.Fingerprint { return pairs[i].FP },
+			func(i int) Value { return pairs[i].Val }, true)
+	}
+	return n.batchLocked(len(pairs), func(i int) fingerprint.Fingerprint { return pairs[i].FP },
 		func(s *nodeStripe, i int) (LookupResult, error) {
 			return n.lookupOrInsertLocked(s, pairs[i].FP, pairs[i].Val)
 		})
 }
 
-// LookupBatch answers a batch of read-only lookups, partitioned by stripe
-// and processed concurrently like BatchLookupOrInsert, without inserting
-// missing fingerprints.
+// LookupBatch answers a batch of read-only lookups through the same
+// pipeline as BatchLookupOrInsert, without inserting missing fingerprints.
 func (n *Node) LookupBatch(fps []fingerprint.Fingerprint) ([]LookupResult, error) {
-	return n.batch(len(fps), func(i int) fingerprint.Fingerprint { return fps[i] },
+	if len(fps) == 0 {
+		return nil, nil
+	}
+	if !n.lockedIO {
+		return n.batchAsync(len(fps),
+			func(i int) fingerprint.Fingerprint { return fps[i] },
+			func(int) Value { return 0 }, false)
+	}
+	return n.batchLocked(len(fps), func(i int) fingerprint.Fingerprint { return fps[i] },
 		func(s *nodeStripe, i int) (LookupResult, error) {
 			return n.lookupLocked(s, fps[i])
 		})
 }
 
-// lookupLocked is the read-only Figure 4 flow. Caller holds s.mu, and s is
-// the stripe owning fp.
+// lookupLocked is the read-only Figure 4 flow with the SSD tier probed
+// under the stripe lock (the LockedIO baseline). Caller holds s.mu, and s
+// is the stripe owning fp.
 func (n *Node) lookupLocked(s *nodeStripe, fp fingerprint.Fingerprint) (LookupResult, error) {
 	if n.closed {
-		return LookupResult{}, errors.New("core: node is closed")
+		return LookupResult{}, errNodeClosed
 	}
 	s.lookups++
 	if n.cache != nil {
-		if v, ok := n.cache.Get(fp); ok {
+		t0 := time.Now()
+		v, ok := n.cache.Get(fp)
+		s.histCache.Observe(time.Since(t0))
+		if ok {
 			s.cacheHits++
 			return LookupResult{Exists: true, Value: Value(v), Source: SourceCache}, nil
 		}
 	}
-	if n.bloom != nil && !n.bloom.MayContain(fp) {
-		s.bloomShort++
-		return LookupResult{Exists: false, Source: SourceBloom}, nil
+	if n.bloom != nil {
+		t0 := time.Now()
+		neg := !n.bloom.MayContain(fp)
+		s.histBloom.Observe(time.Since(t0))
+		if neg {
+			s.bloomShort++
+			return LookupResult{Exists: false, Source: SourceBloom}, nil
+		}
 	}
+	t0 := time.Now()
 	v, ok, err := n.store.Get(fp)
+	s.histSSD.Observe(time.Since(t0))
 	if err != nil {
 		return LookupResult{}, fmt.Errorf("core: node %s: lookup: %w", n.id, err)
 	}
@@ -492,10 +591,11 @@ func (n *Node) lookupLocked(s *nodeStripe, fp fingerprint.Fingerprint) (LookupRe
 	return LookupResult{Exists: true, Value: v, Source: SourceStore}, nil
 }
 
-// batch partitions item indices by stripe and runs each stripe's share
-// under its lock, concurrently across stripes, reassembling results in
-// input order.
-func (n *Node) batch(count int, fpOf func(int) fingerprint.Fingerprint,
+// batchLocked partitions item indices by stripe and runs each stripe's
+// share under its lock, concurrently across stripes, reassembling results
+// in input order. This is the LockedIO baseline batch path: concurrency is
+// capped at the stripe count because every SSD probe holds its stripe lock.
+func (n *Node) batchLocked(count int, fpOf func(int) fingerprint.Fingerprint,
 	run func(s *nodeStripe, i int) (LookupResult, error)) ([]LookupResult, error) {
 	if count == 0 {
 		return nil, nil
@@ -567,7 +667,7 @@ func (n *Node) Flush() error {
 	n.lockAll()
 	defer n.unlockAll()
 	if n.closed {
-		return errors.New("core: node is closed")
+		return errNodeClosed
 	}
 	if err := n.flushLocked(); err != nil {
 		return err
@@ -599,7 +699,7 @@ func (n *Node) Entries(fn func(fp fingerprint.Fingerprint, val Value) bool) erro
 	n.lockAll()
 	defer n.unlockAll()
 	if n.closed {
-		return errors.New("core: node is closed")
+		return errNodeClosed
 	}
 	if err := n.flushLocked(); err != nil {
 		return err
@@ -622,14 +722,26 @@ type Deleter interface {
 // Remove deletes a fingerprint from the node's cache and store. The Bloom
 // filter cannot forget, so it stays conservatively stale: a later lookup
 // of the removed fingerprint may pay one extra SSD probe, never a wrong
-// answer. Used by cluster rebalancing.
+// answer. Used by cluster rebalancing. Like Insert, Remove first waits out
+// any in-flight SSD phase for fp — otherwise a pipelined insert landing
+// after the delete would resurrect the entry on a node it just migrated
+// off.
 func (n *Node) Remove(fp fingerprint.Fingerprint) (bool, error) {
 	s := &n.stripes[n.stripeIndex(fp)]
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if n.closed {
-		return false, errors.New("core: node is closed")
+	for {
+		s.mu.Lock()
+		if n.closed {
+			s.mu.Unlock()
+			return false, errNodeClosed
+		}
+		f, inflight := s.inflight[fp]
+		if !inflight {
+			break
+		}
+		s.mu.Unlock()
+		<-f.done
 	}
+	defer s.mu.Unlock()
 	d, ok := n.store.(Deleter)
 	if !ok {
 		return false, fmt.Errorf("core: node %s: store cannot delete entries", n.id)
@@ -663,6 +775,19 @@ func (n *Node) Stats() (NodeStats, error) {
 		st.StoreHits += s.storeHits
 		st.StoreMisses += s.storeMiss
 		st.BloomFalse += s.bloomFalse
+		st.Coalesced += s.coalesced
+	}
+	mergedPhase := func(get func(*nodeStripe) *metrics.Histogram) metrics.Summary {
+		m := newPhaseHistogram()
+		for i := range n.stripes {
+			m.Merge(get(&n.stripes[i]))
+		}
+		return m.Summarize()
+	}
+	st.Phases = PhaseTimings{
+		Cache: mergedPhase(func(s *nodeStripe) *metrics.Histogram { return s.histCache }),
+		Bloom: mergedPhase(func(s *nodeStripe) *metrics.Histogram { return s.histBloom }),
+		SSD:   mergedPhase(func(s *nodeStripe) *metrics.Histogram { return s.histSSD }),
 	}
 	if n.cache != nil {
 		st.Cache = n.cache.Stats()
@@ -675,14 +800,22 @@ func (n *Node) Stats() (NodeStats, error) {
 	return st, nil
 }
 
-// Close flushes dirty state and closes the store.
+// Close flushes dirty state and closes the store. Setting closed (under
+// every stripe lock) stops new operations from starting SSD phases; Close
+// then waits for the phases already in flight to land — they complete
+// normally against the still-open store — before flushing and closing it.
 func (n *Node) Close() error {
 	n.lockAll()
-	defer n.unlockAll()
 	if n.closed {
-		return errors.New("core: node is closed")
+		n.unlockAll()
+		return errNodeClosed
 	}
 	n.closed = true
+	n.unlockAll()
+	n.flights.Wait()
+
+	n.lockAll()
+	defer n.unlockAll()
 	err := n.flushLocked()
 	if cerr := n.store.Close(); err == nil {
 		err = cerr

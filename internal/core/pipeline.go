@@ -1,0 +1,594 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"shhc/internal/fingerprint"
+	"shhc/internal/hashdb"
+	"shhc/internal/lru"
+	"shhc/internal/parallel"
+)
+
+// This file implements the node's two-phase asynchronous lookup pipeline.
+//
+// Phase 1 (the RAM walk) runs the Figure 4 RAM tiers — LRU cache, Bloom
+// filter — under the fingerprint's stripe lock, exactly as the fully
+// locked design does. Phase 2 (the SSD phase) releases the stripe lock
+// before touching the store, so one modeled SSD round-trip no longer
+// stalls every other fingerprint on the stripe.
+//
+// What used to be guaranteed by "the whole walk holds the stripe lock" —
+// per-fingerprint serialization, hence exactly-once inserts — is instead
+// guaranteed by a per-stripe in-flight table: before its SSD phase starts,
+// an operation registers its fingerprint; any later operation on the same
+// fingerprint finds the entry and waits for the flight to land instead of
+// issuing a second probe or a second insert. The invariant becomes:
+//
+//	a fingerprint's RAM walk runs under its stripe lock; its SSD phase
+//	is serialized by the stripe's in-flight table.
+//
+// Lock ordering: an operation holds at most one stripe lock at a time and
+// never sleeps on a flight while holding it (it unlocks, waits on
+// flight.done, then relocks). Flight completion re-acquires the stripe
+// lock, re-validates nothing was torn down (closed), installs the result
+// into the cache, updates the stripe counters, removes the in-flight
+// entry, and only then wakes waiters — so a woken waiter re-running its
+// RAM walk finds the installed cache entry.
+
+// flight is one in-progress SSD phase for a fingerprint: a probe,
+// optionally followed by the insert the probe's miss calls for. Outcome
+// fields are written by the owner before done is closed and read by
+// waiters only after <-done.
+type flight struct {
+	done chan struct{}
+	// exists reports whether the fingerprint is present in the index when
+	// the flight lands — true both for a probe hit and after a successful
+	// insert, so a waiter always reads its answer as "duplicate, with
+	// val".
+	exists bool
+	val    Value
+	err    error
+}
+
+// registerFlightLocked creates and registers a flight for fp. Caller holds
+// s.mu, owns the stripe for fp, and must have checked fp is not in flight.
+func (n *Node) registerFlightLocked(s *nodeStripe, fp fingerprint.Fingerprint) *flight {
+	f := &flight{done: make(chan struct{})}
+	s.inflight[fp] = f
+	n.flights.Add(1)
+	return f
+}
+
+// failFlight publishes err to any waiters, retires the flight, and returns
+// err for the owner. Caller must not hold s.mu.
+func (n *Node) failFlight(s *nodeStripe, fp fingerprint.Fingerprint, f *flight, err error) error {
+	f.err = err
+	s.mu.Lock()
+	delete(s.inflight, fp)
+	s.mu.Unlock()
+	close(f.done)
+	n.flights.Done()
+	return err
+}
+
+// lookupAsync runs the two-phase Figure 4 flow for one fingerprint.
+// insert selects LookupOrInsert semantics (insert on miss) over read-only
+// Lookup semantics.
+func (n *Node) lookupAsync(fp fingerprint.Fingerprint, val Value, insert bool) (LookupResult, error) {
+	s := &n.stripes[n.stripeIndex(fp)]
+	for {
+		s.mu.Lock()
+		if n.closed {
+			s.mu.Unlock()
+			return LookupResult{}, errNodeClosed
+		}
+
+		// Phase 1 — RAM tiers, under the stripe lock.
+		if n.cache != nil {
+			t0 := time.Now()
+			v, ok := n.cache.Get(fp)
+			s.histCache.Observe(time.Since(t0))
+			if ok {
+				s.cacheHits++
+				s.lookups++
+				s.mu.Unlock()
+				return LookupResult{Exists: true, Value: Value(v), Source: SourceCache}, nil
+			}
+		}
+		if n.bloom != nil {
+			t0 := time.Now()
+			neg := !n.bloom.MayContain(fp)
+			s.histBloom.Observe(time.Since(t0))
+			if neg {
+				if !insert {
+					s.bloomShort++
+					s.lookups++
+					s.mu.Unlock()
+					return LookupResult{Exists: false, Source: SourceBloom}, nil
+				}
+				return n.bloomInsert(s, fp, val)
+			}
+		}
+
+		// Phase 2 — the SSD arm. Join an in-flight operation on the same
+		// fingerprint, or run our own probe with the stripe lock released.
+		if f, ok := s.inflight[fp]; ok {
+			s.mu.Unlock()
+			<-f.done
+			if f.err != nil {
+				return LookupResult{}, f.err
+			}
+			if f.exists {
+				// No cache install here: only the flight's owner writes
+				// the cache, inside the critical section that retires the
+				// flight. A waiter installing after re-locking could race
+				// a Remove (migration) that ran between the flight's
+				// completion and this wake-up and resurrect the entry —
+				// Remove's wait-out-the-flight guard cannot see waiters.
+				s.mu.Lock()
+				s.coalesced++
+				s.storeHits++
+				s.lookups++
+				s.mu.Unlock()
+				return LookupResult{Exists: true, Value: f.val, Source: SourceStore}, nil
+			}
+			if !insert {
+				s.mu.Lock()
+				s.coalesced++
+				s.storeMiss++
+				if n.bloom != nil {
+					s.bloomFalse++
+				}
+				s.lookups++
+				s.mu.Unlock()
+				return LookupResult{Exists: false, Source: SourceNew}, nil
+			}
+			// The flight we joined was a read-only probe that missed; we
+			// still owe the insert. Re-run the walk and claim the
+			// fingerprint ourselves.
+			continue
+		}
+		f := n.registerFlightLocked(s, fp)
+		s.mu.Unlock()
+		return n.ssdPhase(s, fp, val, insert, f)
+	}
+}
+
+// bloomInsert handles the Bloom-negative insert arm: the filter proved fp
+// new, so no probe is needed. Caller holds s.mu; bloomInsert releases it.
+// The filter add happens before the stripe lock drops, which steers every
+// later lookup of fp into the SSD arm where the in-flight entry (for the
+// write-through store put) serializes it — this is what keeps the insert
+// exactly-once without holding the lock across the SSD write.
+func (n *Node) bloomInsert(s *nodeStripe, fp fingerprint.Fingerprint, val Value) (LookupResult, error) {
+	n.bloom.Add(fp)
+	if n.wb {
+		// Write-back: the insert is pure RAM (destage happens on
+		// eviction), so it completes inside phase 1.
+		s.bloomShort++
+		s.lookups++
+		s.inserts++
+		n.cache.PutDirty(fp, lru.Value(val))
+		s.mu.Unlock()
+		if derr := n.takeDestageErr(); derr != nil {
+			return LookupResult{}, derr
+		}
+		return LookupResult{Exists: false, Source: SourceBloom}, nil
+	}
+	f := n.registerFlightLocked(s, fp)
+	s.mu.Unlock()
+
+	t0 := time.Now()
+	_, perr := n.store.Put(fp, val)
+	s.histSSD.Observe(time.Since(t0))
+	if perr != nil {
+		return LookupResult{}, n.failFlight(s, fp, f, fmt.Errorf("core: node %s: insert %s: %w", n.id, fp.Short(), perr))
+	}
+	f.exists, f.val = true, val
+	s.mu.Lock()
+	s.bloomShort++
+	s.lookups++
+	s.inserts++
+	if n.cache != nil {
+		n.cache.Put(fp, lru.Value(val))
+	}
+	delete(s.inflight, fp)
+	s.mu.Unlock()
+	close(f.done)
+	n.flights.Done()
+	return LookupResult{Exists: false, Source: SourceBloom}, nil
+}
+
+// ssdPhase runs fp's probe — and, on a miss with insert semantics, the
+// insert — with no locks held, then completes the flight: counters and
+// cache install land under one stripe-lock hold together with the
+// in-flight entry's removal, and waiters wake only after that.
+func (n *Node) ssdPhase(s *nodeStripe, fp fingerprint.Fingerprint, val Value, insert bool, f *flight) (LookupResult, error) {
+	t0 := time.Now()
+	v, ok, err := n.store.Get(fp)
+	if err != nil {
+		s.histSSD.Observe(time.Since(t0))
+		return LookupResult{}, n.failFlight(s, fp, f, fmt.Errorf("core: node %s: lookup: %w", n.id, err))
+	}
+	if ok {
+		s.histSSD.Observe(time.Since(t0))
+		f.exists, f.val = true, v
+		s.mu.Lock()
+		s.storeHits++
+		s.lookups++
+		if n.cache != nil {
+			n.cache.Put(fp, lru.Value(v))
+		}
+		delete(s.inflight, fp)
+		s.mu.Unlock()
+		close(f.done)
+		n.flights.Done()
+		return LookupResult{Exists: true, Value: v, Source: SourceStore}, nil
+	}
+	if !insert {
+		s.histSSD.Observe(time.Since(t0))
+		s.mu.Lock()
+		s.storeMiss++
+		if n.bloom != nil {
+			s.bloomFalse++
+		}
+		s.lookups++
+		delete(s.inflight, fp)
+		s.mu.Unlock()
+		close(f.done)
+		n.flights.Done()
+		return LookupResult{Exists: false, Source: SourceNew}, nil
+	}
+	// Miss with insert semantics. Write-through pays the store write out
+	// here with no locks held; write-back parks the entry dirty in the
+	// cache during completion.
+	if !n.wb {
+		if _, perr := n.store.Put(fp, val); perr != nil {
+			s.histSSD.Observe(time.Since(t0))
+			return LookupResult{}, n.failFlight(s, fp, f, fmt.Errorf("core: node %s: insert %s: %w", n.id, fp.Short(), perr))
+		}
+	}
+	s.histSSD.Observe(time.Since(t0))
+	f.exists, f.val = true, val // waiters read our insert as their duplicate
+	s.mu.Lock()
+	s.storeMiss++
+	if n.bloom != nil {
+		s.bloomFalse++
+		n.bloom.Add(fp)
+	}
+	s.lookups++
+	s.inserts++
+	if n.cache != nil {
+		if n.wb {
+			n.cache.PutDirty(fp, lru.Value(val))
+		} else {
+			n.cache.Put(fp, lru.Value(val))
+		}
+	}
+	delete(s.inflight, fp)
+	s.mu.Unlock()
+	close(f.done)
+	n.flights.Done()
+	if n.wb {
+		if derr := n.takeDestageErr(); derr != nil {
+			return LookupResult{}, derr
+		}
+	}
+	return LookupResult{Exists: false, Source: SourceNew}, nil
+}
+
+// ownedFlight is one flight a batch registered for itself during its RAM
+// pass, resolved by the batch's single coalesced SSD phase.
+type ownedFlight struct {
+	idx    int  // input index of the item that owns the flight
+	si     int  // stripe index
+	direct bool // Bloom-negative insert: no probe needed, just the put
+	f      *flight
+	// Probe outcome (valid after the SSD phase; direct inserts skip it).
+	exists bool
+	val    Value
+	// joiners are later items of this batch with the same fingerprint;
+	// they resolve as duplicates of the owner, costing no extra I/O.
+	joiners []int
+}
+
+// foreignJoin is a batch item whose fingerprint is in flight on behalf of
+// some other caller; the batch waits for that flight and adopts its
+// outcome.
+type foreignJoin struct {
+	idx int
+	f   *flight
+}
+
+// batchAsync runs a batch through the two-phase pipeline: one RAM pass per
+// stripe under its lock, a single coalesced SSD phase with no stripe locks
+// held (each distinct hash-table page is read once, reads and writes
+// overlap up to the store's batch parallelism), then a per-stripe
+// completion pass. Results are in input order; a fingerprint appearing
+// twice resolves in input order, the second occurrence seeing the first as
+// a duplicate.
+func (n *Node) batchAsync(count int, fpOf func(int) fingerprint.Fingerprint, valOf func(int) Value, insert bool) ([]LookupResult, error) {
+	results := make([]LookupResult, count)
+
+	groups := make(map[int][]int, len(n.stripes))
+	for i := 0; i < count; i++ {
+		groups[n.stripeIndex(fpOf(i))] = append(groups[n.stripeIndex(fpOf(i))], i)
+	}
+
+	var (
+		owned     []ownedFlight
+		ownedByFP = make(map[fingerprint.Fingerprint]int)
+		foreign   []foreignJoin
+	)
+	// abort fails every flight this batch registered so waiters in other
+	// goroutines never hang on a batch that errored out.
+	abort := func(err error) ([]LookupResult, error) {
+		for i := range owned {
+			n.failFlight(&n.stripes[owned[i].si], fpOf(owned[i].idx), owned[i].f, err)
+		}
+		return nil, err
+	}
+
+	// Phase A — RAM pass, one stripe-lock hold per stripe group.
+	for si, idxs := range groups {
+		s := &n.stripes[si]
+		s.mu.Lock()
+		for _, i := range idxs {
+			if n.closed {
+				s.mu.Unlock()
+				return abort(errNodeClosed)
+			}
+			fp := fpOf(i)
+			if n.cache != nil {
+				t0 := time.Now()
+				v, ok := n.cache.Get(fp)
+				s.histCache.Observe(time.Since(t0))
+				if ok {
+					s.cacheHits++
+					s.lookups++
+					results[i] = LookupResult{Exists: true, Value: Value(v), Source: SourceCache}
+					continue
+				}
+			}
+			if n.bloom != nil {
+				t0 := time.Now()
+				neg := !n.bloom.MayContain(fp)
+				s.histBloom.Observe(time.Since(t0))
+				if neg {
+					if !insert {
+						s.bloomShort++
+						s.lookups++
+						results[i] = LookupResult{Exists: false, Source: SourceBloom}
+						continue
+					}
+					n.bloom.Add(fp)
+					if n.wb {
+						s.bloomShort++
+						s.lookups++
+						s.inserts++
+						n.cache.PutDirty(fp, lru.Value(valOf(i)))
+						results[i] = LookupResult{Exists: false, Source: SourceBloom}
+						continue
+					}
+					// Write-through: register a direct-insert flight; the
+					// put itself joins the coalesced SSD phase.
+					ownedByFP[fp] = len(owned)
+					owned = append(owned, ownedFlight{idx: i, si: si, direct: true, f: n.registerFlightLocked(s, fp)})
+					continue
+				}
+			}
+			if oi, ok := ownedByFP[fp]; ok {
+				owned[oi].joiners = append(owned[oi].joiners, i)
+				continue
+			}
+			if f, ok := s.inflight[fp]; ok {
+				foreign = append(foreign, foreignJoin{idx: i, f: f})
+				continue
+			}
+			ownedByFP[fp] = len(owned)
+			owned = append(owned, ownedFlight{idx: i, si: si, f: n.registerFlightLocked(s, fp)})
+		}
+		s.mu.Unlock()
+	}
+
+	// Phase B — the coalesced SSD phase, no stripe locks held. The whole
+	// wave is observed as one SSD-phase sample, attributed to the first
+	// owned flight's stripe (per-stripe attribution of a cross-stripe
+	// wave is an approximation; the merged digest in Stats is what
+	// matters).
+	observeWave := func(t0 time.Time) {
+		if len(owned) > 0 {
+			n.stripes[owned[0].si].histSSD.Observe(time.Since(t0))
+		}
+	}
+	var probes []int // indices into owned that need a store read
+	for oi := range owned {
+		if !owned[oi].direct {
+			probes = append(probes, oi)
+		}
+	}
+	t0 := time.Now()
+	if len(probes) > 0 {
+		fps := make([]fingerprint.Fingerprint, len(probes))
+		for k, oi := range probes {
+			fps[k] = fpOf(owned[oi].idx)
+		}
+		if bg, ok := n.store.(hashdb.BatchGetter); ok {
+			vals, found, err := bg.GetBatch(fps)
+			if err != nil {
+				observeWave(t0)
+				return abort(fmt.Errorf("core: node %s: batch lookup: %w", n.id, err))
+			}
+			for k, oi := range probes {
+				owned[oi].exists, owned[oi].val = found[k], vals[k]
+			}
+		} else {
+			err := parallel.Do(len(probes), parallel.IODepth, func(k int) error {
+				oi := probes[k]
+				v, ok, gerr := n.store.Get(fps[k])
+				if gerr != nil {
+					return gerr
+				}
+				owned[oi].exists, owned[oi].val = ok, v
+				return nil
+			})
+			if err != nil {
+				observeWave(t0)
+				return abort(fmt.Errorf("core: node %s: batch lookup: %w", n.id, err))
+			}
+		}
+	}
+	if insert && !n.wb {
+		// Write-through inserts: direct (Bloom-negative) flights plus
+		// probe misses, overlapped like the reads.
+		var puts []int
+		for oi := range owned {
+			if owned[oi].direct || !owned[oi].exists {
+				puts = append(puts, oi)
+			}
+		}
+		if len(puts) > 0 {
+			err := parallel.Do(len(puts), parallel.IODepth, func(k int) error {
+				oi := puts[k]
+				_, perr := n.store.Put(fpOf(owned[oi].idx), valOf(owned[oi].idx))
+				return perr
+			})
+			if err != nil {
+				observeWave(t0)
+				return abort(fmt.Errorf("core: node %s: batch insert: %w", n.id, err))
+			}
+		}
+	}
+	observeWave(t0)
+
+	// Phase C — completion, one stripe-lock hold per stripe, waking
+	// waiters only after the stripe's results are installed.
+	byStripe := make(map[int][]int, len(groups))
+	for oi := range owned {
+		byStripe[owned[oi].si] = append(byStripe[owned[oi].si], oi)
+	}
+	for si, ois := range byStripe {
+		s := &n.stripes[si]
+		s.mu.Lock()
+		for _, oi := range ois {
+			o := &owned[oi]
+			fp := fpOf(o.idx)
+			val := valOf(o.idx)
+			switch {
+			case o.direct:
+				s.bloomShort++
+				s.lookups++
+				s.inserts++
+				if n.cache != nil {
+					n.cache.Put(fp, lru.Value(val))
+				}
+				o.f.exists, o.f.val = true, val
+				results[o.idx] = LookupResult{Exists: false, Source: SourceBloom}
+			case o.exists:
+				s.storeHits++
+				s.lookups++
+				if n.cache != nil {
+					n.cache.Put(fp, lru.Value(o.val))
+				}
+				o.f.exists, o.f.val = true, o.val
+				results[o.idx] = LookupResult{Exists: true, Value: o.val, Source: SourceStore}
+			case insert:
+				s.storeMiss++
+				if n.bloom != nil {
+					s.bloomFalse++
+					n.bloom.Add(fp)
+				}
+				s.lookups++
+				s.inserts++
+				if n.cache != nil {
+					if n.wb {
+						n.cache.PutDirty(fp, lru.Value(val))
+					} else {
+						n.cache.Put(fp, lru.Value(val))
+					}
+				}
+				o.f.exists, o.f.val = true, val
+				results[o.idx] = LookupResult{Exists: false, Source: SourceNew}
+			default:
+				s.storeMiss++
+				if n.bloom != nil {
+					s.bloomFalse++
+				}
+				s.lookups++
+				results[o.idx] = LookupResult{Exists: false, Source: SourceNew}
+			}
+			// Same-batch duplicates: later occurrences see the owner's
+			// outcome as their duplicate (or its miss, for read-only
+			// batches), exactly as sequential processing would.
+			for _, j := range o.joiners {
+				s.coalesced++
+				s.lookups++
+				if o.f.exists {
+					s.storeHits++
+					results[j] = LookupResult{Exists: true, Value: o.f.val, Source: SourceStore}
+				} else {
+					s.storeMiss++
+					if n.bloom != nil {
+						s.bloomFalse++
+					}
+					results[j] = LookupResult{Exists: false, Source: SourceNew}
+				}
+			}
+			delete(s.inflight, fp)
+		}
+		s.mu.Unlock()
+		for _, oi := range ois {
+			close(owned[oi].f.done)
+			n.flights.Done()
+		}
+	}
+
+	// Foreign flights: adopt the outcome another caller's SSD phase
+	// produced. The rare read-only-miss + insert case re-runs the full
+	// per-item pipeline.
+	for _, fj := range foreign {
+		<-fj.f.done
+		if fj.f.err != nil {
+			return nil, fmt.Errorf("core: batch item %d: %w", fj.idx, fj.f.err)
+		}
+		fp := fpOf(fj.idx)
+		s := &n.stripes[n.stripeIndex(fp)]
+		if fj.f.exists {
+			// Like the single-item waiter: adopt the outcome but do not
+			// install into the cache (a Remove may have run since the
+			// foreign flight landed).
+			s.mu.Lock()
+			s.coalesced++
+			s.storeHits++
+			s.lookups++
+			s.mu.Unlock()
+			results[fj.idx] = LookupResult{Exists: true, Value: fj.f.val, Source: SourceStore}
+			continue
+		}
+		if !insert {
+			s.mu.Lock()
+			s.coalesced++
+			s.storeMiss++
+			if n.bloom != nil {
+				s.bloomFalse++
+			}
+			s.lookups++
+			s.mu.Unlock()
+			results[fj.idx] = LookupResult{Exists: false, Source: SourceNew}
+			continue
+		}
+		r, err := n.lookupAsync(fp, valOf(fj.idx), true)
+		if err != nil {
+			return nil, fmt.Errorf("core: batch item %d: %w", fj.idx, err)
+		}
+		results[fj.idx] = r
+	}
+
+	if n.wb {
+		if derr := n.takeDestageErr(); derr != nil {
+			return nil, derr
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,554 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"shhc/internal/device"
+	"shhc/internal/fingerprint"
+	"shhc/internal/hashdb"
+	"shhc/internal/ring"
+)
+
+// hookStore wraps a Store, counting point operations and optionally gating
+// them, so tests can hold an SSD phase open while concurrent lookups pile
+// onto its in-flight entry. It deliberately does not implement
+// hashdb.BatchGetter, which also exercises the batch path's point-probe
+// fallback.
+type hookStore struct {
+	hashdb.Store
+	gets     atomic.Int64
+	puts     atomic.Int64
+	getGate  chan struct{} // nil = ungated; Get blocks until closed
+	putGate  chan struct{} // nil = ungated; Put blocks until closed
+	failGets atomic.Bool
+}
+
+var errHookInjected = errors.New("injected store failure")
+
+func (h *hookStore) Get(fp fingerprint.Fingerprint) (hashdb.Value, bool, error) {
+	if h.getGate != nil {
+		<-h.getGate
+	}
+	h.gets.Add(1)
+	if h.failGets.Load() {
+		return 0, false, errHookInjected
+	}
+	return h.Store.Get(fp)
+}
+
+func (h *hookStore) Put(fp fingerprint.Fingerprint, v hashdb.Value) (bool, error) {
+	if h.putGate != nil {
+		<-h.putGate
+	}
+	h.puts.Add(1)
+	return h.Store.Put(fp, v)
+}
+
+func assertStatsInvariant(t *testing.T, n *Node) NodeStats {
+	t.Helper()
+	st, err := n.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if got := st.CacheHits + st.BloomShort + st.StoreHits + st.StoreMisses; got != st.Lookups {
+		t.Fatalf("tier counters sum to %d (cache %d + bloom %d + hits %d + misses %d), want Lookups = %d",
+			got, st.CacheHits, st.BloomShort, st.StoreHits, st.StoreMisses, st.Lookups)
+	}
+	return st
+}
+
+// TestAsyncProbeCoalescing holds one SSD probe open while more lookups of
+// the same fingerprint arrive: they must join the in-flight probe (or hit
+// the cache it installs) rather than issue their own — one device read
+// total.
+func TestAsyncProbeCoalescing(t *testing.T) {
+	hs := &hookStore{Store: hashdb.NewMemStore(nil), getGate: make(chan struct{})}
+	if _, err := hs.Store.Put(fp(1), 42); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	n := newMemNode(t, NodeConfig{Store: hs, CacheSize: 16, DisableBloom: true})
+
+	const readers = 8
+	var wg sync.WaitGroup
+	results := make([]LookupResult, readers)
+	errs := make([]error, readers)
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g], errs[g] = n.Lookup(fp(1))
+		}(g)
+		if g == 0 {
+			time.Sleep(20 * time.Millisecond) // let the first own the flight
+		}
+	}
+	time.Sleep(20 * time.Millisecond) // let the rest join it
+	close(hs.getGate)
+	wg.Wait()
+
+	for g := 0; g < readers; g++ {
+		if errs[g] != nil {
+			t.Fatalf("reader %d: %v", g, errs[g])
+		}
+		if !results[g].Exists || results[g].Value != 42 {
+			t.Fatalf("reader %d = %+v, want exists value 42", g, results[g])
+		}
+	}
+	if got := hs.gets.Load(); got != 1 {
+		t.Fatalf("store served %d reads for %d concurrent lookups, want 1 (coalesced)", got, readers)
+	}
+	st := assertStatsInvariant(t, n)
+	if st.Lookups != readers {
+		t.Fatalf("Lookups = %d, want %d", st.Lookups, readers)
+	}
+	if st.Coalesced+st.CacheHits != readers-1 {
+		t.Fatalf("coalesced %d + cache hits %d, want %d lookups riding the one probe", st.Coalesced, st.CacheHits, readers-1)
+	}
+}
+
+// TestAsyncExactlyOnceInsert holds the SSD write of a Bloom-proven-new
+// fingerprint open while concurrent LookupOrInserts of the same
+// fingerprint arrive: exactly one insert may happen, every other caller
+// must see a duplicate with the winner's value.
+func TestAsyncExactlyOnceInsert(t *testing.T) {
+	hs := &hookStore{Store: hashdb.NewMemStore(nil), putGate: make(chan struct{})}
+	n := newMemNode(t, NodeConfig{Store: hs, CacheSize: 16})
+
+	const writers = 8
+	var wg sync.WaitGroup
+	results := make([]LookupResult, writers)
+	errs := make([]error, writers)
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g], errs[g] = n.LookupOrInsert(fp(7), Value(100+g))
+		}(g)
+		if g == 0 {
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(hs.putGate)
+	wg.Wait()
+
+	var news, winnerVal = 0, Value(0)
+	for g := 0; g < writers; g++ {
+		if errs[g] != nil {
+			t.Fatalf("writer %d: %v", g, errs[g])
+		}
+		if !results[g].Exists {
+			news++
+			winnerVal = Value(100 + g)
+		}
+	}
+	if news != 1 {
+		t.Fatalf("%d callers saw \"new\", want exactly 1", news)
+	}
+	for g := 0; g < writers; g++ {
+		if results[g].Exists && results[g].Value != winnerVal {
+			t.Fatalf("writer %d adopted value %d, want the winner's %d", g, results[g].Value, winnerVal)
+		}
+	}
+	if got := hs.puts.Load(); got != 1 {
+		t.Fatalf("store served %d writes, want 1", got)
+	}
+	st := assertStatsInvariant(t, n)
+	if st.Inserts != 1 {
+		t.Fatalf("Inserts = %d, want 1", st.Inserts)
+	}
+}
+
+// TestAsyncReadOnlyMissThenInsert: a LookupOrInsert that joins a read-only
+// probe's miss still owes the insert; it must re-run the walk, claim the
+// fingerprint, and insert exactly once.
+func TestAsyncReadOnlyMissThenInsert(t *testing.T) {
+	gate := make(chan struct{})
+	hs := &hookStore{Store: hashdb.NewMemStore(nil), getGate: gate}
+	n := newMemNode(t, NodeConfig{Store: hs, CacheSize: 16, DisableBloom: true})
+
+	var (
+		wg                sync.WaitGroup
+		readRes, writeRes LookupResult
+		readErr, writeErr error
+	)
+	wg.Add(2)
+	go func() { defer wg.Done(); readRes, readErr = n.Lookup(fp(3)) }()
+	time.Sleep(20 * time.Millisecond)
+	go func() { defer wg.Done(); writeRes, writeErr = n.LookupOrInsert(fp(3), 33) }()
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	if readErr != nil || writeErr != nil {
+		t.Fatalf("errors: read %v, write %v", readErr, writeErr)
+	}
+	if readRes.Exists {
+		t.Fatalf("read-only lookup = %+v, want miss", readRes)
+	}
+	if writeRes.Exists {
+		t.Fatalf("LookupOrInsert = %+v, want \"new\" (it performed the insert)", writeRes)
+	}
+	if got := hs.puts.Load(); got != 1 {
+		t.Fatalf("store served %d writes, want 1", got)
+	}
+	if v, ok, _ := hs.Store.Get(fp(3)); !ok || v != 33 {
+		t.Fatalf("store entry = (%v, %v), want (33, true)", v, ok)
+	}
+	st := assertStatsInvariant(t, n)
+	if st.Inserts != 1 {
+		t.Fatalf("Inserts = %d, want 1", st.Inserts)
+	}
+}
+
+// TestAsyncStoreErrorPropagates: a failed SSD phase must surface its error
+// to the owner and to every waiter that joined the flight, and count no
+// lookup.
+func TestAsyncStoreErrorPropagates(t *testing.T) {
+	hs := &hookStore{Store: hashdb.NewMemStore(nil), getGate: make(chan struct{})}
+	hs.failGets.Store(true)
+	n := newMemNode(t, NodeConfig{Store: hs, CacheSize: 16, DisableBloom: true})
+
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			_, errs[g] = n.Lookup(fp(9))
+		}(g)
+		if g == 0 {
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(hs.getGate)
+	wg.Wait()
+	for g, err := range errs {
+		if err == nil || !errors.Is(err, errHookInjected) {
+			t.Fatalf("lookup %d error = %v, want wrapped injected failure", g, err)
+		}
+	}
+	st := assertStatsInvariant(t, n)
+	if st.Lookups != 0 {
+		t.Fatalf("Lookups = %d after pure failures, want 0", st.Lookups)
+	}
+}
+
+// TestCloseWaitsForInflightProbes: Close must let SSD phases already in
+// flight land against the open store; the probing caller gets its answer,
+// later callers get the closed error.
+func TestCloseWaitsForInflightProbes(t *testing.T) {
+	hs := &hookStore{Store: hashdb.NewMemStore(nil), getGate: make(chan struct{})}
+	if _, err := hs.Store.Put(fp(5), 55); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	n, err := NewNode(NodeConfig{ID: "close-test", Store: hs, CacheSize: 16, DisableBloom: true})
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+
+	var (
+		wg      sync.WaitGroup
+		res     LookupResult
+		lookErr error
+	)
+	wg.Add(1)
+	go func() { defer wg.Done(); res, lookErr = n.Lookup(fp(5)) }()
+	time.Sleep(20 * time.Millisecond)
+
+	closeDone := make(chan error, 1)
+	go func() { closeDone <- n.Close() }()
+	select {
+	case err := <-closeDone:
+		t.Fatalf("Close returned (%v) while a probe was still in flight", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	close(hs.getGate)
+	wg.Wait()
+	if err := <-closeDone; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if lookErr != nil || !res.Exists || res.Value != 55 {
+		t.Fatalf("in-flight lookup = (%+v, %v), want (exists 55, nil)", res, lookErr)
+	}
+	if _, err := n.Lookup(fp(5)); err == nil {
+		t.Fatal("Lookup after Close succeeded")
+	}
+}
+
+// TestBatchAsyncDuplicateFingerprints: a batch carrying the same new
+// fingerprint twice resolves in input order — first "new", second a
+// duplicate with the first's value — through the coalesced SSD phase.
+func TestBatchAsyncDuplicateFingerprints(t *testing.T) {
+	n := newMemNode(t, NodeConfig{CacheSize: 16, DisableBloom: true})
+	pairs := []Pair{
+		{FP: fp(1), Val: 10},
+		{FP: fp(2), Val: 20},
+		{FP: fp(1), Val: 11}, // duplicate of item 0
+		{FP: fp(1), Val: 12}, // and again
+	}
+	rs, err := n.BatchLookupOrInsert(pairs)
+	if err != nil {
+		t.Fatalf("BatchLookupOrInsert: %v", err)
+	}
+	if rs[0].Exists || rs[1].Exists {
+		t.Fatalf("first occurrences = %+v, %+v, want new", rs[0], rs[1])
+	}
+	for _, i := range []int{2, 3} {
+		if !rs[i].Exists || rs[i].Value != 10 {
+			t.Fatalf("duplicate item %d = %+v, want exists with value 10", i, rs[i])
+		}
+	}
+	st := assertStatsInvariant(t, n)
+	if st.Inserts != 2 {
+		t.Fatalf("Inserts = %d, want 2", st.Inserts)
+	}
+	if st.Coalesced != 2 {
+		t.Fatalf("Coalesced = %d, want 2 (the same-batch duplicates)", st.Coalesced)
+	}
+}
+
+// TestBatchAsyncCoalescesDeviceReads runs a cold-cache batch against the
+// on-disk hash table and checks the device was charged roughly one read
+// per bucket page, not one per fingerprint — the payoff of GetBatch.
+func TestBatchAsyncCoalescesDeviceReads(t *testing.T) {
+	dev := device.New(device.SSD, device.Account)
+	db, err := hashdb.Create(filepath.Join(t.TempDir(), "batch.db"), hashdb.Options{Buckets: 32, Device: dev})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	n, err := NewNode(NodeConfig{ID: "coalesce", Store: db, CacheSize: 64, BloomExpected: 4096})
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	defer n.Close()
+
+	const count = 1024
+	pairs := make([]Pair, count)
+	for i := range pairs {
+		pairs[i] = Pair{FP: fp(uint64(i)), Val: Value(i + 1)}
+	}
+	if _, err := n.BatchLookupOrInsert(pairs); err != nil {
+		t.Fatalf("seed batch: %v", err)
+	}
+
+	// Cold lookups: the 64-entry cache holds almost nothing of the 1024.
+	fps := make([]fingerprint.Fingerprint, count)
+	for i := range fps {
+		fps[i] = fp(uint64(i))
+	}
+	before := dev.Stats().Reads
+	rs, err := n.LookupBatch(fps)
+	if err != nil {
+		t.Fatalf("LookupBatch: %v", err)
+	}
+	reads := dev.Stats().Reads - before
+	for i, r := range rs {
+		if !r.Exists || r.Value != Value(i+1) {
+			t.Fatalf("item %d = %+v, want exists value %d", i, r, i+1)
+		}
+	}
+	pages := int64(db.Stats().Pages)
+	if reads > pages {
+		t.Fatalf("batch charged %d device reads for a %d-page table; want one read per page at most", reads, pages)
+	}
+	if reads*4 > count {
+		t.Fatalf("batch charged %d reads for %d fingerprints; want at least 4x coalescing", reads, count)
+	}
+	assertStatsInvariant(t, n)
+}
+
+// TestAsyncWriteBackBatch drives the write-back arm through the batch
+// pipeline and checks nothing is lost between cache and store.
+func TestAsyncWriteBackBatch(t *testing.T) {
+	store := hashdb.NewMemStore(nil)
+	n := newMemNode(t, NodeConfig{Store: store, CacheSize: 64, WriteBack: true, BloomExpected: 1 << 12})
+	const count = 1000
+	pairs := make([]Pair, count)
+	for i := range pairs {
+		pairs[i] = Pair{FP: fp(uint64(i)), Val: Value(i)}
+	}
+	if _, err := n.BatchLookupOrInsert(pairs); err != nil {
+		t.Fatalf("BatchLookupOrInsert: %v", err)
+	}
+	if err := n.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if store.Len() != count {
+		t.Fatalf("store has %d entries after flush, want %d", store.Len(), count)
+	}
+	st := assertStatsInvariant(t, n)
+	if st.Inserts != count {
+		t.Fatalf("Inserts = %d, want %d", st.Inserts, count)
+	}
+}
+
+// TestLockedIOBaselineEquivalence runs the same workload through the
+// LockedIO baseline and the async pipeline and checks they agree on every
+// answer and on the stats invariant — the ablation must compare equals.
+func TestLockedIOBaselineEquivalence(t *testing.T) {
+	for _, locked := range []bool{true, false} {
+		n := newMemNode(t, NodeConfig{CacheSize: 32, BloomExpected: 1 << 12, LockedIO: locked, Stripes: 4})
+		const count = 2000
+		for i := 0; i < count; i++ {
+			key := uint64(i % 700) // repeats: mix of new and duplicate
+			r, err := n.LookupOrInsert(fp(key), Value(key))
+			if err != nil {
+				t.Fatalf("locked=%v: LookupOrInsert: %v", locked, err)
+			}
+			wantExists := i >= 700
+			if r.Exists != wantExists {
+				t.Fatalf("locked=%v op %d: Exists = %v, want %v", locked, i, r.Exists, wantExists)
+			}
+			if r.Exists && r.Value != Value(key) {
+				t.Fatalf("locked=%v op %d: Value = %d, want %d", locked, i, r.Value, key)
+			}
+		}
+		st := assertStatsInvariant(t, n)
+		if st.Inserts != 700 {
+			t.Fatalf("locked=%v: Inserts = %d, want 700", locked, st.Inserts)
+		}
+	}
+}
+
+// TestPhaseTimingsPopulated: the per-tier histograms must see every tier
+// the workload exercises.
+func TestPhaseTimingsPopulated(t *testing.T) {
+	n := newMemNode(t, NodeConfig{CacheSize: 32, BloomExpected: 1 << 12})
+	for i := 0; i < 200; i++ {
+		if _, err := n.LookupOrInsert(fp(uint64(i%50)), Value(i)); err != nil {
+			t.Fatalf("LookupOrInsert: %v", err)
+		}
+	}
+	st, err := n.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.Phases.Cache.Count == 0 {
+		t.Fatal("cache phase histogram empty")
+	}
+	if st.Phases.Bloom.Count == 0 {
+		t.Fatal("bloom phase histogram empty")
+	}
+	// Every insert was a Bloom short-circuit (no SSD probes in this
+	// workload), but the write-through puts run as SSD phases.
+	if st.Phases.SSD.Count == 0 {
+		t.Fatal("ssd phase histogram empty")
+	}
+	if st.Phases.Cache.Max == 0 {
+		t.Fatal("cache phase recorded no time at all")
+	}
+}
+
+// TestAsyncLookupsDuringRebalanceChaos is the in-flight-table-under-
+// rebalance regression test: JoinNode and DrainNode churn membership while
+// lookups are mid-SSD-probe (the Sleep-mode device guarantees probes dwell
+// outside the stripe locks), and no seeded fingerprint may ever be
+// reported "new" — the PR 1 guarantee must survive the async pipeline.
+func TestAsyncLookupsDuringRebalanceChaos(t *testing.T) {
+	newSleepNode := func(id string) *Node {
+		n, err := NewNode(NodeConfig{
+			ID:            ring.NodeID(id),
+			Store:         hashdb.NewMemStore(device.New(device.SSD, device.Sleep)),
+			CacheSize:     64, // tiny: most lookups reach the SSD tier
+			BloomExpected: 1 << 14,
+			Stripes:       4,
+		})
+		if err != nil {
+			t.Fatalf("NewNode(%s): %v", id, err)
+		}
+		return n
+	}
+	nodes := []*Node{newSleepNode("chaos-0"), newSleepNode("chaos-1"), newSleepNode("chaos-2")}
+	backends := make([]Backend, len(nodes))
+	for i, n := range nodes {
+		backends[i] = n
+	}
+	c, err := NewCluster(ClusterConfig{}, backends...)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer c.Close()
+
+	const seeded = 1200
+	seedPairs := make([]Pair, seeded)
+	for i := range seedPairs {
+		seedPairs[i] = Pair{FP: fp(uint64(i)), Val: Value(i)}
+	}
+	if _, err := c.BatchLookupOrInsert(seedPairs); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+
+	stop := make(chan struct{})
+	churnDone := make(chan error, 1)
+	go func() {
+		var drained []*Node
+		defer func() {
+			for _, n := range drained {
+				n.Close()
+			}
+		}()
+		for round := 0; ; round++ {
+			select {
+			case <-stop:
+				churnDone <- nil
+				return
+			default:
+			}
+			scratch := newSleepNode(fmt.Sprintf("chaos-scratch-%d", round))
+			if _, err := c.JoinNode(scratch); err != nil {
+				churnDone <- err
+				return
+			}
+			if _, err := c.DrainNode(scratch.ID()); err != nil {
+				churnDone <- err
+				return
+			}
+			drained = append(drained, scratch)
+		}
+	}()
+
+	var ghostNews atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			i := uint64(g)
+			for k := 0; k < 250; k++ {
+				// A value no seeded entry stores, so reconciliation can
+				// tell a migrated duplicate from our own racing insert.
+				r, err := c.LookupOrInsert(fp(i%seeded), Value(seeded))
+				if err != nil {
+					t.Errorf("LookupOrInsert: %v", err)
+					return
+				}
+				if !r.Exists {
+					ghostNews.Add(1)
+				}
+				i += 13
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	if err := <-churnDone; err != nil {
+		t.Fatalf("membership churn: %v", err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	if d := ghostNews.Load(); d > 0 {
+		t.Fatalf("%d seeded fingerprints reported as new while JoinNode/DrainNode raced async probes", d)
+	}
+	for _, n := range nodes {
+		assertStatsInvariant(t, n)
+	}
+}

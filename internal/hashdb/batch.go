@@ -1,0 +1,131 @@
+package hashdb
+
+import (
+	"shhc/internal/fingerprint"
+	"shhc/internal/parallel"
+)
+
+// BatchGetter is implemented by stores whose point probes can be coalesced
+// into one batched read. The hybrid node's asynchronous SSD phase uses it
+// to pay one device charge per bucket page instead of one per fingerprint,
+// and to overlap page reads up to the device's internal parallelism.
+type BatchGetter interface {
+	// GetBatch looks up every fingerprint, returning values and found
+	// flags in input order. A lookup error fails the whole batch.
+	GetBatch(fps []fingerprint.Fingerprint) ([]Value, []bool, error)
+}
+
+var (
+	_ BatchGetter = (*DB)(nil)
+	_ BatchGetter = (*MemStore)(nil)
+)
+
+// groupBy partitions probe indices by a shard key (bucket page for the
+// on-disk table, map shard for the in-RAM store), returning the groups as
+// a slice the worker pool can pull from.
+func groupBy(fps []fingerprint.Fingerprint, keyOf func(fingerprint.Fingerprint) uint64) [][]int {
+	groups := make(map[uint64][]int, len(fps))
+	for i, fp := range fps {
+		k := keyOf(fp)
+		groups[k] = append(groups[k], i)
+	}
+	work := make([][]int, 0, len(groups))
+	for _, idxs := range groups {
+		work = append(work, idxs)
+	}
+	return work
+}
+
+// GetBatch looks up every fingerprint, reading each distinct bucket page
+// once. Probes are grouped by bucket page; each group walks its bucket
+// chain under the owning stripe's read lock, scanning one pooled page
+// buffer for all of the group's fingerprints. Groups run concurrently up
+// to parallel.IODepth, so modeled (Sleep-mode) devices overlap reads the
+// way real flash channels do. Results are positionally aligned with fps;
+// duplicate fingerprints in the input each get the same answer at the cost
+// of no extra I/O.
+func (db *DB) GetBatch(fps []fingerprint.Fingerprint) ([]Value, []bool, error) {
+	vals := make([]Value, len(fps))
+	found := make([]bool, len(fps))
+	if len(fps) == 0 {
+		return vals, found, nil
+	}
+	work := groupBy(fps, db.bucketPage)
+	err := parallel.Do(len(work), parallel.IODepth, func(w int) error {
+		idxs := work[w]
+		return db.getChain(db.bucketPage(fps[idxs[0]]), idxs, fps, vals, found)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return vals, found, nil
+}
+
+// getChain walks one bucket chain, resolving every probe index in idxs.
+// Each chain page is read exactly once and scanned for all still-missing
+// fingerprints of the group.
+func (db *DB) getChain(bucket uint64, idxs []int, fps []fingerprint.Fingerprint, vals []Value, found []bool) error {
+	st := &db.stripes[(bucket-1)&db.stripeMask]
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if db.closed {
+		return ErrClosed
+	}
+	page := getPage()
+	defer putPage(page)
+	remaining := len(idxs)
+	for p := bucket; p != 0 && remaining > 0; {
+		if err := db.readPage(p, page); err != nil {
+			return err
+		}
+		n := pageCount(page)
+		for i := 0; i < n && remaining > 0; i++ {
+			efp, v := entryAt(page, i)
+			for _, idx := range idxs {
+				if !found[idx] && fps[idx] == efp {
+					vals[idx] = v
+					found[idx] = true
+					remaining--
+				}
+			}
+		}
+		p = pageNext(page)
+	}
+	return nil
+}
+
+// GetBatch looks up every fingerprint. The in-RAM store has no pages to
+// coalesce, but probes still overlap across shard groups up to
+// parallel.IODepth so a MemStore charged to a Sleep-mode device exposes
+// the same device parallelism as the on-disk table — this is what keeps
+// MemStore an honest stand-in for the SSD hash table in simulations.
+func (s *MemStore) GetBatch(fps []fingerprint.Fingerprint) ([]Value, []bool, error) {
+	vals := make([]Value, len(fps))
+	found := make([]bool, len(fps))
+	if len(fps) == 0 {
+		return vals, found, nil
+	}
+	work := groupBy(fps, func(fp fingerprint.Fingerprint) uint64 {
+		return fp.Bucket64() & (memShards - 1)
+	})
+	err := parallel.Do(len(work), parallel.IODepth, func(w int) error {
+		idxs := work[w]
+		sh := s.shard(fps[idxs[0]])
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		if s.closed {
+			return ErrClosed
+		}
+		for _, idx := range idxs {
+			s.dev.Read(entrySize)
+			v, ok := sh.m[fps[idx]]
+			vals[idx] = v
+			found[idx] = ok
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return vals, found, nil
+}

@@ -1,0 +1,146 @@
+package hashdb
+
+import (
+	"path/filepath"
+	"testing"
+
+	"shhc/internal/device"
+	"shhc/internal/fingerprint"
+)
+
+func TestGetBatchMatchesGet(t *testing.T) {
+	dev := device.New(device.SSD, device.Account)
+	db, err := Create(filepath.Join(t.TempDir(), "batch.db"), Options{ExpectedItems: 1 << 12, Device: dev})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer db.Close()
+
+	const n = 2000
+	for i := uint64(0); i < n; i++ {
+		if _, err := db.Put(fingerprint.FromUint64(i), Value(i+1)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+
+	// Mix of present, absent, and duplicate probes.
+	fps := make([]fingerprint.Fingerprint, 0, n/2+200)
+	for i := uint64(0); i < n; i += 2 {
+		fps = append(fps, fingerprint.FromUint64(i))
+	}
+	for i := uint64(n); i < n+100; i++ {
+		fps = append(fps, fingerprint.FromUint64(i))
+	}
+	fps = append(fps, fps[:100]...)
+
+	vals, found, err := db.GetBatch(fps)
+	if err != nil {
+		t.Fatalf("GetBatch: %v", err)
+	}
+	if len(vals) != len(fps) || len(found) != len(fps) {
+		t.Fatalf("GetBatch returned %d vals, %d flags for %d probes", len(vals), len(found), len(fps))
+	}
+	for i, fp := range fps {
+		wantV, wantOK, gerr := db.Get(fp)
+		if gerr != nil {
+			t.Fatalf("Get: %v", gerr)
+		}
+		if found[i] != wantOK || (wantOK && vals[i] != wantV) {
+			t.Fatalf("probe %d (%s): batch = (%v,%v), point = (%v,%v)", i, fp.Short(), vals[i], found[i], wantV, wantOK)
+		}
+	}
+}
+
+// TestGetBatchCoalescesPageReads is the point of the API: a batch touching
+// b distinct buckets must charge the device ~b page reads, not one per
+// fingerprint.
+func TestGetBatchCoalescesPageReads(t *testing.T) {
+	dev := device.New(device.SSD, device.Account)
+	db, err := Create(filepath.Join(t.TempDir(), "coalesce.db"), Options{Buckets: 8, Device: dev})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer db.Close()
+
+	const n = 500 // 500 entries over 8 buckets: every page holds many probes
+	fps := make([]fingerprint.Fingerprint, n)
+	for i := range fps {
+		fps[i] = fingerprint.FromUint64(uint64(i))
+		if _, err := db.Put(fps[i], Value(i)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+
+	before := dev.Stats().Reads
+	_, found, err := db.GetBatch(fps)
+	if err != nil {
+		t.Fatalf("GetBatch: %v", err)
+	}
+	for i, ok := range found {
+		if !ok {
+			t.Fatalf("probe %d missing", i)
+		}
+	}
+	batchReads := dev.Stats().Reads - before
+
+	before = dev.Stats().Reads
+	for _, fp := range fps {
+		if _, _, err := db.Get(fp); err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+	}
+	pointReads := dev.Stats().Reads - before
+
+	if batchReads >= pointReads/4 {
+		t.Fatalf("GetBatch charged %d reads vs %d for point probes; want at least 4x coalescing", batchReads, pointReads)
+	}
+	// 500 entries in 8 buckets overflow each bucket's page chain; the
+	// batch still reads each chain page at most once.
+	maxPages := int64(db.Stats().Pages)
+	if batchReads > maxPages {
+		t.Fatalf("GetBatch charged %d reads for a %d-page file", batchReads, maxPages)
+	}
+}
+
+func TestGetBatchEmptyAndClosed(t *testing.T) {
+	db, err := Create(filepath.Join(t.TempDir(), "edge.db"), Options{ExpectedItems: 16})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, _, err := db.GetBatch(nil); err != nil {
+		t.Fatalf("GetBatch(nil): %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, _, err := db.GetBatch([]fingerprint.Fingerprint{fingerprint.FromUint64(1)}); err == nil {
+		t.Fatal("GetBatch on closed DB succeeded")
+	}
+}
+
+func TestMemStoreGetBatch(t *testing.T) {
+	s := NewMemStore(nil)
+	defer s.Close()
+	const n = 300
+	for i := uint64(0); i < n; i++ {
+		if _, err := s.Put(fingerprint.FromUint64(i), Value(i*3)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	fps := make([]fingerprint.Fingerprint, n+50)
+	for i := range fps {
+		fps[i] = fingerprint.FromUint64(uint64(i))
+	}
+	vals, found, err := s.GetBatch(fps)
+	if err != nil {
+		t.Fatalf("GetBatch: %v", err)
+	}
+	for i := range fps {
+		if i < n && (!found[i] || vals[i] != Value(uint64(i)*3)) {
+			t.Fatalf("probe %d = (%v,%v), want (%d,true)", i, vals[i], found[i], i*3)
+		}
+		if i >= n && found[i] {
+			t.Fatalf("absent probe %d reported found", i)
+		}
+	}
+}

@@ -96,6 +96,19 @@ func (c *Cache) PutDirty(fp fingerprint.Fingerprint, val Value) bool {
 	return c.put(fp, val, true)
 }
 
+// PutIfAbsent inserts a clean entry only when the fingerprint is not
+// already cached, reporting whether it inserted. An existing entry — its
+// value, dirty flag, and recency — is left untouched, so a speculative
+// install (e.g. of a stale probe result) can never overwrite a fresher or
+// dirty entry.
+func (c *Cache) PutIfAbsent(fp fingerprint.Fingerprint, val Value) bool {
+	if _, ok := c.items[fp]; ok {
+		return false
+	}
+	c.put(fp, val, false)
+	return true
+}
+
 func (c *Cache) put(fp fingerprint.Fingerprint, val Value, dirty bool) bool {
 	if e, ok := c.items[fp]; ok {
 		e.val = val

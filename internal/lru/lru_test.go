@@ -204,3 +204,58 @@ func TestQuickCapacityAndCoherence(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPutIfAbsent(t *testing.T) {
+	c := New(4, nil)
+	if !c.PutIfAbsent(fp(1), 100) {
+		t.Fatal("PutIfAbsent into empty cache reported no insert")
+	}
+	if v, ok := c.Peek(fp(1)); !ok || v != 100 {
+		t.Fatalf("Peek after PutIfAbsent = (%v, %v), want (100, true)", v, ok)
+	}
+	if c.PutIfAbsent(fp(1), 200) {
+		t.Fatal("PutIfAbsent over an existing entry reported an insert")
+	}
+	if v, _ := c.Peek(fp(1)); v != 100 {
+		t.Fatalf("PutIfAbsent overwrote value: got %v, want 100", v)
+	}
+}
+
+// TestPutIfAbsentPreservesDirty is the invariant the hybrid node's async
+// SSD phase relies on: a probe result installed after a concurrent dirty
+// insert must not launder the entry clean (which would lose the destage).
+func TestPutIfAbsentPreservesDirty(t *testing.T) {
+	var destaged []fingerprint.Fingerprint
+	c := New(2, func(f fingerprint.Fingerprint, _ Value, dirty bool) {
+		if dirty {
+			destaged = append(destaged, f)
+		}
+	})
+	c.PutDirty(fp(1), 1)
+	if c.PutIfAbsent(fp(1), 9) {
+		t.Fatal("PutIfAbsent replaced a dirty entry")
+	}
+	// Force fp(1) out: it must still destage as dirty.
+	c.Put(fp(2), 2)
+	c.Put(fp(3), 3)
+	c.Put(fp(4), 4)
+	if len(destaged) != 1 || destaged[0] != fp(1) {
+		t.Fatalf("dirty entry destaged = %v, want [fp(1)]", destaged)
+	}
+}
+
+// TestPutIfAbsentDoesNotPromote: an install must not perturb recency of an
+// existing entry (the probe completion is not a use).
+func TestPutIfAbsentDoesNotPromote(t *testing.T) {
+	c := New(2, nil)
+	c.Put(fp(1), 1)
+	c.Put(fp(2), 2)
+	c.PutIfAbsent(fp(1), 1) // no-op: fp(1) stays LRU
+	c.Put(fp(3), 3)         // evicts fp(1), not fp(2)
+	if _, ok := c.Peek(fp(1)); ok {
+		t.Fatal("fp(1) survived eviction after a no-op PutIfAbsent promotion")
+	}
+	if _, ok := c.Peek(fp(2)); !ok {
+		t.Fatal("fp(2) evicted instead of the older fp(1)")
+	}
+}

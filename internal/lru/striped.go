@@ -107,6 +107,16 @@ func (s *Striped) PutDirty(fp fingerprint.Fingerprint, val Value) bool {
 	return st.c.PutDirty(fp, val)
 }
 
+// PutIfAbsent inserts a clean entry only when the fingerprint is not
+// already cached, leaving any existing entry (including its dirty flag)
+// untouched. See Cache.PutIfAbsent.
+func (s *Striped) PutIfAbsent(fp fingerprint.Fingerprint, val Value) bool {
+	st := s.stripe(fp)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.c.PutIfAbsent(fp, val)
+}
+
 // MarkClean clears the dirty flag after the owner has flushed the entry.
 func (s *Striped) MarkClean(fp fingerprint.Fingerprint) {
 	st := s.stripe(fp)

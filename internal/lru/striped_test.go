@@ -118,3 +118,16 @@ func TestStripedConcurrentCoherence(t *testing.T) {
 		t.Fatalf("hits %d + misses %d != %d gets", st.Hits, st.Misses, 8*2000)
 	}
 }
+
+func TestStripedPutIfAbsent(t *testing.T) {
+	s := NewStriped(4, 64, nil)
+	if !s.PutIfAbsent(fp(1), 10) {
+		t.Fatal("PutIfAbsent into empty striped cache reported no insert")
+	}
+	if s.PutIfAbsent(fp(1), 20) {
+		t.Fatal("PutIfAbsent over an existing striped entry reported an insert")
+	}
+	if v, ok := s.Peek(fp(1)); !ok || v != 10 {
+		t.Fatalf("Peek = (%v, %v), want (10, true)", v, ok)
+	}
+}

@@ -80,6 +80,41 @@ func (h *Histogram) bucketUpper(i int) time.Duration {
 	return h.base << uint(i)
 }
 
+// Merge adds src's observations into h. Both histograms must share the
+// same base resolution and bucket count (it panics otherwise). The hybrid
+// node folds its per-stripe phase histograms into one digest with it, so
+// the hot path only ever touches stripe-local counters.
+func (h *Histogram) Merge(src *Histogram) {
+	if h.base != src.base || len(h.buckets) != len(src.buckets) {
+		panic("metrics: merging incompatible histograms")
+	}
+	count := src.count.Load()
+	if count == 0 {
+		return
+	}
+	for i := range src.buckets {
+		if n := src.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.count.Add(count)
+	h.sum.Add(src.sum.Load())
+	for {
+		cur := h.min.Load()
+		v := src.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		v := src.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
 // Summary is a point-in-time digest of a histogram.
 type Summary struct {
 	Count int64

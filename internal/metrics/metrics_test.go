@@ -129,3 +129,40 @@ func TestPercentileExact(t *testing.T) {
 		t.Fatalf("Percentile(nil) = %v, want 0", got)
 	}
 }
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(time.Microsecond, 10)
+	b := NewHistogram(time.Microsecond, 10)
+	for i := 1; i <= 100; i++ {
+		a.Observe(time.Duration(i) * time.Microsecond)
+	}
+	for i := 101; i <= 200; i++ {
+		b.Observe(time.Duration(i) * time.Microsecond)
+	}
+	m := NewHistogram(time.Microsecond, 10)
+	m.Merge(a)
+	m.Merge(b)
+	m.Merge(NewHistogram(time.Microsecond, 10)) // empty merge is a no-op
+
+	got := m.Summarize()
+	if got.Count != 200 {
+		t.Fatalf("merged Count = %d, want 200", got.Count)
+	}
+	if got.Min != time.Microsecond {
+		t.Fatalf("merged Min = %v, want 1µs", got.Min)
+	}
+	if got.Max != 200*time.Microsecond {
+		t.Fatalf("merged Max = %v, want 200µs", got.Max)
+	}
+	wantSum := a.Summarize().Sum + b.Summarize().Sum
+	if got.Sum != wantSum {
+		t.Fatalf("merged Sum = %v, want %v", got.Sum, wantSum)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging incompatible histograms did not panic")
+		}
+	}()
+	m.Merge(NewHistogram(time.Millisecond, 10))
+}

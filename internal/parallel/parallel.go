@@ -1,0 +1,69 @@
+// Package parallel provides the bounded worker pool the storage layers use
+// to overlap independent I/O operations.
+package parallel
+
+import "sync"
+
+// IODepth is the default bound on how many storage operations one batch
+// overlaps. Modeled after SATA NCQ / flash-channel queue depth: enough to
+// expose a device's internal parallelism, small enough not to flood the
+// runtime with goroutines.
+const IODepth = 16
+
+// Do runs fn(0..count-1) across at most `workers` goroutines, returning
+// the first error. Remaining work is abandoned after an error (workers
+// finish their current item and stop pulling).
+func Do(count, workers int, fn func(int) error) error {
+	if workers > count {
+		workers = count
+	}
+	if workers <= 1 {
+		for i := 0; i < count; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     int
+		nextMu   sync.Mutex
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	failed := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return firstErr != nil
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				nextMu.Lock()
+				if next >= count {
+					nextMu.Unlock()
+					return
+				}
+				i := next
+				next++
+				nextMu.Unlock()
+				if failed() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,49 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 4, 16, 100} {
+		const count = 500
+		var seen [count]atomic.Int32
+		if err := Do(count, workers, func(i int) error {
+			seen[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestDoReturnsFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	err := Do(1000, 8, func(i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if ran.Load() >= 1000 {
+		t.Fatal("no work was abandoned after the error")
+	}
+}
+
+func TestDoZeroCount(t *testing.T) {
+	if err := Do(0, 8, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatalf("Do(0): %v", err)
+	}
+}

@@ -96,7 +96,7 @@ func (c *Client) dialConn() (*clientConn, error) {
 	cc := &clientConn{
 		conn:    conn,
 		bw:      bufio.NewWriterSize(conn, 64<<10),
-		pending: make(map[uint64]chan wire.Frame),
+		pending: make(map[uint64]*pendingCall),
 	}
 	go cc.readLoop()
 	return cc, nil
@@ -193,26 +193,100 @@ func (c *Client) Insert(fp fingerprint.Fingerprint, val core.Value) error {
 // BatchLookupOrInsert sends one batch frame and decodes the ordered
 // results — the unit of the paper's batch-mode experiments.
 func (c *Client) BatchLookupOrInsert(pairs []core.Pair) ([]core.LookupResult, error) {
+	return c.GoBatchLookupOrInsert(pairs).Results()
+}
+
+// BatchCall is an in-flight batch request: a future for the pipelined
+// protocol. Results blocks until the response frame arrives (or the
+// request times out); Done exposes completion for select loops.
+type BatchCall struct {
+	n       int
+	pc      *pendingCall
+	timeout time.Duration
+	err     error // pre-flight failure (dial, encode, send)
+
+	once    sync.Once
+	results []core.LookupResult
+	resErr  error
+}
+
+// GoBatchLookupOrInsert writes one batch frame and returns immediately
+// with a future. Because connections are pipelined (requests carry ids and
+// responses return as they complete), a caller can keep many batches in
+// flight on one connection and a batch stalled on a remote node's SSD
+// phase does not block the batches behind it — the wire analogue of the
+// node's asynchronous lookup pipeline.
+func (c *Client) GoBatchLookupOrInsert(pairs []core.Pair) *BatchCall {
 	wirePairs := make([]wire.PairPayload, len(pairs))
 	for i, p := range pairs {
 		wirePairs[i] = wire.PairPayload{FP: p.FP, Val: uint64(p.Val)}
 	}
-	resp, err := c.call(wire.TypeBatch, wire.EncodeBatch(wirePairs))
+	call := &BatchCall{n: len(pairs), timeout: c.cfg.Timeout}
+	cc, err := c.pick()
 	if err != nil {
-		return nil, err
+		call.err = err
+		return call
+	}
+	pc, err := cc.start(wire.TypeBatch, wire.EncodeBatch(wirePairs))
+	if err != nil {
+		call.err = err
+		return call
+	}
+	call.pc = pc
+	return call
+}
+
+// Done returns a channel closed when the response (or a connection
+// failure) is available; Results will not block after it is closed. A
+// call that failed before sending returns an already-closed channel.
+func (b *BatchCall) Done() <-chan struct{} {
+	if b.pc == nil {
+		closed := make(chan struct{})
+		close(closed)
+		return closed
+	}
+	return b.pc.settled
+}
+
+// Results blocks for the response and decodes the ordered results. It is
+// safe to call more than once; every call returns the same outcome.
+func (b *BatchCall) Results() ([]core.LookupResult, error) {
+	b.once.Do(b.wait)
+	return b.results, b.resErr
+}
+
+func (b *BatchCall) wait() {
+	if b.err != nil {
+		b.resErr = b.err
+		return
+	}
+	resp, err := b.pc.wait(b.timeout)
+	if err != nil {
+		b.resErr = err
+		return
+	}
+	if resp.Type == wire.TypeError {
+		msg, derr := wire.DecodeError(resp.Payload)
+		if derr != nil {
+			msg = "undecodable server error"
+		}
+		b.resErr = &ServerError{Msg: msg}
+		return
 	}
 	rs, err := wire.DecodeBatchResult(resp.Payload)
 	if err != nil {
-		return nil, err
+		b.resErr = err
+		return
 	}
-	if len(rs) != len(pairs) {
-		return nil, fmt.Errorf("rpc: batch answered %d results for %d pairs", len(rs), len(pairs))
+	if len(rs) != b.n {
+		b.resErr = fmt.Errorf("rpc: batch answered %d results for %d pairs", len(rs), b.n)
+		return
 	}
 	out := make([]core.LookupResult, len(rs))
 	for i, r := range rs {
 		out[i] = fromWireResult(r)
 	}
-	return out, nil
+	b.results = out
 }
 
 // Stats fetches the remote node's counters.
@@ -252,12 +326,24 @@ type clientConn struct {
 	bw      *bufio.Writer
 
 	mu      sync.Mutex
-	pending map[uint64]chan wire.Frame
+	pending map[uint64]*pendingCall
 	nextID  uint64
 	dead    bool
 	deadErr error
 
 	closeOnce sync.Once
+}
+
+// pendingCall is one request awaiting its response frame. Ownership
+// discipline: whichever party removes the call from the connection's
+// pending table — the read loop (response arrived), shutdown (connection
+// died), or the caller's timeout — settles it, exactly once.
+type pendingCall struct {
+	cc      *clientConn
+	reqType wire.Type
+	id      uint64
+	ch      chan wire.Frame // buffered 1; receives the response
+	settled chan struct{}   // closed once ch holds the response or the call failed
 }
 
 func (cc *clientConn) isDead() bool {
@@ -276,12 +362,13 @@ func (cc *clientConn) shutdown(err error) {
 	cc.dead = true
 	cc.deadErr = err
 	waiters := cc.pending
-	cc.pending = map[uint64]chan wire.Frame{}
+	cc.pending = map[uint64]*pendingCall{}
 	cc.mu.Unlock()
 
 	cc.closeOnce.Do(func() { cc.conn.Close() })
-	for _, ch := range waiters {
-		close(ch)
+	for _, pc := range waiters {
+		close(pc.ch)
+		close(pc.settled)
 	}
 }
 
@@ -294,27 +381,37 @@ func (cc *clientConn) readLoop() {
 			return
 		}
 		cc.mu.Lock()
-		ch, ok := cc.pending[frame.ID]
+		pc, ok := cc.pending[frame.ID]
 		if ok {
 			delete(cc.pending, frame.ID)
 		}
 		cc.mu.Unlock()
 		if ok {
-			ch <- frame
+			pc.ch <- frame
+			close(pc.settled)
 		}
 	}
 }
 
-func (cc *clientConn) roundTrip(reqType wire.Type, payload []byte, timeout time.Duration) (wire.Frame, error) {
+// start registers a call and writes its request frame, returning without
+// waiting for the response — this is what pipelines multiple requests onto
+// one connection.
+func (cc *clientConn) start(reqType wire.Type, payload []byte) (*pendingCall, error) {
 	cc.mu.Lock()
 	if cc.dead {
 		err := cc.deadErr
 		cc.mu.Unlock()
-		return wire.Frame{}, err
+		return nil, err
 	}
 	id := atomic.AddUint64(&cc.nextID, 1)
-	ch := make(chan wire.Frame, 1)
-	cc.pending[id] = ch
+	pc := &pendingCall{
+		cc:      cc,
+		reqType: reqType,
+		id:      id,
+		ch:      make(chan wire.Frame, 1),
+		settled: make(chan struct{}),
+	}
+	cc.pending[id] = pc
 	cc.mu.Unlock()
 
 	cc.writeMu.Lock()
@@ -325,17 +422,21 @@ func (cc *clientConn) roundTrip(reqType wire.Type, payload []byte, timeout time.
 	cc.writeMu.Unlock()
 	if err != nil {
 		cc.shutdown(fmt.Errorf("rpc: send: %w", err))
-		return wire.Frame{}, err
+		return nil, err
 	}
+	return pc, nil
+}
 
+// wait blocks for the call's response.
+func (pc *pendingCall) wait(timeout time.Duration) (wire.Frame, error) {
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
-	case frame, ok := <-ch:
+	case frame, ok := <-pc.ch:
 		if !ok {
-			cc.mu.Lock()
-			err := cc.deadErr
-			cc.mu.Unlock()
+			pc.cc.mu.Lock()
+			err := pc.cc.deadErr
+			pc.cc.mu.Unlock()
 			if err == nil {
 				err = errors.New("rpc: connection closed")
 			}
@@ -343,9 +444,23 @@ func (cc *clientConn) roundTrip(reqType wire.Type, payload []byte, timeout time.
 		}
 		return frame, nil
 	case <-timer.C:
-		cc.mu.Lock()
-		delete(cc.pending, id)
-		cc.mu.Unlock()
-		return wire.Frame{}, fmt.Errorf("rpc: %v: request timed out after %v", reqType, timeout)
+		pc.cc.mu.Lock()
+		_, owned := pc.cc.pending[pc.id]
+		if owned {
+			delete(pc.cc.pending, pc.id)
+		}
+		pc.cc.mu.Unlock()
+		if owned {
+			close(pc.settled)
+		}
+		return wire.Frame{}, fmt.Errorf("rpc: %v: request timed out after %v", pc.reqType, timeout)
 	}
+}
+
+func (cc *clientConn) roundTrip(reqType wire.Type, payload []byte, timeout time.Duration) (wire.Frame, error) {
+	pc, err := cc.start(reqType, payload)
+	if err != nil {
+		return wire.Frame{}, err
+	}
+	return pc.wait(timeout)
 }

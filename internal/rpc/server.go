@@ -15,8 +15,10 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"shhc/internal/core"
+	"shhc/internal/metrics"
 	"shhc/internal/wire"
 )
 
@@ -228,6 +230,32 @@ func fromWireResult(r wire.ResultPayload) core.LookupResult {
 	return core.LookupResult{Exists: r.Exists, Source: core.Source(r.Source), Value: core.Value(r.Val)}
 }
 
+func toWireSummary(s metrics.Summary) wire.SummaryPayload {
+	return wire.SummaryPayload{
+		Count:  uint64(s.Count),
+		SumNS:  uint64(s.Sum),
+		MinNS:  uint64(s.Min),
+		MaxNS:  uint64(s.Max),
+		MeanNS: uint64(s.Mean),
+		P50NS:  uint64(s.P50),
+		P90NS:  uint64(s.P90),
+		P99NS:  uint64(s.P99),
+	}
+}
+
+func fromWireSummary(p wire.SummaryPayload) metrics.Summary {
+	return metrics.Summary{
+		Count: int64(p.Count),
+		Sum:   time.Duration(p.SumNS),
+		Min:   time.Duration(p.MinNS),
+		Max:   time.Duration(p.MaxNS),
+		Mean:  time.Duration(p.MeanNS),
+		P50:   time.Duration(p.P50NS),
+		P90:   time.Duration(p.P90NS),
+		P99:   time.Duration(p.P99NS),
+	}
+}
+
 func toWireStats(st core.NodeStats) wire.StatsPayload {
 	return wire.StatsPayload{
 		ID:           string(st.ID),
@@ -238,12 +266,16 @@ func toWireStats(st core.NodeStats) wire.StatsPayload {
 		StoreHits:    st.StoreHits,
 		StoreMisses:  st.StoreMisses,
 		BloomFalse:   st.BloomFalse,
+		Coalesced:    st.Coalesced,
 		StoreEntries: uint64(st.StoreEntries),
 		CacheHitsLRU: st.Cache.Hits,
 		CacheMisses:  st.Cache.Misses,
 		CacheEvicts:  st.Cache.Evictions,
 		CacheLen:     uint64(st.Cache.Len),
 		CacheCap:     uint64(st.Cache.Capacity),
+		PhaseCache:   toWireSummary(st.Phases.Cache),
+		PhaseBloom:   toWireSummary(st.Phases.Bloom),
+		PhaseSSD:     toWireSummary(st.Phases.SSD),
 	}
 }
 
@@ -257,6 +289,7 @@ func fromWireStats(s wire.StatsPayload) core.NodeStats {
 		StoreHits:    s.StoreHits,
 		StoreMisses:  s.StoreMisses,
 		BloomFalse:   s.BloomFalse,
+		Coalesced:    s.Coalesced,
 		StoreEntries: int(s.StoreEntries),
 	}
 	st.Cache.Hits = s.CacheHitsLRU
@@ -264,6 +297,9 @@ func fromWireStats(s wire.StatsPayload) core.NodeStats {
 	st.Cache.Evictions = s.CacheEvicts
 	st.Cache.Len = int(s.CacheLen)
 	st.Cache.Capacity = int(s.CacheCap)
+	st.Phases.Cache = fromWireSummary(s.PhaseCache)
+	st.Phases.Bloom = fromWireSummary(s.PhaseBloom)
+	st.Phases.SSD = fromWireSummary(s.PhaseSSD)
 	return st
 }
 

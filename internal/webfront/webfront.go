@@ -31,6 +31,7 @@ import (
 	"shhc/internal/batcher"
 	"shhc/internal/core"
 	"shhc/internal/fingerprint"
+	"shhc/internal/metrics"
 )
 
 // Index is the hash-cluster view the front-end needs (a *core.Cluster).
@@ -306,16 +307,49 @@ type StatsResponse struct {
 	Nodes   []NodeStatsJSON `json:"nodes"`
 }
 
+// PhaseSummaryJSON digests one lookup-pipeline tier's latency histogram.
+// Durations are nanoseconds.
+type PhaseSummaryJSON struct {
+	Count     int64 `json:"count"`
+	MeanNanos int64 `json:"meanNanos"`
+	P50Nanos  int64 `json:"p50Nanos"`
+	P90Nanos  int64 `json:"p90Nanos"`
+	P99Nanos  int64 `json:"p99Nanos"`
+	MaxNanos  int64 `json:"maxNanos"`
+}
+
+// PhasesJSON carries the per-tier latency of a node's two-phase pipeline:
+// RAM cache probes, Bloom probes, and the SSD phase that runs outside the
+// stripe locks.
+type PhasesJSON struct {
+	Cache PhaseSummaryJSON `json:"cache"`
+	Bloom PhaseSummaryJSON `json:"bloom"`
+	SSD   PhaseSummaryJSON `json:"ssd"`
+}
+
 // NodeStatsJSON is the JSON shape of one node's statistics.
 type NodeStatsJSON struct {
-	ID           string `json:"id"`
-	Lookups      uint64 `json:"lookups"`
-	Inserts      uint64 `json:"inserts"`
-	CacheHits    uint64 `json:"cacheHits"`
-	BloomShort   uint64 `json:"bloomShortCircuits"`
-	StoreHits    uint64 `json:"storeHits"`
-	StoreMisses  uint64 `json:"storeMisses"`
-	StoreEntries int    `json:"storeEntries"`
+	ID           string     `json:"id"`
+	Lookups      uint64     `json:"lookups"`
+	Inserts      uint64     `json:"inserts"`
+	CacheHits    uint64     `json:"cacheHits"`
+	BloomShort   uint64     `json:"bloomShortCircuits"`
+	StoreHits    uint64     `json:"storeHits"`
+	StoreMisses  uint64     `json:"storeMisses"`
+	Coalesced    uint64     `json:"coalescedProbes"`
+	StoreEntries int        `json:"storeEntries"`
+	Phases       PhasesJSON `json:"phases"`
+}
+
+func phaseJSON(s metrics.Summary) PhaseSummaryJSON {
+	return PhaseSummaryJSON{
+		Count:     s.Count,
+		MeanNanos: int64(s.Mean),
+		P50Nanos:  int64(s.P50),
+		P90Nanos:  int64(s.P90),
+		P99Nanos:  int64(s.P99),
+		MaxNanos:  int64(s.Max),
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -343,7 +377,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			BloomShort:   st.BloomShort,
 			StoreHits:    st.StoreHits,
 			StoreMisses:  st.StoreMisses,
+			Coalesced:    st.Coalesced,
 			StoreEntries: st.StoreEntries,
+			Phases: PhasesJSON{
+				Cache: phaseJSON(st.Phases.Cache),
+				Bloom: phaseJSON(st.Phases.Bloom),
+				SSD:   phaseJSON(st.Phases.SSD),
+			},
 		}
 	}
 	writeJSON(w, resp)

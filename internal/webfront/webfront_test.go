@@ -221,6 +221,20 @@ func TestStatsEndpoint(t *testing.T) {
 	if len(stats.Nodes) != 2 {
 		t.Fatalf("got %d nodes, want 2", len(stats.Nodes))
 	}
+	// The per-tier latency histograms of the lookup pipeline must travel
+	// through the endpoint: the plan above exercised the RAM tiers on at
+	// least one node.
+	var bloomObs, ssdObs int64
+	for _, n := range stats.Nodes {
+		bloomObs += n.Phases.Bloom.Count
+		ssdObs += n.Phases.SSD.Count
+	}
+	if bloomObs == 0 {
+		t.Fatalf("no node reported bloom phase observations: %+v", stats.Nodes)
+	}
+	if ssdObs == 0 {
+		t.Fatalf("no node reported SSD phase observations (the two inserts were write-through): %+v", stats.Nodes)
+	}
 }
 
 func TestMethodEnforcement(t *testing.T) {

@@ -322,8 +322,26 @@ func DecodeError(b []byte) (string, error) {
 	return string(b[2:]), nil
 }
 
+// SummaryPayload is one latency-histogram digest on the wire. All
+// durations travel as nanoseconds.
+type SummaryPayload struct {
+	Count  uint64
+	SumNS  uint64
+	MinNS  uint64
+	MaxNS  uint64
+	MeanNS uint64
+	P50NS  uint64
+	P90NS  uint64
+	P99NS  uint64
+}
+
+// summaryFields is the number of uint64 fields in a SummaryPayload.
+const summaryFields = 8
+
 // StatsPayload mirrors core.NodeStats for transport without importing core
 // (core depends on nothing above it; wire stays at the bottom layer).
+// PhaseCache/PhaseBloom/PhaseSSD digest the per-tier latency of the node's
+// two-phase lookup pipeline.
 type StatsPayload struct {
 	ID           string
 	Lookups      uint64
@@ -333,12 +351,36 @@ type StatsPayload struct {
 	StoreHits    uint64
 	StoreMisses  uint64
 	BloomFalse   uint64
+	Coalesced    uint64
 	StoreEntries uint64
 	CacheHitsLRU uint64
 	CacheMisses  uint64
 	CacheEvicts  uint64
 	CacheLen     uint64
 	CacheCap     uint64
+	PhaseCache   SummaryPayload
+	PhaseBloom   SummaryPayload
+	PhaseSSD     SummaryPayload
+}
+
+// statsCounterFields is the number of plain uint64 counters in a
+// StatsPayload (everything after the ID, before the phase summaries).
+const statsCounterFields = 14
+
+func (s *StatsPayload) counters() []*uint64 {
+	return []*uint64{
+		&s.Lookups, &s.Inserts, &s.CacheHits, &s.BloomShort, &s.StoreHits,
+		&s.StoreMisses, &s.BloomFalse, &s.Coalesced, &s.StoreEntries,
+		&s.CacheHitsLRU, &s.CacheMisses, &s.CacheEvicts, &s.CacheLen, &s.CacheCap,
+	}
+}
+
+func (s *StatsPayload) summaries() []*SummaryPayload {
+	return []*SummaryPayload{&s.PhaseCache, &s.PhaseBloom, &s.PhaseSSD}
+}
+
+func (p *SummaryPayload) fields() []*uint64 {
+	return []*uint64{&p.Count, &p.SumNS, &p.MinNS, &p.MaxNS, &p.MeanNS, &p.P50NS, &p.P90NS, &p.P99NS}
 }
 
 // EncodeStats encodes node statistics (TypeStatsResult).
@@ -347,17 +389,19 @@ func EncodeStats(s StatsPayload) []byte {
 	if len(id) > 65535 {
 		id = id[:65535]
 	}
-	buf := make([]byte, 2+len(id)+13*8)
+	buf := make([]byte, 2+len(id)+(statsCounterFields+3*summaryFields)*8)
 	binary.BigEndian.PutUint16(buf[0:2], uint16(len(id)))
 	copy(buf[2:], id)
 	off := 2 + len(id)
-	for _, v := range []uint64{
-		s.Lookups, s.Inserts, s.CacheHits, s.BloomShort, s.StoreHits,
-		s.StoreMisses, s.BloomFalse, s.StoreEntries, s.CacheHitsLRU,
-		s.CacheMisses, s.CacheEvicts, s.CacheLen, s.CacheCap,
-	} {
-		binary.BigEndian.PutUint64(buf[off:], v)
+	for _, v := range s.counters() {
+		binary.BigEndian.PutUint64(buf[off:], *v)
 		off += 8
+	}
+	for _, sum := range s.summaries() {
+		for _, v := range sum.fields() {
+			binary.BigEndian.PutUint64(buf[off:], *v)
+			off += 8
+		}
 	}
 	return buf
 }
@@ -369,20 +413,21 @@ func DecodeStats(b []byte) (StatsPayload, error) {
 		return s, fmt.Errorf("wire: stats payload: missing id length: %w", ErrShortPayload)
 	}
 	idLen := int(binary.BigEndian.Uint16(b[0:2]))
-	want := 2 + idLen + 13*8
+	want := 2 + idLen + (statsCounterFields+3*summaryFields)*8
 	if len(b) != want {
 		return s, fmt.Errorf("wire: stats payload: want %d bytes, got %d: %w", want, len(b), ErrShortPayload)
 	}
 	s.ID = string(b[2 : 2+idLen])
 	off := 2 + idLen
-	fields := []*uint64{
-		&s.Lookups, &s.Inserts, &s.CacheHits, &s.BloomShort, &s.StoreHits,
-		&s.StoreMisses, &s.BloomFalse, &s.StoreEntries, &s.CacheHitsLRU,
-		&s.CacheMisses, &s.CacheEvicts, &s.CacheLen, &s.CacheCap,
-	}
-	for _, f := range fields {
+	for _, f := range s.counters() {
 		*f = binary.BigEndian.Uint64(b[off:])
 		off += 8
+	}
+	for _, sum := range s.summaries() {
+		for _, f := range sum.fields() {
+			*f = binary.BigEndian.Uint64(b[off:])
+			off += 8
+		}
 	}
 	return s, nil
 }

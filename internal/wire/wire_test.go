@@ -203,8 +203,11 @@ func TestErrorRoundTrip(t *testing.T) {
 func TestStatsRoundTrip(t *testing.T) {
 	in := StatsPayload{
 		ID: "node-3", Lookups: 1, Inserts: 2, CacheHits: 3, BloomShort: 4,
-		StoreHits: 5, StoreMisses: 6, BloomFalse: 7, StoreEntries: 8,
+		StoreHits: 5, StoreMisses: 6, BloomFalse: 7, Coalesced: 14, StoreEntries: 8,
 		CacheHitsLRU: 9, CacheMisses: 10, CacheEvicts: 11, CacheLen: 12, CacheCap: 13,
+		PhaseCache: SummaryPayload{Count: 20, SumNS: 21, MinNS: 22, MaxNS: 23, MeanNS: 24, P50NS: 25, P90NS: 26, P99NS: 27},
+		PhaseBloom: SummaryPayload{Count: 30, SumNS: 31, MinNS: 32, MaxNS: 33, MeanNS: 34, P50NS: 35, P90NS: 36, P99NS: 37},
+		PhaseSSD:   SummaryPayload{Count: 40, SumNS: 41, MinNS: 42, MaxNS: 43, MeanNS: 44, P50NS: 45, P90NS: 46, P99NS: 47},
 	}
 	out, err := DecodeStats(EncodeStats(in))
 	if err != nil {
