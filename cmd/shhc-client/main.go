@@ -9,9 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"shhc/internal/backup"
 )
@@ -32,8 +35,20 @@ func run() error {
 		out       = flag.String("out", "", "output path for restore")
 		chunkSize = flag.Int("chunk", 4096, "fixed chunk size in bytes (0 = content-defined)")
 		batch     = flag.Int("batch", 2048, "fingerprints per plan request")
+		timeout   = flag.Duration("timeout", 0, "overall run deadline (0 = none)")
 	)
 	flag.Parse()
+
+	// Ctrl-C (or a deadline from -timeout) cancels the run: in-flight plan
+	// and upload requests abort instead of holding the front-end's
+	// flight-table slots.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	client, err := backup.New(backup.Config{FrontURL: *front, ChunkSize: *chunkSize, PlanBatch: *batch})
 	if err != nil {
@@ -42,7 +57,7 @@ func run() error {
 
 	switch {
 	case *backupArg != "":
-		report, err := client.BackupFile(*backupArg)
+		report, err := client.BackupFile(ctx, *backupArg)
 		if err != nil {
 			return err
 		}
@@ -67,7 +82,7 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("create %s: %w", *out, err)
 		}
-		if err := client.Restore(m, f); err != nil {
+		if err := client.Restore(ctx, m, f); err != nil {
 			f.Close()
 			return err
 		}

@@ -88,5 +88,5 @@ func buildCluster(nodes string, local, replicas int) (*shhc.Cluster, error) {
 		}
 		backends = append(backends, client)
 	}
-	return shhc.NewCluster(replicas, backends...)
+	return shhc.NewCluster(shhc.ClusterConfig{Replicas: replicas}, backends...)
 }

@@ -2,8 +2,11 @@ package shhc_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"log"
+	"time"
 
 	"shhc"
 )
@@ -18,13 +21,13 @@ func ExampleNewLocalCluster() {
 	defer cluster.Close()
 
 	chunk := []byte("the quick brown fox")
-	res, err := cluster.LookupOrInsert(shhc.FingerprintOf(chunk), 1)
+	res, err := cluster.LookupOrInsert(context.Background(), shhc.FingerprintOf(chunk), 1)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("first sight, upload needed:", !res.Exists)
 
-	res, err = cluster.LookupOrInsert(shhc.FingerprintOf(chunk), 2)
+	res, err = cluster.LookupOrInsert(context.Background(), shhc.FingerprintOf(chunk), 2)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,14 +50,14 @@ func ExampleCluster_LookupOrInsert() {
 
 	// New fingerprint: the Bloom filter proves it absent without an SSD
 	// read, and the node stores it.
-	r1, err := cluster.LookupOrInsert(fp, 42)
+	r1, err := cluster.LookupOrInsert(context.Background(), fp, 42)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("exists=%v source=%s\n", r1.Exists, r1.Source)
 
 	// Same fingerprint again: answered from the RAM LRU cache.
-	r2, err := cluster.LookupOrInsert(fp, 99)
+	r2, err := cluster.LookupOrInsert(context.Background(), fp, 99)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,6 +65,31 @@ func ExampleCluster_LookupOrInsert() {
 	// Output:
 	// exists=false source=bloom
 	// exists=true source=cache value=42
+}
+
+// ExampleCluster_Lookup_deadline bounds a lookup with a context deadline:
+// a request stuck behind a slow device (here: a modeled HDD with real
+// sleeps) returns context.DeadlineExceeded instead of holding the caller
+// — the same context would also propagate over the wire to remote nodes.
+func ExampleCluster_Lookup_deadline() {
+	cluster, err := shhc.NewLocalCluster(shhc.ClusterOptions{
+		Nodes:        1,
+		DeviceModel:  "hdd",
+		SleepDevices: true, // modeled latency is real time.Sleep
+		CacheSize:    0,    // force every lookup to the slow device
+		DisableBloom: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, err = cluster.Lookup(ctx, shhc.FingerprintOf([]byte("cold chunk")))
+	fmt.Println("deadline bounded the slow device:", errors.Is(err, context.DeadlineExceeded))
+	// Output:
+	// deadline bounded the slow device: true
 }
 
 // ExampleNewBackupClient assembles the paper's four tiers in one process —
@@ -95,14 +123,14 @@ func ExampleNewBackupClient() {
 	// A deterministic 64 KiB "file": sixteen 4 KiB chunks.
 	file := bytes.Repeat([]byte("0123456789abcdef"), 4096)
 
-	gen1, err := client.Backup("file-gen1", bytes.NewReader(file))
+	gen1, err := client.Backup(context.Background(), "file-gen1", bytes.NewReader(file))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("gen1: %d chunks, %d uploaded\n", gen1.Chunks, gen1.NewChunks)
 
 	// Unchanged re-backup: everything deduplicates, nothing is uploaded.
-	gen2, err := client.Backup("file-gen2", bytes.NewReader(file))
+	gen2, err := client.Backup(context.Background(), "file-gen2", bytes.NewReader(file))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -110,7 +138,7 @@ func ExampleNewBackupClient() {
 
 	// Restore from the manifest and verify.
 	var restored bytes.Buffer
-	if err := client.Restore(gen2.Manifest, &restored); err != nil {
+	if err := client.Restore(context.Background(), gen2.Manifest, &restored); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("restore intact:", bytes.Equal(restored.Bytes(), file))

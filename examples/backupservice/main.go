@@ -12,6 +12,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -55,7 +56,7 @@ func run() error {
 		}
 	}()
 
-	cluster, err := shhc.NewCluster(1, backends...)
+	cluster, err := shhc.NewCluster(shhc.ClusterConfig{}, backends...)
 	if err != nil {
 		return err
 	}
@@ -88,14 +89,14 @@ func run() error {
 	image := make([]byte, 4<<20)
 	rand.New(rand.NewSource(42)).Read(image)
 
-	report, err := client.Backup("image-gen1", bytes.NewReader(image))
+	report, err := client.Backup(context.Background(), "image-gen1", bytes.NewReader(image))
 	if err != nil {
 		return err
 	}
 	fmt.Printf("generation 1 (initial full backup):\n  %s\n", report)
 
 	// Unchanged re-backup: the classic cloud-backup scenario.
-	report2, err := client.Backup("image-gen2", bytes.NewReader(image))
+	report2, err := client.Backup(context.Background(), "image-gen2", bytes.NewReader(image))
 	if err != nil {
 		return err
 	}
@@ -108,7 +109,7 @@ func run() error {
 		off := rng.Intn(len(churned) - 4096)
 		rng.Read(churned[off : off+4096])
 	}
-	report3, err := client.Backup("image-gen3", bytes.NewReader(churned))
+	report3, err := client.Backup(context.Background(), "image-gen3", bytes.NewReader(churned))
 	if err != nil {
 		return err
 	}
@@ -116,7 +117,7 @@ func run() error {
 
 	// Restore and verify generation 3.
 	var restored bytes.Buffer
-	if err := client.Restore(report3.Manifest, &restored); err != nil {
+	if err := client.Restore(context.Background(), report3.Manifest, &restored); err != nil {
 		return err
 	}
 	if !bytes.Equal(restored.Bytes(), churned) {

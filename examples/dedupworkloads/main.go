@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -45,7 +46,7 @@ func run(scale int) error {
 			if len(pairs) == 0 {
 				return nil
 			}
-			results, err := cluster.BatchLookupOrInsert(pairs)
+			results, err := cluster.BatchLookupOrInsert(context.Background(), pairs)
 			if err != nil {
 				return err
 			}
@@ -81,7 +82,7 @@ func run(scale int) error {
 
 		if spec.Name == "Time machine" {
 			// Show the Figure 6 load-balance view for the last workload.
-			stats, err := cluster.Stats()
+			stats, err := cluster.Stats(context.Background())
 			if err != nil {
 				cluster.Close()
 				return err

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,7 +40,7 @@ func run() error {
 		}
 		backends[i] = b
 	}
-	cluster, err := shhc.NewCluster(1, backends...)
+	cluster, err := shhc.NewCluster(shhc.ClusterConfig{}, backends...)
 	if err != nil {
 		return err
 	}
@@ -49,7 +50,7 @@ func run() error {
 	const n = 60000
 	for i := 0; i < n; i++ {
 		fp := shhc.FingerprintOf([]byte(fmt.Sprintf("chunk-%d", i)))
-		if _, err := cluster.LookupOrInsert(fp, shhc.Value(i+1)); err != nil {
+		if _, err := cluster.LookupOrInsert(context.Background(), fp, shhc.Value(i+1)); err != nil {
 			return err
 		}
 	}
@@ -63,7 +64,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	stats, err := cluster.JoinNode(extra)
+	stats, err := cluster.JoinNode(context.Background(), extra)
 	if err != nil {
 		return err
 	}
@@ -77,7 +78,7 @@ func run() error {
 	fmt.Printf("all %d fingerprints still detected as duplicates after scale-up\n", n)
 
 	// Scale down: drain node-01 gracefully.
-	drain, err := cluster.DrainNode("node-01")
+	drain, err := cluster.DrainNode(context.Background(), "node-01")
 	if err != nil {
 		return err
 	}
@@ -94,7 +95,7 @@ func run() error {
 func verifyAllDuplicate(cluster *shhc.Cluster, n int) error {
 	for i := 0; i < n; i++ {
 		fp := shhc.FingerprintOf([]byte(fmt.Sprintf("chunk-%d", i)))
-		res, err := cluster.LookupOrInsert(fp, 0)
+		res, err := cluster.LookupOrInsert(context.Background(), fp, 0)
 		if err != nil {
 			return err
 		}
@@ -106,7 +107,7 @@ func verifyAllDuplicate(cluster *shhc.Cluster, n int) error {
 }
 
 func printDistribution(cluster *shhc.Cluster, label string) {
-	stats, err := cluster.Stats()
+	stats, err := cluster.Stats(context.Background())
 	if err != nil {
 		log.Printf("stats: %v", err)
 		return

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -50,7 +51,7 @@ func run() error {
 		}
 	}()
 
-	cluster, err := shhc.NewCluster(2 /* replicas */, backends...)
+	cluster, err := shhc.NewCluster(shhc.ClusterConfig{Replicas: 2}, backends...)
 	if err != nil {
 		return err
 	}
@@ -60,7 +61,7 @@ func run() error {
 	const n = 10000
 	for i := 0; i < n; i++ {
 		fp := shhc.FingerprintOf([]byte(fmt.Sprintf("chunk-%d", i)))
-		if _, err := cluster.LookupOrInsert(fp, shhc.Value(i+1)); err != nil {
+		if _, err := cluster.LookupOrInsert(context.Background(), fp, shhc.Value(i+1)); err != nil {
 			return err
 		}
 	}
@@ -75,7 +76,7 @@ func run() error {
 	lost := 0
 	for i := 0; i < n; i++ {
 		fp := shhc.FingerprintOf([]byte(fmt.Sprintf("chunk-%d", i)))
-		res, err := cluster.Lookup(fp)
+		res, err := cluster.Lookup(context.Background(), fp)
 		if err != nil || !res.Exists {
 			lost++
 		}
@@ -89,7 +90,7 @@ func run() error {
 	reinserted := 0
 	for i := 0; i < n; i++ {
 		fp := shhc.FingerprintOf([]byte(fmt.Sprintf("chunk-%d", i)))
-		res, err := cluster.LookupOrInsert(fp, 0)
+		res, err := cluster.LookupOrInsert(context.Background(), fp, 0)
 		if err != nil {
 			return err
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,7 +34,7 @@ func run() error {
 
 	for i, data := range chunks {
 		fp := shhc.FingerprintOf(data)
-		res, err := cluster.LookupOrInsert(fp, shhc.Value(i+1))
+		res, err := cluster.LookupOrInsert(context.Background(), fp, shhc.Value(i+1))
 		if err != nil {
 			return err
 		}
@@ -52,7 +53,7 @@ func run() error {
 	for i, data := range chunks {
 		pairs = append(pairs, shhc.Pair{FP: shhc.FingerprintOf(data), Val: shhc.Value(i + 1)})
 	}
-	results, err := cluster.BatchLookupOrInsert(pairs)
+	results, err := cluster.BatchLookupOrInsert(context.Background(), pairs)
 	if err != nil {
 		return err
 	}
@@ -65,7 +66,7 @@ func run() error {
 	fmt.Printf("\nbatch of %d: %d duplicates detected (all, since everything is stored now)\n",
 		len(results), dups)
 
-	stats, err := cluster.Stats()
+	stats, err := cluster.Stats(context.Background())
 	if err != nil {
 		return err
 	}

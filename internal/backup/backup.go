@@ -6,6 +6,7 @@ package backup
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -100,7 +101,10 @@ func (c *Client) newChunker(r io.Reader) (chunk.Chunker, error) {
 }
 
 // Backup deduplicates and uploads one stream under the given name.
-func (c *Client) Backup(name string, r io.Reader) (Report, error) {
+// Cancelling ctx abandons the run between chunks and aborts in-flight
+// plan and upload requests; the partial upload is harmless (chunks are
+// content-addressed and idempotent; a re-run skips what already landed).
+func (c *Client) Backup(ctx context.Context, name string, r io.Reader) (Report, error) {
 	chunker, err := c.newChunker(r)
 	if err != nil {
 		return Report{}, err
@@ -112,13 +116,16 @@ func (c *Client) Backup(name string, r io.Reader) (Report, error) {
 		if len(batch) == 0 {
 			return nil
 		}
-		if err := c.processBatch(batch, &report); err != nil {
+		if err := c.processBatch(ctx, batch, &report); err != nil {
 			return err
 		}
 		batch = batch[:0]
 		return nil
 	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return Report{}, fmt.Errorf("backup %s: %w", name, err)
+		}
 		ch, err := chunker.Next()
 		if err == io.EOF {
 			break
@@ -144,17 +151,17 @@ func (c *Client) Backup(name string, r io.Reader) (Report, error) {
 }
 
 // BackupFile backs up one file by path.
-func (c *Client) BackupFile(path string) (Report, error) {
+func (c *Client) BackupFile(ctx context.Context, path string) (Report, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return Report{}, fmt.Errorf("backup: open %s: %w", path, err)
 	}
 	defer f.Close()
-	return c.Backup(path, f)
+	return c.Backup(ctx, path, f)
 }
 
 // processBatch asks for an upload plan and uploads the missing chunks.
-func (c *Client) processBatch(batch []chunk.Chunk, report *Report) error {
+func (c *Client) processBatch(ctx context.Context, batch []chunk.Chunk, report *Report) error {
 	req := webfront.PlanRequest{Fingerprints: make([]string, len(batch))}
 	for i, ch := range batch {
 		req.Fingerprints[i] = ch.FP.String()
@@ -163,7 +170,12 @@ func (c *Client) processBatch(batch []chunk.Chunk, report *Report) error {
 	if err != nil {
 		return fmt.Errorf("backup: marshal plan: %w", err)
 	}
-	resp, err := c.cfg.HTTPClient.Post(c.cfg.FrontURL+"/v1/plan", "application/json", bytes.NewReader(body))
+	planReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.FrontURL+"/v1/plan", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("backup: build plan request: %w", err)
+	}
+	planReq.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.HTTPClient.Do(planReq)
 	if err != nil {
 		return fmt.Errorf("backup: plan request: %w", err)
 	}
@@ -188,7 +200,7 @@ func (c *Client) processBatch(batch []chunk.Chunk, report *Report) error {
 			report.DupChunks++
 			continue
 		}
-		if err := c.upload(batch[idx]); err != nil {
+		if err := c.upload(ctx, batch[idx]); err != nil {
 			return err
 		}
 		report.NewChunks++
@@ -197,8 +209,8 @@ func (c *Client) processBatch(batch []chunk.Chunk, report *Report) error {
 	return nil
 }
 
-func (c *Client) upload(ch chunk.Chunk) error {
-	req, err := http.NewRequest(http.MethodPost, c.cfg.FrontURL+"/v1/upload", bytes.NewReader(ch.Data))
+func (c *Client) upload(ctx context.Context, ch chunk.Chunk) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.FrontURL+"/v1/upload", bytes.NewReader(ch.Data))
 	if err != nil {
 		return fmt.Errorf("backup: build upload: %w", err)
 	}
@@ -216,13 +228,19 @@ func (c *Client) upload(ch chunk.Chunk) error {
 }
 
 // Restore streams a manifest's chunks from the service into w.
-func (c *Client) Restore(m Manifest, w io.Writer) error {
+// Cancelling ctx stops the restore between chunks and aborts the
+// in-flight fetch.
+func (c *Client) Restore(ctx context.Context, m Manifest, w io.Writer) error {
 	for i, hexFP := range m.Chunks {
 		fp, err := fingerprint.Parse(hexFP)
 		if err != nil {
 			return fmt.Errorf("backup: manifest chunk %d: %w", i, err)
 		}
-		resp, err := c.cfg.HTTPClient.Get(c.cfg.FrontURL + "/v1/chunk/" + fp.String())
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.FrontURL+"/v1/chunk/"+fp.String(), nil)
+		if err != nil {
+			return fmt.Errorf("backup: build fetch chunk %d: %w", i, err)
+		}
+		resp, err := c.cfg.HTTPClient.Do(req)
 		if err != nil {
 			return fmt.Errorf("backup: fetch chunk %d: %w", i, err)
 		}

@@ -4,6 +4,7 @@ package backup
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"net/http/httptest"
@@ -83,7 +84,7 @@ func TestFirstBackupUploadsEverything(t *testing.T) {
 	client := newClient(t, p, 4096)
 	data := randomBytes(100*4096, 1)
 
-	report, err := client.Backup("first", bytes.NewReader(data))
+	report, err := client.Backup(context.Background(), "first", bytes.NewReader(data))
 	if err != nil {
 		t.Fatalf("Backup: %v", err)
 	}
@@ -105,10 +106,10 @@ func TestRepeatBackupUploadsNothing(t *testing.T) {
 	client := newClient(t, p, 4096)
 	data := randomBytes(64*4096, 2)
 
-	if _, err := client.Backup("gen-1", bytes.NewReader(data)); err != nil {
+	if _, err := client.Backup(context.Background(), "gen-1", bytes.NewReader(data)); err != nil {
 		t.Fatalf("first Backup: %v", err)
 	}
-	report, err := client.Backup("gen-2", bytes.NewReader(data))
+	report, err := client.Backup(context.Background(), "gen-2", bytes.NewReader(data))
 	if err != nil {
 		t.Fatalf("second Backup: %v", err)
 	}
@@ -128,14 +129,14 @@ func TestIncrementalBackup(t *testing.T) {
 	client := newClient(t, p, 4096)
 	gen1 := randomBytes(50*4096, 3)
 
-	if _, err := client.Backup("gen-1", bytes.NewReader(gen1)); err != nil {
+	if _, err := client.Backup(context.Background(), "gen-1", bytes.NewReader(gen1)); err != nil {
 		t.Fatalf("Backup gen-1: %v", err)
 	}
 	// Change 5 chunks, keep 45.
 	gen2 := append([]byte(nil), gen1...)
 	copy(gen2[10*4096:15*4096], randomBytes(5*4096, 4))
 
-	report, err := client.Backup("gen-2", bytes.NewReader(gen2))
+	report, err := client.Backup(context.Background(), "gen-2", bytes.NewReader(gen2))
 	if err != nil {
 		t.Fatalf("Backup gen-2: %v", err)
 	}
@@ -149,12 +150,12 @@ func TestRestoreRoundTrip(t *testing.T) {
 	client := newClient(t, p, 4096)
 	data := randomBytes(37*4096+123, 5) // non-aligned tail chunk
 
-	report, err := client.Backup("restore-me", bytes.NewReader(data))
+	report, err := client.Backup(context.Background(), "restore-me", bytes.NewReader(data))
 	if err != nil {
 		t.Fatalf("Backup: %v", err)
 	}
 	var out bytes.Buffer
-	if err := client.Restore(report.Manifest, &out); err != nil {
+	if err := client.Restore(context.Background(), report.Manifest, &out); err != nil {
 		t.Fatalf("Restore: %v", err)
 	}
 	if !bytes.Equal(out.Bytes(), data) {
@@ -167,12 +168,12 @@ func TestRestoreWithContentDefinedChunking(t *testing.T) {
 	client := newClient(t, p, 0) // gear chunking
 	data := randomBytes(300000, 6)
 
-	report, err := client.Backup("gear", bytes.NewReader(data))
+	report, err := client.Backup(context.Background(), "gear", bytes.NewReader(data))
 	if err != nil {
 		t.Fatalf("Backup: %v", err)
 	}
 	var out bytes.Buffer
-	if err := client.Restore(report.Manifest, &out); err != nil {
+	if err := client.Restore(context.Background(), report.Manifest, &out); err != nil {
 		t.Fatalf("Restore: %v", err)
 	}
 	if !bytes.Equal(out.Bytes(), data) {
@@ -188,11 +189,11 @@ func TestCrossClientDedup(t *testing.T) {
 	data := randomBytes(40*4096, 7)
 
 	c1 := newClient(t, p, 4096)
-	if _, err := c1.Backup("client-1", bytes.NewReader(data)); err != nil {
+	if _, err := c1.Backup(context.Background(), "client-1", bytes.NewReader(data)); err != nil {
 		t.Fatalf("client-1 Backup: %v", err)
 	}
 	c2 := newClient(t, p, 4096)
-	report, err := c2.Backup("client-2", bytes.NewReader(data))
+	report, err := c2.Backup(context.Background(), "client-2", bytes.NewReader(data))
 	if err != nil {
 		t.Fatalf("client-2 Backup: %v", err)
 	}
@@ -224,7 +225,7 @@ func TestBackupFile(t *testing.T) {
 	if err := osWriteFile(path, data); err != nil {
 		t.Fatal(err)
 	}
-	report, err := client.BackupFile(path)
+	report, err := client.BackupFile(context.Background(), path)
 	if err != nil {
 		t.Fatalf("BackupFile: %v", err)
 	}
@@ -236,7 +237,7 @@ func TestBackupFile(t *testing.T) {
 func TestEmptyStream(t *testing.T) {
 	p := newPipeline(t, 1)
 	client := newClient(t, p, 4096)
-	report, err := client.Backup("empty", bytes.NewReader(nil))
+	report, err := client.Backup(context.Background(), "empty", bytes.NewReader(nil))
 	if err != nil {
 		t.Fatalf("Backup of empty stream: %v", err)
 	}

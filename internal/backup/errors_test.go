@@ -2,6 +2,7 @@ package backup
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -59,7 +60,7 @@ func TestBackupRejectsOutOfRangePlanIndices(t *testing.T) {
 		},
 	}
 	c := newMisbehavingClient(t, m)
-	if _, err := c.Backup("x", bytes.NewReader(make([]byte, 4096))); err == nil {
+	if _, err := c.Backup(context.Background(), "x", bytes.NewReader(make([]byte, 4096))); err == nil {
 		t.Fatal("out-of-range plan index accepted")
 	}
 }
@@ -71,7 +72,7 @@ func TestBackupSurfacesPlanHTTPError(t *testing.T) {
 		},
 	}
 	c := newMisbehavingClient(t, m)
-	if _, err := c.Backup("x", bytes.NewReader(make([]byte, 4096))); err == nil {
+	if _, err := c.Backup(context.Background(), "x", bytes.NewReader(make([]byte, 4096))); err == nil {
 		t.Fatal("plan HTTP error not surfaced")
 	}
 }
@@ -90,7 +91,7 @@ func TestRestoreDetectsCorruptChunk(t *testing.T) {
 		Chunks: []string{fingerprint.FromData([]byte("original")).String()},
 	}
 	var out bytes.Buffer
-	if err := c.Restore(manifest, &out); err == nil {
+	if err := c.Restore(context.Background(), manifest, &out); err == nil {
 		t.Fatal("corrupt chunk accepted during restore")
 	}
 }
@@ -102,7 +103,7 @@ func TestRestoreSurfacesMissingChunk(t *testing.T) {
 		Chunks: []string{fingerprint.FromData([]byte("gone")).String()},
 	}
 	var out bytes.Buffer
-	if err := c.Restore(manifest, &out); err == nil {
+	if err := c.Restore(context.Background(), manifest, &out); err == nil {
 		t.Fatal("missing chunk not surfaced")
 	}
 }
@@ -110,7 +111,7 @@ func TestRestoreSurfacesMissingChunk(t *testing.T) {
 func TestRestoreRejectsBadManifestEntry(t *testing.T) {
 	c := newMisbehavingClient(t, &misbehavingFront{})
 	var out bytes.Buffer
-	if err := c.Restore(Manifest{Chunks: []string{"zz"}}, &out); err == nil {
+	if err := c.Restore(context.Background(), Manifest{Chunks: []string{"zz"}}, &out); err == nil {
 		t.Fatal("malformed manifest entry accepted")
 	}
 }

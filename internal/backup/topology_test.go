@@ -2,6 +2,7 @@ package backup
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"net/http/httptest"
@@ -89,7 +90,7 @@ func TestFullFigure2Topology(t *testing.T) {
 				errs[c] = err
 				return
 			}
-			reports[c], errs[c] = client.Backup(fmt.Sprintf("client-%d", c), bytes.NewReader(data))
+			reports[c], errs[c] = client.Backup(context.Background(), fmt.Sprintf("client-%d", c), bytes.NewReader(data))
 		}(c)
 	}
 	wg.Wait()
@@ -130,7 +131,7 @@ func TestFullFigure2Topology(t *testing.T) {
 		t.Fatalf("backup.New: %v", err)
 	}
 	var out bytes.Buffer
-	if err := client.Restore(reports[0].Manifest, &out); err != nil {
+	if err := client.Restore(context.Background(), reports[0].Manifest, &out); err != nil {
 		t.Fatalf("Restore: %v", err)
 	}
 	if !bytes.Equal(out.Bytes(), data) {

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -174,14 +175,14 @@ func TestNewNodeKinds(t *testing.T) {
 			}
 			defer node.Close()
 
-			r, err := node.LookupOrInsert(fp(1), 11)
+			r, err := node.LookupOrInsert(context.Background(), fp(1), 11)
 			if err != nil {
 				t.Fatalf("LookupOrInsert: %v", err)
 			}
 			if r.Exists {
 				t.Fatal("fresh fingerprint reported existing")
 			}
-			r, err = node.LookupOrInsert(fp(1), 0)
+			r, err = node.LookupOrInsert(context.Background(), fp(1), 0)
 			if err != nil {
 				t.Fatalf("LookupOrInsert: %v", err)
 			}
@@ -198,7 +199,7 @@ func TestNewNodeOnDisk(t *testing.T) {
 		t.Fatalf("NewNode: %v", err)
 	}
 	defer node.Close()
-	if _, err := node.LookupOrInsert(fp(1), 1); err != nil {
+	if _, err := node.LookupOrInsert(context.Background(), fp(1), 1); err != nil {
 		t.Fatalf("LookupOrInsert: %v", err)
 	}
 }
@@ -220,12 +221,12 @@ func TestBaselineRelativeLatency(t *testing.T) {
 		}
 		defer node.Close()
 		for i := uint64(0); i < 2048; i++ {
-			node.LookupOrInsert(fp(i), hashdb.Value(i))
+			node.LookupOrInsert(context.Background(), fp(i), hashdb.Value(i))
 		}
 		for i := uint64(0); i < 2048; i++ {
-			node.LookupOrInsert(fp(i), 0)
+			node.LookupOrInsert(context.Background(), fp(i), 0)
 		}
-		st, err := node.Stats()
+		st, err := node.Stats(context.Background())
 		if err != nil {
 			t.Fatalf("Stats: %v", err)
 		}

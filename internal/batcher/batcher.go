@@ -8,6 +8,7 @@
 package batcher
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
@@ -18,8 +19,11 @@ import (
 )
 
 // Func executes one aggregated batch, returning results in input order.
-// A core.Cluster's BatchLookupOrInsert is the usual implementation.
-type Func func(pairs []core.Pair) ([]core.LookupResult, error)
+// A core.Cluster's BatchLookupOrInsert is the usual implementation. The
+// batcher invokes it with a background-derived context, never any single
+// caller's: a batch aggregates queries from many callers, and one
+// caller's cancellation must not take its batch-mates' results down.
+type Func func(ctx context.Context, pairs []core.Pair) ([]core.LookupResult, error)
 
 // Config tunes the aggregation window.
 type Config struct {
@@ -106,8 +110,17 @@ func (b *Batcher) stripe(fp fingerprint.Fingerprint) *batcherStripe {
 	return &b.stripes[fp.Bucket64()&b.mask]
 }
 
-// LookupOrInsert enqueues one query and blocks until its batch completes.
-func (b *Batcher) LookupOrInsert(fp fingerprint.Fingerprint, val core.Value) (core.LookupResult, error) {
+// LookupOrInsert enqueues one query and blocks until its batch completes
+// or ctx is cancelled. A cancelled caller returns ctx.Err() immediately
+// and abandons its slot without stranding batch-mates: the batch still
+// executes (the waiter's channel is buffered, so the flush goroutine
+// never blocks on a departed caller) and every other query in it gets its
+// result. The abandoned query may or may not have reached the cluster —
+// exactly the guarantee (none) a cancelled caller must assume.
+func (b *Batcher) LookupOrInsert(ctx context.Context, fp fingerprint.Fingerprint, val core.Value) (core.LookupResult, error) {
+	if err := ctx.Err(); err != nil {
+		return core.LookupResult{}, err
+	}
 	w := waiter{pair: core.Pair{FP: fp, Val: val}, ch: make(chan outcome, 1)}
 	s := b.stripe(fp)
 
@@ -126,8 +139,16 @@ func (b *Batcher) LookupOrInsert(fp fingerprint.Fingerprint, val core.Value) (co
 	}
 	s.mu.Unlock()
 
-	out := <-w.ch
-	return out.res, out.err
+	if ctx.Done() == nil {
+		out := <-w.ch
+		return out.res, out.err
+	}
+	select {
+	case out := <-w.ch:
+		return out.res, out.err
+	case <-ctx.Done():
+		return core.LookupResult{}, ctx.Err()
+	}
 }
 
 // flushTimer is the MaxDelay expiry path. gen guards against a callback
@@ -164,7 +185,10 @@ func (b *Batcher) flushLocked(s *batcherStripe) {
 		for i, w := range batch {
 			pairs[i] = w.pair
 		}
-		results, err := b.do(pairs)
+		// The batch runs detached from any one caller's context (see
+		// Func): batch-mates that are still waiting get their results
+		// even if the caller that happened to trigger the flush is gone.
+		results, err := b.do(context.Background(), pairs)
 		if err == nil && len(results) != len(batch) {
 			err = errors.New("batcher: executor returned wrong result count")
 		}

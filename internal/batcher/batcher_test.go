@@ -1,6 +1,7 @@
 package batcher
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -22,7 +23,7 @@ type echoExec struct {
 	failOn func([]core.Pair) error
 }
 
-func (e *echoExec) do(pairs []core.Pair) ([]core.LookupResult, error) {
+func (e *echoExec) do(_ context.Context, pairs []core.Pair) ([]core.LookupResult, error) {
 	e.mu.Lock()
 	e.sizes = append(e.sizes, len(pairs))
 	e.mu.Unlock()
@@ -57,7 +58,7 @@ func TestFlushOnMaxBatch(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			r, err := b.LookupOrInsert(fp(uint64(i)), core.Value(i))
+			r, err := b.LookupOrInsert(context.Background(), fp(uint64(i)), core.Value(i))
 			if err != nil {
 				t.Errorf("LookupOrInsert: %v", err)
 				return
@@ -81,7 +82,7 @@ func TestFlushOnDelay(t *testing.T) {
 	defer b.Close()
 
 	start := time.Now()
-	if _, err := b.LookupOrInsert(fp(1), 1); err != nil {
+	if _, err := b.LookupOrInsert(context.Background(), fp(1), 1); err != nil {
 		t.Fatalf("LookupOrInsert: %v", err)
 	}
 	elapsed := time.Since(start)
@@ -106,7 +107,7 @@ func TestResultsRouteToCorrectWaiters(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			r, err := b.LookupOrInsert(fp(uint64(i)), core.Value(i))
+			r, err := b.LookupOrInsert(context.Background(), fp(uint64(i)), core.Value(i))
 			if err != nil || r.Value != core.Value(i) {
 				wrong.Add(1)
 			}
@@ -131,18 +132,18 @@ func TestExecutorErrorPropagates(t *testing.T) {
 	b := New(exec.do, Config{MaxBatch: 2, MaxDelay: time.Millisecond})
 	defer b.Close()
 
-	if _, err := b.LookupOrInsert(fp(1), 1); !errors.Is(err, wantErr) {
+	if _, err := b.LookupOrInsert(context.Background(), fp(1), 1); !errors.Is(err, wantErr) {
 		t.Fatalf("err = %v, want %v", err, wantErr)
 	}
 }
 
 func TestWrongResultCountIsError(t *testing.T) {
-	bad := func(pairs []core.Pair) ([]core.LookupResult, error) {
+	bad := func(_ context.Context, pairs []core.Pair) ([]core.LookupResult, error) {
 		return make([]core.LookupResult, len(pairs)+1), nil
 	}
 	b := New(bad, Config{MaxBatch: 1, MaxDelay: time.Millisecond})
 	defer b.Close()
-	if _, err := b.LookupOrInsert(fp(1), 1); err == nil {
+	if _, err := b.LookupOrInsert(context.Background(), fp(1), 1); err == nil {
 		t.Fatal("mismatched result count not reported")
 	}
 }
@@ -153,7 +154,7 @@ func TestCloseFlushesPartialBatch(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		_, err := b.LookupOrInsert(fp(1), 1)
+		_, err := b.LookupOrInsert(context.Background(), fp(1), 1)
 		done <- err
 	}()
 	// Wait until the query is enqueued.
@@ -172,7 +173,7 @@ func TestCloseFlushesPartialBatch(t *testing.T) {
 	if err := b.Close(); !errors.Is(err, ErrClosed) {
 		t.Fatalf("double Close = %v, want ErrClosed", err)
 	}
-	if _, err := b.LookupOrInsert(fp(2), 2); !errors.Is(err, ErrClosed) {
+	if _, err := b.LookupOrInsert(context.Background(), fp(2), 2); !errors.Is(err, ErrClosed) {
 		t.Fatalf("post-Close query = %v, want ErrClosed", err)
 	}
 }
@@ -183,7 +184,7 @@ func TestDelayBoundsLatency(t *testing.T) {
 	b := New(exec.do, Config{MaxBatch: 1 << 20, MaxDelay: 3 * time.Millisecond})
 	defer b.Close()
 	start := time.Now()
-	if _, err := b.LookupOrInsert(fp(1), 1); err != nil {
+	if _, err := b.LookupOrInsert(context.Background(), fp(1), 1); err != nil {
 		t.Fatalf("LookupOrInsert: %v", err)
 	}
 	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
@@ -208,7 +209,7 @@ func TestStripedBatcherRoutesAndAggregates(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < queries/8; i++ {
 				key := uint64(g*(queries/8) + i)
-				res, err := b.LookupOrInsert(fp(key), core.Value(key))
+				res, err := b.LookupOrInsert(context.Background(), fp(key), core.Value(key))
 				if err != nil {
 					t.Errorf("LookupOrInsert: %v", err)
 					return
@@ -243,7 +244,7 @@ func TestStripedBatcherCloseRejectsAndDrains(t *testing.T) {
 			defer wg.Done()
 			// Either outcome is valid depending on Close timing; what must
 			// hold is that no call hangs and post-Close calls error.
-			_, _ = b.LookupOrInsert(fp(i), 0)
+			_, _ = b.LookupOrInsert(context.Background(), fp(i), 0)
 		}(i)
 	}
 	time.Sleep(2 * time.Millisecond)
@@ -251,7 +252,7 @@ func TestStripedBatcherCloseRejectsAndDrains(t *testing.T) {
 		t.Fatalf("Close: %v", err)
 	}
 	wg.Wait()
-	if _, err := b.LookupOrInsert(fp(99), 0); !errors.Is(err, ErrClosed) {
+	if _, err := b.LookupOrInsert(context.Background(), fp(99), 0); !errors.Is(err, ErrClosed) {
 		t.Fatalf("post-Close error = %v, want ErrClosed", err)
 	}
 	if err := b.Close(); !errors.Is(err, ErrClosed) {
@@ -266,7 +267,7 @@ func TestStripedBatcherCloseRejectsAndDrains(t *testing.T) {
 // accounting must agree exactly.
 func TestCloseNeverDropsQueries(t *testing.T) {
 	var executed atomic.Int64
-	b := New(func(pairs []core.Pair) ([]core.LookupResult, error) {
+	b := New(func(_ context.Context, pairs []core.Pair) ([]core.LookupResult, error) {
 		executed.Add(int64(len(pairs)))
 		out := make([]core.LookupResult, len(pairs))
 		for i := range out {
@@ -289,7 +290,7 @@ func TestCloseNeverDropsQueries(t *testing.T) {
 			<-start
 			for i := 0; ; i++ {
 				key := uint64(g*1_000_000 + i)
-				res, err := b.LookupOrInsert(fingerprint.FromUint64(key), core.Value(key))
+				res, err := b.LookupOrInsert(context.Background(), fingerprint.FromUint64(key), core.Value(key))
 				if errors.Is(err, ErrClosed) {
 					rejected.Add(1)
 					return
@@ -333,7 +334,7 @@ func TestCloseNeverDropsQueries(t *testing.T) {
 func TestEnqueueRacingCloseIsFlushedOrRejected(t *testing.T) {
 	for round := 0; round < 200; round++ {
 		var executed atomic.Int64
-		b := New(func(pairs []core.Pair) ([]core.LookupResult, error) {
+		b := New(func(_ context.Context, pairs []core.Pair) ([]core.LookupResult, error) {
 			executed.Add(int64(len(pairs)))
 			return make([]core.LookupResult, len(pairs)), nil
 		}, Config{MaxBatch: 64, MaxDelay: time.Hour}) // only Close can flush
@@ -343,7 +344,7 @@ func TestEnqueueRacingCloseIsFlushedOrRejected(t *testing.T) {
 		}
 		res := make(chan outcome, 1)
 		go func() {
-			_, err := b.LookupOrInsert(fingerprint.FromUint64(uint64(round)), 1)
+			_, err := b.LookupOrInsert(context.Background(), fingerprint.FromUint64(uint64(round)), 1)
 			res <- outcome{err: err}
 		}()
 		b.Close()
@@ -371,7 +372,7 @@ func TestEnqueueRacingCloseIsFlushedOrRejected(t *testing.T) {
 // leave it alone (its own MaxDelay has not elapsed).
 func TestStaleTimerDoesNotFlushYoungerBatch(t *testing.T) {
 	var flushes atomic.Int64
-	b := New(func(pairs []core.Pair) ([]core.LookupResult, error) {
+	b := New(func(_ context.Context, pairs []core.Pair) ([]core.LookupResult, error) {
 		flushes.Add(1)
 		return make([]core.LookupResult, len(pairs)), nil
 	}, Config{MaxBatch: 2, MaxDelay: time.Hour})
@@ -379,7 +380,7 @@ func TestStaleTimerDoesNotFlushYoungerBatch(t *testing.T) {
 
 	done := make(chan struct{})
 	go func() { // first pair arms the gen-0 timer
-		b.LookupOrInsert(fingerprint.FromUint64(1), 1)
+		b.LookupOrInsert(context.Background(), fingerprint.FromUint64(1), 1)
 		done <- struct{}{}
 	}()
 	waitFor(t, func() bool {
@@ -393,7 +394,7 @@ func TestStaleTimerDoesNotFlushYoungerBatch(t *testing.T) {
 		return s.timerGen
 	}()
 	go func() { // second pair reaches MaxBatch: flushes, invalidating gen 0
-		b.LookupOrInsert(fingerprint.FromUint64(2), 2)
+		b.LookupOrInsert(context.Background(), fingerprint.FromUint64(2), 2)
 		done <- struct{}{}
 	}()
 	<-done
@@ -404,7 +405,7 @@ func TestStaleTimerDoesNotFlushYoungerBatch(t *testing.T) {
 
 	// Third pair: a younger partial batch with an hour of delay budget.
 	go func() {
-		b.LookupOrInsert(fingerprint.FromUint64(3), 3)
+		b.LookupOrInsert(context.Background(), fingerprint.FromUint64(3), 3)
 		done <- struct{}{}
 	}()
 	waitFor(t, func() bool {

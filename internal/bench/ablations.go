@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -49,7 +50,7 @@ func RunBatchSweep(nodes, fingerprints, scale int, batchSizes []int) ([]BatchSwe
 		for i, fp := range fps {
 			pairs = append(pairs, core.Pair{FP: fp, Val: core.Value(i + 1)})
 			if len(pairs) >= batch {
-				if _, err := tc.cluster.BatchLookupOrInsert(pairs); err != nil {
+				if _, err := tc.cluster.BatchLookupOrInsert(context.Background(), pairs); err != nil {
 					tc.Close()
 					return nil, err
 				}
@@ -58,7 +59,7 @@ func RunBatchSweep(nodes, fingerprints, scale int, batchSizes []int) ([]BatchSwe
 			}
 		}
 		if len(pairs) > 0 {
-			if _, err := tc.cluster.BatchLookupOrInsert(pairs); err != nil {
+			if _, err := tc.cluster.BatchLookupOrInsert(context.Background(), pairs); err != nil {
 				tc.Close()
 				return nil, err
 			}
@@ -125,12 +126,12 @@ func RunCacheSweep(scale int, cacheSizes []int) ([]CacheSweepPoint, error) {
 			return nil, err
 		}
 		for i, fp := range fps {
-			if _, err := node.LookupOrInsert(fp, core.Value(i+1)); err != nil {
+			if _, err := node.LookupOrInsert(context.Background(), fp, core.Value(i+1)); err != nil {
 				node.Close()
 				return nil, err
 			}
 		}
-		st, err := node.Stats()
+		st, err := node.Stats(context.Background())
 		if err != nil {
 			node.Close()
 			return nil, err
@@ -192,7 +193,7 @@ func RunBloomAblation(scale int) ([]BloomPoint, error) {
 		}
 		start := time.Now()
 		for i, fp := range fps {
-			if _, err := node.LookupOrInsert(fp, core.Value(i+1)); err != nil {
+			if _, err := node.LookupOrInsert(context.Background(), fp, core.Value(i+1)); err != nil {
 				node.Close()
 				return nil, err
 			}
@@ -252,7 +253,7 @@ func RunBackendComparison(scale int) ([]BackendPoint, error) {
 		}
 		start := time.Now()
 		for i, fp := range fps {
-			if _, err := node.LookupOrInsert(fp, core.Value(i+1)); err != nil {
+			if _, err := node.LookupOrInsert(context.Background(), fp, core.Value(i+1)); err != nil {
 				node.Close()
 				return nil, err
 			}
@@ -512,7 +513,7 @@ func RunStripeSweep(clients, lookups int, stripeCounts []int) ([]StripePoint, er
 			return nil, err
 		}
 		for i := uint64(0); i < working; i++ {
-			if _, err := node.LookupOrInsert(fingerprint.FromUint64(i), core.Value(i)); err != nil {
+			if _, err := node.LookupOrInsert(context.Background(), fingerprint.FromUint64(i), core.Value(i)); err != nil {
 				node.Close()
 				return nil, err
 			}
@@ -531,7 +532,7 @@ func RunStripeSweep(clients, lookups int, stripeCounts []int) ([]StripePoint, er
 				defer wg.Done()
 				i := uint64(g) * (working / uint64(clients))
 				for k := 0; k < perClient; k++ {
-					if _, err := node.LookupOrInsert(fingerprint.FromUint64(i%working), 0); err != nil {
+					if _, err := node.LookupOrInsert(context.Background(), fingerprint.FromUint64(i%working), 0); err != nil {
 						mu.Lock()
 						if firstErr == nil {
 							firstErr = err
@@ -665,7 +666,7 @@ func RunAsyncAblation(fingerprints, batchSize int, models []device.Model) ([]Asy
 				if end > len(fps) {
 					end = len(fps)
 				}
-				rs, lerr := node.LookupBatch(fps[off:end])
+				rs, lerr := node.LookupBatch(context.Background(), fps[off:end])
 				if lerr != nil {
 					node.Close()
 					return nil, lerr

@@ -9,6 +9,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -171,7 +172,7 @@ func runClients(cluster *core.Cluster, fps []fingerprint.Fingerprint, clients, b
 				if len(pairs) == 0 {
 					return nil
 				}
-				_, err := cluster.BatchLookupOrInsert(pairs)
+				_, err := cluster.BatchLookupOrInsert(context.Background(), pairs)
 				pairs = pairs[:0]
 				return err
 			}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -358,7 +359,7 @@ func RunFigure6(cfg Figure6Config) ([]Figure6Point, error) {
 	if _, err := runClients(cluster, fps, 2, 2048); err != nil {
 		return nil, err
 	}
-	stats, err := cluster.Stats()
+	stats, err := cluster.Stats(context.Background())
 	if err != nil {
 		return nil, err
 	}

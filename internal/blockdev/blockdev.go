@@ -12,6 +12,7 @@
 package blockdev
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -21,8 +22,11 @@ import (
 )
 
 // Index is the fingerprint lookup service (a core.Cluster or single node).
+// The Device always queries it under context.Background(): the block layer
+// speaks io.ReaderAt/io.WriterAt, which carry no context, and a block
+// write cannot be half-aborted anyway.
 type Index interface {
-	LookupOrInsert(fp fingerprint.Fingerprint, val core.Value) (core.LookupResult, error)
+	LookupOrInsert(ctx context.Context, fp fingerprint.Fingerprint, val core.Value) (core.LookupResult, error)
 }
 
 // BlockPool is a reference-counted, content-addressed physical block
@@ -182,7 +186,7 @@ func (d *Device) writeBlockLocked(lba int, data []byte) error {
 	d.logicalWrites++
 
 	// Inline dedup: consult the SHHC index before storing anything.
-	res, err := d.cfg.Index.LookupOrInsert(fp, core.Value(lba))
+	res, err := d.cfg.Index.LookupOrInsert(context.Background(), fp, core.Value(lba))
 	if err != nil {
 		return fmt.Errorf("blockdev: index lookup: %w", err)
 	}

@@ -10,6 +10,7 @@
 package cloudsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -59,7 +60,11 @@ func New(cfg Config) *Store {
 // Put stores a chunk under its fingerprint. It reports whether the object
 // was new; re-putting an existing fingerprint is counted as a redundant
 // upload (wasted WAN traffic the dedup layer should have prevented).
-func (s *Store) Put(fp fingerprint.Fingerprint, data []byte) (bool, error) {
+// A cancelled ctx stops the transfer before it is charged.
+func (s *Store) Put(ctx context.Context, fp fingerprint.Fingerprint, data []byte) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
 	s.net.Write(len(data))
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -78,8 +83,12 @@ func (s *Store) Put(fp fingerprint.Fingerprint, data []byte) (bool, error) {
 	return true, nil
 }
 
-// Get fetches a chunk by fingerprint.
-func (s *Store) Get(fp fingerprint.Fingerprint) ([]byte, bool, error) {
+// Get fetches a chunk by fingerprint. A cancelled ctx stops the transfer
+// before it is charged.
+func (s *Store) Get(ctx context.Context, fp fingerprint.Fingerprint) ([]byte, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
 	s.mu.RLock()
 	data, ok := s.objects[fp]
 	closed := s.closed

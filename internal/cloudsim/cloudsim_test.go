@@ -2,6 +2,7 @@ package cloudsim
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -17,11 +18,11 @@ func TestPutGetRoundTrip(t *testing.T) {
 
 	data := []byte("chunk contents")
 	fp := fingerprint.FromData(data)
-	created, err := s.Put(fp, data)
+	created, err := s.Put(context.Background(), fp, data)
 	if err != nil || !created {
 		t.Fatalf("Put = (%v, %v), want (true, nil)", created, err)
 	}
-	got, ok, err := s.Get(fp)
+	got, ok, err := s.Get(context.Background(), fp)
 	if err != nil || !ok || !bytes.Equal(got, data) {
 		t.Fatalf("Get = (%q, %v, %v)", got, ok, err)
 	}
@@ -35,8 +36,8 @@ func TestRedundantPutCounted(t *testing.T) {
 	defer s.Close()
 	data := []byte("dup")
 	fp := fingerprint.FromData(data)
-	s.Put(fp, data)
-	created, err := s.Put(fp, data)
+	s.Put(context.Background(), fp, data)
+	created, err := s.Put(context.Background(), fp, data)
 	if err != nil || created {
 		t.Fatalf("second Put = (%v, %v), want (false, nil)", created, err)
 	}
@@ -52,7 +53,7 @@ func TestRedundantPutCounted(t *testing.T) {
 func TestGetAbsent(t *testing.T) {
 	s := New(Config{})
 	defer s.Close()
-	_, ok, err := s.Get(fingerprint.FromUint64(404))
+	_, ok, err := s.Get(context.Background(), fingerprint.FromUint64(404))
 	if err != nil || ok {
 		t.Fatalf("Get(absent) = (%v, %v), want (false, nil)", ok, err)
 	}
@@ -63,15 +64,15 @@ func TestCallerCannotMutateStored(t *testing.T) {
 	defer s.Close()
 	data := []byte("immutable")
 	fp := fingerprint.FromData(data)
-	s.Put(fp, data)
+	s.Put(context.Background(), fp, data)
 	data[0] = 'X' // caller mutates its buffer after Put
 
-	got, _, _ := s.Get(fp)
+	got, _, _ := s.Get(context.Background(), fp)
 	if got[0] != 'i' {
 		t.Fatal("store shares memory with caller's Put buffer")
 	}
 	got[0] = 'Y' // mutate the returned copy
-	again, _, _ := s.Get(fp)
+	again, _, _ := s.Get(context.Background(), fp)
 	if again[0] != 'i' {
 		t.Fatal("store shares memory with caller's Get buffer")
 	}
@@ -83,8 +84,8 @@ func TestNetworkCharged(t *testing.T) {
 	defer s.Close()
 	data := make([]byte, 8192)
 	fp := fingerprint.FromData(data)
-	s.Put(fp, data)
-	s.Get(fp)
+	s.Put(context.Background(), fp, data)
+	s.Get(context.Background(), fp)
 
 	st := net.Stats()
 	if st.Writes != 1 || st.Reads != 1 {
@@ -108,7 +109,7 @@ func TestConcurrentPuts(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				data := []byte{byte(i), byte(i >> 8)}
-				s.Put(fingerprint.FromData(data), data)
+				s.Put(context.Background(), fingerprint.FromData(data), data)
 			}
 		}(g)
 	}
@@ -125,10 +126,10 @@ func TestConcurrentPuts(t *testing.T) {
 func TestClosedErrors(t *testing.T) {
 	s := New(Config{})
 	s.Close()
-	if _, err := s.Put(fingerprint.FromUint64(1), nil); !errors.Is(err, ErrClosed) {
+	if _, err := s.Put(context.Background(), fingerprint.FromUint64(1), nil); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Put after close = %v, want ErrClosed", err)
 	}
-	if _, _, err := s.Get(fingerprint.FromUint64(1)); !errors.Is(err, ErrClosed) {
+	if _, _, err := s.Get(context.Background(), fingerprint.FromUint64(1)); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Get after close = %v, want ErrClosed", err)
 	}
 	if _, err := s.Has(fingerprint.FromUint64(1)); !errors.Is(err, ErrClosed) {

@@ -2,6 +2,7 @@ package container
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 
@@ -38,7 +39,7 @@ func TestContainerBackedDedupStore(t *testing.T) {
 		fpr := fingerprint.FromData(data)
 		// Reserve a locator by packing ONLY if the index says new. Probe
 		// first with a read-only lookup so no bogus locator is stored.
-		r, err := node.Lookup(fpr)
+		r, err := node.Lookup(context.Background(), fpr)
 		if err != nil {
 			return 0, false, err
 		}
@@ -49,7 +50,7 @@ func TestContainerBackedDedupStore(t *testing.T) {
 		if err != nil {
 			return 0, false, err
 		}
-		if err := node.Insert(fpr, core.Value(loc)); err != nil {
+		if err := node.Insert(context.Background(), fpr, core.Value(loc)); err != nil {
 			return 0, false, err
 		}
 		return loc, false, nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"testing"
@@ -29,7 +30,7 @@ func BenchmarkNodeInsertUnique(b *testing.B) {
 	n := benchNode(b, 1<<16, false)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := n.LookupOrInsert(fp(uint64(i)), Value(i)); err != nil {
+		if _, err := n.LookupOrInsert(context.Background(), fp(uint64(i)), Value(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -39,11 +40,11 @@ func BenchmarkNodeLookupCacheHit(b *testing.B) {
 	n := benchNode(b, 1<<16, false)
 	const working = 1 << 10 // fits in cache
 	for i := 0; i < working; i++ {
-		n.LookupOrInsert(fp(uint64(i)), Value(i))
+		n.LookupOrInsert(context.Background(), fp(uint64(i)), Value(i))
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := n.LookupOrInsert(fp(uint64(i%working)), 0); err != nil {
+		if _, err := n.LookupOrInsert(context.Background(), fp(uint64(i%working)), 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -53,11 +54,11 @@ func BenchmarkNodeLookupStoreHit(b *testing.B) {
 	n := benchNode(b, 16, false) // tiny cache: force store path
 	const working = 1 << 16
 	for i := 0; i < working; i++ {
-		n.LookupOrInsert(fp(uint64(i)), Value(i))
+		n.LookupOrInsert(context.Background(), fp(uint64(i)), Value(i))
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := n.LookupOrInsert(fp(uint64(i%working)), 0); err != nil {
+		if _, err := n.LookupOrInsert(context.Background(), fp(uint64(i%working)), 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -73,7 +74,7 @@ func BenchmarkNodeBatch(b *testing.B) {
 				for j := range pairs {
 					pairs[j] = Pair{FP: fp(uint64(i*size + j)), Val: Value(j)}
 				}
-				if _, err := n.BatchLookupOrInsert(pairs); err != nil {
+				if _, err := n.BatchLookupOrInsert(context.Background(), pairs); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -109,7 +110,7 @@ func BenchmarkNodeLookupParallel(b *testing.B) {
 			b.Cleanup(func() { n.Close() })
 			const working = 1 << 15 // fits in cache: measures the RAM tier
 			for i := uint64(0); i < working; i++ {
-				if _, err := n.LookupOrInsert(fp(i), Value(i)); err != nil {
+				if _, err := n.LookupOrInsert(context.Background(), fp(i), Value(i)); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -118,7 +119,7 @@ func BenchmarkNodeLookupParallel(b *testing.B) {
 			b.RunParallel(func(pb *testing.PB) {
 				i := offset.Add(working / 8)
 				for pb.Next() {
-					if _, err := n.LookupOrInsert(fp(i%working), 0); err != nil {
+					if _, err := n.LookupOrInsert(context.Background(), fp(i%working), 0); err != nil {
 						b.Fatal(err)
 					}
 					i += 7
@@ -137,12 +138,12 @@ func BenchmarkNodeBatchParallel(b *testing.B) {
 	for j := range pairs {
 		pairs[j] = Pair{FP: fp(uint64(j)), Val: Value(j)}
 	}
-	if _, err := n.BatchLookupOrInsert(pairs); err != nil {
+	if _, err := n.BatchLookupOrInsert(context.Background(), pairs); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := n.BatchLookupOrInsert(pairs); err != nil {
+		if _, err := n.BatchLookupOrInsert(context.Background(), pairs); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -170,7 +171,7 @@ func BenchmarkClusterRoutingOverhead(b *testing.B) {
 	defer c.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.LookupOrInsert(fp(uint64(i)), Value(i)); err != nil {
+		if _, err := c.LookupOrInsert(context.Background(), fp(uint64(i)), Value(i)); err != nil {
 			b.Fatal(err)
 		}
 	}

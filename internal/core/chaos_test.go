@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -38,7 +39,7 @@ func TestConcurrentLookupsDuringRebalance(t *testing.T) {
 
 	const n = 5000
 	for i := uint64(0); i < n; i++ {
-		if _, err := c.LookupOrInsert(fp(i), Value(i)); err != nil {
+		if _, err := c.LookupOrInsert(context.Background(), fp(i), Value(i)); err != nil {
 			t.Fatalf("seed insert: %v", err)
 		}
 	}
@@ -75,7 +76,7 @@ func TestConcurrentLookupsDuringRebalance(t *testing.T) {
 				// reconciliation path tells "migrated duplicate" from
 				// "own racing insert" by value, and a colliding value
 				// would be (safely, but test-visibly) reported as new.
-				r, err := c.LookupOrInsert(fp(i%n), Value(n))
+				r, err := c.LookupOrInsert(context.Background(), fp(i%n), Value(n))
 				if err != nil {
 					mu.Lock()
 					errCount++
@@ -93,7 +94,7 @@ func TestConcurrentLookupsDuringRebalance(t *testing.T) {
 		}(g)
 	}
 
-	if _, err := c.JoinNode(extra); err != nil {
+	if _, err := c.JoinNode(context.Background(), extra); err != nil {
 		t.Fatalf("JoinNode under load: %v", err)
 	}
 	close(stop)
@@ -108,7 +109,7 @@ func TestConcurrentLookupsDuringRebalance(t *testing.T) {
 
 	// Final state: everything still deduplicates.
 	for i := uint64(0); i < n; i++ {
-		r, err := c.LookupOrInsert(fp(i), 0)
+		r, err := c.LookupOrInsert(context.Background(), fp(i), 0)
 		if err != nil {
 			t.Fatalf("final check: %v", err)
 		}
@@ -128,7 +129,7 @@ func TestConcurrentLookupsDuringRebalance(t *testing.T) {
 func TestFreshInsertsNeverReportedDuplicateDuringMigration(t *testing.T) {
 	c := newTestCluster(t, 3, ClusterConfig{})
 	for i := uint64(0); i < 2000; i++ {
-		if _, err := c.LookupOrInsert(fp(i), Value(i)); err != nil {
+		if _, err := c.LookupOrInsert(context.Background(), fp(i), Value(i)); err != nil {
 			t.Fatalf("seed insert: %v", err)
 		}
 	}
@@ -164,11 +165,11 @@ func TestFreshInsertsNeverReportedDuplicateDuringMigration(t *testing.T) {
 				churnDone <- err
 				return
 			}
-			if _, err := c.JoinNode(scratch); err != nil {
+			if _, err := c.JoinNode(context.Background(), scratch); err != nil {
 				churnDone <- err
 				return
 			}
-			if _, err := c.DrainNode(scratch.ID()); err != nil {
+			if _, err := c.DrainNode(context.Background(), scratch.ID()); err != nil {
 				churnDone <- err
 				return
 			}
@@ -187,7 +188,7 @@ func TestFreshInsertsNeverReportedDuplicateDuringMigration(t *testing.T) {
 			defer wg.Done()
 			for k := 0; k < 2000; k++ {
 				i := next.Add(1)
-				r, err := c.LookupOrInsert(fp(i), Value(i))
+				r, err := c.LookupOrInsert(context.Background(), fp(i), Value(i))
 				if err != nil {
 					t.Errorf("LookupOrInsert: %v", err)
 					return
@@ -218,7 +219,7 @@ func TestConcurrentMembershipAndTraffic(t *testing.T) {
 	c := newTestCluster(t, 3, ClusterConfig{})
 	const n = 1000
 	for i := uint64(0); i < n; i++ {
-		c.LookupOrInsert(fp(i), Value(i))
+		c.LookupOrInsert(context.Background(), fp(i), Value(i))
 	}
 
 	var wg sync.WaitGroup
@@ -243,7 +244,7 @@ func TestConcurrentMembershipAndTraffic(t *testing.T) {
 				// there — the documented "one redundant upload" cost of
 				// membership change without Rebalance. Panics and lost
 				// entries are what this test must catch.
-				_, _ = c.BatchLookupOrInsert(pairs)
+				_, _ = c.BatchLookupOrInsert(context.Background(), pairs)
 			}
 		}()
 	}
@@ -274,7 +275,7 @@ func TestConcurrentMembershipAndTraffic(t *testing.T) {
 	// With the ring back to the original members, every seeded entry is
 	// on its original node: nothing was lost by the churn.
 	for i := uint64(0); i < n; i++ {
-		r, err := c.Lookup(fp(i))
+		r, err := c.Lookup(context.Background(), fp(i))
 		if err != nil {
 			t.Fatalf("final Lookup: %v", err)
 		}

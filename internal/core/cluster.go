@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"shhc/internal/fingerprint"
 	"shhc/internal/ring"
@@ -12,20 +14,22 @@ import (
 
 // Backend is one hash node as seen by the cluster router: either a local
 // *Node or an RPC client talking to a remote node. Implementations must be
-// safe for concurrent use.
+// safe for concurrent use, and every operation must honor its context:
+// return promptly with ctx.Err() once the context is cancelled or its
+// deadline passes.
 type Backend interface {
 	// ID returns the node's ring identity.
 	ID() ring.NodeID
 	// Lookup answers whether the fingerprint is stored, without inserting.
-	Lookup(fp fingerprint.Fingerprint) (LookupResult, error)
+	Lookup(ctx context.Context, fp fingerprint.Fingerprint) (LookupResult, error)
 	// LookupOrInsert runs the Figure 4 flow.
-	LookupOrInsert(fp fingerprint.Fingerprint, val Value) (LookupResult, error)
+	LookupOrInsert(ctx context.Context, fp fingerprint.Fingerprint, val Value) (LookupResult, error)
 	// BatchLookupOrInsert runs the flow for each pair, in order.
-	BatchLookupOrInsert(pairs []Pair) ([]LookupResult, error)
+	BatchLookupOrInsert(ctx context.Context, pairs []Pair) ([]LookupResult, error)
 	// Insert unconditionally records fp -> val.
-	Insert(fp fingerprint.Fingerprint, val Value) error
+	Insert(ctx context.Context, fp fingerprint.Fingerprint, val Value) error
 	// Stats snapshots the node's counters.
-	Stats() (NodeStats, error)
+	Stats(ctx context.Context) (NodeStats, error)
 	// Close releases the backend.
 	Close() error
 }
@@ -40,6 +44,18 @@ type ClusterConfig struct {
 	// 1 (default) reproduces the paper; >1 enables the fault-tolerance
 	// extension: reads fail over to successor replicas.
 	Replicas int
+	// HedgeAfter enables hedged reads on Lookup when Replicas > 1: if the
+	// owner has not answered after this long, the same read is issued to
+	// the next replica and the first answer wins — the loser's probe is
+	// cancelled. Zero disables hedging. This bounds tail latency (one
+	// slow device or node no longer defines p99) at the cost of a small
+	// amount of duplicate read load — plus one asymmetry: because
+	// replica mirroring is best-effort, a winning successor can report a
+	// miss for a fingerprint the slow owner actually holds. That is the
+	// index's safe direction (the same bias as reconcileMiss: a wrong
+	// "new" costs one redundant, idempotent upload; never a lost chunk),
+	// but do not enable hedging where a spurious miss is not acceptable.
+	HedgeAfter time.Duration
 }
 
 // Cluster routes fingerprint operations across hash nodes. It is the
@@ -51,6 +67,7 @@ type Cluster struct {
 	vnodes   int
 	backends map[ring.NodeID]Backend
 	replicas int
+	hedge    time.Duration
 	// gen counts ring membership changes. Batches capture it with their
 	// routing decision as a cheap filter: only when it moved can any
 	// miss need reconciliation (see ownerMoved/reconcileMiss), closing
@@ -73,6 +90,7 @@ func NewCluster(cfg ClusterConfig, backends ...Backend) (*Cluster, error) {
 		vnodes:   cfg.VirtualNodes,
 		backends: make(map[ring.NodeID]Backend, len(backends)),
 		replicas: replicas,
+		hedge:    cfg.HedgeAfter,
 	}
 	for _, b := range backends {
 		if err := c.addLocked(b); err != nil {
@@ -198,17 +216,29 @@ func (c *Cluster) ownerMoved(fp fingerprint.Fingerprint, queried ring.NodeID) bo
 }
 
 // Lookup queries the owner node, failing over to successor replicas when
-// the owner errors (only useful with Replicas > 1). A miss that raced an
-// ownership change (the entry may have just migrated to a new owner) is
-// retried against the current ring.
-func (c *Cluster) Lookup(fp fingerprint.Fingerprint) (LookupResult, error) {
+// the owner errors (only useful with Replicas > 1). With
+// ClusterConfig.HedgeAfter set, a slow owner is raced against the next
+// replica (see LookupHedged). A miss that raced an ownership change (the
+// entry may have just migrated to a new owner) is retried against the
+// current ring.
+func (c *Cluster) Lookup(ctx context.Context, fp fingerprint.Fingerprint) (LookupResult, error) {
+	return c.LookupHedged(ctx, fp, c.hedge)
+}
+
+// LookupHedged is Lookup with a per-call hedging delay: if the owner has
+// not answered after `after`, the read is also issued to the next replica
+// and the first successful answer wins; the loser's probe is cancelled
+// through its context. after <= 0 disables hedging for this call.
+// Hedging needs Replicas > 1 (reads are only hedged against nodes that
+// hold the same entries).
+func (c *Cluster) LookupHedged(ctx context.Context, fp fingerprint.Fingerprint, after time.Duration) (LookupResult, error) {
 	var (
 		res LookupResult
 		err error
 	)
 	for attempt := 0; attempt < routeRetries; attempt++ {
 		var owner ring.NodeID
-		res, owner, err = c.lookupOnce(fp)
+		res, owner, err = c.lookupOnce(ctx, fp, after)
 		if err != nil || res.Exists || !c.ownerMoved(fp, owner) {
 			return res, err
 		}
@@ -216,21 +246,92 @@ func (c *Cluster) Lookup(fp fingerprint.Fingerprint) (LookupResult, error) {
 	return res, err
 }
 
-func (c *Cluster) lookupOnce(fp fingerprint.Fingerprint) (LookupResult, ring.NodeID, error) {
+func (c *Cluster) lookupOnce(ctx context.Context, fp fingerprint.Fingerprint, hedge time.Duration) (LookupResult, ring.NodeID, error) {
 	targets, err := c.routingFor(fp)
 	if err != nil {
 		return LookupResult{}, "", err
 	}
 	owner := targets[0].ID()
+	if hedge > 0 && len(targets) > 1 {
+		r, herr := c.raceReplicas(ctx, fp, targets, hedge)
+		return r, owner, herr
+	}
 	var lastErr error
 	for _, b := range targets {
-		r, err := b.Lookup(fp)
+		if cerr := ctx.Err(); cerr != nil {
+			return LookupResult{}, owner, cerr
+		}
+		r, err := b.Lookup(ctx, fp)
 		if err == nil {
 			return r, owner, nil
 		}
 		lastErr = err
 	}
 	return LookupResult{}, owner, fmt.Errorf("core: lookup %s: all replicas failed: %w", fp.Short(), lastErr)
+}
+
+// raceReplicas implements the hedged read: the owner is queried first;
+// every `hedge` without an answer brings the next replica into the race.
+// The first success wins and the losers' probes are cancelled (hctx). A
+// replica that fails outright is replaced immediately — an error is a
+// faster signal than the hedge timer.
+func (c *Cluster) raceReplicas(ctx context.Context, fp fingerprint.Fingerprint, targets []Backend, hedge time.Duration) (LookupResult, error) {
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel() // cancels every probe still in the air once a winner returns
+
+	type outcome struct {
+		res LookupResult
+		err error
+	}
+	ch := make(chan outcome, len(targets)) // buffered: losers never block or leak
+	launch := func(b Backend) {
+		go func() {
+			r, err := b.Lookup(hctx, fp)
+			ch <- outcome{r, err}
+		}()
+	}
+	launch(targets[0])
+	launched, outstanding := 1, 1
+	timer := time.NewTimer(hedge)
+	defer timer.Stop()
+	var lastErr error
+	for {
+		select {
+		case o := <-ch:
+			outstanding--
+			if o.err == nil {
+				return o.res, nil
+			}
+			lastErr = o.err
+			if launched < len(targets) {
+				launch(targets[launched])
+				launched++
+				outstanding++
+				// The replacement restarts the hedge clock: without the
+				// reset, a timer armed long before this error would fire
+				// almost immediately and launch yet another replica far
+				// inside the configured delay.
+				if !timer.Stop() {
+					select {
+					case <-timer.C:
+					default:
+					}
+				}
+				timer.Reset(hedge)
+			} else if outstanding == 0 {
+				return LookupResult{}, fmt.Errorf("core: lookup %s: all replicas failed: %w", fp.Short(), lastErr)
+			}
+		case <-timer.C:
+			if launched < len(targets) {
+				launch(targets[launched])
+				launched++
+				outstanding++
+				timer.Reset(hedge)
+			}
+		case <-ctx.Done():
+			return LookupResult{}, ctx.Err()
+		}
+	}
 }
 
 // LookupOrInsert runs the Figure 4 flow on the owner and mirrors inserts to
@@ -243,12 +344,12 @@ func (c *Cluster) lookupOnce(fp fingerprint.Fingerprint) (LookupResult, ring.Nod
 // uploads the chunk. A miss whose owner did NOT change is final: probing
 // again would find this call's own insert and misreport a new chunk as a
 // duplicate the client then never uploads.
-func (c *Cluster) LookupOrInsert(fp fingerprint.Fingerprint, val Value) (LookupResult, error) {
-	res, owner, err := c.lookupOrInsertOnce(fp, val)
+func (c *Cluster) LookupOrInsert(ctx context.Context, fp fingerprint.Fingerprint, val Value) (LookupResult, error) {
+	res, owner, err := c.lookupOrInsertOnce(ctx, fp, val)
 	if err != nil || res.Exists || !c.ownerMoved(fp, owner) {
 		return res, err
 	}
-	return c.reconcileMiss(fp, val, res), nil
+	return c.reconcileMiss(ctx, fp, val, res), nil
 }
 
 // reconcileMiss re-examines a LookupOrInsert miss whose owner moved while
@@ -265,14 +366,19 @@ func (c *Cluster) LookupOrInsert(fp fingerprint.Fingerprint, val Value) (LookupR
 //     is consistent either way (the upload lands on the same locator).
 //   - still missing: keep "new" and heal placement by inserting on the
 //     current owner, so future lookups find the entry where routing looks.
-func (c *Cluster) reconcileMiss(fp fingerprint.Fingerprint, val Value, miss LookupResult) LookupResult {
+func (c *Cluster) reconcileMiss(ctx context.Context, fp fingerprint.Fingerprint, val Value, miss LookupResult) LookupResult {
 	for attempt := 0; attempt < routeRetries; attempt++ {
+		if ctx.Err() != nil {
+			// The caller is leaving; the biased-toward-"new" miss is the
+			// safe answer to leave behind.
+			return miss
+		}
 		targets, err := c.routingFor(fp)
 		if err != nil {
 			return miss
 		}
 		owner := targets[0]
-		r, err := owner.Lookup(fp)
+		r, err := owner.Lookup(ctx, fp)
 		if err != nil {
 			return miss
 		}
@@ -283,14 +389,14 @@ func (c *Cluster) reconcileMiss(fp fingerprint.Fingerprint, val Value, miss Look
 			return miss
 		}
 		if !c.ownerMoved(fp, owner.ID()) {
-			_ = owner.Insert(fp, val)
+			_ = owner.Insert(ctx, fp, val)
 			return miss
 		}
 	}
 	return miss
 }
 
-func (c *Cluster) lookupOrInsertOnce(fp fingerprint.Fingerprint, val Value) (LookupResult, ring.NodeID, error) {
+func (c *Cluster) lookupOrInsertOnce(ctx context.Context, fp fingerprint.Fingerprint, val Value) (LookupResult, ring.NodeID, error) {
 	targets, err := c.routingFor(fp)
 	if err != nil {
 		return LookupResult{}, "", err
@@ -303,8 +409,13 @@ func (c *Cluster) lookupOrInsertOnce(fp fingerprint.Fingerprint, val Value) (Loo
 	)
 	for _, b := range targets {
 		if !decided {
-			res, resErr = b.LookupOrInsert(fp, val)
+			res, resErr = b.LookupOrInsert(ctx, fp, val)
 			if resErr != nil {
+				if ctx.Err() != nil {
+					// Cancellation is the caller's decision, not a node
+					// failure: do not fail over.
+					return LookupResult{}, owner, ctx.Err()
+				}
 				continue // fail over to the next replica for the decision
 			}
 			decided = true
@@ -314,7 +425,7 @@ func (c *Cluster) lookupOrInsertOnce(fp fingerprint.Fingerprint, val Value) (Loo
 			continue
 		}
 		// Mirror the insert to the remaining replicas.
-		_ = b.Insert(fp, val)
+		_ = b.Insert(ctx, fp, val)
 	}
 	if !decided {
 		return LookupResult{}, owner, fmt.Errorf("core: lookup-or-insert %s: all replicas failed: %w", fp.Short(), resErr)
@@ -325,9 +436,14 @@ func (c *Cluster) lookupOrInsertOnce(fp fingerprint.Fingerprint, val Value) (Loo
 // BatchLookupOrInsert routes each pair to its owner node, issues one batch
 // per node in parallel, and reassembles results in input order. This is the
 // batching path the web front-end uses (paper §IV: batch sizes 1/128/2048).
-func (c *Cluster) BatchLookupOrInsert(pairs []Pair) ([]LookupResult, error) {
+// A cancelled ctx fails the whole batch with ctx.Err(); per-node batches
+// already in flight stop issuing device reads.
+func (c *Cluster) BatchLookupOrInsert(ctx context.Context, pairs []Pair) ([]LookupResult, error) {
 	if len(pairs) == 0 {
 		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	c.mu.RLock()
 	type routed struct {
@@ -371,7 +487,7 @@ func (c *Cluster) BatchLookupOrInsert(pairs []Pair) ([]LookupResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			rs, err := g.backend.BatchLookupOrInsert(g.pairs)
+			rs, err := g.backend.BatchLookupOrInsert(ctx, g.pairs)
 			if err != nil {
 				errMu.Lock()
 				if firstErr == nil {
@@ -384,7 +500,7 @@ func (c *Cluster) BatchLookupOrInsert(pairs []Pair) ([]LookupResult, error) {
 				results[g.indices[k]] = r
 				if !r.Exists {
 					for _, m := range g.mirrors[k] {
-						_ = m.Insert(g.pairs[k].FP, g.pairs[k].Val)
+						_ = m.Insert(ctx, g.pairs[k].FP, g.pairs[k].Val)
 					}
 				}
 			}
@@ -392,6 +508,9 @@ func (c *Cluster) BatchLookupOrInsert(pairs []Pair) ([]LookupResult, error) {
 	}
 	wg.Wait()
 	if firstErr != nil {
+		if isCtxErr(firstErr) {
+			return nil, firstErr
+		}
 		return nil, fmt.Errorf("core: batch: %w", firstErr)
 	}
 	// Reconcile only the misses whose owner moved mid-batch (see
@@ -403,7 +522,7 @@ func (c *Cluster) BatchLookupOrInsert(pairs []Pair) ([]LookupResult, error) {
 			if r.Exists || !c.ownerMoved(pairs[i].FP, owners[i]) {
 				continue
 			}
-			results[i] = c.reconcileMiss(pairs[i].FP, pairs[i].Val, r)
+			results[i] = c.reconcileMiss(ctx, pairs[i].FP, pairs[i].Val, r)
 		}
 	}
 	return results, nil
@@ -433,8 +552,10 @@ type RebalanceStats struct {
 // AddNode to spread existing fingerprints onto the new member (the paper's
 // "dynamic resource scaling" future work). Lookups remain correct during
 // the pass: an entry is inserted at its new owner before it is removed
-// from the old one.
-func (c *Cluster) Rebalance() (RebalanceStats, error) {
+// from the old one. ctx is checked between entries, so a cancelled
+// rebalance stops promptly and leaves the index consistent (entries moved
+// so far are complete; the rest stay where they were).
+func (c *Cluster) Rebalance(ctx context.Context) (RebalanceStats, error) {
 	c.mu.RLock()
 	backends := make([]Backend, 0, len(c.backends))
 	for _, b := range c.backends {
@@ -449,7 +570,7 @@ func (c *Cluster) Rebalance() (RebalanceStats, error) {
 			stats.Skipped++
 			continue
 		}
-		moved, scanned, err := c.migrateFrom(b.ID(), m, false)
+		moved, scanned, err := c.migrateFrom(ctx, b.ID(), m, false)
 		if err != nil {
 			return stats, err
 		}
@@ -465,7 +586,12 @@ func (c *Cluster) Rebalance() (RebalanceStats, error) {
 // their old owners. Unlike AddNode+Rebalance, fingerprints already stored
 // are continuously detected as duplicates throughout the join (only
 // entries inserted during the copy window can be re-uploaded once).
-func (c *Cluster) JoinNode(b Backend) (RebalanceStats, error) {
+//
+// Cancelling ctx before routing flips aborts the join (the joiner holds
+// copies that are simply never routed to); after the flip, the cleanup
+// pass stops early and the leftover duplicates cost at most redundant
+// storage, never wrong answers.
+func (c *Cluster) JoinNode(ctx context.Context, b Backend) (RebalanceStats, error) {
 	newID := b.ID()
 
 	// Build the shadow ring: current members plus the joiner.
@@ -507,6 +633,9 @@ func (c *Cluster) JoinNode(b Backend) (RebalanceStats, error) {
 		var lookupErr error
 		err := mig.Entries(func(fp fingerprint.Fingerprint, val Value) bool {
 			stats.Scanned++
+			if lookupErr = ctx.Err(); lookupErr != nil {
+				return false
+			}
 			owner, lerr := shadow.Lookup(fp)
 			if lerr != nil {
 				lookupErr = lerr
@@ -524,7 +653,7 @@ func (c *Cluster) JoinNode(b Backend) (RebalanceStats, error) {
 			return stats, fmt.Errorf("core: join copy from %s: %w", m.ID(), err)
 		}
 		for _, e := range moving {
-			if err := b.Insert(e.fp, e.val); err != nil {
+			if err := b.Insert(ctx, e.fp, e.val); err != nil {
 				return stats, fmt.Errorf("core: join copy %s: %w", e.fp.Short(), err)
 			}
 			stats.Moved++
@@ -546,7 +675,7 @@ func (c *Cluster) JoinNode(b Backend) (RebalanceStats, error) {
 		if !ok {
 			continue
 		}
-		moved, scanned, err := c.migrateFrom(m.ID(), mig, false)
+		moved, scanned, err := c.migrateFrom(ctx, m.ID(), mig, false)
 		if err != nil {
 			return stats, err
 		}
@@ -558,8 +687,11 @@ func (c *Cluster) JoinNode(b Backend) (RebalanceStats, error) {
 
 // DrainNode migrates every entry off the named node and detaches it from
 // the cluster (graceful decommission). The backend itself is not closed;
-// its owner closes it after the drain.
-func (c *Cluster) DrainNode(id ring.NodeID) (RebalanceStats, error) {
+// its owner closes it after the drain. A cancelled ctx stops the copy
+// mid-pass: the node is already out of the ring (routing flips first) but
+// stays attached until every entry has moved, so un-migrated entries are
+// never orphaned and a later Rebalance can finish the job.
+func (c *Cluster) DrainNode(ctx context.Context, id ring.NodeID) (RebalanceStats, error) {
 	c.mu.Lock()
 	b, ok := c.backends[id]
 	if !ok {
@@ -584,7 +716,7 @@ func (c *Cluster) DrainNode(id ring.NodeID) (RebalanceStats, error) {
 	c.gen++
 	c.mu.Unlock()
 
-	moved, scanned, err := c.migrateFrom(id, m, true)
+	moved, scanned, err := c.migrateFrom(ctx, id, m, true)
 	stats := RebalanceStats{Moved: moved, Scanned: scanned}
 	if err != nil {
 		return stats, err
@@ -597,7 +729,8 @@ func (c *Cluster) DrainNode(id ring.NodeID) (RebalanceStats, error) {
 
 // migrateFrom moves entries off one backend. When all is true every entry
 // moves (drain); otherwise only entries whose owner is no longer source.
-func (c *Cluster) migrateFrom(source ring.NodeID, m Migrator, all bool) (moved, scanned int, err error) {
+// ctx is checked between entries.
+func (c *Cluster) migrateFrom(ctx context.Context, source ring.NodeID, m Migrator, all bool) (moved, scanned int, err error) {
 	// Collect first: inserting into peers while ranging the same store
 	// would mutate it mid-iteration.
 	type entry struct {
@@ -607,6 +740,9 @@ func (c *Cluster) migrateFrom(source ring.NodeID, m Migrator, all bool) (moved, 
 	var toMove []entry
 	rangeErr := m.Entries(func(fp fingerprint.Fingerprint, val Value) bool {
 		scanned++
+		if err = ctx.Err(); err != nil {
+			return false
+		}
 		if all {
 			toMove = append(toMove, entry{fp, val})
 			return true
@@ -631,6 +767,9 @@ func (c *Cluster) migrateFrom(source ring.NodeID, m Migrator, all bool) (moved, 
 	}
 
 	for _, e := range toMove {
+		if cerr := ctx.Err(); cerr != nil {
+			return moved, scanned, fmt.Errorf("core: migrate from %s: %w", source, cerr)
+		}
 		c.mu.RLock()
 		targets, terr := c.replicasFor(e.fp)
 		c.mu.RUnlock()
@@ -641,7 +780,7 @@ func (c *Cluster) migrateFrom(source ring.NodeID, m Migrator, all bool) (moved, 
 			if t.ID() == source {
 				continue
 			}
-			if ierr := t.Insert(e.fp, e.val); ierr != nil {
+			if ierr := t.Insert(ctx, e.fp, e.val); ierr != nil {
 				return moved, scanned, fmt.Errorf("core: migrate %s to %s: %w", e.fp.Short(), t.ID(), ierr)
 			}
 		}
@@ -654,7 +793,7 @@ func (c *Cluster) migrateFrom(source ring.NodeID, m Migrator, all bool) (moved, 
 }
 
 // Stats gathers per-node statistics, sorted by node ID.
-func (c *Cluster) Stats() ([]NodeStats, error) {
+func (c *Cluster) Stats(ctx context.Context) ([]NodeStats, error) {
 	c.mu.RLock()
 	backends := make([]Backend, 0, len(c.backends))
 	for _, b := range c.backends {
@@ -664,7 +803,7 @@ func (c *Cluster) Stats() ([]NodeStats, error) {
 
 	stats := make([]NodeStats, 0, len(backends))
 	for _, b := range backends {
-		st, err := b.Stats()
+		st, err := b.Stats(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("core: stats from %s: %w", b.ID(), err)
 		}

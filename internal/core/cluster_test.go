@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -51,7 +52,7 @@ func TestClusterDedupAcrossNodes(t *testing.T) {
 
 	// First pass: everything new.
 	for i := uint64(0); i < n; i++ {
-		r, err := c.LookupOrInsert(fp(i), Value(i))
+		r, err := c.LookupOrInsert(context.Background(), fp(i), Value(i))
 		if err != nil {
 			t.Fatalf("LookupOrInsert: %v", err)
 		}
@@ -61,7 +62,7 @@ func TestClusterDedupAcrossNodes(t *testing.T) {
 	}
 	// Second pass: everything duplicate, with the stored value.
 	for i := uint64(0); i < n; i++ {
-		r, err := c.LookupOrInsert(fp(i), 0)
+		r, err := c.LookupOrInsert(context.Background(), fp(i), 0)
 		if err != nil {
 			t.Fatalf("LookupOrInsert: %v", err)
 		}
@@ -90,11 +91,11 @@ func TestClusterLoadBalance(t *testing.T) {
 	c := newTestCluster(t, 4, ClusterConfig{})
 	const n = 20000
 	for i := uint64(0); i < n; i++ {
-		if _, err := c.LookupOrInsert(fp(i), Value(i)); err != nil {
+		if _, err := c.LookupOrInsert(context.Background(), fp(i), Value(i)); err != nil {
 			t.Fatalf("LookupOrInsert: %v", err)
 		}
 	}
-	stats, err := c.Stats()
+	stats, err := c.Stats(context.Background())
 	if err != nil {
 		t.Fatalf("Stats: %v", err)
 	}
@@ -119,7 +120,7 @@ func TestClusterBatchOrderPreserved(t *testing.T) {
 	for i := range pairs {
 		pairs[i] = Pair{FP: fp(uint64(i % 100)), Val: Value(i % 100)}
 	}
-	rs, err := c.BatchLookupOrInsert(pairs)
+	rs, err := c.BatchLookupOrInsert(context.Background(), pairs)
 	if err != nil {
 		t.Fatalf("BatchLookupOrInsert: %v", err)
 	}
@@ -140,7 +141,7 @@ func TestClusterBatchOrderPreserved(t *testing.T) {
 
 func TestClusterBatchEmpty(t *testing.T) {
 	c := newTestCluster(t, 2, ClusterConfig{})
-	rs, err := c.BatchLookupOrInsert(nil)
+	rs, err := c.BatchLookupOrInsert(context.Background(), nil)
 	if err != nil || rs != nil {
 		t.Fatalf("empty batch = (%v, %v), want (nil, nil)", rs, err)
 	}
@@ -161,7 +162,7 @@ func TestClusterConcurrentClients(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := uint64(0); i < perClient; i++ {
-				r, err := c.LookupOrInsert(fp(i), Value(i))
+				r, err := c.LookupOrInsert(context.Background(), fp(i), Value(i))
 				if err != nil {
 					t.Errorf("LookupOrInsert: %v", err)
 					return
@@ -217,32 +218,32 @@ func (f *flakyBackend) isDead() bool {
 
 var errInjected = errors.New("injected failure")
 
-func (f *flakyBackend) Lookup(p fingerprint.Fingerprint) (LookupResult, error) {
+func (f *flakyBackend) Lookup(ctx context.Context, p fingerprint.Fingerprint) (LookupResult, error) {
 	if f.isDead() {
 		return LookupResult{}, errInjected
 	}
-	return f.Backend.Lookup(p)
+	return f.Backend.Lookup(context.Background(), p)
 }
 
-func (f *flakyBackend) LookupOrInsert(p fingerprint.Fingerprint, v Value) (LookupResult, error) {
+func (f *flakyBackend) LookupOrInsert(ctx context.Context, p fingerprint.Fingerprint, v Value) (LookupResult, error) {
 	if f.isDead() {
 		return LookupResult{}, errInjected
 	}
-	return f.Backend.LookupOrInsert(p, v)
+	return f.Backend.LookupOrInsert(context.Background(), p, v)
 }
 
-func (f *flakyBackend) BatchLookupOrInsert(pairs []Pair) ([]LookupResult, error) {
+func (f *flakyBackend) BatchLookupOrInsert(ctx context.Context, pairs []Pair) ([]LookupResult, error) {
 	if f.isDead() {
 		return nil, errInjected
 	}
-	return f.Backend.BatchLookupOrInsert(pairs)
+	return f.Backend.BatchLookupOrInsert(context.Background(), pairs)
 }
 
-func (f *flakyBackend) Insert(p fingerprint.Fingerprint, v Value) error {
+func (f *flakyBackend) Insert(ctx context.Context, p fingerprint.Fingerprint, v Value) error {
 	if f.isDead() {
 		return errInjected
 	}
-	return f.Backend.Insert(p, v)
+	return f.Backend.Insert(context.Background(), p, v)
 }
 
 func TestReplicationFailover(t *testing.T) {
@@ -271,7 +272,7 @@ func TestReplicationFailover(t *testing.T) {
 
 	const n = 300
 	for i := uint64(0); i < n; i++ {
-		if _, err := c.LookupOrInsert(fp(i), Value(i)); err != nil {
+		if _, err := c.LookupOrInsert(context.Background(), fp(i), Value(i)); err != nil {
 			t.Fatalf("insert pass: %v", err)
 		}
 	}
@@ -281,7 +282,7 @@ func TestReplicationFailover(t *testing.T) {
 	// Every fingerprint must still be recognized as a duplicate via the
 	// surviving replica.
 	for i := uint64(0); i < n; i++ {
-		r, err := c.Lookup(fp(i))
+		r, err := c.Lookup(context.Background(), fp(i))
 		if err != nil {
 			t.Fatalf("Lookup(%d) after node death: %v", i, err)
 		}
@@ -291,7 +292,7 @@ func TestReplicationFailover(t *testing.T) {
 	}
 	// LookupOrInsert must also fail over rather than double-insert.
 	for i := uint64(0); i < n; i++ {
-		r, err := c.LookupOrInsert(fp(i), 999)
+		r, err := c.LookupOrInsert(context.Background(), fp(i), 999)
 		if err != nil {
 			t.Fatalf("LookupOrInsert(%d) after node death: %v", i, err)
 		}
@@ -317,9 +318,9 @@ func TestNoReplicationLosesDataOnFailure(t *testing.T) {
 	}
 	defer c.Close()
 
-	c.LookupOrInsert(fp(1), 1)
+	c.LookupOrInsert(context.Background(), fp(1), 1)
 	flaky.kill()
-	if _, err := c.Lookup(fp(1)); err == nil {
+	if _, err := c.Lookup(context.Background(), fp(1)); err == nil {
 		t.Fatal("Lookup succeeded with the only replica dead")
 	}
 }
@@ -349,7 +350,7 @@ func TestAddRemoveNode(t *testing.T) {
 		t.Fatalf("Size = %d, want 2", c.Size())
 	}
 	// Cluster still functional after membership churn.
-	if _, err := c.LookupOrInsert(fp(42), 42); err != nil {
+	if _, err := c.LookupOrInsert(context.Background(), fp(42), 42); err != nil {
 		t.Fatalf("LookupOrInsert after churn: %v", err)
 	}
 	extra.Close()

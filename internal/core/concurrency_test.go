@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -38,7 +39,7 @@ func TestConcurrentLookupStatsConsistency(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < opsPer; i++ {
 				key := uint64((g*opsPer + i*13) % uniques)
-				r, err := n.LookupOrInsert(fp(key), Value(key))
+				r, err := n.LookupOrInsert(context.Background(), fp(key), Value(key))
 				if err != nil {
 					errs <- err
 					return
@@ -56,7 +57,7 @@ func TestConcurrentLookupStatsConsistency(t *testing.T) {
 		t.Fatalf("LookupOrInsert: %v", err)
 	}
 
-	st, err := n.Stats()
+	st, err := n.Stats(context.Background())
 	if err != nil {
 		t.Fatalf("Stats: %v", err)
 	}
@@ -99,7 +100,7 @@ func TestConcurrentBatchesAcrossStripes(t *testing.T) {
 					key := uint64((g + r*batchSize + j*7) % uniques)
 					pairs[j] = Pair{FP: fp(key), Val: Value(key)}
 				}
-				rs, err := n.BatchLookupOrInsert(pairs)
+				rs, err := n.BatchLookupOrInsert(context.Background(), pairs)
 				if err != nil {
 					t.Errorf("BatchLookupOrInsert: %v", err)
 					return
@@ -118,7 +119,7 @@ func TestConcurrentBatchesAcrossStripes(t *testing.T) {
 		t.FailNow()
 	}
 
-	st, err := n.Stats()
+	st, err := n.Stats(context.Background())
 	if err != nil {
 		t.Fatalf("Stats: %v", err)
 	}
@@ -138,7 +139,7 @@ func TestConcurrentBatchesAcrossStripes(t *testing.T) {
 func TestLookupBatchReadOnly(t *testing.T) {
 	n := newMemNode(t, NodeConfig{CacheSize: 64})
 	for i := uint64(0); i < 10; i++ {
-		if _, err := n.LookupOrInsert(fp(i), Value(i)); err != nil {
+		if _, err := n.LookupOrInsert(context.Background(), fp(i), Value(i)); err != nil {
 			t.Fatalf("seed: %v", err)
 		}
 	}
@@ -146,7 +147,7 @@ func TestLookupBatchReadOnly(t *testing.T) {
 	for i := range query {
 		query[i] = fp(uint64(i))
 	}
-	rs, err := n.LookupBatch(query)
+	rs, err := n.LookupBatch(context.Background(), query)
 	if err != nil {
 		t.Fatalf("LookupBatch: %v", err)
 	}
@@ -158,7 +159,7 @@ func TestLookupBatchReadOnly(t *testing.T) {
 			t.Fatalf("absent item %d reported as existing", i)
 		}
 	}
-	st, _ := n.Stats()
+	st, _ := n.Stats(context.Background())
 	if st.Inserts != 10 {
 		t.Fatalf("Inserts = %d after read-only batch, want 10", st.Inserts)
 	}
@@ -182,7 +183,7 @@ func TestWriteBackConcurrentDestage(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < uniques; i++ {
 				key := uint64((i*goroutines + g) % uniques)
-				if _, err := n.LookupOrInsert(fp(key), Value(key)); err != nil {
+				if _, err := n.LookupOrInsert(context.Background(), fp(key), Value(key)); err != nil {
 					t.Errorf("LookupOrInsert: %v", err)
 					return
 				}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"shhc/internal/fingerprint"
+	"shhc/internal/ring"
+)
+
+// scriptedBackend is a minimal Backend whose Lookup behavior is scripted:
+// it can answer instantly or block until its context is cancelled,
+// recording what happened to it.
+type scriptedBackend struct {
+	id ring.NodeID
+	// answer is returned by Lookup when slow is false.
+	answer LookupResult
+	// slow makes Lookup block until ctx is done.
+	slow bool
+
+	lookups   atomic.Int64
+	cancelled atomic.Int64
+}
+
+func (s *scriptedBackend) ID() ring.NodeID { return s.id }
+
+func (s *scriptedBackend) Lookup(ctx context.Context, fp fingerprint.Fingerprint) (LookupResult, error) {
+	s.lookups.Add(1)
+	if s.slow {
+		<-ctx.Done()
+		s.cancelled.Add(1)
+		return LookupResult{}, ctx.Err()
+	}
+	return s.answer, nil
+}
+
+func (s *scriptedBackend) LookupOrInsert(ctx context.Context, fp fingerprint.Fingerprint, val Value) (LookupResult, error) {
+	return s.Lookup(ctx, fp)
+}
+
+func (s *scriptedBackend) BatchLookupOrInsert(ctx context.Context, pairs []Pair) ([]LookupResult, error) {
+	out := make([]LookupResult, len(pairs))
+	for i := range pairs {
+		r, err := s.Lookup(ctx, pairs[i].FP)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+func (s *scriptedBackend) Insert(ctx context.Context, fp fingerprint.Fingerprint, val Value) error {
+	return nil
+}
+
+func (s *scriptedBackend) Stats(ctx context.Context) (NodeStats, error) {
+	return NodeStats{ID: s.id}, nil
+}
+
+func (s *scriptedBackend) Close() error { return nil }
+
+// fpOwnedBy searches for a fingerprint whose ring owner is the wanted
+// node.
+func fpOwnedBy(t *testing.T, c *Cluster, want ring.NodeID) fingerprint.Fingerprint {
+	t.Helper()
+	for i := uint64(0); i < 10_000; i++ {
+		fp := fingerprint.FromUint64(i)
+		owner, err := c.Owner(fp)
+		if err != nil {
+			t.Fatalf("Owner: %v", err)
+		}
+		if owner == want {
+			return fp
+		}
+	}
+	t.Fatalf("no fingerprint owned by %s in 10k tries", want)
+	return fingerprint.Fingerprint{}
+}
+
+// TestHedgeReturnsFastReplicaAndCancelsSlowOwner: with HedgeAfter set and
+// a stuck owner, Cluster.Lookup must answer from the successor replica
+// within roughly the hedge delay, and the owner's probe must be cancelled
+// once the winner returns.
+func TestHedgeReturnsFastReplicaAndCancelsSlowOwner(t *testing.T) {
+	slow := &scriptedBackend{id: "slow", slow: true}
+	fast := &scriptedBackend{id: "fast", answer: LookupResult{Exists: true, Value: 11, Source: SourceStore}}
+	c, err := NewCluster(ClusterConfig{Replicas: 2, HedgeAfter: 5 * time.Millisecond}, slow, fast)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer c.Close()
+
+	fp := fpOwnedBy(t, c, "slow")
+	start := time.Now()
+	r, err := c.Lookup(context.Background(), fp)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("hedged Lookup: %v", err)
+	}
+	if !r.Exists || r.Value != 11 {
+		t.Fatalf("hedged Lookup = %+v, want the fast replica's answer (Exists=true Value=11)", r)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("hedged Lookup took %v; hedge after 5ms should have answered far sooner", elapsed)
+	}
+	if slow.lookups.Load() != 1 {
+		t.Fatalf("slow owner saw %d lookups, want 1", slow.lookups.Load())
+	}
+	waitCond(t, "slow owner's probe to be cancelled", func() bool {
+		return slow.cancelled.Load() == 1
+	})
+}
+
+// TestHedgeDisabledWaitsForOwner: without HedgeAfter the owner's answer is
+// waited for — the successor is never consulted on a healthy (if slow)
+// owner. Cancellation still frees the caller.
+func TestHedgeDisabledWaitsForOwner(t *testing.T) {
+	slow := &scriptedBackend{id: "slow", slow: true}
+	fast := &scriptedBackend{id: "fast", answer: LookupResult{Exists: true, Value: 11, Source: SourceStore}}
+	c, err := NewCluster(ClusterConfig{Replicas: 2}, slow, fast)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer c.Close()
+
+	fp := fpOwnedBy(t, c, "slow")
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err = c.Lookup(ctx, fp)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("unhedged Lookup on stuck owner = %v, want context.DeadlineExceeded", err)
+	}
+	if fast.lookups.Load() != 0 {
+		t.Fatalf("successor was consulted %d times without hedging or owner failure", fast.lookups.Load())
+	}
+}
+
+// TestHedgePerCallOverride: LookupHedged hedges a single call on a cluster
+// configured without hedging.
+func TestHedgePerCallOverride(t *testing.T) {
+	slow := &scriptedBackend{id: "slow", slow: true}
+	fast := &scriptedBackend{id: "fast", answer: LookupResult{Exists: true, Value: 4, Source: SourceCache}}
+	c, err := NewCluster(ClusterConfig{Replicas: 2}, slow, fast)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer c.Close()
+
+	fp := fpOwnedBy(t, c, "slow")
+	r, err := c.LookupHedged(context.Background(), fp, 2*time.Millisecond)
+	if err != nil {
+		t.Fatalf("LookupHedged: %v", err)
+	}
+	if !r.Exists || r.Value != 4 {
+		t.Fatalf("LookupHedged = %+v, want fast replica's answer", r)
+	}
+}
+
+// TestHedgeFailedReplicaFailsOver: a hedged lookup whose first replica
+// errors outright brings in the next replica immediately (no hedge-delay
+// wait) and still answers.
+func TestHedgeFailedReplicaFailsOver(t *testing.T) {
+	fast := &scriptedBackend{id: "fast", answer: LookupResult{Exists: true, Value: 9, Source: SourceStore}}
+	failing := &failingBackend{
+		scriptedBackend: &scriptedBackend{id: "dead"},
+		err:             errors.New("node down"),
+	}
+	c2, err := NewCluster(ClusterConfig{Replicas: 2, HedgeAfter: time.Hour}, failing, fast)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer c2.Close()
+
+	fp := fpOwnedBy(t, c2, "dead")
+	start := time.Now()
+	r, err := c2.Lookup(context.Background(), fp)
+	if err != nil {
+		t.Fatalf("Lookup with failed owner: %v", err)
+	}
+	if !r.Exists || r.Value != 9 {
+		t.Fatalf("Lookup = %+v, want failover answer", r)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("failover took %v; an owner error must not wait out the hedge delay", elapsed)
+	}
+}
+
+type failingBackend struct {
+	*scriptedBackend
+	err error
+}
+
+func (f *failingBackend) Lookup(ctx context.Context, fp fingerprint.Fingerprint) (LookupResult, error) {
+	return LookupResult{}, f.err
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -22,11 +23,11 @@ func TestJoinNodeBasic(t *testing.T) {
 
 	const n = 2000
 	for i := uint64(0); i < n; i++ {
-		c.LookupOrInsert(fp(i), Value(i))
+		c.LookupOrInsert(context.Background(), fp(i), Value(i))
 	}
 
 	joiner := newNamedNode(t, "node-join")
-	stats, err := c.JoinNode(joiner)
+	stats, err := c.JoinNode(context.Background(), joiner)
 	if err != nil {
 		t.Fatalf("JoinNode: %v", err)
 	}
@@ -37,12 +38,12 @@ func TestJoinNodeBasic(t *testing.T) {
 		t.Fatal("JoinNode moved nothing")
 	}
 	// The joiner owns and holds its share.
-	jst, _ := joiner.Stats()
+	jst, _ := joiner.Stats(context.Background())
 	if jst.StoreEntries == 0 {
 		t.Fatal("joiner holds no entries")
 	}
 	// Relocated entries were cleaned off old owners: total entries == n.
-	all, _ := c.Stats()
+	all, _ := c.Stats(context.Background())
 	total := 0
 	for _, st := range all {
 		total += st.StoreEntries
@@ -52,7 +53,7 @@ func TestJoinNodeBasic(t *testing.T) {
 	}
 	// Dedup intact.
 	for i := uint64(0); i < n; i++ {
-		r, err := c.LookupOrInsert(fp(i), 999)
+		r, err := c.LookupOrInsert(context.Background(), fp(i), 999)
 		if err != nil || !r.Exists {
 			t.Fatalf("fingerprint %d lost by join (%v)", i, err)
 		}
@@ -66,7 +67,7 @@ func TestJoinNodeDuplicateRejected(t *testing.T) {
 		t.Fatalf("NewNode: %v", err)
 	}
 	defer dup.Close()
-	if _, err := c.JoinNode(dup); err == nil {
+	if _, err := c.JoinNode(context.Background(), dup); err == nil {
 		t.Fatal("JoinNode accepted duplicate ID")
 	}
 }
@@ -84,14 +85,14 @@ func TestJoinNodePreservesValues(t *testing.T) {
 	}
 	defer c.Close()
 	for i := uint64(0); i < 500; i++ {
-		c.LookupOrInsert(fp(i), Value(i*3))
+		c.LookupOrInsert(context.Background(), fp(i), Value(i*3))
 	}
 	joiner := newNamedNode(t, "node-join")
-	if _, err := c.JoinNode(joiner); err != nil {
+	if _, err := c.JoinNode(context.Background(), joiner); err != nil {
 		t.Fatalf("JoinNode: %v", err)
 	}
 	for i := uint64(0); i < 500; i++ {
-		r, err := c.Lookup(fp(i))
+		r, err := c.Lookup(context.Background(), fp(i))
 		if err != nil || !r.Exists {
 			t.Fatalf("fingerprint %d missing (%v)", i, err)
 		}

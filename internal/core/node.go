@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -366,11 +367,16 @@ func (n *Node) unlockAll() {
 }
 
 // Lookup answers whether the fingerprint is stored, without inserting. By
-// default the SSD probe runs outside the stripe lock (see pipeline.go);
-// with LockedIO the whole walk holds the lock.
-func (n *Node) Lookup(fp fingerprint.Fingerprint) (LookupResult, error) {
+// default the SSD probe runs outside the stripe lock (see pipeline.go) and
+// honors ctx: a cancelled caller stops waiting immediately and its probe
+// is handed to a waiting rider or aborted. With LockedIO the whole walk
+// holds the lock and ctx is only checked before it starts.
+func (n *Node) Lookup(ctx context.Context, fp fingerprint.Fingerprint) (LookupResult, error) {
 	if !n.lockedIO {
-		return n.lookupAsync(fp, 0, false)
+		return n.lookupAsync(ctx, fp, 0, false)
+	}
+	if err := ctx.Err(); err != nil {
+		return LookupResult{}, err
 	}
 	s := &n.stripes[n.stripeIndex(fp)]
 	s.mu.Lock()
@@ -381,11 +387,14 @@ func (n *Node) Lookup(fp fingerprint.Fingerprint) (LookupResult, error) {
 // LookupOrInsert runs the full Figure 4 flow: answer whether the
 // fingerprint exists, inserting it with val when it does not. By default
 // the SSD phase runs outside the stripe lock, serialized per fingerprint
-// by the in-flight table (see pipeline.go); with LockedIO the whole flow
-// holds the lock.
-func (n *Node) LookupOrInsert(fp fingerprint.Fingerprint, val Value) (LookupResult, error) {
+// by the in-flight table (see pipeline.go), and honors ctx (see Lookup);
+// with LockedIO the whole flow holds the lock.
+func (n *Node) LookupOrInsert(ctx context.Context, fp fingerprint.Fingerprint, val Value) (LookupResult, error) {
 	if !n.lockedIO {
-		return n.lookupAsync(fp, val, true)
+		return n.lookupAsync(ctx, fp, val, true)
+	}
+	if err := ctx.Err(); err != nil {
+		return LookupResult{}, err
 	}
 	s := &n.stripes[n.stripeIndex(fp)]
 	s.mu.Lock()
@@ -480,10 +489,18 @@ func (n *Node) insertLocked(s *nodeStripe, fp fingerprint.Fingerprint, val Value
 // first waits out any in-flight SSD phase for fp, so it can never race a
 // pipelined lookup's insert; the store write itself runs under the stripe
 // lock — Insert is a cold path and keeping it fully serialized makes the
-// migration callers trivially correct.
-func (n *Node) Insert(fp fingerprint.Fingerprint, val Value) error {
+// migration callers trivially correct. A cancelled ctx stops the wait
+// (the insert then never starts); Insert is not a result-waiter, so
+// giving up never aborts the flight it was waiting out.
+func (n *Node) Insert(ctx context.Context, fp fingerprint.Fingerprint, val Value) error {
 	s := &n.stripes[n.stripeIndex(fp)]
+	cancellable := ctx.Done() != nil
 	for {
+		if cancellable {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		s.mu.Lock()
 		if n.closed {
 			s.mu.Unlock()
@@ -496,7 +513,15 @@ func (n *Node) Insert(fp fingerprint.Fingerprint, val Value) error {
 			return err
 		}
 		s.mu.Unlock()
-		<-f.done
+		if cancellable {
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		} else {
+			<-f.done
+		}
 	}
 }
 
@@ -513,16 +538,19 @@ func (n *Node) Insert(fp fingerprint.Fingerprint, val Value) error {
 // Results are returned in input order, and a fingerprint appearing twice
 // in one batch resolves in input order, so the second occurrence sees the
 // first as a duplicate.
-func (n *Node) BatchLookupOrInsert(pairs []Pair) ([]LookupResult, error) {
+//
+// Cancelling ctx stops the coalesced SSD phase from issuing further
+// device reads and fails the whole batch with ctx.Err().
+func (n *Node) BatchLookupOrInsert(ctx context.Context, pairs []Pair) ([]LookupResult, error) {
 	if len(pairs) == 0 {
 		return nil, nil
 	}
 	if !n.lockedIO {
-		return n.batchAsync(len(pairs),
+		return n.batchAsync(ctx, len(pairs),
 			func(i int) fingerprint.Fingerprint { return pairs[i].FP },
 			func(i int) Value { return pairs[i].Val }, true)
 	}
-	return n.batchLocked(len(pairs), func(i int) fingerprint.Fingerprint { return pairs[i].FP },
+	return n.batchLocked(ctx, len(pairs), func(i int) fingerprint.Fingerprint { return pairs[i].FP },
 		func(s *nodeStripe, i int) (LookupResult, error) {
 			return n.lookupOrInsertLocked(s, pairs[i].FP, pairs[i].Val)
 		})
@@ -530,16 +558,16 @@ func (n *Node) BatchLookupOrInsert(pairs []Pair) ([]LookupResult, error) {
 
 // LookupBatch answers a batch of read-only lookups through the same
 // pipeline as BatchLookupOrInsert, without inserting missing fingerprints.
-func (n *Node) LookupBatch(fps []fingerprint.Fingerprint) ([]LookupResult, error) {
+func (n *Node) LookupBatch(ctx context.Context, fps []fingerprint.Fingerprint) ([]LookupResult, error) {
 	if len(fps) == 0 {
 		return nil, nil
 	}
 	if !n.lockedIO {
-		return n.batchAsync(len(fps),
+		return n.batchAsync(ctx, len(fps),
 			func(i int) fingerprint.Fingerprint { return fps[i] },
 			func(int) Value { return 0 }, false)
 	}
-	return n.batchLocked(len(fps), func(i int) fingerprint.Fingerprint { return fps[i] },
+	return n.batchLocked(ctx, len(fps), func(i int) fingerprint.Fingerprint { return fps[i] },
 		func(s *nodeStripe, i int) (LookupResult, error) {
 			return n.lookupLocked(s, fps[i])
 		})
@@ -594,19 +622,27 @@ func (n *Node) lookupLocked(s *nodeStripe, fp fingerprint.Fingerprint) (LookupRe
 // batchLocked partitions item indices by stripe and runs each stripe's
 // share under its lock, concurrently across stripes, reassembling results
 // in input order. This is the LockedIO baseline batch path: concurrency is
-// capped at the stripe count because every SSD probe holds its stripe lock.
-func (n *Node) batchLocked(count int, fpOf func(int) fingerprint.Fingerprint,
+// capped at the stripe count because every SSD probe holds its stripe
+// lock. ctx is checked between items (probes themselves are not
+// interruptible under the lock).
+func (n *Node) batchLocked(ctx context.Context, count int, fpOf func(int) fingerprint.Fingerprint,
 	run func(s *nodeStripe, i int) (LookupResult, error)) ([]LookupResult, error) {
 	if count == 0 {
 		return nil, nil
 	}
 	results := make([]LookupResult, count)
 
+	done := ctx.Done()
 	runGroup := func(si int, idxs []int) error {
 		s := &n.stripes[si]
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		for _, i := range idxs {
+			if done != nil {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			r, err := run(s, i)
 			if err != nil {
 				return fmt.Errorf("core: batch item %d: %w", i, err)
@@ -758,8 +794,12 @@ func (n *Node) Remove(fp fingerprint.Fingerprint) (bool, error) {
 
 // Stats snapshots the node's counters. Every stripe is locked for the
 // snapshot, so the aggregate is exactly consistent: the per-source counters
-// always sum to Lookups.
-func (n *Node) Stats() (NodeStats, error) {
+// always sum to Lookups. The snapshot itself is pure RAM; ctx is only
+// checked before it starts (it matters for the remote implementation).
+func (n *Node) Stats(ctx context.Context) (NodeStats, error) {
+	if err := ctx.Err(); err != nil {
+		return NodeStats{}, err
+	}
 	n.lockAll()
 	defer n.unlockAll()
 	st := NodeStats{

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -46,7 +47,7 @@ func TestLookupOrInsertFlow(t *testing.T) {
 
 	// First sight: new fingerprint. With the Bloom filter on, the miss is
 	// short-circuited without an SSD read.
-	r, err := n.LookupOrInsert(fp(1), 100)
+	r, err := n.LookupOrInsert(context.Background(), fp(1), 100)
 	if err != nil {
 		t.Fatalf("LookupOrInsert: %v", err)
 	}
@@ -58,7 +59,7 @@ func TestLookupOrInsertFlow(t *testing.T) {
 	}
 
 	// Second sight: cache hit (it was just inserted and cached).
-	r, err = n.LookupOrInsert(fp(1), 999)
+	r, err = n.LookupOrInsert(context.Background(), fp(1), 999)
 	if err != nil {
 		t.Fatalf("LookupOrInsert: %v", err)
 	}
@@ -69,11 +70,11 @@ func TestLookupOrInsertFlow(t *testing.T) {
 
 func TestLookupFromStoreAfterCacheEviction(t *testing.T) {
 	n := newMemNode(t, NodeConfig{CacheSize: 2})
-	n.LookupOrInsert(fp(1), 1)
-	n.LookupOrInsert(fp(2), 2)
-	n.LookupOrInsert(fp(3), 3) // evicts fp(1)
+	n.LookupOrInsert(context.Background(), fp(1), 1)
+	n.LookupOrInsert(context.Background(), fp(2), 2)
+	n.LookupOrInsert(context.Background(), fp(3), 3) // evicts fp(1)
 
-	r, err := n.LookupOrInsert(fp(1), 999)
+	r, err := n.LookupOrInsert(context.Background(), fp(1), 999)
 	if err != nil {
 		t.Fatalf("LookupOrInsert: %v", err)
 	}
@@ -87,14 +88,14 @@ func TestLookupFromStoreAfterCacheEviction(t *testing.T) {
 
 func TestBloomDisabledGoesToStore(t *testing.T) {
 	n := newMemNode(t, NodeConfig{DisableBloom: true, CacheSize: 4})
-	r, err := n.LookupOrInsert(fp(1), 1)
+	r, err := n.LookupOrInsert(context.Background(), fp(1), 1)
 	if err != nil {
 		t.Fatalf("LookupOrInsert: %v", err)
 	}
 	if r.Source != SourceNew {
 		t.Fatalf("source = %v, want new (store miss without bloom)", r.Source)
 	}
-	st, _ := n.Stats()
+	st, _ := n.Stats(context.Background())
 	if st.BloomShort != 0 {
 		t.Fatal("bloom counters advanced with bloom disabled")
 	}
@@ -105,8 +106,8 @@ func TestBloomDisabledGoesToStore(t *testing.T) {
 
 func TestNoCacheStillCorrect(t *testing.T) {
 	n := newMemNode(t, NodeConfig{CacheSize: 0})
-	n.LookupOrInsert(fp(1), 42)
-	r, err := n.LookupOrInsert(fp(1), 0)
+	n.LookupOrInsert(context.Background(), fp(1), 42)
+	r, err := n.LookupOrInsert(context.Background(), fp(1), 0)
 	if err != nil {
 		t.Fatalf("LookupOrInsert: %v", err)
 	}
@@ -117,7 +118,7 @@ func TestNoCacheStillCorrect(t *testing.T) {
 
 func TestReadOnlyLookupDoesNotInsert(t *testing.T) {
 	n := newMemNode(t, NodeConfig{CacheSize: 4})
-	r, err := n.Lookup(fp(1))
+	r, err := n.Lookup(context.Background(), fp(1))
 	if err != nil {
 		t.Fatalf("Lookup: %v", err)
 	}
@@ -125,11 +126,11 @@ func TestReadOnlyLookupDoesNotInsert(t *testing.T) {
 		t.Fatal("Lookup of absent fp reported exists")
 	}
 	// Still absent afterwards.
-	r, _ = n.Lookup(fp(1))
+	r, _ = n.Lookup(context.Background(), fp(1))
 	if r.Exists {
 		t.Fatal("read-only Lookup inserted the fingerprint")
 	}
-	st, _ := n.Stats()
+	st, _ := n.Stats(context.Background())
 	if st.Inserts != 0 {
 		t.Fatalf("Inserts = %d, want 0", st.Inserts)
 	}
@@ -137,10 +138,10 @@ func TestReadOnlyLookupDoesNotInsert(t *testing.T) {
 
 func TestInsertThenLookup(t *testing.T) {
 	n := newMemNode(t, NodeConfig{CacheSize: 4})
-	if err := n.Insert(fp(9), 90); err != nil {
+	if err := n.Insert(context.Background(), fp(9), 90); err != nil {
 		t.Fatalf("Insert: %v", err)
 	}
-	r, _ := n.Lookup(fp(9))
+	r, _ := n.Lookup(context.Background(), fp(9))
 	if !r.Exists || r.Value != 90 {
 		t.Fatalf("Lookup after Insert = %+v", r)
 	}
@@ -153,7 +154,7 @@ func TestBatchPreservesOrderAndDetectsIntraBatchDuplicates(t *testing.T) {
 		{FP: fp(2), Val: 2},
 		{FP: fp(1), Val: 3}, // duplicate within the batch
 	}
-	rs, err := n.BatchLookupOrInsert(pairs)
+	rs, err := n.BatchLookupOrInsert(context.Background(), pairs)
 	if err != nil {
 		t.Fatalf("BatchLookupOrInsert: %v", err)
 	}
@@ -172,12 +173,12 @@ func TestWriteBackDestagesOnEviction(t *testing.T) {
 	store := hashdb.NewMemStore(nil)
 	n := newMemNode(t, NodeConfig{Store: store, CacheSize: 2, WriteBack: true})
 
-	n.LookupOrInsert(fp(1), 1)
+	n.LookupOrInsert(context.Background(), fp(1), 1)
 	if store.Len() != 0 {
 		t.Fatalf("write-back inserted to store immediately (len=%d)", store.Len())
 	}
-	n.LookupOrInsert(fp(2), 2)
-	n.LookupOrInsert(fp(3), 3) // evicts fp(1) -> destage
+	n.LookupOrInsert(context.Background(), fp(2), 2)
+	n.LookupOrInsert(context.Background(), fp(3), 3) // evicts fp(1) -> destage
 	if store.Len() != 1 {
 		t.Fatalf("store len after destage = %d, want 1", store.Len())
 	}
@@ -190,7 +191,7 @@ func TestWriteBackFlush(t *testing.T) {
 	store := hashdb.NewMemStore(nil)
 	n := newMemNode(t, NodeConfig{Store: store, CacheSize: 16, WriteBack: true})
 	for i := uint64(1); i <= 5; i++ {
-		n.LookupOrInsert(fp(i), Value(i))
+		n.LookupOrInsert(context.Background(), fp(i), Value(i))
 	}
 	if err := n.Flush(); err != nil {
 		t.Fatalf("Flush: %v", err)
@@ -211,7 +212,7 @@ func TestWriteBackCloseFlushes(t *testing.T) {
 		t.Fatalf("NewNode: %v", err)
 	}
 	for i := uint64(0); i < 20; i++ {
-		n.LookupOrInsert(fp(i), Value(i))
+		n.LookupOrInsert(context.Background(), fp(i), Value(i))
 	}
 	if err := n.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
@@ -229,11 +230,11 @@ func TestWriteBackCloseFlushes(t *testing.T) {
 
 func TestStatsCounters(t *testing.T) {
 	n := newMemNode(t, NodeConfig{CacheSize: 8})
-	n.LookupOrInsert(fp(1), 1) // bloom short-circuit insert
-	n.LookupOrInsert(fp(1), 1) // cache hit
-	n.Lookup(fp(2))            // bloom negative, no insert
+	n.LookupOrInsert(context.Background(), fp(1), 1) // bloom short-circuit insert
+	n.LookupOrInsert(context.Background(), fp(1), 1) // cache hit
+	n.Lookup(context.Background(), fp(2))            // bloom negative, no insert
 
-	st, err := n.Stats()
+	st, err := n.Stats(context.Background())
 	if err != nil {
 		t.Fatalf("Stats: %v", err)
 	}
@@ -257,13 +258,13 @@ func TestStatsCounters(t *testing.T) {
 func TestClosedNodeErrors(t *testing.T) {
 	n := newMemNode(t, NodeConfig{CacheSize: 4})
 	n.Close()
-	if _, err := n.Lookup(fp(1)); err == nil {
+	if _, err := n.Lookup(context.Background(), fp(1)); err == nil {
 		t.Fatal("Lookup after Close succeeded")
 	}
-	if _, err := n.LookupOrInsert(fp(1), 1); err == nil {
+	if _, err := n.LookupOrInsert(context.Background(), fp(1), 1); err == nil {
 		t.Fatal("LookupOrInsert after Close succeeded")
 	}
-	if err := n.Insert(fp(1), 1); err == nil {
+	if err := n.Insert(context.Background(), fp(1), 1); err == nil {
 		t.Fatal("Insert after Close succeeded")
 	}
 	if err := n.Flush(); err == nil {
@@ -286,7 +287,7 @@ func TestNodeRestartPreservesDedup(t *testing.T) {
 		t.Fatalf("NewNode: %v", err)
 	}
 	for i := uint64(0); i < 500; i++ {
-		n1.LookupOrInsert(fp(i), Value(i))
+		n1.LookupOrInsert(context.Background(), fp(i), Value(i))
 	}
 	if err := n1.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
@@ -303,7 +304,7 @@ func TestNodeRestartPreservesDedup(t *testing.T) {
 	defer n2.Close()
 
 	for i := uint64(0); i < 500; i++ {
-		r, err := n2.LookupOrInsert(fp(i), 999)
+		r, err := n2.LookupOrInsert(context.Background(), fp(i), 999)
 		if err != nil {
 			t.Fatalf("LookupOrInsert: %v", err)
 		}
@@ -315,7 +316,7 @@ func TestNodeRestartPreservesDedup(t *testing.T) {
 		}
 	}
 	// New fingerprints still insert normally.
-	r, _ := n2.LookupOrInsert(fp(10000), 1)
+	r, _ := n2.LookupOrInsert(context.Background(), fp(10000), 1)
 	if r.Exists {
 		t.Fatal("fresh fingerprint reported existing after restart")
 	}
@@ -334,7 +335,7 @@ func TestNodeRestartBloomSizedForExistingData(t *testing.T) {
 	}
 	defer n.Close()
 	for i := uint64(0); i < 5000; i++ {
-		r, err := n.Lookup(fp(i))
+		r, err := n.Lookup(context.Background(), fp(i))
 		if err != nil || !r.Exists {
 			t.Fatalf("fingerprint %d lost (%v)", i, err)
 		}
@@ -359,7 +360,7 @@ func TestDedupCorrectnessOnPersistentStore(t *testing.T) {
 	news, dups := 0, 0
 	for round := 0; round < 3; round++ {
 		for i := uint64(0); i < uniques; i++ {
-			r, err := n.LookupOrInsert(fp(i), Value(i))
+			r, err := n.LookupOrInsert(context.Background(), fp(i), Value(i))
 			if err != nil {
 				t.Fatalf("LookupOrInsert: %v", err)
 			}

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"shhc/internal/fingerprint"
@@ -28,6 +31,29 @@ import (
 //	a fingerprint's RAM walk runs under its stripe lock; its SSD phase
 //	is serialized by the stripe's in-flight table.
 //
+// Cancellation. Every operation takes a context, and a flight's device
+// work is decoupled from the caller that started it:
+//
+//   - When the caller's context can be cancelled, the SSD phase runs in a
+//     prober goroutine that also completes the flight (counters, cache
+//     install, retirement). The owner merely waits — so a cancelled owner
+//     hands the flight off: it returns ctx.Err() immediately while the
+//     prober lands the flight for any waiting riders.
+//   - Each flight carries an interest count (the owner plus every rider).
+//     When the last interested party abandons, the flight's abort flag is
+//     raised, and the prober aborts before issuing the next device
+//     operation (I/O already issued completes; it is never revoked).
+//   - A rider whose context is cancelled stops waiting and returns
+//     ctx.Err() without touching the flight table. A rider that waited
+//     out a flight which landed with a context error (its owner was
+//     cancelled and nobody stayed interested) does not adopt that error:
+//     it re-runs the walk and claims the fingerprint itself, so an
+//     abandoned flight never poisons later operations.
+//   - When the caller's context can never be cancelled (ctx.Done() ==
+//     nil, e.g. context.Background()), the prober goroutine is skipped
+//     and the SSD phase runs inline in the caller — the exact PR-2 fast
+//     path, with zero added overhead.
+//
 // Lock ordering: an operation holds at most one stripe lock at a time and
 // never sleeps on a flight while holding it (it unlocks, waits on
 // flight.done, then relocks). Flight completion re-acquires the stripe
@@ -38,7 +64,7 @@ import (
 
 // flight is one in-progress SSD phase for a fingerprint: a probe,
 // optionally followed by the insert the probe's miss calls for. Outcome
-// fields are written by the owner before done is closed and read by
+// fields are written by the prober before done is closed and read by
 // waiters only after <-done.
 type flight struct {
 	done chan struct{}
@@ -49,15 +75,51 @@ type flight struct {
 	exists bool
 	val    Value
 	err    error
+	// ownerRes is the owner-role result (SourceStore/SourceNew/...); a
+	// cancelled owner's result is simply never read.
+	ownerRes LookupResult
+
+	// interest counts parties awaiting the flight's outcome: the owner
+	// plus every rider. Guarded by the owning stripe's mutex. When the
+	// last interested party abandons (cancellation), aborted is raised so
+	// the prober stops issuing device I/O. A plain atomic flag — not a
+	// context — because the prober only ever polls it between device
+	// operations; this keeps flight registration allocation-free on the
+	// hot path.
+	interest int
+	aborted  atomic.Bool
+}
+
+// abortErr is the error an aborted flight lands with when every
+// interested party left before the next device operation.
+var abortErr = context.Canceled
+
+// isCtxErr reports whether err is a context cancellation or deadline
+// error — the class of flight failures a waiting rider must not adopt.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // registerFlightLocked creates and registers a flight for fp. Caller holds
 // s.mu, owns the stripe for fp, and must have checked fp is not in flight.
 func (n *Node) registerFlightLocked(s *nodeStripe, fp fingerprint.Fingerprint) *flight {
-	f := &flight{done: make(chan struct{})}
+	f := &flight{done: make(chan struct{}), interest: 1}
 	s.inflight[fp] = f
 	n.flights.Add(1)
 	return f
+}
+
+// abandonFlight is called by an interested party (owner or rider) whose
+// context was cancelled while the flight was in the air: it withdraws its
+// interest and, when it was the last one, aborts the probe. Harmless on a
+// flight that already landed. Caller must not hold s.mu.
+func (n *Node) abandonFlight(s *nodeStripe, f *flight) {
+	s.mu.Lock()
+	f.interest--
+	if f.interest <= 0 {
+		f.aborted.Store(true)
+	}
+	s.mu.Unlock()
 }
 
 // failFlight publishes err to any waiters, retires the flight, and returns
@@ -75,9 +137,15 @@ func (n *Node) failFlight(s *nodeStripe, fp fingerprint.Fingerprint, f *flight, 
 // lookupAsync runs the two-phase Figure 4 flow for one fingerprint.
 // insert selects LookupOrInsert semantics (insert on miss) over read-only
 // Lookup semantics.
-func (n *Node) lookupAsync(fp fingerprint.Fingerprint, val Value, insert bool) (LookupResult, error) {
+func (n *Node) lookupAsync(ctx context.Context, fp fingerprint.Fingerprint, val Value, insert bool) (LookupResult, error) {
 	s := &n.stripes[n.stripeIndex(fp)]
+	cancellable := ctx.Done() != nil
 	for {
+		if cancellable {
+			if err := ctx.Err(); err != nil {
+				return LookupResult{}, err
+			}
+		}
 		s.mu.Lock()
 		if n.closed {
 			s.mu.Unlock()
@@ -107,20 +175,37 @@ func (n *Node) lookupAsync(fp fingerprint.Fingerprint, val Value, insert bool) (
 					s.mu.Unlock()
 					return LookupResult{Exists: false, Source: SourceBloom}, nil
 				}
-				return n.bloomInsert(s, fp, val)
+				return n.bloomInsert(ctx, s, fp, val)
 			}
 		}
 
 		// Phase 2 — the SSD arm. Join an in-flight operation on the same
-		// fingerprint, or run our own probe with the stripe lock released.
+		// fingerprint as a rider, or run our own probe with the stripe
+		// lock released.
 		if f, ok := s.inflight[fp]; ok {
+			f.interest++
 			s.mu.Unlock()
-			<-f.done
+			if cancellable {
+				select {
+				case <-f.done:
+				case <-ctx.Done():
+					n.abandonFlight(s, f)
+					return LookupResult{}, ctx.Err()
+				}
+			} else {
+				<-f.done
+			}
 			if f.err != nil {
+				if isCtxErr(f.err) {
+					// The flight's owner was cancelled and nobody stayed
+					// interested; its abandonment is not our failure.
+					// Re-run the walk and claim the fingerprint ourselves.
+					continue
+				}
 				return LookupResult{}, f.err
 			}
 			if f.exists {
-				// No cache install here: only the flight's owner writes
+				// No cache install here: only the flight's prober writes
 				// the cache, inside the critical section that retires the
 				// flight. A waiter installing after re-locking could race
 				// a Remove (migration) that ran between the flight's
@@ -151,7 +236,37 @@ func (n *Node) lookupAsync(fp fingerprint.Fingerprint, val Value, insert bool) (
 		}
 		f := n.registerFlightLocked(s, fp)
 		s.mu.Unlock()
-		return n.ssdPhase(s, fp, val, insert, f)
+		if !cancellable {
+			// Background-context fast path: no prober goroutine, the SSD
+			// phase runs inline exactly as before contexts existed.
+			return n.ssdPhase(s, fp, val, insert, f, false)
+		}
+		go n.ssdPhase(s, fp, val, insert, f, true)
+		select {
+		case <-f.done:
+			if f.err != nil {
+				return LookupResult{}, f.err
+			}
+			// The wb destage-error drain happens here, on the waiting
+			// owner, not in the prober: a prober's return value is
+			// discarded, and a drain there would swallow the failure
+			// (or lose it entirely if the owner had abandoned). The
+			// !Exists guard mirrors the inline path exactly — only the
+			// miss-with-insert branch drains, so a duplicate answer is
+			// never displaced by an unrelated destage failure.
+			if insert && n.wb && !f.ownerRes.Exists {
+				if derr := n.takeDestageErr(); derr != nil {
+					return LookupResult{}, derr
+				}
+			}
+			return f.ownerRes, nil
+		case <-ctx.Done():
+			// Ownership handoff: the prober keeps flying and completes
+			// the flight for any riders; we only stop waiting. If no
+			// rider is interested the probe is aborted instead.
+			n.abandonFlight(s, f)
+			return LookupResult{}, ctx.Err()
+		}
 	}
 }
 
@@ -160,8 +275,11 @@ func (n *Node) lookupAsync(fp fingerprint.Fingerprint, val Value, insert bool) (
 // The filter add happens before the stripe lock drops, which steers every
 // later lookup of fp into the SSD arm where the in-flight entry (for the
 // write-through store put) serializes it — this is what keeps the insert
-// exactly-once without holding the lock across the SSD write.
-func (n *Node) bloomInsert(s *nodeStripe, fp fingerprint.Fingerprint, val Value) (LookupResult, error) {
+// exactly-once without holding the lock across the SSD write. A cancelled
+// owner abandons the flight like any other: if the put had not started it
+// is aborted (the filter stays conservatively stale — one extra probe
+// later, never a wrong answer); once started, it runs to completion.
+func (n *Node) bloomInsert(ctx context.Context, s *nodeStripe, fp fingerprint.Fingerprint, val Value) (LookupResult, error) {
 	n.bloom.Add(fp)
 	if n.wb {
 		// Write-back: the insert is pure RAM (destage happens on
@@ -178,7 +296,30 @@ func (n *Node) bloomInsert(s *nodeStripe, fp fingerprint.Fingerprint, val Value)
 	}
 	f := n.registerFlightLocked(s, fp)
 	s.mu.Unlock()
+	if ctx.Done() == nil {
+		return n.directInsert(s, fp, val, f)
+	}
+	go n.directInsert(s, fp, val, f)
+	select {
+	case <-f.done:
+		if f.err != nil {
+			return LookupResult{}, f.err
+		}
+		return f.ownerRes, nil
+	case <-ctx.Done():
+		n.abandonFlight(s, f)
+		return LookupResult{}, ctx.Err()
+	}
+}
 
+// directInsert performs the Bloom-negative write-through store put with no
+// locks held, then completes the flight. It is the prober for bloomInsert
+// flights.
+func (n *Node) directInsert(s *nodeStripe, fp fingerprint.Fingerprint, val Value, f *flight) (LookupResult, error) {
+	if f.aborted.Load() {
+		// Every interested party left before the write started.
+		return LookupResult{}, n.failFlight(s, fp, f, abortErr)
+	}
 	t0 := time.Now()
 	_, perr := n.store.Put(fp, val)
 	s.histSSD.Observe(time.Since(t0))
@@ -186,6 +327,7 @@ func (n *Node) bloomInsert(s *nodeStripe, fp fingerprint.Fingerprint, val Value)
 		return LookupResult{}, n.failFlight(s, fp, f, fmt.Errorf("core: node %s: insert %s: %w", n.id, fp.Short(), perr))
 	}
 	f.exists, f.val = true, val
+	f.ownerRes = LookupResult{Exists: false, Source: SourceBloom}
 	s.mu.Lock()
 	s.bloomShort++
 	s.lookups++
@@ -203,8 +345,18 @@ func (n *Node) bloomInsert(s *nodeStripe, fp fingerprint.Fingerprint, val Value)
 // ssdPhase runs fp's probe — and, on a miss with insert semantics, the
 // insert — with no locks held, then completes the flight: counters and
 // cache install land under one stripe-lock hold together with the
-// in-flight entry's removal, and waiters wake only after that.
-func (n *Node) ssdPhase(s *nodeStripe, fp fingerprint.Fingerprint, val Value, insert bool, f *flight) (LookupResult, error) {
+// in-flight entry's removal, and waiters wake only after that. It is the
+// prober for lookup flights: when the owner's context is cancellable it
+// runs in its own goroutine and survives the owner's departure. The
+// flight's abort flag gates each device operation — once every interested
+// party has abandoned, the next device operation is skipped and the
+// flight lands with the cancellation error (which riders never adopt).
+// detached marks the prober-goroutine mode, where the return value is
+// discarded and the waiting owner reads the flight instead.
+func (n *Node) ssdPhase(s *nodeStripe, fp fingerprint.Fingerprint, val Value, insert bool, f *flight, detached bool) (LookupResult, error) {
+	if f.aborted.Load() {
+		return LookupResult{}, n.failFlight(s, fp, f, abortErr)
+	}
 	t0 := time.Now()
 	v, ok, err := n.store.Get(fp)
 	if err != nil {
@@ -214,6 +366,7 @@ func (n *Node) ssdPhase(s *nodeStripe, fp fingerprint.Fingerprint, val Value, in
 	if ok {
 		s.histSSD.Observe(time.Since(t0))
 		f.exists, f.val = true, v
+		f.ownerRes = LookupResult{Exists: true, Value: v, Source: SourceStore}
 		s.mu.Lock()
 		s.storeHits++
 		s.lookups++
@@ -224,10 +377,11 @@ func (n *Node) ssdPhase(s *nodeStripe, fp fingerprint.Fingerprint, val Value, in
 		s.mu.Unlock()
 		close(f.done)
 		n.flights.Done()
-		return LookupResult{Exists: true, Value: v, Source: SourceStore}, nil
+		return f.ownerRes, nil
 	}
 	if !insert {
 		s.histSSD.Observe(time.Since(t0))
+		f.ownerRes = LookupResult{Exists: false, Source: SourceNew}
 		s.mu.Lock()
 		s.storeMiss++
 		if n.bloom != nil {
@@ -238,12 +392,19 @@ func (n *Node) ssdPhase(s *nodeStripe, fp fingerprint.Fingerprint, val Value, in
 		s.mu.Unlock()
 		close(f.done)
 		n.flights.Done()
-		return LookupResult{Exists: false, Source: SourceNew}, nil
+		return f.ownerRes, nil
 	}
 	// Miss with insert semantics. Write-through pays the store write out
 	// here with no locks held; write-back parks the entry dirty in the
-	// cache during completion.
+	// cache during completion. The write is skipped if everyone lost
+	// interest while the probe was in the air — the fingerprint simply
+	// stays unrecorded, which is what a caller that got ctx.Err() must
+	// assume anyway.
 	if !n.wb {
+		if f.aborted.Load() {
+			s.histSSD.Observe(time.Since(t0))
+			return LookupResult{}, n.failFlight(s, fp, f, abortErr)
+		}
 		if _, perr := n.store.Put(fp, val); perr != nil {
 			s.histSSD.Observe(time.Since(t0))
 			return LookupResult{}, n.failFlight(s, fp, f, fmt.Errorf("core: node %s: insert %s: %w", n.id, fp.Short(), perr))
@@ -251,6 +412,7 @@ func (n *Node) ssdPhase(s *nodeStripe, fp fingerprint.Fingerprint, val Value, in
 	}
 	s.histSSD.Observe(time.Since(t0))
 	f.exists, f.val = true, val // waiters read our insert as their duplicate
+	f.ownerRes = LookupResult{Exists: false, Source: SourceNew}
 	s.mu.Lock()
 	s.storeMiss++
 	if n.bloom != nil {
@@ -270,12 +432,16 @@ func (n *Node) ssdPhase(s *nodeStripe, fp fingerprint.Fingerprint, val Value, in
 	s.mu.Unlock()
 	close(f.done)
 	n.flights.Done()
-	if n.wb {
+	// The drain must only happen where the return value is read: inline
+	// mode drains here; in detached (prober-goroutine) mode the waiting
+	// owner drains after f.done instead — a drain here would consume the
+	// failure and throw it away with the ignored return value.
+	if n.wb && !detached {
 		if derr := n.takeDestageErr(); derr != nil {
 			return LookupResult{}, derr
 		}
 	}
-	return LookupResult{Exists: false, Source: SourceNew}, nil
+	return f.ownerRes, nil
 }
 
 // ownedFlight is one flight a batch registered for itself during its RAM
@@ -308,7 +474,14 @@ type foreignJoin struct {
 // completion pass. Results are in input order; a fingerprint appearing
 // twice resolves in input order, the second occurrence seeing the first as
 // a duplicate.
-func (n *Node) batchAsync(count int, fpOf func(int) fingerprint.Fingerprint, valOf func(int) Value, insert bool) ([]LookupResult, error) {
+//
+// Cancelling ctx mid-batch stops the coalesced SSD phase from issuing
+// further device operations and fails the batch with ctx.Err(). The
+// batch's own flights are failed with the context error — riders from
+// other operations waiting on them observe a cancellation, never adopt
+// it, and re-run their own walks (no handoff on the batch path; the
+// batch's whole wave is cancelled together).
+func (n *Node) batchAsync(ctx context.Context, count int, fpOf func(int) fingerprint.Fingerprint, valOf func(int) Value, insert bool) ([]LookupResult, error) {
 	results := make([]LookupResult, count)
 
 	groups := make(map[int][]int, len(n.stripes))
@@ -321,12 +494,24 @@ func (n *Node) batchAsync(count int, fpOf func(int) fingerprint.Fingerprint, val
 		ownedByFP = make(map[fingerprint.Fingerprint]int)
 		foreign   []foreignJoin
 	)
+	// leaveForeigns withdraws interest from foreign flights not yet
+	// waited out, starting at index from.
+	leaveForeigns := func(from int) {
+		for _, fj := range foreign[from:] {
+			n.abandonFlight(&n.stripes[n.stripeIndex(fpOf(fj.idx))], fj.f)
+		}
+	}
 	// abort fails every flight this batch registered so waiters in other
 	// goroutines never hang on a batch that errored out.
 	abort := func(err error) ([]LookupResult, error) {
 		for i := range owned {
 			n.failFlight(&n.stripes[owned[i].si], fpOf(owned[i].idx), owned[i].f, err)
 		}
+		leaveForeigns(0)
+		return nil, err
+	}
+
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
@@ -383,6 +568,7 @@ func (n *Node) batchAsync(count int, fpOf func(int) fingerprint.Fingerprint, val
 				continue
 			}
 			if f, ok := s.inflight[fp]; ok {
+				f.interest++
 				foreign = append(foreign, foreignJoin{idx: i, f: f})
 				continue
 			}
@@ -390,6 +576,10 @@ func (n *Node) batchAsync(count int, fpOf func(int) fingerprint.Fingerprint, val
 			owned = append(owned, ownedFlight{idx: i, si: si, f: n.registerFlightLocked(s, fp)})
 		}
 		s.mu.Unlock()
+	}
+
+	if err := ctx.Err(); err != nil {
+		return abort(err)
 	}
 
 	// Phase B — the coalesced SSD phase, no stripe locks held. The whole
@@ -415,16 +605,19 @@ func (n *Node) batchAsync(count int, fpOf func(int) fingerprint.Fingerprint, val
 			fps[k] = fpOf(owned[oi].idx)
 		}
 		if bg, ok := n.store.(hashdb.BatchGetter); ok {
-			vals, found, err := bg.GetBatch(fps)
+			vals, found, err := bg.GetBatch(ctx, fps)
 			if err != nil {
 				observeWave(t0)
+				if isCtxErr(err) {
+					return abort(err)
+				}
 				return abort(fmt.Errorf("core: node %s: batch lookup: %w", n.id, err))
 			}
 			for k, oi := range probes {
 				owned[oi].exists, owned[oi].val = found[k], vals[k]
 			}
 		} else {
-			err := parallel.Do(len(probes), parallel.IODepth, func(k int) error {
+			err := parallel.Do(ctx, len(probes), parallel.IODepth, func(k int) error {
 				oi := probes[k]
 				v, ok, gerr := n.store.Get(fps[k])
 				if gerr != nil {
@@ -435,6 +628,9 @@ func (n *Node) batchAsync(count int, fpOf func(int) fingerprint.Fingerprint, val
 			})
 			if err != nil {
 				observeWave(t0)
+				if isCtxErr(err) {
+					return abort(err)
+				}
 				return abort(fmt.Errorf("core: node %s: batch lookup: %w", n.id, err))
 			}
 		}
@@ -449,13 +645,16 @@ func (n *Node) batchAsync(count int, fpOf func(int) fingerprint.Fingerprint, val
 			}
 		}
 		if len(puts) > 0 {
-			err := parallel.Do(len(puts), parallel.IODepth, func(k int) error {
+			err := parallel.Do(ctx, len(puts), parallel.IODepth, func(k int) error {
 				oi := puts[k]
 				_, perr := n.store.Put(fpOf(owned[oi].idx), valOf(owned[oi].idx))
 				return perr
 			})
 			if err != nil {
 				observeWave(t0)
+				if isCtxErr(err) {
+					return abort(err)
+				}
 				return abort(fmt.Errorf("core: node %s: batch insert: %w", n.id, err))
 			}
 		}
@@ -547,9 +746,33 @@ func (n *Node) batchAsync(count int, fpOf func(int) fingerprint.Fingerprint, val
 	// Foreign flights: adopt the outcome another caller's SSD phase
 	// produced. The rare read-only-miss + insert case re-runs the full
 	// per-item pipeline.
-	for _, fj := range foreign {
-		<-fj.f.done
+	cancellable := ctx.Done() != nil
+	for fi, fj := range foreign {
+		if cancellable {
+			select {
+			case <-fj.f.done:
+			case <-ctx.Done():
+				n.abandonFlight(&n.stripes[n.stripeIndex(fpOf(fj.idx))], fj.f)
+				leaveForeigns(fi + 1)
+				return nil, ctx.Err()
+			}
+		} else {
+			<-fj.f.done
+		}
 		if fj.f.err != nil {
+			if isCtxErr(fj.f.err) {
+				// The foreign flight's owner was cancelled; re-run this
+				// item through the per-item pipeline instead of adopting
+				// the abandonment.
+				r, err := n.lookupAsync(ctx, fpOf(fj.idx), valOf(fj.idx), insert)
+				if err != nil {
+					leaveForeigns(fi + 1)
+					return nil, fmt.Errorf("core: batch item %d: %w", fj.idx, err)
+				}
+				results[fj.idx] = r
+				continue
+			}
+			leaveForeigns(fi + 1)
 			return nil, fmt.Errorf("core: batch item %d: %w", fj.idx, fj.f.err)
 		}
 		fp := fpOf(fj.idx)
@@ -578,8 +801,9 @@ func (n *Node) batchAsync(count int, fpOf func(int) fingerprint.Fingerprint, val
 			results[fj.idx] = LookupResult{Exists: false, Source: SourceNew}
 			continue
 		}
-		r, err := n.lookupAsync(fp, valOf(fj.idx), true)
+		r, err := n.lookupAsync(ctx, fp, valOf(fj.idx), true)
 		if err != nil {
+			leaveForeigns(fi + 1)
 			return nil, fmt.Errorf("core: batch item %d: %w", fj.idx, err)
 		}
 		results[fj.idx] = r

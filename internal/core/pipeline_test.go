@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"path/filepath"
@@ -52,7 +53,7 @@ func (h *hookStore) Put(fp fingerprint.Fingerprint, v hashdb.Value) (bool, error
 
 func assertStatsInvariant(t *testing.T, n *Node) NodeStats {
 	t.Helper()
-	st, err := n.Stats()
+	st, err := n.Stats(context.Background())
 	if err != nil {
 		t.Fatalf("Stats: %v", err)
 	}
@@ -82,7 +83,7 @@ func TestAsyncProbeCoalescing(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			results[g], errs[g] = n.Lookup(fp(1))
+			results[g], errs[g] = n.Lookup(context.Background(), fp(1))
 		}(g)
 		if g == 0 {
 			time.Sleep(20 * time.Millisecond) // let the first own the flight
@@ -128,7 +129,7 @@ func TestAsyncExactlyOnceInsert(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			results[g], errs[g] = n.LookupOrInsert(fp(7), Value(100+g))
+			results[g], errs[g] = n.LookupOrInsert(context.Background(), fp(7), Value(100+g))
 		}(g)
 		if g == 0 {
 			time.Sleep(20 * time.Millisecond)
@@ -179,9 +180,9 @@ func TestAsyncReadOnlyMissThenInsert(t *testing.T) {
 		readErr, writeErr error
 	)
 	wg.Add(2)
-	go func() { defer wg.Done(); readRes, readErr = n.Lookup(fp(3)) }()
+	go func() { defer wg.Done(); readRes, readErr = n.Lookup(context.Background(), fp(3)) }()
 	time.Sleep(20 * time.Millisecond)
-	go func() { defer wg.Done(); writeRes, writeErr = n.LookupOrInsert(fp(3), 33) }()
+	go func() { defer wg.Done(); writeRes, writeErr = n.LookupOrInsert(context.Background(), fp(3), 33) }()
 	time.Sleep(20 * time.Millisecond)
 	close(gate)
 	wg.Wait()
@@ -221,7 +222,7 @@ func TestAsyncStoreErrorPropagates(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			_, errs[g] = n.Lookup(fp(9))
+			_, errs[g] = n.Lookup(context.Background(), fp(9))
 		}(g)
 		if g == 0 {
 			time.Sleep(20 * time.Millisecond)
@@ -260,7 +261,7 @@ func TestCloseWaitsForInflightProbes(t *testing.T) {
 		lookErr error
 	)
 	wg.Add(1)
-	go func() { defer wg.Done(); res, lookErr = n.Lookup(fp(5)) }()
+	go func() { defer wg.Done(); res, lookErr = n.Lookup(context.Background(), fp(5)) }()
 	time.Sleep(20 * time.Millisecond)
 
 	closeDone := make(chan error, 1)
@@ -278,7 +279,7 @@ func TestCloseWaitsForInflightProbes(t *testing.T) {
 	if lookErr != nil || !res.Exists || res.Value != 55 {
 		t.Fatalf("in-flight lookup = (%+v, %v), want (exists 55, nil)", res, lookErr)
 	}
-	if _, err := n.Lookup(fp(5)); err == nil {
+	if _, err := n.Lookup(context.Background(), fp(5)); err == nil {
 		t.Fatal("Lookup after Close succeeded")
 	}
 }
@@ -294,7 +295,7 @@ func TestBatchAsyncDuplicateFingerprints(t *testing.T) {
 		{FP: fp(1), Val: 11}, // duplicate of item 0
 		{FP: fp(1), Val: 12}, // and again
 	}
-	rs, err := n.BatchLookupOrInsert(pairs)
+	rs, err := n.BatchLookupOrInsert(context.Background(), pairs)
 	if err != nil {
 		t.Fatalf("BatchLookupOrInsert: %v", err)
 	}
@@ -335,7 +336,7 @@ func TestBatchAsyncCoalescesDeviceReads(t *testing.T) {
 	for i := range pairs {
 		pairs[i] = Pair{FP: fp(uint64(i)), Val: Value(i + 1)}
 	}
-	if _, err := n.BatchLookupOrInsert(pairs); err != nil {
+	if _, err := n.BatchLookupOrInsert(context.Background(), pairs); err != nil {
 		t.Fatalf("seed batch: %v", err)
 	}
 
@@ -345,7 +346,7 @@ func TestBatchAsyncCoalescesDeviceReads(t *testing.T) {
 		fps[i] = fp(uint64(i))
 	}
 	before := dev.Stats().Reads
-	rs, err := n.LookupBatch(fps)
+	rs, err := n.LookupBatch(context.Background(), fps)
 	if err != nil {
 		t.Fatalf("LookupBatch: %v", err)
 	}
@@ -375,7 +376,7 @@ func TestAsyncWriteBackBatch(t *testing.T) {
 	for i := range pairs {
 		pairs[i] = Pair{FP: fp(uint64(i)), Val: Value(i)}
 	}
-	if _, err := n.BatchLookupOrInsert(pairs); err != nil {
+	if _, err := n.BatchLookupOrInsert(context.Background(), pairs); err != nil {
 		t.Fatalf("BatchLookupOrInsert: %v", err)
 	}
 	if err := n.Flush(); err != nil {
@@ -399,7 +400,7 @@ func TestLockedIOBaselineEquivalence(t *testing.T) {
 		const count = 2000
 		for i := 0; i < count; i++ {
 			key := uint64(i % 700) // repeats: mix of new and duplicate
-			r, err := n.LookupOrInsert(fp(key), Value(key))
+			r, err := n.LookupOrInsert(context.Background(), fp(key), Value(key))
 			if err != nil {
 				t.Fatalf("locked=%v: LookupOrInsert: %v", locked, err)
 			}
@@ -423,11 +424,11 @@ func TestLockedIOBaselineEquivalence(t *testing.T) {
 func TestPhaseTimingsPopulated(t *testing.T) {
 	n := newMemNode(t, NodeConfig{CacheSize: 32, BloomExpected: 1 << 12})
 	for i := 0; i < 200; i++ {
-		if _, err := n.LookupOrInsert(fp(uint64(i%50)), Value(i)); err != nil {
+		if _, err := n.LookupOrInsert(context.Background(), fp(uint64(i%50)), Value(i)); err != nil {
 			t.Fatalf("LookupOrInsert: %v", err)
 		}
 	}
-	st, err := n.Stats()
+	st, err := n.Stats(context.Background())
 	if err != nil {
 		t.Fatalf("Stats: %v", err)
 	}
@@ -482,7 +483,7 @@ func TestAsyncLookupsDuringRebalanceChaos(t *testing.T) {
 	for i := range seedPairs {
 		seedPairs[i] = Pair{FP: fp(uint64(i)), Val: Value(i)}
 	}
-	if _, err := c.BatchLookupOrInsert(seedPairs); err != nil {
+	if _, err := c.BatchLookupOrInsert(context.Background(), seedPairs); err != nil {
 		t.Fatalf("seed: %v", err)
 	}
 
@@ -503,11 +504,11 @@ func TestAsyncLookupsDuringRebalanceChaos(t *testing.T) {
 			default:
 			}
 			scratch := newSleepNode(fmt.Sprintf("chaos-scratch-%d", round))
-			if _, err := c.JoinNode(scratch); err != nil {
+			if _, err := c.JoinNode(context.Background(), scratch); err != nil {
 				churnDone <- err
 				return
 			}
-			if _, err := c.DrainNode(scratch.ID()); err != nil {
+			if _, err := c.DrainNode(context.Background(), scratch.ID()); err != nil {
 				churnDone <- err
 				return
 			}
@@ -525,7 +526,7 @@ func TestAsyncLookupsDuringRebalanceChaos(t *testing.T) {
 			for k := 0; k < 250; k++ {
 				// A value no seeded entry stores, so reconciliation can
 				// tell a migrated duplicate from our own racing insert.
-				r, err := c.LookupOrInsert(fp(i%seeded), Value(seeded))
+				r, err := c.LookupOrInsert(context.Background(), fp(i%seeded), Value(seeded))
 				if err != nil {
 					t.Errorf("LookupOrInsert: %v", err)
 					return

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -27,7 +28,7 @@ func TestNodeEntriesAndRemove(t *testing.T) {
 	n := newNamedNode(t, "m")
 	defer n.Close()
 	for i := uint64(0); i < 100; i++ {
-		n.Insert(fp(i), Value(i))
+		n.Insert(context.Background(), fp(i), Value(i))
 	}
 	seen := map[fingerprint.Fingerprint]Value{}
 	err := n.Entries(func(f fingerprint.Fingerprint, v Value) bool {
@@ -47,7 +48,7 @@ func TestNodeEntriesAndRemove(t *testing.T) {
 	if removed, _ := n.Remove(fp(5)); removed {
 		t.Fatal("double Remove reported true")
 	}
-	r, _ := n.Lookup(fp(5))
+	r, _ := n.Lookup(context.Background(), fp(5))
 	if r.Exists {
 		t.Fatal("removed fingerprint still found")
 	}
@@ -61,7 +62,7 @@ func TestEntriesIncludesWriteBackState(t *testing.T) {
 	}
 	defer n.Close()
 	for i := uint64(0); i < 50; i++ {
-		n.LookupOrInsert(fp(i), Value(i))
+		n.LookupOrInsert(context.Background(), fp(i), Value(i))
 	}
 	count := 0
 	if err := n.Entries(func(fingerprint.Fingerprint, Value) bool { count++; return true }); err != nil {
@@ -87,7 +88,7 @@ func TestRebalanceAfterAddNode(t *testing.T) {
 
 	const n = 3000
 	for i := uint64(0); i < n; i++ {
-		if _, err := c.LookupOrInsert(fp(i), Value(i)); err != nil {
+		if _, err := c.LookupOrInsert(context.Background(), fp(i), Value(i)); err != nil {
 			t.Fatalf("LookupOrInsert: %v", err)
 		}
 	}
@@ -96,7 +97,7 @@ func TestRebalanceAfterAddNode(t *testing.T) {
 	if err := c.AddNode(extra); err != nil {
 		t.Fatalf("AddNode: %v", err)
 	}
-	stats, err := c.Rebalance()
+	stats, err := c.Rebalance(context.Background())
 	if err != nil {
 		t.Fatalf("Rebalance: %v", err)
 	}
@@ -120,7 +121,7 @@ func TestRebalanceAfterAddNode(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Owner: %v", err)
 		}
-		r, err := byID[owner].Lookup(fp(i))
+		r, err := byID[owner].Lookup(context.Background(), fp(i))
 		if err != nil {
 			t.Fatalf("owner lookup: %v", err)
 		}
@@ -132,13 +133,13 @@ func TestRebalanceAfterAddNode(t *testing.T) {
 		}
 	}
 	// The new node actually holds entries.
-	st, _ := extra.Stats()
+	st, _ := extra.Stats(context.Background())
 	if st.StoreEntries == 0 {
 		t.Fatal("new node holds nothing after rebalance")
 	}
 	// Cluster-level dedup still intact: nothing re-inserted.
 	for i := uint64(0); i < n; i++ {
-		r, err := c.LookupOrInsert(fp(i), 999)
+		r, err := c.LookupOrInsert(context.Background(), fp(i), 999)
 		if err != nil {
 			t.Fatalf("post-rebalance LookupOrInsert: %v", err)
 		}
@@ -151,9 +152,9 @@ func TestRebalanceAfterAddNode(t *testing.T) {
 func TestRebalanceNoMovesWhenStable(t *testing.T) {
 	c := newTestCluster(t, 3, ClusterConfig{})
 	for i := uint64(0); i < 500; i++ {
-		c.LookupOrInsert(fp(i), Value(i))
+		c.LookupOrInsert(context.Background(), fp(i), Value(i))
 	}
-	stats, err := c.Rebalance()
+	stats, err := c.Rebalance(context.Background())
 	if err != nil {
 		t.Fatalf("Rebalance: %v", err)
 	}
@@ -177,14 +178,14 @@ func TestDrainNode(t *testing.T) {
 
 	const n = 2000
 	for i := uint64(0); i < n; i++ {
-		c.LookupOrInsert(fp(i), Value(i))
+		c.LookupOrInsert(context.Background(), fp(i), Value(i))
 	}
-	victimStats, _ := nodes[1].Stats()
+	victimStats, _ := nodes[1].Stats(context.Background())
 	if victimStats.StoreEntries == 0 {
 		t.Fatal("victim node empty before drain; test is vacuous")
 	}
 
-	stats, err := c.DrainNode("node-1")
+	stats, err := c.DrainNode(context.Background(), "node-1")
 	if err != nil {
 		t.Fatalf("DrainNode: %v", err)
 	}
@@ -197,7 +198,7 @@ func TestDrainNode(t *testing.T) {
 
 	// All fingerprints still dedup correctly through the smaller cluster.
 	for i := uint64(0); i < n; i++ {
-		r, err := c.LookupOrInsert(fp(i), 999)
+		r, err := c.LookupOrInsert(context.Background(), fp(i), 999)
 		if err != nil {
 			t.Fatalf("LookupOrInsert after drain: %v", err)
 		}
@@ -206,7 +207,7 @@ func TestDrainNode(t *testing.T) {
 		}
 	}
 	// The drained node is empty and can be closed by its owner.
-	drained, _ := nodes[1].Stats()
+	drained, _ := nodes[1].Stats(context.Background())
 	if drained.StoreEntries != 0 {
 		t.Fatalf("drained node still holds %d entries", drained.StoreEntries)
 	}
@@ -220,10 +221,10 @@ func TestDrainLastNodeRefused(t *testing.T) {
 		t.Fatalf("NewCluster: %v", err)
 	}
 	defer c.Close()
-	if _, err := c.DrainNode("only"); err == nil {
+	if _, err := c.DrainNode(context.Background(), "only"); err == nil {
 		t.Fatal("draining the last node succeeded")
 	}
-	if _, err := c.DrainNode("ghost"); err == nil {
+	if _, err := c.DrainNode(context.Background(), "ghost"); err == nil {
 		t.Fatal("draining an unknown node succeeded")
 	}
 }

@@ -1,6 +1,8 @@
 package hashdb
 
 import (
+	"context"
+
 	"shhc/internal/fingerprint"
 	"shhc/internal/parallel"
 )
@@ -11,8 +13,10 @@ import (
 // and to overlap page reads up to the device's internal parallelism.
 type BatchGetter interface {
 	// GetBatch looks up every fingerprint, returning values and found
-	// flags in input order. A lookup error fails the whole batch.
-	GetBatch(fps []fingerprint.Fingerprint) ([]Value, []bool, error)
+	// flags in input order. A lookup error fails the whole batch. A
+	// cancelled ctx stops the batch from issuing further device reads
+	// (reads already issued complete) and fails it with ctx.Err().
+	GetBatch(ctx context.Context, fps []fingerprint.Fingerprint) ([]Value, []bool, error)
 }
 
 var (
@@ -43,17 +47,18 @@ func groupBy(fps []fingerprint.Fingerprint, keyOf func(fingerprint.Fingerprint) 
 // to parallel.IODepth, so modeled (Sleep-mode) devices overlap reads the
 // way real flash channels do. Results are positionally aligned with fps;
 // duplicate fingerprints in the input each get the same answer at the cost
-// of no extra I/O.
-func (db *DB) GetBatch(fps []fingerprint.Fingerprint) ([]Value, []bool, error) {
+// of no extra I/O. Cancelling ctx stops new page reads between groups and
+// between chain pages.
+func (db *DB) GetBatch(ctx context.Context, fps []fingerprint.Fingerprint) ([]Value, []bool, error) {
 	vals := make([]Value, len(fps))
 	found := make([]bool, len(fps))
 	if len(fps) == 0 {
 		return vals, found, nil
 	}
 	work := groupBy(fps, db.bucketPage)
-	err := parallel.Do(len(work), parallel.IODepth, func(w int) error {
+	err := parallel.Do(ctx, len(work), parallel.IODepth, func(w int) error {
 		idxs := work[w]
-		return db.getChain(db.bucketPage(fps[idxs[0]]), idxs, fps, vals, found)
+		return db.getChain(ctx, db.bucketPage(fps[idxs[0]]), idxs, fps, vals, found)
 	})
 	if err != nil {
 		return nil, nil, err
@@ -64,17 +69,23 @@ func (db *DB) GetBatch(fps []fingerprint.Fingerprint) ([]Value, []bool, error) {
 // getChain walks one bucket chain, resolving every probe index in idxs.
 // Each chain page is read exactly once and scanned for all still-missing
 // fingerprints of the group.
-func (db *DB) getChain(bucket uint64, idxs []int, fps []fingerprint.Fingerprint, vals []Value, found []bool) error {
+func (db *DB) getChain(ctx context.Context, bucket uint64, idxs []int, fps []fingerprint.Fingerprint, vals []Value, found []bool) error {
 	st := &db.stripes[(bucket-1)&db.stripeMask]
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	if db.closed {
 		return ErrClosed
 	}
+	done := ctx.Done()
 	page := getPage()
 	defer putPage(page)
 	remaining := len(idxs)
 	for p := bucket; p != 0 && remaining > 0; {
+		if done != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		if err := db.readPage(p, page); err != nil {
 			return err
 		}
@@ -99,7 +110,8 @@ func (db *DB) getChain(bucket uint64, idxs []int, fps []fingerprint.Fingerprint,
 // parallel.IODepth so a MemStore charged to a Sleep-mode device exposes
 // the same device parallelism as the on-disk table — this is what keeps
 // MemStore an honest stand-in for the SSD hash table in simulations.
-func (s *MemStore) GetBatch(fps []fingerprint.Fingerprint) ([]Value, []bool, error) {
+// Cancelling ctx stops new device reads between probes.
+func (s *MemStore) GetBatch(ctx context.Context, fps []fingerprint.Fingerprint) ([]Value, []bool, error) {
 	vals := make([]Value, len(fps))
 	found := make([]bool, len(fps))
 	if len(fps) == 0 {
@@ -108,7 +120,8 @@ func (s *MemStore) GetBatch(fps []fingerprint.Fingerprint) ([]Value, []bool, err
 	work := groupBy(fps, func(fp fingerprint.Fingerprint) uint64 {
 		return fp.Bucket64() & (memShards - 1)
 	})
-	err := parallel.Do(len(work), parallel.IODepth, func(w int) error {
+	done := ctx.Done()
+	err := parallel.Do(ctx, len(work), parallel.IODepth, func(w int) error {
 		idxs := work[w]
 		sh := s.shard(fps[idxs[0]])
 		sh.mu.RLock()
@@ -117,6 +130,11 @@ func (s *MemStore) GetBatch(fps []fingerprint.Fingerprint) ([]Value, []bool, err
 			return ErrClosed
 		}
 		for _, idx := range idxs {
+			if done != nil {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			s.dev.Read(entrySize)
 			v, ok := sh.m[fps[idx]]
 			vals[idx] = v

@@ -1,6 +1,7 @@
 package hashdb
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -33,7 +34,7 @@ func TestGetBatchMatchesGet(t *testing.T) {
 	}
 	fps = append(fps, fps[:100]...)
 
-	vals, found, err := db.GetBatch(fps)
+	vals, found, err := db.GetBatch(context.Background(), fps)
 	if err != nil {
 		t.Fatalf("GetBatch: %v", err)
 	}
@@ -72,7 +73,7 @@ func TestGetBatchCoalescesPageReads(t *testing.T) {
 	}
 
 	before := dev.Stats().Reads
-	_, found, err := db.GetBatch(fps)
+	_, found, err := db.GetBatch(context.Background(), fps)
 	if err != nil {
 		t.Fatalf("GetBatch: %v", err)
 	}
@@ -107,13 +108,13 @@ func TestGetBatchEmptyAndClosed(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Create: %v", err)
 	}
-	if _, _, err := db.GetBatch(nil); err != nil {
+	if _, _, err := db.GetBatch(context.Background(), nil); err != nil {
 		t.Fatalf("GetBatch(nil): %v", err)
 	}
 	if err := db.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
-	if _, _, err := db.GetBatch([]fingerprint.Fingerprint{fingerprint.FromUint64(1)}); err == nil {
+	if _, _, err := db.GetBatch(context.Background(), []fingerprint.Fingerprint{fingerprint.FromUint64(1)}); err == nil {
 		t.Fatal("GetBatch on closed DB succeeded")
 	}
 }
@@ -131,7 +132,7 @@ func TestMemStoreGetBatch(t *testing.T) {
 	for i := range fps {
 		fps[i] = fingerprint.FromUint64(uint64(i))
 	}
-	vals, found, err := s.GetBatch(fps)
+	vals, found, err := s.GetBatch(context.Background(), fps)
 	if err != nil {
 		t.Fatalf("GetBatch: %v", err)
 	}

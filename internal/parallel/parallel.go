@@ -2,7 +2,10 @@
 // to overlap independent I/O operations.
 package parallel
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // IODepth is the default bound on how many storage operations one batch
 // overlaps. Modeled after SATA NCQ / flash-channel queue depth: enough to
@@ -12,13 +15,22 @@ const IODepth = 16
 
 // Do runs fn(0..count-1) across at most `workers` goroutines, returning
 // the first error. Remaining work is abandoned after an error (workers
-// finish their current item and stop pulling).
-func Do(count, workers int, fn func(int) error) error {
+// finish their current item and stop pulling). A cancelled ctx likewise
+// stops workers from pulling new items — an operation already issued runs
+// to completion (device I/O cannot be revoked), but no further items start
+// — and Do returns ctx.Err() if cancellation left work undone.
+func Do(ctx context.Context, count, workers int, fn func(int) error) error {
 	if workers > count {
 		workers = count
 	}
+	done := ctx.Done()
 	if workers <= 1 {
 		for i := 0; i < count; i++ {
+			if done != nil {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -32,6 +44,13 @@ func Do(count, workers int, fn func(int) error) error {
 		errMu    sync.Mutex
 		firstErr error
 	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
 	failed := func() bool {
 		errMu.Lock()
 		defer errMu.Unlock()
@@ -42,6 +61,12 @@ func Do(count, workers int, fn func(int) error) error {
 		go func() {
 			defer wg.Done()
 			for {
+				if done != nil {
+					if err := ctx.Err(); err != nil {
+						fail(err)
+						return
+					}
+				}
 				nextMu.Lock()
 				if next >= count {
 					nextMu.Unlock()
@@ -54,11 +79,7 @@ func Do(count, workers int, fn func(int) error) error {
 					return
 				}
 				if err := fn(i); err != nil {
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					errMu.Unlock()
+					fail(err)
 					return
 				}
 			}

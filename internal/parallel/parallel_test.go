@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -10,7 +11,7 @@ func TestDoRunsEveryIndexOnce(t *testing.T) {
 	for _, workers := range []int{1, 4, 16, 100} {
 		const count = 500
 		var seen [count]atomic.Int32
-		if err := Do(count, workers, func(i int) error {
+		if err := Do(context.Background(), count, workers, func(i int) error {
 			seen[i].Add(1)
 			return nil
 		}); err != nil {
@@ -27,7 +28,7 @@ func TestDoRunsEveryIndexOnce(t *testing.T) {
 func TestDoReturnsFirstError(t *testing.T) {
 	boom := errors.New("boom")
 	var ran atomic.Int64
-	err := Do(1000, 8, func(i int) error {
+	err := Do(context.Background(), 1000, 8, func(i int) error {
 		ran.Add(1)
 		if i == 3 {
 			return boom
@@ -43,7 +44,7 @@ func TestDoReturnsFirstError(t *testing.T) {
 }
 
 func TestDoZeroCount(t *testing.T) {
-	if err := Do(0, 8, func(int) error { return errors.New("never") }); err != nil {
+	if err := Do(context.Background(), 0, 8, func(int) error { return errors.New("never") }); err != nil {
 		t.Fatalf("Do(0): %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -42,7 +43,7 @@ func BenchmarkRPCSingleLookup(b *testing.B) {
 	client := benchClient(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := client.LookupOrInsert(fp(uint64(i)), core.Value(i)); err != nil {
+		if _, err := client.LookupOrInsert(context.Background(), fp(uint64(i)), core.Value(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -58,7 +59,7 @@ func BenchmarkRPCBatch(b *testing.B) {
 				for j := range pairs {
 					pairs[j] = core.Pair{FP: fp(uint64(i*size + j)), Val: core.Value(j)}
 				}
-				if _, err := client.BatchLookupOrInsert(pairs); err != nil {
+				if _, err := client.BatchLookupOrInsert(context.Background(), pairs); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -73,7 +74,7 @@ func BenchmarkRPCPipelinedClients(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0
 		for pb.Next() {
-			if _, err := client.LookupOrInsert(fp(uint64(i)), 1); err != nil {
+			if _, err := client.LookupOrInsert(context.Background(), fp(uint64(i)), 1); err != nil {
 				b.Fatal(err)
 			}
 			i++

@@ -1,0 +1,311 @@
+package rpc
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"shhc/internal/core"
+	"shhc/internal/device"
+	"shhc/internal/fingerprint"
+	"shhc/internal/hashdb"
+	"shhc/internal/ring"
+	"shhc/internal/wire"
+)
+
+// startSleepyNode serves a node whose store sleeps readBase per probe —
+// a modeled slow device with real (wall-clock) latency.
+func startSleepyNode(t *testing.T, id ring.NodeID, readBase time.Duration, cfg ClientConfig) (*core.Node, *Client) {
+	t.Helper()
+	dev := device.New(device.Model{Name: "sleepy", ReadBase: readBase, WriteBase: readBase}, device.Sleep)
+	node, err := core.NewNode(core.NodeConfig{
+		ID:           id,
+		Store:        hashdb.NewMemStore(dev),
+		CacheSize:    0,
+		DisableBloom: true,
+	})
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	srv := NewServer(node, ServerConfig{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	client, err := Dial(id, addr.String(), cfg)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() {
+		client.Close()
+		srv.Close()
+		node.Close()
+	})
+	return node, client
+}
+
+// TestDeadlineBoundsSleepingRemoteLookup is the acceptance check: a
+// context deadline on the client demonstrably bounds a remote lookup that
+// is stuck behind a sleeping device, and the failure is
+// context.DeadlineExceeded — not a generic wire error.
+func TestDeadlineBoundsSleepingRemoteLookup(t *testing.T) {
+	_, client := startSleepyNode(t, "sleepy", 300*time.Millisecond, ClientConfig{Timeout: 30 * time.Second})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := client.Lookup(ctx, fp(1))
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadlined remote lookup = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed >= 300*time.Millisecond {
+		t.Fatalf("deadlined lookup took %v — the 25ms deadline did not bound the 300ms device", elapsed)
+	}
+}
+
+// TestDeadlineExpiredBeforeSendShortCircuits: a context already expired
+// never touches the wire.
+func TestDeadlineExpiredBeforeSendShortCircuits(t *testing.T) {
+	_, client := startNode(t, "n1")
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := client.Lookup(ctx, fp(1)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired-context lookup = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// blockingBackend blocks Lookup until its context is done, recording that
+// the server-side cancellation actually reached the handler.
+type blockingBackend struct {
+	core.Backend
+	cancelled atomic.Int64
+}
+
+func (b *blockingBackend) Lookup(ctx context.Context, p fingerprint.Fingerprint) (core.LookupResult, error) {
+	<-ctx.Done()
+	b.cancelled.Add(1)
+	return core.LookupResult{}, ctx.Err()
+}
+
+// TestCancelFrameStopsServerWork: cancelling the client context makes the
+// client return immediately AND propagates a CANCEL frame that unblocks
+// the server-side handler.
+func TestCancelFrameStopsServerWork(t *testing.T) {
+	node, err := core.NewNode(core.NodeConfig{ID: "n1", Store: hashdb.NewMemStore(nil)})
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	bb := &blockingBackend{Backend: node}
+	srv := NewServer(bb, ServerConfig{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	client, err := Dial("n1", addr.String(), ClientConfig{Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer func() {
+		client.Close()
+		srv.Close()
+		node.Close()
+	}()
+	if v := client.Version(); v < wire.Version1 {
+		t.Fatalf("negotiated version %d, want >= 1", v)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.Lookup(ctx, fp(9))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the request reach the blocked handler
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled remote lookup = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled client call did not return")
+	}
+	// The CANCEL frame must unblock the server handler.
+	deadline := time.Now().Add(2 * time.Second)
+	for bb.cancelled.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server handler never observed the cancellation")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDeadlineRidesWireToServer: the server derives its handler context
+// from the frame's deadline — even with no client-side waiting involved,
+// a request whose deadline lapses server-side answers with the context
+// error. Uses a raw version-1 conn so the client-side select cannot be
+// the one enforcing the deadline.
+func TestDeadlineRidesWireToServer(t *testing.T) {
+	node, err := core.NewNode(core.NodeConfig{ID: "n1", Store: hashdb.NewMemStore(nil)})
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	bb := &blockingBackend{Backend: node}
+	srv := NewServer(bb, ServerConfig{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer func() {
+		srv.Close()
+		node.Close()
+	}()
+
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	bw := bufio.NewWriter(conn)
+	br := bufio.NewReader(conn)
+
+	// Handshake.
+	if err := wire.WriteFrame(bw, wire.Frame{Type: wire.TypeHello, ID: 1, Payload: wire.EncodeHello(wire.MaxVersion)}); err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	bw.Flush()
+	ack, err := wire.ReadFrame(br)
+	if err != nil || ack.Type != wire.TypeHelloAck {
+		t.Fatalf("hello ack = %+v, %v", ack, err)
+	}
+
+	// A lookup with a 30ms budget; the blocked handler can only be
+	// released by that server-side derived deadline.
+	if err := wire.WriteFrameV(bw, wire.Frame{Type: wire.TypeLookup, ID: 2, Timeout: 30 * time.Millisecond, Payload: wire.EncodeFP(fp(3))}, wire.Version1); err != nil {
+		t.Fatalf("lookup frame: %v", err)
+	}
+	bw.Flush()
+	resp, err := wire.ReadFrameV(br, wire.Version1)
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	if resp.Type != wire.TypeError {
+		t.Fatalf("response type = %v, want error", resp.Type)
+	}
+	msg, err := wire.DecodeError(resp.Payload)
+	if err != nil {
+		t.Fatalf("decode error payload: %v", err)
+	}
+	if want := context.DeadlineExceeded.Error(); !strings.Contains(msg, want) {
+		t.Fatalf("server error %q does not carry %q", msg, want)
+	}
+	if bb.cancelled.Load() != 1 {
+		t.Fatalf("handler cancelled %d times, want 1", bb.cancelled.Load())
+	}
+}
+
+// TestDeadlineErrorMapsAcrossWire: a ServerError carrying the canonical
+// deadline string unwraps to context.DeadlineExceeded on the client.
+func TestDeadlineErrorMapsAcrossWire(t *testing.T) {
+	err := newServerError("core: node n1: lookup: context deadline exceeded")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("mapped server error %v does not unwrap to DeadlineExceeded", err)
+	}
+	err = newServerError("context canceled")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mapped server error %v does not unwrap to Canceled", err)
+	}
+	err = newServerError("disk on fire")
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("generic server error %v wrongly unwraps to a context error", err)
+	}
+}
+
+// TestCancelVersion0PeerInterop: a version-0 peer — speaking the original
+// frame layout with no Hello — still works against the new server, and
+// the new client falls back to version 0 against a server that rejects
+// Hello the way the old implementation did.
+func TestCancelVersion0PeerInterop(t *testing.T) {
+	// Old client, new server: raw v0 frames straight onto the socket.
+	node, client := startNode(t, "n1")
+	addrClient, err := net.Dial("tcp", client.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer addrClient.Close()
+	bw := bufio.NewWriter(addrClient)
+	br := bufio.NewReader(addrClient)
+	if err := wire.WriteFrame(bw, wire.Frame{Type: wire.TypeLookupOrInsert, ID: 7, Payload: wire.EncodePair(wire.PairPayload{FP: fp(77), Val: 5})}); err != nil {
+		t.Fatalf("v0 frame: %v", err)
+	}
+	bw.Flush()
+	resp, err := wire.ReadFrame(br)
+	if err != nil {
+		t.Fatalf("v0 read: %v", err)
+	}
+	if resp.Type != wire.TypeResult || resp.ID != 7 {
+		t.Fatalf("v0 response = %+v, want result id=7", resp)
+	}
+	r, err := wire.DecodeResult(resp.Payload)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if r.Exists {
+		t.Fatal("first insert of fp(77) reported duplicate")
+	}
+	if _, err := node.Lookup(context.Background(), fp(77)); err != nil {
+		t.Fatalf("node lookup after v0 insert: %v", err)
+	}
+
+	// New client, old server: a fake listener that answers Hello with
+	// TypeError (exactly what the old handle() did for unknown types),
+	// then serves one v0 ping.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		cbr := bufio.NewReader(conn)
+		cbw := bufio.NewWriter(conn)
+		for {
+			f, err := wire.ReadFrame(cbr)
+			if err != nil {
+				return
+			}
+			var out wire.Frame
+			switch f.Type {
+			case wire.TypePing:
+				out = wire.Frame{Type: wire.TypePong, ID: f.ID}
+			default:
+				out = wire.Frame{Type: wire.TypeError, ID: f.ID, Payload: wire.EncodeError("rpc: unsupported request type " + f.Type.String())}
+			}
+			if err := wire.WriteFrame(cbw, out); err != nil {
+				return
+			}
+			cbw.Flush()
+		}
+	}()
+	oldPeer, err := Dial("old", ln.Addr().String(), ClientConfig{Conns: 1, Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatalf("Dial old peer: %v", err)
+	}
+	defer oldPeer.Close()
+	if v := oldPeer.Version(); v != wire.Version0 {
+		t.Fatalf("negotiated version with old peer = %d, want 0", v)
+	}
+	if err := oldPeer.Ping(context.Background()); err != nil {
+		t.Fatalf("Ping old peer: %v", err)
+	}
+}

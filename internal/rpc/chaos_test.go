@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -48,7 +49,7 @@ func TestServerDeathMidFlight(t *testing.T) {
 			defer wg.Done()
 			<-start
 			for i := 0; i < 100; i++ {
-				_, err := client.LookupOrInsert(fp(uint64(g*1000+i)), 1)
+				_, err := client.LookupOrInsert(context.Background(), fp(uint64(g*1000+i)), 1)
 				if err != nil {
 					returned.Add(1)
 					return
@@ -77,7 +78,7 @@ func TestServerDeathMidFlight(t *testing.T) {
 	defer srv2.Close()
 	var pingErr error
 	for attempt := 0; attempt < 10; attempt++ {
-		if pingErr = client.Ping(); pingErr == nil {
+		if pingErr = client.Ping(context.Background()); pingErr == nil {
 			break
 		}
 		time.Sleep(50 * time.Millisecond)
@@ -119,13 +120,13 @@ func TestPipelinedResponsesInterleave(t *testing.T) {
 		for i := range pairs {
 			pairs[i] = core.Pair{FP: fp(uint64(i)), Val: 1}
 		}
-		_, err := client.BatchLookupOrInsert(pairs)
+		_, err := client.BatchLookupOrInsert(context.Background(), pairs)
 		bigDone <- err
 	}()
 	time.Sleep(time.Millisecond)
 
 	pingStart := time.Now()
-	if err := client.Ping(); err != nil {
+	if err := client.Ping(context.Background()); err != nil {
 		t.Fatalf("Ping during batch: %v", err)
 	}
 	pingLatency := time.Since(pingStart)

@@ -2,9 +2,11 @@ package rpc
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,19 +23,44 @@ func ringNodeID(s string) ring.NodeID { return ring.NodeID(s) }
 var ErrClientClosed = errors.New("rpc: client is closed")
 
 // ServerError is a failure reported by the remote node (as opposed to a
-// transport failure).
-type ServerError struct{ Msg string }
+// transport failure). When the remote failure was a context cancellation
+// or deadline on the server side, Unwrap exposes the matching context
+// error so errors.Is(err, context.DeadlineExceeded) holds across the wire.
+type ServerError struct {
+	Msg   string
+	cause error
+}
 
 func (e *ServerError) Error() string { return "rpc: server: " + e.Msg }
+
+// Unwrap exposes the underlying context error, if the server's failure
+// was one.
+func (e *ServerError) Unwrap() error { return e.cause }
+
+// newServerError classifies a server-reported message, recovering context
+// errors from their canonical strings (stable since Go 1.0, and the only
+// representation a version-0 peer can send).
+func newServerError(msg string) *ServerError {
+	e := &ServerError{Msg: msg}
+	switch {
+	case strings.Contains(msg, context.DeadlineExceeded.Error()):
+		e.cause = context.DeadlineExceeded
+	case strings.Contains(msg, context.Canceled.Error()):
+		e.cause = context.Canceled
+	}
+	return e
+}
 
 // ClientConfig configures a Client.
 type ClientConfig struct {
 	// Conns is the connection pool size; requests round-robin across it.
 	// Default 2 (one per direction of the paper's two client machines).
 	Conns int
-	// DialTimeout bounds connection establishment. Default 5s.
+	// DialTimeout bounds connection establishment (including the version
+	// handshake). Default 5s.
 	DialTimeout time.Duration
-	// Timeout bounds each request round-trip. Default 30s.
+	// Timeout bounds each request round-trip when the caller's context
+	// carries no earlier deadline. Default 30s.
 	Timeout time.Duration
 }
 
@@ -52,6 +79,13 @@ func (c *ClientConfig) fill() {
 // Client is a connection-pooled, pipelining client for one hash node.
 // It implements core.Backend so a core.Cluster can route to remote nodes
 // exactly as it routes to in-process ones.
+//
+// Every operation takes a context: its deadline travels to the server in
+// the request frame (protocol version 1), and cancelling it both returns
+// promptly on the client and sends a CANCEL frame so the server stops
+// working on the abandoned request. Against a version-0 server the
+// deadline and cancellation are still enforced client-side; only the
+// server keeps working until its own timeout.
 type Client struct {
 	id   ring.NodeID
 	addr string
@@ -65,7 +99,8 @@ type Client struct {
 
 var _ core.Backend = (*Client)(nil)
 
-// Dial connects to a hash node server.
+// Dial connects to a hash node server and negotiates the protocol
+// version.
 func Dial(id ring.NodeID, addr string, cfg ClientConfig) (*Client, error) {
 	cfg.fill()
 	c := &Client{id: id, addr: addr, cfg: cfg, conns: make([]*clientConn, cfg.Conns)}
@@ -85,6 +120,19 @@ func (c *Client) ID() ring.NodeID { return c.id }
 // Addr returns the remote address.
 func (c *Client) Addr() string { return c.addr }
 
+// Version reports the protocol version negotiated with the server
+// (the first pooled connection's; all connections negotiate alike).
+func (c *Client) Version() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, cc := range c.conns {
+		if cc != nil {
+			return cc.version
+		}
+	}
+	return wire.Version0
+}
+
 func (c *Client) dialConn() (*clientConn, error) {
 	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
 	if err != nil {
@@ -98,41 +146,129 @@ func (c *Client) dialConn() (*clientConn, error) {
 		bw:      bufio.NewWriterSize(conn, 64<<10),
 		pending: make(map[uint64]*pendingCall),
 	}
+	version, err := negotiate(conn, cc.bw, c.cfg.DialTimeout)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	cc.version = version
 	go cc.readLoop()
 	return cc, nil
 }
 
+// negotiate performs the client side of the version handshake on a fresh
+// connection, before the read loop starts: send Hello (version-0 layout),
+// read one frame back. HelloAck carries the negotiated version; TypeError
+// means the peer is a version-0 server that rejected the unknown frame
+// type — fully supported, just no deadlines or cancels on the wire.
+func negotiate(conn net.Conn, bw *bufio.Writer, timeout time.Duration) (int, error) {
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return 0, fmt.Errorf("rpc: handshake: %w", err)
+	}
+	defer conn.SetDeadline(time.Time{})
+	err := wire.WriteFrame(bw, wire.Frame{Type: wire.TypeHello, Payload: wire.EncodeHello(wire.MaxVersion)})
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err != nil {
+		return 0, fmt.Errorf("rpc: handshake send: %w", err)
+	}
+	// Read straight off the conn: a buffered reader here could slurp
+	// bytes that belong to the read loop's own reader.
+	resp, err := wire.ReadFrame(conn)
+	if err != nil {
+		return 0, fmt.Errorf("rpc: handshake read: %w", err)
+	}
+	switch resp.Type {
+	case wire.TypeHelloAck:
+		v, err := wire.DecodeHello(resp.Payload)
+		if err != nil {
+			return 0, fmt.Errorf("rpc: handshake: %w", err)
+		}
+		if v > wire.MaxVersion {
+			return 0, fmt.Errorf("rpc: handshake: server negotiated unsupported version %d", v)
+		}
+		return v, nil
+	case wire.TypeError:
+		// A version-0 server rejects the Hello frame type; fall back.
+		return wire.Version0, nil
+	default:
+		return 0, fmt.Errorf("rpc: handshake: unexpected %v response", resp.Type)
+	}
+}
+
 // pick returns a live pooled connection, redialing dead slots lazily.
+// The dial (TCP connect + version handshake, up to DialTimeout) runs
+// OUTSIDE c.mu: one dead slot must not stall callers that round-robin
+// onto healthy connections.
 func (c *Client) pick() (*clientConn, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil, ErrClientClosed
 	}
 	idx := int(c.next % uint64(len(c.conns)))
 	c.next++
 	cc := c.conns[idx]
-	if cc == nil || cc.isDead() {
-		fresh, err := c.dialConn()
-		if err != nil {
-			return nil, err
-		}
-		if cc != nil {
-			cc.shutdown(errors.New("rpc: connection replaced"))
-		}
-		c.conns[idx] = fresh
-		cc = fresh
+	c.mu.Unlock()
+	if cc != nil && !cc.isDead() {
+		return cc, nil
 	}
-	return cc, nil
+
+	fresh, err := c.dialConn()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		fresh.shutdown(ErrClientClosed)
+		return nil, ErrClientClosed
+	}
+	if cur := c.conns[idx]; cur != nil && cur != cc && !cur.isDead() {
+		// Another caller already repaired this slot while we dialed; use
+		// the established connection and drop ours.
+		c.mu.Unlock()
+		fresh.shutdown(errors.New("rpc: redundant redial"))
+		return cur, nil
+	} else if cur != nil {
+		cur.shutdown(errors.New("rpc: connection replaced"))
+	}
+	c.conns[idx] = fresh
+	c.mu.Unlock()
+	return fresh, nil
 }
 
-// call performs one round-trip.
-func (c *Client) call(reqType wire.Type, payload []byte) (wire.Frame, error) {
+// timeoutFor merges the context deadline with the configured per-request
+// timeout, returning the relative time budget to put on the wire: the
+// smaller of the context's remaining time and cfg.Timeout. Relative, not
+// absolute, so clock skew between client and server cannot distort it.
+// An already-expired context yields a negative budget, which the server
+// treats as expired — callers short-circuit on ctx.Err() first anyway.
+func (c *Client) timeoutFor(ctx context.Context) time.Duration {
+	t := c.cfg.Timeout
+	if dl, ok := ctx.Deadline(); ok {
+		if remaining := time.Until(dl); remaining < t {
+			t = remaining
+		}
+	}
+	return t
+}
+
+// call performs one round-trip under ctx.
+func (c *Client) call(ctx context.Context, reqType wire.Type, payload []byte) (wire.Frame, error) {
+	if err := ctx.Err(); err != nil {
+		return wire.Frame{}, err
+	}
 	cc, err := c.pick()
 	if err != nil {
 		return wire.Frame{}, err
 	}
-	resp, err := cc.roundTrip(reqType, payload, c.cfg.Timeout)
+	pc, err := cc.start(reqType, payload, c.timeoutFor(ctx))
+	if err != nil {
+		return wire.Frame{}, err
+	}
+	resp, err := pc.wait(ctx, c.cfg.Timeout)
 	if err != nil {
 		return wire.Frame{}, err
 	}
@@ -141,14 +277,14 @@ func (c *Client) call(reqType wire.Type, payload []byte) (wire.Frame, error) {
 		if derr != nil {
 			msg = "undecodable server error"
 		}
-		return wire.Frame{}, &ServerError{Msg: msg}
+		return wire.Frame{}, newServerError(msg)
 	}
 	return resp, nil
 }
 
 // Ping checks liveness of the remote node.
-func (c *Client) Ping() error {
-	resp, err := c.call(wire.TypePing, nil)
+func (c *Client) Ping(ctx context.Context) error {
+	resp, err := c.call(ctx, wire.TypePing, nil)
 	if err != nil {
 		return err
 	}
@@ -159,8 +295,8 @@ func (c *Client) Ping() error {
 }
 
 // Lookup asks the remote node whether fp exists, without inserting.
-func (c *Client) Lookup(fp fingerprint.Fingerprint) (core.LookupResult, error) {
-	resp, err := c.call(wire.TypeLookup, wire.EncodeFP(fp))
+func (c *Client) Lookup(ctx context.Context, fp fingerprint.Fingerprint) (core.LookupResult, error) {
+	resp, err := c.call(ctx, wire.TypeLookup, wire.EncodeFP(fp))
 	if err != nil {
 		return core.LookupResult{}, err
 	}
@@ -172,8 +308,8 @@ func (c *Client) Lookup(fp fingerprint.Fingerprint) (core.LookupResult, error) {
 }
 
 // LookupOrInsert runs the Figure 4 flow on the remote node.
-func (c *Client) LookupOrInsert(fp fingerprint.Fingerprint, val core.Value) (core.LookupResult, error) {
-	resp, err := c.call(wire.TypeLookupOrInsert, wire.EncodePair(wire.PairPayload{FP: fp, Val: uint64(val)}))
+func (c *Client) LookupOrInsert(ctx context.Context, fp fingerprint.Fingerprint, val core.Value) (core.LookupResult, error) {
+	resp, err := c.call(ctx, wire.TypeLookupOrInsert, wire.EncodePair(wire.PairPayload{FP: fp, Val: uint64(val)}))
 	if err != nil {
 		return core.LookupResult{}, err
 	}
@@ -185,22 +321,24 @@ func (c *Client) LookupOrInsert(fp fingerprint.Fingerprint, val core.Value) (cor
 }
 
 // Insert unconditionally records fp -> val on the remote node.
-func (c *Client) Insert(fp fingerprint.Fingerprint, val core.Value) error {
-	_, err := c.call(wire.TypeInsert, wire.EncodePair(wire.PairPayload{FP: fp, Val: uint64(val)}))
+func (c *Client) Insert(ctx context.Context, fp fingerprint.Fingerprint, val core.Value) error {
+	_, err := c.call(ctx, wire.TypeInsert, wire.EncodePair(wire.PairPayload{FP: fp, Val: uint64(val)}))
 	return err
 }
 
 // BatchLookupOrInsert sends one batch frame and decodes the ordered
 // results — the unit of the paper's batch-mode experiments.
-func (c *Client) BatchLookupOrInsert(pairs []core.Pair) ([]core.LookupResult, error) {
-	return c.GoBatchLookupOrInsert(pairs).Results()
+func (c *Client) BatchLookupOrInsert(ctx context.Context, pairs []core.Pair) ([]core.LookupResult, error) {
+	return c.GoBatchLookupOrInsert(ctx, pairs).Results()
 }
 
 // BatchCall is an in-flight batch request: a future for the pipelined
 // protocol. Results blocks until the response frame arrives (or the
-// request times out); Done exposes completion for select loops.
+// request's context is cancelled or it times out); Done exposes
+// completion for select loops.
 type BatchCall struct {
 	n       int
+	ctx     context.Context
 	pc      *pendingCall
 	timeout time.Duration
 	err     error // pre-flight failure (dial, encode, send)
@@ -215,19 +353,25 @@ type BatchCall struct {
 // responses return as they complete), a caller can keep many batches in
 // flight on one connection and a batch stalled on a remote node's SSD
 // phase does not block the batches behind it — the wire analogue of the
-// node's asynchronous lookup pipeline.
-func (c *Client) GoBatchLookupOrInsert(pairs []core.Pair) *BatchCall {
+// node's asynchronous lookup pipeline. The context governs the whole
+// call: its deadline rides in the request frame and cancelling it
+// abandons the future (a CANCEL frame tells the server to stop).
+func (c *Client) GoBatchLookupOrInsert(ctx context.Context, pairs []core.Pair) *BatchCall {
 	wirePairs := make([]wire.PairPayload, len(pairs))
 	for i, p := range pairs {
 		wirePairs[i] = wire.PairPayload{FP: p.FP, Val: uint64(p.Val)}
 	}
-	call := &BatchCall{n: len(pairs), timeout: c.cfg.Timeout}
+	call := &BatchCall{n: len(pairs), ctx: ctx, timeout: c.cfg.Timeout}
+	if err := ctx.Err(); err != nil {
+		call.err = err
+		return call
+	}
 	cc, err := c.pick()
 	if err != nil {
 		call.err = err
 		return call
 	}
-	pc, err := cc.start(wire.TypeBatch, wire.EncodeBatch(wirePairs))
+	pc, err := cc.start(wire.TypeBatch, wire.EncodeBatch(wirePairs), c.timeoutFor(ctx))
 	if err != nil {
 		call.err = err
 		return call
@@ -239,6 +383,8 @@ func (c *Client) GoBatchLookupOrInsert(pairs []core.Pair) *BatchCall {
 // Done returns a channel closed when the response (or a connection
 // failure) is available; Results will not block after it is closed. A
 // call that failed before sending returns an already-closed channel.
+// Cancellation of the call's context is not reflected here — select on
+// ctx.Done() alongside Done when waiting for either.
 func (b *BatchCall) Done() <-chan struct{} {
 	if b.pc == nil {
 		closed := make(chan struct{})
@@ -260,7 +406,7 @@ func (b *BatchCall) wait() {
 		b.resErr = b.err
 		return
 	}
-	resp, err := b.pc.wait(b.timeout)
+	resp, err := b.pc.wait(b.ctx, b.timeout)
 	if err != nil {
 		b.resErr = err
 		return
@@ -270,7 +416,7 @@ func (b *BatchCall) wait() {
 		if derr != nil {
 			msg = "undecodable server error"
 		}
-		b.resErr = &ServerError{Msg: msg}
+		b.resErr = newServerError(msg)
 		return
 	}
 	rs, err := wire.DecodeBatchResult(resp.Payload)
@@ -290,8 +436,8 @@ func (b *BatchCall) wait() {
 }
 
 // Stats fetches the remote node's counters.
-func (c *Client) Stats() (core.NodeStats, error) {
-	resp, err := c.call(wire.TypeStats, nil)
+func (c *Client) Stats(ctx context.Context) (core.NodeStats, error) {
+	resp, err := c.call(ctx, wire.TypeStats, nil)
 	if err != nil {
 		return core.NodeStats{}, err
 	}
@@ -320,7 +466,8 @@ func (c *Client) Close() error {
 
 // clientConn is one pipelined connection with an id-keyed pending table.
 type clientConn struct {
-	conn net.Conn
+	conn    net.Conn
+	version int // negotiated protocol version, fixed after the handshake
 
 	writeMu sync.Mutex
 	bw      *bufio.Writer
@@ -337,7 +484,7 @@ type clientConn struct {
 // pendingCall is one request awaiting its response frame. Ownership
 // discipline: whichever party removes the call from the connection's
 // pending table — the read loop (response arrived), shutdown (connection
-// died), or the caller's timeout — settles it, exactly once.
+// died), or the caller's timeout/cancellation — settles it, exactly once.
 type pendingCall struct {
 	cc      *clientConn
 	reqType wire.Type
@@ -375,7 +522,7 @@ func (cc *clientConn) shutdown(err error) {
 func (cc *clientConn) readLoop() {
 	br := bufio.NewReaderSize(cc.conn, 64<<10)
 	for {
-		frame, err := wire.ReadFrame(br)
+		frame, err := wire.ReadFrameV(br, cc.version)
 		if err != nil {
 			cc.shutdown(fmt.Errorf("rpc: connection lost: %w", err))
 			return
@@ -395,8 +542,9 @@ func (cc *clientConn) readLoop() {
 
 // start registers a call and writes its request frame, returning without
 // waiting for the response — this is what pipelines multiple requests onto
-// one connection.
-func (cc *clientConn) start(reqType wire.Type, payload []byte) (*pendingCall, error) {
+// one connection. timeout (relative, 0 = none) rides in the frame on
+// version >= 1 connections.
+func (cc *clientConn) start(reqType wire.Type, payload []byte, timeout time.Duration) (*pendingCall, error) {
 	cc.mu.Lock()
 	if cc.dead {
 		err := cc.deadErr
@@ -415,7 +563,7 @@ func (cc *clientConn) start(reqType wire.Type, payload []byte) (*pendingCall, er
 	cc.mu.Unlock()
 
 	cc.writeMu.Lock()
-	err := wire.WriteFrame(cc.bw, wire.Frame{Type: reqType, ID: id, Payload: payload})
+	err := wire.WriteFrameV(cc.bw, wire.Frame{Type: reqType, ID: id, Timeout: timeout, Payload: payload}, cc.version)
 	if err == nil {
 		err = cc.bw.Flush()
 	}
@@ -427,8 +575,41 @@ func (cc *clientConn) start(reqType wire.Type, payload []byte) (*pendingCall, er
 	return pc, nil
 }
 
-// wait blocks for the call's response.
-func (pc *pendingCall) wait(timeout time.Duration) (wire.Frame, error) {
+// sendCancel tells the server to abandon the request (protocol >= 1;
+// best-effort — a failure only means the server works a little longer).
+func (cc *clientConn) sendCancel(id uint64) {
+	if cc.version < wire.Version1 || cc.isDead() {
+		return
+	}
+	cc.writeMu.Lock()
+	err := wire.WriteFrameV(cc.bw, wire.Frame{Type: wire.TypeCancel, ID: id}, cc.version)
+	if err == nil {
+		err = cc.bw.Flush()
+	}
+	cc.writeMu.Unlock()
+	if err != nil {
+		cc.shutdown(fmt.Errorf("rpc: send cancel: %w", err))
+	}
+}
+
+// abandon removes the call from the pending table (if still owned) and
+// settles it. Returns true when this caller won the removal race.
+func (pc *pendingCall) abandon() bool {
+	pc.cc.mu.Lock()
+	_, owned := pc.cc.pending[pc.id]
+	if owned {
+		delete(pc.cc.pending, pc.id)
+	}
+	pc.cc.mu.Unlock()
+	if owned {
+		close(pc.settled)
+	}
+	return owned
+}
+
+// wait blocks for the call's response, the context's cancellation, or the
+// transport timeout, whichever lands first.
+func (pc *pendingCall) wait(ctx context.Context, timeout time.Duration) (wire.Frame, error) {
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
@@ -443,24 +624,15 @@ func (pc *pendingCall) wait(timeout time.Duration) (wire.Frame, error) {
 			return wire.Frame{}, err
 		}
 		return frame, nil
-	case <-timer.C:
-		pc.cc.mu.Lock()
-		_, owned := pc.cc.pending[pc.id]
-		if owned {
-			delete(pc.cc.pending, pc.id)
+	case <-ctx.Done():
+		if pc.abandon() {
+			pc.cc.sendCancel(pc.id)
 		}
-		pc.cc.mu.Unlock()
-		if owned {
-			close(pc.settled)
+		return wire.Frame{}, ctx.Err()
+	case <-timer.C:
+		if pc.abandon() {
+			pc.cc.sendCancel(pc.id)
 		}
 		return wire.Frame{}, fmt.Errorf("rpc: %v: request timed out after %v", pc.reqType, timeout)
 	}
-}
-
-func (cc *clientConn) roundTrip(reqType wire.Type, payload []byte, timeout time.Duration) (wire.Frame, error) {
-	pc, err := cc.start(reqType, payload)
-	if err != nil {
-		return wire.Frame{}, err
-	}
-	return pc.wait(timeout)
 }

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -20,12 +21,12 @@ type gatedBackend struct {
 	stalled atomic.Int64
 }
 
-func (g *gatedBackend) BatchLookupOrInsert(pairs []core.Pair) ([]core.LookupResult, error) {
+func (g *gatedBackend) BatchLookupOrInsert(ctx context.Context, pairs []core.Pair) ([]core.LookupResult, error) {
 	if len(pairs) > 0 && pairs[0].Val == core.Value(g.slowFP) {
 		g.stalled.Add(1)
 		<-g.gate
 	}
-	return g.Backend.BatchLookupOrInsert(pairs)
+	return g.Backend.BatchLookupOrInsert(context.Background(), pairs)
 }
 
 func startGatedNode(t *testing.T, id ring.NodeID, slowVal uint64) (*gatedBackend, *Client) {
@@ -57,7 +58,7 @@ func TestPipelinedBatchesOverlapOnOneConnection(t *testing.T) {
 	const slowVal = 999999
 	gb, client := startGatedNode(t, "pipeline-overlap", slowVal)
 
-	slow := client.GoBatchLookupOrInsert([]core.Pair{{FP: fp(1), Val: slowVal}})
+	slow := client.GoBatchLookupOrInsert(context.Background(), []core.Pair{{FP: fp(1), Val: slowVal}})
 	// Wait until the slow batch is provably stalled inside the server.
 	deadline := time.Now().Add(5 * time.Second)
 	for gb.stalled.Load() == 0 {
@@ -73,7 +74,7 @@ func TestPipelinedBatchesOverlapOnOneConnection(t *testing.T) {
 		for j := range pairs {
 			pairs[j] = core.Pair{FP: fp(uint64(100 + b*4 + j)), Val: core.Value(b*4 + j + 1)}
 		}
-		rs, err := client.GoBatchLookupOrInsert(pairs).Results()
+		rs, err := client.GoBatchLookupOrInsert(context.Background(), pairs).Results()
 		if err != nil {
 			t.Fatalf("fast batch %d (behind a stalled batch on the same connection): %v", b, err)
 		}
@@ -129,7 +130,7 @@ func TestPipeliningManyInFlightBatches(t *testing.T) {
 					key := uint64(g*1000000 + r*batchSize + j)
 					pairs[j] = core.Pair{FP: fp(key), Val: core.Value(key + 1)}
 				}
-				calls = append(calls, single.GoBatchLookupOrInsert(pairs))
+				calls = append(calls, single.GoBatchLookupOrInsert(context.Background(), pairs))
 				expect = append(expect, pairs)
 			}
 			for r, call := range calls {
@@ -160,7 +161,7 @@ func TestPipelinedBatchDoneChannel(t *testing.T) {
 	const slowVal = 888888
 	gb, client := startGatedNode(t, "pipeline-done", slowVal)
 
-	call := client.GoBatchLookupOrInsert([]core.Pair{{FP: fp(2), Val: slowVal}})
+	call := client.GoBatchLookupOrInsert(context.Background(), []core.Pair{{FP: fp(2), Val: slowVal}})
 	deadline := time.Now().Add(5 * time.Second)
 	for gb.stalled.Load() == 0 {
 		if time.Now().After(deadline) {

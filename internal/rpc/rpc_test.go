@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -47,7 +48,7 @@ func startNode(t *testing.T, id ring.NodeID) (*core.Node, *Client) {
 
 func TestPing(t *testing.T) {
 	_, client := startNode(t, "n1")
-	if err := client.Ping(); err != nil {
+	if err := client.Ping(context.Background()); err != nil {
 		t.Fatalf("Ping: %v", err)
 	}
 }
@@ -55,7 +56,7 @@ func TestPing(t *testing.T) {
 func TestRemoteLookupOrInsert(t *testing.T) {
 	_, client := startNode(t, "n1")
 
-	r, err := client.LookupOrInsert(fp(1), 11)
+	r, err := client.LookupOrInsert(context.Background(), fp(1), 11)
 	if err != nil {
 		t.Fatalf("LookupOrInsert: %v", err)
 	}
@@ -63,7 +64,7 @@ func TestRemoteLookupOrInsert(t *testing.T) {
 		t.Fatal("fresh fingerprint reported existing")
 	}
 
-	r, err = client.LookupOrInsert(fp(1), 0)
+	r, err = client.LookupOrInsert(context.Background(), fp(1), 0)
 	if err != nil {
 		t.Fatalf("LookupOrInsert: %v", err)
 	}
@@ -77,17 +78,17 @@ func TestRemoteLookupOrInsert(t *testing.T) {
 
 func TestRemoteReadOnlyLookupAndInsert(t *testing.T) {
 	_, client := startNode(t, "n1")
-	r, err := client.Lookup(fp(5))
+	r, err := client.Lookup(context.Background(), fp(5))
 	if err != nil {
 		t.Fatalf("Lookup: %v", err)
 	}
 	if r.Exists {
 		t.Fatal("absent fingerprint reported existing")
 	}
-	if err := client.Insert(fp(5), 50); err != nil {
+	if err := client.Insert(context.Background(), fp(5), 50); err != nil {
 		t.Fatalf("Insert: %v", err)
 	}
-	r, _ = client.Lookup(fp(5))
+	r, _ = client.Lookup(context.Background(), fp(5))
 	if !r.Exists || r.Value != 50 {
 		t.Fatalf("after Insert: %+v, want exists 50", r)
 	}
@@ -99,7 +100,7 @@ func TestRemoteBatch(t *testing.T) {
 	for i := range pairs {
 		pairs[i] = core.Pair{FP: fp(uint64(i % 100)), Val: core.Value(i % 100)}
 	}
-	rs, err := client.BatchLookupOrInsert(pairs)
+	rs, err := client.BatchLookupOrInsert(context.Background(), pairs)
 	if err != nil {
 		t.Fatalf("BatchLookupOrInsert: %v", err)
 	}
@@ -116,10 +117,10 @@ func TestRemoteBatch(t *testing.T) {
 
 func TestRemoteStats(t *testing.T) {
 	_, client := startNode(t, "stats-node")
-	client.LookupOrInsert(fp(1), 1)
-	client.LookupOrInsert(fp(1), 1)
+	client.LookupOrInsert(context.Background(), fp(1), 1)
+	client.LookupOrInsert(context.Background(), fp(1), 1)
 
-	st, err := client.Stats()
+	st, err := client.Stats(context.Background())
 	if err != nil {
 		t.Fatalf("Stats: %v", err)
 	}
@@ -145,7 +146,7 @@ func TestConcurrentClients(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < each; i++ {
-				r, err := client.LookupOrInsert(fp(uint64(i)), core.Value(i))
+				r, err := client.LookupOrInsert(context.Background(), fp(uint64(i)), core.Value(i))
 				if err != nil {
 					t.Errorf("LookupOrInsert: %v", err)
 					return
@@ -186,7 +187,7 @@ func TestClusterOverRPC(t *testing.T) {
 	for i := range pairs {
 		pairs[i] = core.Pair{FP: fp(uint64(i)), Val: core.Value(i)}
 	}
-	rs, err := cluster.BatchLookupOrInsert(pairs)
+	rs, err := cluster.BatchLookupOrInsert(context.Background(), pairs)
 	if err != nil {
 		t.Fatalf("BatchLookupOrInsert: %v", err)
 	}
@@ -195,7 +196,7 @@ func TestClusterOverRPC(t *testing.T) {
 			t.Fatalf("fresh fingerprint %d reported existing", i)
 		}
 	}
-	rs, err = cluster.BatchLookupOrInsert(pairs)
+	rs, err = cluster.BatchLookupOrInsert(context.Background(), pairs)
 	if err != nil {
 		t.Fatalf("second batch: %v", err)
 	}
@@ -206,7 +207,7 @@ func TestClusterOverRPC(t *testing.T) {
 	}
 
 	// Entries spread across all nodes.
-	stats, err := cluster.Stats()
+	stats, err := cluster.Stats(context.Background())
 	if err != nil {
 		t.Fatalf("Stats: %v", err)
 	}
@@ -244,7 +245,7 @@ func TestServerSurvivesGarbageConnection(t *testing.T) {
 		t.Fatalf("Dial: %v", err)
 	}
 	defer client.Close()
-	if err := client.Ping(); err != nil {
+	if err := client.Ping(context.Background()); err != nil {
 		t.Fatalf("Ping after garbage: %v", err)
 	}
 }
@@ -266,7 +267,7 @@ func TestClientReconnectsAfterServerRestart(t *testing.T) {
 		t.Fatalf("Dial: %v", err)
 	}
 	defer client.Close()
-	if err := client.Ping(); err != nil {
+	if err := client.Ping(context.Background()); err != nil {
 		t.Fatalf("Ping: %v", err)
 	}
 
@@ -282,7 +283,7 @@ func TestClientReconnectsAfterServerRestart(t *testing.T) {
 	// redial transparently within a few attempts.
 	var pingErr error
 	for attempt := 0; attempt < 5; attempt++ {
-		if pingErr = client.Ping(); pingErr == nil {
+		if pingErr = client.Ping(context.Background()); pingErr == nil {
 			break
 		}
 		time.Sleep(50 * time.Millisecond)
@@ -295,7 +296,7 @@ func TestClientReconnectsAfterServerRestart(t *testing.T) {
 func TestClientClosedErrors(t *testing.T) {
 	_, client := startNode(t, "n1")
 	client.Close()
-	if _, err := client.Lookup(fp(1)); !errors.Is(err, ErrClientClosed) {
+	if _, err := client.Lookup(context.Background(), fp(1)); !errors.Is(err, ErrClientClosed) {
 		t.Fatalf("Lookup after close = %v, want ErrClientClosed", err)
 	}
 	if err := client.Close(); !errors.Is(err, ErrClientClosed) {
@@ -322,7 +323,7 @@ func TestServerErrorPropagation(t *testing.T) {
 	defer client.Close()
 
 	node.Close()
-	_, err = client.LookupOrInsert(fp(1), 1)
+	_, err = client.LookupOrInsert(context.Background(), fp(1), 1)
 	var serverErr *ServerError
 	if !errors.As(err, &serverErr) {
 		t.Fatalf("err = %v, want *ServerError", err)

@@ -9,6 +9,7 @@ package rpc
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -23,9 +24,19 @@ import (
 )
 
 // Server exposes a core.Backend (usually a *core.Node) over TCP.
+//
+// Every request runs under its own derived context: the server's root
+// context (cancelled on Close), narrowed by the connection (cancelled
+// when the peer goes away) and by the request's wire deadline, and
+// individually cancellable by a CANCEL frame from the client. A request
+// whose context expires answers with the context error, which the client
+// maps back to context.DeadlineExceeded / context.Canceled.
 type Server struct {
 	backend core.Backend
 	logger  *log.Logger
+
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -46,10 +57,13 @@ func NewServer(backend core.Backend, cfg ServerConfig) *Server {
 	if logger == nil {
 		logger = log.New(io.Discard, "", 0)
 	}
+	rootCtx, rootCancel := context.WithCancel(context.Background())
 	return &Server{
-		backend: backend,
-		logger:  logger,
-		conns:   make(map[net.Conn]struct{}),
+		backend:    backend,
+		logger:     logger,
+		rootCtx:    rootCtx,
+		rootCancel: rootCancel,
+		conns:      make(map[net.Conn]struct{}),
 	}
 }
 
@@ -113,19 +127,38 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 
+	// connCtx parents every request on this connection: it dies with the
+	// connection (peer gone — nobody is left to read the answers) and
+	// with the server's root context (Close). Cancelled below, ahead of
+	// reqWG.Wait.
+	connCtx, connCancel := context.WithCancel(s.rootCtx)
+
 	var (
 		br      = bufio.NewReaderSize(conn, 64<<10)
 		bw      = bufio.NewWriterSize(conn, 64<<10)
+		version = wire.Version0 // until a Hello negotiates higher
 		writeMu sync.Mutex
 		reqWG   sync.WaitGroup
 		sem     = make(chan struct{}, maxInflightPerConn)
-	)
-	defer reqWG.Wait()
 
-	respond := func(f wire.Frame) {
+		// inflight maps request id -> cancel for CANCEL frames.
+		inflightMu sync.Mutex
+		inflight   = make(map[uint64]context.CancelFunc)
+	)
+	// Cancel the connection context BEFORE waiting for handlers: when the
+	// peer goes away, nobody is left to read the answers, so in-flight
+	// handlers must be unwound, not waited out (a deadline-less v0
+	// request on a slow device would otherwise pin this goroutine, its
+	// semaphore slot, and the conn indefinitely).
+	defer func() {
+		connCancel()
+		reqWG.Wait()
+	}()
+
+	respond := func(f wire.Frame, v int) {
 		writeMu.Lock()
 		defer writeMu.Unlock()
-		if err := wire.WriteFrame(bw, f); err != nil {
+		if err := wire.WriteFrameV(bw, f, v); err != nil {
 			s.logger.Printf("rpc: write to %s: %v", conn.RemoteAddr(), err)
 			return
 		}
@@ -135,27 +168,91 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 
 	for {
-		frame, err := wire.ReadFrame(br)
+		frame, err := wire.ReadFrameV(br, version)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.logger.Printf("rpc: read from %s: %v", conn.RemoteAddr(), err)
 			}
 			return
 		}
+		switch frame.Type {
+		case wire.TypeHello:
+			// Handled inline, before any other frame: the ack travels in
+			// the version-0 layout and every later frame in the
+			// negotiated one.
+			theirs, err := wire.DecodeHello(frame.Payload)
+			if err != nil {
+				respond(wire.Frame{Type: wire.TypeError, ID: frame.ID, Payload: wire.EncodeError(err.Error())}, wire.Version0)
+				continue
+			}
+			v := wire.MaxVersion
+			if theirs < v {
+				v = theirs
+			}
+			respond(wire.Frame{Type: wire.TypeHelloAck, ID: frame.ID, Payload: wire.EncodeHello(v)}, wire.Version0)
+			version = v
+			continue
+		case wire.TypeCancel:
+			// Also inline: a cancel queued behind the semaphore would
+			// defeat its purpose. (When the semaphore is full the read
+			// loop itself is blocked below, so cancels stall with it —
+			// the per-request timeout still bounds those requests.)
+			inflightMu.Lock()
+			cancel := inflight[frame.ID]
+			inflightMu.Unlock()
+			if cancel != nil {
+				cancel()
+			}
+			continue
+		}
+		// Derive and REGISTER the request context here in the read loop,
+		// before the handler goroutine is spawned: a CANCEL frame for
+		// this id can arrive on the very next read, and registering
+		// inside the goroutine would race it (the cancel would find
+		// nothing and be lost).
+		var (
+			rctx    context.Context
+			rcancel context.CancelFunc
+		)
+		if frame.Timeout != 0 {
+			// Relative on the wire: immune to clock skew. A negative
+			// budget (client sent an already-expired context) derives an
+			// already-expired context here too.
+			rctx, rcancel = context.WithTimeout(connCtx, frame.Timeout)
+		} else {
+			rctx, rcancel = context.WithCancel(connCtx)
+		}
+		inflightMu.Lock()
+		inflight[frame.ID] = rcancel
+		inflightMu.Unlock()
+
 		sem <- struct{}{}
 		reqWG.Add(1)
-		go func(f wire.Frame) {
+		go func(ctx context.Context, cancel context.CancelFunc, f wire.Frame, v int) {
 			defer reqWG.Done()
 			defer func() { <-sem }()
-			respond(s.handle(f))
-		}(frame)
+			defer func() {
+				inflightMu.Lock()
+				delete(inflight, f.ID)
+				inflightMu.Unlock()
+				cancel()
+			}()
+
+			respond(s.handle(ctx, f), v)
+		}(rctx, rcancel, frame, version)
 	}
 }
 
-// handle executes one request frame and builds the response frame.
-func (s *Server) handle(f wire.Frame) wire.Frame {
+// handle executes one request frame under ctx and builds the response
+// frame.
+func (s *Server) handle(ctx context.Context, f wire.Frame) wire.Frame {
 	fail := func(err error) wire.Frame {
 		return wire.Frame{Type: wire.TypeError, ID: f.ID, Payload: wire.EncodeError(err.Error())}
+	}
+	// A request that arrives already expired (or whose connection is
+	// tearing down) is not worth starting.
+	if err := ctx.Err(); err != nil {
+		return fail(err)
 	}
 	switch f.Type {
 	case wire.TypePing:
@@ -166,7 +263,7 @@ func (s *Server) handle(f wire.Frame) wire.Frame {
 		if err != nil {
 			return fail(err)
 		}
-		r, err := s.backend.Lookup(fp)
+		r, err := s.backend.Lookup(ctx, fp)
 		if err != nil {
 			return fail(err)
 		}
@@ -177,7 +274,7 @@ func (s *Server) handle(f wire.Frame) wire.Frame {
 		if err != nil {
 			return fail(err)
 		}
-		r, err := s.backend.LookupOrInsert(p.FP, core.Value(p.Val))
+		r, err := s.backend.LookupOrInsert(ctx, p.FP, core.Value(p.Val))
 		if err != nil {
 			return fail(err)
 		}
@@ -188,7 +285,7 @@ func (s *Server) handle(f wire.Frame) wire.Frame {
 		if err != nil {
 			return fail(err)
 		}
-		if err := s.backend.Insert(p.FP, core.Value(p.Val)); err != nil {
+		if err := s.backend.Insert(ctx, p.FP, core.Value(p.Val)); err != nil {
 			return fail(err)
 		}
 		return wire.Frame{Type: wire.TypeResult, ID: f.ID, Payload: wire.EncodeResult(wire.ResultPayload{})}
@@ -202,7 +299,7 @@ func (s *Server) handle(f wire.Frame) wire.Frame {
 		for i, p := range wirePairs {
 			pairs[i] = core.Pair{FP: p.FP, Val: core.Value(p.Val)}
 		}
-		rs, err := s.backend.BatchLookupOrInsert(pairs)
+		rs, err := s.backend.BatchLookupOrInsert(ctx, pairs)
 		if err != nil {
 			return fail(err)
 		}
@@ -213,7 +310,7 @@ func (s *Server) handle(f wire.Frame) wire.Frame {
 		return wire.Frame{Type: wire.TypeBatchResult, ID: f.ID, Payload: wire.EncodeBatchResult(out)}
 
 	case wire.TypeStats:
-		st, err := s.backend.Stats()
+		st, err := s.backend.Stats(ctx)
 		if err != nil {
 			return fail(err)
 		}
@@ -303,8 +400,9 @@ func fromWireStats(s wire.StatsPayload) core.NodeStats {
 	return st
 }
 
-// Close stops accepting, closes all connections, and waits for handlers.
-// The wrapped backend is NOT closed; its owner closes it.
+// Close stops accepting, cancels the root context (so in-flight request
+// handlers unwind promptly), closes all connections, and waits for
+// handlers. The wrapped backend is NOT closed; its owner closes it.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -312,6 +410,7 @@ func (s *Server) Close() error {
 		return errors.New("rpc: server already closed")
 	}
 	s.closed = true
+	s.rootCancel()
 	ln := s.ln
 	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {

@@ -17,6 +17,7 @@
 package webfront
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -35,16 +36,18 @@ import (
 )
 
 // Index is the hash-cluster view the front-end needs (a *core.Cluster).
+// Handlers pass each request's context through, so a client that hangs
+// up or times out releases its hash-cluster work.
 type Index interface {
-	BatchLookupOrInsert(pairs []core.Pair) ([]core.LookupResult, error)
-	Stats() ([]core.NodeStats, error)
+	BatchLookupOrInsert(ctx context.Context, pairs []core.Pair) ([]core.LookupResult, error)
+	Stats(ctx context.Context) ([]core.NodeStats, error)
 }
 
 // ChunkStore is the cloud-storage view the front-end needs
 // (a *cloudsim.Store, or a real object store in production).
 type ChunkStore interface {
-	Put(fp fingerprint.Fingerprint, data []byte) (bool, error)
-	Get(fp fingerprint.Fingerprint) ([]byte, bool, error)
+	Put(ctx context.Context, fp fingerprint.Fingerprint, data []byte) (bool, error)
+	Get(ctx context.Context, fp fingerprint.Fingerprint) ([]byte, bool, error)
 }
 
 // Config configures the front-end server.
@@ -203,11 +206,13 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 
 	// One batched query to the hash cluster — the aggregation the paper's
 	// front-end performs to preserve chunk locality. Small plans from
-	// chatty clients are pooled with other requests first.
-	results, err := s.executePlan(pairs)
+	// chatty clients are pooled with other requests first. The request's
+	// context rides along: a client that disconnects mid-plan stops its
+	// cluster work instead of holding flight-table slots.
+	results, err := s.executePlan(r.Context(), pairs)
 	if err != nil {
 		s.cfg.Logger.Printf("webfront: plan: %v", err)
-		http.Error(w, "hash cluster error: "+err.Error(), http.StatusBadGateway)
+		http.Error(w, "hash cluster error: "+err.Error(), statusForError(err))
 		return
 	}
 	resp := PlanResponse{Missing: []int{}}
@@ -223,19 +228,28 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 
 // executePlan runs the batch against the cluster, pooling small plans
 // through the shared aggregator when enabled.
-func (s *Server) executePlan(pairs []core.Pair) ([]core.LookupResult, error) {
+func (s *Server) executePlan(ctx context.Context, pairs []core.Pair) ([]core.LookupResult, error) {
 	if s.agg == nil || len(pairs) >= s.cfg.AggregateBelow {
-		return s.cfg.Index.BatchLookupOrInsert(pairs)
+		return s.cfg.Index.BatchLookupOrInsert(ctx, pairs)
 	}
 	results := make([]core.LookupResult, len(pairs))
 	for i, p := range pairs {
-		r, err := s.agg.LookupOrInsert(p.FP, p.Val)
+		r, err := s.agg.LookupOrInsert(ctx, p.FP, p.Val)
 		if err != nil {
 			return nil, err
 		}
 		results[i] = r
 	}
 	return results, nil
+}
+
+// statusForError maps context expiry to 504 (the shared-timeout idiom for
+// gateways) and everything else to 502.
+func statusForError(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusBadGateway
 }
 
 // FingerprintHeader carries the chunk fingerprint on upload requests.
@@ -266,9 +280,9 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "fingerprint does not match chunk content", http.StatusUnprocessableEntity)
 		return
 	}
-	if _, err := s.cfg.Chunks.Put(fp, data); err != nil {
+	if _, err := s.cfg.Chunks.Put(r.Context(), fp, data); err != nil {
 		s.cfg.Logger.Printf("webfront: upload %s: %v", fp.Short(), err)
-		http.Error(w, "store error: "+err.Error(), http.StatusBadGateway)
+		http.Error(w, "store error: "+err.Error(), statusForError(err))
 		return
 	}
 	s.uploads.Add(1)
@@ -286,9 +300,9 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad fingerprint: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	data, ok, err := s.cfg.Chunks.Get(fp)
+	data, ok, err := s.cfg.Chunks.Get(r.Context(), fp)
 	if err != nil {
-		http.Error(w, "store error: "+err.Error(), http.StatusBadGateway)
+		http.Error(w, "store error: "+err.Error(), statusForError(err))
 		return
 	}
 	if !ok {
@@ -357,9 +371,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
 		return
 	}
-	nodeStats, err := s.cfg.Index.Stats()
+	nodeStats, err := s.cfg.Index.Stats(r.Context())
 	if err != nil {
-		http.Error(w, "hash cluster error: "+err.Error(), http.StatusBadGateway)
+		http.Error(w, "hash cluster error: "+err.Error(), statusForError(err))
 		return
 	}
 	resp := StatsResponse{

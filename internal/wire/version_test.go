@@ -1,0 +1,60 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestCancelFrameV1RoundTripCarriesTimeout(t *testing.T) {
+	budget := 5 * time.Second
+	in := Frame{Type: TypeLookup, ID: 42, Timeout: budget, Payload: []byte{1, 2, 3}}
+	var buf bytes.Buffer
+	if err := WriteFrameV(&buf, in, Version1); err != nil {
+		t.Fatalf("WriteFrameV: %v", err)
+	}
+	out, err := ReadFrameV(&buf, Version1)
+	if err != nil {
+		t.Fatalf("ReadFrameV: %v", err)
+	}
+	if out.Type != in.Type || out.ID != in.ID || out.Timeout != budget || !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("round trip = %+v, want %+v", out, in)
+	}
+}
+
+func TestCancelFrameV0LayoutUnchanged(t *testing.T) {
+	// A timeout set on a version-0 frame must not leak onto the wire:
+	// old peers parse the original layout.
+	in := Frame{Type: TypeLookupOrInsert, ID: 7, Timeout: 999, Payload: []byte{9}}
+	var buf bytes.Buffer
+	if err := WriteFrameV(&buf, in, Version0); err != nil {
+		t.Fatalf("WriteFrameV: %v", err)
+	}
+	if got, want := buf.Len(), 4+1+8+1; got != want {
+		t.Fatalf("v0 frame is %d bytes, want %d (no deadline field)", got, want)
+	}
+	out, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if out.Timeout != 0 {
+		t.Fatalf("v0 read produced timeout %d, want 0", out.Timeout)
+	}
+	if out.Type != in.Type || out.ID != in.ID || !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("round trip = %+v, want type/id/payload of %+v", out, in)
+	}
+}
+
+func TestCancelHelloRoundTrip(t *testing.T) {
+	b := EncodeHello(MaxVersion)
+	v, err := DecodeHello(b)
+	if err != nil {
+		t.Fatalf("DecodeHello: %v", err)
+	}
+	if v != MaxVersion {
+		t.Fatalf("DecodeHello = %d, want %d", v, MaxVersion)
+	}
+	if _, err := DecodeHello([]byte{1, 2}); err == nil {
+		t.Fatal("short hello payload decoded without error")
+	}
+}

@@ -7,9 +7,32 @@
 //	uint32  payload length (excluding this prefix, including type+id)
 //	uint8   message type
 //	uint64  request id (echoed in the response)
+//	uint64  timeout, nanoseconds remaining, 0 = none (protocol >= 1 only)
 //	...     type-specific payload
 //
 // All integers are big-endian. Fingerprints travel as raw 20-byte values.
+//
+// # Versioning
+//
+// Version 0 is the original frame layout with no deadline field and no
+// Hello/Cancel frames. Version 1 adds:
+//
+//   - a Hello/HelloAck handshake: the client's first frame is a v0-layout
+//     TypeHello carrying its highest supported version; the server answers
+//     TypeHelloAck (v0 layout) with the negotiated version, and both sides
+//     switch to that version's layout for every later frame. A v0 server
+//     answers Hello with TypeError ("unsupported request type"), which a
+//     v1 client treats as "peer speaks version 0" — old peers interoperate
+//     with no configuration.
+//   - a per-request deadline in the frame header, carried as the
+//     *relative* time remaining (nanoseconds) rather than an absolute
+//     timestamp, so clock skew between client and server cannot shrink
+//     or extend it (the same reasoning as gRPC's wire timeouts); the
+//     server derives a context.WithTimeout for the handler.
+//   - TypeCancel: the ID names an in-flight request to abandon; the server
+//     cancels that request's context. Cancel has no response frame (the
+//     cancelled request itself answers with an error, or with its result
+//     if it won the race).
 package wire
 
 import (
@@ -17,6 +40,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"shhc/internal/fingerprint"
 )
@@ -49,6 +73,23 @@ const (
 	TypePong
 	// TypeError reports a server-side failure for the echoed request id.
 	TypeError
+
+	// TypeHello opens version negotiation (payload: highest supported
+	// version). Always sent and answered in the version-0 frame layout.
+	TypeHello
+	// TypeHelloAck answers TypeHello with the negotiated version.
+	TypeHelloAck
+	// TypeCancel abandons the in-flight request whose id it echoes.
+	// No response frame. Protocol >= 1 only.
+	TypeCancel
+)
+
+// Protocol versions. Version 0 is the original deadline-less protocol;
+// Version1 adds the deadline header field and the Hello/Cancel frames.
+const (
+	Version0   = 0
+	Version1   = 1
+	MaxVersion = Version1
 )
 
 func (t Type) String() string {
@@ -75,12 +116,20 @@ func (t Type) String() string {
 		return "pong"
 	case TypeError:
 		return "error"
+	case TypeHello:
+		return "hello"
+	case TypeHelloAck:
+		return "hello-ack"
+	case TypeCancel:
+		return "cancel"
 	}
 	return fmt.Sprintf("type(%d)", uint8(t))
 }
 
 const (
 	headerSize = 1 + 8 // type + request id (length prefix not included)
+	// headerSizeV1 adds the 8-byte timeout field.
+	headerSizeV1 = headerSize + 8
 
 	// MaxFrameSize bounds a frame to keep a misbehaving peer from forcing
 	// huge allocations. 64 MiB admits batches of >2M fingerprints.
@@ -100,21 +149,39 @@ var (
 
 // Frame is a decoded message envelope.
 type Frame struct {
-	Type    Type
-	ID      uint64
+	Type Type
+	ID   uint64
+	// Timeout is the time remaining until the request's deadline; 0
+	// means none. It travels as a relative duration — never an absolute
+	// timestamp — so peer clock skew cannot shrink or extend it. Carried
+	// on the wire only at protocol version >= 1.
+	Timeout time.Duration
 	Payload []byte
 }
 
-// WriteFrame encodes and writes one frame.
+// WriteFrame encodes and writes one frame in the version-0 layout.
 func WriteFrame(w io.Writer, f Frame) error {
-	n := headerSize + len(f.Payload)
+	return WriteFrameV(w, f, Version0)
+}
+
+// WriteFrameV encodes and writes one frame in the given protocol
+// version's layout.
+func WriteFrameV(w io.Writer, f Frame, version int) error {
+	hs := headerSize
+	if version >= Version1 {
+		hs = headerSizeV1
+	}
+	n := hs + len(f.Payload)
 	if n > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
-	hdr := make([]byte, 4+headerSize)
+	hdr := make([]byte, 4+hs)
 	binary.BigEndian.PutUint32(hdr[0:4], uint32(n))
 	hdr[4] = byte(f.Type)
 	binary.BigEndian.PutUint64(hdr[5:13], f.ID)
+	if version >= Version1 {
+		binary.BigEndian.PutUint64(hdr[13:21], uint64(f.Timeout))
+	}
 	if _, err := w.Write(hdr); err != nil {
 		return fmt.Errorf("wire: write frame header: %w", err)
 	}
@@ -126,8 +193,18 @@ func WriteFrame(w io.Writer, f Frame) error {
 	return nil
 }
 
-// ReadFrame reads and decodes one frame.
+// ReadFrame reads and decodes one frame in the version-0 layout.
 func ReadFrame(r io.Reader) (Frame, error) {
+	return ReadFrameV(r, Version0)
+}
+
+// ReadFrameV reads and decodes one frame in the given protocol version's
+// layout.
+func ReadFrameV(r io.Reader, version int) (Frame, error) {
+	hs := headerSize
+	if version >= Version1 {
+		hs = headerSizeV1
+	}
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 		if errors.Is(err, io.EOF) {
@@ -139,18 +216,38 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	if n > MaxFrameSize {
 		return Frame{}, ErrFrameTooLarge
 	}
-	if n < headerSize {
+	if n < uint32(hs) {
 		return Frame{}, ErrShortPayload
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
 		return Frame{}, fmt.Errorf("wire: read frame body: %w", err)
 	}
-	return Frame{
-		Type:    Type(body[0]),
-		ID:      binary.BigEndian.Uint64(body[1:9]),
-		Payload: body[9:],
-	}, nil
+	f := Frame{
+		Type: Type(body[0]),
+		ID:   binary.BigEndian.Uint64(body[1:9]),
+	}
+	if version >= Version1 {
+		f.Timeout = time.Duration(binary.BigEndian.Uint64(body[9:17]))
+	}
+	f.Payload = body[hs:]
+	return f, nil
+}
+
+// EncodeHello encodes a Hello or HelloAck payload: the sender's highest
+// supported (or the negotiated) protocol version.
+func EncodeHello(version int) []byte {
+	buf := make([]byte, 4)
+	binary.BigEndian.PutUint32(buf, uint32(version))
+	return buf
+}
+
+// DecodeHello decodes a Hello or HelloAck payload.
+func DecodeHello(b []byte) (int, error) {
+	if len(b) != 4 {
+		return 0, fmt.Errorf("wire: hello payload: want 4 bytes, got %d: %w", len(b), ErrShortPayload)
+	}
+	return int(binary.BigEndian.Uint32(b)), nil
 }
 
 // PairPayload holds one fingerprint plus the value to assign on insert.

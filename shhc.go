@@ -19,15 +19,24 @@
 //
 //	cluster, _ := shhc.NewLocalCluster(shhc.ClusterOptions{Nodes: 4})
 //	defer cluster.Close()
-//	res, _ := cluster.LookupOrInsert(shhc.FingerprintOf(chunk), 1)
+//	res, _ := cluster.LookupOrInsert(context.Background(), shhc.FingerprintOf(chunk), 1)
 //	if !res.Exists {
 //		// first sight of this chunk: upload it
 //	}
+//
+// Every lookup, insert, stats, and membership operation takes a
+// context.Context as its first argument: deadlines bound how long a
+// request may hold flight-table slots and device queues, cancellation
+// releases them early (propagated over the wire to remote nodes), and
+// ClusterOptions.HedgeAfter turns replicated clusters' tail latency into
+// a race the fastest replica wins. Callers that need none of that pass
+// context.Background() and pay nothing for the rest.
 package shhc
 
 import (
 	"fmt"
 	"net"
+	"time"
 
 	"shhc/internal/backup"
 	"shhc/internal/batcher"
@@ -129,6 +138,10 @@ type ClusterOptions struct {
 	Replicas int
 	// VirtualNodes per node on the hash ring; 0 selects the default.
 	VirtualNodes int
+	// HedgeAfter enables hedged reads when Replicas > 1: a Lookup that
+	// has not answered after this long is raced against the next replica
+	// and the loser's probe is cancelled. Zero disables hedging.
+	HedgeAfter time.Duration
 }
 
 func (o *ClusterOptions) fill() {
@@ -197,6 +210,7 @@ func NewLocalCluster(opts ClusterOptions) (*Cluster, error) {
 	cluster, err := core.NewCluster(core.ClusterConfig{
 		VirtualNodes: opts.VirtualNodes,
 		Replicas:     opts.Replicas,
+		HedgeAfter:   opts.HedgeAfter,
 	}, backends...)
 	if err != nil {
 		closeAll(backends)
@@ -211,10 +225,17 @@ func closeAll(backends []core.Backend) {
 	}
 }
 
+// ClusterConfig configures NewCluster (explicit-backend clusters): the
+// replication factor, ring virtual-node count, and hedged-read delay.
+// Unlike the old NewCluster(replicas int, ...) signature, every routing
+// knob is reachable for distributed deployments, not only for
+// NewLocalCluster's in-process ones.
+type ClusterConfig = core.ClusterConfig
+
 // NewCluster assembles a cluster from explicit backends (e.g. DialNode
 // clients for a distributed deployment).
-func NewCluster(replicas int, backends ...Backend) (*Cluster, error) {
-	return core.NewCluster(core.ClusterConfig{Replicas: replicas}, backends...)
+func NewCluster(cfg ClusterConfig, backends ...Backend) (*Cluster, error) {
+	return core.NewCluster(cfg, backends...)
 }
 
 // NewNodeForScaling creates a standalone hybrid node to pass to

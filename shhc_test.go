@@ -2,6 +2,7 @@ package shhc
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"testing"
@@ -17,14 +18,14 @@ func TestLocalClusterQuickstart(t *testing.T) {
 	chunk := []byte("some chunk of backup data")
 	fp := FingerprintOf(chunk)
 
-	res, err := cluster.LookupOrInsert(fp, 1)
+	res, err := cluster.LookupOrInsert(context.Background(), fp, 1)
 	if err != nil {
 		t.Fatalf("LookupOrInsert: %v", err)
 	}
 	if res.Exists {
 		t.Fatal("fresh chunk reported existing")
 	}
-	res, err = cluster.LookupOrInsert(fp, 1)
+	res, err = cluster.LookupOrInsert(context.Background(), fp, 1)
 	if err != nil {
 		t.Fatalf("LookupOrInsert: %v", err)
 	}
@@ -41,7 +42,7 @@ func TestLocalClusterOnDisk(t *testing.T) {
 	defer cluster.Close()
 	for i := 0; i < 100; i++ {
 		fp := FingerprintOf([]byte(fmt.Sprintf("chunk-%d", i)))
-		if _, err := cluster.LookupOrInsert(fp, Value(i)); err != nil {
+		if _, err := cluster.LookupOrInsert(context.Background(), fp, Value(i)); err != nil {
 			t.Fatalf("LookupOrInsert: %v", err)
 		}
 	}
@@ -79,21 +80,21 @@ func TestDistributedClusterAssembly(t *testing.T) {
 		}
 	}()
 
-	cluster, err := NewCluster(1, backends...)
+	cluster, err := NewCluster(ClusterConfig{}, backends...)
 	if err != nil {
 		t.Fatalf("NewCluster: %v", err)
 	}
 	defer cluster.Close()
 
 	fp := FingerprintOf([]byte("distributed chunk"))
-	res, err := cluster.LookupOrInsert(fp, 9)
+	res, err := cluster.LookupOrInsert(context.Background(), fp, 9)
 	if err != nil {
 		t.Fatalf("LookupOrInsert: %v", err)
 	}
 	if res.Exists {
 		t.Fatal("fresh chunk reported existing")
 	}
-	res, _ = cluster.LookupOrInsert(fp, 9)
+	res, _ = cluster.LookupOrInsert(context.Background(), fp, 9)
 	if !res.Exists || res.Value != 9 {
 		t.Fatalf("duplicate = %+v, want exists value 9", res)
 	}
@@ -109,7 +110,7 @@ func TestBatcherFacade(t *testing.T) {
 	defer b.Close()
 
 	fp := FingerprintOf([]byte("batched chunk"))
-	res, err := b.LookupOrInsert(fp, 5)
+	res, err := b.LookupOrInsert(context.Background(), fp, 5)
 	if err != nil {
 		t.Fatalf("LookupOrInsert: %v", err)
 	}
@@ -138,7 +139,7 @@ func TestEndToEndFacade(t *testing.T) {
 		t.Fatalf("NewBackupClient: %v", err)
 	}
 	data := bytes.Repeat([]byte("0123456789abcdef"), 4096) // 64 KiB, repetitive
-	report, err := client.Backup("facade-test", bytes.NewReader(data))
+	report, err := client.Backup(context.Background(), "facade-test", bytes.NewReader(data))
 	if err != nil {
 		t.Fatalf("Backup: %v", err)
 	}
@@ -151,7 +152,7 @@ func TestEndToEndFacade(t *testing.T) {
 	}
 
 	var out bytes.Buffer
-	if err := client.Restore(report.Manifest, &out); err != nil {
+	if err := client.Restore(context.Background(), report.Manifest, &out); err != nil {
 		t.Fatalf("Restore: %v", err)
 	}
 	if !bytes.Equal(out.Bytes(), data) {
