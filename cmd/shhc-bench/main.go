@@ -29,11 +29,12 @@ func main() {
 
 func run() error {
 	var (
-		runSel = flag.String("run", "all", "experiments: all|fig1|table1|fig5|fig6|ablations|async (comma-separated)")
+		runSel = flag.String("run", "all", "experiments: all|fig1|table1|fig5|fig6|ablations|async|writes (comma-separated)")
 		scale  = flag.Int("scale", 64, "workload scale divisor for cluster experiments")
 		t1     = flag.Int("table1-scale", 16, "workload scale divisor for Table I stats")
 		fps    = flag.Int("fps", 100000, "fingerprints per Figure 5 cell")
 		outPth = flag.String("out", "", "also write the report to this file")
+		wrOut  = flag.String("writes-out", "BENCH_writes.json", "write the write-path ablation results to this JSON file (empty disables)")
 	)
 	flag.Parse()
 
@@ -175,6 +176,23 @@ func run() error {
 		}
 		fmt.Fprint(out, bench.FormatAsyncAblation(asyncPoints))
 		fmt.Fprintf(out, "(%v)\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	if want("ablations") || want("writes") {
+		section("Ablation: write path (per-key vs batched vs async destage)")
+		start := time.Now()
+		writePoints, err := bench.RunWriteSweep(0, 0, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, bench.FormatWriteSweep(writePoints))
+		fmt.Fprintf(out, "(%v)\n", time.Since(start).Round(time.Millisecond))
+		if *wrOut != "" {
+			if err := bench.EmitWritesJSON(*wrOut, writePoints); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", *wrOut)
+		}
 	}
 
 	if file != nil {

@@ -40,7 +40,10 @@ func run() error {
 		model    = flag.String("device", "ssd", "modeled index device: ssd|hdd|ram|null")
 		sleep    = flag.Bool("sleep-device", false, "realize modeled device latency with real sleeps")
 		noBloom  = flag.Bool("no-bloom", false, "disable the Bloom filter")
-		wb       = flag.Bool("write-back", false, "delay SSD inserts until cache destage")
+		wb       = flag.Bool("write-back", false, "delay SSD inserts until cache destage (asynchronous group commit)")
+		wbBatch  = flag.Int("destage-batch", 0, "largest group-commit destage wave in entries (0 = default 256)")
+		wbIval   = flag.Duration("destage-interval", 0, "longest a dirty entry waits before a destage wave fires (0 = default 2ms)")
+		wbQueue  = flag.Int("destage-queue", 0, "dirty destage buffer bound in entries; evictions block when full (0 = default 4x batch)")
 		lockedIO = flag.Bool("locked-io", false, "probe the SSD under the stripe lock (pre-pipeline baseline, for ablations)")
 	)
 	flag.Parse()
@@ -82,13 +85,16 @@ func run() error {
 	}
 
 	node, err := core.NewNode(core.NodeConfig{
-		ID:            ring.NodeID(*id),
-		Store:         store,
-		CacheSize:     *cache,
-		DisableBloom:  *noBloom,
-		BloomExpected: *expected,
-		WriteBack:     *wb,
-		LockedIO:      *lockedIO,
+		ID:              ring.NodeID(*id),
+		Store:           store,
+		CacheSize:       *cache,
+		DisableBloom:    *noBloom,
+		BloomExpected:   *expected,
+		WriteBack:       *wb,
+		DestageBatch:    *wbBatch,
+		DestageInterval: *wbIval,
+		DestageQueue:    *wbQueue,
+		LockedIO:        *lockedIO,
 	})
 	if err != nil {
 		store.Close()

@@ -1,0 +1,257 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"shhc/internal/core"
+	"shhc/internal/device"
+	"shhc/internal/fingerprint"
+	"shhc/internal/hashdb"
+	"shhc/internal/ring"
+)
+
+// ---------------------------------------------------------------------------
+// Ablation: the write path — per-key read-modify-write vs batched
+// group-committed inserts vs the asynchronous write-back destager.
+// ---------------------------------------------------------------------------
+
+// Write-sweep I/O modes.
+const (
+	// WriteModeLocked is the pre-pipeline baseline: every insert's store
+	// write runs under its stripe lock (device concurrency capped at the
+	// stripe count).
+	WriteModeLocked = "locked"
+	// WriteModePerKey uses the asynchronous pipeline but one store
+	// round-trip per key (the batched write path hidden): the PR-2/3
+	// behavior.
+	WriteModePerKey = "per-key"
+	// WriteModeBatched coalesces the batch's inserts into one
+	// read-modify-write per bucket page (hashdb.PutBatch).
+	WriteModeBatched = "batched"
+	// WriteModeAsyncDestage is write-back: inserts park dirty in RAM and
+	// the destager group-commits evicted entries in page-coalesced waves.
+	WriteModeAsyncDestage = "async-destage"
+	// WriteModeAsyncDup is async-destage fed a duplicate-heavy update
+	// trace (half the keys, updated twice), exercising the dirty buffer's
+	// update coalescing.
+	WriteModeAsyncDup = "async-destage-dup"
+)
+
+// WritePoint is one cell of the write-path ablation.
+type WritePoint struct {
+	Mode    string `json:"mode"`
+	Stripes int    `json:"stripes"`
+	Ops     int    `json:"ops"` // inserts + updates fed through the node
+	// Throughput counts ops per wall second, including the final Flush
+	// (every mode pays its full durability cost).
+	Throughput   float64       `json:"throughputOpsPerSec"`
+	Elapsed      time.Duration `json:"elapsedNanos"`
+	DeviceReads  int64         `json:"deviceReads"`
+	DeviceWrites int64         `json:"deviceWrites"`
+	// EntriesPerWrite is ops / device page writes: >1 means the write
+	// path coalesced entries into shared page writes.
+	EntriesPerWrite float64 `json:"entriesPerWrite"`
+	// Destage* are the write-back pipeline's counters (async modes only).
+	DestagedEntries  uint64 `json:"destagedEntries,omitempty"`
+	DestagePages     uint64 `json:"destagePages,omitempty"`
+	DestageWaves     uint64 `json:"destageWaves,omitempty"`
+	DestageCoalesced uint64 `json:"destageCoalesced,omitempty"`
+}
+
+// noBatchPutStore forwards the Store and BatchGetter surfaces of an
+// on-disk table while hiding BatchPutter, so the per-key baseline pays one
+// read-modify-write round-trip per insert. Reads stay coalesced in every
+// mode; the sweep isolates the write path.
+type noBatchPutStore struct{ db *hashdb.DB }
+
+func (s noBatchPutStore) Get(fp fingerprint.Fingerprint) (hashdb.Value, bool, error) {
+	return s.db.Get(fp)
+}
+func (s noBatchPutStore) Has(fp fingerprint.Fingerprint) (bool, error) { return s.db.Has(fp) }
+func (s noBatchPutStore) Put(fp fingerprint.Fingerprint, v hashdb.Value) (bool, error) {
+	return s.db.Put(fp, v)
+}
+func (s noBatchPutStore) Len() int     { return s.db.Len() }
+func (s noBatchPutStore) Sync() error  { return s.db.Sync() }
+func (s noBatchPutStore) Close() error { return s.db.Close() }
+func (s noBatchPutStore) GetBatch(ctx context.Context, fps []fingerprint.Fingerprint) ([]hashdb.Value, []bool, error) {
+	return s.db.GetBatch(ctx, fps)
+}
+
+// RunWriteSweep measures insert throughput across write-path modes and
+// stripe counts on a fresh on-disk hash table whose device sleeps its
+// modeled SSD latency. Every mode feeds the same count of operations in
+// batches and ends with a Flush, so write-back modes pay their full
+// durability cost inside the measurement.
+func RunWriteSweep(fingerprints, batchSize int, stripeCounts []int) ([]WritePoint, error) {
+	if fingerprints <= 0 {
+		fingerprints = 4096
+	}
+	if batchSize <= 0 {
+		batchSize = 1024
+	}
+	if len(stripeCounts) == 0 {
+		stripeCounts = []int{1, 4, 16}
+	}
+	dir, err := os.MkdirTemp("", "shhc-write-sweep")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	modes := []string{WriteModeLocked, WriteModePerKey, WriteModeBatched, WriteModeAsyncDestage, WriteModeAsyncDup}
+	var points []WritePoint
+	for _, stripes := range stripeCounts {
+		for _, mode := range modes {
+			p, err := runWriteCell(dir, mode, stripes, fingerprints, batchSize)
+			if err != nil {
+				return nil, fmt.Errorf("bench: write sweep %s/stripes=%d: %w", mode, stripes, err)
+			}
+			points = append(points, p)
+		}
+	}
+	return points, nil
+}
+
+func runWriteCell(dir, mode string, stripes, ops, batchSize int) (WritePoint, error) {
+	dev := device.New(device.SSD, device.Sleep)
+	path := filepath.Join(dir, fmt.Sprintf("%s-%d.db", mode, stripes))
+	db, err := hashdb.Create(path, hashdb.Options{ExpectedItems: ops, Device: dev})
+	if err != nil {
+		return WritePoint{}, err
+	}
+
+	var store hashdb.Store = db
+	if mode == WriteModePerKey {
+		store = noBatchPutStore{db: db}
+	}
+	wb := mode == WriteModeAsyncDestage || mode == WriteModeAsyncDup
+	node, err := core.NewNode(core.NodeConfig{
+		ID:            ring.NodeID(fmt.Sprintf("write-sweep-%s-%d", mode, stripes)),
+		Store:         store,
+		CacheSize:     256, // far below the key count: inserts reach the SSD tier
+		BloomExpected: 2 * ops,
+		Stripes:       stripes,
+		LockedIO:      mode == WriteModeLocked,
+		WriteBack:     wb,
+		// Destage waves sized like the insert batches, so the async and
+		// batched cells commit comparable page-coalesced groups.
+		DestageBatch: batchSize,
+		DestageQueue: 4 * batchSize,
+	})
+	if err != nil {
+		db.Close()
+		return WritePoint{}, err
+	}
+
+	// The workload: unique inserts, except the dup-heavy cell, which
+	// inserts half the keys and then updates each once (updates coalesce
+	// in the cache and the dirty buffer).
+	keys := ops
+	if mode == WriteModeAsyncDup {
+		keys = ops / 2
+	}
+	writesBefore := dev.Stats().Writes
+	readsBefore := dev.Stats().Reads
+	start := time.Now()
+	pairs := make([]core.Pair, 0, batchSize)
+	feed := func(base uint64, n int, valBase uint64) error {
+		for i := 0; i < n; i++ {
+			pairs = append(pairs, core.Pair{FP: fingerprint.FromUint64(base + uint64(i)), Val: core.Value(valBase + uint64(i))})
+			if len(pairs) == batchSize || i == n-1 {
+				if _, err := node.BatchLookupOrInsert(context.Background(), pairs); err != nil {
+					return err
+				}
+				pairs = pairs[:0]
+			}
+		}
+		return nil
+	}
+	if err := feed(0, keys, 1); err != nil {
+		node.Close()
+		return WritePoint{}, err
+	}
+	if mode == WriteModeAsyncDup {
+		// Second pass: in-place updates of every key.
+		for i := 0; i < keys; i++ {
+			if err := node.Insert(context.Background(), fingerprint.FromUint64(uint64(i)), core.Value(uint64(1_000_000+i))); err != nil {
+				node.Close()
+				return WritePoint{}, err
+			}
+		}
+	}
+	if err := node.Flush(); err != nil {
+		node.Close()
+		return WritePoint{}, err
+	}
+	elapsed := time.Since(start)
+
+	st, err := node.Stats(context.Background())
+	if err != nil {
+		node.Close()
+		return WritePoint{}, err
+	}
+	devStats := dev.Stats()
+	if err := node.Close(); err != nil {
+		return WritePoint{}, err
+	}
+
+	p := WritePoint{
+		Mode:             mode,
+		Stripes:          stripes,
+		Ops:              ops,
+		Throughput:       float64(ops) / elapsed.Seconds(),
+		Elapsed:          elapsed,
+		DeviceReads:      devStats.Reads - readsBefore,
+		DeviceWrites:     devStats.Writes - writesBefore,
+		DestagedEntries:  st.Destage.Entries,
+		DestagePages:     st.Destage.Pages,
+		DestageWaves:     st.Destage.Waves,
+		DestageCoalesced: st.Destage.Coalesced,
+	}
+	if p.DeviceWrites > 0 {
+		p.EntriesPerWrite = float64(ops) / float64(p.DeviceWrites)
+	}
+	return p, nil
+}
+
+// FormatWriteSweep renders the sweep.
+func FormatWriteSweep(points []WritePoint) string {
+	t := &table{header: []string{
+		"stripes", "write mode", "throughput(ops/s)", "device writes", "entries/write", "destaged/pages", "elapsed",
+	}}
+	for _, p := range points {
+		ratio := "-"
+		if p.DestagePages > 0 {
+			ratio = fmt.Sprintf("%.1f", float64(p.DestagedEntries)/float64(p.DestagePages))
+		}
+		t.addRow(
+			fmt.Sprintf("%d", p.Stripes),
+			p.Mode,
+			fmt.Sprintf("%.0f", p.Throughput),
+			fmt.Sprintf("%d", p.DeviceWrites),
+			fmt.Sprintf("%.1f", p.EntriesPerWrite),
+			ratio,
+			p.Elapsed.Round(time.Millisecond).String(),
+		)
+	}
+	return "Ablation: write path (on-disk table, sleeping SSD, cold cache; every mode includes its final Flush)\n" + t.String()
+}
+
+// EmitWritesJSON writes the sweep to path as JSON for regression tracking
+// (BENCH_writes.json in CI and CHANGES.md).
+func EmitWritesJSON(path string, points []WritePoint) error {
+	data, err := json.MarshalIndent(struct {
+		Experiment string       `json:"experiment"`
+		Points     []WritePoint `json:"points"`
+	}{Experiment: "write-path-ablation", Points: points}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

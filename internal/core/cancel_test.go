@@ -308,7 +308,10 @@ func TestCancelBatchStopsDeviceReads(t *testing.T) {
 	}
 }
 
-// failingPutStore fails every Put once armed; Gets pass through.
+// failingPutStore fails every Put and PutBatch once armed; Gets pass
+// through. PutBatch must be overridden too: the destager prefers the
+// batched write path, and the promoted MemStore method would dodge the
+// injected failure.
 type failingPutStore struct {
 	*hashdb.MemStore
 	failPuts atomic.Bool
@@ -319,6 +322,13 @@ func (f *failingPutStore) Put(fp fingerprint.Fingerprint, v hashdb.Value) (bool,
 		return false, errors.New("injected put failure")
 	}
 	return f.MemStore.Put(fp, v)
+}
+
+func (f *failingPutStore) PutBatch(ctx context.Context, pairs []hashdb.Pair) ([]bool, int, error) {
+	if f.failPuts.Load() {
+		return nil, 0, errors.New("injected put failure")
+	}
+	return f.MemStore.PutBatch(ctx, pairs)
 }
 
 // TestCancelPathSurfacesDestageError: on a write-back node, a destage
@@ -344,9 +354,12 @@ func TestCancelPathSurfacesDestageError(t *testing.T) {
 	defer cancel() // cancellable but never cancelled: prober mode
 	fs.failPuts.Store(true)
 	var lastErr error
-	// Overflow the 2-entry cache: evictions destage, destages fail, and
-	// the parked failure must come back out of a LookupOrInsert.
-	for i := uint64(0); i < 8 && lastErr == nil; i++ {
+	// Overflow the 2-entry cache: evictions feed the asynchronous
+	// destager, its waves fail, and the parked failure must come back
+	// out of a later LookupOrInsert. The destage is asynchronous, so
+	// keep inserting until the error surfaces.
+	deadline := time.Now().Add(5 * time.Second)
+	for i := uint64(0); lastErr == nil && time.Now().Before(deadline); i++ {
 		_, lastErr = n.LookupOrInsert(ctx, fingerprint.FromUint64(i), Value(i+1))
 	}
 	if lastErr == nil {

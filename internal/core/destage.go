@@ -1,0 +1,506 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"shhc/internal/fingerprint"
+	"shhc/internal/hashdb"
+	"shhc/internal/metrics"
+)
+
+// This file implements the write-back node's asynchronous destage pipeline.
+//
+// Before it existed, evicting a dirty entry performed the store write
+// inside the LRU eviction callback — with the evicted entry's cache-stripe
+// lock held, so one modeled SSD write stalled every cache operation on
+// that stripe. Now an eviction only moves the entry into a bounded
+// per-node dirty buffer (pure RAM, O(1)) and a dedicated destager
+// goroutine drains the buffer in group-commit waves: it waits until
+// DestageBatch entries are pending or the oldest has waited
+// DestageInterval, then writes the whole wave through the store's batched
+// write path (hashdb.BatchPutter), paying one page read-modify-write per
+// dirtied bucket page instead of one device round-trip per entry.
+//
+// Correctness invariants:
+//
+//   - An entry is findable at every instant between eviction and durable
+//     store write: it stays in the buffer's index until the wave that
+//     wrote it completes, and every lookup path consults the buffer
+//     (under the fingerprint's node-stripe lock) after the RAM tiers and
+//     before the SSD tier, so the Figure-4 cache→bloom→SSD ordering stays
+//     exact per fingerprint.
+//   - At most one pending value per fingerprint: re-dirtying an already
+//     pending fingerprint overwrites its buffered value in place (write
+//     coalescing — the duplicate-heavy-trace win). A value overwritten
+//     while its wave is in flight is detected by a generation counter and
+//     re-queued, so the newest value is never lost.
+//   - The buffer is bounded: an eviction into a full buffer blocks until
+//     the destager frees space (backpressure). The destager needs only
+//     its own locks and the store to make progress, never a cache or
+//     node-stripe lock, so blocked enqueuers cannot deadlock it.
+//   - A failed wave re-queues its entries — falling back to per-key
+//     writes so only entries whose own write fails accrue retries — and
+//     gives up on an entry only after maxDestageRetries, parking the
+//     error (the pre-existing delivery path: next insert, Flush, or
+//     Close), so a transient error never forfeits acknowledged inserts
+//     and a permanently broken store cannot wedge drain/Close.
+//   - Remove (migration) calls forget, which waits out a wave that has
+//     already picked the fingerprint up — otherwise the wave's store
+//     write could resurrect an entry deleted right after it.
+//
+// Locking. The entry index is sharded (destageShard) so the hot-path
+// peek — which every SSD-bound lookup performs inside its stripe-locked
+// walk — contends only with operations on fingerprints of the same
+// shard, never across stripes. Every dirtyEntry field access holds its
+// shard's mutex. The group-commit state (FIFO queue, backpressure and
+// settle conditions, drain/stop flags) lives under the global d.mu; the
+// lock order is d.mu → shard.mu, never the reverse, and peek takes only
+// the shard lock.
+
+// Default destage tuning. A 256-entry wave over a table sized for ~50%
+// full bucket pages dirties an order of magnitude fewer pages than
+// entries; 2ms bounds how long a dirty entry can sit in RAM only.
+const (
+	defaultDestageBatch    = 256
+	defaultDestageInterval = 2 * time.Millisecond
+)
+
+// maxDestageRetries bounds how many failed writes one entry may see
+// before it is abandoned.
+const maxDestageRetries = 2
+
+// dirtyEntry is one evicted-but-not-yet-destaged cache entry. All fields
+// are guarded by the owning shard's mutex.
+type dirtyEntry struct {
+	val Value
+	// gen increments on every overwrite; a wave only retires the entry if
+	// the generation it captured is still current.
+	gen uint64
+	// queued reports the fingerprint is in the FIFO queue (false while a
+	// wave holds it in flight).
+	queued bool
+	// at is when the entry (re-)entered the queue, driving the
+	// DestageInterval group-commit trigger.
+	at time.Time
+	// retries counts this entry's own failed writes; past
+	// maxDestageRetries it is dropped (the parked error already reports
+	// the failure) so a permanently broken store cannot wedge drain.
+	retries int
+}
+
+// destageShard is one slice of the buffer's entry index. peek, the
+// lookup-hot-path operation, touches exactly one shard.
+type destageShard struct {
+	mu      sync.Mutex
+	pending map[fingerprint.Fingerprint]*dirtyEntry
+	_       [40]byte // keep neighboring shard locks off one cache line
+}
+
+// destager is the bounded dirty buffer plus the goroutine that drains it.
+type destager struct {
+	n *Node
+
+	// shards index the pending entries by fingerprint. Shard locks nest
+	// inside d.mu (d.mu → shard.mu) and are never held while sleeping.
+	shards    []destageShard
+	shardMask uint64
+	// pendingN mirrors the total entry count atomically so peek can skip
+	// even the shard lock whenever the buffer is empty (read-heavy
+	// phases). A zero read is exact for the looked-up fingerprint: its
+	// eviction's enqueue completed — increment included — before the
+	// cache-stripe mutex the reader's cache miss just synchronized with
+	// was released.
+	pendingN atomic.Int64
+
+	mu      sync.Mutex
+	space   sync.Cond // signaled when buffer occupancy drops
+	settled sync.Cond // broadcast when a wave lands (forget/drain waiters)
+	queue   []fingerprint.Fingerprint
+	head    int // queue[:head] already popped
+	// queuedCount tracks entries with queued=true (the queue slice may
+	// hold stale fingerprints forget already dropped).
+	queuedCount int
+	draining    int // drain() callers wanting waves fired immediately
+	stopping    bool
+
+	batch    int
+	capacity int
+	interval time.Duration
+
+	kick chan struct{} // wakes the loop; buffered, non-blocking sends
+	done chan struct{} // closed when the loop exits
+
+	// Counters, read by Stats without any lock.
+	entries   atomic.Uint64
+	pages     atomic.Uint64
+	waves     atomic.Uint64
+	coalesced atomic.Uint64
+	waveHist  *metrics.Histogram
+}
+
+// waveItem is one buffer entry captured into a group-commit wave.
+type waveItem struct {
+	fp  fingerprint.Fingerprint
+	val Value
+	gen uint64
+}
+
+func newDestager(n *Node, batch, capacity int, interval time.Duration) *destager {
+	if batch <= 0 {
+		batch = defaultDestageBatch
+	}
+	if interval <= 0 {
+		interval = defaultDestageInterval
+	}
+	if capacity <= 0 {
+		capacity = 4 * batch
+	}
+	if capacity < batch {
+		capacity = batch
+	}
+	d := &destager{
+		n: n,
+		// One index shard per node stripe: a shard's entries are exactly
+		// the fingerprints whose stripe-locked walks can peek for them.
+		shards:    make([]destageShard, len(n.stripes)),
+		shardMask: n.mask,
+		batch:     batch,
+		capacity:  capacity,
+		interval:  interval,
+		kick:      make(chan struct{}, 1),
+		done:      make(chan struct{}),
+		// Wave sizes are plain counts; 1ns base makes bucket i hold
+		// sizes in [2^(i-1), 2^i).
+		waveHist: metrics.NewHistogram(1, 16),
+	}
+	for i := range d.shards {
+		d.shards[i].pending = make(map[fingerprint.Fingerprint]*dirtyEntry)
+	}
+	d.space.L = &d.mu
+	d.settled.L = &d.mu
+	go d.loop()
+	return d
+}
+
+func (d *destager) shard(fp fingerprint.Fingerprint) *destageShard {
+	return &d.shards[fp.Bucket64()&d.shardMask]
+}
+
+func (d *destager) wake() {
+	select {
+	case d.kick <- struct{}{}:
+	default:
+	}
+}
+
+// enqueue parks an evicted dirty entry for group-committed destage. It is
+// called from the LRU eviction callback with the evicted entry's
+// cache-stripe lock (and the evicting caller's node-stripe lock) held —
+// which is safe precisely because it does no device I/O: it either
+// overwrites an already-pending value or appends to the in-RAM queue,
+// blocking only when the buffer is at capacity (backpressure) until the
+// destager — which takes no cache or node-stripe locks — frees space.
+func (d *destager) enqueue(fp fingerprint.Fingerprint, val Value) {
+	sh := d.shard(fp)
+	d.mu.Lock()
+	for {
+		sh.mu.Lock()
+		if e, ok := sh.pending[fp]; ok {
+			// Coalesce: newest value wins; a wave in flight re-queues on
+			// the generation mismatch.
+			e.val = val
+			e.gen++
+			e.retries = 0
+			sh.mu.Unlock()
+			d.mu.Unlock()
+			d.coalesced.Add(1)
+			return
+		}
+		if int(d.pendingN.Load()) < d.capacity || d.stopping {
+			sh.pending[fp] = &dirtyEntry{val: val, queued: true, at: time.Now()}
+			d.pendingN.Add(1)
+			sh.mu.Unlock()
+			d.queue = append(d.queue, fp)
+			d.queuedCount++
+			d.mu.Unlock()
+			d.wake() // the loop derives the group-commit deadline from entry.at
+			return
+		}
+		sh.mu.Unlock()
+		d.space.Wait()
+	}
+}
+
+// peek returns the pending value for fp, if any. Lookup paths call it
+// under fp's node-stripe lock after the RAM tiers miss, which keeps the
+// tier ordering exact: an entry leaves the buffer only after its wave's
+// store write completed, so a miss here means the SSD probe will see it.
+// It takes only fp's shard lock (or no lock at all when the buffer is
+// empty), so lookups on different stripes never serialize here.
+func (d *destager) peek(fp fingerprint.Fingerprint) (Value, bool) {
+	if d.pendingN.Load() == 0 {
+		return 0, false
+	}
+	sh := d.shard(fp)
+	sh.mu.Lock()
+	e, ok := sh.pending[fp]
+	var v Value
+	if ok {
+		v = e.val
+	}
+	sh.mu.Unlock()
+	return v, ok
+}
+
+// forget drops any pending destage of fp. If a wave already holds fp in
+// flight it waits for that wave to land first, so after forget returns no
+// buffered write of fp can reach the store. Called by Remove under fp's
+// node-stripe lock (the destager never takes those, so waiting here is
+// deadlock-free).
+func (d *destager) forget(fp fingerprint.Fingerprint) {
+	sh := d.shard(fp)
+	d.mu.Lock()
+	for {
+		sh.mu.Lock()
+		e, ok := sh.pending[fp]
+		if !ok {
+			sh.mu.Unlock()
+			break
+		}
+		if e.queued {
+			// Still only queued: drop it. Its fingerprint stays in the
+			// queue slice; the pop skips entries no longer pending.
+			delete(sh.pending, fp)
+			d.pendingN.Add(-1)
+			sh.mu.Unlock()
+			d.queuedCount--
+			d.space.Broadcast()
+			break
+		}
+		sh.mu.Unlock()
+		d.settled.Wait()
+	}
+	d.mu.Unlock()
+}
+
+// drain blocks until the buffer is empty, firing waves immediately
+// (ignoring the batch/interval group-commit triggers) while it waits.
+func (d *destager) drain() {
+	d.mu.Lock()
+	d.draining++
+	d.mu.Unlock()
+	d.wake()
+	d.mu.Lock()
+	for d.pendingN.Load() > 0 {
+		d.settled.Wait()
+	}
+	d.draining--
+	d.mu.Unlock()
+}
+
+// depth reports the current number of pending entries.
+func (d *destager) depth() int {
+	return int(d.pendingN.Load())
+}
+
+// stop shuts the destager down after draining whatever is still queued.
+// The node calls it with the buffer already drained and the node closed,
+// so no new entries can arrive.
+func (d *destager) stop() {
+	d.mu.Lock()
+	d.stopping = true
+	d.space.Broadcast()
+	d.mu.Unlock()
+	d.wake()
+	<-d.done
+}
+
+// advanceHeadLocked skips queue positions whose entry was forgotten or
+// already popped, returning whether a queued entry is at the head and its
+// enqueue time (copied under the shard lock). Caller holds d.mu.
+func (d *destager) advanceHeadLocked() (time.Time, bool) {
+	for d.head < len(d.queue) {
+		fp := d.queue[d.head]
+		sh := d.shard(fp)
+		sh.mu.Lock()
+		e, ok := sh.pending[fp]
+		if ok && e.queued {
+			at := e.at
+			sh.mu.Unlock()
+			return at, true
+		}
+		sh.mu.Unlock()
+		d.head++
+	}
+	d.queue = d.queue[:0]
+	d.head = 0
+	return time.Time{}, false
+}
+
+// popWaveLocked captures up to batch queued entries into a wave, leaving
+// them in the index (marked in flight) so lookups still find them. Caller
+// holds d.mu.
+func (d *destager) popWaveLocked() []waveItem {
+	n := d.batch
+	if n > d.queuedCount {
+		n = d.queuedCount
+	}
+	wave := make([]waveItem, 0, n)
+	for len(wave) < d.batch && d.head < len(d.queue) {
+		fp := d.queue[d.head]
+		d.head++
+		sh := d.shard(fp)
+		sh.mu.Lock()
+		e, ok := sh.pending[fp]
+		if !ok || !e.queued {
+			sh.mu.Unlock()
+			continue
+		}
+		e.queued = false
+		wave = append(wave, waveItem{fp: fp, val: e.val, gen: e.gen})
+		sh.mu.Unlock()
+		d.queuedCount--
+	}
+	if d.head == len(d.queue) {
+		d.queue = d.queue[:0]
+		d.head = 0
+	}
+	return wave
+}
+
+// loop is the destager goroutine: group-commit scheduling plus wave
+// execution.
+func (d *destager) loop() {
+	defer close(d.done)
+	for {
+		d.mu.Lock()
+		headAt, ok := d.advanceHeadLocked()
+		if !ok {
+			if d.stopping {
+				d.mu.Unlock()
+				return
+			}
+			d.mu.Unlock()
+			<-d.kick
+			continue
+		}
+		if d.queuedCount < d.batch && d.draining == 0 && !d.stopping {
+			if wait := d.interval - time.Since(headAt); wait > 0 {
+				d.mu.Unlock()
+				t := time.NewTimer(wait)
+				select {
+				case <-d.kick:
+				case <-t.C:
+				}
+				t.Stop()
+				continue
+			}
+		}
+		wave := d.popWaveLocked()
+		d.mu.Unlock()
+		d.runWave(wave)
+	}
+}
+
+// runWave writes one group-commit wave through the store — batched when
+// the store supports it — then retires the written entries. Entries
+// overwritten while the wave was in flight are re-queued with their newer
+// value. When the batched write fails, the wave falls back to per-key
+// writes so each entry's fate depends on its *own* write (a batch error
+// may cover chains that were never attempted): entries whose write
+// succeeded retire normally, entries whose write failed are re-queued —
+// still findable in the buffer — and dropped only after
+// maxDestageRetries of their own failures. The wave runs under no
+// context: caller cancellation must never abandon dirty data the cache
+// has already forgotten.
+func (d *destager) runWave(wave []waveItem) {
+	if len(wave) == 0 {
+		return
+	}
+	pairs := make([]hashdb.Pair, len(wave))
+	for i, it := range wave {
+		pairs[i] = hashdb.Pair{FP: it.fp, Val: it.val}
+	}
+	var (
+		pages     int
+		succeeded = len(wave)
+		failed    []bool // per-entry write failure; nil = all succeeded
+		// lastErr is this wave's most recent write failure. It is NOT
+		// parked here: a transient error the fallback or a retry absorbs
+		// is not data loss, and parking it would make Flush/Close report
+		// failure for fully durable data. It surfaces only if an entry is
+		// actually dropped below.
+		lastErr error
+	)
+	bp, batchable := d.n.store.(hashdb.BatchPutter)
+	if batchable {
+		_, pages, lastErr = bp.PutBatch(context.Background(), pairs)
+	}
+	if !batchable || lastErr != nil {
+		failed = make([]bool, len(pairs))
+		pages, succeeded = 0, 0
+		for i, p := range pairs {
+			if _, perr := d.n.store.Put(p.FP, p.Val); perr != nil {
+				failed[i] = true
+				lastErr = perr
+				continue
+			}
+			pages++
+			succeeded++
+		}
+	}
+	d.entries.Add(uint64(succeeded))
+	d.pages.Add(uint64(pages))
+	d.waves.Add(1)
+	d.waveHist.Observe(time.Duration(len(wave)))
+
+	d.mu.Lock()
+	dropped := 0
+	for i, it := range wave {
+		sh := d.shard(it.fp)
+		sh.mu.Lock()
+		e, ok := sh.pending[it.fp]
+		if !ok {
+			sh.mu.Unlock()
+			continue // forgotten (Remove) while in flight
+		}
+		requeue := false
+		switch {
+		case e.gen != it.gen:
+			// Overwritten mid-flight: the newer value still owes a write
+			// regardless of how this wave fared.
+			e.retries = 0
+			requeue = true
+		case failed != nil && failed[i]:
+			// This entry's own write failed and its value reached nothing
+			// durable: keep it findable and retry, up to the cap.
+			e.retries++
+			if e.retries > maxDestageRetries {
+				dropped++
+			} else {
+				requeue = true
+			}
+		}
+		if requeue {
+			e.queued = true
+			e.at = time.Now()
+			sh.mu.Unlock()
+			d.queue = append(d.queue, it.fp)
+			d.queuedCount++
+			continue
+		}
+		delete(sh.pending, it.fp)
+		d.pendingN.Add(-1)
+		sh.mu.Unlock()
+	}
+	d.space.Broadcast()
+	d.settled.Broadcast()
+	d.mu.Unlock()
+	if dropped > 0 {
+		d.n.recordDestageErr(fmt.Errorf("core: node %s: destage: dropped %d entries after %d failed writes each: %w", d.n.id, dropped, maxDestageRetries+1, lastErr))
+	}
+}

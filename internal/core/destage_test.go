@@ -1,0 +1,464 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"shhc/internal/fingerprint"
+	"shhc/internal/hashdb"
+	"shhc/internal/ring"
+)
+
+// TestDestageDurabilityCloseReopen is the end-to-end write-back durability
+// check: every insert a write-back node acknowledged must be on disk after
+// Close, including entries that were sitting in the destage buffer.
+func TestDestageDurabilityCloseReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wb.shdb")
+	db, err := hashdb.Create(path, hashdb.Options{ExpectedItems: 4096})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	n, err := NewNode(NodeConfig{
+		ID:            "wb-durability",
+		Store:         db,
+		CacheSize:     64, // far smaller than the insert count: constant eviction pressure
+		WriteBack:     true,
+		BloomExpected: 8192,
+		DestageBatch:  32,
+	})
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	const total = 2000
+	for i := uint64(0); i < total; i++ {
+		if _, err := n.LookupOrInsert(context.Background(), fp(i), Value(i+1)); err != nil {
+			t.Fatalf("LookupOrInsert(%d): %v", i, err)
+		}
+	}
+	if err := n.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	db2, err := hashdb.Open(path, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer db2.Close()
+	if db2.Len() != total {
+		t.Fatalf("persisted entries = %d, want %d", db2.Len(), total)
+	}
+	for i := uint64(0); i < total; i++ {
+		v, ok, err := db2.Get(fp(i))
+		if err != nil || !ok || v != hashdb.Value(i+1) {
+			t.Fatalf("reopened Get(%d) = (%v,%v,%v), want (%v,true,nil)", i, v, ok, err, i+1)
+		}
+	}
+}
+
+// TestDestageDurabilityFlush checks Flush (the node's Sync) drains the
+// destage buffer fully: after it returns, every entry is in the store.
+func TestDestageDurabilityFlush(t *testing.T) {
+	store := hashdb.NewMemStore(nil)
+	n := newMemNode(t, NodeConfig{
+		Store:         store,
+		CacheSize:     32,
+		WriteBack:     true,
+		BloomExpected: 4096,
+		DestageBatch:  16,
+		// A long interval: only Flush's drain (not the timer) can have
+		// destaged the tail of the buffer.
+		DestageInterval: time.Hour,
+	})
+	const total = 500
+	for i := uint64(0); i < total; i++ {
+		if _, err := n.LookupOrInsert(context.Background(), fp(i), Value(i+1)); err != nil {
+			t.Fatalf("LookupOrInsert(%d): %v", i, err)
+		}
+	}
+	if err := n.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if store.Len() != total {
+		t.Fatalf("store len after Flush = %d, want %d", store.Len(), total)
+	}
+	for i := uint64(0); i < total; i++ {
+		v, ok, _ := store.Get(fp(i))
+		if !ok || v != hashdb.Value(i+1) {
+			t.Fatalf("Get(%d) = (%v,%v), want (%v,true)", i, v, ok, i+1)
+		}
+	}
+	st, err := n.Stats(context.Background())
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.Destage.QueueDepth != 0 {
+		t.Fatalf("QueueDepth after Flush = %d, want 0", st.Destage.QueueDepth)
+	}
+	if st.Destage.Waves == 0 || st.Destage.Entries == 0 {
+		t.Fatalf("destage counters empty after flush: %+v", st.Destage)
+	}
+	if st.Destage.WaveSizes.Count != int64(st.Destage.Waves) {
+		t.Fatalf("WaveSizes.Count = %d, want %d", st.Destage.WaveSizes.Count, st.Destage.Waves)
+	}
+}
+
+// gatedWriteStore blocks every store write until the gate is opened. If an
+// eviction performed device I/O under a cache-stripe lock, inserts would
+// wedge behind it; with the async pipeline they must complete while the
+// store write is still parked.
+type gatedWriteStore struct {
+	*hashdb.MemStore
+	gate chan struct{}
+}
+
+func (g *gatedWriteStore) Put(f fingerprint.Fingerprint, v hashdb.Value) (bool, error) {
+	<-g.gate
+	return g.MemStore.Put(f, v)
+}
+
+func (g *gatedWriteStore) PutBatch(ctx context.Context, pairs []hashdb.Pair) ([]bool, int, error) {
+	<-g.gate
+	return g.MemStore.PutBatch(ctx, pairs)
+}
+
+// TestDestageNoDeviceIOUnderCacheLock proves the acceptance property: an
+// eviction's destage issues no device I/O while holding the cache-stripe
+// lock. All store writes are gated shut; inserts that trigger evictions
+// must still complete, with the evicted entries answerable from the dirty
+// buffer, and only a later drain performs the writes.
+func TestDestageNoDeviceIOUnderCacheLock(t *testing.T) {
+	gs := &gatedWriteStore{MemStore: hashdb.NewMemStore(nil), gate: make(chan struct{})}
+	n, err := NewNode(NodeConfig{
+		ID:            ring.NodeID("gated"),
+		Store:         gs,
+		CacheSize:     2,
+		WriteBack:     true,
+		BloomExpected: 1024,
+		DestageBatch:  4,
+		DestageQueue:  64,
+	})
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		// 8 inserts through a 2-entry cache: 6 evictions enqueue while
+		// every store write is blocked.
+		for i := uint64(0); i < 8; i++ {
+			if _, err := n.LookupOrInsert(context.Background(), fp(i), Value(i+1)); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("inserts: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("inserts blocked: eviction destage is doing device I/O under a cache-stripe lock")
+	}
+	if gs.MemStore.Len() != 0 {
+		t.Fatalf("store len = %d while writes gated, want 0", gs.MemStore.Len())
+	}
+	// Evicted-but-undestaged entries still answer through the buffer.
+	for i := uint64(0); i < 8; i++ {
+		r, err := n.Lookup(context.Background(), fp(i))
+		if err != nil || !r.Exists || r.Value != Value(i+1) {
+			t.Fatalf("Lookup(%d) with gated store = (%+v, %v), want exists", i, r, err)
+		}
+	}
+
+	close(gs.gate)
+	if err := n.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if gs.MemStore.Len() != 8 {
+		t.Fatalf("store len after drain = %d, want 8", gs.MemStore.Len())
+	}
+	if err := n.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestDestageMidDrainCancellation: cancelling a caller's context must
+// never abandon dirty data the cache already evicted — the destager runs
+// waves under no caller context. Every insert that was acknowledged before
+// the cancellation must be durable after Flush.
+func TestDestageMidDrainCancellation(t *testing.T) {
+	store := hashdb.NewMemStore(nil)
+	n := newMemNode(t, NodeConfig{
+		Store:           store,
+		CacheSize:       16,
+		WriteBack:       true,
+		BloomExpected:   8192,
+		DestageBatch:    8,
+		DestageInterval: 100 * time.Microsecond,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var acked []uint64
+	for i := uint64(0); i < 1000; i++ {
+		if i == 500 {
+			cancel() // mid-stream: drains and waves are already in motion
+		}
+		if _, err := n.LookupOrInsert(ctx, fp(i), Value(i+1)); err == nil {
+			acked = append(acked, i)
+		}
+	}
+	if len(acked) < 500 {
+		t.Fatalf("only %d inserts acknowledged before cancellation", len(acked))
+	}
+	if err := n.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	for _, i := range acked {
+		v, ok, _ := store.Get(fp(i))
+		if !ok || v != hashdb.Value(i+1) {
+			t.Fatalf("acknowledged insert %d not durable after cancel+flush: (%v,%v)", i, v, ok)
+		}
+	}
+}
+
+// TestDestageCoalescing drives a duplicate-heavy update stream through the
+// write-back path: repeated updates of the same keys must coalesce in the
+// dirty buffer, and group commit must write fewer pages than entries.
+func TestDestageCoalescing(t *testing.T) {
+	dir := t.TempDir()
+	db, err := hashdb.Create(filepath.Join(dir, "coalesce.shdb"), hashdb.Options{ExpectedItems: 2048})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	n, err := NewNode(NodeConfig{
+		ID:              "coalesce",
+		Store:           db,
+		CacheSize:       32,
+		WriteBack:       true,
+		BloomExpected:   4096,
+		DestageBatch:    64,
+		DestageInterval: 50 * time.Millisecond, // let waves fill instead of firing early
+	})
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	const keys = 512
+	// Three passes of updates over the same key space; later passes bump
+	// the value, so buffered entries get overwritten while pending.
+	for pass := uint64(0); pass < 3; pass++ {
+		for i := uint64(0); i < keys; i++ {
+			if err := n.Insert(context.Background(), fp(i), Value(1000*pass+i)); err != nil {
+				t.Fatalf("Insert: %v", err)
+			}
+		}
+	}
+	if err := n.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	st, err := n.Stats(context.Background())
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.Destage.Entries == 0 || st.Destage.Pages == 0 {
+		t.Fatalf("no destage activity: %+v", st.Destage)
+	}
+	if ratio := float64(st.Destage.Entries) / float64(st.Destage.Pages); ratio <= 1 {
+		t.Fatalf("write-coalescing ratio = %.2f (entries %d / pages %d), want > 1",
+			ratio, st.Destage.Entries, st.Destage.Pages)
+	}
+	// Every key must end at its final (pass-2) value.
+	for i := uint64(0); i < keys; i++ {
+		r, err := n.Lookup(context.Background(), fp(i))
+		if err != nil || !r.Exists || r.Value != Value(2000+i) {
+			t.Fatalf("final Lookup(%d) = (%+v, %v), want value %d", i, r, err, 2000+i)
+		}
+	}
+	if err := n.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// flakyPutStore fails the first `failures` batched writes, then recovers.
+type flakyPutStore struct {
+	*hashdb.MemStore
+	remaining atomic.Int64
+}
+
+func (f *flakyPutStore) PutBatch(ctx context.Context, pairs []hashdb.Pair) ([]bool, int, error) {
+	if f.remaining.Add(-1) >= 0 {
+		return nil, 0, fmt.Errorf("injected transient wave failure")
+	}
+	return f.MemStore.PutBatch(ctx, pairs)
+}
+
+// TestDestageTransientFailureRetries: one failed wave must not forfeit
+// its entries — they are re-queued (still answerable from the buffer) and
+// land durably once the store recovers. The parked error still surfaces.
+func TestDestageTransientFailureRetries(t *testing.T) {
+	fs := &flakyPutStore{MemStore: hashdb.NewMemStore(nil)}
+	fs.remaining.Store(1) // exactly the first wave fails
+	n, err := NewNode(NodeConfig{
+		ID:              ring.NodeID("flaky"),
+		Store:           fs,
+		CacheSize:       8,
+		WriteBack:       true,
+		BloomExpected:   4096,
+		DestageBatch:    16,
+		DestageInterval: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	const total = 200
+	for i := uint64(0); i < total; i++ {
+		// The parked wave error may surface on any later insert; keep
+		// going — durability is what this test asserts.
+		n.LookupOrInsert(context.Background(), fp(i), Value(i+1))
+	}
+	if err := n.Flush(); err != nil {
+		// The injected failure may surface here; that is the error
+		// delivery contract, not a durability failure.
+		t.Logf("Flush surfaced parked error (expected): %v", err)
+		if err := n.Flush(); err != nil {
+			t.Fatalf("second Flush: %v", err)
+		}
+	}
+	for i := uint64(0); i < total; i++ {
+		v, ok, _ := fs.MemStore.Get(fp(i))
+		if !ok || v != hashdb.Value(i+1) {
+			t.Fatalf("entry %d lost to a transient wave failure: (%v,%v)", i, v, ok)
+		}
+	}
+	if err := n.Close(); err != nil && err != errNodeClosed {
+		t.Logf("Close: %v", err)
+	}
+}
+
+// TestDestageBackpressure bounds the buffer tightly and hammers it: no
+// insert may be lost even when evictions must repeatedly block for space.
+func TestDestageBackpressure(t *testing.T) {
+	store := hashdb.NewMemStore(nil)
+	n := newMemNode(t, NodeConfig{
+		Store:           store,
+		CacheSize:       8,
+		WriteBack:       true,
+		BloomExpected:   16384,
+		DestageBatch:    4,
+		DestageQueue:    4, // clamped to the batch size: constant backpressure
+		DestageInterval: time.Millisecond,
+	})
+	const total = 3000
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < total/4; i++ {
+				k := uint64(g*(total/4) + i)
+				if _, err := n.LookupOrInsert(context.Background(), fp(k), Value(k+1)); err != nil {
+					errs <- fmt.Errorf("insert %d: %w", k, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := n.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if store.Len() != total {
+		t.Fatalf("store len = %d, want %d", store.Len(), total)
+	}
+}
+
+// TestDestageConcurrentLookupsRace races lookups and batch lookups against
+// eviction-driven destage waves under -race: once an insert is
+// acknowledged, the fingerprint must answer as a duplicate from whichever
+// tier currently holds it (cache, dirty buffer, or store).
+func TestDestageConcurrentLookupsRace(t *testing.T) {
+	store := hashdb.NewMemStore(nil)
+	n := newMemNode(t, NodeConfig{
+		Store:           store,
+		CacheSize:       16,
+		WriteBack:       true,
+		BloomExpected:   16384,
+		DestageBatch:    8,
+		DestageInterval: 200 * time.Microsecond,
+	})
+	const total = 1500
+	var inserted atomic.Uint64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < total; i++ {
+			if _, err := n.LookupOrInsert(context.Background(), fp(i), Value(i+1)); err != nil {
+				t.Errorf("insert %d: %v", i, err)
+				return
+			}
+			inserted.Store(i + 1)
+		}
+	}()
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for k := 0; k < 400; k++ {
+				hi := inserted.Load()
+				if hi == 0 {
+					continue
+				}
+				i := uint64((k*31 + r*17) % int(hi))
+				res, err := n.Lookup(context.Background(), fp(i))
+				if err != nil {
+					t.Errorf("lookup %d: %v", i, err)
+					return
+				}
+				if !res.Exists || res.Value != Value(i+1) {
+					t.Errorf("lookup %d = %+v, want exists with %d", i, res, i+1)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if err := n.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if store.Len() != total {
+		t.Fatalf("store len = %d, want %d", store.Len(), total)
+	}
+}
+
+func BenchmarkNodeWriteBackDestage(b *testing.B) {
+	n, err := NewNode(NodeConfig{
+		ID:            "bench-wb",
+		Store:         hashdb.NewMemStore(nil),
+		CacheSize:     1 << 10,
+		WriteBack:     true,
+		BloomExpected: 1 << 21,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { n.Close() })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.LookupOrInsert(context.Background(), fp(uint64(i)), Value(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

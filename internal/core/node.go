@@ -104,7 +104,21 @@ type NodeConfig struct {
 	// WriteBack delays SSD inserts until cache eviction (destage),
 	// trading durability for insert latency — the paper's Figure 4
 	// "LRU full? → Destage" arm and dedupv1's delayed-write idea.
+	// Evicted dirty entries are parked in a bounded dirty buffer and
+	// destaged asynchronously in page-coalesced group-commit waves (see
+	// destage.go); no device I/O ever runs under a cache-stripe lock.
 	WriteBack bool
+	// DestageBatch is the largest group-commit wave (entries) the
+	// write-back destager writes at once. 0 selects the default (256).
+	DestageBatch int
+	// DestageInterval bounds how long an evicted dirty entry waits in the
+	// destage buffer before a wave is forced even if DestageBatch entries
+	// have not accumulated. 0 selects the default (2ms).
+	DestageInterval time.Duration
+	// DestageQueue bounds the dirty destage buffer (entries); evictions
+	// into a full buffer block until the destager frees space
+	// (backpressure). 0 selects the default (4 × DestageBatch).
+	DestageQueue int
 	// Stripes is the number of hot-path lock stripes (rounded down to a
 	// power of two). Operations on fingerprints in different stripes run
 	// concurrently; operations on one fingerprint always serialize, which
@@ -138,6 +152,32 @@ func newPhaseHistogram() *metrics.Histogram {
 	return metrics.NewHistogram(100*time.Nanosecond, 40)
 }
 
+// DestageStats snapshots the write-back destage pipeline (all zero unless
+// the node runs WriteBack).
+type DestageStats struct {
+	// QueueDepth is the number of evicted dirty entries currently waiting
+	// in the destage buffer.
+	QueueDepth uint64
+	// Entries counts entries durably destaged by group-commit waves;
+	// Pages counts the device page writes those waves cost. Their ratio
+	// is the write-coalescing factor (>1 means batching paid off).
+	Entries uint64
+	Pages   uint64
+	// Waves counts group-commit waves issued.
+	Waves uint64
+	// Coalesced counts enqueues absorbed by overwriting an entry already
+	// pending in the buffer (duplicate-update coalescing).
+	Coalesced uint64
+	// BufferHits counts lookups answered from the dirty buffer — entries
+	// evicted from the cache but not yet on the SSD (they also count
+	// under StoreHits, since the buffer is logically the store's write
+	// staging area).
+	BufferHits uint64
+	// WaveSizes digests entries-per-wave; the Summary's durations carry
+	// plain counts (1ns == one entry).
+	WaveSizes metrics.Summary
+}
+
 // NodeStats snapshots a node's counters.
 type NodeStats struct {
 	ID          ring.NodeID
@@ -156,6 +196,8 @@ type NodeStats struct {
 	Cache        lru.Stats
 	// Phases digests per-tier latency (see PhaseTimings).
 	Phases PhaseTimings
+	// Destage snapshots the write-back group-commit pipeline.
+	Destage DestageStats
 }
 
 // minCachePerStripe is the smallest LRU capacity worth splitting into an
@@ -194,14 +236,15 @@ type nodeStripe struct {
 	histBloom *metrics.Histogram
 	histSSD   *metrics.Histogram
 
-	lookups    uint64
-	inserts    uint64
-	cacheHits  uint64
-	bloomShort uint64
-	storeHits  uint64
-	storeMiss  uint64
-	bloomFalse uint64
-	coalesced  uint64
+	lookups     uint64
+	inserts     uint64
+	cacheHits   uint64
+	bloomShort  uint64
+	storeHits   uint64
+	storeMiss   uint64
+	bloomFalse  uint64
+	coalesced   uint64
+	destageHits uint64 // lookups answered from the destage dirty buffer
 }
 
 // Node is a hybrid RAM+SSD hash node. All methods are safe for concurrent
@@ -218,6 +261,11 @@ type Node struct {
 	lockedIO bool
 	stripes  []nodeStripe
 	mask     uint64
+
+	// dst is the asynchronous destage pipeline (write-back nodes only):
+	// evictions enqueue dirty entries here and a dedicated goroutine
+	// group-commits them to the store. See destage.go.
+	dst *destager
 
 	// flights tracks SSD phases running outside the stripe locks; Close
 	// waits for them before flushing and closing the store.
@@ -309,25 +357,36 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	} else if cfg.WriteBack {
 		return nil, errors.New("core: WriteBack requires a cache")
 	}
+	if cfg.WriteBack {
+		n.dst = newDestager(n, cfg.DestageBatch, cfg.DestageQueue, cfg.DestageInterval)
+	}
 	return n, nil
 }
 
-// onEvict destages dirty entries to the persistent store (Figure 4's
+// onEvict hands dirty evicted entries to the destage pipeline (Figure 4's
 // "Destage" box). The striped cache invokes it with the evicted entry's
-// cache-stripe lock held, so the destage is atomic with the eviction: a
-// concurrent lookup of the evicted fingerprint blocks on that stripe until
-// the entry is safely in the store.
+// cache-stripe lock held, which is why it must not touch the device: it
+// only parks the entry in the bounded dirty buffer (pure RAM, blocking
+// solely on buffer-full backpressure); the destager goroutine performs the
+// actual store writes in group-commit waves with no cache or node-stripe
+// locks held. Lookups of the evicted fingerprint find it in the buffer
+// until the destage lands, so the eviction is still atomic as observed
+// through the Figure 4 walk.
 func (n *Node) onEvict(fp fingerprint.Fingerprint, val lru.Value, dirty bool) {
 	if !dirty {
 		return
 	}
-	if _, err := n.store.Put(fp, Value(val)); err != nil {
-		n.destageMu.Lock()
-		if n.destageErr == nil {
-			n.destageErr = fmt.Errorf("core: node %s: destage %s: %w", n.id, fp.Short(), err)
-		}
-		n.destageMu.Unlock()
+	n.dst.enqueue(fp, Value(val))
+}
+
+// recordDestageErr parks the first destage failure for delivery on the
+// next insert, Flush, or Close (see takeDestageErr).
+func (n *Node) recordDestageErr(err error) {
+	n.destageMu.Lock()
+	if n.destageErr == nil {
+		n.destageErr = err
 	}
+	n.destageMu.Unlock()
 }
 
 // takeDestageErr returns and clears the pending destage failure, if any.
@@ -433,6 +492,16 @@ func (n *Node) lookupOrInsertLocked(s *nodeStripe, fp fingerprint.Fingerprint, v
 				return LookupResult{}, err
 			}
 			return LookupResult{Exists: false, Source: SourceBloom}, nil
+		}
+	}
+
+	// 2b. Destage dirty buffer: an entry evicted from the cache but not
+	// yet group-committed to the SSD is still part of the logical store.
+	if n.dst != nil {
+		if v, ok := n.dst.peek(fp); ok {
+			s.destageHits++
+			s.storeHits++
+			return LookupResult{Exists: true, Value: v, Source: SourceStore}, nil
 		}
 	}
 
@@ -599,6 +668,13 @@ func (n *Node) lookupLocked(s *nodeStripe, fp fingerprint.Fingerprint) (LookupRe
 			return LookupResult{Exists: false, Source: SourceBloom}, nil
 		}
 	}
+	if n.dst != nil {
+		if v, ok := n.dst.peek(fp); ok {
+			s.destageHits++
+			s.storeHits++
+			return LookupResult{Exists: true, Value: v, Source: SourceStore}, nil
+		}
+	}
 	t0 := time.Now()
 	v, ok, err := n.store.Get(fp)
 	s.histSSD.Observe(time.Since(t0))
@@ -698,7 +774,8 @@ func (n *Node) batchLocked(ctx context.Context, count int, fpOf func(int) finger
 	return results, nil
 }
 
-// Flush destages every dirty cache entry to the store and syncs it.
+// Flush destages every dirty cache entry to the store, drains the destage
+// buffer fully, and syncs the store.
 func (n *Node) Flush() error {
 	n.lockAll()
 	defer n.unlockAll()
@@ -711,19 +788,26 @@ func (n *Node) Flush() error {
 	return n.store.Sync()
 }
 
-// flushLocked destages dirty cache entries. Caller holds every stripe lock.
+// flushLocked routes every dirty cache entry through the destage pipeline
+// and drains it, so the flush itself benefits from group-committed,
+// page-coalesced writes. Caller holds every stripe lock (the destager
+// takes none of them, so the drain always progresses). Entries are marked
+// clean only after the drain succeeded, keeping a failed flush retryable.
 func (n *Node) flushLocked() error {
 	if n.cache == nil || !n.wb {
 		return nil
 	}
-	for _, fp := range n.cache.Keys() {
-		v, ok := n.cache.Peek(fp)
-		if !ok {
-			continue
+	dirty := n.cache.DirtyKeys()
+	for _, fp := range dirty {
+		if v, ok := n.cache.Peek(fp); ok {
+			n.dst.enqueue(fp, Value(v))
 		}
-		if _, err := n.store.Put(fp, Value(v)); err != nil {
-			return fmt.Errorf("core: node %s: flush %s: %w", n.id, fp.Short(), err)
-		}
+	}
+	n.dst.drain()
+	if err := n.takeDestageErr(); err != nil {
+		return fmt.Errorf("core: node %s: flush: %w", n.id, err)
+	}
+	for _, fp := range dirty {
 		n.cache.MarkClean(fp)
 	}
 	return nil
@@ -785,6 +869,12 @@ func (n *Node) Remove(fp fingerprint.Fingerprint) (bool, error) {
 	if n.cache != nil {
 		n.cache.Remove(fp)
 	}
+	if n.dst != nil {
+		// Drop any pending destage (waiting out a wave that already holds
+		// it), or the buffered write would resurrect the entry after the
+		// delete below.
+		n.dst.forget(fp)
+	}
 	removed, err := d.Delete(fp)
 	if err != nil {
 		return false, fmt.Errorf("core: node %s: remove %s: %w", n.id, fp.Short(), err)
@@ -816,6 +906,15 @@ func (n *Node) Stats(ctx context.Context) (NodeStats, error) {
 		st.StoreMisses += s.storeMiss
 		st.BloomFalse += s.bloomFalse
 		st.Coalesced += s.coalesced
+		st.Destage.BufferHits += s.destageHits
+	}
+	if n.dst != nil {
+		st.Destage.QueueDepth = uint64(n.dst.depth())
+		st.Destage.Entries = n.dst.entries.Load()
+		st.Destage.Pages = n.dst.pages.Load()
+		st.Destage.Waves = n.dst.waves.Load()
+		st.Destage.Coalesced = n.dst.coalesced.Load()
+		st.Destage.WaveSizes = n.dst.waveHist.Summarize()
 	}
 	mergedPhase := func(get func(*nodeStripe) *metrics.Histogram) metrics.Summary {
 		m := newPhaseHistogram()
@@ -857,6 +956,11 @@ func (n *Node) Close() error {
 	n.lockAll()
 	defer n.unlockAll()
 	err := n.flushLocked()
+	if n.dst != nil {
+		// The buffer is drained; stop the destager before closing the
+		// store so no wave can race the close.
+		n.dst.stop()
+	}
 	if cerr := n.store.Close(); err == nil {
 		err = cerr
 	}

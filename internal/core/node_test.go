@@ -4,6 +4,7 @@ import (
 	"context"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"shhc/internal/fingerprint"
 	"shhc/internal/hashdb"
@@ -171,20 +172,36 @@ func TestBatchPreservesOrderAndDetectsIntraBatchDuplicates(t *testing.T) {
 
 func TestWriteBackDestagesOnEviction(t *testing.T) {
 	store := hashdb.NewMemStore(nil)
-	n := newMemNode(t, NodeConfig{Store: store, CacheSize: 2, WriteBack: true})
+	// A tiny DestageInterval keeps the asynchronous group-commit prompt
+	// even though one eviction never fills a wave.
+	n := newMemNode(t, NodeConfig{Store: store, CacheSize: 2, WriteBack: true,
+		DestageInterval: 100 * time.Microsecond})
 
 	n.LookupOrInsert(context.Background(), fp(1), 1)
 	if store.Len() != 0 {
 		t.Fatalf("write-back inserted to store immediately (len=%d)", store.Len())
 	}
 	n.LookupOrInsert(context.Background(), fp(2), 2)
-	n.LookupOrInsert(context.Background(), fp(3), 3) // evicts fp(1) -> destage
-	if store.Len() != 1 {
-		t.Fatalf("store len after destage = %d, want 1", store.Len())
+	n.LookupOrInsert(context.Background(), fp(3), 3) // evicts fp(1) -> async destage
+
+	// The eviction itself does no store I/O; the destager group-commits
+	// the entry shortly after. Whether the wave has landed yet or not,
+	// the lookup path must answer fp(1) — from the dirty buffer before,
+	// from the SSD after.
+	if r, err := n.Lookup(context.Background(), fp(1)); err != nil || !r.Exists || r.Value != 1 {
+		t.Fatalf("evicted entry lookup = (%+v, %v), want exists with value 1", r, err)
 	}
-	if v, ok, _ := store.Get(fp(1)); !ok || v != 1 {
-		t.Fatalf("destaged entry = (%v,%v), want (1,true)", v, ok)
+	// Only fp(1) is asserted: the Lookup above may itself have promoted
+	// fp(1) back into the 2-entry cache and evicted another dirty entry,
+	// so the store's total length is racy by design.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if v, ok, _ := store.Get(fp(1)); ok && v == 1 {
+			return
+		}
+		time.Sleep(time.Millisecond)
 	}
+	t.Fatal("evicted entry fp(1) never destaged to the store")
 }
 
 func TestWriteBackFlush(t *testing.T) {

@@ -178,6 +178,19 @@ func (n *Node) lookupAsync(ctx context.Context, fp fingerprint.Fingerprint, val 
 				return n.bloomInsert(ctx, s, fp, val)
 			}
 		}
+		// Destage dirty buffer: an entry evicted from the cache but not
+		// yet group-committed to the SSD is still part of the logical
+		// store; answering it here (under the stripe lock, before the SSD
+		// arm) keeps the Figure 4 tier ordering exact per fingerprint.
+		if n.dst != nil {
+			if v, ok := n.dst.peek(fp); ok {
+				s.destageHits++
+				s.storeHits++
+				s.lookups++
+				s.mu.Unlock()
+				return LookupResult{Exists: true, Value: v, Source: SourceStore}, nil
+			}
+		}
 
 		// Phase 2 — the SSD arm. Join an in-flight operation on the same
 		// fingerprint as a rider, or run our own probe with the stripe
@@ -563,6 +576,15 @@ func (n *Node) batchAsync(ctx context.Context, count int, fpOf func(int) fingerp
 					continue
 				}
 			}
+			if n.dst != nil {
+				if v, ok := n.dst.peek(fp); ok {
+					s.destageHits++
+					s.storeHits++
+					s.lookups++
+					results[i] = LookupResult{Exists: true, Value: v, Source: SourceStore}
+					continue
+				}
+			}
 			if oi, ok := ownedByFP[fp]; ok {
 				owned[oi].joiners = append(owned[oi].joiners, i)
 				continue
@@ -637,7 +659,10 @@ func (n *Node) batchAsync(ctx context.Context, count int, fpOf func(int) fingerp
 	}
 	if insert && !n.wb {
 		// Write-through inserts: direct (Bloom-negative) flights plus
-		// probe misses, overlapped like the reads.
+		// probe misses. Stores with a batched write path coalesce them
+		// into one read-modify-write per bucket page (the group-committed
+		// twin of GetBatch); otherwise per-key puts overlap like the
+		// reads.
 		var puts []int
 		for oi := range owned {
 			if owned[oi].direct || !owned[oi].exists {
@@ -645,11 +670,20 @@ func (n *Node) batchAsync(ctx context.Context, count int, fpOf func(int) fingerp
 			}
 		}
 		if len(puts) > 0 {
-			err := parallel.Do(ctx, len(puts), parallel.IODepth, func(k int) error {
-				oi := puts[k]
-				_, perr := n.store.Put(fpOf(owned[oi].idx), valOf(owned[oi].idx))
-				return perr
-			})
+			var err error
+			if bp, ok := n.store.(hashdb.BatchPutter); ok {
+				pairs := make([]hashdb.Pair, len(puts))
+				for k, oi := range puts {
+					pairs[k] = hashdb.Pair{FP: fpOf(owned[oi].idx), Val: valOf(owned[oi].idx)}
+				}
+				_, _, err = bp.PutBatch(ctx, pairs)
+			} else {
+				err = parallel.Do(ctx, len(puts), parallel.IODepth, func(k int) error {
+					oi := puts[k]
+					_, perr := n.store.Put(fpOf(owned[oi].idx), valOf(owned[oi].idx))
+					return perr
+				})
+			}
 			if err != nil {
 				observeWave(t0)
 				if isCtxErr(err) {

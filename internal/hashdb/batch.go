@@ -24,13 +24,15 @@ var (
 	_ BatchGetter = (*MemStore)(nil)
 )
 
-// groupBy partitions probe indices by a shard key (bucket page for the
+// groupBy partitions item indices by a shard key (bucket page for the
 // on-disk table, map shard for the in-RAM store), returning the groups as
-// a slice the worker pool can pull from.
-func groupBy(fps []fingerprint.Fingerprint, keyOf func(fingerprint.Fingerprint) uint64) [][]int {
-	groups := make(map[uint64][]int, len(fps))
-	for i, fp := range fps {
-		k := keyOf(fp)
+// a slice the worker pool can pull from. Within a group, indices keep
+// input order, which is what gives batched writes their in-order duplicate
+// semantics.
+func groupBy(n int, keyOf func(int) uint64) [][]int {
+	groups := make(map[uint64][]int, n)
+	for i := 0; i < n; i++ {
+		k := keyOf(i)
 		groups[k] = append(groups[k], i)
 	}
 	work := make([][]int, 0, len(groups))
@@ -55,7 +57,7 @@ func (db *DB) GetBatch(ctx context.Context, fps []fingerprint.Fingerprint) ([]Va
 	if len(fps) == 0 {
 		return vals, found, nil
 	}
-	work := groupBy(fps, db.bucketPage)
+	work := groupBy(len(fps), func(i int) uint64 { return db.bucketPage(fps[i]) })
 	err := parallel.Do(ctx, len(work), parallel.IODepth, func(w int) error {
 		idxs := work[w]
 		return db.getChain(ctx, db.bucketPage(fps[idxs[0]]), idxs, fps, vals, found)
@@ -117,8 +119,8 @@ func (s *MemStore) GetBatch(ctx context.Context, fps []fingerprint.Fingerprint) 
 	if len(fps) == 0 {
 		return vals, found, nil
 	}
-	work := groupBy(fps, func(fp fingerprint.Fingerprint) uint64 {
-		return fp.Bucket64() & (memShards - 1)
+	work := groupBy(len(fps), func(i int) uint64 {
+		return fps[i].Bucket64() & (memShards - 1)
 	})
 	done := ctx.Done()
 	err := parallel.Do(ctx, len(work), parallel.IODepth, func(w int) error {

@@ -17,6 +17,7 @@
 package hashdb
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -140,9 +141,37 @@ type DB struct {
 	pages         atomic.Uint64 // total pages including header
 	overflowPages atomic.Uint64 // chain statistics, for diagnostics
 	dirty         atomic.Bool   // header on disk says unclean
+
+	// Chain-degradation telemetry, recorded by every write-path chain
+	// walk: the longest chain seen and a histogram of observed chain
+	// lengths (bucket i counts chains of i+1 pages, the last clamps).
+	maxChain  atomic.Uint64
+	chainHist [chainHistBuckets]atomic.Uint64
 	// closed is written with every stripe write-locked and read under any
 	// stripe lock, so each operation observes it coherently.
 	closed bool
+}
+
+// chainHistBuckets sizes the observed chain-length histogram; chains of
+// chainHistBuckets or more pages clamp into the last bucket.
+const chainHistBuckets = 8
+
+// observeChain records one write-path walk of a chain of n pages.
+func (db *DB) observeChain(n int) {
+	if n <= 0 {
+		return
+	}
+	b := n - 1
+	if b >= chainHistBuckets {
+		b = chainHistBuckets - 1
+	}
+	db.chainHist[b].Add(1)
+	for {
+		cur := db.maxChain.Load()
+		if uint64(n) <= cur || db.maxChain.CompareAndSwap(cur, uint64(n)) {
+			break
+		}
+	}
 }
 
 func newStripes(n int) []dbStripe {
@@ -412,82 +441,18 @@ func (db *DB) Has(fp fingerprint.Fingerprint) (bool, error) {
 	return ok, err
 }
 
+// oneIdx is the index group of a single-pair chain walk (Put).
+var oneIdx = []int{0}
+
 // Put stores fp -> v, overwriting any previous value. It reports whether a
-// new entry was created (false means an existing entry was updated).
+// new entry was created (false means an existing entry was updated). Put is
+// the single-pair case of the batched chain walk (putChain): one read and
+// at most one write per chain page, all through pooled page buffers.
 func (db *DB) Put(fp fingerprint.Fingerprint, v Value) (bool, error) {
-	st := db.stripeFor(fp)
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if db.closed {
-		return false, ErrClosed
-	}
-	if err := db.markDirty(); err != nil {
-		return false, err
-	}
-
-	page := getPage()
-	defer putPage(page)
-	var (
-		freePage  uint64 // first page in chain with a free slot
-		freePg    []byte
-		lastPage  uint64 // tail of the chain, for linking a new overflow
-		lastPg    []byte
-		chainHops int
-	)
-	for p := db.bucketPage(fp); p != 0; {
-		if err := db.readPage(p, page); err != nil {
-			return false, err
-		}
-		n := pageCount(page)
-		for i := 0; i < n; i++ {
-			efp, _ := entryAt(page, i)
-			if efp == fp {
-				setEntryAt(page, i, fp, v)
-				return false, db.writePage(p, page)
-			}
-		}
-		if n < SlotsPerPage && freePg == nil {
-			freePage = p
-			freePg = append([]byte(nil), page...)
-		}
-		lastPage = p
-		lastPg = append(lastPg[:0], page...)
-		chainHops++
-		p = pageNext(page)
-	}
-
-	if freePg != nil {
-		n := pageCount(freePg)
-		setEntryAt(freePg, n, fp, v)
-		setPageCount(freePg, n+1)
-		if err := db.writePage(freePage, freePg); err != nil {
-			return false, err
-		}
-		db.entries.Add(1)
-		return true, nil
-	}
-
-	// Whole chain full: allocate an overflow page at EOF and link it. The
-	// allocation (claiming a page number) serializes on allocMu; the page
-	// writes land at distinct offsets and stay under this stripe's lock.
-	db.allocMu.Lock()
-	newPage := db.pages.Load()
-	db.pages.Add(1)
-	db.allocMu.Unlock()
-	fresh := make([]byte, PageSize)
-	setEntryAt(fresh, 0, fp, v)
-	setPageCount(fresh, 1)
-	if err := db.writePage(newPage, fresh); err != nil {
-		return false, err
-	}
-	setPageNext(lastPg, newPage)
-	if err := db.writePage(lastPage, lastPg); err != nil {
-		return false, err
-	}
-	db.overflowPages.Add(1)
-	db.entries.Add(1)
-	_ = chainHops
-	return true, nil
+	pairs := [1]Pair{{FP: fp, Val: v}}
+	var created [1]bool
+	_, err := db.putChain(context.Background(), db.bucketPage(fp), oneIdx, pairs[:], created[:])
+	return created[0], err
 }
 
 // Delete removes fp, reporting whether it was present. The slot is filled
@@ -640,6 +605,14 @@ type Stats struct {
 	Stripes       int
 	Pages         uint64
 	OverflowPages uint64
+	// MaxChain is the longest bucket chain (in pages) any write-path walk
+	// has visited since open; ChainHist[i] counts walks that visited i+1
+	// chain pages (the last bucket clamps longer walks; an update found
+	// early stops the walk, so these are pages *paid for*, the write
+	// path's actual I/O shape). Together they surface chain degradation
+	// that LoadFactor alone hides.
+	MaxChain  uint64
+	ChainHist [chainHistBuckets]uint64
 	// LoadFactor is entries / total bucket-region slots.
 	LoadFactor float64
 	Device     device.Stats
@@ -654,15 +627,20 @@ func (db *DB) Stats() Stats {
 	if db.buckets > 0 {
 		lf = float64(entries) / float64(db.buckets*SlotsPerPage)
 	}
-	return Stats{
+	st := Stats{
 		Entries:       entries,
 		Buckets:       db.buckets,
 		Stripes:       len(db.stripes),
 		Pages:         db.pages.Load(),
 		OverflowPages: db.overflowPages.Load(),
+		MaxChain:      db.maxChain.Load(),
 		LoadFactor:    lf,
 		Device:        db.dev.Stats(),
 	}
+	for i := range db.chainHist {
+		st.ChainHist[i] = db.chainHist[i].Load()
+	}
+	return st
 }
 
 // Device returns the device the store charges its I/O to.

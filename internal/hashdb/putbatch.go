@@ -1,0 +1,272 @@
+package hashdb
+
+// This file implements the batched write path: the write-side twin of the
+// coalesced read path in batch.go. A PutBatch groups its pairs by bucket
+// page and performs one read-modify-write per bucket chain — every chain
+// page is read at most once and written at most once no matter how many of
+// the batch's entries land on it — with chains processed concurrently up
+// to parallel.IODepth. This is what turns the small random SSD writes that
+// dominate flash-backed stores into a handful of large page writes.
+
+import (
+	"context"
+	"sync/atomic"
+
+	"shhc/internal/fingerprint"
+	"shhc/internal/parallel"
+)
+
+// Pair couples a fingerprint with the value to store for it.
+type Pair struct {
+	FP  fingerprint.Fingerprint
+	Val Value
+}
+
+// BatchPutter is implemented by stores whose point inserts can be
+// coalesced into one batched read-modify-write per bucket page. The hybrid
+// node's batch-insert arm and its group-commit destager use it to pay one
+// page write per dirtied page instead of one device round-trip per entry.
+type BatchPutter interface {
+	// PutBatch stores every pair, overwriting existing values. created
+	// reports, in input order, whether each pair created a new entry
+	// (a fingerprint appearing twice in one batch resolves in input
+	// order, so the second occurrence is an update). pagesWritten is the
+	// number of device page writes the batch cost — entry writes for
+	// stores without pages — the denominator of the write-coalescing
+	// ratio. A store error fails the whole batch. A cancelled ctx stops
+	// the batch from issuing device I/O for further bucket chains and
+	// fails it with ctx.Err(); a chain whose in-memory mutation has
+	// finished always writes out completely, so cancellation can strand
+	// at most already-allocated (unreferenced) overflow pages, never a
+	// torn chain.
+	PutBatch(ctx context.Context, pairs []Pair) (created []bool, pagesWritten int, err error)
+}
+
+var (
+	_ BatchPutter = (*DB)(nil)
+	_ BatchPutter = (*MemStore)(nil)
+)
+
+// PutBatch stores every pair with one read-modify-write per distinct
+// bucket chain. Chains run concurrently up to parallel.IODepth, so modeled
+// (Sleep-mode) devices overlap page I/O the way real flash channels do.
+func (db *DB) PutBatch(ctx context.Context, pairs []Pair) ([]bool, int, error) {
+	created := make([]bool, len(pairs))
+	if len(pairs) == 0 {
+		return created, 0, nil
+	}
+	work := groupBy(len(pairs), func(i int) uint64 { return db.bucketPage(pairs[i].FP) })
+	var pages atomic.Int64
+	err := parallel.Do(ctx, len(work), parallel.IODepth, func(w int) error {
+		idxs := work[w]
+		n, err := db.putChain(ctx, db.bucketPage(pairs[idxs[0]].FP), idxs, pairs, created)
+		pages.Add(int64(n))
+		return err
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return created, int(pages.Load()), nil
+}
+
+// chainPage is one page of a bucket chain held in memory during a batched
+// read-modify-write. no == 0 marks a fresh overflow page whose file
+// position has not been allocated yet.
+type chainPage struct {
+	no    uint64
+	buf   []byte
+	dirty bool
+}
+
+// putChain applies the group's pairs to one bucket chain as a single
+// read-modify-write under the owning stripe's lock: the chain is read once
+// into pooled page buffers, all updates and appends are applied in memory
+// (growing the chain with placeholder pages when it fills), overflow
+// allocations claim their page numbers in one allocMu hold, and only then
+// are the dirty pages written — new overflow pages before the pages that
+// link to them, so an interrupted batch strands orphan pages rather than
+// dangling pointers. Returns the number of page writes issued.
+func (db *DB) putChain(ctx context.Context, bucket uint64, idxs []int, pairs []Pair, created []bool) (int, error) {
+	st := &db.stripes[(bucket-1)&db.stripeMask]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if db.closed {
+		return 0, ErrClosed
+	}
+	if err := db.markDirty(); err != nil {
+		return 0, err
+	}
+
+	var chain []chainPage
+	defer func() {
+		for i := range chain {
+			putPage(chain[i].buf)
+		}
+	}()
+	// Read the chain, applying in-place updates (in input order) as pages
+	// arrive and stopping early once every pair is satisfied — a
+	// pure-update group pays only the pages up to its last hit, like the
+	// old per-key Put did. A fingerprint appears at most once per chain,
+	// so a resolved pair cannot also live on an unread page. Appends need
+	// the whole chain (free-slot search + tail link), so reading
+	// continues while any pair is unresolved.
+	remaining := append(make([]int, 0, len(idxs)), idxs...)
+	done := ctx.Done()
+	for p := bucket; p != 0 && len(remaining) > 0; {
+		if done != nil {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+		buf := getPage()
+		if err := db.readPage(p, buf); err != nil {
+			putPage(buf)
+			return 0, err
+		}
+		chain = append(chain, chainPage{no: p, buf: buf})
+		cp := &chain[len(chain)-1]
+		n := pageCount(buf)
+		for j := 0; j < n && len(remaining) > 0; j++ {
+			efp, _ := entryAt(buf, j)
+			kept := remaining[:0]
+			for _, idx := range remaining {
+				if pairs[idx].FP == efp {
+					// Later duplicates of one fingerprint overwrite in
+					// order; the last value wins, as sequential Puts would.
+					setEntryAt(buf, j, efp, pairs[idx].Val)
+					cp.dirty = true
+					continue
+				}
+				kept = append(kept, idx)
+			}
+			remaining = kept
+		}
+		p = pageNext(buf)
+	}
+	db.observeChain(len(chain))
+
+	// Apply the still-unresolved pairs against the in-memory chain. A
+	// full chain grows by a placeholder page (no=0), so intra-batch
+	// duplicates of a fresh fingerprint are found by the same scan that
+	// finds on-disk entries.
+	var createdCount, newPages int
+	for _, idx := range remaining {
+		fp, val := pairs[idx].FP, pairs[idx].Val
+		if chainUpdate(chain, fp, val) {
+			continue
+		}
+		placed := false
+		for i := range chain {
+			if n := pageCount(chain[i].buf); n < SlotsPerPage {
+				setEntryAt(chain[i].buf, n, fp, val)
+				setPageCount(chain[i].buf, n+1)
+				chain[i].dirty = true
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			buf := getPage()
+			clear(buf)
+			setEntryAt(buf, 0, fp, val)
+			setPageCount(buf, 1)
+			chain = append(chain, chainPage{buf: buf, dirty: true})
+			newPages++
+		}
+		created[idx] = true
+		createdCount++
+	}
+
+	// One allocMu pass claims file positions for every new overflow page.
+	if newPages > 0 {
+		db.allocMu.Lock()
+		base := db.pages.Load()
+		db.pages.Add(uint64(newPages))
+		db.allocMu.Unlock()
+		k := uint64(0)
+		for i := range chain {
+			if chain[i].no == 0 {
+				chain[i].no = base + k
+				k++
+			}
+		}
+		for i := 0; i+1 < len(chain); i++ {
+			if pageNext(chain[i].buf) != chain[i+1].no {
+				setPageNext(chain[i].buf, chain[i+1].no)
+				chain[i].dirty = true
+			}
+		}
+	}
+
+	writes := 0
+	for i := len(chain) - 1; i >= 0; i-- {
+		if !chain[i].dirty {
+			continue
+		}
+		if err := db.writePage(chain[i].no, chain[i].buf); err != nil {
+			return writes, err
+		}
+		writes++
+	}
+	db.entries.Add(uint64(createdCount))
+	db.overflowPages.Add(uint64(newPages))
+	return writes, nil
+}
+
+// chainUpdate overwrites fp's entry in the in-memory chain, reporting
+// whether it was present.
+func chainUpdate(chain []chainPage, fp fingerprint.Fingerprint, val Value) bool {
+	for i := range chain {
+		n := pageCount(chain[i].buf)
+		for j := 0; j < n; j++ {
+			efp, _ := entryAt(chain[i].buf, j)
+			if efp == fp {
+				setEntryAt(chain[i].buf, j, fp, val)
+				chain[i].dirty = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// PutBatch stores every pair. The in-RAM store has no pages to coalesce —
+// pagesWritten is one per entry — but writes still overlap across shard
+// groups up to parallel.IODepth and each shard lock is taken once per
+// group instead of once per pair, mirroring GetBatch. Cancelling ctx stops
+// new device writes between entries.
+func (s *MemStore) PutBatch(ctx context.Context, pairs []Pair) ([]bool, int, error) {
+	created := make([]bool, len(pairs))
+	if len(pairs) == 0 {
+		return created, 0, nil
+	}
+	work := groupBy(len(pairs), func(i int) uint64 {
+		return pairs[i].FP.Bucket64() & (memShards - 1)
+	})
+	done := ctx.Done()
+	err := parallel.Do(ctx, len(work), parallel.IODepth, func(w int) error {
+		idxs := work[w]
+		sh := s.shard(pairs[idxs[0]].FP)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		if s.closed {
+			return ErrClosed
+		}
+		for _, idx := range idxs {
+			if done != nil {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			s.dev.Write(entrySize)
+			_, existed := sh.m[pairs[idx].FP]
+			sh.m[pairs[idx].FP] = pairs[idx].Val
+			created[idx] = !existed
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return created, len(pairs), nil
+}

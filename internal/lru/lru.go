@@ -164,6 +164,19 @@ func (c *Cache) Keys() []fingerprint.Fingerprint {
 	return keys
 }
 
+// DirtyKeys returns the fingerprints of entries whose dirty flag is set,
+// most- to least-recently-used. The write-back node flushes exactly these
+// instead of rewriting every cached entry.
+func (c *Cache) DirtyKeys() []fingerprint.Fingerprint {
+	var keys []fingerprint.Fingerprint
+	for e := c.head; e != nil; e = e.next {
+		if e.dirty {
+			keys = append(keys, e.fp)
+		}
+	}
+	return keys
+}
+
 // Stats reports cache effectiveness counters.
 type Stats struct {
 	Hits      uint64

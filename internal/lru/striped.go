@@ -165,6 +165,18 @@ func (s *Striped) Keys() []fingerprint.Fingerprint {
 	return keys
 }
 
+// DirtyKeys returns every cached fingerprint whose dirty flag is set,
+// stripe by stripe and most- to least-recently-used within each stripe.
+func (s *Striped) DirtyKeys() []fingerprint.Fingerprint {
+	var keys []fingerprint.Fingerprint
+	for i := range s.stripes {
+		s.stripes[i].mu.Lock()
+		keys = append(keys, s.stripes[i].c.DirtyKeys()...)
+		s.stripes[i].mu.Unlock()
+	}
+	return keys
+}
+
 // Stats sums the per-stripe counters. Each stripe is snapshotted under its
 // own lock; concurrent mutators may land between stripes, so the aggregate
 // is only loosely consistent (exact when the caller has quiesced writers).

@@ -238,14 +238,15 @@ func (s *Server) serveConn(conn net.Conn) {
 				cancel()
 			}()
 
-			respond(s.handle(ctx, f), v)
+			respond(s.handle(ctx, f, v), v)
 		}(rctx, rcancel, frame, version)
 	}
 }
 
 // handle executes one request frame under ctx and builds the response
-// frame.
-func (s *Server) handle(ctx context.Context, f wire.Frame) wire.Frame {
+// frame. version is the connection's negotiated protocol version, which
+// selects the stats payload layout (old peers get the legacy one).
+func (s *Server) handle(ctx context.Context, f wire.Frame, version int) wire.Frame {
 	fail := func(err error) wire.Frame {
 		return wire.Frame{Type: wire.TypeError, ID: f.ID, Payload: wire.EncodeError(err.Error())}
 	}
@@ -314,7 +315,7 @@ func (s *Server) handle(ctx context.Context, f wire.Frame) wire.Frame {
 		if err != nil {
 			return fail(err)
 		}
-		return wire.Frame{Type: wire.TypeStatsResult, ID: f.ID, Payload: wire.EncodeStats(toWireStats(st))}
+		return wire.Frame{Type: wire.TypeStatsResult, ID: f.ID, Payload: wire.EncodeStatsV(toWireStats(st), version)}
 	}
 	return fail(fmt.Errorf("rpc: unsupported request type %v", f.Type))
 }
@@ -355,24 +356,31 @@ func fromWireSummary(p wire.SummaryPayload) metrics.Summary {
 
 func toWireStats(st core.NodeStats) wire.StatsPayload {
 	return wire.StatsPayload{
-		ID:           string(st.ID),
-		Lookups:      st.Lookups,
-		Inserts:      st.Inserts,
-		CacheHits:    st.CacheHits,
-		BloomShort:   st.BloomShort,
-		StoreHits:    st.StoreHits,
-		StoreMisses:  st.StoreMisses,
-		BloomFalse:   st.BloomFalse,
-		Coalesced:    st.Coalesced,
-		StoreEntries: uint64(st.StoreEntries),
-		CacheHitsLRU: st.Cache.Hits,
-		CacheMisses:  st.Cache.Misses,
-		CacheEvicts:  st.Cache.Evictions,
-		CacheLen:     uint64(st.Cache.Len),
-		CacheCap:     uint64(st.Cache.Capacity),
-		PhaseCache:   toWireSummary(st.Phases.Cache),
-		PhaseBloom:   toWireSummary(st.Phases.Bloom),
-		PhaseSSD:     toWireSummary(st.Phases.SSD),
+		ID:               string(st.ID),
+		Lookups:          st.Lookups,
+		Inserts:          st.Inserts,
+		CacheHits:        st.CacheHits,
+		BloomShort:       st.BloomShort,
+		StoreHits:        st.StoreHits,
+		StoreMisses:      st.StoreMisses,
+		BloomFalse:       st.BloomFalse,
+		Coalesced:        st.Coalesced,
+		StoreEntries:     uint64(st.StoreEntries),
+		CacheHitsLRU:     st.Cache.Hits,
+		CacheMisses:      st.Cache.Misses,
+		CacheEvicts:      st.Cache.Evictions,
+		CacheLen:         uint64(st.Cache.Len),
+		CacheCap:         uint64(st.Cache.Capacity),
+		DestageQueue:     st.Destage.QueueDepth,
+		DestageEntries:   st.Destage.Entries,
+		DestagePages:     st.Destage.Pages,
+		DestageWaves:     st.Destage.Waves,
+		DestageCoalesced: st.Destage.Coalesced,
+		DestageHits:      st.Destage.BufferHits,
+		PhaseCache:       toWireSummary(st.Phases.Cache),
+		PhaseBloom:       toWireSummary(st.Phases.Bloom),
+		PhaseSSD:         toWireSummary(st.Phases.SSD),
+		DestageWaveSizes: toWireSummary(st.Destage.WaveSizes),
 	}
 }
 
@@ -394,9 +402,16 @@ func fromWireStats(s wire.StatsPayload) core.NodeStats {
 	st.Cache.Evictions = s.CacheEvicts
 	st.Cache.Len = int(s.CacheLen)
 	st.Cache.Capacity = int(s.CacheCap)
+	st.Destage.QueueDepth = s.DestageQueue
+	st.Destage.Entries = s.DestageEntries
+	st.Destage.Pages = s.DestagePages
+	st.Destage.Waves = s.DestageWaves
+	st.Destage.Coalesced = s.DestageCoalesced
+	st.Destage.BufferHits = s.DestageHits
 	st.Phases.Cache = fromWireSummary(s.PhaseCache)
 	st.Phases.Bloom = fromWireSummary(s.PhaseBloom)
 	st.Phases.SSD = fromWireSummary(s.PhaseSSD)
+	st.Destage.WaveSizes = fromWireSummary(s.DestageWaveSizes)
 	return st
 }
 

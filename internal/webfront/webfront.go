@@ -341,18 +341,32 @@ type PhasesJSON struct {
 	SSD   PhaseSummaryJSON `json:"ssd"`
 }
 
+// DestageJSON describes a write-back node's group-commit destage
+// pipeline. EntriesDestaged/PagesWritten expose the write-coalescing
+// ratio; WaveSizes carries plain entry counts in its "nanos" fields.
+type DestageJSON struct {
+	QueueDepth      uint64           `json:"queueDepth"`
+	EntriesDestaged uint64           `json:"entriesDestaged"`
+	PagesWritten    uint64           `json:"pagesWritten"`
+	Waves           uint64           `json:"waves"`
+	Coalesced       uint64           `json:"coalescedUpdates"`
+	BufferHits      uint64           `json:"bufferHits"`
+	WaveSizes       PhaseSummaryJSON `json:"waveSizes"`
+}
+
 // NodeStatsJSON is the JSON shape of one node's statistics.
 type NodeStatsJSON struct {
-	ID           string     `json:"id"`
-	Lookups      uint64     `json:"lookups"`
-	Inserts      uint64     `json:"inserts"`
-	CacheHits    uint64     `json:"cacheHits"`
-	BloomShort   uint64     `json:"bloomShortCircuits"`
-	StoreHits    uint64     `json:"storeHits"`
-	StoreMisses  uint64     `json:"storeMisses"`
-	Coalesced    uint64     `json:"coalescedProbes"`
-	StoreEntries int        `json:"storeEntries"`
-	Phases       PhasesJSON `json:"phases"`
+	ID           string      `json:"id"`
+	Lookups      uint64      `json:"lookups"`
+	Inserts      uint64      `json:"inserts"`
+	CacheHits    uint64      `json:"cacheHits"`
+	BloomShort   uint64      `json:"bloomShortCircuits"`
+	StoreHits    uint64      `json:"storeHits"`
+	StoreMisses  uint64      `json:"storeMisses"`
+	Coalesced    uint64      `json:"coalescedProbes"`
+	StoreEntries int         `json:"storeEntries"`
+	Phases       PhasesJSON  `json:"phases"`
+	Destage      DestageJSON `json:"destage"`
 }
 
 func phaseJSON(s metrics.Summary) PhaseSummaryJSON {
@@ -397,6 +411,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				Cache: phaseJSON(st.Phases.Cache),
 				Bloom: phaseJSON(st.Phases.Bloom),
 				SSD:   phaseJSON(st.Phases.SSD),
+			},
+			Destage: DestageJSON{
+				QueueDepth:      st.Destage.QueueDepth,
+				EntriesDestaged: st.Destage.Entries,
+				PagesWritten:    st.Destage.Pages,
+				Waves:           st.Destage.Waves,
+				Coalesced:       st.Destage.Coalesced,
+				BufferHits:      st.Destage.BufferHits,
+				WaveSizes:       phaseJSON(st.Destage.WaveSizes),
 			},
 		}
 	}

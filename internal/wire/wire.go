@@ -85,11 +85,15 @@ const (
 )
 
 // Protocol versions. Version 0 is the original deadline-less protocol;
-// Version1 adds the deadline header field and the Hello/Cancel frames.
+// Version1 adds the deadline header field and the Hello/Cancel frames;
+// Version2 keeps the frame layout of Version1 and extends the stats
+// payload with the write-back destage counters (old peers negotiate down
+// and receive/send the legacy stats layout).
 const (
 	Version0   = 0
 	Version1   = 1
-	MaxVersion = Version1
+	Version2   = 2
+	MaxVersion = Version2
 )
 
 func (t Type) String() string {
@@ -438,63 +442,101 @@ const summaryFields = 8
 // StatsPayload mirrors core.NodeStats for transport without importing core
 // (core depends on nothing above it; wire stays at the bottom layer).
 // PhaseCache/PhaseBloom/PhaseSSD digest the per-tier latency of the node's
-// two-phase lookup pipeline.
+// two-phase lookup pipeline; the Destage* counters and DestageWaveSizes
+// describe the write-back group-commit pipeline (DestageWaveSizes carries
+// plain entry counts in its nanosecond fields).
 type StatsPayload struct {
-	ID           string
-	Lookups      uint64
-	Inserts      uint64
-	CacheHits    uint64
-	BloomShort   uint64
-	StoreHits    uint64
-	StoreMisses  uint64
-	BloomFalse   uint64
-	Coalesced    uint64
-	StoreEntries uint64
-	CacheHitsLRU uint64
-	CacheMisses  uint64
-	CacheEvicts  uint64
-	CacheLen     uint64
-	CacheCap     uint64
-	PhaseCache   SummaryPayload
-	PhaseBloom   SummaryPayload
-	PhaseSSD     SummaryPayload
+	ID               string
+	Lookups          uint64
+	Inserts          uint64
+	CacheHits        uint64
+	BloomShort       uint64
+	StoreHits        uint64
+	StoreMisses      uint64
+	BloomFalse       uint64
+	Coalesced        uint64
+	StoreEntries     uint64
+	CacheHitsLRU     uint64
+	CacheMisses      uint64
+	CacheEvicts      uint64
+	CacheLen         uint64
+	CacheCap         uint64
+	DestageQueue     uint64
+	DestageEntries   uint64
+	DestagePages     uint64
+	DestageWaves     uint64
+	DestageCoalesced uint64
+	DestageHits      uint64
+	PhaseCache       SummaryPayload
+	PhaseBloom       SummaryPayload
+	PhaseSSD         SummaryPayload
+	DestageWaveSizes SummaryPayload
 }
 
 // statsCounterFields is the number of plain uint64 counters in a
-// StatsPayload (everything after the ID, before the phase summaries).
-const statsCounterFields = 14
+// StatsPayload (everything after the ID, before the phase summaries);
+// statsSummaryCount is the number of SummaryPayload digests that follow.
+// The legacy (protocol < 2) stats layout carries only the first
+// legacyStatsCounterFields counters and legacyStatsSummaryCount
+// summaries — the destage fields are a Version2 extension.
+const (
+	statsCounterFields       = 20
+	statsSummaryCount        = 4
+	legacyStatsCounterFields = 14
+	legacyStatsSummaryCount  = 3
+)
 
 func (s *StatsPayload) counters() []*uint64 {
 	return []*uint64{
 		&s.Lookups, &s.Inserts, &s.CacheHits, &s.BloomShort, &s.StoreHits,
 		&s.StoreMisses, &s.BloomFalse, &s.Coalesced, &s.StoreEntries,
 		&s.CacheHitsLRU, &s.CacheMisses, &s.CacheEvicts, &s.CacheLen, &s.CacheCap,
+		&s.DestageQueue, &s.DestageEntries, &s.DestagePages, &s.DestageWaves,
+		&s.DestageCoalesced, &s.DestageHits,
 	}
 }
 
 func (s *StatsPayload) summaries() []*SummaryPayload {
-	return []*SummaryPayload{&s.PhaseCache, &s.PhaseBloom, &s.PhaseSSD}
+	return []*SummaryPayload{&s.PhaseCache, &s.PhaseBloom, &s.PhaseSSD, &s.DestageWaveSizes}
 }
 
 func (p *SummaryPayload) fields() []*uint64 {
 	return []*uint64{&p.Count, &p.SumNS, &p.MinNS, &p.MaxNS, &p.MeanNS, &p.P50NS, &p.P90NS, &p.P99NS}
 }
 
-// EncodeStats encodes node statistics (TypeStatsResult).
+// statsLayout returns how many counters and summaries the given protocol
+// version carries in a stats payload.
+func statsLayout(version int) (counters, summaries int) {
+	if version >= Version2 {
+		return statsCounterFields, statsSummaryCount
+	}
+	return legacyStatsCounterFields, legacyStatsSummaryCount
+}
+
+// EncodeStats encodes node statistics (TypeStatsResult) in the newest
+// layout.
 func EncodeStats(s StatsPayload) []byte {
+	return EncodeStatsV(s, MaxVersion)
+}
+
+// EncodeStatsV encodes node statistics in the given protocol version's
+// layout: peers that negotiated below Version2 receive the legacy payload
+// (without the destage fields), so stats interop survives version skew.
+func EncodeStatsV(s StatsPayload, version int) []byte {
+	nc, ns := statsLayout(version)
 	id := []byte(s.ID)
 	if len(id) > 65535 {
 		id = id[:65535]
 	}
-	buf := make([]byte, 2+len(id)+(statsCounterFields+3*summaryFields)*8)
+	buf := make([]byte, 2+len(id)+(nc+ns*summaryFields)*8)
 	binary.BigEndian.PutUint16(buf[0:2], uint16(len(id)))
 	copy(buf[2:], id)
 	off := 2 + len(id)
-	for _, v := range s.counters() {
+	for _, v := range s.counters()[:nc] {
 		binary.BigEndian.PutUint64(buf[off:], *v)
 		off += 8
 	}
-	for _, sum := range s.summaries() {
+	for _, sum := range s.summaries()[:ns] {
 		for _, v := range sum.fields() {
 			binary.BigEndian.PutUint64(buf[off:], *v)
 			off += 8
@@ -503,24 +545,30 @@ func EncodeStats(s StatsPayload) []byte {
 	return buf
 }
 
-// DecodeStats decodes node statistics.
+// DecodeStats decodes node statistics. Both the Version2 layout and the
+// legacy (pre-destage) layout are accepted — the payload length
+// distinguishes them, and absent fields decode as zero — so a new client
+// can read an old server's stats regardless of what version the
+// connection negotiated.
 func DecodeStats(b []byte) (StatsPayload, error) {
 	var s StatsPayload
 	if len(b) < 2 {
 		return s, fmt.Errorf("wire: stats payload: missing id length: %w", ErrShortPayload)
 	}
 	idLen := int(binary.BigEndian.Uint16(b[0:2]))
-	want := 2 + idLen + (statsCounterFields+3*summaryFields)*8
-	if len(b) != want {
-		return s, fmt.Errorf("wire: stats payload: want %d bytes, got %d: %w", want, len(b), ErrShortPayload)
+	nc, ns := statsLayout(MaxVersion)
+	if legacy := 2 + idLen + (legacyStatsCounterFields+legacyStatsSummaryCount*summaryFields)*8; len(b) == legacy {
+		nc, ns = legacyStatsCounterFields, legacyStatsSummaryCount
+	} else if want := 2 + idLen + (nc+ns*summaryFields)*8; len(b) != want {
+		return s, fmt.Errorf("wire: stats payload: want %d (or legacy %d) bytes, got %d: %w", want, legacy, len(b), ErrShortPayload)
 	}
 	s.ID = string(b[2 : 2+idLen])
 	off := 2 + idLen
-	for _, f := range s.counters() {
+	for _, f := range s.counters()[:nc] {
 		*f = binary.BigEndian.Uint64(b[off:])
 		off += 8
 	}
-	for _, sum := range s.summaries() {
+	for _, sum := range s.summaries()[:ns] {
 		for _, f := range sum.fields() {
 			*f = binary.BigEndian.Uint64(b[off:])
 			off += 8

@@ -205,9 +205,12 @@ func TestStatsRoundTrip(t *testing.T) {
 		ID: "node-3", Lookups: 1, Inserts: 2, CacheHits: 3, BloomShort: 4,
 		StoreHits: 5, StoreMisses: 6, BloomFalse: 7, Coalesced: 14, StoreEntries: 8,
 		CacheHitsLRU: 9, CacheMisses: 10, CacheEvicts: 11, CacheLen: 12, CacheCap: 13,
-		PhaseCache: SummaryPayload{Count: 20, SumNS: 21, MinNS: 22, MaxNS: 23, MeanNS: 24, P50NS: 25, P90NS: 26, P99NS: 27},
-		PhaseBloom: SummaryPayload{Count: 30, SumNS: 31, MinNS: 32, MaxNS: 33, MeanNS: 34, P50NS: 35, P90NS: 36, P99NS: 37},
-		PhaseSSD:   SummaryPayload{Count: 40, SumNS: 41, MinNS: 42, MaxNS: 43, MeanNS: 44, P50NS: 45, P90NS: 46, P99NS: 47},
+		DestageQueue: 50, DestageEntries: 51, DestagePages: 52, DestageWaves: 53,
+		DestageCoalesced: 54, DestageHits: 55,
+		PhaseCache:       SummaryPayload{Count: 20, SumNS: 21, MinNS: 22, MaxNS: 23, MeanNS: 24, P50NS: 25, P90NS: 26, P99NS: 27},
+		PhaseBloom:       SummaryPayload{Count: 30, SumNS: 31, MinNS: 32, MaxNS: 33, MeanNS: 34, P50NS: 35, P90NS: 36, P99NS: 37},
+		PhaseSSD:         SummaryPayload{Count: 40, SumNS: 41, MinNS: 42, MaxNS: 43, MeanNS: 44, P50NS: 45, P90NS: 46, P99NS: 47},
+		DestageWaveSizes: SummaryPayload{Count: 60, SumNS: 61, MinNS: 62, MaxNS: 63, MeanNS: 64, P50NS: 65, P90NS: 66, P99NS: 67},
 	}
 	out, err := DecodeStats(EncodeStats(in))
 	if err != nil {
@@ -218,6 +221,39 @@ func TestStatsRoundTrip(t *testing.T) {
 	}
 	if _, err := DecodeStats([]byte{0}); err == nil {
 		t.Fatal("DecodeStats(short) succeeded")
+	}
+}
+
+func TestStatsLegacyLayoutInterop(t *testing.T) {
+	// A peer that negotiated below Version2 sends and expects the
+	// pre-destage stats layout; DecodeStats must accept it with the
+	// destage fields zeroed, so stats interop survives version skew.
+	in := StatsPayload{
+		ID: "old-peer", Lookups: 1, Inserts: 2, CacheHits: 3, BloomShort: 4,
+		StoreHits: 5, StoreMisses: 6, BloomFalse: 7, Coalesced: 8, StoreEntries: 9,
+		CacheHitsLRU: 10, CacheMisses: 11, CacheEvicts: 12, CacheLen: 13, CacheCap: 14,
+		// Destage fields set on purpose: the legacy encoding must drop
+		// them, not smuggle them into the payload.
+		DestageQueue: 99, DestageEntries: 98,
+		PhaseCache:       SummaryPayload{Count: 20, MaxNS: 23},
+		PhaseBloom:       SummaryPayload{Count: 30, MaxNS: 33},
+		PhaseSSD:         SummaryPayload{Count: 40, MaxNS: 43},
+		DestageWaveSizes: SummaryPayload{Count: 50, MaxNS: 53},
+	}
+	legacy := EncodeStatsV(in, Version1)
+	if full := EncodeStatsV(in, Version2); len(legacy) >= len(full) {
+		t.Fatalf("legacy payload (%d bytes) not smaller than v2 payload (%d bytes)", len(legacy), len(full))
+	}
+	out, err := DecodeStats(legacy)
+	if err != nil {
+		t.Fatalf("DecodeStats(legacy): %v", err)
+	}
+	if out.ID != in.ID || out.Lookups != in.Lookups || out.CacheCap != in.CacheCap ||
+		out.PhaseSSD != in.PhaseSSD {
+		t.Fatalf("legacy decode lost counters: %+v", out)
+	}
+	if out.DestageQueue != 0 || out.DestageEntries != 0 || out.DestageWaveSizes != (SummaryPayload{}) {
+		t.Fatalf("legacy decode produced destage fields: %+v", out)
 	}
 }
 

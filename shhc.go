@@ -128,8 +128,22 @@ type ClusterOptions struct {
 	ExpectedItems int
 	// DisableBloom turns Bloom filters off (ablation).
 	DisableBloom bool
-	// WriteBack delays SSD inserts until LRU destage (ablation).
+	// WriteBack delays SSD inserts until LRU destage: evicted dirty
+	// entries are parked in a bounded per-node buffer and destaged
+	// asynchronously in page-coalesced group-commit waves. Inserts are
+	// RAM-speed; entries not yet destaged survive only until a crash
+	// (call Flush/Close to drain durably).
 	WriteBack bool
+	// DestageBatch is the largest group-commit destage wave in entries
+	// (write-back only); 0 selects the default (256).
+	DestageBatch int
+	// DestageInterval bounds how long an evicted dirty entry waits
+	// before a destage wave is forced; 0 selects the default (2ms).
+	DestageInterval time.Duration
+	// DestageQueue bounds the per-node dirty destage buffer; evictions
+	// block when it is full (backpressure). 0 selects the default
+	// (4 × DestageBatch).
+	DestageQueue int
 	// Stripes is the per-node hot-path lock stripe count; 0 selects a
 	// GOMAXPROCS-based default, 1 fully serializes each node (the
 	// original single-lock behavior).
@@ -192,13 +206,16 @@ func NewLocalCluster(opts ClusterOptions) (*Cluster, error) {
 			store = hashdb.NewMemStore(dev)
 		}
 		node, err := core.NewNode(core.NodeConfig{
-			ID:            id,
-			Store:         store,
-			CacheSize:     opts.CacheSize,
-			DisableBloom:  opts.DisableBloom,
-			BloomExpected: opts.ExpectedItems,
-			WriteBack:     opts.WriteBack,
-			Stripes:       opts.Stripes,
+			ID:              id,
+			Store:           store,
+			CacheSize:       opts.CacheSize,
+			DisableBloom:    opts.DisableBloom,
+			BloomExpected:   opts.ExpectedItems,
+			WriteBack:       opts.WriteBack,
+			DestageBatch:    opts.DestageBatch,
+			DestageInterval: opts.DestageInterval,
+			DestageQueue:    opts.DestageQueue,
+			Stripes:         opts.Stripes,
 		})
 		if err != nil {
 			store.Close()
