@@ -29,12 +29,13 @@ func main() {
 
 func run() error {
 	var (
-		runSel = flag.String("run", "all", "experiments: all|fig1|table1|fig5|fig6|ablations|async|writes (comma-separated)")
+		runSel = flag.String("run", "all", "experiments: all|fig1|table1|fig5|fig6|ablations|async|writes|recovery (comma-separated)")
 		scale  = flag.Int("scale", 64, "workload scale divisor for cluster experiments")
 		t1     = flag.Int("table1-scale", 16, "workload scale divisor for Table I stats")
 		fps    = flag.Int("fps", 100000, "fingerprints per Figure 5 cell")
 		outPth = flag.String("out", "", "also write the report to this file")
 		wrOut  = flag.String("writes-out", "BENCH_writes.json", "write the write-path ablation results to this JSON file (empty disables)")
+		recOut = flag.String("recovery-out", "BENCH_recovery.json", "write the recovery benchmark results to this JSON file (empty disables)")
 	)
 	flag.Parse()
 
@@ -192,6 +193,23 @@ func run() error {
 				return err
 			}
 			fmt.Fprintf(out, "wrote %s\n", *wrOut)
+		}
+	}
+
+	if want("recovery") {
+		section("Recovery: journal durability tax and reopen/replay cost")
+		start := time.Now()
+		recPoints, err := bench.RunRecoverySweep(0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, bench.FormatRecoverySweep(recPoints))
+		fmt.Fprintf(out, "(%v)\n", time.Since(start).Round(time.Millisecond))
+		if *recOut != "" {
+			if err := bench.EmitRecoveryJSON(*recOut, recPoints); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", *recOut)
 		}
 	}
 

@@ -44,6 +44,7 @@ func run() error {
 		wbBatch  = flag.Int("destage-batch", 0, "largest group-commit destage wave in entries (0 = default 256)")
 		wbIval   = flag.Duration("destage-interval", 0, "longest a dirty entry waits before a destage wave fires (0 = default 2ms)")
 		wbQueue  = flag.Int("destage-queue", 0, "dirty destage buffer bound in entries; evictions block when full (0 = default 4x batch)")
+		journal  = flag.Bool("journal", false, "durable destage journal (write-back + -dir only): fsync evicted dirty entries to <dir>/<id>.wal before acking and replay the journal on restart")
 		lockedIO = flag.Bool("locked-io", false, "probe the SSD under the stripe lock (pre-pipeline baseline, for ablations)")
 	)
 	flag.Parse()
@@ -84,6 +85,16 @@ func run() error {
 		log.Printf("using in-memory hash table (device model %s)", m.Name)
 	}
 
+	journalPath := ""
+	if *journal {
+		if !*wb || *dir == "" {
+			store.Close()
+			return fmt.Errorf("-journal requires -write-back and -dir")
+		}
+		journalPath = filepath.Join(*dir, *id+".wal")
+		log.Printf("destage journal at %s", journalPath)
+	}
+
 	node, err := core.NewNode(core.NodeConfig{
 		ID:              ring.NodeID(*id),
 		Store:           store,
@@ -94,6 +105,7 @@ func run() error {
 		DestageBatch:    *wbBatch,
 		DestageInterval: *wbIval,
 		DestageQueue:    *wbQueue,
+		JournalPath:     journalPath,
 		LockedIO:        *lockedIO,
 	})
 	if err != nil {

@@ -3,9 +3,12 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"shhc/internal/hashdb"
 	"shhc/internal/ring"
@@ -281,6 +284,211 @@ func TestConcurrentMembershipAndTraffic(t *testing.T) {
 		}
 		if !r.Exists {
 			t.Fatalf("fingerprint %d lost across membership churn", i)
+		}
+	}
+}
+
+// TestChaosDestageKillAndReopenDuringChurn extends the chaos suite with
+// the durability dimension: while destage waves run on a journaled
+// write-back node and JoinNode/DrainNode churn the membership, the node is
+// killed mid-wave, reborn from its durable state (store + journal), and
+// swapped back into the ring — and throughout all of it the cluster must
+// never report a seeded fingerprint as new. Errors during the dead window
+// are tolerated (callers retry); wrong answers are not.
+func TestChaosDestageKillAndReopenDuringChurn(t *testing.T) {
+	const (
+		nodes  = 3
+		seeded = 2000
+	)
+	dir := t.TempDir()
+	backends := make([]Backend, nodes)
+	hybrids := make([]*Node, nodes)
+	inner := hashdb.NewMemStore(nil) // the killed node's durable medium
+	var failpoint *hashdb.Failpoint
+	victimJournal := filepath.Join(dir, "victim.wal")
+	for i := range hybrids {
+		var store hashdb.Store = hashdb.NewMemStore(nil)
+		jpath := filepath.Join(dir, fmt.Sprintf("node-%d.wal", i))
+		if i == nodes-1 {
+			failpoint = hashdb.NewFailpoint(inner, math.MaxInt64, nil)
+			store = failpoint
+			jpath = victimJournal
+		}
+		n, err := NewNode(NodeConfig{
+			ID:              ring.NodeID(fmt.Sprintf("node-%d", i)),
+			Store:           store,
+			CacheSize:       64,
+			BloomExpected:   1 << 16,
+			WriteBack:       true,
+			JournalPath:     jpath,
+			DestageBatch:    8,
+			DestageInterval: 100 * time.Microsecond,
+		})
+		if err != nil {
+			t.Fatalf("NewNode: %v", err)
+		}
+		hybrids[i] = n
+		backends[i] = n
+	}
+	victim := hybrids[nodes-1]
+	c, err := NewCluster(ClusterConfig{}, backends...)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer c.Close()
+
+	for i := uint64(0); i < seeded; i++ {
+		if _, err := c.LookupOrInsert(context.Background(), fp(i), Value(i)); err != nil {
+			t.Fatalf("seed insert: %v", err)
+		}
+	}
+	// Make the seeds durable everywhere: after this, "reported as new"
+	// can only come from lost state or routing bugs, never from the
+	// write-back window.
+	for _, n := range hybrids {
+		if err := n.Flush(); err != nil {
+			t.Fatalf("seed Flush: %v", err)
+		}
+	}
+
+	// gate pauses workers and churn while the dead node is swapped out.
+	var gate sync.RWMutex
+	stop := make(chan struct{})
+	var (
+		wg        sync.WaitGroup
+		ghostNews atomic.Uint64
+	)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			i := uint64(g)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				gate.RLock()
+				r, err := c.LookupOrInsert(context.Background(), fp(i%seeded), Value(seeded))
+				gate.RUnlock()
+				if err == nil && !r.Exists {
+					ghostNews.Add(1)
+				}
+				i += 13
+			}
+		}(g)
+	}
+	// Fresh-insert traffic keeps destage waves in flight on every node.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := uint64(1 << 30)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			gate.RLock()
+			c.LookupOrInsert(context.Background(), fp(i), Value(i))
+			gate.RUnlock()
+			i++
+		}
+	}()
+	// Membership churn, one Join+Drain round per gate hold.
+	churnDone := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var drained []*Node
+		defer func() {
+			for _, n := range drained {
+				n.Close()
+			}
+		}()
+		for round := 0; ; round++ {
+			select {
+			case <-stop:
+				churnDone <- nil
+				return
+			default:
+			}
+			gate.RLock()
+			scratch, err := NewNode(NodeConfig{
+				ID:            ring.NodeID(fmt.Sprintf("churn-%d", round)),
+				Store:         hashdb.NewMemStore(nil),
+				CacheSize:     256,
+				BloomExpected: 1 << 16,
+			})
+			if err == nil {
+				if _, jerr := c.JoinNode(context.Background(), scratch); jerr == nil {
+					if _, derr := c.DrainNode(context.Background(), scratch.ID()); derr != nil {
+						err = derr
+					}
+				} else {
+					err = jerr
+				}
+				drained = append(drained, scratch)
+			}
+			gate.RUnlock()
+			if err != nil {
+				churnDone <- err
+				return
+			}
+		}
+	}()
+
+	// Let traffic and churn overlap, then kill the victim. The gate is
+	// taken first so no worker or churn round spans the dead window — but
+	// the destager keeps draining the dirty buffer the traffic left
+	// behind, so the kill still lands against in-flight destage waves.
+	time.Sleep(20 * time.Millisecond)
+	gate.Lock()
+	failpoint.Kill()
+	time.Sleep(2 * time.Millisecond) // let in-flight waves fail against the dead store
+	victim.Close()                   // error expected: the store is dead
+	reborn, err := NewNode(NodeConfig{
+		ID:              victim.ID(),
+		Store:           inner, // the durable medium as the kill froze it
+		CacheSize:       64,
+		BloomExpected:   1 << 16,
+		WriteBack:       true,
+		JournalPath:     victimJournal,
+		DestageBatch:    8,
+		DestageInterval: 100 * time.Microsecond,
+	})
+	if err != nil {
+		gate.Unlock()
+		t.Fatalf("rebirth NewNode: %v", err)
+	}
+	if err := c.RemoveNode(victim.ID()); err != nil {
+		gate.Unlock()
+		t.Fatalf("RemoveNode: %v", err)
+	}
+	if err := c.AddNode(reborn); err != nil {
+		gate.Unlock()
+		t.Fatalf("AddNode: %v", err)
+	}
+	gate.Unlock()
+
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if err := <-churnDone; err != nil {
+		t.Fatalf("membership churn: %v", err)
+	}
+	if g := ghostNews.Load(); g > 0 {
+		t.Fatalf("%d seeded fingerprints reported as new across kill-and-reopen", g)
+	}
+	// Final sweep: every seeded fingerprint is still a duplicate.
+	for i := uint64(0); i < seeded; i++ {
+		r, err := c.LookupOrInsert(context.Background(), fp(i), Value(seeded))
+		if err != nil {
+			t.Fatalf("final sweep Lookup(%d): %v", i, err)
+		}
+		if !r.Exists {
+			t.Fatalf("seeded fingerprint %d lost across kill-and-reopen", i)
 		}
 	}
 }

@@ -73,6 +73,16 @@ const (
 // before it is abandoned.
 const maxDestageRetries = 2
 
+// journalCheckpointBytes bounds the destage journal under sustained
+// eviction load. Quiesce truncation alone only fires when a wave leaves
+// the buffer empty — which steady pressure can postpone forever, growing
+// the journal without bound and making the next replay arbitrarily long.
+// Past this size the destager checkpoints: new enqueues briefly block
+// (the same backpressure path as a full buffer), waves fire immediately
+// until the buffer drains, and the quiesce truncation resets the file.
+// A var, not a const, so tests can trigger it at toy sizes.
+var journalCheckpointBytes int64 = 4 << 20
+
 // dirtyEntry is one evicted-but-not-yet-destaged cache entry. All fields
 // are guarded by the owning shard's mutex.
 type dirtyEntry struct {
@@ -126,6 +136,11 @@ type destager struct {
 	queuedCount int
 	draining    int // drain() callers wanting waves fired immediately
 	stopping    bool
+	// checkpointing blocks new enqueues and fires waves immediately until
+	// the buffer empties, so the journal's quiesce truncation can run;
+	// set by maybeCheckpointJournal when the journal outgrows
+	// journalCheckpointBytes.
+	checkpointing bool
 
 	batch    int
 	capacity int
@@ -133,6 +148,12 @@ type destager struct {
 
 	kick chan struct{} // wakes the loop; buffered, non-blocking sends
 	done chan struct{} // closed when the loop exits
+
+	// keepJournal latches once a wave drops an entry after exhausting its
+	// write retries: from then on the journal is that entry's only copy,
+	// so it is never truncated again in this process (replay against a
+	// repaired store can still recover the entry).
+	keepJournal atomic.Bool
 
 	// Counters, read by Stats without any lock.
 	entries   atomic.Uint64
@@ -204,8 +225,18 @@ func (d *destager) wake() {
 // overwrites an already-pending value or appends to the in-RAM queue,
 // blocking only when the buffer is at capacity (backpressure) until the
 // destager — which takes no cache or node-stripe locks — frees space.
-func (d *destager) enqueue(fp fingerprint.Fingerprint, val Value) {
+//
+// With a journal, the entry is also appended to it — under the shard lock,
+// so per-fingerprint record order matches buffer order — and, when
+// waitDurable is set (the eviction path), enqueue blocks until the record
+// is fsynced before returning: that wait is the group-commit durability
+// barrier the eviction acknowledges through. The journal syncer takes no
+// cache, node, or destager locks, so waiting here cannot deadlock; it only
+// stalls the evicting stripe for (a share of) one fsync.
+func (d *destager) enqueue(fp fingerprint.Fingerprint, val Value, waitDurable bool) {
 	sh := d.shard(fp)
+	j := d.n.jnl
+	var lsn uint64
 	d.mu.Lock()
 	for {
 		sh.mu.Lock()
@@ -215,23 +246,43 @@ func (d *destager) enqueue(fp fingerprint.Fingerprint, val Value) {
 			e.val = val
 			e.gen++
 			e.retries = 0
+			if j != nil {
+				lsn = j.append(journalPut, fp, val)
+			}
 			sh.mu.Unlock()
 			d.mu.Unlock()
 			d.coalesced.Add(1)
+			d.journalWait(j, lsn, waitDurable)
 			return
 		}
-		if int(d.pendingN.Load()) < d.capacity || d.stopping {
+		if (int(d.pendingN.Load()) < d.capacity && !d.checkpointing) || d.stopping {
 			sh.pending[fp] = &dirtyEntry{val: val, queued: true, at: time.Now()}
 			d.pendingN.Add(1)
+			if j != nil {
+				lsn = j.append(journalPut, fp, val)
+			}
 			sh.mu.Unlock()
 			d.queue = append(d.queue, fp)
 			d.queuedCount++
 			d.mu.Unlock()
 			d.wake() // the loop derives the group-commit deadline from entry.at
+			d.journalWait(j, lsn, waitDurable)
 			return
 		}
 		sh.mu.Unlock()
 		d.space.Wait()
+	}
+}
+
+// journalWait blocks until the journal record at lsn is durable, parking
+// a dead journal's error for the usual delivery path (next insert, Flush,
+// or Close) — an eviction callback has no error return of its own.
+func (d *destager) journalWait(j *journal, lsn uint64, wait bool) {
+	if j == nil || !wait {
+		return
+	}
+	if err := j.wait(lsn); err != nil {
+		d.n.recordDestageErr(fmt.Errorf("core: node %s: destage journal: %w", d.n.id, err))
 	}
 }
 
@@ -377,6 +428,7 @@ func (d *destager) popWaveLocked() []waveItem {
 func (d *destager) loop() {
 	defer close(d.done)
 	for {
+		d.maybeCheckpointJournal()
 		d.mu.Lock()
 		headAt, ok := d.advanceHeadLocked()
 		if !ok {
@@ -388,7 +440,7 @@ func (d *destager) loop() {
 			<-d.kick
 			continue
 		}
-		if d.queuedCount < d.batch && d.draining == 0 && !d.stopping {
+		if d.queuedCount < d.batch && d.draining == 0 && !d.stopping && !d.checkpointing {
 			if wait := d.interval - time.Since(headAt); wait > 0 {
 				d.mu.Unlock()
 				t := time.NewTimer(wait)
@@ -501,6 +553,59 @@ func (d *destager) runWave(wave []waveItem) {
 	d.settled.Broadcast()
 	d.mu.Unlock()
 	if dropped > 0 {
+		d.keepJournal.Store(true)
 		d.n.recordDestageErr(fmt.Errorf("core: node %s: destage: dropped %d entries after %d failed writes each: %w", d.n.id, dropped, maxDestageRetries+1, lastErr))
+	}
+	d.maybeTruncateJournal()
+}
+
+// maybeTruncateJournal empties the journal once a wave has left the
+// buffer empty: every record it holds then describes an entry the store
+// has already absorbed, so after one store fsync the records are
+// redundant. The truncation re-checks, under the journal lock, that
+// nothing was appended since the LSN captured *before* the store sync and
+// that the buffer is still empty — any record a concurrent eviction or
+// Remove appends is thereby kept, because its store mutation may postdate
+// the sync. Once keepJournal latches (an entry was dropped after
+// exhausting its write retries), truncation stops entirely: the journal
+// is that entry's only copy.
+func (d *destager) maybeTruncateJournal() {
+	j := d.n.jnl
+	if j == nil || d.keepJournal.Load() || d.pendingN.Load() != 0 || j.size() == 0 {
+		return
+	}
+	a := j.appendedLSN()
+	if err := d.n.store.Sync(); err != nil {
+		return // keep the journal; the wave path already surfaces store errors
+	}
+	if err := j.truncateIf(func() bool {
+		return j.appended == a && d.pendingN.Load() == 0
+	}); err != nil {
+		d.n.recordDestageErr(err)
+	}
+}
+
+// maybeCheckpointJournal enters or leaves checkpoint mode. Entering
+// requires pending entries (otherwise there is no wave to drive the drain
+// and quiesce truncation either already ran or is blocked on a store
+// error — blocking enqueues would then deadlock the node for nothing);
+// leaving happens as soon as the buffer is empty, after the post-wave
+// quiesce truncation had its chance to reset the file.
+func (d *destager) maybeCheckpointJournal() {
+	j := d.n.jnl
+	if j == nil || d.keepJournal.Load() {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.checkpointing {
+		if d.pendingN.Load() == 0 {
+			d.checkpointing = false
+			d.space.Broadcast()
+		}
+		return
+	}
+	if d.pendingN.Load() > 0 && j.size() > journalCheckpointBytes {
+		d.checkpointing = true
 	}
 }

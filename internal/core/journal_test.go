@@ -1,0 +1,322 @@
+package core
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"shhc/internal/hashdb"
+)
+
+// stalledJournalNode builds a write-back node whose destager never fires
+// on its own (huge batch/interval), so every evicted entry stays in the
+// dirty buffer — and therefore in the journal — until Flush or Close.
+func stalledJournalNode(t *testing.T, store hashdb.Store, journalPath string, cacheSize int) *Node {
+	t.Helper()
+	n, err := NewNode(NodeConfig{
+		ID:              "jnl-node",
+		Store:           store,
+		CacheSize:       cacheSize,
+		BloomExpected:   1 << 12,
+		WriteBack:       true,
+		JournalPath:     journalPath,
+		DestageBatch:    1 << 20,
+		DestageInterval: time.Hour,
+		DestageQueue:    1 << 20,
+	})
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	return n
+}
+
+// TestJournalReplayRecoversBufferedEvictions is the core durability claim:
+// entries evicted from the cache but never destaged are rebuilt into the
+// store by open-time replay of the journal alone.
+func TestJournalReplayRecoversBufferedEvictions(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "node.wal")
+	const cache, inserts = 8, 64
+
+	n := stalledJournalNode(t, hashdb.NewMemStore(nil), jpath, cache)
+	for i := uint64(0); i < inserts; i++ {
+		if _, err := n.LookupOrInsert(context.Background(), fp(i), Value(i+7)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	// Crash: snapshot the journal as it stands — evictions are journaled
+	// before they acknowledge, so every evicted entry must be in it — and
+	// abandon the node's RAM state entirely.
+	snap, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Close()
+
+	crashJournal := filepath.Join(dir, "crash.wal")
+	if err := os.WriteFile(crashJournal, snap, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A brand-new store: what survives can only come from the journal.
+	n2 := stalledJournalNode(t, hashdb.NewMemStore(nil), crashJournal, cache)
+	defer n2.Close()
+
+	st, err := n2.Stats(context.Background())
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	const evicted = inserts - cache
+	if st.Recovery.JournalReplayed != evicted {
+		t.Fatalf("Recovery.JournalReplayed = %d, want %d", st.Recovery.JournalReplayed, evicted)
+	}
+	for i := uint64(0); i < evicted; i++ {
+		r, err := n2.Lookup(context.Background(), fp(i))
+		if err != nil {
+			t.Fatalf("Lookup(%d) after replay: %v", i, err)
+		}
+		if !r.Exists || r.Value != Value(i+7) {
+			t.Fatalf("Lookup(%d) after replay = %+v, want Exists with value %d (acked eviction lost)", i, r, i+7)
+		}
+	}
+}
+
+// TestJournalTruncatesAfterQuiesce pins the fsync discipline: once destage
+// waves drain the buffer, the journal is truncated (after a store sync),
+// and a clean Close leaves nothing to replay.
+func TestJournalTruncatesAfterQuiesce(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "node.wal")
+	store := hashdb.NewMemStore(nil)
+	n, err := NewNode(NodeConfig{
+		ID:            "jnl-node",
+		Store:         store,
+		CacheSize:     8,
+		BloomExpected: 1 << 12,
+		WriteBack:     true,
+		JournalPath:   jpath,
+		DestageBatch:  4,
+	})
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	for i := uint64(0); i < 128; i++ {
+		if _, err := n.LookupOrInsert(context.Background(), fp(i), Value(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if err := n.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	// The buffer is empty after Flush; the quiesce truncation has run.
+	fi, err := os.Stat(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() > 64 {
+		t.Fatalf("journal still %d bytes after a drained Flush, want truncated to its header", fi.Size())
+	}
+	if err := n.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	n2 := stalledJournalNode(t, store, jpath, 8)
+	defer n2.Close()
+	st, err := n2.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Recovery.JournalReplayed != 0 {
+		t.Fatalf("clean shutdown left %d journal records to replay", st.Recovery.JournalReplayed)
+	}
+}
+
+// TestJournalTombstoneStopsResurrection: a Remove after an eviction leaves
+// a tombstone in the journal, so replay of put-then-tombstone must not
+// bring the entry back.
+func TestJournalTombstoneStopsResurrection(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "node.wal")
+	const cache = 4
+
+	n := stalledJournalNode(t, hashdb.NewMemStore(nil), jpath, cache)
+	// Insert the victim, then enough to evict it into the buffer/journal.
+	victim := fp(1000)
+	if _, err := n.LookupOrInsert(context.Background(), victim, Value(42)); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 2*cache; i++ {
+		if _, err := n.LookupOrInsert(context.Background(), fp(i), Value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := n.Remove(victim); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	snap, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Close()
+
+	crashJournal := filepath.Join(dir, "crash.wal")
+	if err := os.WriteFile(crashJournal, snap, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n2 := stalledJournalNode(t, hashdb.NewMemStore(nil), crashJournal, cache)
+	defer n2.Close()
+	r, err := n2.Lookup(context.Background(), victim)
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if r.Exists {
+		t.Fatalf("removed entry resurrected by journal replay: %+v", r)
+	}
+}
+
+// TestJournalTornTailTolerated: replay stops at a torn record and reports
+// the dropped bytes; everything before the tear is recovered.
+func TestJournalTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "node.wal")
+	const cache, inserts = 8, 40
+
+	n := stalledJournalNode(t, hashdb.NewMemStore(nil), jpath, cache)
+	for i := uint64(0); i < inserts; i++ {
+		if _, err := n.LookupOrInsert(context.Background(), fp(i), Value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Close()
+
+	// Tear the tail mid-record: half of the last record survives.
+	const torn = 17
+	if len(snap) < 8+2*torn {
+		t.Fatalf("journal too small to tear: %d bytes", len(snap))
+	}
+	crashJournal := filepath.Join(dir, "crash.wal")
+	if err := os.WriteFile(crashJournal, snap[:len(snap)-torn], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	n2 := stalledJournalNode(t, hashdb.NewMemStore(nil), crashJournal, cache)
+	defer n2.Close()
+	st, err := n2.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const evicted = inserts - cache
+	if st.Recovery.JournalReplayed != evicted-1 {
+		t.Fatalf("JournalReplayed = %d, want %d (all but the torn record)", st.Recovery.JournalReplayed, evicted-1)
+	}
+	wantTorn := uint64(journalRecSize - torn)
+	if st.Recovery.JournalTornBytes != wantTorn {
+		t.Fatalf("JournalTornBytes = %d, want %d", st.Recovery.JournalTornBytes, wantTorn)
+	}
+	for i := uint64(0); i < evicted-1; i++ {
+		r, err := n2.Lookup(context.Background(), fp(i))
+		if err != nil || !r.Exists || r.Value != Value(i) {
+			t.Fatalf("Lookup(%d) = (%+v, %v), want intact prefix recovered", i, r, err)
+		}
+	}
+}
+
+// TestJournalCoalescedOverwriteKeepsNewest: re-dirtying an entry already
+// in the buffer journals the newer value after the older one, so replay
+// lands on the newest acknowledged value.
+func TestJournalCoalescedOverwriteKeepsNewest(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "node.wal")
+	const cache = 4
+
+	n := stalledJournalNode(t, hashdb.NewMemStore(nil), jpath, cache)
+	target := fp(5000)
+	if err := n.Insert(context.Background(), target, Value(1)); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 2*cache; i++ { // evict target with Value(1)
+		if _, err := n.LookupOrInsert(context.Background(), fp(i), Value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Insert(context.Background(), target, Value(2)); err != nil { // re-dirty
+		t.Fatal(err)
+	}
+	for i := uint64(100); i < 100+2*cache; i++ { // evict target again: coalesces in buffer
+		if _, err := n.LookupOrInsert(context.Background(), fp(i), Value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Close()
+
+	crashJournal := filepath.Join(dir, "crash.wal")
+	if err := os.WriteFile(crashJournal, snap, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n2 := stalledJournalNode(t, hashdb.NewMemStore(nil), crashJournal, cache)
+	defer n2.Close()
+	r, err := n2.Lookup(context.Background(), target)
+	if err != nil || !r.Exists {
+		t.Fatalf("Lookup(target) = (%+v, %v), want found", r, err)
+	}
+	if r.Value != Value(2) {
+		t.Fatalf("replayed value = %d, want the newest acknowledged value 2", r.Value)
+	}
+}
+
+// TestJournalCheckpointBoundsGrowth: when quiesce truncation never fires
+// (a destager stalled mid-pressure), the size-triggered checkpoint drains
+// the buffer and truncates anyway, so the journal cannot grow without
+// bound — and nothing is lost in the process.
+func TestJournalCheckpointBoundsGrowth(t *testing.T) {
+	old := journalCheckpointBytes
+	journalCheckpointBytes = 1024
+	defer func() { journalCheckpointBytes = old }()
+
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "node.wal")
+	store := hashdb.NewMemStore(nil)
+	// Waves would normally never fire (huge batch, huge interval): only
+	// the checkpoint can truncate.
+	n := stalledJournalNode(t, store, jpath, 8)
+	defer n.Close()
+
+	const inserts = 400 // ~392 evictions ≈ 12.9 KB of records without the bound
+	for i := uint64(0); i < inserts; i++ {
+		if _, err := n.LookupOrInsert(context.Background(), fp(i), Value(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	// The checkpoint runs on the destager goroutine; give it a bounded
+	// moment to drain and truncate.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		fi, err := os.Stat(jpath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() <= journalCheckpointBytes {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("journal still %d bytes, checkpoint never bounded it (threshold %d)", fi.Size(), journalCheckpointBytes)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Checkpointed entries were destaged, not dropped.
+	for i := uint64(0); i < inserts; i++ {
+		r, err := n.Lookup(context.Background(), fp(i))
+		if err != nil || !r.Exists || r.Value != Value(i) {
+			t.Fatalf("Lookup(%d) after checkpoint = (%+v, %v), want found with exact value", i, r, err)
+		}
+	}
+}

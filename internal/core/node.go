@@ -119,6 +119,15 @@ type NodeConfig struct {
 	// into a full buffer block until the destager frees space
 	// (backpressure). 0 selects the default (4 × DestageBatch).
 	DestageQueue int
+	// JournalPath enables the durable destage journal (WriteBack only):
+	// every entry entering the dirty buffer is appended here and
+	// group-commit fsynced before the eviction acknowledges, the journal
+	// is truncated once a destage wave leaves the buffer empty (after an
+	// fsync of the store), and NewNode replays it into the store — so a
+	// crash between eviction and destage loses nothing. Empty disables
+	// the journal (the pre-journal write-back behavior: entries in the
+	// dirty buffer survive only until a crash).
+	JournalPath string
 	// Stripes is the number of hot-path lock stripes (rounded down to a
 	// power of two). Operations on fingerprints in different stripes run
 	// concurrently; operations on one fingerprint always serialize, which
@@ -198,6 +207,10 @@ type NodeStats struct {
 	Phases PhaseTimings
 	// Destage snapshots the write-back group-commit pipeline.
 	Destage DestageStats
+	// Recovery is what the node repaired when it opened: destage-journal
+	// replay plus the store's own recovery pass (all zero after a clean
+	// open).
+	Recovery RecoveryStats
 }
 
 // minCachePerStripe is the smallest LRU capacity worth splitting into an
@@ -267,6 +280,12 @@ type Node struct {
 	// group-commits them to the store. See destage.go.
 	dst *destager
 
+	// jnl is the durable destage journal (nil unless JournalPath is set);
+	// recovery summarizes what open-time replay and the store's own
+	// recovery pass repaired (immutable after NewNode). See journal.go.
+	jnl      *journal
+	recovery RecoveryStats
+
 	// flights tracks SSD phases running outside the stripe locks; Close
 	// waits for them before flushing and closing the store.
 	flights sync.WaitGroup
@@ -317,6 +336,44 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		n.stripes[i].histBloom = newPhaseHistogram()
 		n.stripes[i].histSSD = newPhaseHistogram()
 	}
+	// fail closes whatever NewNode opened before an error unwinds it.
+	fail := func(err error) (*Node, error) {
+		if n.jnl != nil {
+			n.jnl.close()
+		}
+		return nil, err
+	}
+	// The destage journal opens — and replays — before the Bloom filter is
+	// built, so entries a crashed process evicted but never destaged are
+	// back in the store when the filter rebuild enumerates it.
+	if cfg.JournalPath != "" {
+		if !cfg.WriteBack {
+			return nil, errors.New("core: JournalPath requires WriteBack")
+		}
+		j, recs, torn, err := openJournal(cfg.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		n.jnl = j
+		n.recovery.JournalTornBytes = uint64(torn)
+		if len(recs) > 0 {
+			if err := n.replayJournal(recs); err != nil {
+				return fail(err)
+			}
+			n.recovery.JournalReplayed = uint64(len(recs))
+			if err := cfg.Store.Sync(); err != nil {
+				return fail(fmt.Errorf("core: node %s: sync replayed journal: %w", cfg.ID, err))
+			}
+		}
+		// Everything the journal held is durable in the store now; later
+		// truncations use the same sync-then-truncate order.
+		if err := j.truncateIf(nil); err != nil {
+			return fail(err)
+		}
+	}
+	if rr, ok := cfg.Store.(storeRecoveryReporter); ok {
+		n.recovery.Store = rr.Recovery()
+	}
 	if !cfg.DisableBloom {
 		expected := cfg.BloomExpected
 		if expected <= 0 {
@@ -335,13 +392,13 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		if cfg.Store.Len() > 0 {
 			r, ok := cfg.Store.(Ranger)
 			if !ok {
-				return nil, fmt.Errorf("core: node %s: store holds %d entries but cannot enumerate them to rebuild the Bloom filter; disable the filter or use a Ranger store", cfg.ID, cfg.Store.Len())
+				return fail(fmt.Errorf("core: node %s: store holds %d entries but cannot enumerate them to rebuild the Bloom filter; disable the filter or use a Ranger store", cfg.ID, cfg.Store.Len()))
 			}
 			if err := r.Range(func(fp fingerprint.Fingerprint, _ hashdb.Value) bool {
 				n.bloom.Add(fp)
 				return true
 			}); err != nil {
-				return nil, fmt.Errorf("core: node %s: rebuild bloom: %w", cfg.ID, err)
+				return fail(fmt.Errorf("core: node %s: rebuild bloom: %w", cfg.ID, err))
 			}
 		}
 	}
@@ -355,7 +412,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		}
 		n.cache = lru.NewStriped(cacheStripes, cfg.CacheSize, n.onEvict)
 	} else if cfg.WriteBack {
-		return nil, errors.New("core: WriteBack requires a cache")
+		return fail(errors.New("core: WriteBack requires a cache"))
 	}
 	if cfg.WriteBack {
 		n.dst = newDestager(n, cfg.DestageBatch, cfg.DestageQueue, cfg.DestageInterval)
@@ -376,7 +433,15 @@ func (n *Node) onEvict(fp fingerprint.Fingerprint, val lru.Value, dirty bool) {
 	if !dirty {
 		return
 	}
-	n.dst.enqueue(fp, Value(val))
+	// The entry's journal record is appended here (under the shard lock,
+	// inside enqueue) but NOT waited durable: onEvict runs with the
+	// evicted entry's cache-stripe lock held, and an fsync wait here
+	// would serialize every eviction on that stripe behind one fsync.
+	// The write-back insert paths run a journalBarrierFrom after the
+	// cache put returns — with no cache lock held — so the insert that
+	// triggered the eviction still does not acknowledge until the record
+	// is durable, while concurrent evictors share one group commit.
+	n.dst.enqueue(fp, Value(val), false)
 }
 
 // recordDestageErr parks the first destage failure for delivery on the
@@ -457,8 +522,14 @@ func (n *Node) LookupOrInsert(ctx context.Context, fp fingerprint.Fingerprint, v
 	}
 	s := &n.stripes[n.stripeIndex(fp)]
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return n.lookupOrInsertLocked(s, fp, val)
+	before := n.journalLSN()
+	r, err := n.lookupOrInsertLocked(s, fp, val)
+	s.mu.Unlock()
+	// An eviction the insert displaced must be journal-durable before the
+	// ack; waiting here, with the lock released, lets concurrent stripes
+	// share one group commit.
+	n.journalBarrierFrom(before)
+	return r, err
 }
 
 // lookupOrInsertLocked runs the Figure 4 flow with the SSD tier probed
@@ -540,7 +611,10 @@ func (n *Node) insertLocked(s *nodeStripe, fp fingerprint.Fingerprint, val Value
 		n.bloom.Add(fp)
 	}
 	if n.wb {
-		// Write-back: park dirty in the cache; destage on eviction.
+		// Write-back: park dirty in the cache; destage on eviction. Any
+		// eviction this displaced appended its journal record inside
+		// PutDirty; the *callers* run journalBarrierFrom after releasing
+		// the stripe lock, so the fsync wait never stalls the stripe.
 		n.cache.PutDirty(fp, lru.Value(val))
 		return n.takeDestageErr()
 	}
@@ -577,8 +651,12 @@ func (n *Node) Insert(ctx context.Context, fp fingerprint.Fingerprint, val Value
 		}
 		f, inflight := s.inflight[fp]
 		if !inflight {
+			before := n.journalLSN()
 			err := n.insertLocked(s, fp, val)
 			s.mu.Unlock()
+			// Journal-durability wait for any displaced eviction runs
+			// with the stripe lock released.
+			n.journalBarrierFrom(before)
 			return err
 		}
 		s.mu.Unlock()
@@ -711,21 +789,28 @@ func (n *Node) batchLocked(ctx context.Context, count int, fpOf func(int) finger
 	done := ctx.Done()
 	runGroup := func(si int, idxs []int) error {
 		s := &n.stripes[si]
+		before := n.journalLSN()
 		s.mu.Lock()
-		defer s.mu.Unlock()
-		for _, i := range idxs {
-			if done != nil {
-				if err := ctx.Err(); err != nil {
-					return err
+		err := func() error {
+			for _, i := range idxs {
+				if done != nil {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
 				}
+				r, err := run(s, i)
+				if err != nil {
+					return fmt.Errorf("core: batch item %d: %w", i, err)
+				}
+				results[i] = r
 			}
-			r, err := run(s, i)
-			if err != nil {
-				return fmt.Errorf("core: batch item %d: %w", i, err)
-			}
-			results[i] = r
-		}
-		return nil
+			return nil
+		}()
+		s.mu.Unlock()
+		// One journal barrier per stripe group: every eviction the
+		// group's inserts displaced is durable before the batch acks.
+		n.journalBarrierFrom(before)
+		return err
 	}
 
 	if count == 1 {
@@ -800,13 +885,20 @@ func (n *Node) flushLocked() error {
 	dirty := n.cache.DirtyKeys()
 	for _, fp := range dirty {
 		if v, ok := n.cache.Peek(fp); ok {
-			n.dst.enqueue(fp, Value(v))
+			// No per-entry journal wait: the drain below plus the caller's
+			// store sync are this path's durability barrier, so the flush
+			// is not serialized on one fsync per entry.
+			n.dst.enqueue(fp, Value(v), false)
 		}
 	}
 	n.dst.drain()
 	if err := n.takeDestageErr(); err != nil {
 		return fmt.Errorf("core: node %s: flush: %w", n.id, err)
 	}
+	// The drain emptied the buffer, so the journal owes nothing; truncate
+	// it here (not just from the destager's wave tail) so a returned
+	// Flush means the quiesce truncation has actually happened.
+	n.dst.maybeTruncateJournal()
 	for _, fp := range dirty {
 		n.cache.MarkClean(fp)
 	}
@@ -861,9 +953,9 @@ func (n *Node) Remove(fp fingerprint.Fingerprint) (bool, error) {
 		s.mu.Unlock()
 		<-f.done
 	}
-	defer s.mu.Unlock()
 	d, ok := n.store.(Deleter)
 	if !ok {
+		s.mu.Unlock()
 		return false, fmt.Errorf("core: node %s: store cannot delete entries", n.id)
 	}
 	if n.cache != nil {
@@ -876,8 +968,27 @@ func (n *Node) Remove(fp fingerprint.Fingerprint) (bool, error) {
 		n.dst.forget(fp)
 	}
 	removed, err := d.Delete(fp)
+	var lsn uint64
+	if err == nil && n.jnl != nil {
+		// Tombstone the journal while still holding the stripe lock — a
+		// later re-insert of fp must journal *after* this record, or
+		// replay would apply the tombstone over the newer value. It sits
+		// after the store delete so a truncation's store sync always
+		// covers the delete the tombstone describes.
+		lsn = n.jnl.append(journalDelete, fp, 0)
+	}
+	s.mu.Unlock()
 	if err != nil {
 		return false, fmt.Errorf("core: node %s: remove %s: %w", n.id, fp.Short(), err)
+	}
+	if n.jnl != nil {
+		// Wait the tombstone durable with the stripe lock released, so a
+		// migration removing many keys shares group commits with other
+		// stripes instead of blocking this one per fsync. Replay must
+		// never resurrect a migrated entry, so the wait itself stays.
+		if jerr := n.jnl.wait(lsn); jerr != nil {
+			n.recordDestageErr(fmt.Errorf("core: node %s: remove %s: journal: %w", n.id, fp.Short(), jerr))
+		}
 	}
 	return removed, nil
 }
@@ -895,6 +1006,7 @@ func (n *Node) Stats(ctx context.Context) (NodeStats, error) {
 	st := NodeStats{
 		ID:           n.id,
 		StoreEntries: n.store.Len(),
+		Recovery:     n.recovery,
 	}
 	for i := range n.stripes {
 		s := &n.stripes[i]
@@ -966,6 +1078,18 @@ func (n *Node) Close() error {
 	}
 	if err == nil {
 		err = n.takeDestageErr()
+	}
+	if n.jnl != nil {
+		if err == nil {
+			// Clean shutdown: the store closed (and synced) holding
+			// everything, so the journal owes nothing to the next open —
+			// unless an entry was ever dropped to the journal (keepJournal),
+			// or on error: then it is kept intact for replay instead.
+			err = n.jnl.truncateIf(func() bool { return !n.dst.keepJournal.Load() })
+		}
+		if cerr := n.jnl.close(); err == nil {
+			err = cerr
+		}
 	}
 	return err
 }

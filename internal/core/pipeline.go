@@ -296,12 +296,17 @@ func (n *Node) bloomInsert(ctx context.Context, s *nodeStripe, fp fingerprint.Fi
 	n.bloom.Add(fp)
 	if n.wb {
 		// Write-back: the insert is pure RAM (destage happens on
-		// eviction), so it completes inside phase 1.
+		// eviction), so it completes inside phase 1 — except that an
+		// eviction it displaced must be journal-durable before the ack
+		// (the barrier runs with no locks held and is a no-op when
+		// nothing evicted).
 		s.bloomShort++
 		s.lookups++
 		s.inserts++
+		before := n.journalLSN()
 		n.cache.PutDirty(fp, lru.Value(val))
 		s.mu.Unlock()
+		n.journalBarrierFrom(before)
 		if derr := n.takeDestageErr(); derr != nil {
 			return LookupResult{}, derr
 		}
@@ -426,6 +431,7 @@ func (n *Node) ssdPhase(s *nodeStripe, fp fingerprint.Fingerprint, val Value, in
 	s.histSSD.Observe(time.Since(t0))
 	f.exists, f.val = true, val // waiters read our insert as their duplicate
 	f.ownerRes = LookupResult{Exists: false, Source: SourceNew}
+	before := n.journalLSN()
 	s.mu.Lock()
 	s.storeMiss++
 	if n.bloom != nil {
@@ -443,6 +449,9 @@ func (n *Node) ssdPhase(s *nodeStripe, fp fingerprint.Fingerprint, val Value, in
 	}
 	delete(s.inflight, fp)
 	s.mu.Unlock()
+	// An eviction the write-back install displaced must be journal-durable
+	// before anyone reads this flight as complete.
+	n.journalBarrierFrom(before)
 	close(f.done)
 	n.flights.Done()
 	// The drain must only happen where the return value is read: inline
@@ -496,6 +505,10 @@ type foreignJoin struct {
 // batch's whole wave is cancelled together).
 func (n *Node) batchAsync(ctx context.Context, count int, fpOf func(int) fingerprint.Fingerprint, valOf func(int) Value, insert bool) ([]LookupResult, error) {
 	results := make([]LookupResult, count)
+	// One journal barrier covers the whole batch: every eviction its RAM
+	// pass and SSD-phase installs displaced is durable before the batch
+	// acknowledges, at the cost of a single shared group commit.
+	journalBefore := n.journalLSN()
 
 	groups := make(map[int][]int, len(n.stripes))
 	for i := 0; i < count; i++ {
@@ -844,6 +857,7 @@ func (n *Node) batchAsync(ctx context.Context, count int, fpOf func(int) fingerp
 	}
 
 	if n.wb {
+		n.journalBarrierFrom(journalBefore)
 		if derr := n.takeDestageErr(); derr != nil {
 			return nil, derr
 		}

@@ -41,7 +41,7 @@ const (
 	PageSize = 4096
 
 	magic   = "SHDB"
-	version = 2
+	version = 3
 
 	// page layout: crc32 uint32 | count uint16 | next uint64 | entries...
 	// The CRC covers everything after itself and detects torn writes and
@@ -52,9 +52,18 @@ const (
 	// SlotsPerPage is the number of entries a bucket/overflow page holds.
 	SlotsPerPage = (PageSize - pageHdrSize) / entrySize
 
-	// file header layout (in page 0):
-	// magic(4) version(4) pageSize(4) buckets(8) entries(8) pages(8) clean(1)
-	fileHdrSize = 4 + 4 + 4 + 8 + 8 + 8 + 1
+	// file header layout. Page 0 holds two header slots at offsets 0 and
+	// headerSlotStride; writeHeader alternates between them by sequence
+	// number, so a torn header write can destroy at most one slot and the
+	// other still describes a consistent (if slightly stale) state. Each
+	// slot:
+	//
+	//	crc32(4) magic(4) version(4) pageSize(4) buckets(8) entries(8)
+	//	pages(8) clean(1) seq(8)
+	//
+	// The CRC covers everything after itself.
+	fileHdrSize      = 4 + 4 + 4 + 4 + 8 + 8 + 8 + 1 + 8
+	headerSlotStride = 512
 )
 
 // ErrClosed is returned by operations on a closed database.
@@ -118,6 +127,18 @@ type dbStripe struct {
 	_  [40]byte // keep neighboring stripe locks off one cache line
 }
 
+// File is the backing-file contract DB needs. *os.File satisfies it; tests
+// inject failpoint wrappers (see FailFile) to tear writes at arbitrary
+// byte offsets.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	Truncate(size int64) error
+	Stat() (os.FileInfo, error)
+	Sync() error
+	Close() error
+}
+
 // DB is an on-disk hash table from fingerprint to Value.
 //
 // All methods are safe for concurrent use. The bucket space is split over
@@ -125,7 +146,7 @@ type dbStripe struct {
 // parallel; page allocation (file growth) and header writes serialize on a
 // separate allocation mutex, which lookups never touch.
 type DB struct {
-	f          *os.File
+	f          File
 	path       string
 	dev        *device.Device
 	buckets    uint64
@@ -141,6 +162,13 @@ type DB struct {
 	pages         atomic.Uint64 // total pages including header
 	overflowPages atomic.Uint64 // chain statistics, for diagnostics
 	dirty         atomic.Bool   // header on disk says unclean
+	// headerSeq is the sequence number of the newest on-disk header slot;
+	// writeHeader bumps it and writes slot seq%2. Guarded by the same
+	// quiescence discipline as writeHeader itself.
+	headerSeq uint64
+	// recovery summarizes the open-time repair pass. Written only while
+	// Open runs single-threaded, immutable afterwards.
+	recovery RecoveryStats
 
 	// Chain-degradation telemetry, recorded by every write-path chain
 	// walk: the longest chain seen and a histogram of observed chain
@@ -217,12 +245,21 @@ func Create(path string, opts Options) (*DB, error) {
 }
 
 // Open opens an existing database. If the file was not closed cleanly, Open
-// recovers by rescanning the pages to recompute the entry count.
+// runs the recovery pass (see recovery.go): torn pages are quarantined,
+// dangling overflow links cut, orphaned chain tails salvaged, and the
+// counters recomputed, so an unclean file never fails Open permanently.
 func Open(path string, dev *device.Device) (*DB, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
 		return nil, fmt.Errorf("hashdb: open %s: %w", path, err)
 	}
+	return OpenFile(f, path, dev)
+}
+
+// OpenFile is Open over an injected backing file (testing and failure
+// injection; see FailFile). path is used for messages only. OpenFile takes
+// ownership of f and closes it when opening fails.
+func OpenFile(f File, path string, dev *device.Device) (*DB, error) {
 	if dev == nil {
 		dev = device.New(device.SSD, device.Account)
 	}
@@ -241,82 +278,95 @@ func Open(path string, dev *device.Device) (*DB, error) {
 	return db, nil
 }
 
-// writeHeader persists the file header. Callers must hold allocMu or have
-// otherwise quiesced mutators (Create/recover run single-threaded; Sync and
-// Close hold every stripe write lock).
+// writeHeader persists the file header into the slot the bumped sequence
+// number selects, so a torn header write can destroy at most one of the two
+// slots. Callers must hold allocMu or have otherwise quiesced mutators
+// (Create/recover run single-threaded; Sync and Close hold every stripe
+// write lock).
 func (db *DB) writeHeader(clean bool) error {
+	seq := db.headerSeq + 1
 	var buf [fileHdrSize]byte
-	copy(buf[0:4], magic)
-	binary.BigEndian.PutUint32(buf[4:8], version)
-	binary.BigEndian.PutUint32(buf[8:12], PageSize)
-	binary.BigEndian.PutUint64(buf[12:20], db.buckets)
-	binary.BigEndian.PutUint64(buf[20:28], db.entries.Load())
-	binary.BigEndian.PutUint64(buf[28:36], db.pages.Load())
+	copy(buf[4:8], magic)
+	binary.BigEndian.PutUint32(buf[8:12], version)
+	binary.BigEndian.PutUint32(buf[12:16], PageSize)
+	binary.BigEndian.PutUint64(buf[16:24], db.buckets)
+	binary.BigEndian.PutUint64(buf[24:32], db.entries.Load())
+	binary.BigEndian.PutUint64(buf[32:40], db.pages.Load())
 	if clean {
-		buf[36] = 1
+		buf[40] = 1
 	}
+	binary.BigEndian.PutUint64(buf[41:49], seq)
+	binary.BigEndian.PutUint32(buf[0:4], crc32.ChecksumIEEE(buf[4:]))
 	db.dev.Write(len(buf))
-	if _, err := db.f.WriteAt(buf[:], 0); err != nil {
+	if _, err := db.f.WriteAt(buf[:], int64(seq%2)*headerSlotStride); err != nil {
 		return fmt.Errorf("hashdb: %s: write header: %w", db.path, err)
 	}
-	db.dirty.Store(!clean)
+	db.headerSeq = seq
+	// Writing a *dirty* header must NOT publish db.dirty here: markDirty's
+	// lock-free fast path reads it, and a mutator that saw it true would
+	// write pages while the mark is still only in the OS page cache — a
+	// crash could then persist the torn page but not the mark. markDirty
+	// publishes the flag itself, after its fsync returns.
+	if clean {
+		db.dirty.Store(false)
+	}
 	return nil
 }
 
+// decodeHeaderSlot validates one header slot, returning its sequence number
+// and clean flag after loading the geometry fields into db.
+func (db *DB) decodeHeaderSlot(buf []byte) (seq uint64, clean bool, ok bool) {
+	if crc32.ChecksumIEEE(buf[4:]) != binary.BigEndian.Uint32(buf[0:4]) {
+		return 0, false, false
+	}
+	if string(buf[4:8]) != magic {
+		return 0, false, false
+	}
+	if v := binary.BigEndian.Uint32(buf[8:12]); v != version {
+		return 0, false, false
+	}
+	if ps := binary.BigEndian.Uint32(buf[12:16]); ps != PageSize {
+		return 0, false, false
+	}
+	db.buckets = binary.BigEndian.Uint64(buf[16:24])
+	db.entries.Store(binary.BigEndian.Uint64(buf[24:32]))
+	db.pages.Store(binary.BigEndian.Uint64(buf[32:40]))
+	return binary.BigEndian.Uint64(buf[41:49]), buf[40] == 1, true
+}
+
 func (db *DB) readHeader() error {
-	var buf [fileHdrSize]byte
-	db.dev.Read(len(buf))
-	if _, err := db.f.ReadAt(buf[:], 0); err != nil {
+	var slots [2][fileHdrSize]byte
+	db.dev.Read(fileHdrSize)
+	if _, err := db.f.ReadAt(slots[0][:], 0); err != nil {
 		return fmt.Errorf("hashdb: %s: read header: %w", db.path, err)
 	}
-	if string(buf[0:4]) != magic {
-		return &CorruptionError{Path: db.path, Detail: "bad magic"}
+	// The second slot may not exist yet in a file torn during Create.
+	if _, err := db.f.ReadAt(slots[1][:], headerSlotStride); err != nil && !errors.Is(err, io.EOF) {
+		return fmt.Errorf("hashdb: %s: read header: %w", db.path, err)
 	}
-	if v := binary.BigEndian.Uint32(buf[4:8]); v != version {
-		return &CorruptionError{Path: db.path, Detail: fmt.Sprintf("unsupported version %d", v)}
+	best := -1
+	var bestSeq uint64
+	for i := range slots {
+		if seq, _, ok := db.decodeHeaderSlot(slots[i][:]); ok && (best < 0 || seq > bestSeq) {
+			best, bestSeq = i, seq
+		}
 	}
-	if ps := binary.BigEndian.Uint32(buf[8:12]); ps != PageSize {
-		return &CorruptionError{Path: db.path, Detail: fmt.Sprintf("page size %d, want %d", ps, PageSize)}
+	if best < 0 {
+		if string(slots[0][0:4]) == magic {
+			// Pre-v3 layout: magic first, no CRC, single slot. Not
+			// corruption — a format mismatch, reported as such.
+			return &CorruptionError{Path: db.path, Detail: fmt.Sprintf("unsupported pre-crash-safe header layout (file version %d)", binary.BigEndian.Uint32(slots[0][4:8]))}
+		}
+		return &CorruptionError{Path: db.path, Detail: "no valid header slot"}
 	}
-	db.buckets = binary.BigEndian.Uint64(buf[12:20])
-	db.entries.Store(binary.BigEndian.Uint64(buf[20:28]))
-	db.pages.Store(binary.BigEndian.Uint64(buf[28:36]))
-	db.dirty.Store(buf[36] == 0)
+	// Re-decode the winner so its geometry is what sticks.
+	seq, clean, _ := db.decodeHeaderSlot(slots[best][:])
+	db.headerSeq = seq
+	db.dirty.Store(!clean)
 	if db.buckets == 0 || db.pages.Load() < 1+db.buckets {
 		return &CorruptionError{Path: db.path, Detail: "inconsistent geometry"}
 	}
 	return nil
-}
-
-// recover rescans every page after an unclean shutdown, recomputing the
-// entry count, page count, and overflow statistics from the file itself.
-func (db *DB) recover() error {
-	fi, err := db.f.Stat()
-	if err != nil {
-		return fmt.Errorf("hashdb: %s: recover: %w", db.path, err)
-	}
-	db.pages.Store(uint64(fi.Size()) / PageSize)
-	if db.pages.Load() < 1+db.buckets {
-		return &CorruptionError{Path: db.path, Detail: "file truncated below bucket region"}
-	}
-	var entries, overflow uint64
-	page := make([]byte, PageSize)
-	for p := uint64(1); p < db.pages.Load(); p++ {
-		if err := db.readPage(p, page); err != nil {
-			return err
-		}
-		count := pageCount(page)
-		if count > SlotsPerPage {
-			return &CorruptionError{Path: db.path, Detail: fmt.Sprintf("page %d count %d exceeds capacity", p, count)}
-		}
-		entries += uint64(count)
-		if p > db.buckets {
-			overflow++
-		}
-	}
-	db.entries.Store(entries)
-	db.overflowPages.Store(overflow)
-	return db.writeHeader(true)
 }
 
 func (db *DB) readPage(p uint64, buf []byte) error {
@@ -358,8 +408,12 @@ func (db *DB) writePage(p uint64, buf []byte) error {
 }
 
 // markDirty lazily flips the on-disk clean flag before the first mutation
-// after open/sync, so a crash is detectable. Concurrent mutators race to
-// the fast path; the loser of the allocMu handoff sees dirty already set.
+// after open/sync, so a crash is detectable. The flag is fsynced before
+// markDirty returns: were the mark allowed to reorder behind later page
+// writes, a crash could leave torn pages in a file whose header still says
+// clean, and Open would skip the recovery pass that repairs them.
+// Concurrent mutators race to the fast path; the loser of the allocMu
+// handoff sees dirty already set.
 func (db *DB) markDirty() error {
 	if db.dirty.Load() {
 		return nil
@@ -369,7 +423,16 @@ func (db *DB) markDirty() error {
 	if db.dirty.Load() {
 		return nil
 	}
-	return db.writeHeader(false)
+	if err := db.writeHeader(false); err != nil {
+		return err
+	}
+	if err := db.f.Sync(); err != nil {
+		return fmt.Errorf("hashdb: %s: sync dirty mark: %w", db.path, err)
+	}
+	// Only now may other mutators take the fast path: the mark is durable,
+	// so any page they tear will be flagged for recovery at the next open.
+	db.dirty.Store(true)
+	return nil
 }
 
 // pagePool recycles 4 KB page buffers across probes; the hot path would
@@ -548,21 +611,35 @@ func (db *DB) Range(fn func(fp fingerprint.Fingerprint, v Value) bool) error {
 	return nil
 }
 
-// Sync flushes the header (marking the file clean) and fsyncs. It quiesces
-// every stripe, so no mutation can race the clean flag.
+// commitClean makes all outstanding page writes durable and only then
+// writes and fsyncs the clean header. The two-fsync order is the point:
+// with a single fsync covering pages and header together, the device may
+// persist the clean mark before an earlier page write — a crash would then
+// leave a torn page in a file whose header says clean, and Open would skip
+// the recovery pass that quarantines it. Callers must have quiesced
+// mutators (Sync/Close hold every stripe lock; recover is single-threaded).
+func (db *DB) commitClean() error {
+	if err := db.f.Sync(); err != nil {
+		return fmt.Errorf("hashdb: %s: sync data: %w", db.path, err)
+	}
+	if err := db.writeHeader(true); err != nil {
+		return err
+	}
+	if err := db.f.Sync(); err != nil {
+		return fmt.Errorf("hashdb: %s: sync clean mark: %w", db.path, err)
+	}
+	return nil
+}
+
+// Sync makes all previous writes durable and marks the file clean. It
+// quiesces every stripe, so no mutation can race the clean flag.
 func (db *DB) Sync() error {
 	db.lockAll()
 	defer db.unlockAll()
 	if db.closed {
 		return ErrClosed
 	}
-	if err := db.writeHeader(true); err != nil {
-		return err
-	}
-	if err := db.f.Sync(); err != nil {
-		return fmt.Errorf("hashdb: %s: sync: %w", db.path, err)
-	}
-	return nil
+	return db.commitClean()
 }
 
 // Close syncs and closes the database.
@@ -572,10 +649,7 @@ func (db *DB) Close() error {
 	if db.closed {
 		return ErrClosed
 	}
-	err := db.writeHeader(true)
-	if serr := db.f.Sync(); err == nil && serr != nil {
-		err = fmt.Errorf("hashdb: %s: sync: %w", db.path, serr)
-	}
+	err := db.commitClean()
 	if cerr := db.f.Close(); err == nil && cerr != nil {
 		err = fmt.Errorf("hashdb: %s: close: %w", db.path, cerr)
 	}
@@ -615,7 +689,10 @@ type Stats struct {
 	ChainHist [chainHistBuckets]uint64
 	// LoadFactor is entries / total bucket-region slots.
 	LoadFactor float64
-	Device     device.Stats
+	// Recovery is what the open-time recovery pass repaired (all zero
+	// when the file was opened cleanly).
+	Recovery RecoveryStats
+	Device   device.Stats
 }
 
 // Stats returns a snapshot of the database's shape and device usage. The
@@ -635,6 +712,7 @@ func (db *DB) Stats() Stats {
 		OverflowPages: db.overflowPages.Load(),
 		MaxChain:      db.maxChain.Load(),
 		LoadFactor:    lf,
+		Recovery:      db.recovery,
 		Device:        db.dev.Stats(),
 	}
 	for i := range db.chainHist {

@@ -1,0 +1,242 @@
+package hashdb
+
+// This file implements the open-time recovery pass. hashdb's page CRCs
+// have always *detected* torn writes and media corruption; before this
+// pass existed, a torn page made every Open (and every Get that touched
+// it) fail forever. Recovery turns detection into repair:
+//
+//   - the trailing partial page of a write torn mid-append is truncated;
+//   - pages whose CRC no longer matches are quarantined — reset to empty —
+//     because their contents cannot be trusted (serving a best-effort
+//     parse of a torn page could return garbage locators);
+//   - overflow links that dangle (point past the file, into the bucket
+//     region, or into a cycle) are cut. PutBatch's new-pages-before-link
+//     write order means a crash strands unreferenced pages rather than
+//     dangling pointers, so a dangling link only appears when a page was
+//     quarantined or the file lost its tail; cutting it restores a walkable
+//     chain;
+//   - valid overflow pages left unreachable by a quarantined or cut link
+//     are salvaged: their entries hash back to their buckets, so they are
+//     re-inserted through the normal write path and the orphan page is
+//     zeroed;
+//   - the entry, page, and overflow counters are recomputed from the
+//     repaired file, and the header is rewritten clean and fsynced.
+//
+// The pass runs inside Open while the DB is still single-threaded,
+// whenever the header says the file was not closed cleanly.
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RecoveryStats summarizes what the open-time recovery pass found and
+// repaired after an unclean shutdown. All counters are zero when the file
+// was closed cleanly.
+type RecoveryStats struct {
+	// Runs counts recovery passes (0 when the file was clean, 1 after an
+	// unclean open).
+	Runs uint64
+	// PagesScanned is the number of data pages the pass CRC-checked.
+	PagesScanned uint64
+	// TornPages counts pages whose CRC failed; they were quarantined
+	// (reset to empty) because torn contents cannot be trusted.
+	TornPages uint64
+	// TailBytes is the size of a trailing partial page truncated away.
+	TailBytes uint64
+	// RepairedLinks counts overflow links cut because they pointed past
+	// the file, into the bucket region, or into a cycle.
+	RepairedLinks uint64
+	// OrphanPages counts valid, non-empty overflow pages that were
+	// unreachable from any bucket chain (severed by a quarantined page or
+	// a cut link).
+	OrphanPages uint64
+	// SalvagedEntries counts entries re-inserted from orphan pages.
+	SalvagedEntries uint64
+}
+
+// Recovery returns what the open-time recovery pass repaired. The zero
+// value means the file was opened cleanly.
+func (db *DB) Recovery() RecoveryStats { return db.recovery }
+
+// zeroPage overwrites page p with zeros. A zero page is the "never
+// written" form bucket pages start in: readPage accepts it as valid and
+// empty, so quarantining and orphan-clearing both reduce to zeroing.
+func (db *DB) zeroPage(p uint64) error {
+	buf := getPage()
+	defer putPage(buf)
+	clear(buf)
+	db.dev.Write(PageSize)
+	if _, err := db.f.WriteAt(buf, int64(p)*PageSize); err != nil {
+		return fmt.Errorf("hashdb: %s: zero page %d: %w", db.path, p, err)
+	}
+	return nil
+}
+
+// readPageChecked is readPage plus the structural invariant that a page
+// can never claim more entries than it has slots; a page that does is as
+// untrustworthy as a CRC failure and is reported the same way.
+func (db *DB) readPageChecked(p uint64, buf []byte) error {
+	if err := db.readPage(p, buf); err != nil {
+		return err
+	}
+	if c := pageCount(buf); c > SlotsPerPage {
+		return &CorruptionError{Path: db.path, Detail: fmt.Sprintf("page %d count %d exceeds capacity", p, c)}
+	}
+	return nil
+}
+
+// recover repairs the file after an unclean shutdown. It runs
+// single-threaded inside Open; see the file comment for the pass's steps.
+func (db *DB) recover() error {
+	rs := &db.recovery
+	rs.Runs++
+
+	// 1. Resize: drop a torn partial tail page; grow a file truncated
+	// below the bucket region back to empty bucket pages.
+	fi, err := db.f.Stat()
+	if err != nil {
+		return fmt.Errorf("hashdb: %s: recover: %w", db.path, err)
+	}
+	size := fi.Size()
+	if rem := size % PageSize; rem != 0 {
+		rs.TailBytes = uint64(rem)
+		size -= rem
+		if err := db.f.Truncate(size); err != nil {
+			return fmt.Errorf("hashdb: %s: recover: truncate torn tail: %w", db.path, err)
+		}
+	}
+	pages := uint64(size) / PageSize
+	if min := 1 + db.buckets; pages < min {
+		if err := db.f.Truncate(int64(min) * PageSize); err != nil {
+			return fmt.Errorf("hashdb: %s: recover: restore bucket region: %w", db.path, err)
+		}
+		pages = min
+	}
+	db.pages.Store(pages)
+
+	// 2. CRC scan: quarantine torn pages. A quarantined page reads back
+	// as valid and empty (next = 0), so later passes see a structurally
+	// sound file.
+	page := getPage()
+	defer putPage(page)
+	for p := uint64(1); p < pages; p++ {
+		rs.PagesScanned++
+		err := db.readPageChecked(p, page)
+		if err == nil {
+			continue
+		}
+		var ce *CorruptionError
+		if !errors.As(err, &ce) {
+			return err // real I/O failure, not corruption
+		}
+		rs.TornPages++
+		if err := db.zeroPage(p); err != nil {
+			return err
+		}
+	}
+
+	// 3. Chain walk: recount entries and cut links that dangle. reached
+	// marks every page owned by some bucket chain.
+	reached := make([]bool, pages)
+	var entries, overflow uint64
+	for b := uint64(1); b <= db.buckets; b++ {
+		reached[b] = true
+		if err := db.readPageChecked(b, page); err != nil {
+			return err
+		}
+		entries += uint64(pageCount(page))
+		cur := b
+		for {
+			next := pageNext(page)
+			if next == 0 {
+				break
+			}
+			if next >= pages || next <= db.buckets || reached[next] {
+				// Dangling, into the bucket region, or a cycle: cut.
+				setPageNext(page, 0)
+				if err := db.writePage(cur, page); err != nil {
+					return err
+				}
+				rs.RepairedLinks++
+				break
+			}
+			reached[next] = true
+			if err := db.readPageChecked(next, page); err != nil {
+				return err
+			}
+			entries += uint64(pageCount(page))
+			overflow++
+			cur = next
+		}
+	}
+	db.entries.Store(entries)
+	db.overflowPages.Store(overflow)
+
+	// 4. Salvage: entries on valid overflow pages no chain reaches hash
+	// back to their buckets, so re-insert them through the normal write
+	// path and clear the orphan page (Range walks pages physically and
+	// must not see them twice).
+	var salvage []Pair
+	for p := db.buckets + 1; p < pages; p++ {
+		if reached[p] {
+			continue
+		}
+		if err := db.readPageChecked(p, page); err != nil {
+			return err
+		}
+		n := pageCount(page)
+		if n == 0 {
+			continue
+		}
+		rs.OrphanPages++
+		rs.SalvagedEntries += uint64(n)
+		for i := 0; i < n; i++ {
+			fp, v := entryAt(page, i)
+			salvage = append(salvage, Pair{FP: fp, Val: v})
+		}
+		if err := db.zeroPage(p); err != nil {
+			return err
+		}
+	}
+	for _, pr := range salvage {
+		if _, err := db.Put(pr.FP, pr.Val); err != nil {
+			return fmt.Errorf("hashdb: %s: recover: salvage %s: %w", db.path, pr.FP.Short(), err)
+		}
+	}
+
+	// 5. Commit: repairs durable first, then the clean mark (commitClean's
+	// two-fsync order), so a crash mid-recovery leaves a dirty header and
+	// the next open simply recovers again.
+	return db.commitClean()
+}
+
+// Check CRC-scans every page and validates chain structure without
+// modifying anything, returning the first inconsistency found (nil means
+// the file is structurally sound). It holds every stripe read lock for the
+// duration, like Range.
+func (db *DB) Check() error {
+	for i := range db.stripes {
+		db.stripes[i].mu.RLock()
+	}
+	defer func() {
+		for i := len(db.stripes) - 1; i >= 0; i-- {
+			db.stripes[i].mu.RUnlock()
+		}
+	}()
+	if db.closed {
+		return ErrClosed
+	}
+	pages := db.pages.Load()
+	page := getPage()
+	defer putPage(page)
+	for p := uint64(1); p < pages; p++ {
+		if err := db.readPageChecked(p, page); err != nil {
+			return err
+		}
+		if next := pageNext(page); next != 0 && (next >= pages || next <= db.buckets) {
+			return &CorruptionError{Path: db.path, Detail: fmt.Sprintf("page %d links to invalid page %d", p, next)}
+		}
+	}
+	return nil
+}

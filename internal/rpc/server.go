@@ -377,6 +377,17 @@ func toWireStats(st core.NodeStats) wire.StatsPayload {
 		DestageWaves:     st.Destage.Waves,
 		DestageCoalesced: st.Destage.Coalesced,
 		DestageHits:      st.Destage.BufferHits,
+
+		RecoveryJournalReplayed:  st.Recovery.JournalReplayed,
+		RecoveryJournalTornBytes: st.Recovery.JournalTornBytes,
+		RecoveryStoreRuns:        st.Recovery.Store.Runs,
+		RecoveryStorePagesScan:   st.Recovery.Store.PagesScanned,
+		RecoveryStoreTornPages:   st.Recovery.Store.TornPages,
+		RecoveryStoreTailBytes:   st.Recovery.Store.TailBytes,
+		RecoveryStoreLinks:       st.Recovery.Store.RepairedLinks,
+		RecoveryStoreOrphans:     st.Recovery.Store.OrphanPages,
+		RecoveryStoreSalvaged:    st.Recovery.Store.SalvagedEntries,
+
 		PhaseCache:       toWireSummary(st.Phases.Cache),
 		PhaseBloom:       toWireSummary(st.Phases.Bloom),
 		PhaseSSD:         toWireSummary(st.Phases.SSD),
@@ -408,6 +419,15 @@ func fromWireStats(s wire.StatsPayload) core.NodeStats {
 	st.Destage.Waves = s.DestageWaves
 	st.Destage.Coalesced = s.DestageCoalesced
 	st.Destage.BufferHits = s.DestageHits
+	st.Recovery.JournalReplayed = s.RecoveryJournalReplayed
+	st.Recovery.JournalTornBytes = s.RecoveryJournalTornBytes
+	st.Recovery.Store.Runs = s.RecoveryStoreRuns
+	st.Recovery.Store.PagesScanned = s.RecoveryStorePagesScan
+	st.Recovery.Store.TornPages = s.RecoveryStoreTornPages
+	st.Recovery.Store.TailBytes = s.RecoveryStoreTailBytes
+	st.Recovery.Store.RepairedLinks = s.RecoveryStoreLinks
+	st.Recovery.Store.OrphanPages = s.RecoveryStoreOrphans
+	st.Recovery.Store.SalvagedEntries = s.RecoveryStoreSalvaged
 	st.Phases.Cache = fromWireSummary(s.PhaseCache)
 	st.Phases.Bloom = fromWireSummary(s.PhaseBloom)
 	st.Phases.SSD = fromWireSummary(s.PhaseSSD)

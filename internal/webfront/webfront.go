@@ -354,19 +354,35 @@ type DestageJSON struct {
 	WaveSizes       PhaseSummaryJSON `json:"waveSizes"`
 }
 
+// RecoveryJSON reports what a node repaired when it opened: destage
+// journal replay plus the SSD hash table's own recovery pass. All zero
+// after a clean open.
+type RecoveryJSON struct {
+	JournalReplayed  uint64 `json:"journalReplayed"`
+	JournalTornBytes uint64 `json:"journalTornBytes"`
+	StoreRuns        uint64 `json:"storeRecoveryRuns"`
+	StorePagesScan   uint64 `json:"storePagesScanned"`
+	StoreTornPages   uint64 `json:"storeTornPages"`
+	StoreTailBytes   uint64 `json:"storeTailBytes"`
+	StoreLinks       uint64 `json:"storeRepairedLinks"`
+	StoreOrphans     uint64 `json:"storeOrphanPages"`
+	StoreSalvaged    uint64 `json:"storeSalvagedEntries"`
+}
+
 // NodeStatsJSON is the JSON shape of one node's statistics.
 type NodeStatsJSON struct {
-	ID           string      `json:"id"`
-	Lookups      uint64      `json:"lookups"`
-	Inserts      uint64      `json:"inserts"`
-	CacheHits    uint64      `json:"cacheHits"`
-	BloomShort   uint64      `json:"bloomShortCircuits"`
-	StoreHits    uint64      `json:"storeHits"`
-	StoreMisses  uint64      `json:"storeMisses"`
-	Coalesced    uint64      `json:"coalescedProbes"`
-	StoreEntries int         `json:"storeEntries"`
-	Phases       PhasesJSON  `json:"phases"`
-	Destage      DestageJSON `json:"destage"`
+	ID           string       `json:"id"`
+	Lookups      uint64       `json:"lookups"`
+	Inserts      uint64       `json:"inserts"`
+	CacheHits    uint64       `json:"cacheHits"`
+	BloomShort   uint64       `json:"bloomShortCircuits"`
+	StoreHits    uint64       `json:"storeHits"`
+	StoreMisses  uint64       `json:"storeMisses"`
+	Coalesced    uint64       `json:"coalescedProbes"`
+	StoreEntries int          `json:"storeEntries"`
+	Phases       PhasesJSON   `json:"phases"`
+	Destage      DestageJSON  `json:"destage"`
+	Recovery     RecoveryJSON `json:"recovery"`
 }
 
 func phaseJSON(s metrics.Summary) PhaseSummaryJSON {
@@ -420,6 +436,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				Coalesced:       st.Destage.Coalesced,
 				BufferHits:      st.Destage.BufferHits,
 				WaveSizes:       phaseJSON(st.Destage.WaveSizes),
+			},
+			Recovery: RecoveryJSON{
+				JournalReplayed:  st.Recovery.JournalReplayed,
+				JournalTornBytes: st.Recovery.JournalTornBytes,
+				StoreRuns:        st.Recovery.Store.Runs,
+				StorePagesScan:   st.Recovery.Store.PagesScanned,
+				StoreTornPages:   st.Recovery.Store.TornPages,
+				StoreTailBytes:   st.Recovery.Store.TailBytes,
+				StoreLinks:       st.Recovery.Store.RepairedLinks,
+				StoreOrphans:     st.Recovery.Store.OrphanPages,
+				StoreSalvaged:    st.Recovery.Store.SalvagedEntries,
 			},
 		}
 	}

@@ -87,13 +87,16 @@ const (
 // Protocol versions. Version 0 is the original deadline-less protocol;
 // Version1 adds the deadline header field and the Hello/Cancel frames;
 // Version2 keeps the frame layout of Version1 and extends the stats
-// payload with the write-back destage counters (old peers negotiate down
-// and receive/send the legacy stats layout).
+// payload with the write-back destage counters; Version3 extends it again
+// with the crash-recovery counters (journal replay plus the hash table's
+// open-time repair pass). Old peers negotiate down and receive/send their
+// version's stats layout.
 const (
 	Version0   = 0
 	Version1   = 1
 	Version2   = 2
-	MaxVersion = Version2
+	Version3   = 3
+	MaxVersion = Version3
 )
 
 func (t Type) String() string {
@@ -467,21 +470,34 @@ type StatsPayload struct {
 	DestageWaves     uint64
 	DestageCoalesced uint64
 	DestageHits      uint64
-	PhaseCache       SummaryPayload
-	PhaseBloom       SummaryPayload
-	PhaseSSD         SummaryPayload
-	DestageWaveSizes SummaryPayload
+	// Recovery counters (protocol >= 3): what the node repaired at open.
+	// RecoveryJournalReplayed/TornBytes describe destage-journal replay;
+	// the RecoveryStore* fields mirror the hash table's own open-time
+	// recovery pass (hashdb.RecoveryStats).
+	RecoveryJournalReplayed  uint64
+	RecoveryJournalTornBytes uint64
+	RecoveryStoreRuns        uint64
+	RecoveryStorePagesScan   uint64
+	RecoveryStoreTornPages   uint64
+	RecoveryStoreTailBytes   uint64
+	RecoveryStoreLinks       uint64
+	RecoveryStoreOrphans     uint64
+	RecoveryStoreSalvaged    uint64
+	PhaseCache               SummaryPayload
+	PhaseBloom               SummaryPayload
+	PhaseSSD                 SummaryPayload
+	DestageWaveSizes         SummaryPayload
 }
 
 // statsCounterFields is the number of plain uint64 counters in a
 // StatsPayload (everything after the ID, before the phase summaries);
 // statsSummaryCount is the number of SummaryPayload digests that follow.
-// The legacy (protocol < 2) stats layout carries only the first
-// legacyStatsCounterFields counters and legacyStatsSummaryCount
-// summaries — the destage fields are a Version2 extension.
+// Older layouts carry prefixes of the counter list: protocol < 2 stops
+// before the destage fields, protocol 2 before the recovery fields.
 const (
-	statsCounterFields       = 20
+	statsCounterFields       = 29
 	statsSummaryCount        = 4
+	v2StatsCounterFields     = 20
 	legacyStatsCounterFields = 14
 	legacyStatsSummaryCount  = 3
 )
@@ -493,6 +509,10 @@ func (s *StatsPayload) counters() []*uint64 {
 		&s.CacheHitsLRU, &s.CacheMisses, &s.CacheEvicts, &s.CacheLen, &s.CacheCap,
 		&s.DestageQueue, &s.DestageEntries, &s.DestagePages, &s.DestageWaves,
 		&s.DestageCoalesced, &s.DestageHits,
+		&s.RecoveryJournalReplayed, &s.RecoveryJournalTornBytes,
+		&s.RecoveryStoreRuns, &s.RecoveryStorePagesScan, &s.RecoveryStoreTornPages,
+		&s.RecoveryStoreTailBytes, &s.RecoveryStoreLinks, &s.RecoveryStoreOrphans,
+		&s.RecoveryStoreSalvaged,
 	}
 }
 
@@ -507,10 +527,14 @@ func (p *SummaryPayload) fields() []*uint64 {
 // statsLayout returns how many counters and summaries the given protocol
 // version carries in a stats payload.
 func statsLayout(version int) (counters, summaries int) {
-	if version >= Version2 {
+	switch {
+	case version >= Version3:
 		return statsCounterFields, statsSummaryCount
+	case version == Version2:
+		return v2StatsCounterFields, statsSummaryCount
+	default:
+		return legacyStatsCounterFields, legacyStatsSummaryCount
 	}
-	return legacyStatsCounterFields, legacyStatsSummaryCount
 }
 
 // EncodeStats encodes node statistics (TypeStatsResult) in the newest
@@ -545,11 +569,11 @@ func EncodeStatsV(s StatsPayload, version int) []byte {
 	return buf
 }
 
-// DecodeStats decodes node statistics. Both the Version2 layout and the
-// legacy (pre-destage) layout are accepted — the payload length
-// distinguishes them, and absent fields decode as zero — so a new client
-// can read an old server's stats regardless of what version the
-// connection negotiated.
+// DecodeStats decodes node statistics. Every historical layout (the
+// Version3 recovery-extended one, the Version2 destage-extended one, and
+// the original) is accepted — the payload length distinguishes them, and
+// absent fields decode as zero — so a new client can read an old server's
+// stats regardless of what version the connection negotiated.
 func DecodeStats(b []byte) (StatsPayload, error) {
 	var s StatsPayload
 	if len(b) < 2 {
@@ -557,10 +581,17 @@ func DecodeStats(b []byte) (StatsPayload, error) {
 	}
 	idLen := int(binary.BigEndian.Uint16(b[0:2]))
 	nc, ns := statsLayout(MaxVersion)
-	if legacy := 2 + idLen + (legacyStatsCounterFields+legacyStatsSummaryCount*summaryFields)*8; len(b) == legacy {
+	legacy := 2 + idLen + (legacyStatsCounterFields+legacyStatsSummaryCount*summaryFields)*8
+	v2 := 2 + idLen + (v2StatsCounterFields+statsSummaryCount*summaryFields)*8
+	switch len(b) {
+	case legacy:
 		nc, ns = legacyStatsCounterFields, legacyStatsSummaryCount
-	} else if want := 2 + idLen + (nc+ns*summaryFields)*8; len(b) != want {
-		return s, fmt.Errorf("wire: stats payload: want %d (or legacy %d) bytes, got %d: %w", want, legacy, len(b), ErrShortPayload)
+	case v2:
+		nc, ns = v2StatsCounterFields, statsSummaryCount
+	default:
+		if want := 2 + idLen + (nc+ns*summaryFields)*8; len(b) != want {
+			return s, fmt.Errorf("wire: stats payload: want %d (or %d / legacy %d) bytes, got %d: %w", want, v2, legacy, len(b), ErrShortPayload)
+		}
 	}
 	s.ID = string(b[2 : 2+idLen])
 	off := 2 + idLen

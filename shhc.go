@@ -144,6 +144,12 @@ type ClusterOptions struct {
 	// block when it is full (backpressure). 0 selects the default
 	// (4 × DestageBatch).
 	DestageQueue int
+	// Journal enables each node's durable destage journal (requires Dir
+	// and WriteBack): an evicted dirty entry is group-commit fsynced to
+	// <Dir>/<node>.wal before its eviction acknowledges, and the journal
+	// is replayed into the hash table when the node restarts — closing
+	// write-back's crash window between eviction and destage.
+	Journal bool
 	// Stripes is the per-node hot-path lock stripe count; 0 selects a
 	// GOMAXPROCS-based default, 1 fully serializes each node (the
 	// original single-lock behavior).
@@ -187,6 +193,10 @@ func NewLocalCluster(opts ClusterOptions) (*Cluster, error) {
 		mode = device.Sleep
 	}
 
+	if opts.Journal && (opts.Dir == "" || !opts.WriteBack) {
+		return nil, fmt.Errorf("shhc: ClusterOptions.Journal requires Dir and WriteBack")
+	}
+
 	backends := make([]core.Backend, 0, opts.Nodes)
 	for i := 0; i < opts.Nodes; i++ {
 		id := ring.NodeID(fmt.Sprintf("node-%02d", i))
@@ -205,6 +215,10 @@ func NewLocalCluster(opts ClusterOptions) (*Cluster, error) {
 		} else {
 			store = hashdb.NewMemStore(dev)
 		}
+		journalPath := ""
+		if opts.Journal {
+			journalPath = fmt.Sprintf("%s/%s.wal", opts.Dir, id)
+		}
 		node, err := core.NewNode(core.NodeConfig{
 			ID:              id,
 			Store:           store,
@@ -215,6 +229,7 @@ func NewLocalCluster(opts ClusterOptions) (*Cluster, error) {
 			DestageBatch:    opts.DestageBatch,
 			DestageInterval: opts.DestageInterval,
 			DestageQueue:    opts.DestageQueue,
+			JournalPath:     journalPath,
 			Stripes:         opts.Stripes,
 		})
 		if err != nil {
