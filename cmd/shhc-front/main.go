@@ -17,6 +17,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"shhc"
 	"shhc/internal/cloudsim"
@@ -36,10 +37,12 @@ func run() error {
 		nodes    = flag.String("nodes", "", "comma-separated id=host:port remote hash nodes")
 		local    = flag.Int("local", 0, "run an embedded local cluster of this many nodes instead")
 		replicas = flag.Int("replicas", 1, "replicas per fingerprint (fault tolerance)")
+		quorum   = flag.Int("quorum", 0, "write quorum when replicas > 1 (0 = majority)")
+		antiGap  = flag.Duration("anti-entropy", 0, "anti-entropy sweep interval when replicas > 1 (0 = only on membership changes)")
 	)
 	flag.Parse()
 
-	cluster, err := buildCluster(*nodes, *local, *replicas)
+	cluster, err := buildCluster(*nodes, *local, *replicas, *quorum, *antiGap)
 	if err != nil {
 		return err
 	}
@@ -65,7 +68,7 @@ func run() error {
 	return front.Close()
 }
 
-func buildCluster(nodes string, local, replicas int) (*shhc.Cluster, error) {
+func buildCluster(nodes string, local, replicas, quorum int, antiGap time.Duration) (*shhc.Cluster, error) {
 	if nodes != "" && local > 0 {
 		return nil, fmt.Errorf("use either -nodes or -local, not both")
 	}
@@ -73,7 +76,12 @@ func buildCluster(nodes string, local, replicas int) (*shhc.Cluster, error) {
 		local = 4
 	}
 	if local > 0 {
-		return shhc.NewLocalCluster(shhc.ClusterOptions{Nodes: local, Replicas: replicas})
+		return shhc.NewLocalCluster(shhc.ClusterOptions{
+			Nodes:               local,
+			Replicas:            replicas,
+			WriteQuorum:         quorum,
+			AntiEntropyInterval: antiGap,
+		})
 	}
 
 	var backends []shhc.Backend
@@ -88,5 +96,9 @@ func buildCluster(nodes string, local, replicas int) (*shhc.Cluster, error) {
 		}
 		backends = append(backends, client)
 	}
-	return shhc.NewCluster(shhc.ClusterConfig{Replicas: replicas}, backends...)
+	return shhc.NewCluster(shhc.ClusterConfig{
+		Replicas:            replicas,
+		WriteQuorum:         quorum,
+		AntiEntropyInterval: antiGap,
+	}, backends...)
 }

@@ -42,19 +42,41 @@ type ClusterConfig struct {
 	VirtualNodes int
 	// Replicas is the number of nodes each fingerprint is written to.
 	// 1 (default) reproduces the paper; >1 enables the fault-tolerance
-	// extension: reads fail over to successor replicas.
+	// extension: inserts fan out to the owner's successor set with quorum
+	// acknowledgment (see WriteQuorum), reads fail over to successor
+	// replicas, divergent replicas are healed by read-repair, and the
+	// anti-entropy sweep re-replicates under-replicated ranges.
 	Replicas int
+	// WriteQuorum is the number of replicas (the deciding node included)
+	// that must durably acknowledge an insert before it returns. 0 selects
+	// a majority (Replicas/2 + 1); values are clamped to [1, Replicas].
+	// With WriteQuorum == Replicas every acked insert is on every replica;
+	// below that, stragglers are completed asynchronously via the repair
+	// queue. Ignored when Replicas is 1.
+	WriteQuorum int
+	// DisableReadRepair turns off miss verification and read-repair on the
+	// lookup paths (Replicas > 1 only): a lookup then returns the first
+	// answer — hit or miss — from any replica, which restores the fastest
+	// possible miss at the cost of trusting a single replica's "new". Keep
+	// it off (the default) where a spurious "new" for a stored fingerprint
+	// is not acceptable, e.g. when a replica could have lost its disk.
+	DisableReadRepair bool
+	// AntiEntropyInterval starts the background anti-entropy sweeper
+	// (Replicas > 1 only): the cluster runs AntiEntropy on this interval
+	// and immediately after membership changes. 0 disables the sweeper;
+	// AntiEntropy can still be called manually.
+	AntiEntropyInterval time.Duration
 	// HedgeAfter enables hedged reads on Lookup when Replicas > 1: if the
 	// owner has not answered after this long, the same read is issued to
-	// the next replica and the first answer wins — the loser's probe is
-	// cancelled. Zero disables hedging. This bounds tail latency (one
-	// slow device or node no longer defines p99) at the cost of a small
-	// amount of duplicate read load — plus one asymmetry: because
-	// replica mirroring is best-effort, a winning successor can report a
-	// miss for a fingerprint the slow owner actually holds. That is the
-	// index's safe direction (the same bias as reconcileMiss: a wrong
-	// "new" costs one redundant, idempotent upload; never a lost chunk),
-	// but do not enable hedging where a spurious miss is not acceptable.
+	// the next replica and the first hit wins — the loser's probe is
+	// cancelled. Zero disables hedging. This bounds tail latency for
+	// duplicate lookups (one slow device or node no longer defines p99) at
+	// the cost of a small amount of duplicate read load. A miss, by
+	// contrast, does not win the race: replicas are durable copies now, so
+	// a single successor's "new" for a fingerprint the slow owner holds is
+	// a divergence, not an answer — the race waits for a hit (repairing
+	// the missing replica) or for every replica to confirm the miss. With
+	// DisableReadRepair the old first-answer-wins behavior returns.
 	HedgeAfter time.Duration
 }
 
@@ -68,12 +90,36 @@ type Cluster struct {
 	backends map[ring.NodeID]Backend
 	replicas int
 	hedge    time.Duration
+	// quorum is the resolved write quorum (acks required per insert,
+	// deciding node included); noReadRepair disables miss verification
+	// and read-repair on the lookup paths. See ClusterConfig.
+	quorum       int
+	noReadRepair bool
 	// gen counts ring membership changes. Batches capture it with their
 	// routing decision as a cheap filter: only when it moved can any
 	// miss need reconciliation (see ownerMoved/reconcileMiss), closing
 	// the window where an entry migrates away between routing and
 	// execution.
 	gen uint64
+
+	// repl holds the replication counters (see ReplicationStats).
+	repl replCounters
+
+	// The coalesced repair queue (see replication.go). repairWake is nil
+	// when Replicas is 1 — enqueueRepair is then a no-op.
+	repairMu    sync.Mutex
+	repairTasks map[repairKey]Value
+	repairOrder []repairKey
+	repairBusy  bool
+	repairWake  chan struct{}
+	// aeWake nudges the background anti-entropy sweeper after membership
+	// changes (nil unless the sweeper runs).
+	aeWake chan struct{}
+
+	// bgCancel stops the background goroutines (repair worker, sweeper);
+	// Close cancels and waits for bgWg before closing backends.
+	bgCancel context.CancelFunc
+	bgWg     sync.WaitGroup
 }
 
 // NewCluster creates a cluster over the given backends.
@@ -85,16 +131,38 @@ func NewCluster(cfg ClusterConfig, backends ...Backend) (*Cluster, error) {
 	if replicas <= 0 {
 		replicas = 1
 	}
+	quorum := cfg.WriteQuorum
+	if quorum <= 0 {
+		quorum = replicas/2 + 1 // majority
+	}
+	if quorum > replicas {
+		quorum = replicas
+	}
 	c := &Cluster{
-		ring:     ring.New(cfg.VirtualNodes),
-		vnodes:   cfg.VirtualNodes,
-		backends: make(map[ring.NodeID]Backend, len(backends)),
-		replicas: replicas,
-		hedge:    cfg.HedgeAfter,
+		ring:         ring.New(cfg.VirtualNodes),
+		vnodes:       cfg.VirtualNodes,
+		backends:     make(map[ring.NodeID]Backend, len(backends)),
+		replicas:     replicas,
+		quorum:       quorum,
+		noReadRepair: cfg.DisableReadRepair,
+		hedge:        cfg.HedgeAfter,
 	}
 	for _, b := range backends {
 		if err := c.addLocked(b); err != nil {
 			return nil, err
+		}
+	}
+	if replicas > 1 {
+		bgctx, cancel := context.WithCancel(context.Background())
+		c.bgCancel = cancel
+		c.repairTasks = make(map[repairKey]Value)
+		c.repairWake = make(chan struct{}, 1)
+		c.bgWg.Add(1)
+		go c.repairWorker(bgctx)
+		if cfg.AntiEntropyInterval > 0 {
+			c.aeWake = make(chan struct{}, 1)
+			c.bgWg.Add(1)
+			go c.antiEntropyLoop(bgctx, cfg.AntiEntropyInterval)
 		}
 	}
 	return c, nil
@@ -110,6 +178,7 @@ func (c *Cluster) addLocked(b Backend) error {
 	}
 	c.backends[id] = b
 	c.gen++
+	c.signalMembershipChange()
 	return nil
 }
 
@@ -135,6 +204,7 @@ func (c *Cluster) RemoveNode(id ring.NodeID) error {
 	}
 	delete(c.backends, id)
 	c.gen++
+	c.signalMembershipChange()
 	return nil
 }
 
@@ -246,6 +316,14 @@ func (c *Cluster) LookupHedged(ctx context.Context, fp fingerprint.Fingerprint, 
 	return res, err
 }
 
+// lookupOnce consults the replica set sequentially. A hit from any replica
+// answers immediately and read-repairs the replicas observed missing it. A
+// miss is verified: with read-repair enabled the remaining replicas are
+// probed too, so a single replica that lost its entries (a wiped disk, a
+// node that rejoined empty) cannot turn a stored fingerprint into a
+// spurious "new" — only when every reachable replica misses is the miss
+// returned. With DisableReadRepair (or Replicas == 1) the first answer,
+// hit or miss, wins.
 func (c *Cluster) lookupOnce(ctx context.Context, fp fingerprint.Fingerprint, hedge time.Duration) (LookupResult, ring.NodeID, error) {
 	targets, err := c.routingFor(fp)
 	if err != nil {
@@ -256,30 +334,56 @@ func (c *Cluster) lookupOnce(ctx context.Context, fp fingerprint.Fingerprint, he
 		r, herr := c.raceReplicas(ctx, fp, targets, hedge)
 		return r, owner, herr
 	}
-	var lastErr error
+	verifyMiss := len(targets) > 1 && !c.noReadRepair
+	var (
+		lastErr   error
+		missSeen  bool
+		firstMiss LookupResult
+		missers   []Backend
+	)
 	for _, b := range targets {
 		if cerr := ctx.Err(); cerr != nil {
 			return LookupResult{}, owner, cerr
 		}
 		r, err := b.Lookup(ctx, fp)
-		if err == nil {
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if r.Exists {
+			c.readRepair(missers, fp, r.Value)
 			return r, owner, nil
 		}
-		lastErr = err
+		if !verifyMiss {
+			return r, owner, nil
+		}
+		if !missSeen {
+			missSeen, firstMiss = true, r
+		}
+		missers = append(missers, b)
+	}
+	if missSeen {
+		return firstMiss, owner, nil
 	}
 	return LookupResult{}, owner, fmt.Errorf("core: lookup %s: all replicas failed: %w", fp.Short(), lastErr)
 }
 
 // raceReplicas implements the hedged read: the owner is queried first;
 // every `hedge` without an answer brings the next replica into the race.
-// The first success wins and the losers' probes are cancelled (hctx). A
+// The first hit wins and the losers' probes are cancelled (hctx). A
 // replica that fails outright is replaced immediately — an error is a
-// faster signal than the hedge timer.
+// faster signal than the hedge timer. A miss does not win (unless
+// read-repair is disabled): it is a possible divergence, so the misser is
+// recorded, the next replica joins the race immediately, and the race
+// continues until a hit arrives — which read-repairs the recorded missers
+// — or every replica has answered, at which point the confirmed miss (or
+// the last error) is returned.
 func (c *Cluster) raceReplicas(ctx context.Context, fp fingerprint.Fingerprint, targets []Backend, hedge time.Duration) (LookupResult, error) {
 	hctx, cancel := context.WithCancel(ctx)
 	defer cancel() // cancels every probe still in the air once a winner returns
 
 	type outcome struct {
+		b   Backend
 		res LookupResult
 		err error
 	}
@@ -287,28 +391,44 @@ func (c *Cluster) raceReplicas(ctx context.Context, fp fingerprint.Fingerprint, 
 	launch := func(b Backend) {
 		go func() {
 			r, err := b.Lookup(hctx, fp)
-			ch <- outcome{r, err}
+			ch <- outcome{b, r, err}
 		}()
 	}
 	launch(targets[0])
 	launched, outstanding := 1, 1
 	timer := time.NewTimer(hedge)
 	defer timer.Stop()
-	var lastErr error
+	var (
+		lastErr   error
+		missSeen  bool
+		firstMiss LookupResult
+		missers   []Backend
+	)
 	for {
 		select {
 		case o := <-ch:
 			outstanding--
-			if o.err == nil {
+			if o.err == nil && o.res.Exists {
+				c.readRepair(missers, fp, o.res.Value)
 				return o.res, nil
 			}
-			lastErr = o.err
+			if o.err == nil {
+				if c.noReadRepair {
+					return o.res, nil
+				}
+				if !missSeen {
+					missSeen, firstMiss = true, o.res
+				}
+				missers = append(missers, o.b)
+			} else {
+				lastErr = o.err
+			}
 			if launched < len(targets) {
 				launch(targets[launched])
 				launched++
 				outstanding++
 				// The replacement restarts the hedge clock: without the
-				// reset, a timer armed long before this error would fire
+				// reset, a timer armed long before this answer would fire
 				// almost immediately and launch yet another replica far
 				// inside the configured delay.
 				if !timer.Stop() {
@@ -319,6 +439,9 @@ func (c *Cluster) raceReplicas(ctx context.Context, fp fingerprint.Fingerprint, 
 				}
 				timer.Reset(hedge)
 			} else if outstanding == 0 {
+				if missSeen {
+					return firstMiss, nil
+				}
 				return LookupResult{}, fmt.Errorf("core: lookup %s: all replicas failed: %w", fp.Short(), lastErr)
 			}
 		case <-timer.C:
@@ -334,16 +457,20 @@ func (c *Cluster) raceReplicas(ctx context.Context, fp fingerprint.Fingerprint, 
 	}
 }
 
-// LookupOrInsert runs the Figure 4 flow on the owner and mirrors inserts to
-// the remaining replicas. The owner's answer wins; replica mirroring is
-// best-effort (a failed mirror costs one redundant upload after failover,
-// never a lost chunk). A miss whose owner changed mid-flight is reconciled
-// against the current owner (see reconcileMiss): a fingerprint that had
-// already migrated is reported as a duplicate instead of "new", while a
-// genuinely new fingerprint keeps its "new" answer so the client still
-// uploads the chunk. A miss whose owner did NOT change is final: probing
-// again would find this call's own insert and misreport a new chunk as a
-// duplicate the client then never uploads.
+// LookupOrInsert runs the Figure 4 flow on the owner and, when the
+// fingerprint is new, replicates the insert to the remaining replicas with
+// quorum acknowledgment (see ClusterConfig.WriteQuorum and
+// replicateInsert): the call does not return success until WriteQuorum
+// replicas durably hold the entry, so an acked insert survives the loss of
+// any WriteQuorum-1 nodes. Mirrors beyond the quorum complete
+// asynchronously; a failed mirror is backfilled by the repair queue. A
+// miss whose owner changed mid-flight is reconciled against the current
+// owner (see reconcileMiss): a fingerprint that had already migrated is
+// reported as a duplicate instead of "new", while a genuinely new
+// fingerprint keeps its "new" answer so the client still uploads the
+// chunk. A miss whose owner did NOT change is final: probing again would
+// find this call's own insert and misreport a new chunk as a duplicate the
+// client then never uploads.
 func (c *Cluster) LookupOrInsert(ctx context.Context, fp fingerprint.Fingerprint, val Value) (LookupResult, error) {
 	res, owner, err := c.lookupOrInsertOnce(ctx, fp, val)
 	if err != nil || res.Exists || !c.ownerMoved(fp, owner) {
@@ -405,30 +532,32 @@ func (c *Cluster) lookupOrInsertOnce(ctx context.Context, fp fingerprint.Fingerp
 	var (
 		res     LookupResult
 		resErr  error
-		decided bool
+		decided = -1
 	)
-	for _, b := range targets {
-		if !decided {
-			res, resErr = b.LookupOrInsert(ctx, fp, val)
-			if resErr != nil {
-				if ctx.Err() != nil {
-					// Cancellation is the caller's decision, not a node
-					// failure: do not fail over.
-					return LookupResult{}, owner, ctx.Err()
-				}
-				continue // fail over to the next replica for the decision
+	for i, b := range targets {
+		res, resErr = b.LookupOrInsert(ctx, fp, val)
+		if resErr != nil {
+			if ctx.Err() != nil {
+				// Cancellation is the caller's decision, not a node
+				// failure: do not fail over.
+				return LookupResult{}, owner, ctx.Err()
 			}
-			decided = true
-			if res.Exists {
-				break // duplicate: nothing to mirror
-			}
-			continue
+			continue // fail over to the next replica for the decision
 		}
-		// Mirror the insert to the remaining replicas.
-		_ = b.Insert(ctx, fp, val)
+		decided = i
+		break
 	}
-	if !decided {
+	if decided < 0 {
 		return LookupResult{}, owner, fmt.Errorf("core: lookup-or-insert %s: all replicas failed: %w", fp.Short(), resErr)
+	}
+	if res.Exists || len(targets) == 1 {
+		// Duplicate: the entry was already quorum-replicated when it was
+		// first inserted; nothing to fan out.
+		return res, owner, nil
+	}
+	// New entry: replicate to the co-replicas and wait for the quorum.
+	if err := c.replicateInsert(ctx, fp, val, targets, decided, &res); err != nil {
+		return res, owner, err
 	}
 	return res, owner, nil
 }
@@ -436,6 +565,11 @@ func (c *Cluster) lookupOrInsertOnce(ctx context.Context, fp fingerprint.Fingerp
 // BatchLookupOrInsert routes each pair to its owner node, issues one batch
 // per node in parallel, and reassembles results in input order. This is the
 // batching path the web front-end uses (paper §IV: batch sizes 1/128/2048).
+// Misses — the pairs the owner's batch created — are then replicated as one
+// ApplyRepair wave per mirror node (piggybacking on the mirror's own
+// group-commit destage batching), so replication costs one extra batched
+// round per replica rather than a per-key fan-out; the batch does not
+// return success until every created pair reached its write quorum.
 // A cancelled ctx fails the whole batch with ctx.Err(); per-node batches
 // already in flight stop issuing device reads.
 func (c *Cluster) BatchLookupOrInsert(ctx context.Context, pairs []Pair) ([]LookupResult, error) {
@@ -498,11 +632,13 @@ func (c *Cluster) BatchLookupOrInsert(ctx context.Context, pairs []Pair) ([]Look
 			}
 			for k, r := range rs {
 				results[g.indices[k]] = r
-				if !r.Exists {
-					for _, m := range g.mirrors[k] {
-						_ = m.Insert(ctx, g.pairs[k].FP, g.pairs[k].Val)
-					}
+			}
+			if err := c.replicateBatch(ctx, g.pairs, g.indices, g.mirrors, rs, results); err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
 				}
+				errMu.Unlock()
 			}
 		}()
 	}
@@ -714,6 +850,7 @@ func (c *Cluster) DrainNode(ctx context.Context, id ring.NodeID) (RebalanceStats
 		return RebalanceStats{}, err
 	}
 	c.gen++
+	c.signalMembershipChange()
 	c.mu.Unlock()
 
 	moved, scanned, err := c.migrateFrom(ctx, id, m, true)
@@ -813,8 +950,13 @@ func (c *Cluster) Stats(ctx context.Context) ([]NodeStats, error) {
 	return stats, nil
 }
 
-// Close closes every backend, returning the first error.
+// Close stops the background repair worker and anti-entropy sweeper, then
+// closes every backend, returning the first error.
 func (c *Cluster) Close() error {
+	if c.bgCancel != nil {
+		c.bgCancel()
+	}
+	c.bgWg.Wait()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var first error

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"shhc/internal/bloom"
@@ -187,6 +188,17 @@ type DestageStats struct {
 	WaveSizes metrics.Summary
 }
 
+// ReplicaStats counts the replication repair/backfill traffic a node
+// absorbed as a replica target: ApplyRepair batches from quorum fan-out,
+// read-repair, and anti-entropy sweeps. RepairCreated is the number of
+// entries that were actually missing (the rest were already present and
+// kept their stored value).
+type ReplicaStats struct {
+	RepairBatches uint64
+	RepairPairs   uint64
+	RepairCreated uint64
+}
+
 // NodeStats snapshots a node's counters.
 type NodeStats struct {
 	ID          ring.NodeID
@@ -211,6 +223,9 @@ type NodeStats struct {
 	// replay plus the store's own recovery pass (all zero after a clean
 	// open).
 	Recovery RecoveryStats
+	// Replica counts repair/backfill traffic applied to this node as a
+	// replication target (see ReplicaStats).
+	Replica ReplicaStats
 }
 
 // minCachePerStripe is the smallest LRU capacity worth splitting into an
@@ -289,6 +304,12 @@ type Node struct {
 	// flights tracks SSD phases running outside the stripe locks; Close
 	// waits for them before flushing and closing the store.
 	flights sync.WaitGroup
+
+	// Replication repair accounting (see ApplyRepair). Atomics, not
+	// stripe counters: repair batches are cold-path and cross-stripe.
+	replRepairBatches atomic.Uint64
+	replRepairPairs   atomic.Uint64
+	replRepairCreated atomic.Uint64
 
 	// destageMu guards destageErr, the first write-back destage failure,
 	// surfaced on the next insert or on Close.
@@ -703,6 +724,30 @@ func (n *Node) BatchLookupOrInsert(ctx context.Context, pairs []Pair) ([]LookupR
 		})
 }
 
+// ApplyRepair applies a replication backfill batch. Each pair runs through
+// the normal lookup-or-insert flow — an entry already present keeps its
+// stored value, a missing one is created — so repair is idempotent and can
+// never clobber a newer locator. The per-pair results report what was
+// found (Exists) versus created, which lets the sender detect divergence.
+// The traffic is accounted in the Replica stats block on top of the
+// foreground counters the underlying batch already bumps.
+func (n *Node) ApplyRepair(ctx context.Context, pairs []Pair) ([]LookupResult, error) {
+	rs, err := n.BatchLookupOrInsert(ctx, pairs)
+	if err != nil {
+		return nil, err
+	}
+	var created uint64
+	for _, r := range rs {
+		if !r.Exists {
+			created++
+		}
+	}
+	n.replRepairBatches.Add(1)
+	n.replRepairPairs.Add(uint64(len(pairs)))
+	n.replRepairCreated.Add(created)
+	return rs, nil
+}
+
 // LookupBatch answers a batch of read-only lookups through the same
 // pipeline as BatchLookupOrInsert, without inserting missing fingerprints.
 func (n *Node) LookupBatch(ctx context.Context, fps []fingerprint.Fingerprint) ([]LookupResult, error) {
@@ -1007,6 +1052,11 @@ func (n *Node) Stats(ctx context.Context) (NodeStats, error) {
 		ID:           n.id,
 		StoreEntries: n.store.Len(),
 		Recovery:     n.recovery,
+		Replica: ReplicaStats{
+			RepairBatches: n.replRepairBatches.Load(),
+			RepairPairs:   n.replRepairPairs.Load(),
+			RepairCreated: n.replRepairCreated.Load(),
+		},
 	}
 	for i := range n.stripes {
 		s := &n.stripes[i]

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"shhc/internal/fingerprint"
+	"shhc/internal/hashdb"
+	"shhc/internal/ring"
+)
+
+// fpOwnedBy2 is fpOwnedBy excluding one fingerprint already in use.
+func fpOwnedBy2(t *testing.T, c *Cluster, want ring.NodeID, not fingerprint.Fingerprint) fingerprint.Fingerprint {
+	t.Helper()
+	for i := uint64(0); i < 10_000; i++ {
+		fp := fingerprint.FromUint64(i)
+		if fp == not {
+			continue
+		}
+		if owner, err := c.Owner(fp); err == nil && owner == want {
+			return fp
+		}
+	}
+	t.Fatalf("no spare fingerprint owned by %s in 10k tries", want)
+	return fingerprint.Fingerprint{}
+}
+
+// revive undoes kill: the backend answers again.
+func (f *flakyBackend) revive() {
+	f.mu.Lock()
+	f.dead = false
+	f.mu.Unlock()
+}
+
+// TestReplicatedInsertReachesAllReplicas: with Replicas=2 every acked
+// insert must be present on both the owner and its successor — the write
+// path's core durability invariant.
+func TestReplicatedInsertReachesAllReplicas(t *testing.T) {
+	c := newTestCluster(t, 3, ClusterConfig{Replicas: 2})
+	ctx := context.Background()
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		r, err := c.LookupOrInsert(ctx, fingerprint.FromUint64(uint64(i)), Value(i+1))
+		if err != nil {
+			t.Fatalf("LookupOrInsert %d: %v", i, err)
+		}
+		if r.Exists {
+			t.Fatalf("fresh fingerprint %d reported existing", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		fp := fingerprint.FromUint64(uint64(i))
+		replicas, err := c.routingFor(fp)
+		if err != nil {
+			t.Fatalf("routingFor: %v", err)
+		}
+		if len(replicas) != 2 {
+			t.Fatalf("fingerprint %d has %d replicas, want 2", i, len(replicas))
+		}
+		for _, b := range replicas {
+			r, err := b.Lookup(ctx, fp)
+			if err != nil {
+				t.Fatalf("replica %s lookup %d: %v", b.ID(), i, err)
+			}
+			if !r.Exists || r.Value != Value(i+1) {
+				t.Fatalf("replica %s of fingerprint %d = %+v, want exists value %d", b.ID(), i, r, i+1)
+			}
+		}
+	}
+
+	rs := c.ReplicationStats()
+	if rs.FannedWrites != n {
+		t.Fatalf("FannedWrites = %d, want %d (one mirror per insert)", rs.FannedWrites, n)
+	}
+	if rs.QuorumWaits != n || rs.QuorumFailures != 0 {
+		t.Fatalf("quorum stats = %d waits / %d failures, want %d / 0", rs.QuorumWaits, rs.QuorumFailures, n)
+	}
+}
+
+// TestBatchReplicatedInsertReachesAllReplicas exercises the batched write
+// path: mirror writes ride one repair wave per mirror node, and every
+// acked pair lands on its full replica set.
+func TestBatchReplicatedInsertReachesAllReplicas(t *testing.T) {
+	c := newTestCluster(t, 3, ClusterConfig{Replicas: 2})
+	ctx := context.Background()
+
+	const n = 300
+	pairs := make([]Pair, n)
+	for i := range pairs {
+		pairs[i] = Pair{FP: fingerprint.FromUint64(uint64(i)), Val: Value(i + 1)}
+	}
+	rs, err := c.BatchLookupOrInsert(ctx, pairs)
+	if err != nil {
+		t.Fatalf("BatchLookupOrInsert: %v", err)
+	}
+	for i, r := range rs {
+		if r.Exists {
+			t.Fatalf("fresh pair %d reported existing", i)
+		}
+	}
+	for _, p := range pairs {
+		replicas, err := c.routingFor(p.FP)
+		if err != nil {
+			t.Fatalf("routingFor: %v", err)
+		}
+		for _, b := range replicas {
+			r, err := b.Lookup(ctx, p.FP)
+			if err != nil {
+				t.Fatalf("replica %s lookup: %v", b.ID(), err)
+			}
+			if !r.Exists || r.Value != p.Val {
+				t.Fatalf("replica %s of %s = %+v, want exists value %d", b.ID(), p.FP.Short(), r, p.Val)
+			}
+		}
+	}
+	// A second pass is pure duplicates, answered with the original values
+	// and without any further fan-out.
+	fanned := c.ReplicationStats().FannedWrites
+	rs, err = c.BatchLookupOrInsert(ctx, pairs)
+	if err != nil {
+		t.Fatalf("duplicate batch: %v", err)
+	}
+	for i, r := range rs {
+		if !r.Exists || r.Value != Value(i+1) {
+			t.Fatalf("duplicate %d = %+v, want exists value %d", i, r, i+1)
+		}
+	}
+	if got := c.ReplicationStats().FannedWrites; got != fanned {
+		t.Fatalf("duplicate batch fanned %d extra writes", got-fanned)
+	}
+}
+
+// newReplicatedPair builds a 2-node Replicas=2 cluster where the second
+// node can be killed and revived, returning the cluster, the live inner
+// nodes, and the kill switch.
+func newReplicatedPair(t *testing.T, cfg ClusterConfig) (*Cluster, [2]*Node, *flakyBackend) {
+	t.Helper()
+	nodes := [2]*Node{}
+	for i := range nodes {
+		node, err := NewNode(NodeConfig{
+			ID:            ring.NodeID(fmt.Sprintf("node-%d", i)),
+			Store:         hashdb.NewMemStore(nil),
+			CacheSize:     256,
+			BloomExpected: 100000,
+		})
+		if err != nil {
+			t.Fatalf("NewNode: %v", err)
+		}
+		nodes[i] = node
+	}
+	flaky := &flakyBackend{Backend: nodes[1]}
+	cfg.Replicas = 2
+	c, err := NewCluster(cfg, nodes[0], flaky)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, nodes, flaky
+}
+
+// TestWriteQuorumFailureSurfacesError: with the default majority quorum
+// (2 of 2), an insert whose mirror is down must fail rather than ack a
+// copy that does not exist — acked means replicated.
+func TestWriteQuorumFailureSurfacesError(t *testing.T) {
+	c, _, flaky := newReplicatedPair(t, ClusterConfig{})
+	ctx := context.Background()
+	fp := fpOwnedBy(t, c, "node-0")
+
+	flaky.kill()
+	if _, err := c.LookupOrInsert(ctx, fp, 1); err == nil {
+		t.Fatal("insert acked without a reachable quorum")
+	}
+	if got := c.ReplicationStats().QuorumFailures; got == 0 {
+		t.Fatal("quorum failure not counted")
+	}
+
+	// The batched path enforces the same quorum per pair. (A fresh
+	// fingerprint: the failed insert above already parked fp on the owner,
+	// so retrying it is a duplicate, which needs no quorum.)
+	fp2 := fpOwnedBy2(t, c, "node-0", fp)
+	if _, err := c.BatchLookupOrInsert(ctx, []Pair{{FP: fp2, Val: 1}}); err == nil {
+		t.Fatal("batch insert acked without a reachable quorum")
+	}
+
+	// With the mirror back, the same insert goes through and lands on both.
+	flaky.revive()
+	r, err := c.LookupOrInsert(ctx, fp, 7)
+	if err != nil {
+		t.Fatalf("LookupOrInsert after revive: %v", err)
+	}
+	// The failed attempts may have left the entry on the owner; either
+	// answer is fine as long as both replicas now hold it. The repair
+	// queued while the mirror was dead may itself have failed and been
+	// dropped — anti-entropy is the backstop that must converge it.
+	_ = r
+	if _, err := c.AntiEntropy(ctx); err != nil {
+		t.Fatalf("AntiEntropy: %v", err)
+	}
+	if err := c.FlushRepairs(ctx); err != nil {
+		t.Fatalf("FlushRepairs: %v", err)
+	}
+	replicas, err := c.routingFor(fp)
+	if err != nil {
+		t.Fatalf("routingFor: %v", err)
+	}
+	for _, b := range replicas {
+		if r, err := b.Lookup(ctx, fp); err != nil || !r.Exists {
+			t.Fatalf("replica %s after revive = %+v, %v", b.ID(), r, err)
+		}
+	}
+}
+
+// TestWriteQuorumOneTradesDurabilityForAvailability: WriteQuorum=1 keeps
+// accepting inserts with the mirror down, queues the missed replica
+// writes, and anti-entropy restores full replication once the mirror is
+// back.
+func TestWriteQuorumOneTradesDurabilityForAvailability(t *testing.T) {
+	c, nodes, flaky := newReplicatedPair(t, ClusterConfig{WriteQuorum: 1})
+	ctx := context.Background()
+
+	flaky.kill()
+	var fps []fingerprint.Fingerprint
+	for i := uint64(0); len(fps) < 50; i++ {
+		fp := fingerprint.FromUint64(i)
+		if owner, _ := c.Owner(fp); owner != "node-0" {
+			continue
+		}
+		if _, err := c.LookupOrInsert(ctx, fp, Value(i+1)); err != nil {
+			t.Fatalf("quorum-1 insert with dead mirror: %v", err)
+		}
+		fps = append(fps, fp)
+	}
+	// Quorum 1 means the insert acks before the mirror write resolves;
+	// the failed fan-out enqueues its repair asynchronously.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.ReplicationStats().RepairsQueued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no repairs queued for the unreachable mirror")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	flaky.revive()
+	if _, err := c.AntiEntropy(ctx); err != nil {
+		t.Fatalf("AntiEntropy: %v", err)
+	}
+	if err := c.FlushRepairs(ctx); err != nil {
+		t.Fatalf("FlushRepairs: %v", err)
+	}
+	for _, fp := range fps {
+		if r, err := nodes[1].Lookup(ctx, fp); err != nil || !r.Exists {
+			t.Fatalf("mirror missing %s after anti-entropy: %+v, %v", fp.Short(), r, err)
+		}
+	}
+}
+
+// TestDuplicateInsertDoesNotRefan: a duplicate was already replicated
+// when it was first acked; answering it again must not generate mirror
+// traffic.
+func TestDuplicateInsertDoesNotRefan(t *testing.T) {
+	c := newTestCluster(t, 2, ClusterConfig{Replicas: 2})
+	ctx := context.Background()
+	fp := fingerprint.FromUint64(42)
+
+	if _, err := c.LookupOrInsert(ctx, fp, 1); err != nil {
+		t.Fatalf("LookupOrInsert: %v", err)
+	}
+	fanned := c.ReplicationStats().FannedWrites
+	for i := 0; i < 5; i++ {
+		r, err := c.LookupOrInsert(ctx, fp, Value(100+i))
+		if err != nil {
+			t.Fatalf("duplicate insert: %v", err)
+		}
+		if !r.Exists || r.Value != 1 {
+			t.Fatalf("duplicate = %+v, want exists value 1", r)
+		}
+	}
+	if got := c.ReplicationStats().FannedWrites; got != fanned {
+		t.Fatalf("duplicates fanned %d extra writes", got-fanned)
+	}
+}

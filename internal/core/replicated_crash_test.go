@@ -1,0 +1,124 @@
+package core
+
+// The replicated flavor of the crash-injection harness: a 2-node cluster
+// with Replicas=2 and the default majority quorum (2 of 2) runs an insert
+// schedule whose fingerprints are all owned by node A, while node A's
+// store dies at the Nth write (hashdb.Failpoint) — every write point, one
+// run per point. The property under test is the replication contract, not
+// node A's own recovery (crash_test.go proves that): an insert the
+// cluster ACKED required node B's durable acknowledgment too, so every
+// acked fingerprint must remain servable from the surviving replica B, at
+// its exact value, no matter where in the write stream A died.
+
+import (
+	"context"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"shhc/internal/fingerprint"
+	"shhc/internal/hashdb"
+	"shhc/internal/ring"
+)
+
+// replCrashFPs returns crashInserts fingerprints all owned by node-0 in a
+// 2-node ring — the ring layout depends only on the IDs, so a throwaway
+// cluster computes the same ownership the real runs will see.
+func replCrashFPs(t *testing.T) []fingerprint.Fingerprint {
+	t.Helper()
+	probe := newTestCluster(t, 2, ClusterConfig{Replicas: 2})
+	fps := make([]fingerprint.Fingerprint, 0, crashInserts)
+	for i := uint64(0); len(fps) < crashInserts; i++ {
+		if i > 100_000 {
+			t.Fatal("could not collect node-0-owned fingerprints")
+		}
+		f := fingerprint.FromUint64(i)
+		if owner, err := probe.Owner(f); err == nil && owner == "node-0" {
+			fps = append(fps, f)
+		}
+	}
+	return fps
+}
+
+// buildReplicatedPair assembles owner A (write-back, journaled, over the
+// given store) and survivor B (plain write-through), replicated 2×2.
+func buildReplicatedPair(t *testing.T, storeA hashdb.Store, journalA string) (*Cluster, *Node) {
+	t.Helper()
+	cfgA := crashNodeConfig(storeA, journalA)
+	cfgA.ID = ring.NodeID("node-0")
+	a, err := NewNode(cfgA)
+	if err != nil {
+		t.Fatalf("NewNode A: %v", err)
+	}
+	b, err := NewNode(NodeConfig{
+		ID:            ring.NodeID("node-1"),
+		Store:         hashdb.NewMemStore(nil),
+		CacheSize:     256,
+		BloomExpected: 1 << 12,
+	})
+	if err != nil {
+		t.Fatalf("NewNode B: %v", err)
+	}
+	c, err := NewCluster(ClusterConfig{Replicas: 2}, a, b)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	return c, b
+}
+
+func TestReplicatedCrashKillOwnerAtEveryWrite(t *testing.T) {
+	fps := replCrashFPs(t)
+
+	// Probe the schedule's total store-write count on owner A with an
+	// unreachable kill point.
+	probeStore := hashdb.NewFailpoint(hashdb.NewMemStore(nil), math.MaxInt64, nil)
+	pc, _ := buildReplicatedPair(t, probeStore, filepath.Join(t.TempDir(), "probe.wal"))
+	for i, f := range fps {
+		if _, err := pc.LookupOrInsert(context.Background(), f, crashVal(uint64(i))); err != nil {
+			t.Fatalf("probe insert %d: %v", i, err)
+		}
+	}
+	pc.Close() // flushes A's destage tail through the probe store
+	total := probeStore.Writes()
+	if total < int64(crashInserts)/2 {
+		t.Fatalf("schedule issued only %d store writes on the owner; harness too weak", total)
+	}
+
+	for k := int64(1); k <= total; k++ {
+		runReplicatedCrashPoint(t, k, fps)
+	}
+}
+
+func runReplicatedCrashPoint(t *testing.T, killAt int64, fps []fingerprint.Fingerprint) {
+	t.Helper()
+	store := hashdb.NewFailpoint(hashdb.NewMemStore(nil), killAt, nil)
+	c, b := buildReplicatedPair(t, store, filepath.Join(t.TempDir(), "node.wal"))
+
+	// Drive the schedule to the end, tolerating failures once the kill
+	// fires: a failed insert simply is not acked. Acked inserts may keep
+	// happening after the store dies (A's write-back inserts are RAM-speed
+	// until the parked destage error surfaces, and failover can make B the
+	// decider) — the invariant below covers them all the same.
+	acked := make([]int, 0, len(fps))
+	for i, f := range fps {
+		if _, err := c.LookupOrInsert(context.Background(), f, crashVal(uint64(i))); err == nil {
+			acked = append(acked, i)
+		}
+	}
+	// The replication contract: an ack required the quorum (both nodes),
+	// so the surviving replica B must serve every acked fingerprint with
+	// its exact value — before any repair or recovery machinery runs.
+	for _, i := range acked {
+		r, err := b.Lookup(context.Background(), fps[i])
+		if err != nil {
+			t.Fatalf("kill=%d: survivor lookup %d: %v", killAt, i, err)
+		}
+		if !r.Exists {
+			t.Fatalf("kill=%d: acked insert %d lost from the surviving replica", killAt, i)
+		}
+		if r.Value != crashVal(uint64(i)) {
+			t.Fatalf("kill=%d: survivor serves %d for insert %d, want %d (corrupt data)", killAt, r.Value, i, crashVal(uint64(i)))
+		}
+	}
+	c.Close() // errors expected after a kill; the invariant was checked above
+}

@@ -1,0 +1,619 @@
+package core
+
+// Replication: the machinery that makes Replicas > 1 mean durable copies.
+//
+// Three paths keep the owner's successor set converged on the same entries:
+//
+//   - Quorum fan-out (replicateInsert / the batch mirror waves in
+//     cluster.go): every insert that creates an entry on its deciding node
+//     is replicated to the remaining replicas as one ApplyRepair batch per
+//     mirror, and the insert does not acknowledge until WriteQuorum
+//     replicas hold it. On a write-back node with a journal, a replica's
+//     ack is a durable ack (the batch does not return before the journal
+//     group-commit fsync), so a quorum-acked insert survives the loss of
+//     any quorum-minus-one nodes.
+//   - Read-repair (enqueueRepair from the lookup paths): when a failover
+//     or hedged lookup observes divergent answers — one replica hits while
+//     another missed — the missing replicas are backfilled asynchronously
+//     through the repair queue.
+//   - Anti-entropy (AntiEntropy / the background sweeper): a full sweep
+//     that enumerates every node's entries and re-replicates each to its
+//     current successor set, healing under-replicated ranges after a
+//     membership change or a wiped disk.
+//
+// Repair traffic is isolated from foreground load: it runs on a single
+// background worker in coalesced batches, so a burst of read-repairs
+// cannot multiply foreground latency.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"shhc/internal/fingerprint"
+	"shhc/internal/ring"
+)
+
+// replCounters holds the cluster's replication counters as atomics: the
+// fan-out and repair paths bump them from many goroutines without taking
+// the cluster lock.
+type replCounters struct {
+	fannedWrites        atomic.Uint64
+	quorumWaits         atomic.Uint64
+	quorumFailures      atomic.Uint64
+	readRepairs         atomic.Uint64
+	repairsQueued       atomic.Uint64
+	repairsApplied      atomic.Uint64
+	repairsDropped      atomic.Uint64
+	antiEntropyRuns     atomic.Uint64
+	antiEntropyScanned  atomic.Uint64
+	antiEntropyChecked  atomic.Uint64
+	antiEntropyRepaired atomic.Uint64
+}
+
+// RepairApplier is implemented by backends that support the dedicated
+// repair/backfill verb (local *Node, and RPC clients whose peer negotiated
+// protocol >= 4). ApplyRepair has exactly BatchLookupOrInsert semantics —
+// existing entries keep their stored value, missing ones are created, and
+// the per-pair results report which was which — but the receiver accounts
+// the traffic as replication repair rather than foreground lookups.
+type RepairApplier interface {
+	ApplyRepair(ctx context.Context, pairs []Pair) ([]LookupResult, error)
+}
+
+var _ RepairApplier = (*Node)(nil)
+
+// applyRepair sends a repair batch to a backend, using the dedicated verb
+// when the backend supports it and falling back to BatchLookupOrInsert
+// (identical presence semantics) for plain backends and pre-4 peers.
+func applyRepair(ctx context.Context, b Backend, pairs []Pair) ([]LookupResult, error) {
+	if ra, ok := b.(RepairApplier); ok {
+		return ra.ApplyRepair(ctx, pairs)
+	}
+	return b.BatchLookupOrInsert(ctx, pairs)
+}
+
+// ReplicationStats snapshots the cluster's replication counters.
+type ReplicationStats struct {
+	// FannedWrites counts replica writes fanned out by inserts (one per
+	// pair per mirror).
+	FannedWrites uint64
+	// QuorumWaits counts inserts that waited for mirror acks to reach the
+	// write quorum; QuorumFailures counts inserts that failed because the
+	// quorum could not be met.
+	QuorumWaits    uint64
+	QuorumFailures uint64
+	// ReadRepairs counts divergences observed by lookups (a replica
+	// missing an entry another replica holds) that triggered a backfill.
+	ReadRepairs uint64
+	// RepairsQueued/Applied/Dropped track the async repair queue. Dropped
+	// covers overflow, repair errors, and tasks invalidated by membership
+	// changes; the anti-entropy sweep is the backstop for all of them.
+	RepairsQueued  uint64
+	RepairsApplied uint64
+	RepairsDropped uint64
+	// AntiEntropy* describe completed sweeps: entries enumerated, replica
+	// checks issued, and entries that were actually missing on a replica
+	// and got re-replicated.
+	AntiEntropyRuns     uint64
+	AntiEntropyScanned  uint64
+	AntiEntropyChecked  uint64
+	AntiEntropyRepaired uint64
+}
+
+// Replicated reports whether the cluster keeps more than one copy of
+// each entry — i.e. whether the quorum/repair machinery is active.
+func (c *Cluster) Replicated() bool { return c.replicas > 1 }
+
+// ReplicationStats returns the cluster's replication counters.
+func (c *Cluster) ReplicationStats() ReplicationStats {
+	return ReplicationStats{
+		FannedWrites:        c.repl.fannedWrites.Load(),
+		QuorumWaits:         c.repl.quorumWaits.Load(),
+		QuorumFailures:      c.repl.quorumFailures.Load(),
+		ReadRepairs:         c.repl.readRepairs.Load(),
+		RepairsQueued:       c.repl.repairsQueued.Load(),
+		RepairsApplied:      c.repl.repairsApplied.Load(),
+		RepairsDropped:      c.repl.repairsDropped.Load(),
+		AntiEntropyRuns:     c.repl.antiEntropyRuns.Load(),
+		AntiEntropyScanned:  c.repl.antiEntropyScanned.Load(),
+		AntiEntropyChecked:  c.repl.antiEntropyChecked.Load(),
+		AntiEntropyRepaired: c.repl.antiEntropyRepaired.Load(),
+	}
+}
+
+const (
+	// repairQueueCap bounds the coalesced repair queue; beyond it new
+	// tasks are dropped (and counted) — anti-entropy heals what a dropped
+	// repair would have.
+	repairQueueCap = 8192
+	// repairBatchSize is the largest ApplyRepair batch the worker sends
+	// per target per drain round.
+	repairBatchSize = 256
+)
+
+// repairKey coalesces repair tasks: at most one pending backfill per
+// (target, fingerprint), carrying the latest value.
+type repairKey struct {
+	target ring.NodeID
+	fp     fingerprint.Fingerprint
+}
+
+// enqueueRepair schedules an async backfill of fp -> val onto target.
+// No-op when replication is off (no worker). Duplicate tasks coalesce.
+func (c *Cluster) enqueueRepair(target ring.NodeID, fp fingerprint.Fingerprint, val Value) {
+	if c.repairWake == nil {
+		return
+	}
+	c.repairMu.Lock()
+	k := repairKey{target, fp}
+	if _, dup := c.repairTasks[k]; !dup {
+		if len(c.repairOrder) >= repairQueueCap {
+			c.repairMu.Unlock()
+			c.repl.repairsDropped.Add(1)
+			return
+		}
+		c.repairOrder = append(c.repairOrder, k)
+		c.repl.repairsQueued.Add(1)
+	}
+	c.repairTasks[k] = val
+	c.repairMu.Unlock()
+	select {
+	case c.repairWake <- struct{}{}:
+	default:
+	}
+}
+
+// FlushRepairs blocks until the repair queue is empty and the worker is
+// idle (or ctx is done). Tests use it to make async read-repair
+// deterministic; it is also a reasonable pre-shutdown barrier.
+func (c *Cluster) FlushRepairs(ctx context.Context) error {
+	if c.repairWake == nil {
+		return nil
+	}
+	for {
+		c.repairMu.Lock()
+		idle := len(c.repairOrder) == 0 && !c.repairBusy
+		c.repairMu.Unlock()
+		if idle {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(200 * time.Microsecond):
+		}
+	}
+}
+
+// repairWorker is the single background goroutine that drains the repair
+// queue in coalesced per-target batches, keeping repair I/O off the
+// foreground paths.
+func (c *Cluster) repairWorker(ctx context.Context) {
+	defer c.bgWg.Done()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-c.repairWake:
+		}
+		for c.drainRepairBatch(ctx) {
+			if ctx.Err() != nil {
+				return
+			}
+		}
+	}
+}
+
+// drainRepairBatch pops up to repairBatchSize tasks, validates each against
+// the current ring, and applies them grouped per target. Returns true if
+// tasks remain queued.
+func (c *Cluster) drainRepairBatch(ctx context.Context) bool {
+	c.repairMu.Lock()
+	n := len(c.repairOrder)
+	if n == 0 {
+		c.repairMu.Unlock()
+		return false
+	}
+	if n > repairBatchSize {
+		n = repairBatchSize
+	}
+	type task struct {
+		key repairKey
+		val Value
+	}
+	tasks := make([]task, 0, n)
+	for _, k := range c.repairOrder[:n] {
+		tasks = append(tasks, task{k, c.repairTasks[k]})
+		delete(c.repairTasks, k)
+	}
+	c.repairOrder = append(c.repairOrder[:0:0], c.repairOrder[n:]...)
+	c.repairBusy = true
+	c.repairMu.Unlock()
+
+	// Group valid tasks per target. A task whose target left the cluster,
+	// or is no longer in the fingerprint's replica set (the entry's range
+	// moved — e.g. the key was migrated or removed), is dropped: applying
+	// it could resurrect an entry on a node that just migrated it off.
+	groups := make(map[ring.NodeID][]Pair)
+	var dropped uint64
+	c.mu.RLock()
+	for _, t := range tasks {
+		if _, ok := c.backends[t.key.target]; !ok {
+			dropped++
+			continue
+		}
+		ids, err := c.ring.LookupN(t.key.fp, c.replicas)
+		if err != nil {
+			dropped++
+			continue
+		}
+		valid := false
+		for _, id := range ids {
+			if id == t.key.target {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			dropped++
+			continue
+		}
+		groups[t.key.target] = append(groups[t.key.target], Pair{FP: t.key.fp, Val: t.val})
+	}
+	backends := make(map[ring.NodeID]Backend, len(groups))
+	for id := range groups {
+		backends[id] = c.backends[id]
+	}
+	c.mu.RUnlock()
+
+	for id, pairs := range groups {
+		if _, err := applyRepair(ctx, backends[id], pairs); err != nil {
+			// Best-effort: a failed repair is dropped, not retried — the
+			// anti-entropy sweep is the backstop.
+			dropped += uint64(len(pairs))
+			continue
+		}
+		c.repl.repairsApplied.Add(uint64(len(pairs)))
+	}
+	if dropped > 0 {
+		c.repl.repairsDropped.Add(dropped)
+	}
+
+	c.repairMu.Lock()
+	c.repairBusy = false
+	more := len(c.repairOrder) > 0
+	c.repairMu.Unlock()
+	return more
+}
+
+// readRepair backfills fp -> val onto the replicas observed missing it.
+func (c *Cluster) readRepair(missers []Backend, fp fingerprint.Fingerprint, val Value) {
+	if len(missers) == 0 || c.noReadRepair {
+		return
+	}
+	for _, m := range missers {
+		c.enqueueRepair(m.ID(), fp, val)
+	}
+	c.repl.readRepairs.Add(uint64(len(missers)))
+}
+
+// replicateInsert fans a freshly created entry to the deciding node's
+// co-replicas and waits for the write quorum. targets is the full replica
+// set (owner first); decided indexes the node whose LookupOrInsert created
+// the entry (it counts as the first ack). A mirror that reports the entry
+// already present under a different locator reveals a divergence: the
+// mirror's copy predates this insert, so the result is flipped to its
+// duplicate answer — the same safe bias as reconcileMiss (a wrong "new"
+// costs one redundant upload; a wrong "duplicate" would lose data, and
+// here the mirror's copy proves the chunk is stored). Mirrors that fail
+// are queued for async repair; stragglers past the quorum keep running and
+// account for themselves.
+func (c *Cluster) replicateInsert(ctx context.Context, fp fingerprint.Fingerprint, val Value, targets []Backend, decided int, res *LookupResult) error {
+	required := c.quorum
+	if required > len(targets) {
+		required = len(targets)
+	}
+	type outcome struct {
+		r  LookupResult
+		ok bool
+	}
+	ch := make(chan outcome, len(targets)-1)
+	fanned := 0
+	for i, m := range targets {
+		if i == decided {
+			continue
+		}
+		fanned++
+		go func(m Backend) {
+			rs, err := applyRepair(ctx, m, []Pair{{FP: fp, Val: val}})
+			if err != nil || len(rs) != 1 {
+				c.enqueueRepair(m.ID(), fp, val)
+				ch <- outcome{ok: false}
+				return
+			}
+			ch <- outcome{r: rs[0], ok: true}
+		}(m)
+	}
+	c.repl.fannedWrites.Add(uint64(fanned))
+	if required > 1 {
+		c.repl.quorumWaits.Add(1)
+	}
+	acks, done := 1, 0 // the deciding node's ack is durable already
+	for acks < required {
+		if done == fanned {
+			c.repl.quorumFailures.Add(1)
+			return fmt.Errorf("core: insert %s: write quorum not met (%d/%d acks)", fp.Short(), acks, required)
+		}
+		select {
+		case o := <-ch:
+			done++
+			if !o.ok {
+				continue
+			}
+			acks++
+			// A mirror that already held the pair means the fingerprint
+			// existed before this insert — the decider's miss was a
+			// divergence (e.g. a wiped disk), not a first sighting. Flip
+			// the answer to the duplicate the mirror preserved; the
+			// decider's own insert just backfilled itself.
+			if o.r.Exists && !res.Exists {
+				*res = o.r
+				c.repl.readRepairs.Add(1)
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// replicateBatch fans one owner group's freshly created pairs (the misses
+// in rs) to their mirror replicas as a single ApplyRepair wave per mirror
+// node — the batched analogue of replicateInsert, and the reason batch
+// replication costs one extra group-commit wave per replica instead of a
+// per-key fan-out. indices maps group-local positions to the caller's
+// results slice; a mirror that reports a pair already present flips that
+// pair's result to the duplicate answer (see replicateInsert for the
+// bias). Failed waves are queued for async repair;
+// any pair left below its write quorum fails the batch.
+func (c *Cluster) replicateBatch(ctx context.Context, pairs []Pair, indices []int, mirrors [][]Backend, rs []LookupResult, results []LookupResult) error {
+	type wave struct {
+		backend Backend
+		pairs   []Pair
+		ks      []int // group-local pair positions
+	}
+	// requiredFor clamps the write quorum to the pair's reachable replica
+	// set (the cluster may be smaller than Replicas).
+	requiredFor := func(k int) int {
+		required := c.quorum
+		if lim := 1 + len(mirrors[k]); required > lim {
+			required = lim
+		}
+		return required
+	}
+	waves := make(map[ring.NodeID]*wave)
+	var fanned, waited uint64
+	missCount := 0
+	for k, r := range rs {
+		if r.Exists || len(mirrors[k]) == 0 {
+			continue
+		}
+		missCount++
+		if requiredFor(k) > 1 {
+			waited++
+		}
+		for _, m := range mirrors[k] {
+			w := waves[m.ID()]
+			if w == nil {
+				w = &wave{backend: m}
+				waves[m.ID()] = w
+			}
+			w.pairs = append(w.pairs, pairs[k])
+			w.ks = append(w.ks, k)
+			fanned++
+		}
+	}
+	if missCount == 0 {
+		return nil
+	}
+	c.repl.fannedWrites.Add(fanned)
+	c.repl.quorumWaits.Add(waited)
+
+	acks := make([]int, len(pairs)) // mirror acks per group-local pair
+	var (
+		mwg   sync.WaitGroup
+		ackMu sync.Mutex
+	)
+	for _, w := range waves {
+		w := w
+		mwg.Add(1)
+		go func() {
+			defer mwg.Done()
+			out, err := applyRepair(ctx, w.backend, w.pairs)
+			if err != nil || len(out) != len(w.pairs) {
+				for _, p := range w.pairs {
+					c.enqueueRepair(w.backend.ID(), p.FP, p.Val)
+				}
+				return
+			}
+			ackMu.Lock()
+			for i, r2 := range out {
+				k := w.ks[i]
+				acks[k]++
+				// Same flip as replicateInsert: a mirror that already
+				// held the pair proves the decider's miss was divergence.
+				if r2.Exists && !results[indices[k]].Exists {
+					results[indices[k]] = r2
+					c.repl.readRepairs.Add(1)
+				}
+			}
+			ackMu.Unlock()
+		}()
+	}
+	mwg.Wait()
+	for k, r := range rs {
+		if r.Exists || len(mirrors[k]) == 0 {
+			continue
+		}
+		if got := 1 + acks[k]; got < requiredFor(k) {
+			c.repl.quorumFailures.Add(1)
+			return fmt.Errorf("core: batch insert %s: write quorum not met (%d/%d acks)", pairs[k].FP.Short(), got, requiredFor(k))
+		}
+	}
+	return nil
+}
+
+// AntiEntropyStats summarizes one anti-entropy sweep.
+type AntiEntropyStats struct {
+	// Sources is the number of backends whose entries were enumerated;
+	// Skipped counts backends that cannot enumerate (e.g. RPC clients —
+	// their node's own cluster view sweeps them).
+	Sources int
+	Skipped int
+	// Scanned is the number of entries enumerated across sources; Checked
+	// the number of (entry, replica) checks issued; Repaired the number of
+	// checks that found the entry missing and re-replicated it.
+	Scanned  int
+	Checked  int
+	Repaired int
+}
+
+// entrySource is the slice of Migrator anti-entropy needs: enumeration
+// only, never removal.
+type entrySource interface {
+	Entries(fn func(fp fingerprint.Fingerprint, val Value) bool) error
+}
+
+// antiEntropyChunk bounds one ApplyRepair batch issued by the sweep.
+const antiEntropyChunk = 512
+
+// AntiEntropy walks the ring and re-replicates under-replicated ranges:
+// every entry on every enumerable backend is pushed (with keep-existing
+// semantics) to the replicas its current ring placement names, so a
+// cluster that shrank, grew, or had a disk wiped converges back to full
+// replication. The background sweeper (ClusterConfig.AntiEntropyInterval)
+// calls this after membership changes and on its interval; it is also safe
+// to call manually at any time. ctx cancels the sweep between batches.
+func (c *Cluster) AntiEntropy(ctx context.Context) (AntiEntropyStats, error) {
+	var st AntiEntropyStats
+	if c.replicas <= 1 {
+		return st, nil
+	}
+	c.mu.RLock()
+	sources := make([]Backend, 0, len(c.backends))
+	for _, b := range c.backends {
+		sources = append(sources, b)
+	}
+	c.mu.RUnlock()
+
+	for _, src := range sources {
+		es, ok := src.(entrySource)
+		if !ok {
+			st.Skipped++
+			continue
+		}
+		st.Sources++
+		// Collect first: Entries holds the node's stripe locks, and
+		// issuing repairs (which insert) from inside the callback would
+		// deadlock or mutate the store mid-iteration.
+		var entries []Pair
+		if err := es.Entries(func(fp fingerprint.Fingerprint, val Value) bool {
+			entries = append(entries, Pair{FP: fp, Val: val})
+			return ctx.Err() == nil
+		}); err != nil {
+			return st, fmt.Errorf("core: anti-entropy: enumerate %s: %w", src.ID(), err)
+		}
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
+		st.Scanned += len(entries)
+
+		// Bucket each entry to the replicas its current placement names.
+		srcID := src.ID()
+		buckets := make(map[ring.NodeID][]Pair)
+		c.mu.RLock()
+		for _, e := range entries {
+			ids, err := c.ring.LookupN(e.FP, c.replicas)
+			if err != nil {
+				continue
+			}
+			for _, id := range ids {
+				if id == srcID {
+					continue
+				}
+				if _, ok := c.backends[id]; !ok {
+					continue
+				}
+				buckets[id] = append(buckets[id], e)
+			}
+		}
+		targets := make(map[ring.NodeID]Backend, len(buckets))
+		for id := range buckets {
+			targets[id] = c.backends[id]
+		}
+		c.mu.RUnlock()
+
+		for id, pairs := range buckets {
+			for len(pairs) > 0 {
+				if err := ctx.Err(); err != nil {
+					return st, err
+				}
+				chunk := pairs
+				if len(chunk) > antiEntropyChunk {
+					chunk = chunk[:antiEntropyChunk]
+				}
+				pairs = pairs[len(chunk):]
+				rs, err := applyRepair(ctx, targets[id], chunk)
+				if err != nil {
+					return st, fmt.Errorf("core: anti-entropy: repair %s: %w", id, err)
+				}
+				st.Checked += len(chunk)
+				for _, r := range rs {
+					if !r.Exists {
+						st.Repaired++
+					}
+				}
+			}
+		}
+	}
+	c.repl.antiEntropyRuns.Add(1)
+	c.repl.antiEntropyScanned.Add(uint64(st.Scanned))
+	c.repl.antiEntropyChecked.Add(uint64(st.Checked))
+	c.repl.antiEntropyRepaired.Add(uint64(st.Repaired))
+	return st, nil
+}
+
+// antiEntropyLoop is the background sweeper: it runs AntiEntropy on every
+// interval tick and immediately after a membership change (AddNode,
+// RemoveNode, JoinNode, DrainNode signal aeWake), so a shrunk cluster
+// starts healing without waiting out the interval.
+func (c *Cluster) antiEntropyLoop(ctx context.Context, interval time.Duration) {
+	defer c.bgWg.Done()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		case <-c.aeWake:
+		}
+		// Sweep errors are not fatal to the loop: the next trigger retries.
+		_, _ = c.AntiEntropy(ctx)
+	}
+}
+
+// signalMembershipChange wakes the anti-entropy sweeper (if running).
+// Callers hold c.mu.
+func (c *Cluster) signalMembershipChange() {
+	if c.aeWake == nil {
+		return
+	}
+	select {
+	case c.aeWake <- struct{}{}:
+	default:
+	}
+}

@@ -108,6 +108,14 @@ func (r *Ring) Lookup(fp fingerprint.Fingerprint) (NodeID, error) {
 // the owner followed by its distinct successors. Used for replication.
 // If the ring has fewer than n nodes, all nodes are returned.
 func (r *Ring) LookupN(fp fingerprint.Fingerprint, n int) ([]NodeID, error) {
+	return r.LookupNHash(fp.Prefix64(), n)
+}
+
+// LookupNHash is LookupN keyed by a raw ring position instead of a
+// fingerprint. Anti-entropy sweeps use it to ask "who replicates the range
+// starting here" for arbitrary points on the ring (e.g. a vnode boundary)
+// without synthesizing a fingerprint.
+func (r *Ring) LookupNHash(h uint64, n int) ([]NodeID, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if len(r.points) == 0 {
@@ -118,7 +126,6 @@ func (r *Ring) LookupN(fp fingerprint.Fingerprint, n int) ([]NodeID, error) {
 	}
 	result := make([]NodeID, 0, n)
 	seen := make(map[NodeID]struct{}, n)
-	h := fp.Prefix64()
 	idx := r.searchIdx(h)
 	for i := 0; len(result) < n && i < len(r.points); i++ {
 		p := r.points[(idx+i)%len(r.points)]

@@ -332,6 +332,40 @@ func (c *Client) BatchLookupOrInsert(ctx context.Context, pairs []core.Pair) ([]
 	return c.GoBatchLookupOrInsert(ctx, pairs).Results()
 }
 
+// ApplyRepair sends a replication repair batch to the remote node. On a
+// protocol >= 4 connection it uses the REPAIR verb so the server can
+// account the traffic separately from client load; against an older peer
+// it degrades to a plain BATCH frame, which has identical lookup-or-insert
+// semantics — the repair still lands, it just isn't counted as one.
+func (c *Client) ApplyRepair(ctx context.Context, pairs []core.Pair) ([]core.LookupResult, error) {
+	wirePairs := make([]wire.PairPayload, len(pairs))
+	for i, p := range pairs {
+		wirePairs[i] = wire.PairPayload{FP: p.FP, Val: uint64(p.Val)}
+	}
+	reqType := wire.TypeRepair
+	if c.Version() < wire.Version4 {
+		reqType = wire.TypeBatch
+	}
+	resp, err := c.call(ctx, reqType, wire.EncodeBatch(wirePairs))
+	if err != nil {
+		return nil, err
+	}
+	rs, err := wire.DecodeBatchResult(resp.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(rs) != len(pairs) {
+		return nil, fmt.Errorf("rpc: repair answered %d results for %d pairs", len(rs), len(pairs))
+	}
+	out := make([]core.LookupResult, len(rs))
+	for i, r := range rs {
+		out[i] = fromWireResult(r)
+	}
+	return out, nil
+}
+
+var _ core.RepairApplier = (*Client)(nil)
+
 // BatchCall is an in-flight batch request: a future for the pipelined
 // protocol. Results blocks until the response frame arrives (or the
 // request's context is cancelled or it times out); Done exposes

@@ -310,6 +310,36 @@ func (s *Server) handle(ctx context.Context, f wire.Frame, version int) wire.Fra
 		}
 		return wire.Frame{Type: wire.TypeBatchResult, ID: f.ID, Payload: wire.EncodeBatchResult(out)}
 
+	case wire.TypeRepair:
+		// The replication backfill verb (protocol >= 4): same pair batch
+		// as TypeBatch, same keep-existing semantics, but routed through
+		// the backend's repair path so the node accounts it as replication
+		// traffic. Backends without the repair path (e.g. a chained RPC
+		// client to a pre-4 peer) fall back to a plain batch — the
+		// presence semantics are identical.
+		wirePairs, err := wire.DecodeBatch(f.Payload)
+		if err != nil {
+			return fail(err)
+		}
+		pairs := make([]core.Pair, len(wirePairs))
+		for i, p := range wirePairs {
+			pairs[i] = core.Pair{FP: p.FP, Val: core.Value(p.Val)}
+		}
+		var rs []core.LookupResult
+		if ra, ok := s.backend.(core.RepairApplier); ok {
+			rs, err = ra.ApplyRepair(ctx, pairs)
+		} else {
+			rs, err = s.backend.BatchLookupOrInsert(ctx, pairs)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		out := make([]wire.ResultPayload, len(rs))
+		for i, r := range rs {
+			out[i] = toWireResult(r)
+		}
+		return wire.Frame{Type: wire.TypeBatchResult, ID: f.ID, Payload: wire.EncodeBatchResult(out)}
+
 	case wire.TypeStats:
 		st, err := s.backend.Stats(ctx)
 		if err != nil {
@@ -388,6 +418,10 @@ func toWireStats(st core.NodeStats) wire.StatsPayload {
 		RecoveryStoreOrphans:     st.Recovery.Store.OrphanPages,
 		RecoveryStoreSalvaged:    st.Recovery.Store.SalvagedEntries,
 
+		ReplRepairBatches: st.Replica.RepairBatches,
+		ReplRepairPairs:   st.Replica.RepairPairs,
+		ReplRepairCreated: st.Replica.RepairCreated,
+
 		PhaseCache:       toWireSummary(st.Phases.Cache),
 		PhaseBloom:       toWireSummary(st.Phases.Bloom),
 		PhaseSSD:         toWireSummary(st.Phases.SSD),
@@ -428,6 +462,9 @@ func fromWireStats(s wire.StatsPayload) core.NodeStats {
 	st.Recovery.Store.RepairedLinks = s.RecoveryStoreLinks
 	st.Recovery.Store.OrphanPages = s.RecoveryStoreOrphans
 	st.Recovery.Store.SalvagedEntries = s.RecoveryStoreSalvaged
+	st.Replica.RepairBatches = s.ReplRepairBatches
+	st.Replica.RepairPairs = s.ReplRepairPairs
+	st.Replica.RepairCreated = s.ReplRepairCreated
 	st.Phases.Cache = fromWireSummary(s.PhaseCache)
 	st.Phases.Bloom = fromWireSummary(s.PhaseBloom)
 	st.Phases.SSD = fromWireSummary(s.PhaseSSD)

@@ -313,12 +313,39 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 	w.Write(data)
 }
 
-// StatsResponse reports front-end and cluster counters.
+// StatsResponse reports front-end and cluster counters. Replication is
+// present only when the index replicates (Replicas > 1 clusters).
 type StatsResponse struct {
-	Plans   int64           `json:"plans"`
-	Lookups int64           `json:"lookups"`
-	Uploads int64           `json:"uploads"`
-	Nodes   []NodeStatsJSON `json:"nodes"`
+	Plans       int64            `json:"plans"`
+	Lookups     int64            `json:"lookups"`
+	Uploads     int64            `json:"uploads"`
+	Replication *ReplicationJSON `json:"replication,omitempty"`
+	Nodes       []NodeStatsJSON  `json:"nodes"`
+}
+
+// ReplicationJSON reports the cluster's replication machinery: quorum
+// write fan-out, read-repair, the async repair queue, and anti-entropy
+// sweeps.
+type ReplicationJSON struct {
+	FannedWrites        uint64 `json:"fannedWrites"`
+	QuorumWaits         uint64 `json:"quorumWaits"`
+	QuorumFailures      uint64 `json:"quorumFailures"`
+	ReadRepairs         uint64 `json:"readRepairs"`
+	RepairsQueued       uint64 `json:"repairsQueued"`
+	RepairsApplied      uint64 `json:"repairsApplied"`
+	RepairsDropped      uint64 `json:"repairsDropped"`
+	AntiEntropyRuns     uint64 `json:"antiEntropyRuns"`
+	AntiEntropyScanned  uint64 `json:"antiEntropyScanned"`
+	AntiEntropyChecked  uint64 `json:"antiEntropyChecked"`
+	AntiEntropyRepaired uint64 `json:"antiEntropyRepaired"`
+}
+
+// replicationReporter is the optional cluster surface for replication
+// counters; asserted rather than added to Index so non-replicating
+// indexes (and test fakes) need not implement it.
+type replicationReporter interface {
+	Replicated() bool
+	ReplicationStats() core.ReplicationStats
 }
 
 // PhaseSummaryJSON digests one lookup-pipeline tier's latency histogram.
@@ -369,6 +396,15 @@ type RecoveryJSON struct {
 	StoreSalvaged    uint64 `json:"storeSalvagedEntries"`
 }
 
+// ReplicaJSON reports repair traffic a node absorbed: batches applied on
+// behalf of peers (quorum mirrors, read-repair backfills, anti-entropy)
+// and how many entries those batches actually created.
+type ReplicaJSON struct {
+	RepairBatches uint64 `json:"repairBatches"`
+	RepairPairs   uint64 `json:"repairPairs"`
+	RepairCreated uint64 `json:"repairCreated"`
+}
+
 // NodeStatsJSON is the JSON shape of one node's statistics.
 type NodeStatsJSON struct {
 	ID           string       `json:"id"`
@@ -383,6 +419,7 @@ type NodeStatsJSON struct {
 	Phases       PhasesJSON   `json:"phases"`
 	Destage      DestageJSON  `json:"destage"`
 	Recovery     RecoveryJSON `json:"recovery"`
+	Replica      ReplicaJSON  `json:"replica"`
 }
 
 func phaseJSON(s metrics.Summary) PhaseSummaryJSON {
@@ -411,6 +448,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Lookups: s.lookups.Load(),
 		Uploads: s.uploads.Load(),
 		Nodes:   make([]NodeStatsJSON, len(nodeStats)),
+	}
+	if rr, ok := s.cfg.Index.(replicationReporter); ok && rr.Replicated() {
+		rs := rr.ReplicationStats()
+		resp.Replication = &ReplicationJSON{
+			FannedWrites:        rs.FannedWrites,
+			QuorumWaits:         rs.QuorumWaits,
+			QuorumFailures:      rs.QuorumFailures,
+			ReadRepairs:         rs.ReadRepairs,
+			RepairsQueued:       rs.RepairsQueued,
+			RepairsApplied:      rs.RepairsApplied,
+			RepairsDropped:      rs.RepairsDropped,
+			AntiEntropyRuns:     rs.AntiEntropyRuns,
+			AntiEntropyScanned:  rs.AntiEntropyScanned,
+			AntiEntropyChecked:  rs.AntiEntropyChecked,
+			AntiEntropyRepaired: rs.AntiEntropyRepaired,
+		}
 	}
 	for i, st := range nodeStats {
 		resp.Nodes[i] = NodeStatsJSON{
@@ -447,6 +500,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				StoreLinks:       st.Recovery.Store.RepairedLinks,
 				StoreOrphans:     st.Recovery.Store.OrphanPages,
 				StoreSalvaged:    st.Recovery.Store.SalvagedEntries,
+			},
+			Replica: ReplicaJSON{
+				RepairBatches: st.Replica.RepairBatches,
+				RepairPairs:   st.Replica.RepairPairs,
+				RepairCreated: st.Replica.RepairCreated,
 			},
 		}
 	}

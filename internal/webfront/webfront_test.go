@@ -237,6 +237,82 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 }
 
+// TestStatsReplicationBlock: a replicated cluster surfaces its quorum and
+// repair counters at /v1/stats; the default single-copy cluster omits the
+// block entirely.
+func TestStatsReplicationBlock(t *testing.T) {
+	// The default newTestServer cluster has Replicas = 1: no block.
+	_, ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatalf("GET stats: %v", err)
+	}
+	var stats StatsResponse
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	if stats.Replication != nil {
+		t.Fatalf("unreplicated cluster reported a replication block: %+v", stats.Replication)
+	}
+
+	// A Replicas = 2 cluster reports fanned writes after a plan.
+	backends := make([]core.Backend, 2)
+	for i := range backends {
+		node, err := core.NewNode(core.NodeConfig{
+			ID:            ring.NodeID(fmt.Sprintf("r%d", i)),
+			Store:         hashdb.NewMemStore(nil),
+			CacheSize:     128,
+			BloomExpected: 10000,
+		})
+		if err != nil {
+			t.Fatalf("NewNode: %v", err)
+		}
+		backends[i] = node
+	}
+	cluster, err := core.NewCluster(core.ClusterConfig{Replicas: 2}, backends...)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	chunks := cloudsim.New(cloudsim.Config{})
+	srv, err := New(Config{Index: cluster, Chunks: chunks})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		rts.Close()
+		cluster.Close()
+		chunks.Close()
+	})
+
+	postPlan(t, rts.URL, []string{fingerprint.FromUint64(1).String(), fingerprint.FromUint64(2).String()})
+	resp, err = http.Get(rts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatalf("GET stats: %v", err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	if stats.Replication == nil {
+		t.Fatal("replicated cluster reported no replication block")
+	}
+	if stats.Replication.FannedWrites == 0 {
+		t.Fatalf("replication block shows no fanned writes: %+v", stats.Replication)
+	}
+	// The mirror writes land as repair batches on the receiving nodes.
+	var repairPairs uint64
+	for _, n := range stats.Nodes {
+		repairPairs += n.Replica.RepairPairs
+	}
+	if repairPairs == 0 {
+		t.Fatalf("no node reported absorbed repair pairs: %+v", stats.Nodes)
+	}
+}
+
 func TestMethodEnforcement(t *testing.T) {
 	_, ts, _ := newTestServer(t)
 	tests := []struct {

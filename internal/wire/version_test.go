@@ -45,6 +45,48 @@ func TestCancelFrameV0LayoutUnchanged(t *testing.T) {
 	}
 }
 
+// TestReplStatsVersionSkewInterop pins the Version4 stats contract: the
+// Version3 encoding (no replication counters) decodes with the
+// replication fields zero, and the Version4 encoding carries them
+// through — alongside everything the older layouts already held.
+func TestReplStatsVersionSkewInterop(t *testing.T) {
+	s := StatsPayload{
+		ID:                      "repl-skew",
+		Lookups:                 11,
+		DestageEntries:          22,
+		RecoveryJournalReplayed: 33,
+		ReplRepairBatches:       44,
+		ReplRepairPairs:         55,
+		ReplRepairCreated:       66,
+	}
+	dec3, err := DecodeStats(EncodeStatsV(s, Version3))
+	if err != nil {
+		t.Fatalf("decode v3: %v", err)
+	}
+	if dec3.Lookups != 11 || dec3.DestageEntries != 22 || dec3.RecoveryJournalReplayed != 33 {
+		t.Fatalf("v3 lost pre-replication fields: %+v", dec3)
+	}
+	if dec3.ReplRepairBatches != 0 || dec3.ReplRepairPairs != 0 || dec3.ReplRepairCreated != 0 {
+		t.Fatalf("v3 encoding carried replication fields it should not have: %+v", dec3)
+	}
+	dec4, err := DecodeStats(EncodeStatsV(s, Version4))
+	if err != nil {
+		t.Fatalf("decode v4: %v", err)
+	}
+	if dec4 != s {
+		t.Fatalf("v4 round trip = %+v, want %+v", dec4, s)
+	}
+	if v4, v3 := EncodeStatsV(s, Version4), EncodeStatsV(s, Version3); len(v4) <= len(v3) {
+		t.Fatalf("v4 payload (%d bytes) not larger than v3 payload (%d bytes)", len(v4), len(v3))
+	}
+}
+
+func TestRepairTypeString(t *testing.T) {
+	if got := TypeRepair.String(); got != "repair" {
+		t.Fatalf("TypeRepair.String() = %q, want repair", got)
+	}
+}
+
 func TestCancelHelloRoundTrip(t *testing.T) {
 	b := EncodeHello(MaxVersion)
 	v, err := DecodeHello(b)

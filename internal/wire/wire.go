@@ -82,6 +82,14 @@ const (
 	// TypeCancel abandons the in-flight request whose id it echoes.
 	// No response frame. Protocol >= 1 only.
 	TypeCancel
+
+	// TypeRepair carries a replication backfill batch (protocol >= 4).
+	// The payload is the same pair batch as TypeBatch and the answer is a
+	// TypeBatchResult, but the verb marks the traffic as repair — the
+	// receiving node applies it with lookup-or-insert semantics (existing
+	// entries keep their stored value) and accounts it in the replication
+	// stats block rather than the foreground counters.
+	TypeRepair
 )
 
 // Protocol versions. Version 0 is the original deadline-less protocol;
@@ -89,14 +97,17 @@ const (
 // Version2 keeps the frame layout of Version1 and extends the stats
 // payload with the write-back destage counters; Version3 extends it again
 // with the crash-recovery counters (journal replay plus the hash table's
-// open-time repair pass). Old peers negotiate down and receive/send their
-// version's stats layout.
+// open-time repair pass); Version4 adds the TypeRepair backfill verb and
+// the replication counters in the stats payload. Old peers negotiate down
+// and receive/send their version's stats layout (a pre-4 peer is repaired
+// via plain TypeBatch instead of TypeRepair).
 const (
 	Version0   = 0
 	Version1   = 1
 	Version2   = 2
 	Version3   = 3
-	MaxVersion = Version3
+	Version4   = 4
+	MaxVersion = Version4
 )
 
 func (t Type) String() string {
@@ -129,6 +140,8 @@ func (t Type) String() string {
 		return "hello-ack"
 	case TypeCancel:
 		return "cancel"
+	case TypeRepair:
+		return "repair"
 	}
 	return fmt.Sprintf("type(%d)", uint8(t))
 }
@@ -483,20 +496,28 @@ type StatsPayload struct {
 	RecoveryStoreLinks       uint64
 	RecoveryStoreOrphans     uint64
 	RecoveryStoreSalvaged    uint64
-	PhaseCache               SummaryPayload
-	PhaseBloom               SummaryPayload
-	PhaseSSD                 SummaryPayload
-	DestageWaveSizes         SummaryPayload
+	// Replication counters (protocol >= 4): repair/backfill traffic this
+	// node absorbed as a replica target (batches applied, pairs examined,
+	// entries actually created because they were missing).
+	ReplRepairBatches uint64
+	ReplRepairPairs   uint64
+	ReplRepairCreated uint64
+	PhaseCache        SummaryPayload
+	PhaseBloom        SummaryPayload
+	PhaseSSD          SummaryPayload
+	DestageWaveSizes  SummaryPayload
 }
 
 // statsCounterFields is the number of plain uint64 counters in a
 // StatsPayload (everything after the ID, before the phase summaries);
 // statsSummaryCount is the number of SummaryPayload digests that follow.
 // Older layouts carry prefixes of the counter list: protocol < 2 stops
-// before the destage fields, protocol 2 before the recovery fields.
+// before the destage fields, protocol 2 before the recovery fields,
+// protocol 3 before the replication fields.
 const (
-	statsCounterFields       = 29
+	statsCounterFields       = 32
 	statsSummaryCount        = 4
+	v3StatsCounterFields     = 29
 	v2StatsCounterFields     = 20
 	legacyStatsCounterFields = 14
 	legacyStatsSummaryCount  = 3
@@ -513,6 +534,7 @@ func (s *StatsPayload) counters() []*uint64 {
 		&s.RecoveryStoreRuns, &s.RecoveryStorePagesScan, &s.RecoveryStoreTornPages,
 		&s.RecoveryStoreTailBytes, &s.RecoveryStoreLinks, &s.RecoveryStoreOrphans,
 		&s.RecoveryStoreSalvaged,
+		&s.ReplRepairBatches, &s.ReplRepairPairs, &s.ReplRepairCreated,
 	}
 }
 
@@ -528,8 +550,10 @@ func (p *SummaryPayload) fields() []*uint64 {
 // version carries in a stats payload.
 func statsLayout(version int) (counters, summaries int) {
 	switch {
-	case version >= Version3:
+	case version >= Version4:
 		return statsCounterFields, statsSummaryCount
+	case version == Version3:
+		return v3StatsCounterFields, statsSummaryCount
 	case version == Version2:
 		return v2StatsCounterFields, statsSummaryCount
 	default:
@@ -570,10 +594,11 @@ func EncodeStatsV(s StatsPayload, version int) []byte {
 }
 
 // DecodeStats decodes node statistics. Every historical layout (the
-// Version3 recovery-extended one, the Version2 destage-extended one, and
-// the original) is accepted — the payload length distinguishes them, and
-// absent fields decode as zero — so a new client can read an old server's
-// stats regardless of what version the connection negotiated.
+// Version4 replication-extended one, the Version3 recovery-extended one,
+// the Version2 destage-extended one, and the original) is accepted — the
+// payload length distinguishes them, and absent fields decode as zero —
+// so a new client can read an old server's stats regardless of what
+// version the connection negotiated.
 func DecodeStats(b []byte) (StatsPayload, error) {
 	var s StatsPayload
 	if len(b) < 2 {
@@ -583,14 +608,17 @@ func DecodeStats(b []byte) (StatsPayload, error) {
 	nc, ns := statsLayout(MaxVersion)
 	legacy := 2 + idLen + (legacyStatsCounterFields+legacyStatsSummaryCount*summaryFields)*8
 	v2 := 2 + idLen + (v2StatsCounterFields+statsSummaryCount*summaryFields)*8
+	v3 := 2 + idLen + (v3StatsCounterFields+statsSummaryCount*summaryFields)*8
 	switch len(b) {
 	case legacy:
 		nc, ns = legacyStatsCounterFields, legacyStatsSummaryCount
 	case v2:
 		nc, ns = v2StatsCounterFields, statsSummaryCount
+	case v3:
+		nc, ns = v3StatsCounterFields, statsSummaryCount
 	default:
 		if want := 2 + idLen + (nc+ns*summaryFields)*8; len(b) != want {
-			return s, fmt.Errorf("wire: stats payload: want %d (or %d / legacy %d) bytes, got %d: %w", want, v2, legacy, len(b), ErrShortPayload)
+			return s, fmt.Errorf("wire: stats payload: want %d (or %d / %d / legacy %d) bytes, got %d: %w", want, v3, v2, legacy, len(b), ErrShortPayload)
 		}
 	}
 	s.ID = string(b[2 : 2+idLen])

@@ -68,6 +68,11 @@ type (
 	NodeConfig = core.NodeConfig
 	// NodeStats snapshots a node's counters.
 	NodeStats = core.NodeStats
+	// ReplicationStats snapshots a cluster's replication counters: quorum
+	// fan-out, read-repair, the async repair queue, and anti-entropy.
+	ReplicationStats = core.ReplicationStats
+	// AntiEntropyStats reports what one Cluster.AntiEntropy sweep did.
+	AntiEntropyStats = core.AntiEntropyStats
 	// Cluster routes fingerprint operations across hash nodes.
 	Cluster = core.Cluster
 	// Backend is a hash node as seen by the cluster (local or remote).
@@ -154,13 +159,28 @@ type ClusterOptions struct {
 	// GOMAXPROCS-based default, 1 fully serializes each node (the
 	// original single-lock behavior).
 	Stripes int
-	// Replicas > 1 enables the fault-tolerance extension.
+	// Replicas > 1 keeps that many durable copies of every entry on
+	// consecutive ring successors: inserts replicate with quorum
+	// acknowledgment, divergent lookups trigger read-repair, and
+	// anti-entropy sweeps re-replicate under-replicated ranges after
+	// membership changes.
 	Replicas int
+	// WriteQuorum is how many replicas must durably hold an insert before
+	// it acknowledges. 0 selects a majority (Replicas/2 + 1); values are
+	// clamped to [1, Replicas]. 1 trades the durability guarantee for
+	// availability: inserts succeed with every mirror down and the repair
+	// queue backfills later.
+	WriteQuorum int
+	// AntiEntropyInterval, when > 0, runs a periodic anti-entropy sweep
+	// that re-replicates entries missing from any replica (Replicas > 1
+	// only). Membership changes also trigger a sweep.
+	AntiEntropyInterval time.Duration
 	// VirtualNodes per node on the hash ring; 0 selects the default.
 	VirtualNodes int
 	// HedgeAfter enables hedged reads when Replicas > 1: a Lookup that
 	// has not answered after this long is raced against the next replica
-	// and the loser's probe is cancelled. Zero disables hedging.
+	// and the first hit wins (a lone miss waits for the other replicas —
+	// see core.ClusterConfig.HedgeAfter).
 	HedgeAfter time.Duration
 }
 
@@ -240,9 +260,11 @@ func NewLocalCluster(opts ClusterOptions) (*Cluster, error) {
 		backends = append(backends, node)
 	}
 	cluster, err := core.NewCluster(core.ClusterConfig{
-		VirtualNodes: opts.VirtualNodes,
-		Replicas:     opts.Replicas,
-		HedgeAfter:   opts.HedgeAfter,
+		VirtualNodes:        opts.VirtualNodes,
+		Replicas:            opts.Replicas,
+		WriteQuorum:         opts.WriteQuorum,
+		AntiEntropyInterval: opts.AntiEntropyInterval,
+		HedgeAfter:          opts.HedgeAfter,
 	}, backends...)
 	if err != nil {
 		closeAll(backends)
