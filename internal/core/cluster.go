@@ -52,7 +52,12 @@ type ClusterConfig struct {
 	// a majority (Replicas/2 + 1); values are clamped to [1, Replicas].
 	// With WriteQuorum == Replicas every acked insert is on every replica;
 	// below that, stragglers are completed asynchronously via the repair
-	// queue. Ignored when Replicas is 1.
+	// queue. An insert that cannot reach the quorum (mirrors down) does
+	// not fail — the deciding node's copy is already durable, so it
+	// degrades to the safe "new" answer (the client uploads the chunk)
+	// with ReplicationStats.QuorumFailures counting the under-replicated
+	// ack and the repair queue / anti-entropy converging it. Ignored when
+	// Replicas is 1.
 	WriteQuorum int
 	// DisableReadRepair turns off miss verification and read-repair on the
 	// lookup paths (Replicas > 1 only): a lookup then returns the first
@@ -61,10 +66,13 @@ type ClusterConfig struct {
 	// it off (the default) where a spurious "new" for a stored fingerprint
 	// is not acceptable, e.g. when a replica could have lost its disk.
 	DisableReadRepair bool
-	// AntiEntropyInterval starts the background anti-entropy sweeper
-	// (Replicas > 1 only): the cluster runs AntiEntropy on this interval
-	// and immediately after membership changes. 0 disables the sweeper;
-	// AntiEntropy can still be called manually.
+	// AntiEntropyInterval adds a periodic tick to the background
+	// anti-entropy sweeper (Replicas > 1 only). The sweeper itself always
+	// runs with replication on — membership changes (AddNode, RemoveNode,
+	// JoinNode, DrainNode) trigger a sweep regardless, because the repair
+	// queue drops overflow and failed repairs on the promise that a sweep
+	// heals them. 0 keeps only the membership-triggered sweeps;
+	// AntiEntropy can also be called manually at any time.
 	AntiEntropyInterval time.Duration
 	// HedgeAfter enables hedged reads on Lookup when Replicas > 1: if the
 	// owner has not answered after this long, the same read is issued to
@@ -159,11 +167,12 @@ func NewCluster(cfg ClusterConfig, backends ...Backend) (*Cluster, error) {
 		c.repairWake = make(chan struct{}, 1)
 		c.bgWg.Add(1)
 		go c.repairWorker(bgctx)
-		if cfg.AntiEntropyInterval > 0 {
-			c.aeWake = make(chan struct{}, 1)
-			c.bgWg.Add(1)
-			go c.antiEntropyLoop(bgctx, cfg.AntiEntropyInterval)
-		}
+		// The sweeper always runs with replication on: dropped repairs
+		// rely on the membership-triggered sweeps as their backstop. The
+		// interval only adds a periodic tick.
+		c.aeWake = make(chan struct{}, 1)
+		c.bgWg.Add(1)
+		go c.antiEntropyLoop(bgctx, cfg.AntiEntropyInterval)
 	}
 	return c, nil
 }
@@ -460,10 +469,14 @@ func (c *Cluster) raceReplicas(ctx context.Context, fp fingerprint.Fingerprint, 
 // LookupOrInsert runs the Figure 4 flow on the owner and, when the
 // fingerprint is new, replicates the insert to the remaining replicas with
 // quorum acknowledgment (see ClusterConfig.WriteQuorum and
-// replicateInsert): the call does not return success until WriteQuorum
-// replicas durably hold the entry, so an acked insert survives the loss of
-// any WriteQuorum-1 nodes. Mirrors beyond the quorum complete
-// asynchronously; a failed mirror is backfilled by the repair queue. A
+// replicateInsert): the call does not return until WriteQuorum replicas
+// durably hold the entry, so an acked insert survives the loss of any
+// WriteQuorum-1 nodes. Mirrors beyond the quorum complete asynchronously;
+// a failed mirror is backfilled by the repair queue. A quorum that cannot
+// be met does not fail the call — once the entry is durably created,
+// erroring would make a retried insert look like a stored duplicate and
+// lose the upload; the call degrades to the safe "new" answer instead
+// (see replicateInsert). A
 // miss whose owner changed mid-flight is reconciled against the current
 // owner (see reconcileMiss): a fingerprint that had already migrated is
 // reported as a duplicate instead of "new", while a genuinely new
@@ -556,9 +569,7 @@ func (c *Cluster) lookupOrInsertOnce(ctx context.Context, fp fingerprint.Fingerp
 		return res, owner, nil
 	}
 	// New entry: replicate to the co-replicas and wait for the quorum.
-	if err := c.replicateInsert(ctx, fp, val, targets, decided, &res); err != nil {
-		return res, owner, err
-	}
+	c.replicateInsert(ctx, fp, val, targets, decided, &res)
 	return res, owner, nil
 }
 
@@ -569,7 +580,11 @@ func (c *Cluster) lookupOrInsertOnce(ctx context.Context, fp fingerprint.Fingerp
 // ApplyRepair wave per mirror node (piggybacking on the mirror's own
 // group-commit destage batching), so replication costs one extra batched
 // round per replica rather than a per-key fan-out; the batch does not
-// return success until every created pair reached its write quorum.
+// return until every created pair reached its write quorum (a quorum that
+// cannot be met degrades to the safe "new" answers instead of failing —
+// see replicateBatch). A group whose owner node is down fails over to the
+// single-key path per pair, so one dead node does not fail the batch when
+// its ranges have live replicas.
 // A cancelled ctx fails the whole batch with ctx.Err(); per-node batches
 // already in flight stop issuing device reads.
 func (c *Cluster) BatchLookupOrInsert(ctx context.Context, pairs []Pair) ([]LookupResult, error) {
@@ -623,23 +638,40 @@ func (c *Cluster) BatchLookupOrInsert(ctx context.Context, pairs []Pair) ([]Look
 			defer wg.Done()
 			rs, err := g.backend.BatchLookupOrInsert(ctx, g.pairs)
 			if err != nil {
-				errMu.Lock()
-				if firstErr == nil {
-					firstErr = err
+				// A dead owner fails its whole group's decision. With
+				// replication the successors hold the same ranges, so fail
+				// each pair over to the single-key path, which decides on
+				// the next reachable replica and replicates from there.
+				// Erroring the batch instead would strand the groups that
+				// DID decide: their entries are already durable, so a
+				// retried plan would call them duplicates for chunks the
+				// client never uploaded (the same poison the degraded
+				// quorum path avoids — see replicateInsert). Cancellation
+				// is the caller's decision, not a node failure: no failover.
+				if ctx.Err() == nil && c.replicas > 1 {
+					err = nil
+					for k, p := range g.pairs {
+						r, _, perr := c.lookupOrInsertOnce(ctx, p.FP, p.Val)
+						if perr != nil {
+							err = perr
+							break
+						}
+						results[g.indices[k]] = r
+					}
 				}
-				errMu.Unlock()
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+				}
 				return
 			}
 			for k, r := range rs {
 				results[g.indices[k]] = r
 			}
-			if err := c.replicateBatch(ctx, g.pairs, g.indices, g.mirrors, rs, results); err != nil {
-				errMu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				errMu.Unlock()
-			}
+			c.replicateBatch(ctx, g.pairs, g.indices, g.mirrors, rs, results)
 		}()
 	}
 	wg.Wait()

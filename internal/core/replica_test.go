@@ -161,54 +161,124 @@ func newReplicatedPair(t *testing.T, cfg ClusterConfig) (*Cluster, [2]*Node, *fl
 	return c, nodes, flaky
 }
 
-// TestWriteQuorumFailureSurfacesError: with the default majority quorum
-// (2 of 2), an insert whose mirror is down must fail rather than ack a
-// copy that does not exist — acked means replicated.
-func TestWriteQuorumFailureSurfacesError(t *testing.T) {
+// TestWriteQuorumFailureDegradesToSafeNew: with the default majority
+// quorum (2 of 2), an insert whose mirror is down cannot fail — the
+// decider's copy is already durable, so an error would make a retry look
+// like a stored duplicate and the client would skip the upload of a chunk
+// no one stored. The insert must instead ack with the safe "new" answer
+// (the client uploads), count a QuorumFailure, and converge the missing
+// mirror once it is back.
+func TestWriteQuorumFailureDegradesToSafeNew(t *testing.T) {
 	c, _, flaky := newReplicatedPair(t, ClusterConfig{})
 	ctx := context.Background()
 	fp := fpOwnedBy(t, c, "node-0")
 
 	flaky.kill()
-	if _, err := c.LookupOrInsert(ctx, fp, 1); err == nil {
-		t.Fatal("insert acked without a reachable quorum")
+	r, err := c.LookupOrInsert(ctx, fp, 1)
+	if err != nil {
+		t.Fatalf("insert with dead mirror errored after the durable decider insert: %v", err)
+	}
+	if r.Exists {
+		t.Fatalf("degraded insert = %+v, want the safe 'new' answer", r)
 	}
 	if got := c.ReplicationStats().QuorumFailures; got == 0 {
 		t.Fatal("quorum failure not counted")
 	}
+	// A retry is answered "duplicate" — safe, because the first call
+	// already told the client to upload. This consistency (never an error
+	// in between) is exactly why the degraded path must not fail.
+	if r, err := c.LookupOrInsert(ctx, fp, 1); err != nil || !r.Exists || r.Value != 1 {
+		t.Fatalf("retry of degraded insert = %+v, %v, want exists value 1", r, err)
+	}
 
-	// The batched path enforces the same quorum per pair. (A fresh
-	// fingerprint: the failed insert above already parked fp on the owner,
-	// so retrying it is a duplicate, which needs no quorum.)
+	// The batched path degrades the same way, pair by pair.
 	fp2 := fpOwnedBy2(t, c, "node-0", fp)
-	if _, err := c.BatchLookupOrInsert(ctx, []Pair{{FP: fp2, Val: 1}}); err == nil {
-		t.Fatal("batch insert acked without a reachable quorum")
+	failures := c.ReplicationStats().QuorumFailures
+	rs, err := c.BatchLookupOrInsert(ctx, []Pair{{FP: fp2, Val: 1}})
+	if err != nil {
+		t.Fatalf("batch insert with dead mirror errored: %v", err)
+	}
+	if len(rs) != 1 || rs[0].Exists {
+		t.Fatalf("degraded batch insert = %+v, want the safe 'new' answer", rs)
+	}
+	if got := c.ReplicationStats().QuorumFailures; got <= failures {
+		t.Fatal("batch quorum failure not counted")
 	}
 
-	// With the mirror back, the same insert goes through and lands on both.
+	// With the mirror back, anti-entropy converges the degraded inserts:
+	// the repair queued while the mirror was dead may itself have failed
+	// and been dropped — the sweep is the backstop.
 	flaky.revive()
-	r, err := c.LookupOrInsert(ctx, fp, 7)
-	if err != nil {
-		t.Fatalf("LookupOrInsert after revive: %v", err)
-	}
-	// The failed attempts may have left the entry on the owner; either
-	// answer is fine as long as both replicas now hold it. The repair
-	// queued while the mirror was dead may itself have failed and been
-	// dropped — anti-entropy is the backstop that must converge it.
-	_ = r
 	if _, err := c.AntiEntropy(ctx); err != nil {
 		t.Fatalf("AntiEntropy: %v", err)
 	}
 	if err := c.FlushRepairs(ctx); err != nil {
 		t.Fatalf("FlushRepairs: %v", err)
 	}
-	replicas, err := c.routingFor(fp)
-	if err != nil {
-		t.Fatalf("routingFor: %v", err)
+	for _, f := range []fingerprint.Fingerprint{fp, fp2} {
+		replicas, err := c.routingFor(f)
+		if err != nil {
+			t.Fatalf("routingFor: %v", err)
+		}
+		for _, b := range replicas {
+			if r, err := b.Lookup(ctx, f); err != nil || !r.Exists || r.Value != 1 {
+				t.Fatalf("replica %s of %s after revive = %+v, %v, want exists value 1", b.ID(), f.Short(), r, err)
+			}
+		}
 	}
-	for _, b := range replicas {
-		if r, err := b.Lookup(ctx, fp); err != nil || !r.Exists {
-			t.Fatalf("replica %s after revive = %+v, %v", b.ID(), r, err)
+}
+
+// TestBatchQuorumFailoverWhenOwnerDown: a batch group whose OWNER is down
+// must not fail the batch — its pairs fail over to the single-key path,
+// where the surviving replica decides and the insert degrades to the safe
+// "new" answer. Erroring instead would strand the batch's other groups:
+// their entries are already durable, so a retried plan would report them
+// as duplicates for chunks the client never uploaded.
+func TestBatchQuorumFailoverWhenOwnerDown(t *testing.T) {
+	c, nodes, flaky := newReplicatedPair(t, ClusterConfig{})
+	ctx := context.Background()
+	deadOwned := fpOwnedBy(t, c, "node-1") // group decided by the dead node
+	liveOwned := fpOwnedBy(t, c, "node-0") // group that decides fine
+	pairs := []Pair{{FP: deadOwned, Val: 7}, {FP: liveOwned, Val: 8}}
+
+	flaky.kill()
+	rs, err := c.BatchLookupOrInsert(ctx, pairs)
+	if err != nil {
+		t.Fatalf("batch with dead owner errored instead of failing over: %v", err)
+	}
+	for i, r := range rs {
+		if r.Exists {
+			t.Fatalf("degraded batch pair %d = %+v, want the safe 'new' answer", i, r)
+		}
+	}
+	if got := c.ReplicationStats().QuorumFailures; got == 0 {
+		t.Fatal("failed-over inserts did not count their quorum failures")
+	}
+	// Both entries are durable on the survivor, so a retried batch answers
+	// "duplicate" — safe, the first batch already told the client to upload.
+	rs, err = c.BatchLookupOrInsert(ctx, pairs)
+	if err != nil {
+		t.Fatalf("retry batch: %v", err)
+	}
+	for i, r := range rs {
+		if !r.Exists || r.Value != pairs[i].Val {
+			t.Fatalf("retry pair %d = %+v, want exists value %d", i, r, pairs[i].Val)
+		}
+	}
+
+	// Once the owner is back, the sweep restores full replication.
+	flaky.revive()
+	if _, err := c.AntiEntropy(ctx); err != nil {
+		t.Fatalf("AntiEntropy: %v", err)
+	}
+	if err := c.FlushRepairs(ctx); err != nil {
+		t.Fatalf("FlushRepairs: %v", err)
+	}
+	for i, p := range pairs {
+		for _, n := range nodes {
+			if r, err := n.Lookup(ctx, p.FP); err != nil || !r.Exists || r.Value != p.Val {
+				t.Fatalf("node %s pair %d after revive = %+v, %v, want exists value %d", n.ID(), i, r, err, p.Val)
+			}
 		}
 	}
 }

@@ -5,10 +5,13 @@ package core
 // schedule whose fingerprints are all owned by node A, while node A's
 // store dies at the Nth write (hashdb.Failpoint) — every write point, one
 // run per point. The property under test is the replication contract, not
-// node A's own recovery (crash_test.go proves that): an insert the
-// cluster ACKED required node B's durable acknowledgment too, so every
-// acked fingerprint must remain servable from the surviving replica B, at
-// its exact value, no matter where in the write stream A died.
+// node A's own recovery (crash_test.go proves that): an acked insert
+// either met the 2-of-2 quorum (B durably acknowledged the mirror write)
+// or degraded below quorum — which in this topology only happens when
+// healthy B itself decided the insert after failover and dead A was the
+// unreachable mirror. Either way every acked fingerprint must remain
+// servable from the surviving replica B, at its exact value, no matter
+// where in the write stream A died.
 
 import (
 	"context"
@@ -105,9 +108,10 @@ func runReplicatedCrashPoint(t *testing.T, killAt int64, fps []fingerprint.Finge
 			acked = append(acked, i)
 		}
 	}
-	// The replication contract: an ack required the quorum (both nodes),
-	// so the surviving replica B must serve every acked fingerprint with
-	// its exact value — before any repair or recovery machinery runs.
+	// The replication contract: an ack put the entry durably on B (as the
+	// quorum mirror, or as the failover decider of a degraded insert), so
+	// the surviving replica B must serve every acked fingerprint with its
+	// exact value — before any repair or recovery machinery runs.
 	for _, i := range acked {
 		r, err := b.Lookup(context.Background(), fps[i])
 		if err != nil {

@@ -11,7 +11,13 @@ package core
 //     replicas hold it. On a write-back node with a journal, a replica's
 //     ack is a durable ack (the batch does not return before the journal
 //     group-commit fsync), so a quorum-acked insert survives the loss of
-//     any quorum-minus-one nodes.
+//     any quorum-minus-one nodes. An insert that cannot reach its quorum
+//     (mirrors down) does NOT fail: the deciding node's copy is already
+//     durable, so failing would poison the index — a retry would be
+//     answered "duplicate" and the client would skip uploading a chunk no
+//     one stored. Instead the insert degrades to the safe "new" answer
+//     (counted in QuorumFailures), the client uploads, and the repair
+//     queue / anti-entropy converge replication.
 //   - Read-repair (enqueueRepair from the lookup paths): when a failover
 //     or hedged lookup observes divergent answers — one replica hits while
 //     another missed — the missing replicas are backfilled asynchronously
@@ -28,7 +34,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -81,8 +86,9 @@ type ReplicationStats struct {
 	// pair per mirror).
 	FannedWrites uint64
 	// QuorumWaits counts inserts that waited for mirror acks to reach the
-	// write quorum; QuorumFailures counts inserts that failed because the
-	// quorum could not be met.
+	// write quorum; QuorumFailures counts inserts that could not meet the
+	// quorum and degraded to the safe "new" answer (under-replicated until
+	// the repair queue or anti-entropy converges them).
 	QuorumWaits    uint64
 	QuorumFailures uint64
 	// ReadRepairs counts divergences observed by lookups (a replica
@@ -311,7 +317,15 @@ func (c *Cluster) readRepair(missers []Backend, fp fingerprint.Fingerprint, val 
 // here the mirror's copy proves the chunk is stored). Mirrors that fail
 // are queued for async repair; stragglers past the quorum keep running and
 // account for themselves.
-func (c *Cluster) replicateInsert(ctx context.Context, fp fingerprint.Fingerprint, val Value, targets []Backend, decided int, res *LookupResult) error {
+//
+// replicateInsert never fails the insert: by the time it runs, the
+// deciding node holds the entry durably, and an error here would be
+// indistinguishable — on retry — from a stored duplicate, making the
+// client skip the upload of a chunk that was never stored. When the
+// quorum cannot be met (or the caller cancels mid-wait), the insert
+// degrades: QuorumFailures is bumped, the safe "new" answer stands, and
+// the missing mirrors converge through the repair queue / anti-entropy.
+func (c *Cluster) replicateInsert(ctx context.Context, fp fingerprint.Fingerprint, val Value, targets []Backend, decided int, res *LookupResult) {
 	required := c.quorum
 	if required > len(targets) {
 		required = len(targets)
@@ -344,8 +358,11 @@ func (c *Cluster) replicateInsert(ctx context.Context, fp fingerprint.Fingerprin
 	acks, done := 1, 0 // the deciding node's ack is durable already
 	for acks < required {
 		if done == fanned {
+			// Quorum unmet: every failed mirror is already queued for
+			// repair. Degrade to the "new" answer instead of erroring —
+			// see the function comment.
 			c.repl.quorumFailures.Add(1)
-			return fmt.Errorf("core: insert %s: write quorum not met (%d/%d acks)", fp.Short(), acks, required)
+			return
 		}
 		select {
 		case o := <-ch:
@@ -364,10 +381,13 @@ func (c *Cluster) replicateInsert(ctx context.Context, fp fingerprint.Fingerprin
 				c.repl.readRepairs.Add(1)
 			}
 		case <-ctx.Done():
-			return ctx.Err()
+			// The caller is leaving, but the decider's insert is durable:
+			// degrade rather than error (the in-flight mirrors enqueue
+			// their own repairs when the cancellation reaches them).
+			c.repl.quorumFailures.Add(1)
+			return
 		}
 	}
-	return nil
 }
 
 // replicateBatch fans one owner group's freshly created pairs (the misses
@@ -377,9 +397,15 @@ func (c *Cluster) replicateInsert(ctx context.Context, fp fingerprint.Fingerprin
 // per-key fan-out. indices maps group-local positions to the caller's
 // results slice; a mirror that reports a pair already present flips that
 // pair's result to the duplicate answer (see replicateInsert for the
-// bias). Failed waves are queued for async repair;
-// any pair left below its write quorum fails the batch.
-func (c *Cluster) replicateBatch(ctx context.Context, pairs []Pair, indices []int, mirrors [][]Backend, rs []LookupResult, results []LookupResult) error {
+// bias). The call returns as soon as every created pair has met its write
+// quorum — waves still in the air past that point complete asynchronously
+// and account for themselves, so batch latency is set by the quorum, not
+// the slowest replica. Failed waves are queued for async repair, and —
+// like replicateInsert — a pair left below its quorum never fails the
+// batch: the owner's copies are durable, so the batch degrades to the
+// safe "new" answers (counted in QuorumFailures) and replication
+// converges through repair.
+func (c *Cluster) replicateBatch(ctx context.Context, pairs []Pair, indices []int, mirrors [][]Backend, rs []LookupResult, results []LookupResult) {
 	type wave struct {
 		backend Backend
 		pairs   []Pair
@@ -417,53 +443,72 @@ func (c *Cluster) replicateBatch(ctx context.Context, pairs []Pair, indices []in
 		}
 	}
 	if missCount == 0 {
-		return nil
+		return
 	}
 	c.repl.fannedWrites.Add(fanned)
 	c.repl.quorumWaits.Add(waited)
 
-	acks := make([]int, len(pairs)) // mirror acks per group-local pair
-	var (
-		mwg   sync.WaitGroup
-		ackMu sync.Mutex
-	)
+	// Wave goroutines never touch acks or results — both are owned by this
+	// goroutine, which may hand results back to the caller while straggler
+	// waves are still in flight. Outcomes flow through a channel buffered
+	// for every wave, so stragglers never block or leak.
+	type outcome struct {
+		w   *wave
+		out []LookupResult // nil when the wave failed
+	}
+	ch := make(chan outcome, len(waves))
 	for _, w := range waves {
 		w := w
-		mwg.Add(1)
 		go func() {
-			defer mwg.Done()
 			out, err := applyRepair(ctx, w.backend, w.pairs)
 			if err != nil || len(out) != len(w.pairs) {
 				for _, p := range w.pairs {
 					c.enqueueRepair(w.backend.ID(), p.FP, p.Val)
 				}
+				ch <- outcome{w: w}
 				return
 			}
-			ackMu.Lock()
-			for i, r2 := range out {
-				k := w.ks[i]
-				acks[k]++
-				// Same flip as replicateInsert: a mirror that already
-				// held the pair proves the decider's miss was divergence.
-				if r2.Exists && !results[indices[k]].Exists {
-					results[indices[k]] = r2
-					c.repl.readRepairs.Add(1)
-				}
-			}
-			ackMu.Unlock()
+			ch <- outcome{w: w, out: out}
 		}()
 	}
-	mwg.Wait()
+
+	// pending counts the created pairs still short of their write quorum;
+	// once it reaches zero the batch is acked and the remaining waves are
+	// stragglers (their duplicate-flips are dropped — the safe direction).
+	acks := make([]int, len(pairs)) // mirror acks per group-local pair
+	pending := 0
 	for k, r := range rs {
 		if r.Exists || len(mirrors[k]) == 0 {
 			continue
 		}
-		if got := 1 + acks[k]; got < requiredFor(k) {
-			c.repl.quorumFailures.Add(1)
-			return fmt.Errorf("core: batch insert %s: write quorum not met (%d/%d acks)", pairs[k].FP.Short(), got, requiredFor(k))
+		if requiredFor(k) > 1 {
+			pending++
 		}
 	}
-	return nil
+	for seen := 0; pending > 0 && seen < len(waves); seen++ {
+		o := <-ch
+		if o.out == nil {
+			continue
+		}
+		for i, r2 := range o.out {
+			k := o.w.ks[i]
+			acks[k]++
+			if 1+acks[k] == requiredFor(k) {
+				pending--
+			}
+			// Same flip as replicateInsert: a mirror that already held
+			// the pair proves the decider's miss was divergence.
+			if r2.Exists && !results[indices[k]].Exists {
+				results[indices[k]] = r2
+				c.repl.readRepairs.Add(1)
+			}
+		}
+	}
+	// Every wave answered and some pairs are still below quorum: degrade
+	// instead of failing (see replicateInsert) — their repairs are queued.
+	if pending > 0 {
+		c.repl.quorumFailures.Add(uint64(pending))
+	}
 }
 
 // AntiEntropyStats summarizes one anti-entropy sweep.
@@ -494,9 +539,10 @@ const antiEntropyChunk = 512
 // every entry on every enumerable backend is pushed (with keep-existing
 // semantics) to the replicas its current ring placement names, so a
 // cluster that shrank, grew, or had a disk wiped converges back to full
-// replication. The background sweeper (ClusterConfig.AntiEntropyInterval)
-// calls this after membership changes and on its interval; it is also safe
-// to call manually at any time. ctx cancels the sweep between batches.
+// replication. The background sweeper (always running when Replicas > 1)
+// calls this after membership changes, and on a periodic tick when
+// ClusterConfig.AntiEntropyInterval is set; it is also safe to call
+// manually at any time. ctx cancels the sweep between batches.
 func (c *Cluster) AntiEntropy(ctx context.Context) (AntiEntropyStats, error) {
 	var st AntiEntropyStats
 	if c.replicas <= 1 {
@@ -586,19 +632,26 @@ func (c *Cluster) AntiEntropy(ctx context.Context) (AntiEntropyStats, error) {
 	return st, nil
 }
 
-// antiEntropyLoop is the background sweeper: it runs AntiEntropy on every
-// interval tick and immediately after a membership change (AddNode,
-// RemoveNode, JoinNode, DrainNode signal aeWake), so a shrunk cluster
-// starts healing without waiting out the interval.
+// antiEntropyLoop is the background sweeper: it runs AntiEntropy
+// immediately after a membership change (AddNode, RemoveNode, JoinNode,
+// DrainNode signal aeWake), so a shrunk cluster starts healing without
+// waiting out the interval, and — when an interval is configured — on
+// every periodic tick. It runs whenever Replicas > 1: the repair queue
+// drops overflow and failed repairs on the promise that a sweep will
+// heal them, so at minimum the membership-triggered sweeps must exist.
 func (c *Cluster) antiEntropyLoop(ctx context.Context, interval time.Duration) {
 	defer c.bgWg.Done()
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
+	var tick <-chan time.Time // nil (blocks forever) without an interval
+	if interval > 0 {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-ticker.C:
+		case <-tick:
 		case <-c.aeWake:
 		}
 		// Sweep errors are not fatal to the loop: the next trigger retries.

@@ -58,7 +58,7 @@ func TestReplicaPlacementProperty(t *testing.T) {
 }
 
 // TestReplicaPlacementAcrossMembershipChange checks that the property holds
-// through Add/Remove churn and that LookupNHash agrees with LookupN for the
+// through Add/Remove churn and that lookupNHash agrees with LookupN for the
 // fingerprint's own prefix hash.
 func TestReplicaPlacementAcrossMembershipChange(t *testing.T) {
 	r := New(32)
@@ -89,16 +89,16 @@ func TestReplicaPlacementAcrossMembershipChange(t *testing.T) {
 				}
 				seen[id] = struct{}{}
 			}
-			byHash, err := r.LookupNHash(fp.Prefix64(), 3)
+			byHash, err := r.lookupNHash(fp.Prefix64(), 3)
 			if err != nil {
-				t.Fatalf("LookupNHash: %v", err)
+				t.Fatalf("lookupNHash: %v", err)
 			}
 			if len(byHash) != len(set) {
-				t.Fatalf("LookupNHash disagrees with LookupN: %v vs %v", byHash, set)
+				t.Fatalf("lookupNHash disagrees with LookupN: %v vs %v", byHash, set)
 			}
 			for j := range set {
 				if byHash[j] != set[j] {
-					t.Fatalf("LookupNHash disagrees with LookupN: %v vs %v", byHash, set)
+					t.Fatalf("lookupNHash disagrees with LookupN: %v vs %v", byHash, set)
 				}
 			}
 		}

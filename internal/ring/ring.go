@@ -108,14 +108,13 @@ func (r *Ring) Lookup(fp fingerprint.Fingerprint) (NodeID, error) {
 // the owner followed by its distinct successors. Used for replication.
 // If the ring has fewer than n nodes, all nodes are returned.
 func (r *Ring) LookupN(fp fingerprint.Fingerprint, n int) ([]NodeID, error) {
-	return r.LookupNHash(fp.Prefix64(), n)
+	return r.lookupNHash(fp.Prefix64(), n)
 }
 
-// LookupNHash is LookupN keyed by a raw ring position instead of a
-// fingerprint. Anti-entropy sweeps use it to ask "who replicates the range
-// starting here" for arbitrary points on the ring (e.g. a vnode boundary)
-// without synthesizing a fingerprint.
-func (r *Ring) LookupNHash(h uint64, n int) ([]NodeID, error) {
+// lookupNHash is LookupN keyed by a raw ring position instead of a
+// fingerprint — the successor-set walk itself, shared with the placement
+// property tests, which probe arbitrary ring positions directly.
+func (r *Ring) lookupNHash(h uint64, n int) ([]NodeID, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if len(r.points) == 0 {

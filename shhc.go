@@ -169,11 +169,14 @@ type ClusterOptions struct {
 	// it acknowledges. 0 selects a majority (Replicas/2 + 1); values are
 	// clamped to [1, Replicas]. 1 trades the durability guarantee for
 	// availability: inserts succeed with every mirror down and the repair
-	// queue backfills later.
+	// queue backfills later. An insert that cannot reach its quorum never
+	// fails outright — the deciding node's copy is already durable, so it
+	// acknowledges with the safe "new" answer (the client uploads) and
+	// repair converges the missing replicas; QuorumFailures counts these.
 	WriteQuorum int
-	// AntiEntropyInterval, when > 0, runs a periodic anti-entropy sweep
+	// AntiEntropyInterval adds a periodic tick to the anti-entropy sweep
 	// that re-replicates entries missing from any replica (Replicas > 1
-	// only). Membership changes also trigger a sweep.
+	// only). Membership changes always trigger a sweep, interval or not.
 	AntiEntropyInterval time.Duration
 	// VirtualNodes per node on the hash ring; 0 selects the default.
 	VirtualNodes int
