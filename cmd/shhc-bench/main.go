@@ -29,13 +29,14 @@ func main() {
 
 func run() error {
 	var (
-		runSel = flag.String("run", "all", "experiments: all|fig1|table1|fig5|fig6|ablations|async|writes|recovery (comma-separated)")
+		runSel = flag.String("run", "all", "experiments: all|fig1|table1|fig5|fig6|ablations|async|writes|recovery|hotpath (comma-separated)")
 		scale  = flag.Int("scale", 64, "workload scale divisor for cluster experiments")
 		t1     = flag.Int("table1-scale", 16, "workload scale divisor for Table I stats")
 		fps    = flag.Int("fps", 100000, "fingerprints per Figure 5 cell")
 		outPth = flag.String("out", "", "also write the report to this file")
 		wrOut  = flag.String("writes-out", "BENCH_writes.json", "write the write-path ablation results to this JSON file (empty disables)")
 		recOut = flag.String("recovery-out", "BENCH_recovery.json", "write the recovery benchmark results to this JSON file (empty disables)")
+		hpOut  = flag.String("hotpath-out", "BENCH_hotpath.json", "write the hot-path ablation results to this JSON file (empty disables)")
 	)
 	flag.Parse()
 
@@ -193,6 +194,23 @@ func run() error {
 				return err
 			}
 			fmt.Fprintf(out, "wrote %s\n", *wrOut)
+		}
+	}
+
+	if want("ablations") || want("hotpath") {
+		section("Ablation: zero-alloc hot path (locked vs lock-free reads × backends)")
+		start := time.Now()
+		hpPoints, err := bench.RunHotPathSweep(0, 0, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, bench.FormatHotPathSweep(hpPoints))
+		fmt.Fprintf(out, "(%v)\n", time.Since(start).Round(time.Millisecond))
+		if *hpOut != "" {
+			if err := bench.EmitHotPathJSON(*hpOut, hpPoints); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", *hpOut)
 		}
 	}
 

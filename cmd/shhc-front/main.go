@@ -39,6 +39,7 @@ func run() error {
 		replicas = flag.Int("replicas", 1, "replicas per fingerprint (fault tolerance)")
 		quorum   = flag.Int("quorum", 0, "write quorum when replicas > 1 (0 = majority)")
 		antiGap  = flag.Duration("anti-entropy", 0, "anti-entropy sweep interval when replicas > 1 (0 = only on membership changes)")
+		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the front-end mux")
 	)
 	flag.Parse()
 
@@ -51,7 +52,7 @@ func run() error {
 	chunks := cloudsim.New(cloudsim.Config{})
 	defer chunks.Close()
 
-	front, err := webfront.New(webfront.Config{Index: cluster, Chunks: chunks, Logger: log.Default()})
+	front, err := webfront.New(webfront.Config{Index: cluster, Chunks: chunks, EnablePprof: *pprofOn, Logger: log.Default()})
 	if err != nil {
 		return err
 	}

@@ -11,6 +11,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -18,6 +20,7 @@ import (
 
 	"shhc/internal/core"
 	"shhc/internal/device"
+	"shhc/internal/directio"
 	"shhc/internal/hashdb"
 	"shhc/internal/ring"
 	"shhc/internal/rpc"
@@ -46,6 +49,10 @@ func run() error {
 		wbQueue  = flag.Int("destage-queue", 0, "dirty destage buffer bound in entries; evictions block when full (0 = default 4x batch)")
 		journal  = flag.Bool("journal", false, "durable destage journal (write-back + -dir only): fsync evicted dirty entries to <dir>/<id>.wal before acking and replay the journal on restart")
 		lockedIO = flag.Bool("locked-io", false, "probe the SSD under the stripe lock (pre-pipeline baseline, for ablations)")
+		lockedRd = flag.Bool("locked-reads", false, "take the stripe lock on cache hits too (disables the lock-free read fast path, for ablations)")
+		backend  = flag.String("backend", "buffered", "hash table I/O backend (-dir only): buffered|direct (direct = O_DIRECT, bypassing the page cache; falls back to buffered where unsupported)")
+		qdepth   = flag.Int("direct-queue-depth", 0, "direct backend: concurrent O_DIRECT transfers (0 = default 32)")
+		pprofOn  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = off")
 	)
 	flag.Parse()
 
@@ -65,20 +72,47 @@ func run() error {
 			return fmt.Errorf("create dir: %w", err)
 		}
 		path := filepath.Join(*dir, *id+".shdb")
+		open := func(flag int) (hashdb.File, string, error) {
+			switch *backend {
+			case "buffered":
+				f, err := os.OpenFile(path, flag, 0o644)
+				return f, "buffered", err
+			case "direct":
+				f, err := directio.Open(path, flag, 0o644, directio.Options{QueueDepth: *qdepth})
+				if err != nil {
+					return nil, "", err
+				}
+				kind := "O_DIRECT"
+				if !f.Direct() {
+					kind = "O_DIRECT unsupported here, buffered fallback"
+				}
+				return f, kind, nil
+			default:
+				return nil, "", fmt.Errorf("unknown -backend %q (want buffered or direct)", *backend)
+			}
+		}
 		if _, statErr := os.Stat(path); statErr == nil {
-			db, err := hashdb.Open(path, dev)
+			f, kind, err := open(os.O_RDWR)
+			if err != nil {
+				return err
+			}
+			db, err := hashdb.OpenFile(f, path, dev)
 			if err != nil {
 				return err
 			}
 			store = db
-			log.Printf("opened existing hash table %s (%d entries)", path, db.Len())
+			log.Printf("opened existing hash table %s (%d entries, %s)", path, db.Len(), kind)
 		} else {
-			db, err := hashdb.Create(path, hashdb.Options{ExpectedItems: *expected, Device: dev})
+			f, kind, err := open(os.O_RDWR | os.O_CREATE | os.O_EXCL)
+			if err != nil {
+				return err
+			}
+			db, err := hashdb.CreateFile(f, path, hashdb.Options{ExpectedItems: *expected, Device: dev})
 			if err != nil {
 				return err
 			}
 			store = db
-			log.Printf("created hash table %s", path)
+			log.Printf("created hash table %s (%s)", path, kind)
 		}
 	} else {
 		store = hashdb.NewMemStore(dev)
@@ -107,10 +141,22 @@ func run() error {
 		DestageQueue:    *wbQueue,
 		JournalPath:     journalPath,
 		LockedIO:        *lockedIO,
+		LockedReads:     *lockedRd,
 	})
 	if err != nil {
 		store.Close()
 		return err
+	}
+
+	if *pprofOn != "" {
+		// The blank net/http/pprof import registers its handlers on
+		// http.DefaultServeMux; serve that on the side address.
+		go func() {
+			log.Printf("pprof on http://%s/debug/pprof/", *pprofOn)
+			if err := http.ListenAndServe(*pprofOn, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
 	}
 
 	srv := rpc.NewServer(node, rpc.ServerConfig{Logger: log.Default()})

@@ -1,0 +1,283 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"shhc/internal/core"
+	"shhc/internal/device"
+	"shhc/internal/directio"
+	"shhc/internal/fingerprint"
+	"shhc/internal/hashdb"
+	"shhc/internal/ring"
+)
+
+// ---------------------------------------------------------------------------
+// Ablation: the zero-alloc hot path — cache-resident ("cold-free") batch
+// lookups under concurrent readers, locked vs lock-free reads, across the
+// three index backends (modeled RAM store, buffered file, O_DIRECT file).
+//
+// Every lookup hits the RAM cache, so the store backend should not matter
+// for throughput — the backend axis proves exactly that, while the read
+// axis measures what dropping the stripe mutex from the cache-hit path
+// buys when readers outnumber stripes (Amdahl: with 4 stripes and more
+// readers than stripes, the locked path serializes on mutexes the
+// lock-free path never takes).
+// ---------------------------------------------------------------------------
+
+// Hot-path sweep axes.
+const (
+	// HotPathStoreModeled is the in-RAM MemStore with an accounting SSD
+	// model — the configuration of the paper-figure benchmarks.
+	HotPathStoreModeled = "modeled"
+	// HotPathStoreFile is the on-disk hash table over buffered os.File I/O.
+	HotPathStoreFile = "file"
+	// HotPathStoreDirect is the on-disk hash table over the O_DIRECT
+	// backend (falling back to buffered where unsupported; see the Direct
+	// field).
+	HotPathStoreDirect = "direct"
+
+	// HotPathReadsLocked takes the stripe mutex on every cache hit (the
+	// pre-PR-7 behavior, kept as the LockedReads ablation knob).
+	HotPathReadsLocked = "locked"
+	// HotPathReadsLockFree answers cache hits from the atomic index
+	// without any lock.
+	HotPathReadsLockFree = "lockfree"
+)
+
+// HotPathPoint is one cell of the hot-path ablation.
+type HotPathPoint struct {
+	Store   string `json:"store"`
+	Reads   string `json:"reads"`
+	Stripes int    `json:"stripes"`
+	Readers int    `json:"readers"`
+	Ops     int64  `json:"ops"`
+	// Throughput counts cache-hit lookups per wall second, summed across
+	// readers.
+	Throughput float64       `json:"throughputLookupsPerSec"`
+	Elapsed    time.Duration `json:"elapsedNanos"`
+	// AllocsPerOp is heap allocations per lookup over the measured window
+	// (runtime mallocs delta / ops). The per-batch results slice is the
+	// only expected source, so this sits near batchSize⁻¹, not near 1.
+	AllocsPerOp float64 `json:"allocsPerOp"`
+	// Direct reports whether O_DIRECT actually engaged (direct store only;
+	// false on filesystems without support, where the backend fell back).
+	Direct bool `json:"oDirect,omitempty"`
+}
+
+// RunHotPathSweep measures cache-resident lookup throughput across
+// {modeled, file, direct} × {locked, lockfree} at a fixed stripe count of
+// 4 with more readers than stripes. fingerprints, batchSize, and readers
+// fall back to 8192, 256, and 8 when zero.
+func RunHotPathSweep(fingerprints, batchSize, readers int) ([]HotPathPoint, error) {
+	if fingerprints <= 0 {
+		fingerprints = 8192
+	}
+	if batchSize <= 0 {
+		batchSize = 256
+	}
+	if readers <= 0 {
+		readers = 8
+	}
+	// Whole batches only: readers walk the key space in batch-sized
+	// windows.
+	fingerprints -= fingerprints % batchSize
+
+	dir, err := os.MkdirTemp("", "shhc-hotpath")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	var points []HotPathPoint
+	for _, store := range []string{HotPathStoreModeled, HotPathStoreFile, HotPathStoreDirect} {
+		for _, reads := range []string{HotPathReadsLocked, HotPathReadsLockFree} {
+			p, err := runHotPathCell(dir, store, reads, fingerprints, batchSize, readers)
+			if err != nil {
+				return nil, fmt.Errorf("bench: hotpath %s/%s: %w", store, reads, err)
+			}
+			points = append(points, p)
+		}
+	}
+	return points, nil
+}
+
+func runHotPathCell(dir, storeKind, reads string, fingerprints, batchSize, readers int) (HotPathPoint, error) {
+	dev := device.New(device.SSD, device.Account)
+	var store hashdb.Store
+	var direct bool
+	switch storeKind {
+	case HotPathStoreModeled:
+		store = hashdb.NewMemStore(dev)
+	case HotPathStoreFile:
+		db, err := hashdb.Create(filepath.Join(dir, fmt.Sprintf("file-%s.shdb", reads)), hashdb.Options{ExpectedItems: fingerprints, Device: dev})
+		if err != nil {
+			return HotPathPoint{}, err
+		}
+		store = db
+	case HotPathStoreDirect:
+		path := filepath.Join(dir, fmt.Sprintf("direct-%s.shdb", reads))
+		f, err := directio.Open(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644, directio.Options{})
+		if err != nil {
+			return HotPathPoint{}, err
+		}
+		direct = f.Direct()
+		db, err := hashdb.CreateFile(f, path, hashdb.Options{ExpectedItems: fingerprints, Device: dev})
+		if err != nil {
+			return HotPathPoint{}, err
+		}
+		store = db
+	default:
+		return HotPathPoint{}, fmt.Errorf("unknown store %q", storeKind)
+	}
+
+	const stripes = 4
+	node, err := core.NewNode(core.NodeConfig{
+		ID:            ring.NodeID(fmt.Sprintf("hotpath-%s-%s", storeKind, reads)),
+		Store:         store,
+		CacheSize:     2 * fingerprints, // cache-resident: the sweep is cold-free by construction
+		BloomExpected: 2 * fingerprints,
+		Stripes:       stripes,
+		LockedReads:   reads == HotPathReadsLocked,
+	})
+	if err != nil {
+		store.Close()
+		return HotPathPoint{}, err
+	}
+	defer node.Close()
+
+	ctx := context.Background()
+	fps := make([]fingerprint.Fingerprint, fingerprints)
+	pairs := make([]core.Pair, 0, batchSize)
+	for i := range fps {
+		fps[i] = fingerprint.FromUint64(uint64(i))
+		pairs = append(pairs, core.Pair{FP: fps[i], Val: core.Value(i + 1)})
+		if len(pairs) == batchSize {
+			if _, err := node.BatchLookupOrInsert(ctx, pairs); err != nil {
+				return HotPathPoint{}, err
+			}
+			pairs = pairs[:0]
+		}
+	}
+	// Warm pass: every key answered from cache before the clock starts.
+	for lo := 0; lo < fingerprints; lo += batchSize {
+		rs, err := node.LookupBatch(ctx, fps[lo:lo+batchSize])
+		if err != nil {
+			return HotPathPoint{}, err
+		}
+		for i, r := range rs {
+			if !r.Exists || r.Source != core.SourceCache {
+				return HotPathPoint{}, fmt.Errorf("warm lookup %d = %+v; want cache hit (cell is not cold-free)", lo+i, r)
+			}
+		}
+	}
+
+	const measureFor = 300 * time.Millisecond
+	var (
+		ops     atomic.Int64
+		stop    atomic.Bool
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		readErr error
+	)
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			// Staggered start offsets keep readers off one another's
+			// batches (and, in locked mode, spread the initial stripe
+			// contention realistically).
+			for base := r * batchSize; !stop.Load(); base += batchSize {
+				lo := base % fingerprints
+				if _, err := node.LookupBatch(ctx, fps[lo:lo+batchSize]); err != nil {
+					errOnce.Do(func() { readErr = err })
+					return
+				}
+				ops.Add(int64(batchSize))
+			}
+		}(r)
+	}
+	time.Sleep(measureFor)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	if readErr != nil {
+		return HotPathPoint{}, readErr
+	}
+
+	n := ops.Load()
+	p := HotPathPoint{
+		Store:      storeKind,
+		Reads:      reads,
+		Stripes:    stripes,
+		Readers:    readers,
+		Ops:        n,
+		Throughput: float64(n) / elapsed.Seconds(),
+		Elapsed:    elapsed,
+		Direct:     direct,
+	}
+	if n > 0 {
+		p.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(n)
+	}
+	return p, nil
+}
+
+// FormatHotPathSweep renders the sweep with the lock-free speedup per
+// store.
+func FormatHotPathSweep(points []HotPathPoint) string {
+	locked := map[string]float64{}
+	for _, p := range points {
+		if p.Reads == HotPathReadsLocked {
+			locked[p.Store] = p.Throughput
+		}
+	}
+	t := &table{header: []string{
+		"store", "reads", "stripes", "readers", "throughput(lookups/s)", "allocs/op", "speedup",
+	}}
+	for _, p := range points {
+		speed := "1.00x"
+		if base := locked[p.Store]; base > 0 && p.Reads != HotPathReadsLocked {
+			speed = fmt.Sprintf("%.2fx", p.Throughput/base)
+		}
+		store := p.Store
+		if p.Store == HotPathStoreDirect && !p.Direct {
+			store += " (fallback)"
+		}
+		t.addRow(
+			store,
+			p.Reads,
+			fmt.Sprintf("%d", p.Stripes),
+			fmt.Sprintf("%d", p.Readers),
+			fmt.Sprintf("%.0f", p.Throughput),
+			fmt.Sprintf("%.4f", p.AllocsPerOp),
+			speed,
+		)
+	}
+	return "Ablation: zero-alloc hot path (cache-resident batch lookups, Account mode; speedup = lockfree/locked per store)\n" + t.String()
+}
+
+// EmitHotPathJSON writes the sweep to path as JSON for regression tracking
+// (BENCH_hotpath.json in CI and CHANGES.md).
+func EmitHotPathJSON(path string, points []HotPathPoint) error {
+	data, err := json.MarshalIndent(struct {
+		Experiment string         `json:"experiment"`
+		Points     []HotPathPoint `json:"points"`
+	}{Experiment: "hotpath-ablation", Points: points}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

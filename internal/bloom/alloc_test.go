@@ -1,0 +1,29 @@
+package bloom
+
+import (
+	"testing"
+
+	"shhc/internal/fingerprint"
+)
+
+// TestAllocMayContain pins the Bloom walk on the lookup hot path at zero
+// allocations per probe — it runs before every SSD read, so a single
+// escape here would show up at full lookup rate.
+func TestAllocMayContain(t *testing.T) {
+	f := New(1<<16, 0.01)
+	fps := make([]fingerprint.Fingerprint, 256)
+	for i := range fps {
+		fps[i] = fingerprint.FromUint64(uint64(i))
+		if i%2 == 0 {
+			f.Add(fps[i])
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		f.MayContain(fps[i%len(fps)])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("MayContain allocates %v/op; want 0", allocs)
+	}
+}

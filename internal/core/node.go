@@ -142,6 +142,12 @@ type NodeConfig struct {
 	// full device round-trip. Kept as the ablation baseline for the
 	// asynchronous two-phase pipeline, which is the default.
 	LockedIO bool
+	// LockedReads disables the lock-free cache-hit fast path, forcing
+	// every lookup to take its stripe mutex even when the answer is a RAM
+	// cache hit (the pre-zero-alloc behavior). Kept as the ablation
+	// baseline for the lock-free read protocol, which is the default.
+	// LockedIO implies LockedReads.
+	LockedReads bool
 }
 
 // PhaseTimings are per-tier latency digests of the lookup pipeline: how
@@ -273,6 +279,12 @@ type nodeStripe struct {
 	bloomFalse  uint64
 	coalesced   uint64
 	destageHits uint64 // lookups answered from the destage dirty buffer
+
+	// fastHits counts cache hits answered by the lock-free fast path,
+	// which by construction cannot take mu; Stats folds it into both
+	// CacheHits and Lookups, preserving the sources-sum-to-Lookups
+	// invariant. Atomic, padded apart from mu by the fields above.
+	fastHits atomic.Uint64
 }
 
 // Node is a hybrid RAM+SSD hash node. All methods are safe for concurrent
@@ -281,14 +293,15 @@ type nodeStripe struct {
 // tier ordering exactly as a single-lock node would), while lookups of
 // different fingerprints scale with cores.
 type Node struct {
-	id       ring.NodeID
-	store    hashdb.Store
-	cache    *lru.Striped // nil when disabled
-	bloom    *bloom.Filter
-	wb       bool
-	lockedIO bool
-	stripes  []nodeStripe
-	mask     uint64
+	id          ring.NodeID
+	store       hashdb.Store
+	cache       *lru.Striped // nil when disabled
+	bloom       *bloom.Filter
+	wb          bool
+	lockedIO    bool
+	lockedReads bool
+	stripes     []nodeStripe
+	mask        uint64
 
 	// dst is the asynchronous destage pipeline (write-back nodes only):
 	// evictions enqueue dirty entries here and a dedicated goroutine
@@ -317,8 +330,10 @@ type Node struct {
 	destageErr error
 
 	// closed is written with every stripe locked and read under any
-	// single stripe lock.
-	closed bool
+	// single stripe lock. closedFast mirrors it for the lock-free read
+	// path, which holds no lock to read closed under.
+	closed     bool
+	closedFast atomic.Bool
 }
 
 // Ranger is implemented by stores that can enumerate their entries;
@@ -344,12 +359,13 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	}
 	nstripes = pow2.Floor(nstripes)
 	n := &Node{
-		id:       cfg.ID,
-		store:    cfg.Store,
-		wb:       cfg.WriteBack,
-		lockedIO: cfg.LockedIO,
-		stripes:  make([]nodeStripe, nstripes),
-		mask:     uint64(nstripes - 1),
+		id:          cfg.ID,
+		store:       cfg.Store,
+		wb:          cfg.WriteBack,
+		lockedIO:    cfg.LockedIO,
+		lockedReads: cfg.LockedReads || cfg.LockedIO,
+		stripes:     make([]nodeStripe, nstripes),
+		mask:        uint64(nstripes - 1),
 	}
 	for i := range n.stripes {
 		n.stripes[i].inflight = make(map[fingerprint.Fingerprint]*flight)
@@ -1060,9 +1076,13 @@ func (n *Node) Stats(ctx context.Context) (NodeStats, error) {
 	}
 	for i := range n.stripes {
 		s := &n.stripes[i]
-		st.Lookups += s.lookups
+		// Lock-free cache hits are counted once and folded into both
+		// Lookups and CacheHits, so the per-source sum stays exact even
+		// though the fast path never takes the stripe lock.
+		fh := s.fastHits.Load()
+		st.Lookups += s.lookups + fh
 		st.Inserts += s.inserts
-		st.CacheHits += s.cacheHits
+		st.CacheHits += s.cacheHits + fh
 		st.BloomShort += s.bloomShort
 		st.StoreHits += s.storeHits
 		st.StoreMisses += s.storeMiss
@@ -1112,6 +1132,7 @@ func (n *Node) Close() error {
 		return errNodeClosed
 	}
 	n.closed = true
+	n.closedFast.Store(true)
 	n.unlockAll()
 	n.flights.Wait()
 

@@ -140,6 +140,22 @@ func (n *Node) failFlight(s *nodeStripe, fp fingerprint.Fingerprint, f *flight, 
 func (n *Node) lookupAsync(ctx context.Context, fp fingerprint.Fingerprint, val Value, insert bool) (LookupResult, error) {
 	s := &n.stripes[n.stripeIndex(fp)]
 	cancellable := ctx.Done() != nil
+	// Phase 0 — the lock-free cache-hit fast path: no stripe mutex, no
+	// allocation, no phase-timing observation (the histograms are lock-
+	// guarded). The cache is the top Figure 4 tier, so a hit here can never
+	// shadow a fresher destage-buffer or SSD answer; a miss proves nothing
+	// and falls through to the locked walk, which re-checks the cache.
+	if n.cache != nil && !n.lockedReads && !n.closedFast.Load() {
+		if cancellable {
+			if err := ctx.Err(); err != nil {
+				return LookupResult{}, err
+			}
+		}
+		if v, ok := n.cache.GetFast(fp); ok {
+			s.fastHits.Add(1)
+			return LookupResult{Exists: true, Value: Value(v), Source: SourceCache}, nil
+		}
+	}
 	for {
 		if cancellable {
 			if err := ctx.Err(); err != nil {
@@ -510,8 +526,30 @@ func (n *Node) batchAsync(ctx context.Context, count int, fpOf func(int) fingerp
 	// acknowledges, at the cost of a single shared group commit.
 	journalBefore := n.journalLSN()
 
+	// Phase 0 — lock-free prepass: resolve cache hits with no stripe lock
+	// before grouping. A resolved item (Source is set; the zero Source
+	// marks unresolved) never enters the locked RAM pass, so a cache-
+	// resident batch touches no mutex at all.
+	remaining := count
+	if n.cache != nil && !n.lockedReads && !n.closedFast.Load() {
+		for i := 0; i < count; i++ {
+			fp := fpOf(i)
+			if v, ok := n.cache.GetFast(fp); ok {
+				n.stripes[n.stripeIndex(fp)].fastHits.Add(1)
+				results[i] = LookupResult{Exists: true, Value: Value(v), Source: SourceCache}
+				remaining--
+			}
+		}
+	}
+	if remaining == 0 {
+		return results, nil
+	}
+
 	groups := make(map[int][]int, len(n.stripes))
 	for i := 0; i < count; i++ {
+		if results[i].Source != 0 {
+			continue
+		}
 		groups[n.stripeIndex(fpOf(i))] = append(groups[n.stripeIndex(fpOf(i))], i)
 	}
 

@@ -1,0 +1,52 @@
+//go:build linux
+
+package directio
+
+import (
+	"os"
+	"syscall"
+)
+
+// trySetDirect enables O_DIRECT on an already-open fd via fcntl(F_SETFL).
+// Doing it post-open (rather than passing O_DIRECT to open) preserves
+// O_EXCL creation semantics: an O_DIRECT open on an unsupporting
+// filesystem can create the file and then fail, poisoning a retry.
+// Returns false when the filesystem refuses (tmpfs and friends).
+func trySetDirect(f *os.File) bool {
+	ok := false
+	_ = fcntlFlags(f, func(flags uintptr) (uintptr, bool) {
+		return flags | syscall.O_DIRECT, true
+	}, &ok)
+	return ok
+}
+
+// clearDirectFlag removes O_DIRECT from the fd after a transfer-time
+// EINVAL, so subsequent buffered I/O is not itself rejected.
+func clearDirectFlag(f *os.File) {
+	var ok bool
+	_ = fcntlFlags(f, func(flags uintptr) (uintptr, bool) {
+		return flags &^ syscall.O_DIRECT, true
+	}, &ok)
+}
+
+// fcntlFlags runs F_GETFL, maps the flags through mod, and applies the
+// result with F_SETFL, reporting success through *ok.
+func fcntlFlags(f *os.File, mod func(uintptr) (uintptr, bool), ok *bool) error {
+	rc, err := f.SyscallConn()
+	if err != nil {
+		return err
+	}
+	return rc.Control(func(fd uintptr) {
+		flags, _, errno := syscall.Syscall(syscall.SYS_FCNTL, fd, syscall.F_GETFL, 0)
+		if errno != 0 {
+			return
+		}
+		next, apply := mod(flags)
+		if !apply {
+			return
+		}
+		if _, _, errno := syscall.Syscall(syscall.SYS_FCNTL, fd, syscall.F_SETFL, next); errno == 0 {
+			*ok = true
+		}
+	})
+}

@@ -1,0 +1,12 @@
+//go:build !linux
+
+package directio
+
+import "os"
+
+// trySetDirect reports false on platforms without O_DIRECT (darwin uses
+// F_NOCACHE, windows FILE_FLAG_NO_BUFFERING — neither is wired up); the
+// backend runs buffered, which is always correct.
+func trySetDirect(*os.File) bool { return false }
+
+func clearDirectFlag(*os.File) {}

@@ -216,11 +216,19 @@ func (db *DB) stripeFor(fp fingerprint.Fingerprint) *dbStripe {
 
 // Create creates a new database file at path, failing if it exists.
 func Create(path string, opts Options) (*DB, error) {
-	opts.fill()
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("hashdb: create %s: %w", path, err)
 	}
+	return CreateFile(f, path, opts)
+}
+
+// CreateFile is Create over an injected, freshly created backing file
+// (alternate I/O backends such as directio, testing). path names the file
+// in messages and is removed when initialization fails. CreateFile takes
+// ownership of f.
+func CreateFile(f File, path string, opts Options) (*DB, error) {
+	opts.fill()
 	db := &DB{
 		f:       f,
 		path:    path,
@@ -436,11 +444,15 @@ func (db *DB) markDirty() error {
 }
 
 // pagePool recycles 4 KB page buffers across probes; the hot path would
-// otherwise allocate one per lookup.
-var pagePool = sync.Pool{New: func() any { return make([]byte, PageSize) }}
+// otherwise allocate one per lookup. The pool holds *[PageSize]byte, not
+// []byte: a pointer fits an interface value without allocating, whereas a
+// slice header gets boxed on every Put — an allocation on the exact path
+// the pool exists to remove. Pages are always full-size, so the
+// slice↔array-pointer conversions are total.
+var pagePool = sync.Pool{New: func() any { return new([PageSize]byte) }}
 
-func getPage() []byte  { return pagePool.Get().([]byte) }
-func putPage(b []byte) { pagePool.Put(b) } //nolint:staticcheck // fixed-size slice
+func getPage() []byte  { return pagePool.Get().(*[PageSize]byte)[:] }
+func putPage(b []byte) { pagePool.Put((*[PageSize]byte)(b)) }
 
 func (db *DB) bucketPage(fp fingerprint.Fingerprint) uint64 {
 	return 1 + fp.Prefix64()%db.buckets

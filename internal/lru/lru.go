@@ -11,6 +11,8 @@
 package lru
 
 import (
+	"sync/atomic"
+
 	"shhc/internal/fingerprint"
 )
 
@@ -19,11 +21,29 @@ import (
 // locator> entries and keeps cache accounting simple.
 type Value uint64
 
+// entry is one cached fingerprint. The recency list (prev/next), the map,
+// and dirty are owned by the cache's single writer (the stripe lock). The
+// remaining fields form the lock-free read protocol: fp is written once
+// before the entry is published through an atomic pointer (index bucket or
+// hnext), val/dead/ref are atomics, so GetFast can walk an index chain and
+// read a value with no lock at all.
 type entry struct {
 	fp         fingerprint.Fingerprint
-	val        Value
+	val        atomic.Uint64
 	dirty      bool
 	prev, next *entry
+
+	// hnext chains entries within one index bucket, newest first.
+	hnext atomic.Pointer[entry]
+	// dead is set (before unlinking) when the entry leaves the cache, so a
+	// reader that still holds a pointer to it reports a miss instead of a
+	// value that may since have been superseded by a re-insert.
+	dead atomic.Bool
+	// ref is the lossy clock bit: GetFast sets it instead of touching the
+	// recency list; evictTail's second-chance sweep consumes it under the
+	// lock. When no lock-free reads occur the bit stays clear and eviction
+	// order is the exact LRU order.
+	ref atomic.Bool
 }
 
 // EvictFunc observes a destaged entry. dirty reports whether the entry was
@@ -31,7 +51,9 @@ type entry struct {
 type EvictFunc func(fp fingerprint.Fingerprint, val Value, dirty bool)
 
 // Cache is a fixed-capacity LRU map from fingerprint to Value.
-// It is not safe for concurrent use; the owning node serializes access.
+// Mutators are not safe for concurrent use — the owning node serializes
+// them — but GetFast may run concurrently with any of them: it touches
+// only the atomic index published by the single writer.
 type Cache struct {
 	capacity int
 	items    map[fingerprint.Fingerprint]*entry
@@ -39,7 +61,16 @@ type Cache struct {
 	head, tail *entry
 	onEvict    EvictFunc
 
+	// index is a chained hash table over the live entries, readable with
+	// no lock. Buckets and chain links are atomic pointers; only the
+	// (serialized) mutators write them.
+	index   []atomic.Pointer[entry]
+	idxMask uint64
+
 	hits, misses, evictions uint64
+	// fastHits counts GetFast hits; it is the only counter written without
+	// the owner's serialization, so it is atomic and folded in by Stats.
+	fastHits atomic.Uint64
 }
 
 // New creates a cache holding at most capacity entries. onEvict may be nil.
@@ -49,11 +80,24 @@ func New(capacity int, onEvict EvictFunc) *Cache {
 	if capacity <= 0 {
 		panic("lru: capacity must be positive")
 	}
+	buckets := 1
+	for buckets < capacity {
+		buckets <<= 1
+	}
 	return &Cache{
 		capacity: capacity,
 		items:    make(map[fingerprint.Fingerprint]*entry, capacity),
 		onEvict:  onEvict,
+		index:    make([]atomic.Pointer[entry], buckets),
+		idxMask:  uint64(buckets - 1),
 	}
+}
+
+// idxBucket picks an index bucket from bits independent of the stripe
+// selector: Striped routes on the low bits of Bucket64, so within one
+// stripe those bits are constant and only the high half spreads.
+func (c *Cache) idxBucket(fp fingerprint.Fingerprint) uint64 {
+	return (fp.Bucket64() >> 32) & c.idxMask
 }
 
 // Len returns the number of cached entries.
@@ -71,7 +115,34 @@ func (c *Cache) Get(fp fingerprint.Fingerprint) (Value, bool) {
 	}
 	c.hits++
 	c.moveToFront(e)
-	return e.val, true
+	return Value(e.val.Load()), true
+}
+
+// GetFast looks up a fingerprint without taking any lock. It may run
+// concurrently with the (serialized) mutators. Recency is recorded as a
+// clock bit instead of a list move; a hit on an entry being concurrently
+// removed linearizes before the removal, and a miss is always safe — the
+// caller's locked slow path re-checks. GetFast never counts misses (the
+// slow path will), so hits+misses still sum to lookups.
+func (c *Cache) GetFast(fp fingerprint.Fingerprint) (Value, bool) {
+	for e := c.index[c.idxBucket(fp)].Load(); e != nil; e = e.hnext.Load() {
+		if e.fp != fp {
+			continue
+		}
+		if e.dead.Load() {
+			// A re-insert of fp publishes ahead of this corpse; missing
+			// here (rather than scanning on) can only send the caller to
+			// the slow path, never return a stale value.
+			return 0, false
+		}
+		v := Value(e.val.Load())
+		if !e.ref.Load() {
+			e.ref.Store(true)
+		}
+		c.fastHits.Add(1)
+		return v, true
+	}
+	return 0, false
 }
 
 // Peek looks up a fingerprint without updating recency or statistics.
@@ -80,7 +151,7 @@ func (c *Cache) Peek(fp fingerprint.Fingerprint) (Value, bool) {
 	if !ok {
 		return 0, false
 	}
-	return e.val, true
+	return Value(e.val.Load()), true
 }
 
 // Put inserts or updates a clean entry (one already persisted on SSD),
@@ -111,7 +182,7 @@ func (c *Cache) PutIfAbsent(fp fingerprint.Fingerprint, val Value) bool {
 
 func (c *Cache) put(fp fingerprint.Fingerprint, val Value, dirty bool) bool {
 	if e, ok := c.items[fp]; ok {
-		e.val = val
+		e.val.Store(uint64(val))
 		e.dirty = e.dirty || dirty
 		c.moveToFront(e)
 		return false
@@ -121,10 +192,39 @@ func (c *Cache) put(fp fingerprint.Fingerprint, val Value, dirty bool) bool {
 		c.evictTail()
 		evicted = true
 	}
-	e := &entry{fp: fp, val: val, dirty: dirty}
+	e := &entry{fp: fp, dirty: dirty}
+	e.val.Store(uint64(val))
 	c.items[fp] = e
 	c.pushFront(e)
+	c.indexInsert(e)
 	return evicted
+}
+
+// indexInsert publishes e at the head of its index chain. The store into
+// the bucket is the release point: every field written above it is visible
+// to a GetFast that loads the pointer.
+func (c *Cache) indexInsert(e *entry) {
+	b := c.idxBucket(e.fp)
+	e.hnext.Store(c.index[b].Load())
+	c.index[b].Store(e)
+}
+
+// indexRemove marks e dead, then unlinks it from its chain. Readers that
+// already hold e keep a valid (GC-protected) snapshot; readers that reach
+// it after the dead store report a miss.
+func (c *Cache) indexRemove(e *entry) {
+	e.dead.Store(true)
+	b := c.idxBucket(e.fp)
+	if c.index[b].Load() == e {
+		c.index[b].Store(e.hnext.Load())
+		return
+	}
+	for p := c.index[b].Load(); p != nil; p = p.hnext.Load() {
+		if p.hnext.Load() == e {
+			p.hnext.Store(e.hnext.Load())
+			return
+		}
+	}
 }
 
 // MarkClean clears the dirty flag after the owner has flushed the entry.
@@ -143,6 +243,7 @@ func (c *Cache) Remove(fp fingerprint.Fingerprint) bool {
 	}
 	c.unlink(e)
 	delete(c.items, fp)
+	c.indexRemove(e)
 	return true
 }
 
@@ -195,21 +296,41 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters. Lock-free GetFast hits are
+// folded into Hits.
 func (c *Cache) Stats() Stats {
-	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Len: len(c.items), Capacity: c.capacity}
+	return Stats{
+		Hits:      c.hits + c.fastHits.Load(),
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Len:       len(c.items),
+		Capacity:  c.capacity,
+	}
 }
 
 func (c *Cache) evictTail() {
-	e := c.tail
-	if e == nil {
+	// Second-chance sweep: a tail entry whose clock bit was set by GetFast
+	// gets promoted (its lossy recency batched into the exact list, here,
+	// under the lock) instead of evicted. Bounded by one full rotation so a
+	// pathological all-referenced cache still evicts.
+	for i := 0; i <= len(c.items); i++ {
+		e := c.tail
+		if e == nil {
+			return
+		}
+		if e.ref.Load() && i < len(c.items) {
+			e.ref.Store(false)
+			c.moveToFront(e)
+			continue
+		}
+		c.unlink(e)
+		delete(c.items, e.fp)
+		c.indexRemove(e)
+		c.evictions++
+		if c.onEvict != nil {
+			c.onEvict(e.fp, Value(e.val.Load()), e.dirty)
+		}
 		return
-	}
-	c.unlink(e)
-	delete(c.items, e.fp)
-	c.evictions++
-	if c.onEvict != nil {
-		c.onEvict(e.fp, e.val, e.dirty)
 	}
 }
 

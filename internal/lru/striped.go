@@ -82,6 +82,16 @@ func (s *Striped) Get(fp fingerprint.Fingerprint) (Value, bool) {
 	return st.c.Get(fp)
 }
 
+// GetFast looks up a fingerprint without taking the stripe mutex. This is
+// the zero-alloc, lock-free cache-hit path: it walks the stripe's atomic
+// index (see Cache.GetFast), recording recency as a clock bit that the
+// next locked eviction sweep folds into the exact LRU order. A miss says
+// nothing definitive — callers fall through to the locked walk, which
+// re-checks under the stripe lock and counts the miss exactly once.
+func (s *Striped) GetFast(fp fingerprint.Fingerprint) (Value, bool) {
+	return s.stripe(fp).c.GetFast(fp)
+}
+
 // Peek looks up a fingerprint without updating recency or statistics.
 func (s *Striped) Peek(fp fingerprint.Fingerprint) (Value, bool) {
 	st := s.stripe(fp)

@@ -143,10 +143,10 @@ func (c *Client) dialConn() (*clientConn, error) {
 	}
 	cc := &clientConn{
 		conn:    conn,
-		bw:      bufio.NewWriterSize(conn, 64<<10),
+		fw:      wire.NewFrameWriter(conn),
 		pending: make(map[uint64]*pendingCall),
 	}
-	version, err := negotiate(conn, cc.bw, c.cfg.DialTimeout)
+	version, err := negotiate(conn, cc.fw, c.cfg.DialTimeout)
 	if err != nil {
 		conn.Close()
 		return nil, err
@@ -161,15 +161,13 @@ func (c *Client) dialConn() (*clientConn, error) {
 // read one frame back. HelloAck carries the negotiated version; TypeError
 // means the peer is a version-0 server that rejected the unknown frame
 // type — fully supported, just no deadlines or cancels on the wire.
-func negotiate(conn net.Conn, bw *bufio.Writer, timeout time.Duration) (int, error) {
+func negotiate(conn net.Conn, fw *wire.FrameWriter, timeout time.Duration) (int, error) {
 	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
 		return 0, fmt.Errorf("rpc: handshake: %w", err)
 	}
 	defer conn.SetDeadline(time.Time{})
-	err := wire.WriteFrame(bw, wire.Frame{Type: wire.TypeHello, Payload: wire.EncodeHello(wire.MaxVersion)})
-	if err == nil {
-		err = bw.Flush()
-	}
+	var hello [4]byte
+	err := fw.WriteFrame(wire.Frame{Type: wire.TypeHello, Payload: wire.AppendHello(hello[:0], wire.MaxVersion)}, wire.Version0)
 	if err != nil {
 		return 0, fmt.Errorf("rpc: handshake send: %w", err)
 	}
@@ -255,39 +253,52 @@ func (c *Client) timeoutFor(ctx context.Context) time.Duration {
 	return t
 }
 
-// call performs one round-trip under ctx.
-func (c *Client) call(ctx context.Context, reqType wire.Type, payload []byte) (wire.Frame, error) {
+// call performs one round-trip under ctx. It takes ownership of reqBuf
+// (the pooled buffer holding the request payload; nil for empty payloads)
+// and releases it once the frame is on the wire. On success the returned
+// pooled buffer holds the response payload; the caller releases it with
+// wire.PutBuf after decoding.
+func (c *Client) call(ctx context.Context, reqType wire.Type, reqBuf *[]byte) (wire.Frame, *[]byte, error) {
 	if err := ctx.Err(); err != nil {
-		return wire.Frame{}, err
+		wire.PutBuf(reqBuf)
+		return wire.Frame{}, nil, err
 	}
 	cc, err := c.pick()
 	if err != nil {
-		return wire.Frame{}, err
+		wire.PutBuf(reqBuf)
+		return wire.Frame{}, nil, err
+	}
+	var payload []byte
+	if reqBuf != nil {
+		payload = *reqBuf
 	}
 	pc, err := cc.start(reqType, payload, c.timeoutFor(ctx))
+	wire.PutBuf(reqBuf) // start wrote (or failed to write) the frame; the payload's last use is behind us
 	if err != nil {
-		return wire.Frame{}, err
+		return wire.Frame{}, nil, err
 	}
-	resp, err := pc.wait(ctx, c.cfg.Timeout)
+	resp, body, err := pc.wait(ctx, c.cfg.Timeout)
 	if err != nil {
-		return wire.Frame{}, err
+		return wire.Frame{}, nil, err
 	}
 	if resp.Type == wire.TypeError {
 		msg, derr := wire.DecodeError(resp.Payload)
+		wire.PutBuf(body)
 		if derr != nil {
 			msg = "undecodable server error"
 		}
-		return wire.Frame{}, newServerError(msg)
+		return wire.Frame{}, nil, newServerError(msg)
 	}
-	return resp, nil
+	return resp, body, nil
 }
 
 // Ping checks liveness of the remote node.
 func (c *Client) Ping(ctx context.Context) error {
-	resp, err := c.call(ctx, wire.TypePing, nil)
+	resp, body, err := c.call(ctx, wire.TypePing, nil)
 	if err != nil {
 		return err
 	}
+	wire.PutBuf(body)
 	if resp.Type != wire.TypePong {
 		return fmt.Errorf("rpc: ping got %v", resp.Type)
 	}
@@ -296,11 +307,14 @@ func (c *Client) Ping(ctx context.Context) error {
 
 // Lookup asks the remote node whether fp exists, without inserting.
 func (c *Client) Lookup(ctx context.Context, fp fingerprint.Fingerprint) (core.LookupResult, error) {
-	resp, err := c.call(ctx, wire.TypeLookup, wire.EncodeFP(fp))
+	buf := wire.GetBuf(fingerprint.Size)
+	*buf = wire.AppendFP((*buf)[:0], fp)
+	resp, body, err := c.call(ctx, wire.TypeLookup, buf)
 	if err != nil {
 		return core.LookupResult{}, err
 	}
 	r, err := wire.DecodeResult(resp.Payload)
+	wire.PutBuf(body)
 	if err != nil {
 		return core.LookupResult{}, err
 	}
@@ -309,11 +323,14 @@ func (c *Client) Lookup(ctx context.Context, fp fingerprint.Fingerprint) (core.L
 
 // LookupOrInsert runs the Figure 4 flow on the remote node.
 func (c *Client) LookupOrInsert(ctx context.Context, fp fingerprint.Fingerprint, val core.Value) (core.LookupResult, error) {
-	resp, err := c.call(ctx, wire.TypeLookupOrInsert, wire.EncodePair(wire.PairPayload{FP: fp, Val: uint64(val)}))
+	buf := wire.GetBuf(0)
+	*buf = wire.AppendPair((*buf)[:0], wire.PairPayload{FP: fp, Val: uint64(val)})
+	resp, body, err := c.call(ctx, wire.TypeLookupOrInsert, buf)
 	if err != nil {
 		return core.LookupResult{}, err
 	}
 	r, err := wire.DecodeResult(resp.Payload)
+	wire.PutBuf(body)
 	if err != nil {
 		return core.LookupResult{}, err
 	}
@@ -322,7 +339,10 @@ func (c *Client) LookupOrInsert(ctx context.Context, fp fingerprint.Fingerprint,
 
 // Insert unconditionally records fp -> val on the remote node.
 func (c *Client) Insert(ctx context.Context, fp fingerprint.Fingerprint, val core.Value) error {
-	_, err := c.call(ctx, wire.TypeInsert, wire.EncodePair(wire.PairPayload{FP: fp, Val: uint64(val)}))
+	buf := wire.GetBuf(0)
+	*buf = wire.AppendPair((*buf)[:0], wire.PairPayload{FP: fp, Val: uint64(val)})
+	_, body, err := c.call(ctx, wire.TypeInsert, buf)
+	wire.PutBuf(body)
 	return err
 }
 
@@ -338,19 +358,16 @@ func (c *Client) BatchLookupOrInsert(ctx context.Context, pairs []core.Pair) ([]
 // it degrades to a plain BATCH frame, which has identical lookup-or-insert
 // semantics — the repair still lands, it just isn't counted as one.
 func (c *Client) ApplyRepair(ctx context.Context, pairs []core.Pair) ([]core.LookupResult, error) {
-	wirePairs := make([]wire.PairPayload, len(pairs))
-	for i, p := range pairs {
-		wirePairs[i] = wire.PairPayload{FP: p.FP, Val: uint64(p.Val)}
-	}
 	reqType := wire.TypeRepair
 	if c.Version() < wire.Version4 {
 		reqType = wire.TypeBatch
 	}
-	resp, err := c.call(ctx, reqType, wire.EncodeBatch(wirePairs))
+	resp, body, err := c.call(ctx, reqType, appendCorePairBatch(pairs))
 	if err != nil {
 		return nil, err
 	}
 	rs, err := wire.DecodeBatchResult(resp.Payload)
+	wire.PutBuf(body)
 	if err != nil {
 		return nil, err
 	}
@@ -391,10 +408,6 @@ type BatchCall struct {
 // call: its deadline rides in the request frame and cancelling it
 // abandons the future (a CANCEL frame tells the server to stop).
 func (c *Client) GoBatchLookupOrInsert(ctx context.Context, pairs []core.Pair) *BatchCall {
-	wirePairs := make([]wire.PairPayload, len(pairs))
-	for i, p := range pairs {
-		wirePairs[i] = wire.PairPayload{FP: p.FP, Val: uint64(p.Val)}
-	}
 	call := &BatchCall{n: len(pairs), ctx: ctx, timeout: c.cfg.Timeout}
 	if err := ctx.Err(); err != nil {
 		call.err = err
@@ -405,13 +418,29 @@ func (c *Client) GoBatchLookupOrInsert(ctx context.Context, pairs []core.Pair) *
 		call.err = err
 		return call
 	}
-	pc, err := cc.start(wire.TypeBatch, wire.EncodeBatch(wirePairs), c.timeoutFor(ctx))
+	buf := appendCorePairBatch(pairs)
+	pc, err := cc.start(wire.TypeBatch, *buf, c.timeoutFor(ctx))
+	wire.PutBuf(buf)
 	if err != nil {
 		call.err = err
 		return call
 	}
 	call.pc = pc
 	return call
+}
+
+// appendCorePairBatch encodes a batch payload straight from core pairs into
+// a pooled buffer, skipping the []wire.PairPayload copy EncodeBatch would
+// cost. The caller (or c.call) releases the buffer after the frame is
+// written.
+func appendCorePairBatch(pairs []core.Pair) *[]byte {
+	buf := wire.GetBuf(4 + len(pairs)*(fingerprint.Size+8))
+	b := appendUint32((*buf)[:0], uint32(len(pairs)))
+	for i := range pairs {
+		b = wire.AppendPair(b, wire.PairPayload{FP: pairs[i].FP, Val: uint64(pairs[i].Val)})
+	}
+	*buf = b
+	return buf
 }
 
 // Done returns a channel closed when the response (or a connection
@@ -440,11 +469,12 @@ func (b *BatchCall) wait() {
 		b.resErr = b.err
 		return
 	}
-	resp, err := b.pc.wait(b.ctx, b.timeout)
+	resp, body, err := b.pc.wait(b.ctx, b.timeout)
 	if err != nil {
 		b.resErr = err
 		return
 	}
+	defer wire.PutBuf(body)
 	if resp.Type == wire.TypeError {
 		msg, derr := wire.DecodeError(resp.Payload)
 		if derr != nil {
@@ -471,11 +501,12 @@ func (b *BatchCall) wait() {
 
 // Stats fetches the remote node's counters.
 func (c *Client) Stats(ctx context.Context) (core.NodeStats, error) {
-	resp, err := c.call(ctx, wire.TypeStats, nil)
+	resp, body, err := c.call(ctx, wire.TypeStats, nil)
 	if err != nil {
 		return core.NodeStats{}, err
 	}
 	s, err := wire.DecodeStats(resp.Payload)
+	wire.PutBuf(body)
 	if err != nil {
 		return core.NodeStats{}, err
 	}
@@ -504,7 +535,7 @@ type clientConn struct {
 	version int // negotiated protocol version, fixed after the handshake
 
 	writeMu sync.Mutex
-	bw      *bufio.Writer
+	fw      *wire.FrameWriter
 
 	mu      sync.Mutex
 	pending map[uint64]*pendingCall
@@ -515,6 +546,14 @@ type clientConn struct {
 	closeOnce sync.Once
 }
 
+// response is a received frame plus the pooled buffer its payload aliases.
+// Whoever consumes the response releases body with wire.PutBuf after the
+// payload's last use.
+type response struct {
+	f    wire.Frame
+	body *[]byte
+}
+
 // pendingCall is one request awaiting its response frame. Ownership
 // discipline: whichever party removes the call from the connection's
 // pending table — the read loop (response arrived), shutdown (connection
@@ -523,8 +562,8 @@ type pendingCall struct {
 	cc      *clientConn
 	reqType wire.Type
 	id      uint64
-	ch      chan wire.Frame // buffered 1; receives the response
-	settled chan struct{}   // closed once ch holds the response or the call failed
+	ch      chan response // buffered 1; receives the response
+	settled chan struct{} // closed once ch holds the response or the call failed
 }
 
 func (cc *clientConn) isDead() bool {
@@ -556,7 +595,7 @@ func (cc *clientConn) shutdown(err error) {
 func (cc *clientConn) readLoop() {
 	br := bufio.NewReaderSize(cc.conn, 64<<10)
 	for {
-		frame, err := wire.ReadFrameV(br, cc.version)
+		frame, body, err := wire.ReadFrameVInto(br, cc.version)
 		if err != nil {
 			cc.shutdown(fmt.Errorf("rpc: connection lost: %w", err))
 			return
@@ -568,8 +607,12 @@ func (cc *clientConn) readLoop() {
 		}
 		cc.mu.Unlock()
 		if ok {
-			pc.ch <- frame
+			pc.ch <- response{f: frame, body: body}
 			close(pc.settled)
+		} else {
+			// Nobody is waiting (abandoned by timeout or cancel) — the
+			// payload dies here.
+			wire.PutBuf(body)
 		}
 	}
 }
@@ -590,17 +633,14 @@ func (cc *clientConn) start(reqType wire.Type, payload []byte, timeout time.Dura
 		cc:      cc,
 		reqType: reqType,
 		id:      id,
-		ch:      make(chan wire.Frame, 1),
+		ch:      make(chan response, 1),
 		settled: make(chan struct{}),
 	}
 	cc.pending[id] = pc
 	cc.mu.Unlock()
 
 	cc.writeMu.Lock()
-	err := wire.WriteFrameV(cc.bw, wire.Frame{Type: reqType, ID: id, Timeout: timeout, Payload: payload}, cc.version)
-	if err == nil {
-		err = cc.bw.Flush()
-	}
+	err := cc.fw.WriteFrame(wire.Frame{Type: reqType, ID: id, Timeout: timeout, Payload: payload}, cc.version)
 	cc.writeMu.Unlock()
 	if err != nil {
 		cc.shutdown(fmt.Errorf("rpc: send: %w", err))
@@ -616,10 +656,7 @@ func (cc *clientConn) sendCancel(id uint64) {
 		return
 	}
 	cc.writeMu.Lock()
-	err := wire.WriteFrameV(cc.bw, wire.Frame{Type: wire.TypeCancel, ID: id}, cc.version)
-	if err == nil {
-		err = cc.bw.Flush()
-	}
+	err := cc.fw.WriteFrame(wire.Frame{Type: wire.TypeCancel, ID: id}, cc.version)
 	cc.writeMu.Unlock()
 	if err != nil {
 		cc.shutdown(fmt.Errorf("rpc: send cancel: %w", err))
@@ -642,12 +679,14 @@ func (pc *pendingCall) abandon() bool {
 }
 
 // wait blocks for the call's response, the context's cancellation, or the
-// transport timeout, whichever lands first.
-func (pc *pendingCall) wait(ctx context.Context, timeout time.Duration) (wire.Frame, error) {
+// transport timeout, whichever lands first. On success the returned pooled
+// buffer (which the frame's payload aliases) belongs to the caller, who
+// releases it with wire.PutBuf after decoding.
+func (pc *pendingCall) wait(ctx context.Context, timeout time.Duration) (wire.Frame, *[]byte, error) {
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
-	case frame, ok := <-pc.ch:
+	case resp, ok := <-pc.ch:
 		if !ok {
 			pc.cc.mu.Lock()
 			err := pc.cc.deadErr
@@ -655,18 +694,18 @@ func (pc *pendingCall) wait(ctx context.Context, timeout time.Duration) (wire.Fr
 			if err == nil {
 				err = errors.New("rpc: connection closed")
 			}
-			return wire.Frame{}, err
+			return wire.Frame{}, nil, err
 		}
-		return frame, nil
+		return resp.f, resp.body, nil
 	case <-ctx.Done():
 		if pc.abandon() {
 			pc.cc.sendCancel(pc.id)
 		}
-		return wire.Frame{}, ctx.Err()
+		return wire.Frame{}, nil, ctx.Err()
 	case <-timer.C:
 		if pc.abandon() {
 			pc.cc.sendCancel(pc.id)
 		}
-		return wire.Frame{}, fmt.Errorf("rpc: %v: request timed out after %v", pc.reqType, timeout)
+		return wire.Frame{}, nil, fmt.Errorf("rpc: %v: request timed out after %v", pc.reqType, timeout)
 	}
 }

@@ -135,7 +135,7 @@ func (s *Server) serveConn(conn net.Conn) {
 
 	var (
 		br      = bufio.NewReaderSize(conn, 64<<10)
-		bw      = bufio.NewWriterSize(conn, 64<<10)
+		fw      = wire.NewFrameWriter(conn)
 		version = wire.Version0 // until a Hello negotiates higher
 		writeMu sync.Mutex
 		reqWG   sync.WaitGroup
@@ -155,20 +155,22 @@ func (s *Server) serveConn(conn net.Conn) {
 		reqWG.Wait()
 	}()
 
-	respond := func(f wire.Frame, v int) {
+	// respond writes one frame under the write mutex via vectored I/O —
+	// header+payload leave in a single writev syscall with no intermediate
+	// buffer — then releases the pooled payload buffer (nil for payloads
+	// that are not pooled, e.g. Pong's empty one).
+	respond := func(f wire.Frame, buf *[]byte, v int) {
 		writeMu.Lock()
-		defer writeMu.Unlock()
-		if err := wire.WriteFrameV(bw, f, v); err != nil {
+		err := fw.WriteFrame(f, v)
+		writeMu.Unlock()
+		wire.PutBuf(buf)
+		if err != nil {
 			s.logger.Printf("rpc: write to %s: %v", conn.RemoteAddr(), err)
-			return
-		}
-		if err := bw.Flush(); err != nil {
-			s.logger.Printf("rpc: flush to %s: %v", conn.RemoteAddr(), err)
 		}
 	}
 
 	for {
-		frame, err := wire.ReadFrameV(br, version)
+		frame, body, err := wire.ReadFrameVInto(br, version)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.logger.Printf("rpc: read from %s: %v", conn.RemoteAddr(), err)
@@ -181,15 +183,16 @@ func (s *Server) serveConn(conn net.Conn) {
 			// the version-0 layout and every later frame in the
 			// negotiated one.
 			theirs, err := wire.DecodeHello(frame.Payload)
+			wire.PutBuf(body)
 			if err != nil {
-				respond(wire.Frame{Type: wire.TypeError, ID: frame.ID, Payload: wire.EncodeError(err.Error())}, wire.Version0)
+				respond(wire.Frame{Type: wire.TypeError, ID: frame.ID, Payload: wire.EncodeError(err.Error())}, nil, wire.Version0)
 				continue
 			}
 			v := wire.MaxVersion
 			if theirs < v {
 				v = theirs
 			}
-			respond(wire.Frame{Type: wire.TypeHelloAck, ID: frame.ID, Payload: wire.EncodeHello(v)}, wire.Version0)
+			respond(wire.Frame{Type: wire.TypeHelloAck, ID: frame.ID, Payload: wire.EncodeHello(v)}, nil, wire.Version0)
 			version = v
 			continue
 		case wire.TypeCancel:
@@ -197,6 +200,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			// defeat its purpose. (When the semaphore is full the read
 			// loop itself is blocked below, so cancels stall with it —
 			// the per-request timeout still bounds those requests.)
+			wire.PutBuf(body)
 			inflightMu.Lock()
 			cancel := inflight[frame.ID]
 			inflightMu.Unlock()
@@ -228,7 +232,7 @@ func (s *Server) serveConn(conn net.Conn) {
 
 		sem <- struct{}{}
 		reqWG.Add(1)
-		go func(ctx context.Context, cancel context.CancelFunc, f wire.Frame, v int) {
+		go func(ctx context.Context, cancel context.CancelFunc, f wire.Frame, reqBody *[]byte, v int) {
 			defer reqWG.Done()
 			defer func() { <-sem }()
 			defer func() {
@@ -238,17 +242,45 @@ func (s *Server) serveConn(conn net.Conn) {
 				cancel()
 			}()
 
-			respond(s.handle(ctx, f, v), v)
-		}(rctx, rcancel, frame, version)
+			// handle decodes the request payload before touching the
+			// backend, so the request buffer can be released as soon as it
+			// returns; the response payload rides in its own pooled buffer,
+			// released by respond after the write.
+			resp, respBuf := s.handle(ctx, f, v)
+			wire.PutBuf(reqBody)
+			respond(resp, respBuf, v)
+		}(rctx, rcancel, frame, body, version)
 	}
 }
 
 // handle executes one request frame under ctx and builds the response
 // frame. version is the connection's negotiated protocol version, which
 // selects the stats payload layout (old peers get the legacy one).
-func (s *Server) handle(ctx context.Context, f wire.Frame, version int) wire.Frame {
-	fail := func(err error) wire.Frame {
-		return wire.Frame{Type: wire.TypeError, ID: f.ID, Payload: wire.EncodeError(err.Error())}
+//
+// The returned *[]byte is the pooled buffer the response payload lives in
+// (nil when the payload is empty or not pooled); the caller releases it
+// after the frame is written. f.Payload is not referenced after handle
+// returns — every arm decodes it into owned values up front.
+func (s *Server) handle(ctx context.Context, f wire.Frame, version int) (wire.Frame, *[]byte) {
+	fail := func(err error) (wire.Frame, *[]byte) {
+		buf := wire.GetBuf(0)
+		*buf = wire.AppendError((*buf)[:0], err.Error())
+		return wire.Frame{Type: wire.TypeError, ID: f.ID, Payload: *buf}, buf
+	}
+	result := func(t wire.Type, r wire.ResultPayload) (wire.Frame, *[]byte) {
+		buf := wire.GetBuf(0)
+		*buf = wire.AppendResult((*buf)[:0], r)
+		return wire.Frame{Type: t, ID: f.ID, Payload: *buf}, buf
+	}
+	batchResult := func(rs []core.LookupResult) (wire.Frame, *[]byte) {
+		buf := wire.GetBuf(4 + len(rs)*10)
+		b := (*buf)[:0]
+		b = appendUint32(b, uint32(len(rs)))
+		for _, r := range rs {
+			b = wire.AppendResult(b, toWireResult(r))
+		}
+		*buf = b
+		return wire.Frame{Type: wire.TypeBatchResult, ID: f.ID, Payload: b}, buf
 	}
 	// A request that arrives already expired (or whose connection is
 	// tearing down) is not worth starting.
@@ -257,7 +289,7 @@ func (s *Server) handle(ctx context.Context, f wire.Frame, version int) wire.Fra
 	}
 	switch f.Type {
 	case wire.TypePing:
-		return wire.Frame{Type: wire.TypePong, ID: f.ID}
+		return wire.Frame{Type: wire.TypePong, ID: f.ID}, nil
 
 	case wire.TypeLookup:
 		fp, err := wire.DecodeFP(f.Payload)
@@ -268,7 +300,7 @@ func (s *Server) handle(ctx context.Context, f wire.Frame, version int) wire.Fra
 		if err != nil {
 			return fail(err)
 		}
-		return wire.Frame{Type: wire.TypeResult, ID: f.ID, Payload: wire.EncodeResult(toWireResult(r))}
+		return result(wire.TypeResult, toWireResult(r))
 
 	case wire.TypeLookupOrInsert:
 		p, err := wire.DecodePair(f.Payload)
@@ -279,7 +311,7 @@ func (s *Server) handle(ctx context.Context, f wire.Frame, version int) wire.Fra
 		if err != nil {
 			return fail(err)
 		}
-		return wire.Frame{Type: wire.TypeResult, ID: f.ID, Payload: wire.EncodeResult(toWireResult(r))}
+		return result(wire.TypeResult, toWireResult(r))
 
 	case wire.TypeInsert:
 		p, err := wire.DecodePair(f.Payload)
@@ -289,26 +321,18 @@ func (s *Server) handle(ctx context.Context, f wire.Frame, version int) wire.Fra
 		if err := s.backend.Insert(ctx, p.FP, core.Value(p.Val)); err != nil {
 			return fail(err)
 		}
-		return wire.Frame{Type: wire.TypeResult, ID: f.ID, Payload: wire.EncodeResult(wire.ResultPayload{})}
+		return result(wire.TypeResult, wire.ResultPayload{})
 
 	case wire.TypeBatch:
-		wirePairs, err := wire.DecodeBatch(f.Payload)
+		pairs, err := decodeCorePairs(f.Payload)
 		if err != nil {
 			return fail(err)
-		}
-		pairs := make([]core.Pair, len(wirePairs))
-		for i, p := range wirePairs {
-			pairs[i] = core.Pair{FP: p.FP, Val: core.Value(p.Val)}
 		}
 		rs, err := s.backend.BatchLookupOrInsert(ctx, pairs)
 		if err != nil {
 			return fail(err)
 		}
-		out := make([]wire.ResultPayload, len(rs))
-		for i, r := range rs {
-			out[i] = toWireResult(r)
-		}
-		return wire.Frame{Type: wire.TypeBatchResult, ID: f.ID, Payload: wire.EncodeBatchResult(out)}
+		return batchResult(rs)
 
 	case wire.TypeRepair:
 		// The replication backfill verb (protocol >= 4): same pair batch
@@ -317,13 +341,9 @@ func (s *Server) handle(ctx context.Context, f wire.Frame, version int) wire.Fra
 		// traffic. Backends without the repair path (e.g. a chained RPC
 		// client to a pre-4 peer) fall back to a plain batch — the
 		// presence semantics are identical.
-		wirePairs, err := wire.DecodeBatch(f.Payload)
+		pairs, err := decodeCorePairs(f.Payload)
 		if err != nil {
 			return fail(err)
-		}
-		pairs := make([]core.Pair, len(wirePairs))
-		for i, p := range wirePairs {
-			pairs[i] = core.Pair{FP: p.FP, Val: core.Value(p.Val)}
 		}
 		var rs []core.LookupResult
 		if ra, ok := s.backend.(core.RepairApplier); ok {
@@ -334,20 +354,37 @@ func (s *Server) handle(ctx context.Context, f wire.Frame, version int) wire.Fra
 		if err != nil {
 			return fail(err)
 		}
-		out := make([]wire.ResultPayload, len(rs))
-		for i, r := range rs {
-			out[i] = toWireResult(r)
-		}
-		return wire.Frame{Type: wire.TypeBatchResult, ID: f.ID, Payload: wire.EncodeBatchResult(out)}
+		return batchResult(rs)
 
 	case wire.TypeStats:
 		st, err := s.backend.Stats(ctx)
 		if err != nil {
 			return fail(err)
 		}
-		return wire.Frame{Type: wire.TypeStatsResult, ID: f.ID, Payload: wire.EncodeStatsV(toWireStats(st), version)}
+		buf := wire.GetBuf(0)
+		*buf = wire.AppendStatsV((*buf)[:0], toWireStats(st), version)
+		return wire.Frame{Type: wire.TypeStatsResult, ID: f.ID, Payload: *buf}, buf
 	}
 	return fail(fmt.Errorf("rpc: unsupported request type %v", f.Type))
+}
+
+// appendUint32 appends a big-endian uint32 (the batch-result count prefix).
+func appendUint32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// decodeCorePairs decodes a wire pair batch straight into core.Pair values,
+// skipping the intermediate []wire.PairPayload copy DecodeBatch would cost.
+func decodeCorePairs(payload []byte) ([]core.Pair, error) {
+	wirePairs, err := wire.DecodeBatch(payload)
+	if err != nil {
+		return nil, err
+	}
+	pairs := make([]core.Pair, len(wirePairs))
+	for i, p := range wirePairs {
+		pairs[i] = core.Pair{FP: p.FP, Val: core.Value(p.Val)}
+	}
+	return pairs, nil
 }
 
 func toWireResult(r core.LookupResult) wire.ResultPayload {

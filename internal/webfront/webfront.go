@@ -25,6 +25,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -69,6 +70,12 @@ type Config struct {
 	AggregateBelow int
 	// AggregateDelay bounds how long a pooled query waits. Default 2ms.
 	AggregateDelay time.Duration
+	// EnablePprof registers net/http/pprof's handlers under /debug/pprof/
+	// on the server's mux, so CPU and allocation profiles can be pulled
+	// from a live front-end (the allocation hunt behind the zero-alloc hot
+	// path used exactly these). Off by default: profiles expose internals,
+	// so production deployments opt in behind their ACLs.
+	EnablePprof bool
 	// Logger receives request errors; nil discards.
 	Logger *log.Logger
 }
@@ -120,6 +127,15 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/upload", s.handleUpload)
 	s.mux.HandleFunc("/v1/chunk/", s.handleChunk)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	if cfg.EnablePprof {
+		// Explicit registrations on our own mux (the blank net/http/pprof
+		// import only feeds http.DefaultServeMux, which we do not serve).
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s, nil
 }
 

@@ -195,14 +195,15 @@ func WriteFrameV(w io.Writer, f Frame, version int) error {
 	if n > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
-	hdr := make([]byte, 4+hs)
+	// Stack header: the old per-call make was the hot path's top allocator.
+	var hdr [4 + headerSizeV1]byte
 	binary.BigEndian.PutUint32(hdr[0:4], uint32(n))
 	hdr[4] = byte(f.Type)
 	binary.BigEndian.PutUint64(hdr[5:13], f.ID)
 	if version >= Version1 {
 		binary.BigEndian.PutUint64(hdr[13:21], uint64(f.Timeout))
 	}
-	if _, err := w.Write(hdr); err != nil {
+	if _, err := w.Write(hdr[:4+hs]); err != nil {
 		return fmt.Errorf("wire: write frame header: %w", err)
 	}
 	if len(f.Payload) > 0 {
@@ -257,9 +258,7 @@ func ReadFrameV(r io.Reader, version int) (Frame, error) {
 // EncodeHello encodes a Hello or HelloAck payload: the sender's highest
 // supported (or the negotiated) protocol version.
 func EncodeHello(version int) []byte {
-	buf := make([]byte, 4)
-	binary.BigEndian.PutUint32(buf, uint32(version))
-	return buf
+	return AppendHello(make([]byte, 0, 4), version)
 }
 
 // DecodeHello decodes a Hello or HelloAck payload.
@@ -278,10 +277,7 @@ type PairPayload struct {
 
 // EncodePair encodes a single fingerprint+value payload.
 func EncodePair(p PairPayload) []byte {
-	buf := make([]byte, pairSize)
-	copy(buf, p.FP[:])
-	binary.BigEndian.PutUint64(buf[fingerprint.Size:], p.Val)
-	return buf
+	return AppendPair(make([]byte, 0, pairSize), p)
 }
 
 // DecodePair decodes a single fingerprint+value payload.
@@ -297,9 +293,7 @@ func DecodePair(b []byte) (PairPayload, error) {
 
 // EncodeFP encodes a bare fingerprint payload (TypeLookup).
 func EncodeFP(fp fingerprint.Fingerprint) []byte {
-	buf := make([]byte, fingerprint.Size)
-	copy(buf, fp[:])
-	return buf
+	return AppendFP(make([]byte, 0, fingerprint.Size), fp)
 }
 
 // DecodeFP decodes a bare fingerprint payload.
@@ -314,15 +308,7 @@ func DecodeFP(b []byte) (fingerprint.Fingerprint, error) {
 
 // EncodeBatch encodes a batch of pairs (TypeBatch).
 func EncodeBatch(pairs []PairPayload) []byte {
-	buf := make([]byte, 4+len(pairs)*pairSize)
-	binary.BigEndian.PutUint32(buf[0:4], uint32(len(pairs)))
-	off := 4
-	for _, p := range pairs {
-		copy(buf[off:], p.FP[:])
-		binary.BigEndian.PutUint64(buf[off+fingerprint.Size:], p.Val)
-		off += pairSize
-	}
-	return buf
+	return AppendBatch(make([]byte, 0, 4+len(pairs)*pairSize), pairs)
 }
 
 // DecodeBatch decodes a batch of pairs.
@@ -372,9 +358,7 @@ func decodeResultFrom(buf []byte) ResultPayload {
 
 // EncodeResult encodes a single lookup answer (TypeResult).
 func EncodeResult(r ResultPayload) []byte {
-	buf := make([]byte, resultSize)
-	encodeResultInto(buf, r)
-	return buf
+	return AppendResult(make([]byte, 0, resultSize), r)
 }
 
 // DecodeResult decodes a single lookup answer.
@@ -387,14 +371,7 @@ func DecodeResult(b []byte) (ResultPayload, error) {
 
 // EncodeBatchResult encodes a batch of answers (TypeBatchResult).
 func EncodeBatchResult(rs []ResultPayload) []byte {
-	buf := make([]byte, 4+len(rs)*resultSize)
-	binary.BigEndian.PutUint32(buf[0:4], uint32(len(rs)))
-	off := 4
-	for _, r := range rs {
-		encodeResultInto(buf[off:off+resultSize], r)
-		off += resultSize
-	}
-	return buf
+	return AppendBatchResult(make([]byte, 0, 4+len(rs)*resultSize), rs)
 }
 
 // DecodeBatchResult decodes a batch of answers.
@@ -418,13 +395,7 @@ func DecodeBatchResult(b []byte) ([]ResultPayload, error) {
 
 // EncodeError encodes a server error message (TypeError).
 func EncodeError(msg string) []byte {
-	if len(msg) > 65535 {
-		msg = msg[:65535]
-	}
-	buf := make([]byte, 2+len(msg))
-	binary.BigEndian.PutUint16(buf[0:2], uint16(len(msg)))
-	copy(buf[2:], msg)
-	return buf
+	return AppendError(make([]byte, 0, 2+len(msg)), msg)
 }
 
 // DecodeError decodes a server error message.
@@ -572,25 +543,7 @@ func EncodeStats(s StatsPayload) []byte {
 // (without the destage fields), so stats interop survives version skew.
 func EncodeStatsV(s StatsPayload, version int) []byte {
 	nc, ns := statsLayout(version)
-	id := []byte(s.ID)
-	if len(id) > 65535 {
-		id = id[:65535]
-	}
-	buf := make([]byte, 2+len(id)+(nc+ns*summaryFields)*8)
-	binary.BigEndian.PutUint16(buf[0:2], uint16(len(id)))
-	copy(buf[2:], id)
-	off := 2 + len(id)
-	for _, v := range s.counters()[:nc] {
-		binary.BigEndian.PutUint64(buf[off:], *v)
-		off += 8
-	}
-	for _, sum := range s.summaries()[:ns] {
-		for _, v := range sum.fields() {
-			binary.BigEndian.PutUint64(buf[off:], *v)
-			off += 8
-		}
-	}
-	return buf
+	return AppendStatsV(make([]byte, 0, 2+len(s.ID)+(nc+ns*summaryFields)*8), s, version)
 }
 
 // DecodeStats decodes node statistics. Every historical layout (the
