@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -53,7 +54,7 @@ func run() error {
 		return err
 	}
 	log.Printf("load balancer on http://%s over %d backends", bound, len(urls))
-	if !balancer.WaitHealthy(5 * time.Second) {
+	if !balancer.WaitHealthy(context.Background(), 5*time.Second) {
 		log.Printf("warning: no backend healthy yet")
 	}
 

@@ -1,0 +1,145 @@
+// Package analysistest is the golden-test driver for the vet analyzers:
+// the offline counterpart of golang.org/x/tools/go/analysis/analysistest.
+//
+// A golden suite is a small self-contained Go module under an analyzer's
+// testdata directory (its own go.mod, stdlib-only imports). Expected
+// diagnostics are written inline as
+//
+//	expr // want `regex` `another regex`
+//
+// comments. Run loads the module, applies the analyzers, and fails the
+// test unless findings and expectations match one-to-one: every finding
+// must satisfy a want on its exact line, and every want must be hit.
+// Files without want comments double as negative cases — any finding in
+// them is a test failure.
+package analysistest
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"shhc/internal/analysis"
+)
+
+// want is one expected diagnostic: a regex anchored to a file and line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+// Run loads the testdata module rooted at dir, applies the analyzers to
+// every package in it, and checks the findings against the // want
+// expectations. It returns the result for tests that assert more (e.g.
+// suppression counts).
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) *analysis.Result {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	res, err := analysis.Run(analysis.RunConfig{
+		Dir:       abs,
+		Patterns:  []string{"./..."},
+		Analyzers: analyzers,
+	})
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	wants, err := collectWants(abs)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	for _, f := range res.Findings {
+		if !claim(wants, f) {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: no finding matched want %s", w.file, w.line, w.raw)
+		}
+	}
+	return res
+}
+
+// claim marks the first unmet want on the finding's line whose regex
+// matches the message, reporting whether one existed.
+func claim(wants []*want, f analysis.Finding) bool {
+	file := filepath.Clean(f.File)
+	for _, w := range wants {
+		if !w.met && w.file == file && w.line == f.Line && w.re.MatchString(f.Message) {
+			w.met = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants scans every .go file under root for // want comments.
+func collectWants(root string) ([]*want, error) {
+	var wants []*want
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			ws, err := parseWantComment(line)
+			if err != nil {
+				return fmt.Errorf("%s:%d: %v", path, i+1, err)
+			}
+			for _, raw := range ws {
+				re, err := regexp.Compile(raw)
+				if err != nil {
+					return fmt.Errorf("%s:%d: bad want regex %s: %v", path, i+1, raw, err)
+				}
+				wants = append(wants, &want{file: filepath.Clean(path), line: i + 1, re: re, raw: raw})
+			}
+		}
+		return nil
+	})
+	return wants, err
+}
+
+// wantRE finds the expectation list after a "// want" comment.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// parseWantComment extracts the quoted regexes from one source line, in
+// source order. Both `backquoted` and "double-quoted" forms are accepted.
+func parseWantComment(line string) ([]string, error) {
+	m := wantRE.FindStringSubmatch(line)
+	if m == nil {
+		return nil, nil
+	}
+	var out []string
+	rest := strings.TrimSpace(m[1])
+	for rest != "" {
+		prefix, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			return nil, fmt.Errorf("want expectations must be quoted strings, got %q", rest)
+		}
+		unq, err := strconv.Unquote(prefix)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, unq)
+		rest = strings.TrimSpace(rest[len(prefix):])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("// want comment carries no expectations")
+	}
+	return out, nil
+}

@@ -1,0 +1,229 @@
+// Package atomicmix protects the lock-free structures PR-7 introduced:
+// a variable or field that is EVER accessed through sync/atomic
+// (atomic.AddUint64(&s.fastHits, 1), atomic.LoadUint32(&f.bits[i]), …)
+// must ALWAYS be accessed that way — one plain read racing an atomic
+// write is an undiagnosed data race that -race only catches if a test
+// happens to interleave it.
+//
+// Fields of the atomic.* wrapper types (atomic.Uint64, atomic.Pointer)
+// are safe by construction and outside this analyzer's scope; it exists
+// for the old-style address-taken pattern, which is still what arrays
+// (the Bloom filter's word slice) and padded stripe counters use.
+//
+// Within a package, the analyzer collects every object whose address
+// flows into a sync/atomic call, then reports every other appearance of
+// that object that is not itself under such a call. Initialization
+// before publication is a legitimate plain access — suppress those
+// sites with //lint:ignore atomicmix and a reason. For exported fields
+// the atomically-accessed set is exported as facts, so a dependent
+// package mixing in a plain access is caught too.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"shhc/internal/analysis"
+)
+
+// Analyzer is the atomicmix pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "variables accessed via sync/atomic must never also be accessed plainly",
+	Run:  run,
+}
+
+// fact marks an exported field/var as atomically accessed somewhere.
+type fact struct {
+	Atomic bool `json:"atomic"`
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+
+	// Pass 1: find objects whose address feeds a sync/atomic call, and
+	// bless ident positions that are not value accesses:
+	//
+	//   - any ident under a & operand — taking an address is not reading
+	//     or writing the value (the atomic call itself is the canonical
+	//     case, and `w := &f.bits[i]; atomic.OrUint64(w, m)` is the same
+	//     pattern split over two statements);
+	//   - composite-literal field keys — `Filter{bits: make(...)}`
+	//     initializes a value nobody else can see yet;
+	//   - len/cap arguments and range operands — they read the immutable
+	//     slice header, not the atomically-accessed elements.
+	atomicObjs := make(map[types.Object]ast.Node) // object -> first atomic use
+	blessed := make(map[*ast.Ident]bool)          // idents in non-access positions
+
+	blessAll := func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				blessed[id] = true
+			}
+			return true
+		})
+	}
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.UnaryExpr:
+				if e.Op == token.AND {
+					blessAll(e.X)
+				}
+			case *ast.CompositeLit:
+				for _, el := range e.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							blessed[id] = true
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				blessAll(e.X)
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && info.Uses[id] != nil {
+					if b, ok := info.Uses[id].(*types.Builtin); ok && (b.Name() == "len" || b.Name() == "cap") {
+						for _, a := range e.Args {
+							blessAll(a)
+						}
+					}
+				}
+				callee := analysis.Callee(info, e)
+				if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				for _, arg := range e.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					obj := addressedObject(info, un.X)
+					if obj == nil {
+						continue
+					}
+					if _, seen := atomicObjs[obj]; !seen {
+						atomicObjs[obj] = e
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Export facts for objects visible outside the package.
+	for obj := range atomicObjs {
+		if obj.Exported() {
+			if key := objectKey(obj, info); key != "" {
+				pass.ExportObjectFact(key, fact{Atomic: true})
+			}
+		}
+	}
+
+	isAtomic := func(obj types.Object, id *ast.Ident) bool {
+		if _, ok := atomicObjs[obj]; ok {
+			return true
+		}
+		// Imported field accessed here: consult facts.
+		if obj.Pkg() != nil && obj.Pkg() != pass.Pkg {
+			var f fact
+			if pass.ImportObjectFact(objectKeyAt(pass, obj, id), &f) {
+				return f.Atomic
+			}
+		}
+		return false
+	}
+
+	// Pass 2: any appearance of an atomic object outside a blessed
+	// position is a plain access.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || blessed[id] {
+				return true
+			}
+			obj := info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if v, ok := obj.(*types.Var); ok && isAtomic(v, id) {
+				pass.Reportf(id.Pos(),
+					"%s is accessed with sync/atomic elsewhere; this plain access races it (use the atomic API, or //lint:ignore atomicmix with a reason if pre-publication)",
+					id.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// addressedObject resolves &x / &x.f / &x.f[i] to the underlying
+// variable or field object.
+func addressedObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch ex := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return info.Uses[ex]
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[ex]; ok && sel.Kind() == types.FieldVal {
+				return sel.Obj()
+			}
+			return info.Uses[ex.Sel]
+		case *ast.IndexExpr:
+			e = ex.X // &s.words[i]: the array/slice field is the unit
+		default:
+			return nil
+		}
+	}
+}
+
+// objectKey builds the fact key for a field or package-level var found
+// in this package's own declarations.
+func objectKey(obj types.Object, info *types.Info) string {
+	if v, ok := obj.(*types.Var); ok && !v.IsField() {
+		return analysis.ObjKey(v)
+	}
+	// Fields need their owning struct, recovered at the use site; for
+	// exports we fall back to scanning the defining package's types.
+	if v, ok := obj.(*types.Var); ok && v.IsField() && v.Pkg() != nil {
+		if name := owningStruct(v); name != "" {
+			return v.Pkg().Path() + "." + name + "." + v.Name()
+		}
+	}
+	return ""
+}
+
+// objectKeyAt builds a field fact key from a use site (selector
+// receiver type).
+func objectKeyAt(pass *analysis.Pass, obj types.Object, id *ast.Ident) string {
+	// Find the enclosing selector to learn the receiver type.
+	for sel, selection := range pass.TypesInfo.Selections {
+		if sel.Sel == id && selection.Kind() == types.FieldVal {
+			return analysis.FieldKey(selection.Recv(), id.Name)
+		}
+	}
+	return objectKey(obj, pass.TypesInfo)
+}
+
+// owningStruct finds the named struct type declaring field v in its
+// package scope.
+func owningStruct(v *types.Var) string {
+	scope := v.Pkg().Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == v {
+				return name
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"shhc/internal/analysis/analysistest"
+	"shhc/internal/analysis/atomicmix"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicmix.Analyzer)
+}

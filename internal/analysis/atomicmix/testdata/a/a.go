@@ -1,0 +1,56 @@
+// Package a mixes atomic and plain access to the same fields — the race
+// shape atomicmix exists to catch — next to the blessed patterns that
+// must stay silent.
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	n     int64
+	name  string
+	words []uint64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) incWord(i int) {
+	atomic.AddUint64(&c.words[i], 1)
+}
+
+// plainRead races inc: c.n is an atomic field everywhere else.
+func (c *counter) plainRead() int64 {
+	return c.n // want `n is accessed with sync/atomic elsewhere; this plain access races it`
+}
+
+// plainWrite races too, and on the store side.
+func (c *counter) plainWrite() {
+	c.n = 0 // want `n is accessed with sync/atomic elsewhere; this plain access races it`
+}
+
+// atomicRead is the correct access.
+func (c *counter) atomicRead() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+// newCounter initializes via composite-literal keys: a fresh object is
+// unpublished, so the plain field names are blessed.
+func newCounter(words int) *counter {
+	return &counter{n: 0, name: "c", words: make([]uint64, words)}
+}
+
+// size reads the slice header, not the atomic elements: len and range
+// over c.words are blessed.
+func (c *counter) size() int {
+	total := 0
+	for range c.words {
+		total++
+	}
+	return total + len(c.words)
+}
+
+// label never flows into sync/atomic, so plain access is fine.
+func (c *counter) label() string {
+	return c.name
+}

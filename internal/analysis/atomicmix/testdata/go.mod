@@ -1,0 +1,3 @@
+module atomicmixtest
+
+go 1.24

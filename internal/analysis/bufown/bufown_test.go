@@ -1,0 +1,17 @@
+package bufown_test
+
+import (
+	"testing"
+
+	"shhc/internal/analysis/analysistest"
+	"shhc/internal/analysis/bufown"
+)
+
+func TestGolden(t *testing.T) {
+	res := analysistest.Run(t, "testdata", bufown.Analyzer)
+	// pool.PutBuf carries the one //lint:ignore in the suite; the count
+	// proves suppressions are applied, not just that the finding vanished.
+	if res.Suppressed != 1 {
+		t.Errorf("suppressed = %d, want 1 (pool.PutBuf nil early-return)", res.Suppressed)
+	}
+}

@@ -1,0 +1,48 @@
+// Positive cases: each want line must fire.
+package a
+
+import "bufowntest/pool"
+
+func sink([]byte) {}
+
+func leakOnEarlyReturn(cond bool) {
+	bp := pool.GetBuf() // want `pooled buffer "bp" is not released on`
+	if cond {
+		return
+	}
+	pool.PutBuf(bp)
+}
+
+func doubleRelease() {
+	bp := pool.GetBuf()
+	pool.PutBuf(bp)
+	pool.PutBuf(bp) // want `pooled buffer "bp" may be released twice`
+}
+
+func discardResult() {
+	pool.GetBuf() // want `pooled buffer result is discarded \(leak\)`
+}
+
+// leakFromFrame drops the buffer ReadFrameVInto transferred to us: the
+// marked return made this function the owner, and no path releases it.
+func leakFromFrame(src []byte) error {
+	bp, err := pool.ReadFrameVInto(src) // want `pooled buffer "bp" is not released on`
+	if err != nil {
+		return err
+	}
+	sink(*bp)
+	return nil
+}
+
+func overwriteWhileOwned() {
+	bp := pool.GetBuf()
+	bp = pool.GetBuf() // want `pooled buffer "bp" is overwritten while still owned`
+	pool.PutBuf(bp)
+}
+
+func leakInLoop(n int) {
+	for i := 0; i < n; i++ {
+		bp := pool.GetBuf() // want `pooled buffer "bp" is not released by the end of the loop iteration`
+		sink(*bp)
+	}
+}

@@ -1,0 +1,54 @@
+// Negative cases: correct ownership flows that must stay silent.
+package a
+
+import "bufowntest/pool"
+
+func releaseOnAllPaths(cond bool) {
+	bp := pool.GetBuf()
+	if cond {
+		sink(*bp)
+	}
+	pool.PutBuf(bp)
+}
+
+func deferredRelease() {
+	bp := pool.GetBuf()
+	defer pool.PutBuf(bp)
+	sink(*bp)
+}
+
+// frameOwnership is the ReadFrameVInto happy path: ownership transfers in
+// on success only (the error branch holds nothing), and the deferred
+// release settles it.
+func frameOwnership(src []byte) error {
+	bp, err := pool.ReadFrameVInto(src)
+	if err != nil {
+		return err
+	}
+	defer pool.PutBuf(bp)
+	sink(*bp)
+	return nil
+}
+
+// handOff acquires and releases in one expression: a returns-buf result
+// passed directly to an owning (takes-buf) position never leaks.
+func handOff() {
+	pool.PutBuf(pool.GetBuf())
+}
+
+// forwardFrame re-exports ownership: a returns-buf function may hand the
+// buffer to its own caller through the marked return.
+//
+//shhc:returns-buf
+func forwardFrame(src []byte) (*[]byte, error) {
+	return pool.ReadFrameVInto(src)
+}
+
+// borrowDoesNotRelease passes the buffer to a plain function: that is a
+// borrow, not a transfer, so the later release is not a double release.
+func borrowDoesNotRelease() {
+	bp := pool.GetBuf()
+	sink(*bp)
+	sink(*bp)
+	pool.PutBuf(bp)
+}

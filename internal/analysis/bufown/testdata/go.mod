@@ -1,0 +1,3 @@
+module bufowntest
+
+go 1.24

@@ -1,0 +1,39 @@
+// Package pool mirrors the wire package's pooled-buffer surface: an
+// acquire marked //shhc:returns-buf, a release marked //shhc:takes-buf,
+// and a ReadFrameVInto-shaped helper that acquires internally and hands
+// ownership to its caller through the marked return.
+package pool
+
+import (
+	"errors"
+	"sync"
+)
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+//shhc:returns-buf
+func GetBuf() *[]byte {
+	return bufPool.Get().(*[]byte)
+}
+
+//shhc:takes-buf bp
+//lint:ignore bufown the nil early-return is the release for empty-handed callers, mirroring wire.PutBuf.
+func PutBuf(bp *[]byte) {
+	if bp == nil {
+		return
+	}
+	bufPool.Put(bp)
+}
+
+// ReadFrameVInto decodes src into a pooled buffer the caller owns on
+// success; on error no buffer is retained.
+//
+//shhc:returns-buf
+func ReadFrameVInto(src []byte) (*[]byte, error) {
+	if len(src) == 0 {
+		return nil, errors.New("pool: empty frame")
+	}
+	bp := GetBuf()
+	*bp = append((*bp)[:0], src...)
+	return bp, nil
+}

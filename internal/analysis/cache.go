@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+// The between-runs cache: one JSON file per (package hash, analyzer set)
+// holding the facts the package exported and the findings it produced.
+// Package hashes fold in the hashes of all dependencies (load.go), so a
+// change anywhere below a package invalidates it — the same shape as the
+// go build cache, and safe to share across branches. CI caches this
+// directory so an unchanged subtree costs one hash check per package.
+
+type cacheEntry struct {
+	Facts      pkgFacts  `json:"facts,omitempty"`
+	Findings   []Finding `json:"findings"`
+	Suppressed int       `json:"suppressed,omitempty"`
+}
+
+type factCache struct {
+	dir string
+}
+
+func cacheKey(pkgHash, analyzerSalt string) string {
+	sum := sha256.Sum256([]byte(pkgHash + "|" + analyzerSalt))
+	return hex.EncodeToString(sum[:])
+}
+
+func (c *factCache) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".json")
+}
+
+func (c *factCache) load(key string) (*cacheEntry, bool) {
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var ent cacheEntry
+	if err := json.Unmarshal(b, &ent); err != nil {
+		return nil, false // corrupt entry: fall through to re-analysis
+	}
+	return &ent, true
+}
+
+// store writes best-effort: a read-only or full cache directory must
+// never fail the analysis itself.
+func (c *factCache) store(key string, ent *cacheEntry) {
+	b, err := json.Marshal(ent)
+	if err != nil {
+		return
+	}
+	p := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return
+	}
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, p)
+}

@@ -1,0 +1,169 @@
+// Package ctxfirst enforces the PR-3 context contract:
+//
+//  1. A function that takes a context.Context takes it as its FIRST
+//     parameter (after the receiver) — no ctx buried mid-signature.
+//  2. context.Context is never stored in a struct field: contexts are
+//     call-scoped, and a stored one silently detaches cancellation from
+//     the call tree. The few deliberate exceptions (a server's root
+//     context, a future carrying its caller's ctx) carry //lint:ignore
+//     with a justification.
+//  3. An EXPORTED function or method that performs I/O or blocking work
+//     (per the shared ioflow call-graph facts) must take a
+//     context.Context — the compile-visible form of "every public op
+//     honors cancellation". Constructors and teardown are exempt:
+//     New*/Open*/Dial*/Listen*/Create*/Start* run before a request
+//     exists, and Close/Flush/Shutdown run after the last one.
+//
+// Rule 3 binds only packages that declare the contract with a
+// //shhc:ctxapi line in their package doc comment (the facade, rpc, the
+// core node, the load balancer). The storage layer below them (hashdb,
+// device, directio, wire) is synchronous by design — a pread against a
+// local SSD cannot be cancelled, and wire framing takes its deadline
+// from the net.Conn — so demanding a ctx there would add parameters
+// nothing could honor. Rules 1 and 2 are unconditional.
+package ctxfirst
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"shhc/internal/analysis"
+	"shhc/internal/analysis/ioflow"
+)
+
+// Analyzer is the ctxfirst pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxfirst",
+	Doc:  "context.Context must be the first parameter, never a struct field, and exported I/O functions must accept one",
+	Run:  run,
+}
+
+// exemptNames are exported identifiers allowed to do I/O without a ctx:
+// lifecycle edges that run outside any request.
+var exemptNames = map[string]bool{
+	"Close": true, "Shutdown": true, "Stop": true, "Sync": true, "Flush": true,
+}
+
+var exemptPrefixes = []string{"New", "Open", "Dial", "Listen", "Must", "Create", "Start"}
+
+func run(pass *analysis.Pass) error {
+	ioflow.Ensure(pass)
+	ctxAPI := declaresCtxAPI(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkSignature(pass, d, ctxAPI)
+			case *ast.GenDecl:
+				checkStructFields(pass, d)
+			}
+		}
+		// Function literal signatures obey the same ordering rule.
+		ast.Inspect(file, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				checkParamOrder(pass, lit.Type)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isContextType(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	return isContext(tv.Type)
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkParamOrder reports a ctx parameter that is not first.
+func checkParamOrder(pass *analysis.Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0
+	for _, fld := range ft.Params.List {
+		n := len(fld.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextType(pass, fld.Type) && pos != 0 {
+			pass.Reportf(fld.Pos(), "context.Context must be the first parameter")
+		}
+		pos += n
+	}
+}
+
+// declaresCtxAPI reports whether any file's package doc carries the
+// //shhc:ctxapi opt-in for rule 3.
+func declaresCtxAPI(pass *analysis.Pass) bool {
+	for _, file := range pass.Files {
+		if file.Doc == nil {
+			continue
+		}
+		for _, c := range file.Doc.List {
+			if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == "shhc:ctxapi" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func checkSignature(pass *analysis.Pass, fd *ast.FuncDecl, ctxAPI bool) {
+	checkParamOrder(pass, fd.Type)
+
+	// Rule 3 applies to exported declarations of opted-in packages that
+	// the ioflow facts say reach I/O.
+	if !ctxAPI || !fd.Name.IsExported() || fd.Body == nil {
+		return
+	}
+	if exemptNames[fd.Name.Name] {
+		return
+	}
+	for _, p := range exemptPrefixes {
+		if strings.HasPrefix(fd.Name.Name, p) {
+			return
+		}
+	}
+	obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok || !ioflow.FuncIsIO(pass, obj) {
+		return
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Params().Len() > 0 && isContext(sig.Params().At(0).Type()) {
+		return
+	}
+	pass.Reportf(fd.Name.Pos(),
+		"exported %s performs I/O or blocking work but does not take a context.Context first parameter", fd.Name.Name)
+}
+
+// checkStructFields reports context.Context struct fields.
+func checkStructFields(pass *analysis.Pass, gd *ast.GenDecl) {
+	for _, spec := range gd.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			continue
+		}
+		for _, fld := range st.Fields.List {
+			if isContextType(pass, fld.Type) {
+				pass.Reportf(fld.Pos(), "context.Context stored in struct field of %s: contexts are call-scoped, pass them as parameters", ts.Name.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package ctxfirst_test
+
+import (
+	"testing"
+
+	"shhc/internal/analysis/analysistest"
+	"shhc/internal/analysis/ctxfirst"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxfirst.Analyzer)
+}

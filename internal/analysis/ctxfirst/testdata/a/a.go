@@ -1,0 +1,48 @@
+// Package a opts into the ctx-API contract, so all three rules apply:
+// ctx-first ordering, no ctx struct fields, and exported I/O entry
+// points must accept a context.
+//
+//shhc:ctxapi
+package a
+
+import (
+	"context"
+	"os"
+)
+
+func BadOrder(path string, ctx context.Context) error { // want `context.Context must be the first parameter` `exported BadOrder performs I/O or blocking work but does not take a context.Context`
+	_, err := os.ReadFile(path)
+	_ = ctx
+	return err
+}
+
+type Holder struct {
+	ctx context.Context // want `context.Context stored in struct field of Holder`
+}
+
+func ReadBlob(path string) ([]byte, error) { // want `exported ReadBlob performs I/O or blocking work but does not take a context.Context`
+	return os.ReadFile(path)
+}
+
+// ReadBlobCtx is the fixed shape: ctx first, nothing to report.
+func ReadBlobCtx(ctx context.Context, path string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(path)
+}
+
+// Close is on the exempt list: lifecycle teardown needs no context.
+func Close() error {
+	return os.Remove("state")
+}
+
+// OpenStore is prefix-exempt (Open...): constructors dial without ctx.
+func OpenStore(path string) (*os.File, error) {
+	return os.Open(path)
+}
+
+// hash is unexported and pure: rule 3 does not apply.
+func hash(b []byte) int {
+	return len(b)
+}

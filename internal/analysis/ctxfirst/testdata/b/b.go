@@ -1,0 +1,21 @@
+// Package b does NOT declare //shhc:ctxapi: the synchronous-storage
+// default. Rules 1 and 2 still apply everywhere; rule 3 (exported I/O
+// without ctx) must stay silent here.
+package b
+
+import (
+	"context"
+	"os"
+)
+
+// ReadBlob performs I/O without a ctx parameter — legal in a package
+// that never opted into the ctx-API contract.
+func ReadBlob(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+func BadOrder(path string, ctx context.Context) error { // want `context.Context must be the first parameter`
+	_ = ctx
+	_ = path
+	return nil
+}

@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Callee resolves the statically-known function or method a call
+// invokes, or nil for calls through function values, type conversions,
+// and builtins.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fn]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fn]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[fn.Sel] // package-qualified call
+		}
+	}
+	f, _ := obj.(*types.Func)
+	return f
+}
+
+// IsBufType reports whether t is one of the pooled-buffer shapes the
+// ownership analyzers track: *[]byte (the wire pool) or []byte (the
+// hashdb page pool).
+func IsBufType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	u := t.Underlying()
+	if p, ok := u.(*types.Pointer); ok {
+		u = p.Elem().Underlying()
+	}
+	s, ok := u.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// FuncHasGoto reports whether any statement in body is a goto; the
+// structured path walkers bail on such functions rather than guess.
+func FuncHasGoto(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BranchStmt); ok && b.Tok.String() == "goto" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package lockio_test
+
+import (
+	"testing"
+
+	"shhc/internal/analysis/analysistest"
+	"shhc/internal/analysis/lockio"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", lockio.Analyzer)
+}

@@ -1,0 +1,52 @@
+// Package a models the node's two-level locking: a coordinator lock
+// (rank 1) ordered before RAM-only stripe locks (rank 2), with I/O
+// forbidden under the stripes.
+package a
+
+import (
+	"os"
+	"sync"
+)
+
+type shard struct {
+	mu   sync.Mutex //shhc:lock ramonly rank=2
+	hits int
+}
+
+type dev struct {
+	mu     sync.Mutex //shhc:lock rank=1
+	shards [4]shard
+	path   string
+}
+
+// ioUnderStripe reads the device while a RAM-only stripe lock is held.
+func (d *dev) ioUnderStripe(i int) ([]byte, error) {
+	s := &d.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hits++
+	return os.ReadFile(d.path) // want `may perform I/O while s\.mu \(//shhc:lock ramonly\) is held`
+}
+
+// transitiveIO reaches the filesystem through a helper: the ioflow facts
+// must carry the taint across the call.
+func (d *dev) transitiveIO(i int) error {
+	s := &d.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return d.flush() // want `may perform I/O while s\.mu \(//shhc:lock ramonly\) is held`
+}
+
+func (d *dev) flush() error {
+	return os.WriteFile(d.path, nil, 0o644)
+}
+
+// rankInversion acquires the rank-1 coordinator lock while already
+// holding a rank-2 stripe — the declared order is d.mu before shards.
+func (d *dev) rankInversion(i int) {
+	s := &d.shards[i]
+	s.mu.Lock()
+	d.mu.Lock() // want `acquiring d\.mu \(rank 1\) while holding s\.mu \(rank 2\) violates the declared lock order`
+	d.mu.Unlock()
+	s.mu.Unlock()
+}

@@ -1,0 +1,40 @@
+// Negative cases: the disciplined flows the node actually uses.
+package a
+
+import "os"
+
+// ramOnlyUnderStripe touches memory only while the stripe is held and
+// does its I/O after the unlock.
+func (d *dev) ramOnlyUnderStripe(i int) error {
+	s := &d.shards[i]
+	s.mu.Lock()
+	s.hits++
+	s.mu.Unlock()
+	return d.flush()
+}
+
+// ioUnderCoordinator is allowed: d.mu is not RAM-only, only ordered.
+func (d *dev) ioUnderCoordinator() ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return os.ReadFile(d.path)
+}
+
+// correctOrder takes the coordinator first, then a stripe.
+func (d *dev) correctOrder(i int) {
+	d.mu.Lock()
+	s := &d.shards[i]
+	s.mu.Lock()
+	s.hits++
+	s.mu.Unlock()
+	d.mu.Unlock()
+}
+
+// goroutineNotCharged: a body launched with go runs after the region.
+func (d *dev) goroutineNotCharged(i int) {
+	s := &d.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() { _ = d.flush() }()
+	s.hits++
+}

@@ -1,0 +1,3 @@
+module lockiotest
+
+go 1.24

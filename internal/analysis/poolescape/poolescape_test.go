@@ -1,0 +1,12 @@
+package poolescape_test
+
+import (
+	"testing"
+
+	"shhc/internal/analysis/analysistest"
+	"shhc/internal/analysis/poolescape"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", poolescape.Analyzer)
+}

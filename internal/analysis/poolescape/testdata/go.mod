@@ -1,0 +1,3 @@
+module poolescapetest
+
+go 1.24

@@ -1,0 +1,17 @@
+// Package pool is the marked acquire/release pair the escape analysis
+// keys on.
+package pool
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+//shhc:returns-buf
+func GetBuf() *[]byte {
+	return bufPool.Get().(*[]byte)
+}
+
+//shhc:takes-buf bp
+func PutBuf(bp *[]byte) {
+	bufPool.Put(bp)
+}

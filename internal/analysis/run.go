@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Finding is one reported, position-resolved diagnostic — the unit the
+// driver prints and the cache stores.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// RunConfig configures one multichecker run.
+type RunConfig struct {
+	// Dir is the directory whose module is analyzed (go list runs here).
+	Dir string
+	// Patterns are go package patterns; default "./...".
+	Patterns []string
+	// Analyzers to apply, in order.
+	Analyzers []*Analyzer
+	// CacheDir, when non-empty, persists per-package facts and findings
+	// keyed by content hash so unchanged packages are not re-analyzed.
+	CacheDir string
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Findings for the pattern-matched packages, position-sorted, with
+	// suppressed entries already removed.
+	Findings []Finding
+	// Suppressed counts findings silenced by //lint:ignore comments.
+	Suppressed int
+	// CacheHits counts packages whose analysis was replayed from cache.
+	CacheHits int
+	// Packages counts source packages analyzed (including cache hits).
+	Packages int
+}
+
+// Run loads the package graph and applies every analyzer to every
+// non-GOROOT package in dependency order, so facts flow bottom-up.
+// Findings are only collected for the packages the patterns named; the
+// dependency sweep exists to compute facts and markers.
+func Run(cfg RunConfig) (*Result, error) {
+	world, err := Load(cfg.Dir, cfg.Patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return RunWorld(world, cfg)
+}
+
+// RunWorld applies analyzers to an already-loaded world (the golden-test
+// harness loads once and probes multiple analyzers).
+func RunWorld(world *World, cfg RunConfig) (*Result, error) {
+	srcPkgs := world.SourcePackages()
+
+	// Markers are collected for every source package before any analyzer
+	// runs: a dependent package's pass must see its dependencies' lock
+	// and ownership markers, and collection is cheap (the AST is already
+	// in hand).
+	markers := NewMarkerSet()
+	for _, p := range srcPkgs {
+		if err := markers.collectMarkers(world.Fset, p.Files, p.Info, p.Types); err != nil {
+			return nil, err
+		}
+	}
+
+	var cache *factCache
+	if cfg.CacheDir != "" {
+		cache = &factCache{dir: cfg.CacheDir}
+	}
+	analyzerSalt := ""
+	for _, a := range cfg.Analyzers {
+		analyzerSalt += a.Name + ","
+	}
+
+	facts := newFactStore()
+	res := &Result{}
+	for _, p := range srcPkgs {
+		res.Packages++
+		key := cacheKey(p.Hash, analyzerSalt)
+		if cache != nil {
+			if ent, ok := cache.load(key); ok {
+				facts.merge(p.ImportPath, ent.Facts)
+				if !p.DepOnly {
+					res.Findings = append(res.Findings, ent.Findings...)
+					res.Suppressed += ent.Suppressed
+				}
+				res.CacheHits++
+				continue
+			}
+		}
+
+		var diags []Diagnostic
+		report := func(d Diagnostic) { diags = append(diags, d) }
+		sups := collectSuppressions(world.Fset, p.Files, report)
+		for _, a := range cfg.Analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      world.Fset,
+				Files:     p.Files,
+				Pkg:       p.Types,
+				TypesInfo: p.Info,
+				Markers:   markers,
+				report:    report,
+				facts:     facts,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, p.ImportPath, err)
+			}
+		}
+		diags, suppressed := applySuppressions(world.Fset, diags, sups)
+
+		findings := make([]Finding, 0, len(diags))
+		for _, d := range diags {
+			pos := world.Fset.Position(d.Pos)
+			findings = append(findings, Finding{
+				Analyzer: d.Analyzer,
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Message:  d.Message,
+			})
+		}
+		if cache != nil {
+			cache.store(key, &cacheEntry{
+				Facts:      facts.byPkg[p.ImportPath],
+				Findings:   findings,
+				Suppressed: suppressed,
+			})
+		}
+		if !p.DepOnly {
+			res.Findings = append(res.Findings, findings...)
+			res.Suppressed += suppressed
+		}
+	}
+
+	sort.Slice(res.Findings, func(i, j int) bool {
+		a, b := res.Findings[i], res.Findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return res, nil
+}

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppressions: a finding judged intentional is silenced in the source
+// with
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// on the offending line or on the line directly above it. The reason is
+// mandatory — a suppression with no justification is itself reported.
+// "all" matches every analyzer. This is the same shape staticcheck
+// honors, so one comment can silence both tools where they overlap.
+
+// suppression is one parsed //lint:ignore comment.
+type suppression struct {
+	file      string
+	line      int // the comment's own line; it covers line and line+1
+	analyzers []string
+	reason    string
+	pos       token.Pos
+}
+
+func (s *suppression) matches(analyzer string, file string, line int) bool {
+	if s.file != file || (line != s.line && line != s.line+1) {
+		return false
+	}
+	for _, a := range s.analyzers {
+		if a == analyzer || a == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// collectSuppressions gathers the //lint:ignore comments of a package.
+// Malformed suppressions (no analyzer list or no reason) are reported as
+// diagnostics so they cannot silently disable enforcement.
+func collectSuppressions(fset *token.FileSet, files []*ast.File, report func(Diagnostic)) []*suppression {
+	var out []*suppression
+	for _, f := range files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					report(Diagnostic{
+						Analyzer: "suppress",
+						Pos:      c.Pos(),
+						Message:  "malformed //lint:ignore: need analyzer list and a reason",
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				out = append(out, &suppression{
+					file:      pos.Filename,
+					line:      pos.Line,
+					analyzers: strings.Split(fields[0], ","),
+					reason:    strings.Join(fields[1:], " "),
+					pos:       c.Pos(),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// applySuppressions filters diagnostics covered by a matching
+// suppression, returning the survivors and the number silenced.
+func applySuppressions(fset *token.FileSet, diags []Diagnostic, sups []*suppression) ([]Diagnostic, int) {
+	if len(sups) == 0 {
+		return diags, 0
+	}
+	kept := diags[:0]
+	suppressed := 0
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		hit := false
+		for _, s := range sups {
+			if s.matches(d.Analyzer, pos.Filename, pos.Line) {
+				hit = true
+				break
+			}
+		}
+		if hit {
+			suppressed++
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	return kept, suppressed
+}

@@ -68,7 +68,7 @@ func TestFullFigure2Topology(t *testing.T) {
 		t.Fatalf("lb.New: %v", err)
 	}
 	defer balancer.Close()
-	if !balancer.WaitHealthy(2 * time.Second) {
+	if !balancer.WaitHealthy(context.Background(), 2*time.Second) {
 		t.Fatal("no front-end became healthy")
 	}
 	lbServer := httptest.NewServer(balancer)

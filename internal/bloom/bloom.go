@@ -173,6 +173,7 @@ func (f *Filter) UnmarshalBinary(data []byte) error {
 	for i := range bits {
 		bits[i] = binary.BigEndian.Uint64(data[marshalHdrSize+i*8:])
 	}
+	//lint:ignore atomicmix UnmarshalBinary replaces the whole filter pre-publication; the doc comment requires callers not to race it with Add/Test.
 	f.bits, f.nbits, f.k = bits, nbits, k
 	f.n.Store(n)
 	return nil

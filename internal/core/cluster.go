@@ -700,7 +700,7 @@ func (c *Cluster) BatchLookupOrInsert(ctx context.Context, pairs []Pair) ([]Look
 // removed locally — in-process *Node implements it; RPC clients do not
 // (migration of remote nodes runs on the node's own machine).
 type Migrator interface {
-	Entries(fn func(fp fingerprint.Fingerprint, val Value) bool) error
+	Entries(ctx context.Context, fn func(fp fingerprint.Fingerprint, val Value) bool) error
 	Remove(fp fingerprint.Fingerprint) (bool, error)
 }
 
@@ -799,7 +799,7 @@ func (c *Cluster) JoinNode(ctx context.Context, b Backend) (RebalanceStats, erro
 		}
 		var moving []entry
 		var lookupErr error
-		err := mig.Entries(func(fp fingerprint.Fingerprint, val Value) bool {
+		err := mig.Entries(ctx, func(fp fingerprint.Fingerprint, val Value) bool {
 			stats.Scanned++
 			if lookupErr = ctx.Err(); lookupErr != nil {
 				return false
@@ -907,7 +907,7 @@ func (c *Cluster) migrateFrom(ctx context.Context, source ring.NodeID, m Migrato
 		val Value
 	}
 	var toMove []entry
-	rangeErr := m.Entries(func(fp fingerprint.Fingerprint, val Value) bool {
+	rangeErr := m.Entries(ctx, func(fp fingerprint.Fingerprint, val Value) bool {
 		scanned++
 		if err = ctx.Err(); err != nil {
 			return false

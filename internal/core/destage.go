@@ -105,7 +105,7 @@ type dirtyEntry struct {
 // destageShard is one slice of the buffer's entry index. peek, the
 // lookup-hot-path operation, touches exactly one shard.
 type destageShard struct {
-	mu      sync.Mutex
+	mu      sync.Mutex //shhc:lock ramonly rank=2
 	pending map[fingerprint.Fingerprint]*dirtyEntry
 	_       [40]byte // keep neighboring shard locks off one cache line
 }
@@ -126,9 +126,9 @@ type destager struct {
 	// was released.
 	pendingN atomic.Int64
 
-	mu      sync.Mutex
-	space   sync.Cond // signaled when buffer occupancy drops
-	settled sync.Cond // broadcast when a wave lands (forget/drain waiters)
+	mu      sync.Mutex //shhc:lock rank=1
+	space   sync.Cond  // signaled when buffer occupancy drops
+	settled sync.Cond  // broadcast when a wave lands (forget/drain waiters)
 	queue   []fingerprint.Fingerprint
 	head    int // queue[:head] already popped
 	// queuedCount tracks entries with queued=true (the queue slice may

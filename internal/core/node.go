@@ -14,6 +14,8 @@
 //
 // A Cluster (cluster.go) routes fingerprints to nodes with consistent
 // hashing and fans batches out in parallel.
+//
+//shhc:ctxapi
 package core
 
 import (
@@ -257,7 +259,10 @@ func defaultStripeCount() int {
 // whole Figure 4 flow for one fingerprint runs under one lock while flows
 // for other fingerprints proceed in parallel.
 type nodeStripe struct {
-	mu sync.Mutex
+	// mu serializes the stripe's RAM walk. The SSD phase runs outside it
+	// (pipeline.go); only the LockedIO ablation deliberately violates
+	// that, with inline suppressions where it does.
+	mu sync.Mutex //shhc:lock ramonly
 
 	// inflight holds the stripe's fingerprints whose SSD phase is running
 	// outside the lock (see pipeline.go). Guarded by mu.
@@ -340,7 +345,7 @@ type Node struct {
 // NewNode uses it to rebuild the Bloom filter when a node restarts on an
 // existing hash table. Both *hashdb.DB and *hashdb.MemStore implement it.
 type Ranger interface {
-	Range(fn func(fp fingerprint.Fingerprint, v hashdb.Value) bool) error
+	Range(fn func(fp fingerprint.Fingerprint, v hashdb.Value) bool) error //shhc:io
 }
 
 // NewNode creates a hybrid hash node. If the store already holds entries
@@ -542,6 +547,7 @@ func (n *Node) Lookup(ctx context.Context, fp fingerprint.Fingerprint) (LookupRe
 	s := &n.stripes[n.stripeIndex(fp)]
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	//lint:ignore lockio LockedIO is the paper's ablation baseline: it deliberately holds the stripe lock across the SSD read to measure what the async pipeline buys.
 	return n.lookupLocked(s, fp)
 }
 
@@ -560,6 +566,7 @@ func (n *Node) LookupOrInsert(ctx context.Context, fp fingerprint.Fingerprint, v
 	s := &n.stripes[n.stripeIndex(fp)]
 	s.mu.Lock()
 	before := n.journalLSN()
+	//lint:ignore lockio LockedIO is the paper's ablation baseline: it deliberately holds the stripe lock across the SSD phase to measure what the async pipeline buys.
 	r, err := n.lookupOrInsertLocked(s, fp, val)
 	s.mu.Unlock()
 	// An eviction the insert displaced must be journal-durable before the
@@ -968,7 +975,12 @@ func (n *Node) flushLocked() error {
 
 // Entries enumerates the node's stored fingerprints (flushing write-back
 // state first so the enumeration is complete). Used by cluster rebalancing.
-func (n *Node) Entries(fn func(fp fingerprint.Fingerprint, val Value) bool) error {
+// The enumeration holds every stripe lock, so ctx is checked between
+// entries: a cancelled caller stops the walk and releases the node.
+func (n *Node) Entries(ctx context.Context, fn func(fp fingerprint.Fingerprint, val Value) bool) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	n.lockAll()
 	defer n.unlockAll()
 	if n.closed {
@@ -981,9 +993,17 @@ func (n *Node) Entries(fn func(fp fingerprint.Fingerprint, val Value) bool) erro
 	if !ok {
 		return fmt.Errorf("core: node %s: store cannot enumerate entries", n.id)
 	}
-	return r.Range(func(fp fingerprint.Fingerprint, v hashdb.Value) bool {
+	var ctxErr error
+	err := r.Range(func(fp fingerprint.Fingerprint, v hashdb.Value) bool {
+		if ctxErr = ctx.Err(); ctxErr != nil {
+			return false
+		}
 		return fn(fp, Value(v))
 	})
+	if ctxErr != nil {
+		return ctxErr
+	}
+	return err
 }
 
 // Deleter is implemented by stores that can remove entries (both hashdb

@@ -31,7 +31,7 @@ func TestNodeEntriesAndRemove(t *testing.T) {
 		n.Insert(context.Background(), fp(i), Value(i))
 	}
 	seen := map[fingerprint.Fingerprint]Value{}
-	err := n.Entries(func(f fingerprint.Fingerprint, v Value) bool {
+	err := n.Entries(context.Background(), func(f fingerprint.Fingerprint, v Value) bool {
 		seen[f] = v
 		return true
 	})
@@ -65,7 +65,7 @@ func TestEntriesIncludesWriteBackState(t *testing.T) {
 		n.LookupOrInsert(context.Background(), fp(i), Value(i))
 	}
 	count := 0
-	if err := n.Entries(func(fingerprint.Fingerprint, Value) bool { count++; return true }); err != nil {
+	if err := n.Entries(context.Background(), func(fingerprint.Fingerprint, Value) bool { count++; return true }); err != nil {
 		t.Fatalf("Entries: %v", err)
 	}
 	if count != 50 {

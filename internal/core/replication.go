@@ -529,7 +529,7 @@ type AntiEntropyStats struct {
 // entrySource is the slice of Migrator anti-entropy needs: enumeration
 // only, never removal.
 type entrySource interface {
-	Entries(fn func(fp fingerprint.Fingerprint, val Value) bool) error
+	Entries(ctx context.Context, fn func(fp fingerprint.Fingerprint, val Value) bool) error
 }
 
 // antiEntropyChunk bounds one ApplyRepair batch issued by the sweep.
@@ -566,7 +566,7 @@ func (c *Cluster) AntiEntropy(ctx context.Context) (AntiEntropyStats, error) {
 		// issuing repairs (which insert) from inside the callback would
 		// deadlock or mutate the store mid-iteration.
 		var entries []Pair
-		if err := es.Entries(func(fp fingerprint.Fingerprint, val Value) bool {
+		if err := es.Entries(ctx, func(fp fingerprint.Fingerprint, val Value) bool {
 			entries = append(entries, Pair{FP: fp, Val: val})
 			return ctx.Err() == nil
 		}); err != nil {

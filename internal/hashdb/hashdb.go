@@ -451,7 +451,14 @@ func (db *DB) markDirty() error {
 // slice↔array-pointer conversions are total.
 var pagePool = sync.Pool{New: func() any { return new([PageSize]byte) }}
 
-func getPage() []byte  { return pagePool.Get().(*[PageSize]byte)[:] }
+// getPage acquires a pooled page; release it with putPage.
+//
+//shhc:returns-buf
+func getPage() []byte { return pagePool.Get().(*[PageSize]byte)[:] }
+
+// putPage returns a page acquired from getPage to the pool.
+//
+//shhc:takes-buf b
 func putPage(b []byte) { pagePool.Put((*[PageSize]byte)(b)) }
 
 func (db *DB) bucketPage(fp fingerprint.Fingerprint) uint64 {

@@ -123,6 +123,7 @@ func (db *DB) putChain(ctx context.Context, bucket uint64, idxs []int, pairs []P
 			putPage(buf)
 			return 0, err
 		}
+		//lint:ignore poolescape chain is a function-local staging slice; every chainPage.buf is released by the putPage loop before putBatch returns.
 		chain = append(chain, chainPage{no: p, buf: buf})
 		cp := &chain[len(chain)-1]
 		n := pageCount(buf)
@@ -170,6 +171,7 @@ func (db *DB) putChain(ctx context.Context, bucket uint64, idxs []int, pairs []P
 			clear(buf)
 			setEntryAt(buf, 0, fp, val)
 			setPageCount(buf, 1)
+			//lint:ignore poolescape chain is a function-local staging slice; every chainPage.buf is released by the putPage loop before putBatch returns.
 			chain = append(chain, chainPage{buf: buf, dirty: true})
 			newPages++
 		}

@@ -7,9 +7,12 @@
 // backend that fails its check is taken out of rotation until it recovers
 // — enough of HAProxy's behavior for the architecture to be complete and
 // testable end to end.
+//
+//shhc:ctxapi
 package lb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -136,17 +139,23 @@ func (b *Balancer) probeAll() {
 	wg.Wait()
 }
 
-// WaitHealthy blocks until at least one backend is healthy or the timeout
-// elapses, reporting whether one became healthy.
-func (b *Balancer) WaitHealthy(timeout time.Duration) bool {
+// WaitHealthy blocks until at least one backend is healthy, the timeout
+// elapses, or ctx is cancelled, reporting whether one became healthy.
+func (b *Balancer) WaitHealthy(ctx context.Context, timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
+	ticker := time.NewTicker(10 * time.Millisecond)
+	defer ticker.Stop()
 	for time.Now().Before(deadline) {
 		for _, be := range b.backends {
 			if be.healthy.Load() {
 				return true
 			}
 		}
-		time.Sleep(10 * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			return false
+		case <-ticker.C:
+		}
 	}
 	return false
 }

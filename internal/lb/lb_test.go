@@ -1,6 +1,7 @@
 package lb
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -39,7 +40,7 @@ func newBalancer(t *testing.T, backends ...string) *Balancer {
 		t.Fatalf("New: %v", err)
 	}
 	t.Cleanup(func() { b.Close() })
-	if !b.WaitHealthy(2 * time.Second) {
+	if !b.WaitHealthy(context.Background(), 2*time.Second) {
 		t.Fatal("no backend became healthy")
 	}
 	return b

@@ -26,7 +26,12 @@ type Striped struct {
 }
 
 type cacheStripe struct {
-	mu sync.Mutex
+	// The paper's "no device I/O under any cache-stripe lock" invariant
+	// lives here; lockio enforces it for statically resolvable calls.
+	// The eviction callback runs under this lock by design — it is a
+	// func value lockio cannot see through, and the dynamic gated-store
+	// tests cover that blind spot.
+	mu sync.Mutex //shhc:lock ramonly
 	c  *Cache
 	// Pad stripes apart so neighboring locks do not share a cache line.
 	_ [48]byte

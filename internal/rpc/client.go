@@ -258,6 +258,9 @@ func (c *Client) timeoutFor(ctx context.Context) time.Duration {
 // and releases it once the frame is on the wire. On success the returned
 // pooled buffer holds the response payload; the caller releases it with
 // wire.PutBuf after decoding.
+//
+//shhc:takes-buf reqBuf
+//shhc:returns-buf
 func (c *Client) call(ctx context.Context, reqType wire.Type, reqBuf *[]byte) (wire.Frame, *[]byte, error) {
 	if err := ctx.Err(); err != nil {
 		wire.PutBuf(reqBuf)
@@ -388,7 +391,8 @@ var _ core.RepairApplier = (*Client)(nil)
 // request's context is cancelled or it times out); Done exposes
 // completion for select loops.
 type BatchCall struct {
-	n       int
+	n int
+	//lint:ignore ctxfirst a BatchCall is itself call-scoped (one request's future); the field carries the caller's ctx to the deferred Results wait, not past the call.
 	ctx     context.Context
 	pc      *pendingCall
 	timeout time.Duration
@@ -433,6 +437,8 @@ func (c *Client) GoBatchLookupOrInsert(ctx context.Context, pairs []core.Pair) *
 // a pooled buffer, skipping the []wire.PairPayload copy EncodeBatch would
 // cost. The caller (or c.call) releases the buffer after the frame is
 // written.
+//
+//shhc:returns-buf
 func appendCorePairBatch(pairs []core.Pair) *[]byte {
 	buf := wire.GetBuf(4 + len(pairs)*(fingerprint.Size+8))
 	b := appendUint32((*buf)[:0], uint32(len(pairs)))
@@ -607,6 +613,7 @@ func (cc *clientConn) readLoop() {
 		}
 		cc.mu.Unlock()
 		if ok {
+			//lint:ignore poolescape intentional ownership hand-off: pc.ch is buffered 1 and the waiter (or discardSettled on an abandon race) releases body exactly once.
 			pc.ch <- response{f: frame, body: body}
 			close(pc.settled)
 		} else {
@@ -682,6 +689,8 @@ func (pc *pendingCall) abandon() bool {
 // transport timeout, whichever lands first. On success the returned pooled
 // buffer (which the frame's payload aliases) belongs to the caller, who
 // releases it with wire.PutBuf after decoding.
+//
+//shhc:returns-buf
 func (pc *pendingCall) wait(ctx context.Context, timeout time.Duration) (wire.Frame, *[]byte, error) {
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
@@ -700,12 +709,35 @@ func (pc *pendingCall) wait(ctx context.Context, timeout time.Duration) (wire.Fr
 	case <-ctx.Done():
 		if pc.abandon() {
 			pc.cc.sendCancel(pc.id)
+		} else {
+			pc.discardSettled()
 		}
 		return wire.Frame{}, nil, ctx.Err()
 	case <-timer.C:
 		if pc.abandon() {
 			pc.cc.sendCancel(pc.id)
+		} else {
+			pc.discardSettled()
 		}
 		return wire.Frame{}, nil, fmt.Errorf("rpc: %v: request timed out after %v", pc.reqType, timeout)
+	}
+}
+
+// discardSettled releases the response an abandon race lost to. When
+// abandon returns false, another party removed the call from the pending
+// table first: the read loop, which then deposits the response — with its
+// pooled body — into pc.ch before closing settled, or shutdown, which
+// closes ch empty. This waiter is the only receiver, so without a drain
+// here that body would be stranded in the buffered channel forever (a
+// pool leak on every lost cancellation/timeout race). Settlement is
+// already imminent when abandon loses, so the wait is bounded.
+func (pc *pendingCall) discardSettled() {
+	<-pc.settled
+	select {
+	case resp, ok := <-pc.ch:
+		if ok {
+			wire.PutBuf(resp.body)
+		}
+	default:
 	}
 }

@@ -5,6 +5,8 @@
 // responses return as they complete, tagged with the request id. This is
 // what lets two client machines saturate a 4-node cluster in the paper's
 // Figure 5 experiment.
+//
+//shhc:ctxapi
 package rpc
 
 import (
@@ -35,6 +37,7 @@ type Server struct {
 	backend core.Backend
 	logger  *log.Logger
 
+	//lint:ignore ctxfirst rootCtx is the server's lifetime context (parent of every per-conn ctx), cancelled by Close; it is process-scoped by design, not a smuggled call ctx.
 	rootCtx    context.Context
 	rootCancel context.CancelFunc
 
@@ -261,6 +264,8 @@ func (s *Server) serveConn(conn net.Conn) {
 // (nil when the payload is empty or not pooled); the caller releases it
 // after the frame is written. f.Payload is not referenced after handle
 // returns — every arm decodes it into owned values up front.
+//
+//shhc:returns-buf
 func (s *Server) handle(ctx context.Context, f wire.Frame, version int) (wire.Frame, *[]byte) {
 	fail := func(err error) (wire.Frame, *[]byte) {
 		buf := wire.GetBuf(0)

@@ -43,6 +43,8 @@ var bufPool = sync.Pool{New: func() any {
 
 // GetBuf returns a pooled buffer with length 0 and capacity at least n.
 // Release it with PutBuf.
+//
+//shhc:returns-buf
 func GetBuf(n int) *[]byte {
 	bp := bufPool.Get().(*[]byte)
 	if cap(*bp) < n {
@@ -55,6 +57,9 @@ func GetBuf(n int) *[]byte {
 // PutBuf returns a buffer to the pool. nil is a no-op, so callers on paths
 // that may or may not hold a buffer can release unconditionally. Oversized
 // buffers are dropped for the GC instead of pinned in the pool.
+//
+//shhc:takes-buf bp
+//lint:ignore bufown dropping an oversized buffer for the GC here IS the release; re-pooling it would pin maxPooledBuf-busting allocations forever.
 func PutBuf(bp *[]byte) {
 	if bp == nil || cap(*bp) > maxPooledBuf {
 		return
@@ -200,6 +205,8 @@ func (fw *FrameWriter) WriteFrame(f Frame, version int) error {
 // placing its body in a pooled buffer. Frame.Payload aliases the returned
 // buffer; the caller must PutBuf it after the payload's last use (the
 // buffer is non-nil exactly when the error is nil).
+//
+//shhc:returns-buf
 func ReadFrameVInto(r io.Reader, version int) (Frame, *[]byte, error) {
 	hs := headerSize
 	if version >= Version1 {

@@ -31,6 +31,8 @@
 // ClusterOptions.HedgeAfter turns replicated clusters' tail latency into
 // a race the fastest replica wins. Callers that need none of that pass
 // context.Background() and pay nothing for the rest.
+//
+//shhc:ctxapi
 package shhc
 
 import (
