@@ -29,7 +29,7 @@ func main() {
 
 func run() error {
 	var (
-		runSel = flag.String("run", "all", "experiments: all|fig1|table1|fig5|fig6|ablations|async|writes|recovery|hotpath (comma-separated)")
+		runSel = flag.String("run", "all", "experiments: all|fig1|table1|fig5|fig6|ablations|async|writes|recovery|hotpath|transport (comma-separated)")
 		scale  = flag.Int("scale", 64, "workload scale divisor for cluster experiments")
 		t1     = flag.Int("table1-scale", 16, "workload scale divisor for Table I stats")
 		fps    = flag.Int("fps", 100000, "fingerprints per Figure 5 cell")
@@ -37,6 +37,9 @@ func run() error {
 		wrOut  = flag.String("writes-out", "BENCH_writes.json", "write the write-path ablation results to this JSON file (empty disables)")
 		recOut = flag.String("recovery-out", "BENCH_recovery.json", "write the recovery benchmark results to this JSON file (empty disables)")
 		hpOut  = flag.String("hotpath-out", "BENCH_hotpath.json", "write the hot-path ablation results to this JSON file (empty disables)")
+		trOut  = flag.String("transport-out", "BENCH_transport.json", "write the mux transport benchmark results to this JSON file (empty disables)")
+		trCli  = flag.Int("transport-clients", 10000, "concurrent logical clients for the transport scale scenario")
+		trConn = flag.Int("transport-conns", 16, "TCP connections for the transport scale scenario (max 16)")
 	)
 	flag.Parse()
 
@@ -211,6 +214,23 @@ func run() error {
 				return err
 			}
 			fmt.Fprintf(out, "wrote %s\n", *hpOut)
+		}
+	}
+
+	if want("transport") {
+		section("Transport: stream multiplexing, credit flow control, stall isolation")
+		start := time.Now()
+		report, err := bench.RunTransportBench(*trCli, *trConn, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, bench.FormatTransportBench(report))
+		fmt.Fprintf(out, "(%v)\n", time.Since(start).Round(time.Millisecond))
+		if *trOut != "" {
+			if err := bench.EmitTransportJSON(*trOut, report); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", *trOut)
 		}
 	}
 

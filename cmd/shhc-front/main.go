@@ -40,10 +40,14 @@ func run() error {
 		quorum   = flag.Int("quorum", 0, "write quorum when replicas > 1 (0 = majority)")
 		antiGap  = flag.Duration("anti-entropy", 0, "anti-entropy sweep interval when replicas > 1 (0 = only on membership changes)")
 		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the front-end mux")
+		rpcConns = flag.Int("rpc-conns", 0, "TCP connections per remote hash node (0 = default 4; streams multiplex over them)")
+		rpcStrms = flag.Int("rpc-streams", 0, "logical streams per node connection for plain calls (0 = default 4)")
+		rpcWin   = flag.Int("rpc-window", 0, "per-stream send-credit window in bytes (0 = default 256KiB)")
 	)
 	flag.Parse()
 
-	cluster, err := buildCluster(*nodes, *local, *replicas, *quorum, *antiGap)
+	transport := shhc.TransportOptions{Conns: *rpcConns, StreamsPerConn: *rpcStrms, Window: *rpcWin}
+	cluster, err := buildCluster(*nodes, *local, *replicas, *quorum, *antiGap, transport)
 	if err != nil {
 		return err
 	}
@@ -69,7 +73,7 @@ func run() error {
 	return front.Close()
 }
 
-func buildCluster(nodes string, local, replicas, quorum int, antiGap time.Duration) (*shhc.Cluster, error) {
+func buildCluster(nodes string, local, replicas, quorum int, antiGap time.Duration, transport shhc.TransportOptions) (*shhc.Cluster, error) {
 	if nodes != "" && local > 0 {
 		return nil, fmt.Errorf("use either -nodes or -local, not both")
 	}
@@ -91,7 +95,7 @@ func buildCluster(nodes string, local, replicas, quorum int, antiGap time.Durati
 		if !ok {
 			return nil, fmt.Errorf("bad -nodes entry %q (want id=host:port)", entry)
 		}
-		client, err := shhc.DialNode(shhc.NodeID(id), hostport)
+		client, err := shhc.DialNodeTransport(shhc.NodeID(id), hostport, transport)
 		if err != nil {
 			return nil, fmt.Errorf("dial %s: %w", entry, err)
 		}

@@ -46,3 +46,12 @@ func leakInLoop(n int) {
 		sink(*bp)
 	}
 }
+
+// releaseAfterMuxHandOff: Enqueue's takes-buf parameter already moved
+// ownership to the mux; the explicit release after it is a double
+// release.
+func releaseAfterMuxHandOff(m *pool.Mux) {
+	bp := pool.GetBuf()
+	m.Enqueue(*bp, bp)
+	pool.PutBuf(bp) // want `pooled buffer "bp" may be released twice`
+}

@@ -52,3 +52,13 @@ func borrowDoesNotRelease() {
 	sink(*bp)
 	pool.PutBuf(bp)
 }
+
+// muxHandOff is the multiplexed write path: enqueueing a frame into the
+// mux writer transfers the payload buffer's ownership through the
+// takes-buf method parameter — the flusher releases it after the socket
+// write, so the enqueuer must NOT release and must not be flagged for
+// not releasing.
+func muxHandOff(m *pool.Mux) error {
+	bp := pool.GetBuf()
+	return m.Enqueue(*bp, bp)
+}

@@ -37,3 +37,16 @@ func ReadFrameVInto(src []byte) (*[]byte, error) {
 	*bp = append((*bp)[:0], src...)
 	return bp, nil
 }
+
+// Mux mirrors the wire.MuxWriter surface: Enqueue is a takes-buf METHOD —
+// the frame's payload buffer transfers to the mux at the call and the
+// flush goroutine releases it after the socket write.
+type Mux struct{}
+
+// Enqueue takes ownership of bp.
+//
+//shhc:takes-buf bp
+func (m *Mux) Enqueue(frame []byte, bp *[]byte) error {
+	PutBuf(bp)
+	return nil
+}

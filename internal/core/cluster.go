@@ -961,6 +961,38 @@ func (c *Cluster) migrateFrom(ctx context.Context, source ring.NodeID, m Migrato
 	return moved, scanned, nil
 }
 
+// ClientTransportStats aggregates the client-side transport counters of
+// the cluster's remote backends: how many NOT_OWNER redirects their
+// clients followed and how often a caller stalled waiting for stream
+// send credit. In-process backends contribute nothing.
+type ClientTransportStats struct {
+	RedirectsFollowed uint64
+	CreditStalls      uint64
+}
+
+// clientTransportReporter is the optional backend surface for client-side
+// transport counters (implemented by rpc.Client); asserted rather than
+// added to Backend so in-process nodes need not carry it.
+type clientTransportReporter interface {
+	RedirectsFollowed() uint64
+	CreditStalls() uint64
+}
+
+// ClientTransportStats sums transport counters across backends that have
+// them (remote RPC clients on multiplexed connections).
+func (c *Cluster) ClientTransportStats() ClientTransportStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var ts ClientTransportStats
+	for _, b := range c.backends {
+		if r, ok := b.(clientTransportReporter); ok {
+			ts.RedirectsFollowed += r.RedirectsFollowed()
+			ts.CreditStalls += r.CreditStalls()
+		}
+	}
+	return ts
+}
+
 // Stats gathers per-node statistics, sorted by node ID.
 func (c *Cluster) Stats(ctx context.Context) ([]NodeStats, error) {
 	c.mu.RLock()

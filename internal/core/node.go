@@ -207,6 +207,27 @@ type ReplicaStats struct {
 	RepairCreated uint64
 }
 
+// TransportStats snapshots a node's RPC transport: the stream-multiplexed
+// connections (protocol >= 5) serving it. An in-process node has none;
+// the RPC server overlays these onto the stats it returns, and clients
+// carry them back through the wire stats payload.
+type TransportStats struct {
+	// StreamsOpen is the number of logical streams currently holding
+	// queued frames or charged credit across all live connections.
+	StreamsOpen uint64
+	// CreditStalls counts the times a stream's send window hit empty with
+	// frames still queued — a consumer falling behind its own traffic.
+	CreditStalls uint64
+	// BytesInFlight is the payload bytes queued in mux writers but not
+	// yet flushed to a socket.
+	BytesInFlight uint64
+	// WindowUpdates counts WINDOW_UPDATE credit grants sent to peers.
+	WindowUpdates uint64
+	// RedirectsIssued counts NOT_OWNER answers sent to clients whose ring
+	// view routed a key to the wrong node.
+	RedirectsIssued uint64
+}
+
 // NodeStats snapshots a node's counters.
 type NodeStats struct {
 	ID          ring.NodeID
@@ -234,6 +255,9 @@ type NodeStats struct {
 	// Replica counts repair/backfill traffic applied to this node as a
 	// replication target (see ReplicaStats).
 	Replica ReplicaStats
+	// Transport snapshots the RPC mux layer serving this node (zero for
+	// in-process nodes; see TransportStats).
+	Transport TransportStats
 }
 
 // minCachePerStripe is the smallest LRU capacity worth splitting into an

@@ -26,9 +26,14 @@ var ErrClientClosed = errors.New("rpc: client is closed")
 // transport failure). When the remote failure was a context cancellation
 // or deadline on the server side, Unwrap exposes the matching context
 // error so errors.Is(err, context.DeadlineExceeded) holds across the wire.
+// On protocol >= 5 connections Code carries the server's compact error
+// code; CodeNotOwner additionally populates the true owner's identity.
 type ServerError struct {
-	Msg   string
-	cause error
+	Msg       string
+	Code      wire.Code
+	OwnerID   string
+	OwnerAddr string
+	cause     error
 }
 
 func (e *ServerError) Error() string { return "rpc: server: " + e.Msg }
@@ -51,6 +56,26 @@ func newServerError(msg string) *ServerError {
 	return e
 }
 
+// decodeServerError turns a TypeError payload (either layout) into a
+// *ServerError, preferring the v5 code over string sniffing when present.
+func decodeServerError(payload []byte) *ServerError {
+	ep, err := wire.DecodeErrorPayload(payload)
+	if err != nil {
+		return &ServerError{Msg: "undecodable server error"}
+	}
+	e := newServerError(ep.Msg)
+	e.Code = ep.Code
+	e.OwnerID = ep.OwnerID
+	e.OwnerAddr = ep.OwnerAddr
+	switch ep.Code {
+	case wire.CodeCancelled:
+		e.cause = context.Canceled
+	case wire.CodeDeadline:
+		e.cause = context.DeadlineExceeded
+	}
+	return e
+}
+
 // ClientConfig configures a Client.
 type ClientConfig struct {
 	// Conns is the connection pool size; requests round-robin across it.
@@ -62,6 +87,30 @@ type ClientConfig struct {
 	// Timeout bounds each request round-trip when the caller's context
 	// carries no earlier deadline. Default 30s.
 	Timeout time.Duration
+	// MaxVersion caps the protocol version offered in the handshake
+	// (0 = wire.MaxVersion). For version-skew tests and staged rollouts.
+	MaxVersion int
+	// StreamsPerConn is how many logical streams the client's default
+	// (non-OpenStream) traffic round-robins across on each connection.
+	// Default 4. Protocol >= 5 connections only; below that there is one
+	// implicit stream.
+	StreamsPerConn int
+	// Window is the initial per-stream send-credit window in bytes
+	// (0 = wire.DefaultWindow). Must match nothing on the server — each
+	// side declares the window it grants for traffic flowing toward it.
+	Window int
+	// RedialAttempts bounds how many times an operation redials a dead
+	// connection slot before giving up (default 3). With RedialBackoff
+	// this makes a briefly-restarted node invisible to in-flight-free
+	// callers instead of an instant error.
+	RedialAttempts int
+	// RedialBackoff is the initial sleep between redial attempts,
+	// doubling each attempt (default 50ms).
+	RedialBackoff time.Duration
+	// NoRedirects disables following NOT_OWNER redirects (protocol >= 5).
+	// Redirected-to clients set it internally so a bouncing ring view
+	// cannot chain redirects.
+	NoRedirects bool
 }
 
 func (c *ClientConfig) fill() {
@@ -73,6 +122,21 @@ func (c *ClientConfig) fill() {
 	}
 	if c.Timeout <= 0 {
 		c.Timeout = 30 * time.Second
+	}
+	if c.MaxVersion <= 0 || c.MaxVersion > wire.MaxVersion {
+		c.MaxVersion = wire.MaxVersion
+	}
+	if c.StreamsPerConn <= 0 {
+		c.StreamsPerConn = 4
+	}
+	if c.Window <= 0 {
+		c.Window = wire.DefaultWindow
+	}
+	if c.RedialAttempts <= 0 {
+		c.RedialAttempts = 3
+	}
+	if c.RedialBackoff <= 0 {
+		c.RedialBackoff = 50 * time.Millisecond
 	}
 }
 
@@ -95,6 +159,21 @@ type Client struct {
 	conns  []*clientConn
 	next   uint64
 	closed bool
+
+	// nextStreamID hands out logical stream ids: 1..StreamsPerConn are
+	// the default round-robin pool, the repair stream and OpenStream
+	// handles take ids above that. Stream 0 is the control/legacy stream.
+	nextStreamID uint32
+	repairStream uint32
+	streamNext   uint64 // atomic; round-robins default traffic over the pool
+
+	// redirects caches one child client per NOT_OWNER target so a stale
+	// ring view costs one extra dial, not one per request. Child clients
+	// never follow redirects themselves (no chains).
+	redirectMu        sync.Mutex
+	redirects         map[string]*Client
+	redirectsFollowed uint64
+	creditStalls      uint64
 }
 
 var _ core.Backend = (*Client)(nil)
@@ -103,7 +182,19 @@ var _ core.Backend = (*Client)(nil)
 // version.
 func Dial(id ring.NodeID, addr string, cfg ClientConfig) (*Client, error) {
 	cfg.fill()
-	c := &Client{id: id, addr: addr, cfg: cfg, conns: make([]*clientConn, cfg.Conns)}
+	c := &Client{
+		id:    id,
+		addr:  addr,
+		cfg:   cfg,
+		conns: make([]*clientConn, cfg.Conns),
+		// Default traffic rotates streams 1..StreamsPerConn; the repair
+		// stream is the first id after the pool (already allocated here,
+		// hence +2), so replication backfill never shares a window with
+		// foreground lookups.
+		nextStreamID: uint32(cfg.StreamsPerConn) + 2,
+		repairStream: uint32(cfg.StreamsPerConn) + 1,
+		redirects:    make(map[string]*Client),
+	}
 	// Establish the first connection eagerly so configuration errors
 	// surface at startup; the rest dial lazily.
 	cc, err := c.dialConn()
@@ -112,6 +203,26 @@ func Dial(id ring.NodeID, addr string, cfg ClientConfig) (*Client, error) {
 	}
 	c.conns[0] = cc
 	return c, nil
+}
+
+// nextStream picks a default-pool stream for one call. Round-robin over
+// the pool spreads independent callers across windows so one slow batch
+// consumer cannot starve every caller sharing the client.
+func (c *Client) nextStream() uint32 {
+	n := atomic.AddUint64(&c.streamNext, 1)
+	return 1 + uint32(n%uint64(c.cfg.StreamsPerConn))
+}
+
+// RedirectsFollowed reports how many NOT_OWNER redirects this client has
+// followed to the true owner.
+func (c *Client) RedirectsFollowed() uint64 {
+	return atomic.LoadUint64(&c.redirectsFollowed)
+}
+
+// CreditStalls reports how many times a caller had to wait for stream
+// send credit before its request could be written.
+func (c *Client) CreditStalls() uint64 {
+	return atomic.LoadUint64(&c.creditStalls)
 }
 
 // ID returns the remote node's ring identity.
@@ -145,13 +256,23 @@ func (c *Client) dialConn() (*clientConn, error) {
 		conn:    conn,
 		fw:      wire.NewFrameWriter(conn),
 		pending: make(map[uint64]*pendingCall),
+		windows: make(map[uint32]*sendWindow),
+		window:  int64(c.cfg.Window),
+		deadCh:  make(chan struct{}),
+		stalls:  &c.creditStalls,
 	}
-	version, err := negotiate(conn, cc.fw, c.cfg.DialTimeout)
+	version, srvWindow, err := negotiate(conn, cc.fw, c.cfg.DialTimeout, c.cfg.MaxVersion, uint32(c.cfg.Window))
 	if err != nil {
 		conn.Close()
 		return nil, err
 	}
 	cc.version = version
+	// The server advertised its per-stream response window in the
+	// HelloAck (0 on pre-advertisement peers). Knowing it lets us
+	// coalesce consumption grants: withhold WINDOW_UPDATE frames until a
+	// quarter-window is pending, cutting per-op frame count without ever
+	// letting the server's window run dry.
+	cc.grantEvery = int64(srvWindow / 4)
 	go cc.readLoop()
 	return cc, nil
 }
@@ -161,45 +282,56 @@ func (c *Client) dialConn() (*clientConn, error) {
 // read one frame back. HelloAck carries the negotiated version; TypeError
 // means the peer is a version-0 server that rejected the unknown frame
 // type — fully supported, just no deadlines or cancels on the wire.
-func negotiate(conn net.Conn, fw *wire.FrameWriter, timeout time.Duration) (int, error) {
+// It also returns the server's advertised per-stream response window (0
+// when the peer predates window advertisement).
+func negotiate(conn net.Conn, fw *wire.FrameWriter, timeout time.Duration, maxVersion int, sendWindow uint32) (int, uint32, error) {
 	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
-		return 0, fmt.Errorf("rpc: handshake: %w", err)
+		return 0, 0, fmt.Errorf("rpc: handshake: %w", err)
 	}
 	defer conn.SetDeadline(time.Time{})
-	var hello [4]byte
-	err := fw.WriteFrame(wire.Frame{Type: wire.TypeHello, Payload: wire.AppendHello(hello[:0], wire.MaxVersion)}, wire.Version0)
+	var hello [8]byte
+	payload := wire.AppendHello(hello[:0], maxVersion)
+	if maxVersion >= wire.Version5 {
+		// Offering the multiplexed protocol: extend the Hello with our
+		// per-stream send window so the server can coalesce the credit
+		// grants it returns for flushed requests.
+		payload = wire.AppendHelloWindow(hello[:0], maxVersion, sendWindow)
+	}
+	err := fw.WriteFrame(wire.Frame{Type: wire.TypeHello, Payload: payload}, wire.Version0)
 	if err != nil {
-		return 0, fmt.Errorf("rpc: handshake send: %w", err)
+		return 0, 0, fmt.Errorf("rpc: handshake send: %w", err)
 	}
 	// Read straight off the conn: a buffered reader here could slurp
 	// bytes that belong to the read loop's own reader.
 	resp, err := wire.ReadFrame(conn)
 	if err != nil {
-		return 0, fmt.Errorf("rpc: handshake read: %w", err)
+		return 0, 0, fmt.Errorf("rpc: handshake read: %w", err)
 	}
 	switch resp.Type {
 	case wire.TypeHelloAck:
 		v, err := wire.DecodeHello(resp.Payload)
 		if err != nil {
-			return 0, fmt.Errorf("rpc: handshake: %w", err)
+			return 0, 0, fmt.Errorf("rpc: handshake: %w", err)
 		}
-		if v > wire.MaxVersion {
-			return 0, fmt.Errorf("rpc: handshake: server negotiated unsupported version %d", v)
+		if v > maxVersion {
+			return 0, 0, fmt.Errorf("rpc: handshake: server negotiated unsupported version %d", v)
 		}
-		return v, nil
+		return v, wire.HelloWindow(resp.Payload), nil
 	case wire.TypeError:
 		// A version-0 server rejects the Hello frame type; fall back.
-		return wire.Version0, nil
+		return wire.Version0, 0, nil
 	default:
-		return 0, fmt.Errorf("rpc: handshake: unexpected %v response", resp.Type)
+		return 0, 0, fmt.Errorf("rpc: handshake: unexpected %v response", resp.Type)
 	}
 }
 
 // pick returns a live pooled connection, redialing dead slots lazily.
 // The dial (TCP connect + version handshake, up to DialTimeout) runs
 // OUTSIDE c.mu: one dead slot must not stall callers that round-robin
-// onto healthy connections.
-func (c *Client) pick() (*clientConn, error) {
+// onto healthy connections. A dial failure is retried RedialAttempts
+// times with doubling backoff (under ctx), so a briefly-restarted node
+// costs in-flight-free callers a short wait instead of an error.
+func (c *Client) pick(ctx context.Context) (*clientConn, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -213,7 +345,7 @@ func (c *Client) pick() (*clientConn, error) {
 		return cc, nil
 	}
 
-	fresh, err := c.dialConn()
+	fresh, err := c.redial(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -237,6 +369,30 @@ func (c *Client) pick() (*clientConn, error) {
 	return fresh, nil
 }
 
+// redial dials with bounded retry: RedialAttempts attempts separated by
+// RedialBackoff, doubling, cut short by ctx. The last error wins.
+func (c *Client) redial(ctx context.Context) (*clientConn, error) {
+	backoff := c.cfg.RedialBackoff
+	var err error
+	for attempt := 0; attempt < c.cfg.RedialAttempts; attempt++ {
+		if attempt > 0 {
+			timer := time.NewTimer(backoff)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return nil, ctx.Err()
+			}
+			backoff *= 2
+		}
+		var cc *clientConn
+		if cc, err = c.dialConn(); err == nil {
+			return cc, nil
+		}
+	}
+	return nil, err
+}
+
 // timeoutFor merges the context deadline with the configured per-request
 // timeout, returning the relative time budget to put on the wire: the
 // smaller of the context's remaining time and cfg.Timeout. Relative, not
@@ -253,20 +409,23 @@ func (c *Client) timeoutFor(ctx context.Context) time.Duration {
 	return t
 }
 
-// call performs one round-trip under ctx. It takes ownership of reqBuf
-// (the pooled buffer holding the request payload; nil for empty payloads)
-// and releases it once the frame is on the wire. On success the returned
+// call performs one round-trip under ctx on the given logical stream. It
+// takes ownership of reqBuf (the pooled buffer holding the request
+// payload; nil for empty payloads) and releases it once the frame is on
+// the wire — except on redirectable single-key verbs, where it is held
+// until the response so a NOT_OWNER answer can be retried against the
+// true owner without re-encoding from scratch. On success the returned
 // pooled buffer holds the response payload; the caller releases it with
 // wire.PutBuf after decoding.
 //
 //shhc:takes-buf reqBuf
 //shhc:returns-buf
-func (c *Client) call(ctx context.Context, reqType wire.Type, reqBuf *[]byte) (wire.Frame, *[]byte, error) {
+func (c *Client) call(ctx context.Context, stream uint32, reqType wire.Type, reqBuf *[]byte) (wire.Frame, *[]byte, error) {
 	if err := ctx.Err(); err != nil {
 		wire.PutBuf(reqBuf)
 		return wire.Frame{}, nil, err
 	}
-	cc, err := c.pick()
+	cc, err := c.pick(ctx)
 	if err != nil {
 		wire.PutBuf(reqBuf)
 		return wire.Frame{}, nil, err
@@ -275,29 +434,101 @@ func (c *Client) call(ctx context.Context, reqType wire.Type, reqBuf *[]byte) (w
 	if reqBuf != nil {
 		payload = *reqBuf
 	}
-	pc, err := cc.start(reqType, payload, c.timeoutFor(ctx))
-	wire.PutBuf(reqBuf) // start wrote (or failed to write) the frame; the payload's last use is behind us
+	holdReq := c.redirectable(reqType, cc.version) && reqBuf != nil
+	pc, err := cc.start(ctx, stream, reqType, payload, c.timeoutFor(ctx))
+	if !holdReq {
+		// start wrote (or failed to write) the frame; the payload's last
+		// use is behind us.
+		wire.PutBuf(reqBuf)
+		reqBuf = nil
+	}
 	if err != nil {
+		wire.PutBuf(reqBuf)
 		return wire.Frame{}, nil, err
 	}
 	resp, body, err := pc.wait(ctx, c.cfg.Timeout)
 	if err != nil {
+		wire.PutBuf(reqBuf)
 		return wire.Frame{}, nil, err
 	}
 	if resp.Type == wire.TypeError {
-		msg, derr := wire.DecodeError(resp.Payload)
+		se := decodeServerError(resp.Payload)
+		n := len(resp.Payload)
 		wire.PutBuf(body)
-		if derr != nil {
-			msg = "undecodable server error"
+		cc.grantConsumed(resp.Stream, n)
+		if se.Code == wire.CodeNotOwner && reqBuf != nil && se.OwnerAddr != "" {
+			return c.redirectCall(ctx, stream, reqType, reqBuf, se)
 		}
-		return wire.Frame{}, nil, newServerError(msg)
+		wire.PutBuf(reqBuf)
+		return wire.Frame{}, nil, se
 	}
+	wire.PutBuf(reqBuf)
+	// The synchronous caller decodes the payload immediately after this
+	// returns; count it consumed now so the stream's response window
+	// reopens without another wire round.
+	cc.grantConsumed(resp.Stream, len(resp.Payload))
 	return resp, body, nil
+}
+
+// redirectable reports whether a verb can follow a NOT_OWNER redirect:
+// single-key verbs on a protocol >= 5 connection, unless disabled.
+func (c *Client) redirectable(t wire.Type, version int) bool {
+	if c.cfg.NoRedirects || version < wire.Version5 {
+		return false
+	}
+	return t == wire.TypeLookup || t == wire.TypeLookupOrInsert || t == wire.TypeInsert
+}
+
+// redirectCall retries a NOT_OWNER-rejected request against the owner the
+// server named, through a cached child client — one extra RTT instead of
+// proxying every future request through the wrong node. Takes ownership
+// of reqBuf.
+//
+//shhc:takes-buf reqBuf
+//shhc:returns-buf
+func (c *Client) redirectCall(ctx context.Context, stream uint32, reqType wire.Type, reqBuf *[]byte, se *ServerError) (wire.Frame, *[]byte, error) {
+	rc, err := c.redirectTo(se.OwnerID, se.OwnerAddr)
+	if err != nil {
+		// The named owner is unreachable; surface the original redirect
+		// error (it carries the owner identity for the caller to act on).
+		wire.PutBuf(reqBuf)
+		return wire.Frame{}, nil, se
+	}
+	atomic.AddUint64(&c.redirectsFollowed, 1)
+	return rc.call(ctx, stream, reqType, reqBuf)
+}
+
+// redirectTo returns (dialing and caching on first use) the child client
+// for a redirect target. Child clients are single-conn and never follow
+// redirects themselves, so a bouncing ring view cannot chain.
+func (c *Client) redirectTo(id, addr string) (*Client, error) {
+	c.redirectMu.Lock()
+	rc := c.redirects[addr]
+	c.redirectMu.Unlock()
+	if rc != nil {
+		return rc, nil
+	}
+	cfg := c.cfg
+	cfg.Conns = 1
+	cfg.NoRedirects = true
+	fresh, err := Dial(ringNodeID(id), addr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.redirectMu.Lock()
+	if cur := c.redirects[addr]; cur != nil {
+		c.redirectMu.Unlock()
+		fresh.Close()
+		return cur, nil
+	}
+	c.redirects[addr] = fresh
+	c.redirectMu.Unlock()
+	return fresh, nil
 }
 
 // Ping checks liveness of the remote node.
 func (c *Client) Ping(ctx context.Context) error {
-	resp, body, err := c.call(ctx, wire.TypePing, nil)
+	resp, body, err := c.call(ctx, 0, wire.TypePing, nil)
 	if err != nil {
 		return err
 	}
@@ -310,9 +541,13 @@ func (c *Client) Ping(ctx context.Context) error {
 
 // Lookup asks the remote node whether fp exists, without inserting.
 func (c *Client) Lookup(ctx context.Context, fp fingerprint.Fingerprint) (core.LookupResult, error) {
+	return c.lookupOn(ctx, c.nextStream(), fp)
+}
+
+func (c *Client) lookupOn(ctx context.Context, stream uint32, fp fingerprint.Fingerprint) (core.LookupResult, error) {
 	buf := wire.GetBuf(fingerprint.Size)
 	*buf = wire.AppendFP((*buf)[:0], fp)
-	resp, body, err := c.call(ctx, wire.TypeLookup, buf)
+	resp, body, err := c.call(ctx, stream, wire.TypeLookup, buf)
 	if err != nil {
 		return core.LookupResult{}, err
 	}
@@ -326,9 +561,13 @@ func (c *Client) Lookup(ctx context.Context, fp fingerprint.Fingerprint) (core.L
 
 // LookupOrInsert runs the Figure 4 flow on the remote node.
 func (c *Client) LookupOrInsert(ctx context.Context, fp fingerprint.Fingerprint, val core.Value) (core.LookupResult, error) {
+	return c.lookupOrInsertOn(ctx, c.nextStream(), fp, val)
+}
+
+func (c *Client) lookupOrInsertOn(ctx context.Context, stream uint32, fp fingerprint.Fingerprint, val core.Value) (core.LookupResult, error) {
 	buf := wire.GetBuf(0)
 	*buf = wire.AppendPair((*buf)[:0], wire.PairPayload{FP: fp, Val: uint64(val)})
-	resp, body, err := c.call(ctx, wire.TypeLookupOrInsert, buf)
+	resp, body, err := c.call(ctx, stream, wire.TypeLookupOrInsert, buf)
 	if err != nil {
 		return core.LookupResult{}, err
 	}
@@ -342,9 +581,13 @@ func (c *Client) LookupOrInsert(ctx context.Context, fp fingerprint.Fingerprint,
 
 // Insert unconditionally records fp -> val on the remote node.
 func (c *Client) Insert(ctx context.Context, fp fingerprint.Fingerprint, val core.Value) error {
+	return c.insertOn(ctx, c.nextStream(), fp, val)
+}
+
+func (c *Client) insertOn(ctx context.Context, stream uint32, fp fingerprint.Fingerprint, val core.Value) error {
 	buf := wire.GetBuf(0)
 	*buf = wire.AppendPair((*buf)[:0], wire.PairPayload{FP: fp, Val: uint64(val)})
-	_, body, err := c.call(ctx, wire.TypeInsert, buf)
+	_, body, err := c.call(ctx, stream, wire.TypeInsert, buf)
 	wire.PutBuf(body)
 	return err
 }
@@ -365,7 +608,11 @@ func (c *Client) ApplyRepair(ctx context.Context, pairs []core.Pair) ([]core.Loo
 	if c.Version() < wire.Version4 {
 		reqType = wire.TypeBatch
 	}
-	resp, body, err := c.call(ctx, reqType, appendCorePairBatch(pairs))
+	// Repair rides its own dedicated stream: backfill bursts share wire
+	// bytes with foreground lookups but never a credit window, so a big
+	// repair batch cannot head-of-line-block client traffic (or vice
+	// versa) on a multiplexed connection.
+	resp, body, err := c.call(ctx, c.repairStream, reqType, appendCorePairBatch(pairs))
 	if err != nil {
 		return nil, err
 	}
@@ -412,18 +659,22 @@ type BatchCall struct {
 // call: its deadline rides in the request frame and cancelling it
 // abandons the future (a CANCEL frame tells the server to stop).
 func (c *Client) GoBatchLookupOrInsert(ctx context.Context, pairs []core.Pair) *BatchCall {
+	return c.goBatchOn(ctx, c.nextStream(), pairs)
+}
+
+func (c *Client) goBatchOn(ctx context.Context, stream uint32, pairs []core.Pair) *BatchCall {
 	call := &BatchCall{n: len(pairs), ctx: ctx, timeout: c.cfg.Timeout}
 	if err := ctx.Err(); err != nil {
 		call.err = err
 		return call
 	}
-	cc, err := c.pick()
+	cc, err := c.pick(ctx)
 	if err != nil {
 		call.err = err
 		return call
 	}
 	buf := appendCorePairBatch(pairs)
-	pc, err := cc.start(wire.TypeBatch, *buf, c.timeoutFor(ctx))
+	pc, err := cc.start(ctx, stream, wire.TypeBatch, *buf, c.timeoutFor(ctx))
 	wire.PutBuf(buf)
 	if err != nil {
 		call.err = err
@@ -481,12 +732,13 @@ func (b *BatchCall) wait() {
 		return
 	}
 	defer wire.PutBuf(body)
+	// Results() IS the consumption point of the pipelined protocol:
+	// only now do the response bytes return to the stream's window. A
+	// future nobody collects keeps its own stream credit-blocked — and
+	// no one else's.
+	b.pc.cc.grantConsumed(resp.Stream, len(resp.Payload))
 	if resp.Type == wire.TypeError {
-		msg, derr := wire.DecodeError(resp.Payload)
-		if derr != nil {
-			msg = "undecodable server error"
-		}
-		b.resErr = newServerError(msg)
+		b.resErr = decodeServerError(resp.Payload)
 		return
 	}
 	rs, err := wire.DecodeBatchResult(resp.Payload)
@@ -507,7 +759,7 @@ func (b *BatchCall) wait() {
 
 // Stats fetches the remote node's counters.
 func (c *Client) Stats(ctx context.Context) (core.NodeStats, error) {
-	resp, body, err := c.call(ctx, wire.TypeStats, nil)
+	resp, body, err := c.call(ctx, 0, wire.TypeStats, nil)
 	if err != nil {
 		return core.NodeStats{}, err
 	}
@@ -519,11 +771,12 @@ func (c *Client) Stats(ctx context.Context) (core.NodeStats, error) {
 	return fromWireStats(s), nil
 }
 
-// Close tears down all pooled connections.
+// Close tears down all pooled connections and any cached redirect
+// clients.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return ErrClientClosed
 	}
 	c.closed = true
@@ -532,10 +785,90 @@ func (c *Client) Close() error {
 			cc.shutdown(ErrClientClosed)
 		}
 	}
+	c.mu.Unlock()
+
+	c.redirectMu.Lock()
+	children := c.redirects
+	c.redirects = make(map[string]*Client)
+	c.redirectMu.Unlock()
+	for _, rc := range children {
+		rc.Close()
+	}
 	return nil
 }
 
+// OpenStream allocates a dedicated logical stream on the client and
+// returns a handle whose operations all ride that stream: its own credit
+// window, its own place in the server's round-robin scheduler. Cheap —
+// no wire traffic, just an id — so each subsystem (webfront, batcher,
+// replication) can own one. On pre-5 connections the handle still works;
+// it simply shares the single implicit stream with everything else.
+func (c *Client) OpenStream() *ClientStream {
+	id := atomic.AddUint32(&c.nextStreamID, 1) - 1
+	return &ClientStream{c: c, id: id}
+}
+
+// ClientStream is a stream-pinned view of a Client. It implements
+// core.Backend, so anything that routes through a Backend can be handed
+// its own stream transparently.
+type ClientStream struct {
+	c  *Client
+	id uint32
+}
+
+var _ core.Backend = (*ClientStream)(nil)
+
+// ID returns the remote node's ring identity.
+func (s *ClientStream) ID() ring.NodeID { return s.c.ID() }
+
+// Stream returns the handle's logical stream id.
+func (s *ClientStream) Stream() uint32 { return s.id }
+
+// Ping checks liveness (control stream; never credit-charged).
+func (s *ClientStream) Ping(ctx context.Context) error { return s.c.Ping(ctx) }
+
+// Lookup runs a lookup on this handle's stream.
+func (s *ClientStream) Lookup(ctx context.Context, fp fingerprint.Fingerprint) (core.LookupResult, error) {
+	return s.c.lookupOn(ctx, s.id, fp)
+}
+
+// LookupOrInsert runs the Figure 4 flow on this handle's stream.
+func (s *ClientStream) LookupOrInsert(ctx context.Context, fp fingerprint.Fingerprint, val core.Value) (core.LookupResult, error) {
+	return s.c.lookupOrInsertOn(ctx, s.id, fp, val)
+}
+
+// Insert unconditionally records fp -> val on this handle's stream.
+func (s *ClientStream) Insert(ctx context.Context, fp fingerprint.Fingerprint, val core.Value) error {
+	return s.c.insertOn(ctx, s.id, fp, val)
+}
+
+// BatchLookupOrInsert sends one batch frame on this handle's stream.
+func (s *ClientStream) BatchLookupOrInsert(ctx context.Context, pairs []core.Pair) ([]core.LookupResult, error) {
+	return s.GoBatchLookupOrInsert(ctx, pairs).Results()
+}
+
+// GoBatchLookupOrInsert pipelines one batch on this handle's stream and
+// returns a future. Uncollected futures exhaust only this stream's
+// credit; every other stream keeps flowing.
+func (s *ClientStream) GoBatchLookupOrInsert(ctx context.Context, pairs []core.Pair) *BatchCall {
+	return s.c.goBatchOn(ctx, s.id, pairs)
+}
+
+// Stats fetches the remote node's counters (control stream).
+func (s *ClientStream) Stats(ctx context.Context) (core.NodeStats, error) {
+	return s.c.Stats(ctx)
+}
+
+// Close releases nothing: the stream is just an id, and the underlying
+// Client (whose lifetime the owner manages) stays open.
+func (s *ClientStream) Close() error { return nil }
+
 // clientConn is one pipelined connection with an id-keyed pending table.
+// On protocol >= 5 connections it additionally tracks one send-credit
+// window per logical stream: a caller writing on a stream whose window is
+// exhausted blocks (in start) until the server grants credit back — that
+// per-caller blocking IS the isolation, because callers on other streams
+// never touch the exhausted window.
 type clientConn struct {
 	conn    net.Conn
 	version int // negotiated protocol version, fixed after the handshake
@@ -549,7 +882,135 @@ type clientConn struct {
 	dead    bool
 	deadErr error
 
+	// window is the initial per-stream send credit; windows holds each
+	// stream's live balance. deadCh wakes credit-waiters on shutdown.
+	window  int64
+	winMu   sync.Mutex
+	windows map[uint32]*sendWindow
+	deadCh  chan struct{}
+	stalls  *uint64 // the owning Client's credit-stall counter (atomic)
+
+	// grantEvery coalesces consumption grants: withhold WINDOW_UPDATE
+	// frames for a stream until this many consumed bytes are pending
+	// (a quarter of the server's advertised response window; 0 — peer
+	// did not advertise — grants immediately). Withholding less than
+	// the full window can never wedge the stream: the server always
+	// retains at least three quarters of its credit.
+	grantEvery int64
+
 	closeOnce sync.Once
+}
+
+// sendWindow is one stream's send-credit balance. wake is closed and
+// replaced on every grant, broadcasting to all waiters. pendGrant rides
+// along as the stream's withheld consumption grants for the opposite
+// (response) direction — bytes consumed but not yet granted back to the
+// server, flushed once they reach clientConn.grantEvery.
+type sendWindow struct {
+	mu        sync.Mutex
+	win       int64
+	wake      chan struct{}
+	pendGrant int64
+}
+
+// windowFor returns (creating if needed) the stream's send window.
+func (cc *clientConn) windowFor(stream uint32) *sendWindow {
+	cc.winMu.Lock()
+	w := cc.windows[stream]
+	if w == nil {
+		w = &sendWindow{win: cc.window, wake: make(chan struct{})}
+		cc.windows[stream] = w
+	}
+	cc.winMu.Unlock()
+	return w
+}
+
+// acquire charges n bytes against the stream's send window, blocking
+// while the balance is empty. The window may go negative (one oversized
+// frame), which blocks the stream until grants restore it.
+func (cc *clientConn) acquire(ctx context.Context, stream uint32, n int) error {
+	if cc.version < wire.Version5 || stream == 0 || n == 0 {
+		return nil
+	}
+	w := cc.windowFor(stream)
+	w.mu.Lock()
+	stalled := false
+	for w.win <= 0 {
+		if !stalled {
+			stalled = true
+			atomic.AddUint64(cc.stalls, 1)
+		}
+		ch := w.wake
+		w.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-cc.deadCh:
+			cc.mu.Lock()
+			err := cc.deadErr
+			cc.mu.Unlock()
+			if err == nil {
+				err = errors.New("rpc: connection closed")
+			}
+			return err
+		}
+		w.mu.Lock()
+	}
+	w.win -= int64(n)
+	w.mu.Unlock()
+	return nil
+}
+
+// grantSend credits the stream's send window (a WINDOW_UPDATE arrived:
+// the server flushed responses and returned the request bytes).
+func (cc *clientConn) grantSend(stream uint32, n int) {
+	w := cc.windowFor(stream)
+	w.mu.Lock()
+	w.win += int64(n)
+	if w.win > cc.window {
+		w.win = cc.window
+	}
+	close(w.wake)
+	w.wake = make(chan struct{})
+	w.mu.Unlock()
+}
+
+// grantConsumed tells the server we consumed n bytes of response payload
+// on the stream, reopening its response window (protocol >= 5). Sent on
+// consumption — not delivery — so an unconsumed future keeps its stream's
+// server-side window shut, which is exactly the back-pressure the mux
+// design wants.
+func (cc *clientConn) grantConsumed(stream uint32, n int) {
+	if cc.version < wire.Version5 || stream == 0 || n == 0 || cc.isDead() {
+		return
+	}
+	credit := int64(n)
+	if cc.grantEvery > 0 {
+		// Coalesce: accumulate until a quarter of the server's window is
+		// pending, then grant the whole batch in one frame.
+		w := cc.windowFor(stream)
+		w.mu.Lock()
+		w.pendGrant += credit
+		if w.pendGrant < cc.grantEvery {
+			w.mu.Unlock()
+			return
+		}
+		credit = w.pendGrant
+		w.pendGrant = 0
+		w.mu.Unlock()
+	}
+	var payload [4]byte
+	cc.writeMu.Lock()
+	err := cc.fw.WriteFrame(wire.Frame{
+		Type:    wire.TypeWindowUpdate,
+		Stream:  stream,
+		Payload: wire.AppendWindowUpdate(payload[:0], uint32(credit)),
+	}, cc.version)
+	cc.writeMu.Unlock()
+	if err != nil {
+		cc.shutdown(fmt.Errorf("rpc: send window update: %w", err))
+	}
 }
 
 // response is a received frame plus the pooled buffer its payload aliases.
@@ -591,6 +1052,7 @@ func (cc *clientConn) shutdown(err error) {
 	cc.pending = map[uint64]*pendingCall{}
 	cc.mu.Unlock()
 
+	close(cc.deadCh) // wake credit-waiters; their windows die with the conn
 	cc.closeOnce.Do(func() { cc.conn.Close() })
 	for _, pc := range waiters {
 		close(pc.ch)
@@ -606,6 +1068,18 @@ func (cc *clientConn) readLoop() {
 			cc.shutdown(fmt.Errorf("rpc: connection lost: %w", err))
 			return
 		}
+		if frame.Type == wire.TypeWindowUpdate {
+			// Credit grant from the server: the responses we asked for
+			// flushed, so our request window on that stream reopens.
+			n, derr := wire.DecodeWindowUpdate(frame.Payload)
+			wire.PutBuf(body)
+			if derr != nil {
+				cc.shutdown(fmt.Errorf("rpc: bad window update: %w", derr))
+				return
+			}
+			cc.grantSend(frame.Stream, int(n))
+			continue
+		}
 		cc.mu.Lock()
 		pc, ok := cc.pending[frame.ID]
 		if ok {
@@ -618,8 +1092,11 @@ func (cc *clientConn) readLoop() {
 			close(pc.settled)
 		} else {
 			// Nobody is waiting (abandoned by timeout or cancel) — the
-			// payload dies here.
+			// payload dies here, and its bytes still count as consumed so
+			// the stream's response window is not leaked shut.
+			n := len(frame.Payload)
 			wire.PutBuf(body)
+			cc.grantConsumed(frame.Stream, n)
 		}
 	}
 }
@@ -627,8 +1104,14 @@ func (cc *clientConn) readLoop() {
 // start registers a call and writes its request frame, returning without
 // waiting for the response — this is what pipelines multiple requests onto
 // one connection. timeout (relative, 0 = none) rides in the frame on
-// version >= 1 connections.
-func (cc *clientConn) start(reqType wire.Type, payload []byte, timeout time.Duration) (*pendingCall, error) {
+// version >= 1 connections. On protocol >= 5 connections the payload is
+// first charged against the stream's send window; a caller on an
+// exhausted stream blocks here (under ctx) until the server grants
+// credit, while callers on other streams sail past.
+func (cc *clientConn) start(ctx context.Context, stream uint32, reqType wire.Type, payload []byte, timeout time.Duration) (*pendingCall, error) {
+	if err := cc.acquire(ctx, stream, len(payload)); err != nil {
+		return nil, err
+	}
 	cc.mu.Lock()
 	if cc.dead {
 		err := cc.deadErr
@@ -647,7 +1130,7 @@ func (cc *clientConn) start(reqType wire.Type, payload []byte, timeout time.Dura
 	cc.mu.Unlock()
 
 	cc.writeMu.Lock()
-	err := cc.fw.WriteFrame(wire.Frame{Type: reqType, ID: id, Timeout: timeout, Payload: payload}, cc.version)
+	err := cc.fw.WriteFrame(wire.Frame{Type: reqType, ID: id, Timeout: timeout, Stream: stream, Payload: payload}, cc.version)
 	cc.writeMu.Unlock()
 	if err != nil {
 		cc.shutdown(fmt.Errorf("rpc: send: %w", err))
@@ -736,7 +1219,9 @@ func (pc *pendingCall) discardSettled() {
 	select {
 	case resp, ok := <-pc.ch:
 		if ok {
+			n := len(resp.f.Payload)
 			wire.PutBuf(resp.body)
+			pc.cc.grantConsumed(resp.f.Stream, n)
 		}
 	default:
 	}

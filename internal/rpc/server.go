@@ -18,9 +18,11 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"shhc/internal/core"
+	"shhc/internal/fingerprint"
 	"shhc/internal/metrics"
 	"shhc/internal/wire"
 )
@@ -36,6 +38,8 @@ import (
 type Server struct {
 	backend core.Backend
 	logger  *log.Logger
+	window  int
+	owner   func(fp fingerprint.Fingerprint) (ownerID, ownerAddr string, owned bool)
 
 	//lint:ignore ctxfirst rootCtx is the server's lifetime context (parent of every per-conn ctx), cancelled by Close; it is process-scoped by design, not a smuggled call ctx.
 	rootCtx    context.Context
@@ -46,12 +50,33 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+
+	// Transport accounting: the live mux writers (one per protocol >= 5
+	// connection) plus counters carried over from retired connections, so
+	// a stats snapshot covers the server's whole lifetime.
+	muxMu               sync.Mutex
+	muxes               map[*wire.MuxWriter]struct{}
+	retiredCreditStalls uint64
+	retiredFramesSent   uint64
+
+	windowUpdates   uint64 // atomic: WINDOW_UPDATE grants sent
+	redirectsIssued uint64 // atomic: NOT_OWNER answers sent
 }
 
 // ServerConfig configures a Server.
 type ServerConfig struct {
 	// Logger receives connection-level errors; nil discards them.
 	Logger *log.Logger
+	// Window is the initial per-stream send-credit window, in bytes, for
+	// responses on protocol >= 5 connections (0 = wire.DefaultWindow).
+	Window int
+	// Owner, when set, is consulted for every single-key verb on a
+	// protocol >= 5 connection: if it reports the fingerprint belongs to
+	// another node, the server answers NOT_OWNER carrying that node's
+	// identity instead of serving the request, and the client re-routes.
+	// Nil means the server answers everything it is asked (pre-5
+	// behaviour, and the right choice for single-node deployments).
+	Owner func(fp fingerprint.Fingerprint) (ownerID, ownerAddr string, owned bool)
 }
 
 // NewServer creates a server for the given backend.
@@ -61,13 +86,61 @@ func NewServer(backend core.Backend, cfg ServerConfig) *Server {
 		logger = log.New(io.Discard, "", 0)
 	}
 	rootCtx, rootCancel := context.WithCancel(context.Background())
+	window := cfg.Window
+	if window <= 0 {
+		// Resolve the default here, not just inside the mux: the resolved
+		// value is advertised to clients in the HelloAck so they can
+		// coalesce consumption grants against it.
+		window = wire.DefaultWindow
+	}
 	return &Server{
 		backend:    backend,
 		logger:     logger,
+		window:     window,
+		owner:      cfg.Owner,
 		rootCtx:    rootCtx,
 		rootCancel: rootCancel,
 		conns:      make(map[net.Conn]struct{}),
+		muxes:      make(map[*wire.MuxWriter]struct{}),
 	}
+}
+
+// registerMux adds a live mux writer to the transport accounting set.
+func (s *Server) registerMux(m *wire.MuxWriter) {
+	s.muxMu.Lock()
+	s.muxes[m] = struct{}{}
+	s.muxMu.Unlock()
+}
+
+// retireMux folds a closed connection's final counters into the retired
+// totals so they survive the connection.
+func (s *Server) retireMux(m *wire.MuxWriter) {
+	st := m.Stats()
+	s.muxMu.Lock()
+	delete(s.muxes, m)
+	s.retiredCreditStalls += st.CreditStalls
+	s.retiredFramesSent += st.FramesSent
+	s.muxMu.Unlock()
+}
+
+// transportStats aggregates the mux layer across live and retired
+// connections: gauges (streams open, bytes in flight) from live muxes
+// only, counters from both.
+func (s *Server) transportStats() core.TransportStats {
+	ts := core.TransportStats{
+		WindowUpdates:   atomic.LoadUint64(&s.windowUpdates),
+		RedirectsIssued: atomic.LoadUint64(&s.redirectsIssued),
+	}
+	s.muxMu.Lock()
+	ts.CreditStalls = s.retiredCreditStalls
+	for m := range s.muxes {
+		st := m.Stats()
+		ts.StreamsOpen += uint64(st.StreamsOpen)
+		ts.CreditStalls += st.CreditStalls
+		ts.BytesInFlight += uint64(st.BytesQueued)
+	}
+	s.muxMu.Unlock()
+	return ts
 }
 
 // Listen binds addr (e.g. "127.0.0.1:0") and starts serving in the
@@ -144,6 +217,21 @@ func (s *Server) serveConn(conn net.Conn) {
 		reqWG   sync.WaitGroup
 		sem     = make(chan struct{}, maxInflightPerConn)
 
+		// mux is non-nil once a Hello negotiates protocol >= 5; from then
+		// on every response leaves through it (the flusher owns the
+		// socket's write side). Written only by this read loop; handler
+		// goroutines read it under writeMu.
+		mux *wire.MuxWriter
+
+		// grantPend accumulates per-stream send credit owed to the client
+		// for flushed requests, granted in one WINDOW_UPDATE once it
+		// reaches grantEvery (a quarter of the client's advertised send
+		// window). Both are set before mux and, like the onFlush hooks
+		// that touch grantPend, only ever run on the mux flush goroutine —
+		// no lock needed.
+		grantEvery uint32
+		grantPend  map[uint32]uint32
+
 		// inflight maps request id -> cancel for CANCEL frames.
 		inflightMu sync.Mutex
 		inflight   = make(map[uint64]context.CancelFunc)
@@ -156,6 +244,13 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer func() {
 		connCancel()
 		reqWG.Wait()
+		if mux != nil {
+			// Unblock a flusher stuck mid-write to a gone peer before
+			// waiting for it; the outer defer's conn.Close is then a no-op.
+			conn.Close()
+			mux.Close()
+			s.retireMux(mux)
+		}
 	}()
 
 	// respond writes one frame under the write mutex via vectored I/O —
@@ -186,17 +281,54 @@ func (s *Server) serveConn(conn net.Conn) {
 			// the version-0 layout and every later frame in the
 			// negotiated one.
 			theirs, err := wire.DecodeHello(frame.Payload)
+			clientWin := wire.HelloWindow(frame.Payload)
 			wire.PutBuf(body)
 			if err != nil {
 				respond(wire.Frame{Type: wire.TypeError, ID: frame.ID, Payload: wire.EncodeError(err.Error())}, nil, wire.Version0)
 				continue
 			}
+			if mux != nil {
+				// Renegotiating after the mux owns the write side would
+				// interleave a raw HelloAck with the flusher's writev.
+				s.logger.Printf("rpc: %s sent a second Hello on a multiplexed connection", conn.RemoteAddr())
+				return
+			}
 			v := wire.MaxVersion
 			if theirs < v {
 				v = theirs
 			}
-			respond(wire.Frame{Type: wire.TypeHelloAck, ID: frame.ID, Payload: wire.EncodeHello(v)}, nil, wire.Version0)
+			ackPayload := wire.EncodeHello(v)
+			if v >= wire.Version5 {
+				// Advertise our per-stream response window so the client
+				// can coalesce its consumption grants.
+				ackPayload = wire.AppendHelloWindow(make([]byte, 0, 8), v, uint32(s.window))
+			}
+			respond(wire.Frame{Type: wire.TypeHelloAck, ID: frame.ID, Payload: ackPayload}, nil, wire.Version0)
+			if v >= wire.Version5 {
+				// Coalesce the send-credit grants we return for flushed
+				// requests: withhold until a quarter of the client's
+				// advertised send window is pending per stream (0 — no
+				// advertisement — grants after every response).
+				grantEvery = clientWin / 4
+				grantPend = make(map[uint32]uint32)
+				m := wire.NewMuxWriter(conn, v, s.window)
+				s.registerMux(m)
+				writeMu.Lock()
+				mux = m
+				writeMu.Unlock()
+			}
 			version = v
+			continue
+		case wire.TypeWindowUpdate:
+			// Credit grant from the client: it consumed response bytes on
+			// this stream, so the stream's queued responses may flow again.
+			n, derr := wire.DecodeWindowUpdate(frame.Payload)
+			wire.PutBuf(body)
+			if derr != nil || mux == nil {
+				s.logger.Printf("rpc: bad window update from %s", conn.RemoteAddr())
+				return
+			}
+			mux.Grant(frame.Stream, int(n))
 			continue
 		case wire.TypeCancel:
 			// Also inline: a cancel queued behind the semaphore would
@@ -248,10 +380,46 @@ func (s *Server) serveConn(conn net.Conn) {
 			// handle decodes the request payload before touching the
 			// backend, so the request buffer can be released as soon as it
 			// returns; the response payload rides in its own pooled buffer,
-			// released by respond after the write.
+			// released after the write (by respond, or by the mux when the
+			// coalesced flush completes).
+			reqSize := len(f.Payload)
 			resp, respBuf := s.handle(ctx, f, v)
 			wire.PutBuf(reqBody)
-			respond(resp, respBuf, v)
+			resp.Stream = f.Stream
+			writeMu.Lock()
+			m := mux
+			writeMu.Unlock()
+			if m == nil {
+				respond(resp, respBuf, v)
+				return
+			}
+			// Multiplexed path: the response queues on its request's
+			// stream and the flusher interleaves it with other streams'
+			// traffic, round-robin. Once its bytes reach the socket the
+			// onFlush hook returns the REQUEST's size as send credit —
+			// the client charged its own window to send the request, and
+			// this grant is what reopens it.
+			var onFlush func()
+			if stream, credit := f.Stream, uint32(reqSize); stream != 0 && credit != 0 {
+				onFlush = func() {
+					// Flush-goroutine only: grantPend is unlocked by design.
+					pend := grantPend[stream] + credit
+					if pend < grantEvery {
+						grantPend[stream] = pend
+						return
+					}
+					delete(grantPend, stream)
+					gb := wire.GetBuf(4)
+					*gb = wire.AppendWindowUpdate((*gb)[:0], pend)
+					gf := wire.Frame{Type: wire.TypeWindowUpdate, Stream: stream, Payload: *gb}
+					if err := m.EnqueueControl(gf, gb); err == nil {
+						atomic.AddUint64(&s.windowUpdates, 1)
+					}
+				}
+			}
+			if err := m.Enqueue(resp, respBuf, onFlush); err != nil {
+				s.logger.Printf("rpc: write to %s: %v", conn.RemoteAddr(), err)
+			}
 		}(rctx, rcancel, frame, body, version)
 	}
 }
@@ -267,10 +435,52 @@ func (s *Server) serveConn(conn net.Conn) {
 //
 //shhc:returns-buf
 func (s *Server) handle(ctx context.Context, f wire.Frame, version int) (wire.Frame, *[]byte) {
-	fail := func(err error) (wire.Frame, *[]byte) {
+	// failCode builds an error response. On protocol >= 5 it carries a
+	// compact code the client can dispatch on without string matching;
+	// older peers get the legacy length-prefixed message.
+	failCode := func(code wire.Code, err error) (wire.Frame, *[]byte) {
 		buf := wire.GetBuf(0)
-		*buf = wire.AppendError((*buf)[:0], err.Error())
+		if version >= wire.Version5 {
+			*buf = wire.AppendErrorCoded((*buf)[:0], wire.ErrorPayload{Code: code, Msg: err.Error()})
+		} else {
+			*buf = wire.AppendError((*buf)[:0], err.Error())
+		}
 		return wire.Frame{Type: wire.TypeError, ID: f.ID, Payload: *buf}, buf
+	}
+	fail := func(err error) (wire.Frame, *[]byte) {
+		code := wire.CodeInternal
+		switch {
+		case errors.Is(err, context.Canceled):
+			code = wire.CodeCancelled
+		case errors.Is(err, context.DeadlineExceeded):
+			code = wire.CodeDeadline
+		}
+		return failCode(code, err)
+	}
+	badReq := func(err error) (wire.Frame, *[]byte) {
+		return failCode(wire.CodeBadRequest, err)
+	}
+	// notOwner consults the ownership hook for single-key verbs: a
+	// fingerprint the ring assigns elsewhere answers NOT_OWNER with the
+	// true owner's identity, and the client re-dials it — one extra RTT
+	// for a stale ring view instead of a wrong answer or a proxy hop.
+	notOwner := func(fp fingerprint.Fingerprint) (wire.Frame, *[]byte, bool) {
+		if s.owner == nil || version < wire.Version5 {
+			return wire.Frame{}, nil, false
+		}
+		id, addr, owned := s.owner(fp)
+		if owned {
+			return wire.Frame{}, nil, false
+		}
+		atomic.AddUint64(&s.redirectsIssued, 1)
+		buf := wire.GetBuf(0)
+		*buf = wire.AppendErrorCoded((*buf)[:0], wire.ErrorPayload{
+			Code:      wire.CodeNotOwner,
+			Msg:       "fingerprint is owned by " + id,
+			OwnerID:   id,
+			OwnerAddr: addr,
+		})
+		return wire.Frame{Type: wire.TypeError, ID: f.ID, Payload: *buf}, buf, true
 	}
 	result := func(t wire.Type, r wire.ResultPayload) (wire.Frame, *[]byte) {
 		buf := wire.GetBuf(0)
@@ -299,7 +509,10 @@ func (s *Server) handle(ctx context.Context, f wire.Frame, version int) (wire.Fr
 	case wire.TypeLookup:
 		fp, err := wire.DecodeFP(f.Payload)
 		if err != nil {
-			return fail(err)
+			return badReq(err)
+		}
+		if resp, buf, redirected := notOwner(fp); redirected {
+			return resp, buf
 		}
 		r, err := s.backend.Lookup(ctx, fp)
 		if err != nil {
@@ -310,7 +523,10 @@ func (s *Server) handle(ctx context.Context, f wire.Frame, version int) (wire.Fr
 	case wire.TypeLookupOrInsert:
 		p, err := wire.DecodePair(f.Payload)
 		if err != nil {
-			return fail(err)
+			return badReq(err)
+		}
+		if resp, buf, redirected := notOwner(p.FP); redirected {
+			return resp, buf
 		}
 		r, err := s.backend.LookupOrInsert(ctx, p.FP, core.Value(p.Val))
 		if err != nil {
@@ -321,7 +537,10 @@ func (s *Server) handle(ctx context.Context, f wire.Frame, version int) (wire.Fr
 	case wire.TypeInsert:
 		p, err := wire.DecodePair(f.Payload)
 		if err != nil {
-			return fail(err)
+			return badReq(err)
+		}
+		if resp, buf, redirected := notOwner(p.FP); redirected {
+			return resp, buf
 		}
 		if err := s.backend.Insert(ctx, p.FP, core.Value(p.Val)); err != nil {
 			return fail(err)
@@ -331,7 +550,7 @@ func (s *Server) handle(ctx context.Context, f wire.Frame, version int) (wire.Fr
 	case wire.TypeBatch:
 		pairs, err := decodeCorePairs(f.Payload)
 		if err != nil {
-			return fail(err)
+			return badReq(err)
 		}
 		rs, err := s.backend.BatchLookupOrInsert(ctx, pairs)
 		if err != nil {
@@ -348,7 +567,7 @@ func (s *Server) handle(ctx context.Context, f wire.Frame, version int) (wire.Fr
 		// presence semantics are identical.
 		pairs, err := decodeCorePairs(f.Payload)
 		if err != nil {
-			return fail(err)
+			return badReq(err)
 		}
 		var rs []core.LookupResult
 		if ra, ok := s.backend.(core.RepairApplier); ok {
@@ -366,6 +585,9 @@ func (s *Server) handle(ctx context.Context, f wire.Frame, version int) (wire.Fr
 		if err != nil {
 			return fail(err)
 		}
+		// The transport layer belongs to the server, not the backend:
+		// overlay its live aggregate here so remote stats readers see it.
+		st.Transport = s.transportStats()
 		buf := wire.GetBuf(0)
 		*buf = wire.AppendStatsV((*buf)[:0], toWireStats(st), version)
 		return wire.Frame{Type: wire.TypeStatsResult, ID: f.ID, Payload: *buf}, buf
@@ -464,6 +686,12 @@ func toWireStats(st core.NodeStats) wire.StatsPayload {
 		ReplRepairPairs:   st.Replica.RepairPairs,
 		ReplRepairCreated: st.Replica.RepairCreated,
 
+		TransportStreamsOpen:     st.Transport.StreamsOpen,
+		TransportCreditStalls:    st.Transport.CreditStalls,
+		TransportBytesInFlight:   st.Transport.BytesInFlight,
+		TransportWindowUpdates:   st.Transport.WindowUpdates,
+		TransportRedirectsIssued: st.Transport.RedirectsIssued,
+
 		PhaseCache:       toWireSummary(st.Phases.Cache),
 		PhaseBloom:       toWireSummary(st.Phases.Bloom),
 		PhaseSSD:         toWireSummary(st.Phases.SSD),
@@ -507,6 +735,11 @@ func fromWireStats(s wire.StatsPayload) core.NodeStats {
 	st.Replica.RepairBatches = s.ReplRepairBatches
 	st.Replica.RepairPairs = s.ReplRepairPairs
 	st.Replica.RepairCreated = s.ReplRepairCreated
+	st.Transport.StreamsOpen = s.TransportStreamsOpen
+	st.Transport.CreditStalls = s.TransportCreditStalls
+	st.Transport.BytesInFlight = s.TransportBytesInFlight
+	st.Transport.WindowUpdates = s.TransportWindowUpdates
+	st.Transport.RedirectsIssued = s.TransportRedirectsIssued
 	st.Phases.Cache = fromWireSummary(s.PhaseCache)
 	st.Phases.Bloom = fromWireSummary(s.PhaseBloom)
 	st.Phases.SSD = fromWireSummary(s.PhaseSSD)

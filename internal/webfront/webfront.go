@@ -336,7 +336,19 @@ type StatsResponse struct {
 	Lookups     int64            `json:"lookups"`
 	Uploads     int64            `json:"uploads"`
 	Replication *ReplicationJSON `json:"replication,omitempty"`
-	Nodes       []NodeStatsJSON  `json:"nodes"`
+	// Transport reports the front-end's client side of the multiplexed
+	// RPC transport; present only when the index talks to remote nodes
+	// over protocol >= 5 connections.
+	Transport *FrontTransportJSON `json:"transport,omitempty"`
+	Nodes     []NodeStatsJSON     `json:"nodes"`
+}
+
+// FrontTransportJSON is the front-end's own view of the mux transport:
+// counters from the RPC clients it holds, as opposed to the per-node
+// server-side counters in NodeStatsJSON.Transport.
+type FrontTransportJSON struct {
+	RedirectsFollowed uint64 `json:"redirectsFollowed"`
+	CreditStalls      uint64 `json:"creditStalls"`
 }
 
 // ReplicationJSON reports the cluster's replication machinery: quorum
@@ -362,6 +374,12 @@ type ReplicationJSON struct {
 type replicationReporter interface {
 	Replicated() bool
 	ReplicationStats() core.ReplicationStats
+}
+
+// clientTransportReporter is the optional cluster surface for client-side
+// mux transport counters (a *core.Cluster over remote RPC backends).
+type clientTransportReporter interface {
+	ClientTransportStats() core.ClientTransportStats
 }
 
 // PhaseSummaryJSON digests one lookup-pipeline tier's latency histogram.
@@ -421,21 +439,33 @@ type ReplicaJSON struct {
 	RepairCreated uint64 `json:"repairCreated"`
 }
 
+// TransportJSON reports one node's server side of the multiplexed RPC
+// transport (protocol >= 5): live stream/byte gauges plus lifetime
+// credit-stall, window-grant, and redirect counters.
+type TransportJSON struct {
+	StreamsOpen     uint64 `json:"streamsOpen"`
+	CreditStalls    uint64 `json:"creditStalls"`
+	BytesInFlight   uint64 `json:"bytesInFlight"`
+	WindowUpdates   uint64 `json:"windowUpdates"`
+	RedirectsIssued uint64 `json:"redirectsIssued"`
+}
+
 // NodeStatsJSON is the JSON shape of one node's statistics.
 type NodeStatsJSON struct {
-	ID           string       `json:"id"`
-	Lookups      uint64       `json:"lookups"`
-	Inserts      uint64       `json:"inserts"`
-	CacheHits    uint64       `json:"cacheHits"`
-	BloomShort   uint64       `json:"bloomShortCircuits"`
-	StoreHits    uint64       `json:"storeHits"`
-	StoreMisses  uint64       `json:"storeMisses"`
-	Coalesced    uint64       `json:"coalescedProbes"`
-	StoreEntries int          `json:"storeEntries"`
-	Phases       PhasesJSON   `json:"phases"`
-	Destage      DestageJSON  `json:"destage"`
-	Recovery     RecoveryJSON `json:"recovery"`
-	Replica      ReplicaJSON  `json:"replica"`
+	ID           string        `json:"id"`
+	Lookups      uint64        `json:"lookups"`
+	Inserts      uint64        `json:"inserts"`
+	CacheHits    uint64        `json:"cacheHits"`
+	BloomShort   uint64        `json:"bloomShortCircuits"`
+	StoreHits    uint64        `json:"storeHits"`
+	StoreMisses  uint64        `json:"storeMisses"`
+	Coalesced    uint64        `json:"coalescedProbes"`
+	StoreEntries int           `json:"storeEntries"`
+	Phases       PhasesJSON    `json:"phases"`
+	Destage      DestageJSON   `json:"destage"`
+	Recovery     RecoveryJSON  `json:"recovery"`
+	Replica      ReplicaJSON   `json:"replica"`
+	Transport    TransportJSON `json:"transport"`
 }
 
 func phaseJSON(s metrics.Summary) PhaseSummaryJSON {
@@ -464,6 +494,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Lookups: s.lookups.Load(),
 		Uploads: s.uploads.Load(),
 		Nodes:   make([]NodeStatsJSON, len(nodeStats)),
+	}
+	if tr, ok := s.cfg.Index.(clientTransportReporter); ok {
+		if ts := tr.ClientTransportStats(); ts.RedirectsFollowed != 0 || ts.CreditStalls != 0 {
+			resp.Transport = &FrontTransportJSON{
+				RedirectsFollowed: ts.RedirectsFollowed,
+				CreditStalls:      ts.CreditStalls,
+			}
+		}
 	}
 	if rr, ok := s.cfg.Index.(replicationReporter); ok && rr.Replicated() {
 		rs := rr.ReplicationStats()
@@ -521,6 +559,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				RepairBatches: st.Replica.RepairBatches,
 				RepairPairs:   st.Replica.RepairPairs,
 				RepairCreated: st.Replica.RepairCreated,
+			},
+			Transport: TransportJSON{
+				StreamsOpen:     st.Transport.StreamsOpen,
+				CreditStalls:    st.Transport.CreditStalls,
+				BytesInFlight:   st.Transport.BytesInFlight,
+				WindowUpdates:   st.Transport.WindowUpdates,
+				RedirectsIssued: st.Transport.RedirectsIssued,
 			},
 		}
 	}

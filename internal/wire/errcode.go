@@ -1,0 +1,135 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Compact error codes (protocol >= 5). Pre-5 TypeError payloads carry only
+// a string; the v5 layout prefixes a one-byte code plus, for CodeNotOwner,
+// the true owner's identity, so a client with a stale ring view can re-dial
+// the correct node instead of parsing prose.
+//
+// The v5 coded layout is distinguishable from the legacy one by a sentinel:
+// it opens with 0xFFFF where the legacy layout carries the message length
+// (a legacy message is capped at 65535 bytes but the whole frame at 64 MiB,
+// so a length of exactly 0xFFFF never names a valid legacy payload of
+// different shape — DecodeErrorPayload still accepts both and falls back).
+type Code uint8
+
+// Error codes.
+const (
+	// CodeInternal is a server-side failure with no routing significance.
+	CodeInternal Code = iota
+	// CodeBadRequest marks a malformed or unsupported request.
+	CodeBadRequest
+	// CodeCancelled reports that the request's context was cancelled.
+	CodeCancelled
+	// CodeDeadline reports that the request's deadline expired.
+	CodeDeadline
+	// CodeNotOwner tells a stale-ring client this node does not own the
+	// requested key; the payload carries the current owner's id and
+	// address so the client can re-dial it directly (one extra RTT
+	// instead of proxying through the wrong node).
+	CodeNotOwner
+)
+
+func (c Code) String() string {
+	switch c {
+	case CodeInternal:
+		return "INTERNAL"
+	case CodeBadRequest:
+		return "BAD_REQUEST"
+	case CodeCancelled:
+		return "CANCELLED"
+	case CodeDeadline:
+		return "DEADLINE"
+	case CodeNotOwner:
+		return "NOT_OWNER"
+	}
+	return fmt.Sprintf("code(%d)", uint8(c))
+}
+
+// codedErrorSentinel opens every v5 coded TypeError payload where the
+// legacy layout carries its message length.
+const codedErrorSentinel = 0xFFFF
+
+// ErrorPayload is a decoded TypeError payload: the legacy layouts populate
+// only Msg (Code stays CodeInternal); the v5 coded layout adds the code
+// and, for CodeNotOwner, the owner fields.
+type ErrorPayload struct {
+	Code      Code
+	Msg       string
+	OwnerID   string
+	OwnerAddr string
+}
+
+// AppendErrorCoded appends a v5 coded TypeError payload to dst:
+//
+//	uint16  0xFFFF sentinel
+//	uint8   code
+//	uint16  message length | message bytes
+//	uint16  owner id length | id bytes      (CodeNotOwner, else 0)
+//	uint16  owner addr length | addr bytes  (CodeNotOwner, else 0)
+func AppendErrorCoded(dst []byte, e ErrorPayload) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, codedErrorSentinel)
+	dst = append(dst, byte(e.Code))
+	dst = appendLenPrefixed(dst, e.Msg)
+	dst = appendLenPrefixed(dst, e.OwnerID)
+	return appendLenPrefixed(dst, e.OwnerAddr)
+}
+
+func appendLenPrefixed(dst []byte, s string) []byte {
+	if len(s) > 65534 {
+		s = s[:65534]
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+// EncodeErrorCoded encodes a v5 coded TypeError payload.
+func EncodeErrorCoded(e ErrorPayload) []byte {
+	return AppendErrorCoded(make([]byte, 0, 9+len(e.Msg)+len(e.OwnerID)+len(e.OwnerAddr)), e)
+}
+
+// DecodeErrorPayload decodes a TypeError payload in either layout: the v5
+// coded one (0xFFFF sentinel) or the legacy bare string, which decodes
+// with CodeInternal. Use this instead of DecodeError wherever the code or
+// owner identity matters; DecodeError remains for legacy callers and
+// returns only the message.
+func DecodeErrorPayload(b []byte) (ErrorPayload, error) {
+	if len(b) >= 3 && binary.BigEndian.Uint16(b[0:2]) == codedErrorSentinel {
+		e := ErrorPayload{Code: Code(b[2])}
+		rest := b[3:]
+		var err error
+		if e.Msg, rest, err = cutLenPrefixed(rest); err != nil {
+			return ErrorPayload{}, fmt.Errorf("wire: coded error message: %w", err)
+		}
+		if e.OwnerID, rest, err = cutLenPrefixed(rest); err != nil {
+			return ErrorPayload{}, fmt.Errorf("wire: coded error owner id: %w", err)
+		}
+		if e.OwnerAddr, rest, err = cutLenPrefixed(rest); err != nil {
+			return ErrorPayload{}, fmt.Errorf("wire: coded error owner addr: %w", err)
+		}
+		if len(rest) != 0 {
+			return ErrorPayload{}, fmt.Errorf("wire: coded error payload: %d trailing bytes: %w", len(rest), ErrShortPayload)
+		}
+		return e, nil
+	}
+	msg, err := DecodeError(b)
+	if err != nil {
+		return ErrorPayload{}, err
+	}
+	return ErrorPayload{Code: CodeInternal, Msg: msg}, nil
+}
+
+func cutLenPrefixed(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, fmt.Errorf("wire: missing length prefix: %w", ErrShortPayload)
+	}
+	n := int(binary.BigEndian.Uint16(b[0:2]))
+	if len(b) < 2+n {
+		return "", nil, fmt.Errorf("wire: truncated string (want %d bytes, have %d): %w", n, len(b)-2, ErrShortPayload)
+	}
+	return string(b[2 : 2+n]), b[2+n:], nil
+}

@@ -14,18 +14,21 @@ import (
 // is its own round-trip oracle).
 func FuzzDecodeFrame(f *testing.F) {
 	// Seeds: one well-formed frame per layout, plus payload shapes.
-	var v0, v1 bytes.Buffer
+	var v0, v1, v5 bytes.Buffer
 	WriteFrameV(&v0, Frame{Type: TypeLookup, ID: 7, Payload: EncodeFP([20]byte{1, 2})}, Version0)
 	WriteFrameV(&v1, Frame{Type: TypeBatch, ID: 9, Timeout: time.Second, Payload: EncodeBatch([]PairPayload{{Val: 3}})}, Version1)
+	WriteFrameV(&v5, Frame{Type: TypeWindowUpdate, ID: 3, Stream: 12, Payload: AppendWindowUpdate(nil, 4096)}, Version5)
 	f.Add(v0.Bytes())
 	f.Add(v1.Bytes())
+	f.Add(v5.Bytes())
 	f.Add(EncodeStats(StatsPayload{ID: "node", Lookups: 1}))
 	f.Add(EncodeError("boom"))
+	f.Add(EncodeErrorCoded(ErrorPayload{Code: CodeNotOwner, Msg: "moved", OwnerID: "n2", OwnerAddr: "127.0.0.1:9"}))
 	f.Add([]byte{0, 0, 0, 2, 1})    // length shorter than header
 	f.Add([]byte{0xff, 0xff, 0xff}) // truncated length prefix
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		for _, version := range []int{Version0, Version1} {
+		for _, version := range []int{Version0, Version1, Version5} {
 			fr, err := ReadFrameV(bytes.NewReader(data), version)
 			if err != nil {
 				continue
@@ -38,7 +41,7 @@ func FuzzDecodeFrame(f *testing.F) {
 			if err != nil {
 				t.Fatalf("v%d: re-decode failed: %v", version, err)
 			}
-			if fr2.Type != fr.Type || fr2.ID != fr.ID || fr2.Timeout != fr.Timeout || !bytes.Equal(fr2.Payload, fr.Payload) {
+			if fr2.Type != fr.Type || fr2.ID != fr.ID || fr2.Timeout != fr.Timeout || fr2.Stream != fr.Stream || !bytes.Equal(fr2.Payload, fr.Payload) {
 				t.Fatalf("v%d: round trip mutated frame: %+v -> %+v", version, fr, fr2)
 			}
 		}
@@ -51,6 +54,51 @@ func FuzzDecodeFrame(f *testing.F) {
 		DecodeBatchResult(data)
 		DecodeStats(data)
 		DecodeError(data)
+		DecodeErrorPayload(data)
+		DecodeWindowUpdate(data)
+	})
+}
+
+// FuzzMuxControl focuses the fuzzer on the protocol-5 control payloads —
+// coded errors, window updates, the extended hello. None may panic on
+// arbitrary bytes; anything that decodes must survive a re-encode/decode
+// round trip.
+func FuzzMuxControl(f *testing.F) {
+	f.Add(EncodeErrorCoded(ErrorPayload{Code: CodeNotOwner, Msg: "moved", OwnerID: "n2", OwnerAddr: "127.0.0.1:9"}))
+	f.Add(EncodeErrorCoded(ErrorPayload{Code: CodeDeadline, Msg: "context deadline exceeded"}))
+	f.Add(EncodeError("legacy error"))
+	f.Add(AppendWindowUpdate(nil, 1<<18))
+	f.Add(AppendHelloWindow(nil, Version5, DefaultWindow))
+	f.Add(EncodeHello(Version1))
+	f.Add([]byte{0xff, 0xff, 4}) // sentinel + code, truncated fields
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if e, err := DecodeErrorPayload(data); err == nil &&
+			len(e.Msg) <= 65534 && len(e.OwnerID) <= 65534 && len(e.OwnerAddr) <= 65534 {
+			// (the encoder truncates fields past 65534 bytes, which a
+			// legacy 65535-byte message would trip — not a round-trip bug)
+			e2, err := DecodeErrorPayload(EncodeErrorCoded(e))
+			if err != nil {
+				t.Fatalf("re-decode of coded error failed: %v", err)
+			}
+			if e2 != e {
+				t.Fatalf("coded error round trip mutated payload: %+v -> %+v", e, e2)
+			}
+		}
+		if n, err := DecodeWindowUpdate(data); err == nil {
+			m, err := DecodeWindowUpdate(AppendWindowUpdate(nil, n))
+			if err != nil || m != n {
+				t.Fatalf("window update round trip: %d -> %d, %v", n, m, err)
+			}
+		}
+		if v, err := DecodeHello(data); err == nil {
+			win := HelloWindow(data)
+			rt := AppendHelloWindow(nil, v, win)
+			v2, err := DecodeHello(rt)
+			if err != nil || v2 != v || HelloWindow(rt) != win {
+				t.Fatalf("hello round trip: (%d,%d) -> (%d,%d), %v", v, win, v2, HelloWindow(rt), err)
+			}
+		}
 	})
 }
 
@@ -83,7 +131,7 @@ func FuzzStatsRoundTrip(f *testing.F) {
 			}
 		}
 
-		for _, version := range []int{Version0, Version1, Version2, Version3} {
+		for _, version := range []int{Version0, Version1, Version2, Version3, Version4, Version5} {
 			enc := EncodeStatsV(s, version)
 			dec, err := DecodeStats(enc)
 			if err != nil {
@@ -176,6 +224,12 @@ func TestMalformedFrames(t *testing.T) {
 			EncodeStats(StatsPayload{ID: "n"})[:40]},
 		{"error length lies", func(b []byte) error { _, err := DecodeError(b); return err },
 			[]byte{0, 10, 'h', 'i'}},
+		{"window update short", func(b []byte) error { _, err := DecodeWindowUpdate(b); return err },
+			[]byte{1, 2, 3}},
+		{"coded error truncated owner", func(b []byte) error { _, err := DecodeErrorPayload(b); return err },
+			EncodeErrorCoded(ErrorPayload{Code: CodeNotOwner, OwnerID: "n2", OwnerAddr: "a:1"})[:9]},
+		{"coded error trailing bytes", func(b []byte) error { _, err := DecodeErrorPayload(b); return err },
+			append(EncodeErrorCoded(ErrorPayload{Code: CodeInternal, Msg: "x"}), 0)},
 	}
 	for _, tc := range payloadCases {
 		t.Run(tc.name, func(t *testing.T) {

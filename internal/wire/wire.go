@@ -90,6 +90,12 @@ const (
 	// entries keep their stored value) and accounts it in the replication
 	// stats block rather than the foreground counters.
 	TypeRepair
+
+	// TypeWindowUpdate grants flow-control credit (protocol >= 5): the
+	// header's stream field names the stream and the payload carries the
+	// number of bytes the receiver has consumed and returns to the
+	// sender's window. Control traffic — never itself credit-charged.
+	TypeWindowUpdate
 )
 
 // Protocol versions. Version 0 is the original deadline-less protocol;
@@ -98,16 +104,22 @@ const (
 // payload with the write-back destage counters; Version3 extends it again
 // with the crash-recovery counters (journal replay plus the hash table's
 // open-time repair pass); Version4 adds the TypeRepair backfill verb and
-// the replication counters in the stats payload. Old peers negotiate down
-// and receive/send their version's stats layout (a pre-4 peer is repaired
-// via plain TypeBatch instead of TypeRepair).
+// the replication counters in the stats payload. Version5 is the
+// multiplexed transport: frames gain a 4-byte stream id in the header,
+// TypeWindowUpdate carries per-stream credit grants, TypeError payloads
+// gain a compact error code (including the NOT_OWNER redirect carrying
+// the true owner's id and address), and the stats payload grows the
+// transport counters. Old peers negotiate down and receive/send their
+// version's layouts (a pre-5 peer runs the legacy single-stream path; a
+// pre-4 peer is repaired via plain TypeBatch instead of TypeRepair).
 const (
 	Version0   = 0
 	Version1   = 1
 	Version2   = 2
 	Version3   = 3
 	Version4   = 4
-	MaxVersion = Version4
+	Version5   = 5
+	MaxVersion = Version5
 )
 
 func (t Type) String() string {
@@ -142,6 +154,8 @@ func (t Type) String() string {
 		return "cancel"
 	case TypeRepair:
 		return "repair"
+	case TypeWindowUpdate:
+		return "window-update"
 	}
 	return fmt.Sprintf("type(%d)", uint8(t))
 }
@@ -150,6 +164,9 @@ const (
 	headerSize = 1 + 8 // type + request id (length prefix not included)
 	// headerSizeV1 adds the 8-byte timeout field.
 	headerSizeV1 = headerSize + 8
+	// headerSizeV5 adds the 4-byte stream id. Stream 0 is the legacy
+	// single-stream path; nonzero ids name multiplexed logical streams.
+	headerSizeV5 = headerSizeV1 + 4
 
 	// MaxFrameSize bounds a frame to keep a misbehaving peer from forcing
 	// huge allocations. 64 MiB admits batches of >2M fingerprints.
@@ -176,6 +193,10 @@ type Frame struct {
 	// timestamp — so peer clock skew cannot shrink or extend it. Carried
 	// on the wire only at protocol version >= 1.
 	Timeout time.Duration
+	// Stream names the logical stream this frame belongs to. Carried on
+	// the wire only at protocol version >= 5; 0 is the legacy
+	// single-stream path that pre-5 peers implicitly use.
+	Stream  uint32
 	Payload []byte
 }
 
@@ -187,21 +208,21 @@ func WriteFrame(w io.Writer, f Frame) error {
 // WriteFrameV encodes and writes one frame in the given protocol
 // version's layout.
 func WriteFrameV(w io.Writer, f Frame, version int) error {
-	hs := headerSize
-	if version >= Version1 {
-		hs = headerSizeV1
-	}
+	hs := headerSizeFor(version)
 	n := hs + len(f.Payload)
 	if n > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
 	// Stack header: the old per-call make was the hot path's top allocator.
-	var hdr [4 + headerSizeV1]byte
+	var hdr [4 + headerSizeV5]byte
 	binary.BigEndian.PutUint32(hdr[0:4], uint32(n))
 	hdr[4] = byte(f.Type)
 	binary.BigEndian.PutUint64(hdr[5:13], f.ID)
 	if version >= Version1 {
 		binary.BigEndian.PutUint64(hdr[13:21], uint64(f.Timeout))
+	}
+	if version >= Version5 {
+		binary.BigEndian.PutUint32(hdr[21:25], f.Stream)
 	}
 	if _, err := w.Write(hdr[:4+hs]); err != nil {
 		return fmt.Errorf("wire: write frame header: %w", err)
@@ -222,10 +243,7 @@ func ReadFrame(r io.Reader) (Frame, error) {
 // ReadFrameV reads and decodes one frame in the given protocol version's
 // layout.
 func ReadFrameV(r io.Reader, version int) (Frame, error) {
-	hs := headerSize
-	if version >= Version1 {
-		hs = headerSizeV1
-	}
+	hs := headerSizeFor(version)
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 		if errors.Is(err, io.EOF) {
@@ -251,8 +269,24 @@ func ReadFrameV(r io.Reader, version int) (Frame, error) {
 	if version >= Version1 {
 		f.Timeout = time.Duration(binary.BigEndian.Uint64(body[9:17]))
 	}
+	if version >= Version5 {
+		f.Stream = binary.BigEndian.Uint32(body[17:21])
+	}
 	f.Payload = body[hs:]
 	return f, nil
+}
+
+// headerSizeFor returns the frame header size (beyond the length prefix)
+// for the given protocol version's layout.
+func headerSizeFor(version int) int {
+	switch {
+	case version >= Version5:
+		return headerSizeV5
+	case version >= Version1:
+		return headerSizeV1
+	default:
+		return headerSize
+	}
 }
 
 // EncodeHello encodes a Hello or HelloAck payload: the sender's highest
@@ -261,12 +295,24 @@ func EncodeHello(version int) []byte {
 	return AppendHello(make([]byte, 0, 4), version)
 }
 
-// DecodeHello decodes a Hello or HelloAck payload.
+// DecodeHello decodes a Hello or HelloAck payload. Both the original
+// 4-byte (version only) and the extended 8-byte (version + advertised
+// window, protocol >= 5) layouts are accepted.
 func DecodeHello(b []byte) (int, error) {
-	if len(b) != 4 {
-		return 0, fmt.Errorf("wire: hello payload: want 4 bytes, got %d: %w", len(b), ErrShortPayload)
+	if len(b) != 4 && len(b) != 8 {
+		return 0, fmt.Errorf("wire: hello payload: want 4 or 8 bytes, got %d: %w", len(b), ErrShortPayload)
 	}
 	return int(binary.BigEndian.Uint32(b)), nil
+}
+
+// HelloWindow extracts the advertised per-stream flow-control window from
+// an extended Hello/HelloAck payload. Returns 0 — "not advertised, grant
+// immediately" — for the original 4-byte layout.
+func HelloWindow(b []byte) uint32 {
+	if len(b) < 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b[4:8])
 }
 
 // PairPayload holds one fingerprint plus the value to assign on insert.
@@ -473,10 +519,20 @@ type StatsPayload struct {
 	ReplRepairBatches uint64
 	ReplRepairPairs   uint64
 	ReplRepairCreated uint64
-	PhaseCache        SummaryPayload
-	PhaseBloom        SummaryPayload
-	PhaseSSD          SummaryPayload
-	DestageWaveSizes  SummaryPayload
+	// Transport counters (protocol >= 5): the multiplexed wire as the
+	// node sees it — logical streams currently open across all conns,
+	// times a response had to wait for stream credit, response bytes
+	// queued but not yet flushed, WINDOW_UPDATE grants sent, and
+	// NOT_OWNER redirects issued to stale-ring clients.
+	TransportStreamsOpen     uint64
+	TransportCreditStalls    uint64
+	TransportBytesInFlight   uint64
+	TransportWindowUpdates   uint64
+	TransportRedirectsIssued uint64
+	PhaseCache               SummaryPayload
+	PhaseBloom               SummaryPayload
+	PhaseSSD                 SummaryPayload
+	DestageWaveSizes         SummaryPayload
 }
 
 // statsCounterFields is the number of plain uint64 counters in a
@@ -484,10 +540,12 @@ type StatsPayload struct {
 // statsSummaryCount is the number of SummaryPayload digests that follow.
 // Older layouts carry prefixes of the counter list: protocol < 2 stops
 // before the destage fields, protocol 2 before the recovery fields,
-// protocol 3 before the replication fields.
+// protocol 3 before the replication fields, protocol 4 before the
+// transport fields.
 const (
-	statsCounterFields       = 32
+	statsCounterFields       = 37
 	statsSummaryCount        = 4
+	v4StatsCounterFields     = 32
 	v3StatsCounterFields     = 29
 	v2StatsCounterFields     = 20
 	legacyStatsCounterFields = 14
@@ -506,6 +564,8 @@ func (s *StatsPayload) counters() []*uint64 {
 		&s.RecoveryStoreTailBytes, &s.RecoveryStoreLinks, &s.RecoveryStoreOrphans,
 		&s.RecoveryStoreSalvaged,
 		&s.ReplRepairBatches, &s.ReplRepairPairs, &s.ReplRepairCreated,
+		&s.TransportStreamsOpen, &s.TransportCreditStalls, &s.TransportBytesInFlight,
+		&s.TransportWindowUpdates, &s.TransportRedirectsIssued,
 	}
 }
 
@@ -521,8 +581,10 @@ func (p *SummaryPayload) fields() []*uint64 {
 // version carries in a stats payload.
 func statsLayout(version int) (counters, summaries int) {
 	switch {
-	case version >= Version4:
+	case version >= Version5:
 		return statsCounterFields, statsSummaryCount
+	case version == Version4:
+		return v4StatsCounterFields, statsSummaryCount
 	case version == Version3:
 		return v3StatsCounterFields, statsSummaryCount
 	case version == Version2:
@@ -547,11 +609,11 @@ func EncodeStatsV(s StatsPayload, version int) []byte {
 }
 
 // DecodeStats decodes node statistics. Every historical layout (the
-// Version4 replication-extended one, the Version3 recovery-extended one,
-// the Version2 destage-extended one, and the original) is accepted — the
-// payload length distinguishes them, and absent fields decode as zero —
-// so a new client can read an old server's stats regardless of what
-// version the connection negotiated.
+// Version5 transport-extended one, the Version4 replication-extended one,
+// the Version3 recovery-extended one, the Version2 destage-extended one,
+// and the original) is accepted — the payload length distinguishes them,
+// and absent fields decode as zero — so a new client can read an old
+// server's stats regardless of what version the connection negotiated.
 func DecodeStats(b []byte) (StatsPayload, error) {
 	var s StatsPayload
 	if len(b) < 2 {
@@ -562,6 +624,7 @@ func DecodeStats(b []byte) (StatsPayload, error) {
 	legacy := 2 + idLen + (legacyStatsCounterFields+legacyStatsSummaryCount*summaryFields)*8
 	v2 := 2 + idLen + (v2StatsCounterFields+statsSummaryCount*summaryFields)*8
 	v3 := 2 + idLen + (v3StatsCounterFields+statsSummaryCount*summaryFields)*8
+	v4 := 2 + idLen + (v4StatsCounterFields+statsSummaryCount*summaryFields)*8
 	switch len(b) {
 	case legacy:
 		nc, ns = legacyStatsCounterFields, legacyStatsSummaryCount
@@ -569,9 +632,11 @@ func DecodeStats(b []byte) (StatsPayload, error) {
 		nc, ns = v2StatsCounterFields, statsSummaryCount
 	case v3:
 		nc, ns = v3StatsCounterFields, statsSummaryCount
+	case v4:
+		nc, ns = v4StatsCounterFields, statsSummaryCount
 	default:
 		if want := 2 + idLen + (nc+ns*summaryFields)*8; len(b) != want {
-			return s, fmt.Errorf("wire: stats payload: want %d (or %d / %d / legacy %d) bytes, got %d: %w", want, v3, v2, legacy, len(b), ErrShortPayload)
+			return s, fmt.Errorf("wire: stats payload: want %d (or %d / %d / %d / legacy %d) bytes, got %d: %w", want, v4, v3, v2, legacy, len(b), ErrShortPayload)
 		}
 	}
 	s.ID = string(b[2 : 2+idLen])

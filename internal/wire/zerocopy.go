@@ -72,6 +72,16 @@ func AppendHello(dst []byte, version int) []byte {
 	return binary.BigEndian.AppendUint32(dst, uint32(version))
 }
 
+// AppendHelloWindow appends a Hello/HelloAck payload that additionally
+// advertises the sender's per-stream flow-control window (protocol >= 5).
+// The peer uses the advertisement to coalesce its credit grants: it may
+// withhold WINDOW_UPDATE frames until a quarter-window of credit is
+// pending, which is only safe when it knows how big the window is.
+func AppendHelloWindow(dst []byte, version int, window uint32) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(version))
+	return binary.BigEndian.AppendUint32(dst, window)
+}
+
 // AppendFP appends a bare fingerprint payload (TypeLookup) to dst.
 func AppendFP(dst []byte, fp [20]byte) []byte {
 	return append(dst, fp[:]...)
@@ -149,7 +159,7 @@ func AppendStatsV(dst []byte, s StatsPayload, version int) []byte {
 // serialize writes (rpc holds its per-connection write mutex).
 type FrameWriter struct {
 	w   io.Writer
-	hdr [4 + headerSizeV1]byte
+	hdr [4 + headerSizeV5]byte
 	// arr is the permanent backing array for the vectored write and bufs
 	// the net.Buffers view over it. WriteTo consumes the view in place, so
 	// it is rebuilt from arr each call — reusing the consumed slice would
@@ -169,10 +179,7 @@ func NewFrameWriter(w io.Writer) *FrameWriter {
 // f.Payload is only read during the call; the caller may release or reuse
 // it as soon as WriteFrame returns.
 func (fw *FrameWriter) WriteFrame(f Frame, version int) error {
-	hs := headerSize
-	if version >= Version1 {
-		hs = headerSizeV1
-	}
+	hs := headerSizeFor(version)
 	n := hs + len(f.Payload)
 	if n > MaxFrameSize {
 		return ErrFrameTooLarge
@@ -182,6 +189,9 @@ func (fw *FrameWriter) WriteFrame(f Frame, version int) error {
 	binary.BigEndian.PutUint64(fw.hdr[5:13], f.ID)
 	if version >= Version1 {
 		binary.BigEndian.PutUint64(fw.hdr[13:21], uint64(f.Timeout))
+	}
+	if version >= Version5 {
+		binary.BigEndian.PutUint32(fw.hdr[21:25], f.Stream)
 	}
 	if len(f.Payload) == 0 {
 		if _, err := fw.w.Write(fw.hdr[:4+hs]); err != nil {
@@ -208,10 +218,7 @@ func (fw *FrameWriter) WriteFrame(f Frame, version int) error {
 //
 //shhc:returns-buf
 func ReadFrameVInto(r io.Reader, version int) (Frame, *[]byte, error) {
-	hs := headerSize
-	if version >= Version1 {
-		hs = headerSizeV1
-	}
+	hs := headerSizeFor(version)
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 		if errors.Is(err, io.EOF) {
@@ -240,6 +247,24 @@ func ReadFrameVInto(r io.Reader, version int) (Frame, *[]byte, error) {
 	if version >= Version1 {
 		f.Timeout = time.Duration(binary.BigEndian.Uint64(body[9:17]))
 	}
+	if version >= Version5 {
+		f.Stream = binary.BigEndian.Uint32(body[17:21])
+	}
 	f.Payload = body[hs:]
 	return f, bp, nil
+}
+
+// AppendWindowUpdate appends a WINDOW_UPDATE payload to dst: the number of
+// bytes of credit the receiver grants back to the sender's window for the
+// stream named in the frame header.
+func AppendWindowUpdate(dst []byte, credit uint32) []byte {
+	return binary.BigEndian.AppendUint32(dst, credit)
+}
+
+// DecodeWindowUpdate decodes a WINDOW_UPDATE payload.
+func DecodeWindowUpdate(b []byte) (uint32, error) {
+	if len(b) != 4 {
+		return 0, fmt.Errorf("wire: window update payload: want 4 bytes, got %d: %w", len(b), ErrShortPayload)
+	}
+	return binary.BigEndian.Uint32(b), nil
 }

@@ -342,6 +342,28 @@ func DialNode(id NodeID, addr string) (Backend, error) {
 	return rpc.Dial(id, addr, rpc.ClientConfig{})
 }
 
+// TransportOptions tunes the multiplexed client transport (wire
+// protocol 5). Zero values select the defaults.
+type TransportOptions struct {
+	// Conns is the TCP connection pool size per node (default 4).
+	Conns int
+	// StreamsPerConn is how many logical streams round-robin over each
+	// connection for plain calls (default 4).
+	StreamsPerConn int
+	// Window is the per-stream send-credit window in bytes
+	// (default 256KiB).
+	Window int
+}
+
+// DialNodeTransport is DialNode with explicit transport tuning.
+func DialNodeTransport(id NodeID, addr string, o TransportOptions) (Backend, error) {
+	return rpc.Dial(id, addr, rpc.ClientConfig{
+		Conns:          o.Conns,
+		StreamsPerConn: o.StreamsPerConn,
+		Window:         o.Window,
+	})
+}
+
 // NewBatcher wraps a cluster with front-end-style query aggregation.
 // maxBatch and maxDelayMillis bound the batch window (paper batch sizes:
 // 1, 128, 2048).
