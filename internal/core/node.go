@@ -258,6 +258,35 @@ type NodeStats struct {
 	// Transport snapshots the RPC mux layer serving this node (zero for
 	// in-process nodes; see TransportStats).
 	Transport TransportStats
+	// Bloom snapshots the in-RAM filter's shape and accuracy (zero when
+	// the filter is disabled; see BloomStats).
+	Bloom BloomStats
+}
+
+// BloomStats snapshots the node's scalable Bloom filter: how big it has
+// grown and how accurate it still is. Before the filter could grow, the
+// only symptom of outrunning its sizing was BloomFalse creeping up;
+// EstimatedFPRate and Saturated make that capacity story observable
+// directly.
+type BloomStats struct {
+	// Entries is the number of fingerprints added across all slices.
+	Entries uint64
+	// SizeBytes is the total RAM the slices' bit arrays occupy.
+	SizeBytes uint64
+	// Slices is the number of chained filters (1 until the filter first
+	// outgrows its construction sizing).
+	Slices uint32
+	// FillRatio is the newest slice's adds / capacity; 1.0 means the
+	// next add chains a new slice.
+	FillRatio float64
+	// EstimatedFPRate is the compounded false-positive probability at
+	// the current fill, bounded by the construction rate no matter how
+	// far the filter has grown.
+	EstimatedFPRate float64
+	// Saturated reports the filter outgrew its construction sizing and
+	// chained at least one extra slice — an advisory capacity signal
+	// (accuracy is preserved through growth).
+	Saturated bool
 }
 
 // minCachePerStripe is the smallest LRU capacity worth splitting into an
@@ -325,7 +354,7 @@ type Node struct {
 	id          ring.NodeID
 	store       hashdb.Store
 	cache       *lru.Striped // nil when disabled
-	bloom       *bloom.Filter
+	bloom       *bloom.Scalable
 	wb          bool
 	lockedIO    bool
 	lockedReads bool
@@ -454,7 +483,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		if rate <= 0 || rate >= 1 {
 			rate = 0.01
 		}
-		n.bloom = bloom.New(expected, rate)
+		n.bloom = bloom.NewScalable(expected, rate)
 		if cfg.Store.Len() > 0 {
 			r, ok := cfg.Store.(Ranger)
 			if !ok {
@@ -1156,6 +1185,16 @@ func (n *Node) Stats(ctx context.Context) (NodeStats, error) {
 	}
 	if n.cache != nil {
 		st.Cache = n.cache.Stats()
+	}
+	if n.bloom != nil {
+		st.Bloom = BloomStats{
+			Entries:         uint64(n.bloom.Len()),
+			SizeBytes:       uint64(n.bloom.SizeBytes()),
+			Slices:          uint32(n.bloom.Slices()),
+			FillRatio:       n.bloom.FillRatio(),
+			EstimatedFPRate: n.bloom.EstimatedFPRate(),
+			Saturated:       n.bloom.Saturated(),
+		}
 	}
 	if n.wb {
 		// Dirty cache entries are part of the logical index even though

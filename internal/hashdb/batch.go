@@ -2,6 +2,7 @@ package hashdb
 
 import (
 	"context"
+	"sync"
 
 	"shhc/internal/fingerprint"
 	"shhc/internal/parallel"
@@ -42,6 +43,22 @@ func groupBy(n int, keyOf func(int) uint64) [][]int {
 	return work
 }
 
+// groupIdxBy is groupBy over an explicit index set: the retry rounds of a
+// batch regroup only the indices a concurrent bucket split displaced.
+// Relative input order is preserved within each group.
+func groupIdxBy(idxs []int, keyOf func(int) uint64) [][]int {
+	groups := make(map[uint64][]int, len(idxs))
+	for _, i := range idxs {
+		k := keyOf(i)
+		groups[k] = append(groups[k], i)
+	}
+	work := make([][]int, 0, len(groups))
+	for _, g := range groups {
+		work = append(work, g)
+	}
+	return work
+}
+
 // GetBatch looks up every fingerprint, reading each distinct bucket page
 // once. Probes are grouped by bucket page; each group walks its bucket
 // chain under the owning stripe's read lock, scanning one pooled page
@@ -57,44 +74,77 @@ func (db *DB) GetBatch(ctx context.Context, fps []fingerprint.Fingerprint) ([]Va
 	if len(fps) == 0 {
 		return vals, found, nil
 	}
-	work := groupBy(len(fps), func(i int) uint64 { return db.bucketPage(fps[i]) })
-	err := parallel.Do(ctx, len(work), parallel.IODepth, func(w int) error {
-		idxs := work[w]
-		return db.getChain(ctx, db.bucketPage(fps[idxs[0]]), idxs, fps, vals, found)
-	})
-	if err != nil {
-		return nil, nil, err
+	pending := make([]int, len(fps))
+	for i := range pending {
+		pending[i] = i
+	}
+	// A concurrent linear-hashing split can remap probes between the
+	// lock-free grouping and the stripe lock; getChain reports those back
+	// and the batch regroups and retries them (see PutBatch).
+	for len(pending) > 0 {
+		work := groupIdxBy(pending, func(i int) uint64 { return db.bucketOf(fps[i]) })
+		var staleMu sync.Mutex
+		var stale []int
+		err := parallel.Do(ctx, len(work), parallel.IODepth, func(w int) error {
+			idxs := work[w]
+			st, err := db.getChain(ctx, db.bucketOf(fps[idxs[0]]), idxs, fps, vals, found)
+			if len(st) > 0 {
+				staleMu.Lock()
+				stale = append(stale, st...)
+				staleMu.Unlock()
+			}
+			return err
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		pending = stale
 	}
 	return vals, found, nil
 }
 
 // getChain walks one bucket chain, resolving every probe index in idxs.
 // Each chain page is read exactly once and scanned for all still-missing
-// fingerprints of the group.
-func (db *DB) getChain(ctx context.Context, bucket uint64, idxs []int, fps []fingerprint.Fingerprint, vals []Value, found []bool) error {
-	st := &db.stripes[(bucket-1)&db.stripeMask]
+// fingerprints of the group. Probes a concurrent split remapped away from
+// bucket are returned in stale for the caller to retry.
+func (db *DB) getChain(ctx context.Context, bucket uint64, idxs []int, fps []fingerprint.Fingerprint, vals []Value, found []bool) (stale []int, err error) {
+	st := db.stripeOf(bucket)
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	if db.closed {
-		return ErrClosed
+		return nil, ErrClosed
+	}
+	live := idxs
+	if db.resizable {
+		live = make([]int, 0, len(idxs))
+		for _, idx := range idxs {
+			if db.bucketOf(fps[idx]) == bucket {
+				live = append(live, idx)
+			} else {
+				stale = append(stale, idx)
+			}
+		}
+		if len(live) == 0 {
+			return stale, nil
+		}
 	}
 	done := ctx.Done()
 	page := getPage()
 	defer putPage(page)
-	remaining := len(idxs)
-	for p := bucket; p != 0 && remaining > 0; {
+	remaining := len(live)
+	for p := db.bucketPageOf(bucket); p != 0 && remaining > 0; {
 		if done != nil {
 			if err := ctx.Err(); err != nil {
-				return err
+				return stale, err
 			}
 		}
 		if err := db.readPage(p, page); err != nil {
-			return err
+			return stale, err
 		}
 		n := pageCount(page)
 		for i := 0; i < n && remaining > 0; i++ {
 			efp, v := entryAt(page, i)
-			for _, idx := range idxs {
+			for _, idx := range live {
 				if !found[idx] && fps[idx] == efp {
 					vals[idx] = v
 					found[idx] = true
@@ -104,7 +154,7 @@ func (db *DB) getChain(ctx context.Context, bucket uint64, idxs []int, fps []fin
 		}
 		p = pageNext(page)
 	}
-	return nil
+	return stale, nil
 }
 
 // GetBatch looks up every fingerprint. The in-RAM store has no pages to

@@ -5,11 +5,16 @@
 // the SSD as a Berkeley DB"); hashdb is a from-scratch equivalent tuned to
 // the same access pattern: point lookups and inserts of fixed-size
 // <fingerprint, locator> records, dominated by one random 4 KB page read
-// per probe. The file is a classic static-bucket hash table:
+// per probe. The file is a linear-hashing table that grows online (see
+// resize.go):
 //
-//	page 0:                 header (magic, geometry, entry count, clean flag)
-//	pages 1..buckets:       bucket pages, addressed by fingerprint prefix
-//	pages buckets+1..:      overflow pages chained from full buckets
+//	page 0:                 header (magic, geometry, entry count, clean flag,
+//	                        linear-hashing state, free list, directory root)
+//	pages 1..baseBuckets:   the base bucket pages, addressed by fingerprint
+//	                        prefix under the (level, split) mapping
+//	pages baseBuckets+1..:  overflow pages chained from full buckets, bucket
+//	                        pages created by splits (located via the bucket
+//	                        directory), directory pages, and free pages
 //
 // Every physical page read/write is charged to a device.Device so the
 // store's latency follows the configured hardware model (SSD in the paper's
@@ -40,8 +45,14 @@ const (
 	// PageSize is the I/O unit; matches common flash page/sector sizing.
 	PageSize = 4096
 
-	magic   = "SHDB"
-	version = 3
+	magic = "SHDB"
+	// version3 is the static-geometry format; version4 appends the
+	// linear-hashing state, free-list root, and bucket-directory root to
+	// the header. v3 files open read-compatibly and upgrade to v4 the
+	// first time any of those fields becomes non-trivial (first split,
+	// first freed page).
+	version3 = 3
+	version4 = 4
 
 	// page layout: crc32 uint32 | count uint16 | next uint64 | entries...
 	// The CRC covers everything after itself and detects torn writes and
@@ -55,14 +66,20 @@ const (
 	// file header layout. Page 0 holds two header slots at offsets 0 and
 	// headerSlotStride; writeHeader alternates between them by sequence
 	// number, so a torn header write can destroy at most one slot and the
-	// other still describes a consistent (if slightly stale) state. Each
+	// other still describes a consistent (if slightly stale) state. A v3
 	// slot:
 	//
 	//	crc32(4) magic(4) version(4) pageSize(4) buckets(8) entries(8)
 	//	pages(8) clean(1) seq(8)
 	//
-	// The CRC covers everything after itself.
+	// A v4 slot appends the online-growth state:
+	//
+	//	... level(4) split(8) freeHead(8) freePages(8) dirHead(8)
+	//
+	// The CRC covers everything after itself (to the version's length, so
+	// the version field must be read before the CRC can be checked).
 	fileHdrSize      = 4 + 4 + 4 + 4 + 8 + 8 + 8 + 1 + 8
+	fileHdrSizeV4    = fileHdrSize + 4 + 8 + 8 + 8 + 8
 	headerSlotStride = 512
 )
 
@@ -79,10 +96,33 @@ func (e *CorruptionError) Error() string {
 	return fmt.Sprintf("hashdb: %s: corrupt database: %s", e.Path, e.Detail)
 }
 
+// ResizeMode selects whether the table grows online via incremental
+// linear-hashing splits (see resize.go).
+type ResizeMode int
+
+const (
+	// ResizeAuto enables online growth unless the caller pinned the
+	// geometry with an explicit Options.Buckets — a pinned bucket count is
+	// a statement about shape (tests, sizing experiments, the fixed
+	// baseline), so it is honored.
+	ResizeAuto ResizeMode = iota
+	// ResizeOn always grows online, even with explicit Buckets.
+	ResizeOn
+	// ResizeOff pins the create-time geometry forever.
+	ResizeOff
+)
+
+// DefaultSplitLoadFactor is the aggregate load factor (entries per
+// bucket-region slot) past which a resizable table runs incremental
+// splits. 0.75 keeps the expected chain around one page while splitting
+// well before overflow chains dominate.
+const DefaultSplitLoadFactor = 0.75
+
 // Options configures database creation.
 type Options struct {
 	// ExpectedItems sizes the bucket region for ~50% initial fill so most
-	// lookups cost a single page read. Defaults to 1<<20.
+	// lookups cost a single page read. Defaults to 1<<20. A resizable
+	// table outgrows this estimate online; a fixed one degrades past it.
 	ExpectedItems int
 	// Buckets overrides the computed bucket count directly (testing and
 	// sizing experiments). If zero it is derived from ExpectedItems.
@@ -91,6 +131,11 @@ type Options struct {
 	// power of two). A stripe is a runtime construct, not persisted in the
 	// file. 0 selects the default; 1 recovers a single global lock.
 	Stripes int
+	// Resize selects whether the table splits buckets online as it fills.
+	Resize ResizeMode
+	// SplitLoadFactor overrides the load factor that triggers splits.
+	// 0 selects DefaultSplitLoadFactor.
+	SplitLoadFactor float64
 	// Device charges modeled latency per page I/O. Defaults to a
 	// non-sleeping SSD accountant.
 	Device *device.Device
@@ -149,14 +194,52 @@ type DB struct {
 	f          File
 	path       string
 	dev        *device.Device
-	buckets    uint64
 	stripes    []dbStripe
 	stripeMask uint64
 
-	// allocMu serializes page allocation (growing the file) and header
-	// state transitions. Lock order: stripe lock, then allocMu; allocMu
-	// never acquires stripe locks.
+	// baseBuckets is the create-time bucket count, immutable for the life
+	// of the file: pages 1..baseBuckets are the base bucket pages, and the
+	// linear-hashing mapping is anchored to it (numBuckets() =
+	// baseBuckets<<level + split).
+	baseBuckets uint64
+	// resizable enables online growth; splitLF is the load factor that
+	// triggers it. Both are fixed at create/open time.
+	resizable bool
+	splitLF   float64
+	// state packs the linear-hashing (level, split) position into one
+	// atomic word (see resize.go) so the read path derives a coherent
+	// mapping from a single load.
+	state atomic.Uint64
+	// dir is the published bucket directory locating the bucket pages
+	// splits created (bucket b >= baseBuckets lives at dir.pages[b-base]).
+	dir atomic.Pointer[bucketDir]
+	// splitMu serializes structural growth: bucket splits, compaction, and
+	// directory appends. Lock order: splitMu, then stripe locks, then
+	// allocMu. The read and write paths never take it.
+	splitMu sync.Mutex
+	// wantSplit is set by write-path chain walks that observe a chain of
+	// chainSplitTrigger+ pages; the next write drains it into a split.
+	wantSplit atomic.Bool
+	splits    atomic.Uint64
+	// recovering suppresses split triggering while the open-time recovery
+	// pass re-inserts salvaged entries through the normal write path.
+	// Written and read only while Open runs single-threaded.
+	recovering bool
+
+	// allocMu serializes page allocation (growing the file), the free
+	// list, and header state transitions. Lock order: stripe lock, then
+	// allocMu; allocMu never acquires stripe locks.
 	allocMu sync.Mutex
+	// freeHead/freeCount are the persistent free-page list (guarded by
+	// allocMu): freed pages chain through their next fields on disk, and
+	// the allocator drains the chain before extending the file.
+	freeHead  uint64
+	freeCount uint64
+	// dirHead roots the on-disk directory page chain; dirPages mirrors the
+	// chain in memory. Mutated under splitMu (dirHead also under allocMu,
+	// because writeHeader persists it).
+	dirHead  uint64
+	dirPages []uint64
 
 	entries       atomic.Uint64
 	pages         atomic.Uint64 // total pages including header
@@ -184,7 +267,10 @@ type DB struct {
 // chainHistBuckets or more pages clamp into the last bucket.
 const chainHistBuckets = 8
 
-// observeChain records one write-path walk of a chain of n pages.
+// observeChain records one write-path walk of a chain of n pages. A deep
+// chain is the live telemetry that requests a bucket split: lookups in
+// that region are paying n page reads, so growth is overdue there no
+// matter what the aggregate load factor says.
 func (db *DB) observeChain(n int) {
 	if n <= 0 {
 		return
@@ -194,6 +280,9 @@ func (db *DB) observeChain(n int) {
 		b = chainHistBuckets - 1
 	}
 	db.chainHist[b].Add(1)
+	if n >= chainSplitTrigger && db.resizable {
+		db.wantSplit.Store(true)
+	}
 	for {
 		cur := db.maxChain.Load()
 		if uint64(n) <= cur || db.maxChain.CompareAndSwap(cur, uint64(n)) {
@@ -207,11 +296,6 @@ func newStripes(n int) []dbStripe {
 		n = defaultStripes
 	}
 	return make([]dbStripe, pow2.Floor(n))
-}
-
-// stripeFor returns the lock stripe owning fp's bucket chain.
-func (db *DB) stripeFor(fp fingerprint.Fingerprint) *dbStripe {
-	return &db.stripes[(fp.Prefix64()%db.buckets)&db.stripeMask]
 }
 
 // Create creates a new database file at path, failing if it exists.
@@ -228,14 +312,22 @@ func Create(path string, opts Options) (*DB, error) {
 // in messages and is removed when initialization fails. CreateFile takes
 // ownership of f.
 func CreateFile(f File, path string, opts Options) (*DB, error) {
+	explicitBuckets := opts.Buckets != 0
 	opts.fill()
 	db := &DB{
-		f:       f,
-		path:    path,
-		dev:     opts.Device,
-		buckets: opts.Buckets,
-		stripes: newStripes(opts.Stripes),
+		f:           f,
+		path:        path,
+		dev:         opts.Device,
+		baseBuckets: opts.Buckets,
+		stripes:     newStripes(opts.Stripes),
 	}
+	db.resizable = opts.Resize == ResizeOn ||
+		(opts.Resize == ResizeAuto && !explicitBuckets)
+	db.splitLF = opts.SplitLoadFactor
+	if db.splitLF <= 0 {
+		db.splitLF = DefaultSplitLoadFactor
+	}
+	db.dir.Store(&bucketDir{})
 	db.stripeMask = uint64(len(db.stripes) - 1)
 	db.pages.Store(1 + opts.Buckets)
 	// Zero-fill header + bucket region so bucket pages read back as empty.
@@ -264,26 +356,99 @@ func Open(path string, dev *device.Device) (*DB, error) {
 	return OpenFile(f, path, dev)
 }
 
+// OpenOptions configures opening an existing database. Geometry comes
+// from the file; these are the runtime knobs only.
+type OpenOptions struct {
+	// Device charges modeled latency per page I/O. Defaults to a
+	// non-sleeping SSD accountant.
+	Device *device.Device
+	// Resize selects whether the table keeps growing online. ResizeAuto
+	// on open means resizable: growth is the production default, and a
+	// file that already split stays correct either way (the persisted
+	// (level, split) mapping is always honored; ResizeOff only stops
+	// further splits). Tests pinning physical shape use ResizeOff.
+	Resize ResizeMode
+	// SplitLoadFactor overrides the split trigger; 0 selects the default.
+	SplitLoadFactor float64
+}
+
 // OpenFile is Open over an injected backing file (testing and failure
 // injection; see FailFile). path is used for messages only. OpenFile takes
 // ownership of f and closes it when opening fails.
 func OpenFile(f File, path string, dev *device.Device) (*DB, error) {
+	return OpenFileWithOptions(f, path, OpenOptions{Device: dev})
+}
+
+// OpenFileWithOptions is OpenFile with explicit runtime options.
+func OpenFileWithOptions(f File, path string, opts OpenOptions) (*DB, error) {
+	dev := opts.Device
 	if dev == nil {
 		dev = device.New(device.SSD, device.Account)
 	}
 	db := &DB{f: f, path: path, dev: dev, stripes: newStripes(0)}
+	db.resizable = opts.Resize != ResizeOff
+	db.splitLF = opts.SplitLoadFactor
+	if db.splitLF <= 0 {
+		db.splitLF = DefaultSplitLoadFactor
+	}
+	db.dir.Store(&bucketDir{})
 	db.stripeMask = uint64(len(db.stripes) - 1)
 	if err := db.readHeader(); err != nil {
 		f.Close()
 		return nil, err
 	}
 	if db.dirty.Load() {
+		// recover validates (and if necessary rolls back) the directory
+		// and rebuilds the free list itself; it must not trust them.
 		if err := db.recover(); err != nil {
 			f.Close()
 			return nil, err
 		}
+	} else if err := db.loadDir(); err != nil {
+		f.Close()
+		return nil, err
 	}
 	return db, nil
+}
+
+// loadDir mirrors the on-disk bucket directory into memory on a clean
+// open: the header's (level, split) state says exactly how many directory
+// entries are committed, and the chain rooted at dirHead holds them in
+// order. Runs single-threaded inside Open.
+func (db *DB) loadDir() error {
+	want := int(db.numBuckets() - db.baseBuckets)
+	if want == 0 {
+		if db.dirHead != 0 {
+			return &CorruptionError{Path: db.path, Detail: "directory root set with no split buckets"}
+		}
+		return nil
+	}
+	pages := db.pages.Load()
+	entries := make([]uint64, 0, want)
+	buf := getPage()
+	defer putPage(buf)
+	for p := db.dirHead; p != 0 && len(entries) < want; {
+		if p >= pages {
+			return &CorruptionError{Path: db.path, Detail: fmt.Sprintf("directory page %d out of range", p)}
+		}
+		if err := db.readPage(p, buf); err != nil {
+			return err
+		}
+		db.dirPages = append(db.dirPages, p)
+		for i := 0; i < dirSlotsPerPage && len(entries) < want; i++ {
+			bp := dirEntryAt(buf, i)
+			if bp == 0 || bp >= pages || bp <= db.baseBuckets {
+				return &CorruptionError{Path: db.path, Detail: fmt.Sprintf("directory entry %d names invalid bucket page %d", len(entries), bp)}
+			}
+			entries = append(entries, bp)
+		}
+		p = pageNext(buf)
+	}
+	if len(entries) < want {
+		return &CorruptionError{Path: db.path, Detail: fmt.Sprintf("directory holds %d of %d bucket pages", len(entries), want)}
+	}
+	db.dir.Store(&bucketDir{pages: entries, n: len(entries)})
+	return nil
 }
 
 // writeHeader persists the file header into the slot the bumped sequence
@@ -293,20 +458,38 @@ func OpenFile(f File, path string, dev *device.Device) (*DB, error) {
 // write lock).
 func (db *DB) writeHeader(clean bool) error {
 	seq := db.headerSeq + 1
-	var buf [fileHdrSize]byte
+	level, split := unpackState(db.state.Load())
+	// A file stays v3 while the growth state is trivial — this is the
+	// read-compatible migration story: v3 files upgrade on first split
+	// (or first freed page), not on open.
+	v4 := level != 0 || split != 0 || db.freeHead != 0 || db.dirHead != 0
+	size := fileHdrSize
+	ver := uint32(version3)
+	if v4 {
+		size = fileHdrSizeV4
+		ver = version4
+	}
+	var buf [fileHdrSizeV4]byte
 	copy(buf[4:8], magic)
-	binary.BigEndian.PutUint32(buf[8:12], version)
+	binary.BigEndian.PutUint32(buf[8:12], ver)
 	binary.BigEndian.PutUint32(buf[12:16], PageSize)
-	binary.BigEndian.PutUint64(buf[16:24], db.buckets)
+	binary.BigEndian.PutUint64(buf[16:24], db.baseBuckets)
 	binary.BigEndian.PutUint64(buf[24:32], db.entries.Load())
 	binary.BigEndian.PutUint64(buf[32:40], db.pages.Load())
 	if clean {
 		buf[40] = 1
 	}
 	binary.BigEndian.PutUint64(buf[41:49], seq)
-	binary.BigEndian.PutUint32(buf[0:4], crc32.ChecksumIEEE(buf[4:]))
-	db.dev.Write(len(buf))
-	if _, err := db.f.WriteAt(buf[:], int64(seq%2)*headerSlotStride); err != nil {
+	if v4 {
+		binary.BigEndian.PutUint32(buf[49:53], uint32(level))
+		binary.BigEndian.PutUint64(buf[53:61], split)
+		binary.BigEndian.PutUint64(buf[61:69], db.freeHead)
+		binary.BigEndian.PutUint64(buf[69:77], db.freeCount)
+		binary.BigEndian.PutUint64(buf[77:85], db.dirHead)
+	}
+	binary.BigEndian.PutUint32(buf[0:4], crc32.ChecksumIEEE(buf[4:size]))
+	db.dev.Write(size)
+	if _, err := db.f.WriteAt(buf[:size], int64(seq%2)*headerSlotStride); err != nil {
 		return fmt.Errorf("hashdb: %s: write header: %w", db.path, err)
 	}
 	db.headerSeq = seq
@@ -324,27 +507,45 @@ func (db *DB) writeHeader(clean bool) error {
 // decodeHeaderSlot validates one header slot, returning its sequence number
 // and clean flag after loading the geometry fields into db.
 func (db *DB) decodeHeaderSlot(buf []byte) (seq uint64, clean bool, ok bool) {
-	if crc32.ChecksumIEEE(buf[4:]) != binary.BigEndian.Uint32(buf[0:4]) {
-		return 0, false, false
-	}
 	if string(buf[4:8]) != magic {
 		return 0, false, false
 	}
-	if v := binary.BigEndian.Uint32(buf[8:12]); v != version {
+	// The version picks the slot length the CRC covers, so it is read
+	// (but not trusted) before the checksum; a corrupt version field
+	// fails the CRC of whichever length it selects.
+	size := 0
+	switch binary.BigEndian.Uint32(buf[8:12]) {
+	case version3:
+		size = fileHdrSize
+	case version4:
+		size = fileHdrSizeV4
+	default:
+		return 0, false, false
+	}
+	if crc32.ChecksumIEEE(buf[4:size]) != binary.BigEndian.Uint32(buf[0:4]) {
 		return 0, false, false
 	}
 	if ps := binary.BigEndian.Uint32(buf[12:16]); ps != PageSize {
 		return 0, false, false
 	}
-	db.buckets = binary.BigEndian.Uint64(buf[16:24])
+	db.baseBuckets = binary.BigEndian.Uint64(buf[16:24])
 	db.entries.Store(binary.BigEndian.Uint64(buf[24:32]))
 	db.pages.Store(binary.BigEndian.Uint64(buf[32:40]))
+	if size == fileHdrSizeV4 {
+		db.state.Store(packState(uint8(binary.BigEndian.Uint32(buf[49:53])), binary.BigEndian.Uint64(buf[53:61])))
+		db.freeHead = binary.BigEndian.Uint64(buf[61:69])
+		db.freeCount = binary.BigEndian.Uint64(buf[69:77])
+		db.dirHead = binary.BigEndian.Uint64(buf[77:85])
+	} else {
+		db.state.Store(0)
+		db.freeHead, db.freeCount, db.dirHead = 0, 0, 0
+	}
 	return binary.BigEndian.Uint64(buf[41:49]), buf[40] == 1, true
 }
 
 func (db *DB) readHeader() error {
-	var slots [2][fileHdrSize]byte
-	db.dev.Read(fileHdrSize)
+	var slots [2][fileHdrSizeV4]byte
+	db.dev.Read(fileHdrSizeV4)
 	if _, err := db.f.ReadAt(slots[0][:], 0); err != nil {
 		return fmt.Errorf("hashdb: %s: read header: %w", db.path, err)
 	}
@@ -371,7 +572,7 @@ func (db *DB) readHeader() error {
 	seq, clean, _ := db.decodeHeaderSlot(slots[best][:])
 	db.headerSeq = seq
 	db.dirty.Store(!clean)
-	if db.buckets == 0 || db.pages.Load() < 1+db.buckets {
+	if db.baseBuckets == 0 || db.pages.Load() < 1+db.baseBuckets {
 		return &CorruptionError{Path: db.path, Detail: "inconsistent geometry"}
 	}
 	return nil
@@ -461,10 +662,6 @@ func getPage() []byte { return pagePool.Get().(*[PageSize]byte)[:] }
 //shhc:takes-buf b
 func putPage(b []byte) { pagePool.Put((*[PageSize]byte)(b)) }
 
-func (db *DB) bucketPage(fp fingerprint.Fingerprint) uint64 {
-	return 1 + fp.Prefix64()%db.buckets
-}
-
 func pageCount(page []byte) int {
 	return int(binary.BigEndian.Uint16(page[pageCRCSize : pageCRCSize+2]))
 }
@@ -493,15 +690,14 @@ func setEntryAt(page []byte, i int, fp fingerprint.Fingerprint, v Value) {
 
 // Get returns the value stored for fp.
 func (db *DB) Get(fp fingerprint.Fingerprint) (Value, bool, error) {
-	st := db.stripeFor(fp)
-	st.mu.RLock()
+	b, st := db.rlockBucket(fp.Prefix64())
 	defer st.mu.RUnlock()
 	if db.closed {
 		return 0, false, ErrClosed
 	}
 	page := getPage()
 	defer putPage(page)
-	for p := db.bucketPage(fp); p != 0; {
+	for p := db.bucketPageOf(b); p != 0; {
 		if err := db.readPage(p, page); err != nil {
 			return 0, false, err
 		}
@@ -533,26 +729,41 @@ var oneIdx = []int{0}
 func (db *DB) Put(fp fingerprint.Fingerprint, v Value) (bool, error) {
 	pairs := [1]Pair{{FP: fp, Val: v}}
 	var created [1]bool
-	_, err := db.putChain(context.Background(), db.bucketPage(fp), oneIdx, pairs[:], created[:])
-	return created[0], err
+	for {
+		_, stale, err := db.putChain(context.Background(), db.bucketOf(fp), oneIdx, pairs[:], created[:])
+		if err != nil {
+			return created[0], err
+		}
+		if len(stale) == 0 {
+			break
+		}
+		// A concurrent split remapped fp between the bucket computation
+		// and the stripe lock; retry against the new bucket.
+	}
+	return created[0], db.maybeSplit()
 }
 
 // Delete removes fp, reporting whether it was present. The slot is filled
-// by the page's last entry so pages stay dense.
+// by the page's last entry so pages stay dense; an overflow page whose
+// last entry leaves is unlinked from its chain and handed to the free
+// list, so delete-heavy churn shortens chains instead of leaving dead
+// pages in every future walk.
 func (db *DB) Delete(fp fingerprint.Fingerprint) (bool, error) {
-	st := db.stripeFor(fp)
-	st.mu.Lock()
+	b, st := db.lockBucket(fp.Prefix64())
 	defer st.mu.Unlock()
 	if db.closed {
 		return false, ErrClosed
 	}
 	page := getPage()
 	defer putPage(page)
-	for p := db.bucketPage(fp); p != 0; {
+	head := db.bucketPageOf(b)
+	prev := uint64(0) // page linking to p, 0 while p is the chain head
+	for p := head; p != 0; {
 		if err := db.readPage(p, page); err != nil {
 			return false, err
 		}
 		n := pageCount(page)
+		next := pageNext(page)
 		for i := 0; i < n; i++ {
 			efp, _ := entryAt(page, i)
 			if efp != fp {
@@ -566,13 +777,35 @@ func (db *DB) Delete(fp fingerprint.Fingerprint) (bool, error) {
 				setEntryAt(page, i, lfp, lv)
 			}
 			setPageCount(page, n-1)
-			if err := db.writePage(p, page); err != nil {
+			if n == 1 && p != head {
+				// The overflow page emptied: unlink and free it. Order
+				// matters for crash safety — the page is written empty
+				// first, so if the unlink or free never lands, recovery
+				// finds an empty page and cannot resurrect the deleted
+				// entry from it.
+				setPageNext(page, 0)
+				if err := db.writePage(p, page); err != nil {
+					return false, err
+				}
+				if err := db.readPage(prev, page); err != nil {
+					return false, err
+				}
+				setPageNext(page, next)
+				if err := db.writePage(prev, page); err != nil {
+					return false, err
+				}
+				if err := db.freePage(p); err != nil {
+					return false, err
+				}
+				db.overflowPages.Add(^uint64(0))
+			} else if err := db.writePage(p, page); err != nil {
 				return false, err
 			}
 			db.entries.Add(^uint64(0))
 			return true, nil
 		}
-		p = pageNext(page)
+		prev = p
+		p = next
 	}
 	return false, nil
 }
@@ -598,31 +831,43 @@ func (db *DB) unlockAll() {
 }
 
 // Range calls fn for every entry until fn returns false or an error occurs.
-// The iteration order is physical (bucket page order), not key order. The
-// walk holds every stripe lock, so it observes a point-in-time snapshot;
-// fn must not call back into the database.
+// The iteration order is by bucket chain, not key order. The walk locks one
+// bucket's stripe at a time — an entry's chain is read under its stripe's
+// read lock, then the lock is dropped before fn runs and before the next
+// bucket is taken — so writers to other regions (and to already-visited
+// ones) make progress throughout a long enumeration instead of stalling
+// for the whole file scan. The cost is snapshot semantics: an entry
+// present for the whole walk is delivered at least once, but a concurrent
+// bucket split can deliver a moved entry twice and concurrent writes may
+// or may not be seen. Callers (Bloom rebuilds, anti-entropy enumeration)
+// are idempotent per entry. fn must not call back into the database.
 func (db *DB) Range(fn func(fp fingerprint.Fingerprint, v Value) bool) error {
-	for i := range db.stripes {
-		db.stripes[i].mu.RLock()
-	}
-	defer func() {
-		for i := len(db.stripes) - 1; i >= 0; i-- {
-			db.stripes[i].mu.RUnlock()
-		}
-	}()
-	if db.closed {
-		return ErrClosed
-	}
 	page := getPage()
 	defer putPage(page)
-	for p := uint64(1); p < db.pages.Load(); p++ {
-		if err := db.readPage(p, page); err != nil {
-			return err
+	var pending []Pair
+	for b := uint64(0); b < db.numBuckets(); b++ {
+		st := db.stripeOf(b)
+		st.mu.RLock()
+		if db.closed {
+			st.mu.RUnlock()
+			return ErrClosed
 		}
-		n := pageCount(page)
-		for i := 0; i < n; i++ {
-			fp, v := entryAt(page, i)
-			if !fn(fp, v) {
+		pending = pending[:0]
+		for p := db.bucketPageOf(b); p != 0; {
+			if err := db.readPage(p, page); err != nil {
+				st.mu.RUnlock()
+				return err
+			}
+			n := pageCount(page)
+			for i := 0; i < n; i++ {
+				fp, v := entryAt(page, i)
+				pending = append(pending, Pair{FP: fp, Val: v})
+			}
+			p = pageNext(page)
+		}
+		st.mu.RUnlock()
+		for _, pr := range pending {
+			if !fn(pr.FP, pr.Val) {
 				return nil
 			}
 		}
@@ -693,8 +938,21 @@ func (db *DB) CloseWithoutSync() error {
 
 // Stats describes the physical shape of the database.
 type Stats struct {
-	Entries       uint64
-	Buckets       uint64
+	Entries uint64
+	// Buckets is the current bucket count (base<<level + split for a
+	// table that has split); BaseBuckets is the immutable create-time
+	// count.
+	Buckets     uint64
+	BaseBuckets uint64
+	// Level and SplitPointer are the linear-hashing position; Splits
+	// counts bucket splits performed since open.
+	Level        uint8
+	SplitPointer uint64
+	Splits       uint64
+	// FreePages is the length of the persistent free-page list the
+	// allocator drains before extending the file.
+	FreePages     uint64
+	Resizable     bool
 	Stripes       int
 	Pages         uint64
 	OverflowPages uint64
@@ -719,13 +977,24 @@ type Stats struct {
 // mutations may make the snapshot loosely consistent.
 func (db *DB) Stats() Stats {
 	entries := db.entries.Load()
+	level, split := unpackState(db.state.Load())
+	buckets := db.numBuckets()
 	lf := 0.0
-	if db.buckets > 0 {
-		lf = float64(entries) / float64(db.buckets*SlotsPerPage)
+	if buckets > 0 {
+		lf = float64(entries) / float64(buckets*SlotsPerPage)
 	}
+	db.allocMu.Lock()
+	freePages := db.freeCount
+	db.allocMu.Unlock()
 	st := Stats{
 		Entries:       entries,
-		Buckets:       db.buckets,
+		Buckets:       buckets,
+		BaseBuckets:   db.baseBuckets,
+		Level:         level,
+		SplitPointer:  split,
+		Splits:        db.splits.Load(),
+		FreePages:     freePages,
+		Resizable:     db.resizable,
 		Stripes:       len(db.stripes),
 		Pages:         db.pages.Load(),
 		OverflowPages: db.overflowPages.Load(),

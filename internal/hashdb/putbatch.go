@@ -10,6 +10,7 @@ package hashdb
 
 import (
 	"context"
+	"sync"
 	"sync/atomic"
 
 	"shhc/internal/fingerprint"
@@ -50,20 +51,44 @@ var (
 // PutBatch stores every pair with one read-modify-write per distinct
 // bucket chain. Chains run concurrently up to parallel.IODepth, so modeled
 // (Sleep-mode) devices overlap page I/O the way real flash channels do.
+//
+// The bucket grouping is computed without locks, so a concurrent linear-
+// hashing split can remap some pairs between grouping and the stripe
+// lock; putChain detects those under the lock and reports them back, and
+// the batch simply regroups and retries the leftovers — splits are rare
+// and move at most one bucket at a time, so the retry set collapses
+// immediately.
 func (db *DB) PutBatch(ctx context.Context, pairs []Pair) ([]bool, int, error) {
 	created := make([]bool, len(pairs))
 	if len(pairs) == 0 {
 		return created, 0, nil
 	}
-	work := groupBy(len(pairs), func(i int) uint64 { return db.bucketPage(pairs[i].FP) })
 	var pages atomic.Int64
-	err := parallel.Do(ctx, len(work), parallel.IODepth, func(w int) error {
-		idxs := work[w]
-		n, err := db.putChain(ctx, db.bucketPage(pairs[idxs[0]].FP), idxs, pairs, created)
-		pages.Add(int64(n))
-		return err
-	})
-	if err != nil {
+	pending := make([]int, len(pairs))
+	for i := range pending {
+		pending[i] = i
+	}
+	for len(pending) > 0 {
+		work := groupIdxBy(pending, func(i int) uint64 { return db.bucketOf(pairs[i].FP) })
+		var staleMu sync.Mutex
+		var stale []int
+		err := parallel.Do(ctx, len(work), parallel.IODepth, func(w int) error {
+			idxs := work[w]
+			n, st, err := db.putChain(ctx, db.bucketOf(pairs[idxs[0]].FP), idxs, pairs, created)
+			pages.Add(int64(n))
+			if len(st) > 0 {
+				staleMu.Lock()
+				stale = append(stale, st...)
+				staleMu.Unlock()
+			}
+			return err
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		pending = stale
+	}
+	if err := db.maybeSplit(); err != nil {
 		return nil, 0, err
 	}
 	return created, int(pages.Load()), nil
@@ -82,19 +107,37 @@ type chainPage struct {
 // read-modify-write under the owning stripe's lock: the chain is read once
 // into pooled page buffers, all updates and appends are applied in memory
 // (growing the chain with placeholder pages when it fills), overflow
-// allocations claim their page numbers in one allocMu hold, and only then
-// are the dirty pages written — new overflow pages before the pages that
-// link to them, so an interrupted batch strands orphan pages rather than
-// dangling pointers. Returns the number of page writes issued.
-func (db *DB) putChain(ctx context.Context, bucket uint64, idxs []int, pairs []Pair, created []bool) (int, error) {
-	st := &db.stripes[(bucket-1)&db.stripeMask]
+// allocations claim their page numbers in one allocRun call (draining the
+// free list before extending the file), and only then are the dirty pages
+// written — new overflow pages before the pages that link to them, so an
+// interrupted batch strands orphan pages rather than dangling pointers.
+// bucket is a bucket index; pairs a concurrent split remapped away from it
+// since the caller grouped them are returned in stale for the caller to
+// retry (the mapping is stable under the stripe lock, so the filter is
+// authoritative). Returns the number of page writes issued.
+func (db *DB) putChain(ctx context.Context, bucket uint64, idxs []int, pairs []Pair, created []bool) (writes int, stale []int, err error) {
+	st := db.stripeOf(bucket)
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if db.closed {
-		return 0, ErrClosed
+		return 0, nil, ErrClosed
+	}
+	live := idxs
+	if db.resizable {
+		live = make([]int, 0, len(idxs))
+		for _, idx := range idxs {
+			if db.bucketOf(pairs[idx].FP) == bucket {
+				live = append(live, idx)
+			} else {
+				stale = append(stale, idx)
+			}
+		}
+		if len(live) == 0 {
+			return 0, stale, nil
+		}
 	}
 	if err := db.markDirty(); err != nil {
-		return 0, err
+		return 0, stale, err
 	}
 
 	var chain []chainPage
@@ -110,18 +153,18 @@ func (db *DB) putChain(ctx context.Context, bucket uint64, idxs []int, pairs []P
 	// so a resolved pair cannot also live on an unread page. Appends need
 	// the whole chain (free-slot search + tail link), so reading
 	// continues while any pair is unresolved.
-	remaining := append(make([]int, 0, len(idxs)), idxs...)
+	remaining := append(make([]int, 0, len(live)), live...)
 	done := ctx.Done()
-	for p := bucket; p != 0 && len(remaining) > 0; {
+	for p := db.bucketPageOf(bucket); p != 0 && len(remaining) > 0; {
 		if done != nil {
 			if err := ctx.Err(); err != nil {
-				return 0, err
+				return 0, stale, err
 			}
 		}
 		buf := getPage()
 		if err := db.readPage(p, buf); err != nil {
 			putPage(buf)
-			return 0, err
+			return 0, stale, err
 		}
 		//lint:ignore poolescape chain is a function-local staging slice; every chainPage.buf is released by the putPage loop before putBatch returns.
 		chain = append(chain, chainPage{no: p, buf: buf})
@@ -179,16 +222,17 @@ func (db *DB) putChain(ctx context.Context, bucket uint64, idxs []int, pairs []P
 		createdCount++
 	}
 
-	// One allocMu pass claims file positions for every new overflow page.
+	// One allocRun call claims file positions for every new overflow
+	// page, reusing freed pages before growing the file.
 	if newPages > 0 {
-		db.allocMu.Lock()
-		base := db.pages.Load()
-		db.pages.Add(uint64(newPages))
-		db.allocMu.Unlock()
-		k := uint64(0)
+		nos, err := db.allocRun(newPages)
+		if err != nil {
+			return 0, stale, err
+		}
+		k := 0
 		for i := range chain {
 			if chain[i].no == 0 {
-				chain[i].no = base + k
+				chain[i].no = nos[k]
 				k++
 			}
 		}
@@ -200,19 +244,18 @@ func (db *DB) putChain(ctx context.Context, bucket uint64, idxs []int, pairs []P
 		}
 	}
 
-	writes := 0
 	for i := len(chain) - 1; i >= 0; i-- {
 		if !chain[i].dirty {
 			continue
 		}
 		if err := db.writePage(chain[i].no, chain[i].buf); err != nil {
-			return writes, err
+			return writes, stale, err
 		}
 		writes++
 	}
 	db.entries.Add(uint64(createdCount))
 	db.overflowPages.Add(uint64(newPages))
-	return writes, nil
+	return writes, stale, nil
 }
 
 // chainUpdate overwrites fp's entry in the in-memory chain, reporting

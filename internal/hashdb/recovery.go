@@ -9,16 +9,32 @@ package hashdb
 //   - pages whose CRC no longer matches are quarantined — reset to empty —
 //     because their contents cannot be trusted (serving a best-effort
 //     parse of a torn page could return garbage locators);
+//   - the bucket directory is reconciled with the header's committed
+//     linear-hashing state: directory entries beyond it name bucket pages
+//     a crash caught mid-split, and those splits are rolled back — their
+//     chains are salvaged back through the normal write path under the
+//     committed mapping (safe because the split's write order puts every
+//     entry in some CRC-valid page at every instant) and their pages
+//     erased. Directory damage rolls the state back further the same way;
 //   - overflow links that dangle (point past the file, into the bucket
 //     region, or into a cycle) are cut. PutBatch's new-pages-before-link
 //     write order means a crash strands unreferenced pages rather than
 //     dangling pointers, so a dangling link only appears when a page was
 //     quarantined or the file lost its tail; cutting it restores a walkable
 //     chain;
+//   - chains are deduplicated: compaction and splits briefly hold an entry
+//     in two pages (new copy written before the old one is erased), so a
+//     crash between the two writes leaves a duplicate that Delete could
+//     otherwise resurrect. The first copy in chain order wins; duplicates
+//     and entries that no longer hash to the chain holding them are
+//     packed out;
 //   - valid overflow pages left unreachable by a quarantined or cut link
 //     are salvaged: their entries hash back to their buckets, so they are
 //     re-inserted through the normal write path and the orphan page is
 //     zeroed;
+//   - the persistent free list is rebuilt from scratch out of every page
+//     no chain references — the header's free-list root predates the
+//     crash and cannot be trusted not to alias live pages;
 //   - the entry, page, and overflow counters are recomputed from the
 //     repaired file, and the header is rewritten clean and fsynced.
 //
@@ -28,6 +44,8 @@ package hashdb
 import (
 	"errors"
 	"fmt"
+
+	"shhc/internal/fingerprint"
 )
 
 // RecoveryStats summarizes what the open-time recovery pass found and
@@ -51,8 +69,21 @@ type RecoveryStats struct {
 	// unreachable from any bucket chain (severed by a quarantined page or
 	// a cut link).
 	OrphanPages uint64
-	// SalvagedEntries counts entries re-inserted from orphan pages.
+	// SalvagedEntries counts entries re-inserted from orphan pages and
+	// rolled-back splits.
 	SalvagedEntries uint64
+	// SplitRollbacks counts linear-hashing splits a crash caught before
+	// their state committed; their bucket chains were salvaged back under
+	// the committed mapping.
+	SplitRollbacks uint64
+	// DroppedEntries counts in-chain duplicates and entries that no
+	// longer hashed to the chain holding them, both left by crashes
+	// between a copy's write and the original's erase; the reachable
+	// first copy survives.
+	DroppedEntries uint64
+	// FreePagesReclaimed is the size of the free list rebuilt from
+	// unreferenced pages.
+	FreePagesReclaimed uint64
 }
 
 // Recovery returns what the open-time recovery pass repaired. The zero
@@ -89,8 +120,19 @@ func (db *DB) readPageChecked(p uint64, buf []byte) error {
 // recover repairs the file after an unclean shutdown. It runs
 // single-threaded inside Open; see the file comment for the pass's steps.
 func (db *DB) recover() error {
+	db.recovering = true
+	defer func() { db.recovering = false }()
 	rs := &db.recovery
 	rs.Runs++
+
+	// Discard the pre-crash free list before anything can allocate: pages
+	// freed and reallocated around the crash could make the header's root
+	// alias live chains, and the salvage Puts below go through allocRun.
+	// With the list empty, recovery-time allocations always extend the
+	// file; step 6 rebuilds the list from what is truly unreferenced.
+	db.allocMu.Lock()
+	db.freeHead, db.freeCount = 0, 0
+	db.allocMu.Unlock()
 
 	// 1. Resize: drop a torn partial tail page; grow a file truncated
 	// below the bucket region back to empty bucket pages.
@@ -107,7 +149,7 @@ func (db *DB) recover() error {
 		}
 	}
 	pages := uint64(size) / PageSize
-	if min := 1 + db.buckets; pages < min {
+	if min := 1 + db.baseBuckets; pages < min {
 		if err := db.f.Truncate(int64(min) * PageSize); err != nil {
 			return fmt.Errorf("hashdb: %s: recover: restore bucket region: %w", db.path, err)
 		}
@@ -136,23 +178,156 @@ func (db *DB) recover() error {
 		}
 	}
 
-	// 3. Chain walk: recount entries and cut links that dangle. reached
-	// marks every page owned by some bucket chain.
-	reached := make([]bool, pages)
-	var entries, overflow uint64
-	for b := uint64(1); b <= db.buckets; b++ {
-		reached[b] = true
-		if err := db.readPageChecked(b, page); err != nil {
+	// 3. Directory reconciliation. The header's (level, split) state is
+	// the committed truth: it says how many directory entries — bucket
+	// pages created by splits — exist. Entries beyond it belong to splits
+	// the crash caught in flight (the directory slot is written before
+	// the split's state publishes) and are rolled back below; missing or
+	// damaged entries roll the state itself back, which is always safe in
+	// linear hashing because the bucket count moves one split at a time
+	// and every rolled-back bucket's entries re-hash into reachable
+	// buckets under the earlier mapping.
+	committed := int(db.numBuckets() - db.baseBuckets)
+	var dirEntries, dirPageNos []uint64
+	inDir := make(map[uint64]bool)
+	if db.dirHead != 0 && db.dirHead < pages && db.dirHead > db.baseBuckets {
+	dirWalk:
+		for p := db.dirHead; p != 0; {
+			if p >= pages || p <= db.baseBuckets || inDir[p] {
+				break
+			}
+			if err := db.readPage(p, page); err != nil {
+				return err
+			}
+			inDir[p] = true
+			dirPageNos = append(dirPageNos, p)
+			next := pageNext(page)
+			for i := 0; i < dirSlotsPerPage; i++ {
+				bp := dirEntryAt(page, i)
+				if bp == 0 || bp >= pages || bp <= db.baseBuckets || inDir[bp] {
+					break dirWalk
+				}
+				inDir[bp] = true
+				dirEntries = append(dirEntries, bp)
+			}
+			p = next
+		}
+	}
+	target := min(len(dirEntries), committed)
+	extras := dirEntries[target:]
+	rs.SplitRollbacks += uint64(len(extras))
+	// Re-anchor the in-memory mapping at the reconciled bucket count.
+	total := db.baseBuckets + uint64(target)
+	var level uint8
+	for db.baseBuckets<<(level+1) <= total {
+		level++
+	}
+	db.state.Store(packState(level, total-db.baseBuckets<<level))
+	keepDirPages := (target + dirSlotsPerPage - 1) / dirSlotsPerPage
+	if target == 0 {
+		db.dirHead = 0
+		db.dirPages = nil
+	} else {
+		db.dirPages = dirPageNos[:keepDirPages]
+		// Erase the slots beyond the committed entries in the last kept
+		// directory page and cut its link, so a stale slot can never be
+		// mistaken for an in-flight split by a later recovery after its
+		// page has been reused.
+		last := db.dirPages[keepDirPages-1]
+		if err := db.readPage(last, page); err != nil {
 			return err
 		}
-		entries += uint64(pageCount(page))
-		cur := b
+		for i := target - (keepDirPages-1)*dirSlotsPerPage; i < dirSlotsPerPage; i++ {
+			setDirEntryAt(page, i, 0)
+		}
+		setPageNext(page, 0)
+		if err := db.writePage(last, page); err != nil {
+			return err
+		}
+	}
+	dirCopy := append([]uint64(nil), dirEntries[:target]...)
+	db.dir.Store(&bucketDir{pages: dirCopy, n: target})
+
+	// Collect the rolled-back splits' entries and erase their chains. The
+	// salvage Puts run after the recount so the counters stay exact.
+	var salvage []Pair
+	for _, bp := range extras {
+		for p := bp; p != 0; {
+			if err := db.readPageChecked(p, page); err != nil {
+				return err
+			}
+			n := pageCount(page)
+			for i := 0; i < n; i++ {
+				fp, v := entryAt(page, i)
+				salvage = append(salvage, Pair{FP: fp, Val: v})
+			}
+			next := pageNext(page)
+			if err := db.zeroPage(p); err != nil {
+				return err
+			}
+			if next >= pages || next <= db.baseBuckets || inDir[next] {
+				break
+			}
+			inDir[next] = true
+			p = next
+		}
+	}
+	rs.SalvagedEntries += uint64(len(salvage))
+
+	// 4. Chain walk: recount entries, cut links that dangle, and pack out
+	// duplicate or stray entries (see the file comment). reached marks
+	// every page owned by some bucket chain or by the directory.
+	reached := make([]bool, pages)
+	for _, p := range db.dirPages {
+		reached[p] = true
+	}
+	chainSeen := make(map[fingerprint.Fingerprint]struct{})
+	var entries, overflow uint64
+	nb := db.numBuckets()
+	for b := uint64(0); b < nb; b++ {
+		head := db.bucketPageOf(b)
+		cur := head
+		depth := 0
+		clear(chainSeen)
 		for {
+			reached[cur] = true
+			if err := db.readPageChecked(cur, page); err != nil {
+				return err
+			}
+			// Drop entries that are duplicates of one already reached in
+			// this chain, or that no longer hash to this bucket — both
+			// are stale copies a crash left behind mid-compaction or
+			// mid-split; keeping them would let a future Delete
+			// resurrect the other copy.
+			n := pageCount(page)
+			w := 0
+			for i := 0; i < n; i++ {
+				fp, v := entryAt(page, i)
+				if _, dup := chainSeen[fp]; dup || db.bucketOf(fp) != b {
+					rs.DroppedEntries++
+					continue
+				}
+				chainSeen[fp] = struct{}{}
+				if w != i {
+					setEntryAt(page, w, fp, v)
+				}
+				w++
+			}
+			if w != n {
+				setPageCount(page, w)
+				if err := db.writePage(cur, page); err != nil {
+					return err
+				}
+			}
+			entries += uint64(w)
+			if depth > 0 {
+				overflow++
+			}
 			next := pageNext(page)
 			if next == 0 {
 				break
 			}
-			if next >= pages || next <= db.buckets || reached[next] {
+			if next >= pages || next <= db.baseBuckets || reached[next] {
 				// Dangling, into the bucket region, or a cycle: cut.
 				setPageNext(page, 0)
 				if err := db.writePage(cur, page); err != nil {
@@ -161,24 +336,20 @@ func (db *DB) recover() error {
 				rs.RepairedLinks++
 				break
 			}
-			reached[next] = true
-			if err := db.readPageChecked(next, page); err != nil {
-				return err
-			}
-			entries += uint64(pageCount(page))
-			overflow++
 			cur = next
+			depth++
 		}
 	}
 	db.entries.Store(entries)
 	db.overflowPages.Store(overflow)
 
-	// 4. Salvage: entries on valid overflow pages no chain reaches hash
-	// back to their buckets, so re-insert them through the normal write
-	// path and clear the orphan page (Range walks pages physically and
-	// must not see them twice).
-	var salvage []Pair
-	for p := db.buckets + 1; p < pages; p++ {
+	// 5. Salvage. First the rolled-back splits' entries: re-inserting
+	// them under the committed mapping is idempotent — a copy the split's
+	// source rewrite never erased is simply overwritten. Then entries on
+	// valid pages no chain reaches, which hash back to their buckets the
+	// same way; the orphan page is cleared so the free-list rebuild can
+	// take it.
+	for p := uint64(1); p < pages; p++ {
 		if reached[p] {
 			continue
 		}
@@ -205,16 +376,33 @@ func (db *DB) recover() error {
 		}
 	}
 
-	// 5. Commit: repairs durable first, then the clean mark (commitClean's
+	// 6. Rebuild the free list (emptied at the top of the pass) from every
+	// page nothing references. Only the pre-salvage page range is swept:
+	// pages the salvage Puts appended are live chain pages, and any page in
+	// the old range they touched was already reached (the free list was
+	// empty, so their allocations only extended the file).
+	for p := pages - 1; p >= 1; p-- {
+		if reached[p] {
+			continue
+		}
+		if err := db.freePage(p); err != nil {
+			return err
+		}
+		rs.FreePagesReclaimed++
+	}
+
+	// 7. Commit: repairs durable first, then the clean mark (commitClean's
 	// two-fsync order), so a crash mid-recovery leaves a dirty header and
 	// the next open simply recovers again.
 	return db.commitClean()
 }
 
-// Check CRC-scans every page and validates chain structure without
-// modifying anything, returning the first inconsistency found (nil means
-// the file is structurally sound). It holds every stripe read lock for the
-// duration, like Range.
+// Check CRC-scans every page and validates the directory, every bucket
+// chain, and the free list without modifying anything, returning the
+// first inconsistency found (nil means the file is structurally sound).
+// It holds every stripe read lock for the duration, which also quiesces
+// splits and compaction (both need stripe write locks), so the growth
+// state it validates is stable.
 func (db *DB) Check() error {
 	for i := range db.stripes {
 		db.stripes[i].mu.RLock()
@@ -228,14 +416,65 @@ func (db *DB) Check() error {
 		return ErrClosed
 	}
 	pages := db.pages.Load()
+	db.allocMu.Lock()
+	freeHead, freeCount := db.freeHead, db.freeCount
+	db.allocMu.Unlock()
 	page := getPage()
 	defer putPage(page)
-	for p := uint64(1); p < pages; p++ {
+	reached := make([]bool, pages)
+	for _, dp := range db.dirPages {
+		if dp >= pages || dp <= db.baseBuckets {
+			return &CorruptionError{Path: db.path, Detail: fmt.Sprintf("directory page %d out of range", dp)}
+		}
+		reached[dp] = true
+	}
+	nb := db.numBuckets()
+	for b := uint64(0); b < nb; b++ {
+		head := db.bucketPageOf(b)
+		if head == 0 || head >= pages || (b >= db.baseBuckets && head <= db.baseBuckets) {
+			return &CorruptionError{Path: db.path, Detail: fmt.Sprintf("bucket %d head page %d out of range", b, head)}
+		}
+		if b >= db.baseBuckets && reached[head] {
+			return &CorruptionError{Path: db.path, Detail: fmt.Sprintf("bucket %d head page %d shared", b, head)}
+		}
+		for p := head; p != 0; {
+			reached[p] = true
+			if err := db.readPageChecked(p, page); err != nil {
+				return err
+			}
+			next := pageNext(page)
+			if next != 0 && (next >= pages || next <= db.baseBuckets || reached[next]) {
+				return &CorruptionError{Path: db.path, Detail: fmt.Sprintf("page %d links to invalid page %d", p, next)}
+			}
+			p = next
+		}
+	}
+	var free uint64
+	for p := freeHead; p != 0; {
+		if p >= pages || p <= db.baseBuckets || reached[p] {
+			return &CorruptionError{Path: db.path, Detail: fmt.Sprintf("free list reaches invalid page %d", p)}
+		}
+		reached[p] = true
 		if err := db.readPageChecked(p, page); err != nil {
 			return err
 		}
-		if next := pageNext(page); next != 0 && (next >= pages || next <= db.buckets) {
-			return &CorruptionError{Path: db.path, Detail: fmt.Sprintf("page %d links to invalid page %d", p, next)}
+		if pageCount(page) != 0 {
+			return &CorruptionError{Path: db.path, Detail: fmt.Sprintf("free page %d is not empty", p)}
+		}
+		free++
+		p = pageNext(page)
+	}
+	if free != freeCount {
+		return &CorruptionError{Path: db.path, Detail: fmt.Sprintf("free list holds %d pages, header says %d", free, freeCount)}
+	}
+	// Unreferenced pages (strandable by a cancelled batch) just need to
+	// be readable.
+	for p := uint64(1); p < pages; p++ {
+		if reached[p] {
+			continue
+		}
+		if err := db.readPageChecked(p, page); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,0 +1,646 @@
+package hashdb
+
+// This file implements online growth: incremental linear-hashing bucket
+// splits, the persistent page free list, and the compaction pass that
+// feeds it.
+//
+// The static geometry the store launched with — bucket count fixed at
+// create time — is a latent scalability bug: past the ExpectedItems
+// estimate every bucket chain grows without bound and each lookup pays
+// one page read per chain page forever. Linear hashing removes the
+// ceiling without downtime or a rebuild:
+//
+//   - the table runs at a (level, split) state: base<<level buckets are
+//     addressed at the current level and the buckets below the split
+//     pointer have already been rehashed one level deeper;
+//   - a split takes the bucket at the split pointer, rehashes its chain
+//     one level deeper, and moves the entries whose hash gained the new
+//     top bit into a freshly allocated bucket at index split+base<<level;
+//   - splits are incremental — one bucket at a time, under the two
+//     affected bucket-region stripe locks — and are triggered by the live
+//     telemetry the write path already records (load factor and observed
+//     chain length), not by an offline rebuild.
+//
+// Bucket pages beyond the base region cannot live at a fixed file offset,
+// so they are recorded in a small directory: a chain of pages holding
+// 8-byte page numbers, rooted at the v4 header's dirHead field. The
+// in-memory mirror (bucketDir) is published with an atomic pointer so the
+// read path resolves bucket→page with two atomic loads and no lock.
+//
+// Crash safety rides the existing dirty-mark + recovery design rather
+// than per-split fsyncs. The on-disk header only advances at clean
+// commits, so a crash mid-split (or any time before the next Sync) is
+// rolled back by recovery: directory entries beyond the header's
+// (level, split) state name bucket pages that were still in flight, and
+// their entries are salvaged back through the normal write path — the
+// split's write order (new bucket pages first, then the directory
+// append, then the source-chain rewrite) guarantees every entry is in
+// some CRC-valid page at every instant. See recovery.go.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"shhc/internal/fingerprint"
+)
+
+// splitState packs the linear-hashing position into one atomic word:
+// level in the top 8 bits, split pointer in the low 56. A single load
+// gives readers a coherent (level, split) pair.
+const splitBits = 56
+
+func packState(level uint8, split uint64) uint64 {
+	return uint64(level)<<splitBits | split
+}
+
+func unpackState(s uint64) (level uint8, split uint64) {
+	return uint8(s >> splitBits), s & (1<<splitBits - 1)
+}
+
+// bucketDir is the published bucket directory: pages[i] is the bucket
+// page of bucket baseBuckets+i, valid for i < n. Appends write the slot
+// at index n (never read by holders of an older snapshot) and publish a
+// new header, doubling the backing array only when it fills, so readers
+// index it lock-free while splits extend it.
+type bucketDir struct {
+	pages []uint64
+	n     int
+}
+
+// dirSlotsPerPage is the number of 8-byte page numbers one directory
+// page holds after the standard page header. Directory pages reuse the
+// CRC and next fields but leave count at 0: how many slots are live is
+// derived from the header's committed (level, split) state, so a
+// directory page never claims entries a crash could make recovery (or
+// orphan salvage) misread as fingerprint records.
+const dirSlotsPerPage = (PageSize - pageHdrSize) / 8
+
+func dirEntryAt(page []byte, i int) uint64 {
+	return binary.BigEndian.Uint64(page[pageHdrSize+i*8:])
+}
+
+func setDirEntryAt(page []byte, i int, p uint64) {
+	binary.BigEndian.PutUint64(page[pageHdrSize+i*8:], p)
+}
+
+// levelBuckets returns base<<level, the number of buckets addressed at
+// the current level.
+func (db *DB) levelBuckets(level uint8) uint64 {
+	return db.baseBuckets << level
+}
+
+// numBuckets returns the current total bucket count (base<<level plus
+// the buckets already split off this level).
+func (db *DB) numBuckets() uint64 {
+	level, split := unpackState(db.state.Load())
+	return db.levelBuckets(level) + split
+}
+
+// bucketOf maps a fingerprint to its current bucket index under the
+// linear-hashing state: hash at the current level, and one level deeper
+// for buckets the split pointer has already passed.
+func (db *DB) bucketOf(fp fingerprint.Fingerprint) uint64 {
+	return db.bucketOfHash(fp.Prefix64())
+}
+
+func (db *DB) bucketOfHash(h uint64) uint64 {
+	level, split := unpackState(db.state.Load())
+	n := db.levelBuckets(level)
+	b := h % n
+	if b < split {
+		b = h % (n << 1)
+	}
+	return b
+}
+
+// bucketPageOf returns the file page holding bucket b's head. Base
+// buckets sit at their create-time offsets; later buckets resolve
+// through the directory snapshot.
+func (db *DB) bucketPageOf(b uint64) uint64 {
+	if b < db.baseBuckets {
+		return 1 + b
+	}
+	d := db.dir.Load()
+	return d.pages[b-db.baseBuckets]
+}
+
+// stripeOf returns the lock stripe owning bucket b's chain.
+func (db *DB) stripeOf(b uint64) *dbStripe {
+	return &db.stripes[b&db.stripeMask]
+}
+
+// rlockBucket read-locks the stripe owning fp's bucket, rechecking the
+// mapping after acquiring the lock: a split that moved fp's bucket while
+// we were blocked is detected and the lock retaken on the new stripe.
+// The mapping is stable while the stripe lock is held, because a split
+// changing it must write-lock this same stripe.
+func (db *DB) rlockBucket(h uint64) (uint64, *dbStripe) {
+	for {
+		b := db.bucketOfHash(h)
+		st := db.stripeOf(b)
+		st.mu.RLock()
+		if db.bucketOfHash(h) == b {
+			return b, st
+		}
+		st.mu.RUnlock()
+	}
+}
+
+// lockBucket is rlockBucket's write-lock twin.
+func (db *DB) lockBucket(h uint64) (uint64, *dbStripe) {
+	for {
+		b := db.bucketOfHash(h)
+		st := db.stripeOf(b)
+		st.mu.Lock()
+		if db.bucketOfHash(h) == b {
+			return b, st
+		}
+		st.mu.Unlock()
+	}
+}
+
+// ---- page allocation and the persistent free list ----
+//
+// Freed pages (emptied overflow pages unlinked by Delete, split, or
+// Compact) chain through their pageNext field, rooted at freeHead. The
+// chain is maintained eagerly on disk: freeing writes the page as empty
+// with next = old head, so the on-disk chain rooted at the in-memory
+// head is intact at every instant and a clean header commit simply
+// records the head. Recovery never trusts the chain after a crash — it
+// rebuilds the free list from the unreferenced empty pages it finds.
+
+// allocRun claims n page numbers, draining the free list before
+// extending the file. Free-list pops cost one page read each (to follow
+// the chain); extension is a counter bump, with the actual growth
+// happening when the new page is written. Callers must have marked the
+// file dirty.
+func (db *DB) allocRun(n int) ([]uint64, error) {
+	db.allocMu.Lock()
+	defer db.allocMu.Unlock()
+	pages := make([]uint64, 0, n)
+	if db.freeHead != 0 {
+		buf := getPage()
+		defer putPage(buf)
+		for len(pages) < n && db.freeHead != 0 {
+			p := db.freeHead
+			if err := db.readPage(p, buf); err != nil {
+				return nil, err
+			}
+			db.freeHead = pageNext(buf)
+			db.freeCount--
+			pages = append(pages, p)
+		}
+	}
+	if rest := n - len(pages); rest > 0 {
+		base := db.pages.Load()
+		db.pages.Add(uint64(rest))
+		for i := 0; i < rest; i++ {
+			pages = append(pages, base+uint64(i))
+		}
+	}
+	return pages, nil
+}
+
+// freePage pushes p onto the free list, overwriting it as an empty page
+// whose next field links the previous head. The page's prior contents
+// must already be dead (unlinked from every chain): the write both
+// erases them and publishes the chain link in one page write.
+func (db *DB) freePage(p uint64) error {
+	buf := getPage()
+	defer putPage(buf)
+	clear(buf)
+	db.allocMu.Lock()
+	defer db.allocMu.Unlock()
+	setPageNext(buf, db.freeHead)
+	if err := db.writePage(p, buf); err != nil {
+		return err
+	}
+	db.freeHead = p
+	db.freeCount++
+	return nil
+}
+
+// ---- directory maintenance ----
+
+// dirAppend records newPage as the bucket page of the next directory
+// bucket, writing the directory page that holds the slot (allocating and
+// linking a fresh directory page when the last one is full). Caller
+// holds splitMu; the in-memory snapshot is NOT published here — the
+// caller publishes dir and split state together once the split's data
+// movement is complete, so a failed split leaves only a stale on-disk
+// slot that the next split overwrites and recovery ignores.
+func (db *DB) dirAppend(newPage uint64) error {
+	d := db.dir.Load()
+	idx := d.n // committed entries; on-disk counts beyond this are stale
+	slot := idx % dirSlotsPerPage
+	pageIdx := idx / dirSlotsPerPage
+	buf := getPage()
+	defer putPage(buf)
+	if slot == 0 && pageIdx == len(db.dirPages) {
+		// The last directory page is full (or none exists): start a new
+		// one, then link it — new page before the pointer to it, so a
+		// crash strands an unreferenced page, never a dangling link.
+		np, err := db.allocRun(1)
+		if err != nil {
+			return err
+		}
+		clear(buf)
+		setDirEntryAt(buf, 0, newPage)
+		if err := db.writePage(np[0], buf); err != nil {
+			return err
+		}
+		if pageIdx == 0 {
+			db.allocMu.Lock()
+			db.dirHead = np[0]
+			db.allocMu.Unlock()
+		} else {
+			last := db.dirPages[pageIdx-1]
+			if err := db.readPage(last, buf); err != nil {
+				return err
+			}
+			setPageNext(buf, np[0])
+			if err := db.writePage(last, buf); err != nil {
+				return err
+			}
+		}
+		db.dirPages = append(db.dirPages, np[0])
+		return nil
+	}
+	dp := db.dirPages[pageIdx]
+	if err := db.readPage(dp, buf); err != nil {
+		return err
+	}
+	setDirEntryAt(buf, slot, newPage)
+	return db.writePage(dp, buf)
+}
+
+// publishDirEntry extends the in-memory directory snapshot with
+// newPage. Slot idx d.n is written before the new header is published,
+// and holders of the old header never index past their n, so readers
+// race-free against the append. Caller holds splitMu.
+func (db *DB) publishDirEntry(newPage uint64) {
+	d := db.dir.Load()
+	pages := d.pages
+	if d.n == len(pages) {
+		grown := make([]uint64, max(16, len(pages)*2))
+		copy(grown, pages)
+		pages = grown
+	}
+	pages[d.n] = newPage
+	db.dir.Store(&bucketDir{pages: pages, n: d.n + 1})
+}
+
+// ---- split triggering and execution ----
+
+// chainSplitTrigger is the observed chain length (pages) at which the
+// write path requests a split regardless of aggregate load factor: a
+// chain this deep means lookups in that region pay multiple device
+// reads.
+const chainSplitTrigger = 3
+
+// loadFactor returns entries / total bucket-region slots at the current
+// bucket count.
+func (db *DB) loadFactor() float64 {
+	nb := db.numBuckets()
+	if nb == 0 {
+		return 0
+	}
+	return float64(db.entries.Load()) / float64(nb*SlotsPerPage)
+}
+
+// maybeSplit runs pending incremental splits if the live telemetry says
+// the table has outgrown its bucket count: the aggregate load factor
+// crossed the split threshold, or a write-path chain walk observed a
+// chain of chainSplitTrigger+ pages. At most one caller splits at a
+// time (TryLock); everyone else returns immediately, so the trigger
+// never convoys the write path. Callers must not hold stripe locks.
+func (db *DB) maybeSplit() error {
+	if !db.resizable || db.recovering {
+		return nil
+	}
+	want := db.wantSplit.Load()
+	if !want && db.loadFactor() < db.splitLF {
+		return nil
+	}
+	if !db.splitMu.TryLock() {
+		return nil
+	}
+	defer db.splitMu.Unlock()
+	if db.wantSplit.Swap(false) {
+		if err := db.splitOne(); err != nil {
+			return err
+		}
+	}
+	for db.loadFactor() >= db.splitLF {
+		if err := db.splitOne(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// splitOne performs one linear-hashing split: the bucket at the split
+// pointer is rehashed one level deeper and the entries whose hash gained
+// the new top bit move to a freshly allocated bucket. Caller holds
+// splitMu.
+//
+// The write order is the crash-safety argument (recovery rolls the split
+// back whenever the header's committed state predates it):
+//
+//  1. the new bucket's pages, deepest first — moved entries now exist
+//     twice (old chain and new), which is safe: the new bucket is
+//     unreachable until the state publishes, and recovery salvages it
+//     back through idempotent Puts;
+//  2. the directory slot naming the new bucket page;
+//  3. the source chain rewritten in place, moved entries removed —
+//     page-local edits only, so no entry ever depends on another
+//     source-page write landing;
+//  4. emptied source overflow pages unlinked and freed;
+//  5. the (level, split) state and directory snapshot published in
+//     memory. The header catches up at the next clean commit.
+func (db *DB) splitOne() error {
+	level, split := unpackState(db.state.Load())
+	n := db.levelBuckets(level)
+	s, t := split, split+n
+	// Lock the two affected stripes in index order (one lock if they
+	// collide). Mutators of either bucket are quiesced for the split.
+	si, ti := s&db.stripeMask, t&db.stripeMask
+	lo, hi := min(si, ti), max(si, ti)
+	db.stripes[lo].mu.Lock()
+	if hi != lo {
+		db.stripes[hi].mu.Lock()
+	}
+	defer func() {
+		if hi != lo {
+			db.stripes[hi].mu.Unlock()
+		}
+		db.stripes[lo].mu.Unlock()
+	}()
+	if db.closed {
+		return ErrClosed
+	}
+	if err := db.markDirty(); err != nil {
+		return err
+	}
+
+	// Read the source chain.
+	var chain []chainPage
+	defer func() {
+		for i := range chain {
+			putPage(chain[i].buf)
+		}
+	}()
+	for p := db.bucketPageOf(s); p != 0; {
+		buf := getPage()
+		if err := db.readPage(p, buf); err != nil {
+			putPage(buf)
+			return err
+		}
+		//lint:ignore poolescape chain is a function-local staging slice; every chainPage.buf is released by the deferred putPage loop.
+		chain = append(chain, chainPage{no: p, buf: buf})
+		p = pageNext(buf)
+	}
+
+	// Partition: entries whose hash gains the new top bit move to t.
+	// The rewrite is page-local — movers are packed out of each source
+	// page independently — so a torn source write never loses an entry
+	// another page's write was carrying.
+	var moved []Pair
+	for i := range chain {
+		buf := chain[i].buf
+		w := 0
+		cnt := pageCount(buf)
+		for j := 0; j < cnt; j++ {
+			efp, v := entryAt(buf, j)
+			if efp.Prefix64()%(n<<1) == t {
+				moved = append(moved, Pair{FP: efp, Val: v})
+				chain[i].dirty = true
+				continue
+			}
+			if w != j {
+				setEntryAt(buf, w, efp, v)
+			}
+			w++
+		}
+		if w != cnt {
+			setPageCount(buf, w)
+		}
+	}
+
+	// 1. Build and write the new bucket's chain, deepest page first.
+	tPages := 1
+	if len(moved) > SlotsPerPage {
+		tPages = (len(moved) + SlotsPerPage - 1) / SlotsPerPage
+	}
+	tNos, err := db.allocRun(tPages)
+	if err != nil {
+		return err
+	}
+	tBuf := getPage()
+	defer putPage(tBuf)
+	for i := tPages - 1; i >= 0; i-- {
+		clear(tBuf)
+		lo := i * SlotsPerPage
+		hi := min(len(moved), lo+SlotsPerPage)
+		for j := lo; j < hi; j++ {
+			setEntryAt(tBuf, j-lo, moved[j].FP, moved[j].Val)
+		}
+		setPageCount(tBuf, hi-lo)
+		if i+1 < tPages {
+			setPageNext(tBuf, tNos[i+1])
+		}
+		if err := db.writePage(tNos[i], tBuf); err != nil {
+			return err
+		}
+	}
+
+	// 2. Record the new bucket in the directory.
+	if err := db.dirAppend(tNos[0]); err != nil {
+		return err
+	}
+
+	// 3. Rewrite the source chain in place. From here on the split must
+	// roll forward: a failed page write leaves at worst a stale copy of
+	// a moved entry in the source chain, unreachable once the state
+	// publishes (Compact and recovery drop such strays), whereas
+	// aborting now would lose the entries already packed out. The new
+	// chain skips pages that emptied; surviving pages keep their file
+	// positions and are relinked around the gaps.
+	var firstErr error
+	keep := make([]chainPage, 0, len(chain))
+	var dropped []uint64
+	for i := range chain {
+		if i == 0 || pageCount(chain[i].buf) > 0 {
+			keep = append(keep, chain[i])
+		} else {
+			dropped = append(dropped, chain[i].no)
+		}
+	}
+	for i := range keep {
+		next := uint64(0)
+		if i+1 < len(keep) {
+			next = keep[i+1].no
+		}
+		if pageNext(keep[i].buf) != next {
+			setPageNext(keep[i].buf, next)
+			keep[i].dirty = true
+		}
+	}
+	for i := len(keep) - 1; i >= 0; i-- {
+		if !keep[i].dirty {
+			continue
+		}
+		if err := db.writePage(keep[i].no, keep[i].buf); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	// 4. Freed source overflow pages go to the free list.
+	for _, no := range dropped {
+		if err := db.freePage(no); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	// 5. Publish. Readers blocked on the stripe locks recheck the
+	// mapping and route to the new bucket from here on.
+	db.publishDirEntry(tNos[0])
+	if split+1 == n {
+		db.state.Store(packState(level+1, 0))
+	} else {
+		db.state.Store(packState(level, split+1))
+	}
+	db.splits.Add(1)
+	db.overflowPages.Add(uint64(tPages-1) - uint64(len(dropped)))
+	if firstErr != nil {
+		return fmt.Errorf("hashdb: %s: split bucket %d: %w", db.path, s, firstErr)
+	}
+	return nil
+}
+
+// CompactStats reports what a compaction pass reclaimed.
+type CompactStats struct {
+	// ChainsPacked counts bucket chains whose pages were rewritten.
+	ChainsPacked uint64
+	// PagesFreed counts overflow pages unlinked into the free list.
+	PagesFreed uint64
+	// EntriesMoved counts entries repacked into earlier chain pages.
+	EntriesMoved uint64
+	// StraysDropped counts stale entries discarded because they no
+	// longer hash to the chain holding them (leftovers of a
+	// rolled-forward split).
+	StraysDropped uint64
+}
+
+// Compact walks every bucket chain, repacking entries into the fewest
+// pages, dropping stale entries that no longer hash to the chain, and
+// unlinking emptied overflow pages into the persistent free list. It
+// locks one bucket's stripe at a time, so writers make progress
+// throughout the pass; the pass tolerates concurrent splits (buckets
+// created after it started are already dense).
+//
+// Crash safety mirrors the split: packed pages are written before the
+// pages they drained are unlinked and freed, so entries exist in some
+// reachable page at every instant; the transient duplicates a crash can
+// leave in one chain are removed by recovery's chain dedupe.
+func (db *DB) Compact() (CompactStats, error) {
+	var cs CompactStats
+	db.splitMu.Lock() // serialize against splits and other compactions
+	defer db.splitMu.Unlock()
+	for b := uint64(0); b < db.numBuckets(); b++ {
+		if err := db.compactBucket(b, &cs); err != nil {
+			return cs, err
+		}
+	}
+	return cs, nil
+}
+
+// compactBucket repacks one bucket chain under its stripe lock.
+func (db *DB) compactBucket(b uint64, cs *CompactStats) error {
+	st := db.stripeOf(b)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	var chain []chainPage
+	defer func() {
+		for i := range chain {
+			putPage(chain[i].buf)
+		}
+	}()
+	for p := db.bucketPageOf(b); p != 0; {
+		buf := getPage()
+		if err := db.readPage(p, buf); err != nil {
+			putPage(buf)
+			return err
+		}
+		//lint:ignore poolescape chain is a function-local staging slice; every chainPage.buf is released by the deferred putPage loop.
+		chain = append(chain, chainPage{no: p, buf: buf})
+		p = pageNext(buf)
+	}
+	// Collect the chain's live entries, dropping strays.
+	var live []Pair
+	strays := uint64(0)
+	for i := range chain {
+		cnt := pageCount(chain[i].buf)
+		for j := 0; j < cnt; j++ {
+			efp, v := entryAt(chain[i].buf, j)
+			if db.resizable && db.bucketOfHash(efp.Prefix64()) != b {
+				strays++
+				continue
+			}
+			live = append(live, Pair{FP: efp, Val: v})
+		}
+	}
+	needPages := 1
+	if len(live) > SlotsPerPage {
+		needPages = (len(live) + SlotsPerPage - 1) / SlotsPerPage
+	}
+	if strays == 0 && needPages == len(chain) {
+		return nil // already dense
+	}
+	if err := db.markDirty(); err != nil {
+		return err
+	}
+
+	// Repack into the chain's first needPages pages, then unlink and
+	// free the rest. Packed pages are written deepest-first; the freed
+	// tail keeps its (now duplicate) contents until freePage erases
+	// them, so a crash anywhere leaves every entry reachable.
+	movedBefore := 0
+	for i := 0; i < needPages; i++ {
+		movedBefore += pageCount(chain[i].buf)
+	}
+	for i := needPages - 1; i >= 0; i-- {
+		buf := chain[i].buf
+		clear(buf)
+		lo := i * SlotsPerPage
+		hi := min(len(live), lo+SlotsPerPage)
+		for j := lo; j < hi; j++ {
+			setEntryAt(buf, j-lo, live[j].FP, live[j].Val)
+		}
+		setPageCount(buf, hi-lo)
+		if i+1 < needPages {
+			setPageNext(buf, chain[i+1].no)
+		}
+		if err := db.writePage(chain[i].no, buf); err != nil {
+			return err
+		}
+	}
+	for i := needPages; i < len(chain); i++ {
+		if err := db.freePage(chain[i].no); err != nil {
+			return err
+		}
+		cs.PagesFreed++
+	}
+	db.overflowPages.Add(^uint64(len(chain) - needPages - 1))
+	cs.ChainsPacked++
+	cs.StraysDropped += strays
+	if extra := len(live) - movedBefore + int(strays); extra > 0 {
+		cs.EntriesMoved += uint64(extra)
+	}
+	if strays > 0 {
+		db.entries.Add(^(uint64(strays) - 1))
+	}
+	return nil
+}

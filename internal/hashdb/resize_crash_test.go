@@ -1,0 +1,423 @@
+package hashdb
+
+// The kill-at-every-write harness from crash_test.go, pointed at the
+// growth machinery: the schedule here drives the table through linear-
+// hashing splits, a compaction pass, and free-list reuse, so every kill
+// point lands inside a split's multi-page write sequence, a compaction
+// repack, or a free-list manipulation. The assertions are the same three
+// crash_test.go proves — recovery always converges, no corrupt value is
+// ever served, and acknowledged state survives (with the torn-page
+// carve-out; atomic kills may lose nothing) — plus the delete guarantee:
+// a split rollback or compaction replay must never resurrect an
+// acknowledged delete.
+//
+// The template is seeded below the split threshold and closed cleanly, so
+// its header is still v3: every run also exercises the v3→v4 header
+// upgrade happening under fire.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// resizeCrashOpen opens a crash-run file with growth forced on and a split
+// threshold low enough that the schedule's ~60 keys split the 2-bucket
+// template several times.
+func resizeCrashOpen(f File, path string) (*DB, error) {
+	return OpenFileWithOptions(f, path, OpenOptions{
+		Resize:          ResizeOn,
+		SplitLoadFactor: 0.05,
+	})
+}
+
+// resizeCrashSchedule drives creates, updates, deletes, a Compact, and a
+// refill that reuses compaction's freed pages, updating the model as
+// operations settle. Splits fire throughout (the probe run asserts so).
+func resizeCrashSchedule(db *DB, m *crashModel) error {
+	ctx := context.Background()
+	putBatch := func(keys []uint64, gen uint64) error {
+		pairs := make([]Pair, len(keys))
+		for i, k := range keys {
+			pairs[i] = Pair{FP: fp(k), Val: Value(k*1000 + gen)}
+			m.attemptPut(k, pairs[i].Val)
+		}
+		if _, _, err := db.PutBatch(ctx, pairs); err != nil {
+			return err
+		}
+		for i, k := range keys {
+			m.ackPut(k, pairs[i].Val)
+		}
+		return nil
+	}
+	put := func(k, gen uint64) error {
+		v := Value(k*1000 + gen)
+		m.attemptPut(k, v)
+		if _, err := db.Put(fp(k), v); err != nil {
+			return err
+		}
+		m.ackPut(k, v)
+		return nil
+	}
+	del := func(k uint64) error {
+		m.attemptDel(k)
+		if _, err := db.Delete(fp(k)); err != nil {
+			return err
+		}
+		m.ackDel(k)
+		return nil
+	}
+
+	// 1: a batched create wave large enough to push load past the split
+	// threshold — the v3 header upgrades to v4 on the first split.
+	batchA := make([]uint64, 30)
+	for i := range batchA {
+		batchA[i] = 100 + uint64(i)
+	}
+	if err := putBatch(batchA, 1); err != nil {
+		return err
+	}
+	// 2: per-key creates, splitting further one put at a time.
+	for k := uint64(130); k < 140; k++ {
+		if err := put(k, 1); err != nil {
+			return err
+		}
+	}
+	// 3: updates of seeded entries that splits have since redistributed.
+	for k := uint64(0); k < 4; k++ {
+		if err := put(k, 2); err != nil {
+			return err
+		}
+	}
+	// 4: deletes (never touched again) sparsifying the split chains.
+	for k := uint64(100); k < 115; k++ {
+		if err := del(k); err != nil {
+			return err
+		}
+	}
+	// 5: compaction repacks the sparse chains and frees pages; kills land
+	// inside its repack writes and free-list pushes.
+	if _, err := db.Compact(); err != nil {
+		return err
+	}
+	// 6: a refill that drains compaction's free list.
+	batchB := make([]uint64, 10)
+	for i := range batchB {
+		batchB[i] = 140 + uint64(i)
+	}
+	if err := putBatch(batchB, 1); err != nil {
+		return err
+	}
+	// 7: updates and deletes on top of the reused pages.
+	for k := uint64(115); k < 118; k++ {
+		if err := put(k, 3); err != nil {
+			return err
+		}
+	}
+	for k := uint64(118); k < 120; k++ {
+		if err := del(k); err != nil {
+			return err
+		}
+	}
+	// 8: an explicit durability barrier.
+	return db.Sync()
+}
+
+// seedResizeCrashTemplate builds the pre-crash image: a 2-bucket resizable
+// table holding keys 0..9 — below the split threshold, so the header is
+// still v3 — closed cleanly.
+func seedResizeCrashTemplate(t *testing.T, path string, m *crashModel) {
+	t.Helper()
+	db, err := Create(path, Options{Buckets: 2, Resize: ResizeOn, SplitLoadFactor: 0.05})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	for k := uint64(0); k < 10; k++ {
+		v := Value(k * 1000)
+		m.attemptPut(k, v)
+		if _, err := db.Put(fp(k), v); err != nil {
+			t.Fatalf("seed Put: %v", err)
+		}
+		m.ackPut(k, v)
+	}
+	if st := db.Stats(); st.Splits != 0 {
+		t.Fatalf("template split during seeding (%d splits); template must stay v3", st.Splits)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("seed Close: %v", err)
+	}
+}
+
+func TestResizeCrashInjectionEveryWritePoint(t *testing.T) {
+	dir := t.TempDir()
+	tmpl := filepath.Join(dir, "tmpl.shdb")
+	seedResizeCrashTemplate(t, tmpl, newCrashModel())
+	tmplBytes, err := os.ReadFile(tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Probe the schedule's write count — and that it actually grows the
+	// table — with an unreachable kill point.
+	probePath := filepath.Join(dir, "probe.shdb")
+	if err := os.WriteFile(probePath, tmplBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pf, err := openRW(probePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := NewFailFile(pf, math.MaxInt64, 0)
+	pdb, err := resizeCrashOpen(probe, probePath)
+	if err != nil {
+		t.Fatalf("probe open: %v", err)
+	}
+	if err := resizeCrashSchedule(pdb, newCrashModel()); err != nil {
+		t.Fatalf("probe schedule: %v", err)
+	}
+	if st := pdb.Stats(); st.Splits == 0 {
+		t.Fatalf("probe schedule made no splits; the harness is not exercising growth (stats %+v)", st)
+	}
+	totalWrites := probe.Writes()
+	pdb.Close()
+	if totalWrites < 50 {
+		t.Fatalf("schedule issued only %d writes; too small to cover split/compact sequences", totalWrites)
+	}
+
+	for _, partial := range []int{-1, 7, PageSize / 2, PageSize - 1} {
+		for k := int64(1); k <= totalWrites; k++ {
+			runGrowthCrashPoint(t, tmplBytes, dir, k, partial, resizeCrashOpen, resizeCrashSchedule)
+		}
+	}
+}
+
+// minedKeys returns the first n keys (from 1000 up) whose hash prefix has
+// the given parity — under the template's 2-bucket mapping they all land
+// in one bucket, which is how the compaction schedule builds a long chain
+// despite uniform hashing.
+func minedKeys(n int, parity uint64) []uint64 {
+	keys := make([]uint64, 0, n)
+	for k := uint64(1000); len(keys) < n; k++ {
+		if fp(k).Prefix64()%2 == parity {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// compactCrashOpen disables load-factor splits (threshold no real load
+// reaches) so growth comes only from the chain-length trigger — exactly
+// one split fires, and the sparse chains survive for Compact to repack.
+func compactCrashOpen(f File, path string) (*DB, error) {
+	return OpenFileWithOptions(f, path, OpenOptions{
+		Resize:          ResizeOn,
+		SplitLoadFactor: 2.0,
+	})
+}
+
+// compactCrashSchedule builds a three-page chain in one bucket, lets the
+// chain trigger split it once, deletes enough entries to leave both halves
+// sparse, and compacts — so kill points land inside a compaction that has
+// real repacking and page-freeing to do. cs receives Compact's stats for
+// the probe run to assert the work happened.
+func compactCrashSchedule(db *DB, m *crashModel, cs *CompactStats) error {
+	ctx := context.Background()
+	putBatch := func(keys []uint64, gen uint64) error {
+		pairs := make([]Pair, len(keys))
+		for i, k := range keys {
+			pairs[i] = Pair{FP: fp(k), Val: Value(k*1000 + gen)}
+			m.attemptPut(k, pairs[i].Val)
+		}
+		if _, _, err := db.PutBatch(ctx, pairs); err != nil {
+			return err
+		}
+		for i, k := range keys {
+			m.ackPut(k, pairs[i].Val)
+		}
+		return nil
+	}
+
+	// 1: a mined wave overflows one bucket into a three-page chain.
+	mined := minedKeys(2*SlotsPerPage+25, 0)
+	if err := putBatch(mined[:len(mined)-1], 1); err != nil {
+		return err
+	}
+	// 2: one more put walks the long chain, arming the chain-length
+	// trigger; its maybeSplit splits the overloaded bucket in two.
+	last := mined[len(mined)-1]
+	m.attemptPut(last, Value(last*1000+1))
+	if _, err := db.Put(fp(last), Value(last*1000+1)); err != nil {
+		return err
+	}
+	m.ackPut(last, Value(last*1000+1))
+	// 3: deletes sparsify both halves of the split chain without emptying
+	// any page (Delete back-fills within a page).
+	for _, k := range mined[:90] {
+		m.attemptDel(k)
+		if _, err := db.Delete(fp(k)); err != nil {
+			return err
+		}
+		m.ackDel(k)
+	}
+	// 4: compaction repacks the sparse chains and frees their tails.
+	c, err := db.Compact()
+	if err != nil {
+		return err
+	}
+	*cs = c
+	// 5: a refill writing over the reshaped table, then a barrier.
+	refill := make([]uint64, 10)
+	for i := range refill {
+		refill[i] = 140 + uint64(i)
+	}
+	if err := putBatch(refill, 1); err != nil {
+		return err
+	}
+	return db.Sync()
+}
+
+func TestCompactCrashInjectionEveryWritePoint(t *testing.T) {
+	dir := t.TempDir()
+	tmpl := filepath.Join(dir, "tmpl.shdb")
+	seedResizeCrashTemplate(t, tmpl, newCrashModel())
+	tmplBytes, err := os.ReadFile(tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Probe: the schedule must actually split once and give Compact real
+	// work, or the kill sweep proves nothing about those code paths.
+	probePath := filepath.Join(dir, "probe.shdb")
+	if err := os.WriteFile(probePath, tmplBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pf, err := openRW(probePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := NewFailFile(pf, math.MaxInt64, 0)
+	pdb, err := compactCrashOpen(probe, probePath)
+	if err != nil {
+		t.Fatalf("probe open: %v", err)
+	}
+	var cs CompactStats
+	if err := compactCrashSchedule(pdb, newCrashModel(), &cs); err != nil {
+		t.Fatalf("probe schedule: %v", err)
+	}
+	if st := pdb.Stats(); st.Splits == 0 {
+		t.Fatalf("probe schedule made no splits (stats %+v)", st)
+	}
+	if cs.PagesFreed == 0 || cs.ChainsPacked == 0 {
+		t.Fatalf("probe Compact did no work (%+v); the kill sweep would not cover compaction", cs)
+	}
+	totalWrites := probe.Writes()
+	pdb.Close()
+
+	schedule := func(db *DB, m *crashModel) error {
+		var cs CompactStats
+		return compactCrashSchedule(db, m, &cs)
+	}
+	for _, partial := range []int{-1, 7, PageSize / 2, PageSize - 1} {
+		for k := int64(1); k <= totalWrites; k++ {
+			runGrowthCrashPoint(t, tmplBytes, dir, k, partial, compactCrashOpen, schedule)
+		}
+	}
+}
+
+// runGrowthCrashPoint is runCrashPoint with a pluggable open and schedule;
+// the post-crash assertions are identical.
+func runGrowthCrashPoint(t *testing.T, tmplBytes []byte, dir string, killAt int64, partial int,
+	open func(File, string) (*DB, error), schedule func(*DB, *crashModel) error) {
+	t.Helper()
+	path := filepath.Join(dir, "run.shdb")
+	if err := os.WriteFile(path, tmplBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := newCrashModel()
+	seedModel(m)
+
+	f, err := openRW(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := partial
+	if p < 0 {
+		p = 0
+	}
+	ff := NewFailFile(f, killAt, p)
+	db, err := open(ff, path)
+	if err != nil {
+		t.Fatalf("kill=%d partial=%d: open on clean seed: %v", killAt, partial, err)
+	}
+	serr := schedule(db, m)
+	if serr == nil {
+		if err := db.Close(); err != nil {
+			t.Fatalf("kill=%d partial=%d: clean Close: %v", killAt, partial, err)
+		}
+	} else if !errors.Is(serr, ErrKilled) {
+		t.Fatalf("kill=%d partial=%d: schedule failed with non-kill error: %v", killAt, partial, serr)
+	} else {
+		f.Close()
+	}
+
+	// Reopen: recovery must converge whatever split or compaction the kill
+	// interrupted — rolled-back splits re-hash their chains, duplicate
+	// copies left mid-repack dedupe, the free list rebuilds.
+	db2, err := Open(path, nil)
+	if err != nil {
+		t.Fatalf("kill=%d partial=%d: Open after crash: %v", killAt, partial, err)
+	}
+	defer db2.Close()
+	if err := db2.Check(); err != nil {
+		t.Fatalf("kill=%d partial=%d: Check after recovery: %v", killAt, partial, err)
+	}
+	rs := db2.Recovery()
+	if partial < 0 && (rs.TornPages != 0 || rs.TailBytes != 0) {
+		t.Fatalf("kill=%d atomic: recovery reports torn state %+v from whole-write kills", killAt, rs)
+	}
+
+	for k, vals := range m.attempted {
+		v, ok, gerr := db2.Get(fp(k))
+		if gerr != nil {
+			t.Fatalf("kill=%d partial=%d: Get(%d) after recovery: %v", killAt, partial, k, gerr)
+		}
+		if ok && !vals[v] {
+			t.Fatalf("kill=%d partial=%d: Get(%d) = %d, a value never written for it (corrupt data served)", killAt, partial, k, v)
+		}
+		if !m.clean[k] {
+			continue
+		}
+		if m.settledDel[k] {
+			if ok {
+				t.Fatalf("kill=%d partial=%d: key %d resurrected after acknowledged delete", killAt, partial, k)
+			}
+			continue
+		}
+		want := m.settledVal[k]
+		if ok && v != want {
+			t.Fatalf("kill=%d partial=%d: settled key %d = %d, want %d", killAt, partial, k, v, want)
+		}
+		if !ok {
+			if partial < 0 {
+				t.Fatalf("kill=%d atomic: settled key %d lost with no torn page", killAt, k)
+			}
+			if rs.TornPages == 0 {
+				t.Fatalf("kill=%d partial=%d: settled key %d lost but recovery reports no torn pages", killAt, partial, k)
+			}
+		}
+	}
+
+	// A second reopen must be clean: recovery converged and committed.
+	db2.Close()
+	db3, err := Open(path, nil)
+	if err != nil {
+		t.Fatalf("kill=%d partial=%d: second Open: %v", killAt, partial, err)
+	}
+	if rs := db3.Recovery(); rs.Runs != 0 {
+		t.Fatalf("kill=%d partial=%d: second open ran recovery again: %+v", killAt, partial, rs)
+	}
+	db3.Close()
+}

@@ -648,6 +648,28 @@ func fromWireSummary(p wire.SummaryPayload) metrics.Summary {
 	}
 }
 
+// rateToPPB / ppbToRate convert a probability in [0, 1] to and from the
+// fixed-point parts-per-billion encoding the wire's Bloom counters use
+// (floats never travel raw on this protocol).
+func rateToPPB(r float64) uint64 {
+	if r <= 0 {
+		return 0
+	}
+	if r >= 1 {
+		return 1_000_000_000
+	}
+	return uint64(r * 1e9)
+}
+
+func ppbToRate(p uint64) float64 { return float64(p) / 1e9 }
+
+func boolToUint64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 func toWireStats(st core.NodeStats) wire.StatsPayload {
 	return wire.StatsPayload{
 		ID:               string(st.ID),
@@ -691,6 +713,13 @@ func toWireStats(st core.NodeStats) wire.StatsPayload {
 		TransportBytesInFlight:   st.Transport.BytesInFlight,
 		TransportWindowUpdates:   st.Transport.WindowUpdates,
 		TransportRedirectsIssued: st.Transport.RedirectsIssued,
+
+		BloomEntries:   st.Bloom.Entries,
+		BloomSizeBytes: st.Bloom.SizeBytes,
+		BloomSlices:    uint64(st.Bloom.Slices),
+		BloomFillPPB:   rateToPPB(st.Bloom.FillRatio),
+		BloomFPRatePPB: rateToPPB(st.Bloom.EstimatedFPRate),
+		BloomSaturated: boolToUint64(st.Bloom.Saturated),
 
 		PhaseCache:       toWireSummary(st.Phases.Cache),
 		PhaseBloom:       toWireSummary(st.Phases.Bloom),
@@ -740,6 +769,12 @@ func fromWireStats(s wire.StatsPayload) core.NodeStats {
 	st.Transport.BytesInFlight = s.TransportBytesInFlight
 	st.Transport.WindowUpdates = s.TransportWindowUpdates
 	st.Transport.RedirectsIssued = s.TransportRedirectsIssued
+	st.Bloom.Entries = s.BloomEntries
+	st.Bloom.SizeBytes = s.BloomSizeBytes
+	st.Bloom.Slices = uint32(s.BloomSlices)
+	st.Bloom.FillRatio = ppbToRate(s.BloomFillPPB)
+	st.Bloom.EstimatedFPRate = ppbToRate(s.BloomFPRatePPB)
+	st.Bloom.Saturated = s.BloomSaturated != 0
 	st.Phases.Cache = fromWireSummary(s.PhaseCache)
 	st.Phases.Bloom = fromWireSummary(s.PhaseBloom)
 	st.Phases.SSD = fromWireSummary(s.PhaseSSD)

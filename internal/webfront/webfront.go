@@ -439,6 +439,20 @@ type ReplicaJSON struct {
 	RepairCreated uint64 `json:"repairCreated"`
 }
 
+// BloomJSON reports one node's in-RAM scalable Bloom filter: how far it
+// has grown (slices chain on as the table outgrows its sizing) and how
+// accurate it still is. saturated means the filter outgrew its
+// construction estimate — an advisory capacity signal, not an accuracy
+// loss.
+type BloomJSON struct {
+	Entries         uint64  `json:"entries"`
+	SizeBytes       uint64  `json:"sizeBytes"`
+	Slices          uint32  `json:"slices"`
+	FillRatio       float64 `json:"fillRatio"`
+	EstimatedFPRate float64 `json:"estimatedFPRate"`
+	Saturated       bool    `json:"saturated"`
+}
+
 // TransportJSON reports one node's server side of the multiplexed RPC
 // transport (protocol >= 5): live stream/byte gauges plus lifetime
 // credit-stall, window-grant, and redirect counters.
@@ -466,6 +480,7 @@ type NodeStatsJSON struct {
 	Recovery     RecoveryJSON  `json:"recovery"`
 	Replica      ReplicaJSON   `json:"replica"`
 	Transport    TransportJSON `json:"transport"`
+	Bloom        BloomJSON     `json:"bloomFilter"`
 }
 
 func phaseJSON(s metrics.Summary) PhaseSummaryJSON {
@@ -566,6 +581,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				BytesInFlight:   st.Transport.BytesInFlight,
 				WindowUpdates:   st.Transport.WindowUpdates,
 				RedirectsIssued: st.Transport.RedirectsIssued,
+			},
+			Bloom: BloomJSON{
+				Entries:         st.Bloom.Entries,
+				SizeBytes:       st.Bloom.SizeBytes,
+				Slices:          st.Bloom.Slices,
+				FillRatio:       st.Bloom.FillRatio,
+				EstimatedFPRate: st.Bloom.EstimatedFPRate,
+				Saturated:       st.Bloom.Saturated,
 			},
 		}
 	}

@@ -235,6 +235,25 @@ func TestStatsEndpoint(t *testing.T) {
 	if ssdObs == 0 {
 		t.Fatalf("no node reported SSD phase observations (the two inserts were write-through): %+v", stats.Nodes)
 	}
+	// The Bloom-filter capacity block must travel through the endpoint:
+	// the two inserts above were added to some node's filter.
+	var bloomEntries, bloomBytes uint64
+	for _, n := range stats.Nodes {
+		bloomEntries += n.Bloom.Entries
+		bloomBytes += n.Bloom.SizeBytes
+		if n.Bloom.Slices == 0 {
+			t.Fatalf("node %s reports a filter with no slices: %+v", n.ID, n.Bloom)
+		}
+		if n.Bloom.Saturated {
+			t.Fatalf("node %s reports a saturated filter after two inserts: %+v", n.ID, n.Bloom)
+		}
+	}
+	if bloomEntries != 2 {
+		t.Fatalf("nodes report %d bloom entries, want 2", bloomEntries)
+	}
+	if bloomBytes == 0 {
+		t.Fatal("no node reported bloom filter size")
+	}
 }
 
 // TestStatsReplicationBlock: a replicated cluster surfaces its quorum and

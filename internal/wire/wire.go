@@ -112,6 +112,9 @@ const (
 // transport counters. Old peers negotiate down and receive/send their
 // version's layouts (a pre-5 peer runs the legacy single-stream path; a
 // pre-4 peer is repaired via plain TypeBatch instead of TypeRepair).
+// Version6 keeps Version5's frame layout and extends the stats payload
+// with the scalable Bloom filter's shape and accuracy counters (rates
+// travel as fixed-point parts-per-billion; see StatsPayload).
 const (
 	Version0   = 0
 	Version1   = 1
@@ -119,7 +122,8 @@ const (
 	Version3   = 3
 	Version4   = 4
 	Version5   = 5
-	MaxVersion = Version5
+	Version6   = 6
+	MaxVersion = Version6
 )
 
 func (t Type) String() string {
@@ -529,10 +533,19 @@ type StatsPayload struct {
 	TransportBytesInFlight   uint64
 	TransportWindowUpdates   uint64
 	TransportRedirectsIssued uint64
-	PhaseCache               SummaryPayload
-	PhaseBloom               SummaryPayload
-	PhaseSSD                 SummaryPayload
-	DestageWaveSizes         SummaryPayload
+	// Bloom counters (protocol >= 6): the scalable filter's shape and
+	// accuracy. The two rates are fixed-point parts-per-billion (a rate
+	// of 0.01 travels as 10_000_000); BloomSaturated is 0 or 1.
+	BloomEntries     uint64
+	BloomSizeBytes   uint64
+	BloomSlices      uint64
+	BloomFillPPB     uint64
+	BloomFPRatePPB   uint64
+	BloomSaturated   uint64
+	PhaseCache       SummaryPayload
+	PhaseBloom       SummaryPayload
+	PhaseSSD         SummaryPayload
+	DestageWaveSizes SummaryPayload
 }
 
 // statsCounterFields is the number of plain uint64 counters in a
@@ -541,10 +554,11 @@ type StatsPayload struct {
 // Older layouts carry prefixes of the counter list: protocol < 2 stops
 // before the destage fields, protocol 2 before the recovery fields,
 // protocol 3 before the replication fields, protocol 4 before the
-// transport fields.
+// transport fields, protocol 5 before the Bloom fields.
 const (
-	statsCounterFields       = 37
+	statsCounterFields       = 43
 	statsSummaryCount        = 4
+	v5StatsCounterFields     = 37
 	v4StatsCounterFields     = 32
 	v3StatsCounterFields     = 29
 	v2StatsCounterFields     = 20
@@ -566,6 +580,8 @@ func (s *StatsPayload) counters() []*uint64 {
 		&s.ReplRepairBatches, &s.ReplRepairPairs, &s.ReplRepairCreated,
 		&s.TransportStreamsOpen, &s.TransportCreditStalls, &s.TransportBytesInFlight,
 		&s.TransportWindowUpdates, &s.TransportRedirectsIssued,
+		&s.BloomEntries, &s.BloomSizeBytes, &s.BloomSlices,
+		&s.BloomFillPPB, &s.BloomFPRatePPB, &s.BloomSaturated,
 	}
 }
 
@@ -581,8 +597,10 @@ func (p *SummaryPayload) fields() []*uint64 {
 // version carries in a stats payload.
 func statsLayout(version int) (counters, summaries int) {
 	switch {
-	case version >= Version5:
+	case version >= Version6:
 		return statsCounterFields, statsSummaryCount
+	case version == Version5:
+		return v5StatsCounterFields, statsSummaryCount
 	case version == Version4:
 		return v4StatsCounterFields, statsSummaryCount
 	case version == Version3:
@@ -609,11 +627,12 @@ func EncodeStatsV(s StatsPayload, version int) []byte {
 }
 
 // DecodeStats decodes node statistics. Every historical layout (the
-// Version5 transport-extended one, the Version4 replication-extended one,
-// the Version3 recovery-extended one, the Version2 destage-extended one,
-// and the original) is accepted — the payload length distinguishes them,
-// and absent fields decode as zero — so a new client can read an old
-// server's stats regardless of what version the connection negotiated.
+// Version6 Bloom-extended one, the Version5 transport-extended one, the
+// Version4 replication-extended one, the Version3 recovery-extended one,
+// the Version2 destage-extended one, and the original) is accepted — the
+// payload length distinguishes them, and absent fields decode as zero —
+// so a new client can read an old server's stats regardless of what
+// version the connection negotiated.
 func DecodeStats(b []byte) (StatsPayload, error) {
 	var s StatsPayload
 	if len(b) < 2 {
@@ -625,6 +644,7 @@ func DecodeStats(b []byte) (StatsPayload, error) {
 	v2 := 2 + idLen + (v2StatsCounterFields+statsSummaryCount*summaryFields)*8
 	v3 := 2 + idLen + (v3StatsCounterFields+statsSummaryCount*summaryFields)*8
 	v4 := 2 + idLen + (v4StatsCounterFields+statsSummaryCount*summaryFields)*8
+	v5 := 2 + idLen + (v5StatsCounterFields+statsSummaryCount*summaryFields)*8
 	switch len(b) {
 	case legacy:
 		nc, ns = legacyStatsCounterFields, legacyStatsSummaryCount
@@ -634,9 +654,11 @@ func DecodeStats(b []byte) (StatsPayload, error) {
 		nc, ns = v3StatsCounterFields, statsSummaryCount
 	case v4:
 		nc, ns = v4StatsCounterFields, statsSummaryCount
+	case v5:
+		nc, ns = v5StatsCounterFields, statsSummaryCount
 	default:
 		if want := 2 + idLen + (nc+ns*summaryFields)*8; len(b) != want {
-			return s, fmt.Errorf("wire: stats payload: want %d (or %d / %d / %d / legacy %d) bytes, got %d: %w", want, v4, v3, v2, legacy, len(b), ErrShortPayload)
+			return s, fmt.Errorf("wire: stats payload: want %d (or %d / %d / %d / %d / legacy %d) bytes, got %d: %w", want, v5, v4, v3, v2, legacy, len(b), ErrShortPayload)
 		}
 	}
 	s.ID = string(b[2 : 2+idLen])

@@ -207,6 +207,8 @@ func TestStatsRoundTrip(t *testing.T) {
 		CacheHitsLRU: 9, CacheMisses: 10, CacheEvicts: 11, CacheLen: 12, CacheCap: 13,
 		DestageQueue: 50, DestageEntries: 51, DestagePages: 52, DestageWaves: 53,
 		DestageCoalesced: 54, DestageHits: 55,
+		BloomEntries: 70, BloomSizeBytes: 71, BloomSlices: 3,
+		BloomFillPPB: 420_000_000, BloomFPRatePPB: 9_500_000, BloomSaturated: 1,
 		PhaseCache:       SummaryPayload{Count: 20, SumNS: 21, MinNS: 22, MaxNS: 23, MeanNS: 24, P50NS: 25, P90NS: 26, P99NS: 27},
 		PhaseBloom:       SummaryPayload{Count: 30, SumNS: 31, MinNS: 32, MaxNS: 33, MeanNS: 34, P50NS: 35, P90NS: 36, P99NS: 37},
 		PhaseSSD:         SummaryPayload{Count: 40, SumNS: 41, MinNS: 42, MaxNS: 43, MeanNS: 44, P50NS: 45, P90NS: 46, P99NS: 47},
@@ -254,6 +256,36 @@ func TestStatsLegacyLayoutInterop(t *testing.T) {
 	}
 	if out.DestageQueue != 0 || out.DestageEntries != 0 || out.DestageWaveSizes != (SummaryPayload{}) {
 		t.Fatalf("legacy decode produced destage fields: %+v", out)
+	}
+}
+
+func TestStatsV5LayoutInterop(t *testing.T) {
+	// A Version5 peer's stats payload stops before the Bloom counters;
+	// DecodeStats must accept it with those fields zeroed, and the v5
+	// encoding must not smuggle Bloom fields onto the wire.
+	in := StatsPayload{
+		ID: "v5-peer", Lookups: 1, Inserts: 2, StoreEntries: 9,
+		TransportStreamsOpen: 61, TransportRedirectsIssued: 65,
+		BloomEntries: 70, BloomSizeBytes: 71, BloomSlices: 3,
+		BloomFillPPB: 420_000_000, BloomFPRatePPB: 9_500_000, BloomSaturated: 1,
+		PhaseSSD: SummaryPayload{Count: 40, MaxNS: 43},
+	}
+	v5 := EncodeStatsV(in, Version5)
+	if v6 := EncodeStatsV(in, Version6); len(v5) >= len(v6) {
+		t.Fatalf("v5 payload (%d bytes) not smaller than v6 payload (%d bytes)", len(v5), len(v6))
+	}
+	out, err := DecodeStats(v5)
+	if err != nil {
+		t.Fatalf("DecodeStats(v5): %v", err)
+	}
+	if out.ID != in.ID || out.Lookups != in.Lookups ||
+		out.TransportStreamsOpen != in.TransportStreamsOpen ||
+		out.TransportRedirectsIssued != in.TransportRedirectsIssued ||
+		out.PhaseSSD != in.PhaseSSD {
+		t.Fatalf("v5 decode lost counters: %+v", out)
+	}
+	if out.BloomEntries != 0 || out.BloomSlices != 0 || out.BloomFPRatePPB != 0 || out.BloomSaturated != 0 {
+		t.Fatalf("v5 decode produced Bloom fields: %+v", out)
 	}
 }
 
